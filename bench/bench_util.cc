@@ -1,0 +1,91 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "data/csv.h"
+
+namespace rlbench::benchutil {
+
+double AutoScale(size_t total_pairs, size_t max_pairs) {
+  if (total_pairs <= max_pairs) return 1.0;
+  return static_cast<double>(max_pairs) / static_cast<double>(total_pairs);
+}
+
+std::vector<std::string> SelectIds(const Flags& flags,
+                                   const std::vector<std::string>& fallback) {
+  if (!flags.Has("datasets")) return fallback;
+  return SplitAny(flags.GetString("datasets", ""), ",");
+}
+
+std::string Pct(double fraction) { return FormatDouble(100.0 * fraction, 2); }
+
+std::string F3(double value) { return FormatDouble(value, 3); }
+
+std::string ResultsDir() {
+  std::filesystem::path dir = "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir.string();
+}
+
+void SaveScores(const std::string& name,
+                const std::vector<CachedScore>& rows) {
+  std::vector<std::vector<std::string>> csv_rows;
+  csv_rows.push_back({"dataset", "matcher", "group", "f1"});
+  for (const auto& row : rows) {
+    csv_rows.push_back({row.dataset, row.matcher,
+                        std::to_string(static_cast<int>(row.group)),
+                        FormatDouble(row.f1, 6)});
+  }
+  std::ofstream out(ResultsDir() + "/" + name + ".csv");
+  out << data::WriteCsv(csv_rows);
+}
+
+std::optional<std::vector<CachedScore>> LoadScores(const std::string& name) {
+  std::ifstream in(ResultsDir() + "/" + name + ".csv");
+  if (!in) return std::nullopt;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto rows = data::ParseCsv(text);
+  if (!rows.ok() || rows->size() < 2) return std::nullopt;
+  std::vector<CachedScore> scores;
+  for (size_t i = 1; i < rows->size(); ++i) {
+    const auto& row = (*rows)[i];
+    if (row.size() < 4) return std::nullopt;
+    CachedScore score;
+    score.dataset = row[0];
+    score.matcher = row[1];
+    score.group = static_cast<matchers::MatcherGroup>(std::stoi(row[2]));
+    score.f1 = std::stod(row[3]);
+    scores.push_back(std::move(score));
+  }
+  return scores;
+}
+
+void PrintElapsed(const char* name, double seconds) {
+  std::printf("\n[%s finished in %.1f s]\n", name, seconds);
+}
+
+void CapPairs(data::MatchingTask* task, size_t max_pairs) {
+  size_t total = task->AllPairs().size();
+  if (total <= max_pairs) return;
+  double keep = static_cast<double>(max_pairs) / static_cast<double>(total);
+  Rng rng(0xCA9);
+  auto thin = [&](const std::vector<data::LabeledPair>& pairs) {
+    std::vector<data::LabeledPair> kept;
+    kept.reserve(static_cast<size_t>(pairs.size() * keep) + 1);
+    for (const auto& pair : pairs) {
+      if (pair.is_match || rng.Bernoulli(keep)) kept.push_back(pair);
+    }
+    return kept;
+  };
+  task->set_train(thin(task->train()));
+  task->set_valid(thin(task->valid()));
+  task->set_test(thin(task->test()));
+}
+
+}  // namespace rlbench::benchutil

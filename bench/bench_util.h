@@ -1,0 +1,56 @@
+// Shared helpers for the table/figure reproduction harnesses: dataset
+// selection flags, automatic scale capping, percentage formatting, and a
+// results cache so the figure benches can reuse the expensive matcher runs
+// of the table benches.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "core/practical.h"
+
+namespace rlbench::benchutil {
+
+/// Scale factor capping a benchmark at `max_pairs` labelled pairs.
+double AutoScale(size_t total_pairs, size_t max_pairs);
+
+/// Dataset ids from --datasets=Ds1,Ds2 (comma separated); `fallback` when
+/// the flag is absent.
+std::vector<std::string> SelectIds(const Flags& flags,
+                                   const std::vector<std::string>& fallback);
+
+/// Percentage with two decimals, e.g. 0.97654 -> "97.65".
+std::string Pct(double fraction);
+
+/// Three decimals, e.g. "0.944".
+std::string F3(double value);
+
+// --- Matcher score cache ----------------------------------------------------
+
+struct CachedScore {
+  std::string dataset;
+  std::string matcher;
+  matchers::MatcherGroup group;
+  double f1 = 0.0;
+};
+
+/// Directory for bench artifacts (created on demand): ./bench_results.
+std::string ResultsDir();
+
+/// Persist matcher scores as CSV under ResultsDir()/<name>.csv.
+void SaveScores(const std::string& name, const std::vector<CachedScore>& rows);
+
+/// Load a previously saved score file; nullopt when absent or malformed.
+std::optional<std::vector<CachedScore>> LoadScores(const std::string& name);
+
+/// Standard epilogue: print the wall time of the harness.
+void PrintElapsed(const char* name, double seconds);
+
+/// Cap a task's pair count by thinning easy negatives (positives are
+/// always kept, so difficulty is preserved or increased). Shared by the
+/// matcher harnesses over the blocking-generated benchmarks.
+void CapPairs(data::MatchingTask* task, size_t max_pairs);
+
+}  // namespace rlbench::benchutil

@@ -1,0 +1,71 @@
+// Figure 2: the 17 complexity measures per established dataset, plus the
+// per-dataset average. Rows are datasets, columns are measures (Table I
+// order); the O(n^2) measures run on a stratified subsample.
+//
+// Flags: --max-pairs=<n> (default 60000), --sample=<n> (default 2000),
+//        --datasets=...
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "core/complexity.h"
+#include "datagen/catalog.h"
+#include "datagen/task_builder.h"
+
+using namespace rlbench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  size_t max_pairs = static_cast<size_t>(flags.GetInt("max-pairs", 60000));
+  size_t sample = static_cast<size_t>(flags.GetInt("sample", 2000));
+  Stopwatch watch;
+
+  std::vector<std::string> fallback;
+  for (const auto& spec : datagen::ExistingBenchmarks()) {
+    fallback.push_back(spec.id);
+  }
+  auto ids = benchutil::SelectIds(flags, fallback);
+
+  TablePrinter table(
+      "Figure 2 (data series): complexity measures per established dataset "
+      "(sample=" + std::to_string(sample) + ")");
+  bool header_set = false;
+
+  for (const auto& id : ids) {
+    const auto* spec = datagen::FindExistingBenchmark(id);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown dataset id %s\n", id.c_str());
+      return 1;
+    }
+    double scale = benchutil::AutoScale(spec->total_pairs, max_pairs);
+    auto task = datagen::BuildExistingBenchmark(*spec, scale);
+    matchers::MatchingContext context(&task);
+    core::ComplexityOptions options;
+    options.max_points = sample;
+    auto report =
+        core::ComputeComplexity(core::PairFeaturePoints(context), options);
+
+    if (!header_set) {
+      std::vector<std::string> header = {"dataset"};
+      for (const auto& [name, value] : report.Items()) header.push_back(name);
+      header.push_back("avg");
+      table.SetHeader(std::move(header));
+      header_set = true;
+    }
+    std::vector<std::string> row = {spec->id};
+    for (const auto& [name, value] : report.Items()) {
+      row.push_back(FormatDouble(value, 2));
+    }
+    row.push_back(benchutil::F3(report.Average()));
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: a mean score below 0.400 indicates an easy classification\n"
+      "task (the paper marks only Ds4, Ds6, Dd4, Dt1, Dt2 as challenging).\n");
+  benchutil::PrintElapsed("fig2_complexity", watch.ElapsedSeconds());
+  return 0;
+}

@@ -1,0 +1,90 @@
+// google-benchmark microbenchmarks for the text and embedding kernels that
+// dominate the reproduction's runtime: tokenization, set similarities,
+// q-gram extraction, edit distances and hashed embeddings.
+#include <benchmark/benchmark.h>
+
+#include "embed/hashed_embedding.h"
+#include "text/qgrams.h"
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using namespace rlbench;
+
+const char* kShortText = "acme laptop pro xj412 silver 799.00";
+const char* kLongText =
+    "nordwave solutions manufacturing founded 1987 headquartered in salem "
+    "global leading provider platform customers operations quality network "
+    "sustainable certified delivering growth strategy excellence portfolio "
+    "supply chain research development engineering digital worldwide teams";
+
+void BM_Tokenize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::Tokenize(kLongText));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_TokenSetBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::TokenSet::FromText(kLongText));
+  }
+}
+BENCHMARK(BM_TokenSetBuild);
+
+void BM_SetSimilarities(benchmark::State& state) {
+  auto a = text::TokenSet::FromText(kLongText);
+  auto b = text::TokenSet::FromText(kShortText);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::CosineSimilarity(a, b));
+    benchmark::DoNotOptimize(text::JaccardSimilarity(a, b));
+    benchmark::DoNotOptimize(text::DiceSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_SetSimilarities);
+
+void BM_QGramSet(benchmark::State& state) {
+  int q = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::QGramSet(kLongText, q));
+  }
+}
+BENCHMARK(BM_QGramSet)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_Levenshtein(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        text::LevenshteinSimilarity("acme laptop pro xj412",
+                                    "acme lapttop xj412 pro"));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        text::JaroWinklerSimilarity("meridian", "meridiam"));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_EmbedToken(benchmark::State& state) {
+  embed::HashedEmbedding model(static_cast<size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.EmbedToken("wireless"));
+  }
+}
+BENCHMARK(BM_EmbedToken)->Arg(16)->Arg(48);
+
+void BM_EmbedText(benchmark::State& state) {
+  embed::HashedEmbedding model(48, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.EmbedText(kLongText));
+  }
+}
+BENCHMARK(BM_EmbedText);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Table III: characteristics of the 13 established benchmarks.
+// Prints |D1|, |D2|, |A|, the labelled / positive / negative instance
+// counts of the training and testing splits, and the imbalance ratio.
+//
+// Flags: --scale=<f> (default 1.0; applies to pair counts),
+//        --datasets=Ds1,... (default: all 13).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "datagen/catalog.h"
+#include "datagen/task_builder.h"
+
+using namespace rlbench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  double scale = flags.GetDouble("scale", 1.0);
+  Stopwatch watch;
+
+  std::vector<std::string> fallback;
+  for (const auto& spec : datagen::ExistingBenchmarks()) {
+    fallback.push_back(spec.id);
+  }
+  auto ids = benchutil::SelectIds(flags, fallback);
+
+  TablePrinter table(
+      "Table III: The established datasets for DL-based matching algorithms "
+      "(synthetic reconstruction, scale=" +
+      FormatDouble(scale, 2) + ")");
+  table.SetHeader({"id", "origin", "domain", "|D1|", "|D2|", "|A|", "|Itr|",
+                   "|Ptr|", "|Ntr|", "|Ite|", "|Pte|", "|Nte|", "IR"});
+
+  for (const auto& id : ids) {
+    const auto* spec = datagen::FindExistingBenchmark(id);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown dataset id %s\n", id.c_str());
+      return 1;
+    }
+    auto task = datagen::BuildExistingBenchmark(*spec, scale);
+    auto train = task.TrainStats();
+    auto test = task.TestStats();
+    auto total = task.TotalStats();
+    table.AddRow({spec->id, spec->origin, datagen::DomainName(spec->domain),
+                  FormatWithCommas(static_cast<int64_t>(task.left().size())),
+                  FormatWithCommas(static_cast<int64_t>(task.right().size())),
+                  std::to_string(spec->num_attrs),
+                  FormatWithCommas(static_cast<int64_t>(train.total)),
+                  FormatWithCommas(static_cast<int64_t>(train.positives)),
+                  FormatWithCommas(static_cast<int64_t>(train.negatives)),
+                  FormatWithCommas(static_cast<int64_t>(test.total)),
+                  FormatWithCommas(static_cast<int64_t>(test.positives)),
+                  FormatWithCommas(static_cast<int64_t>(test.negatives)),
+                  benchutil::Pct(total.ImbalanceRatio()) + "%"});
+  }
+  table.Print(std::cout);
+  benchutil::PrintElapsed("table3_datasets", watch.ElapsedSeconds());
+  return 0;
+}

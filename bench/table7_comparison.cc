@@ -1,0 +1,73 @@
+// Table VII: existing vs new benchmarks with a common origin, compared on
+// pair completeness (PC), pairs quality (PQ) and imbalance ratio (IR).
+//
+// For the established benchmarks the candidate set *is* the benchmark, so
+// PC is 1.0 relative to its own labelled matches and PQ equals the
+// imbalance ratio — this is exactly the paper's point: their undocumented
+// blocking yields precision/recall combinations unattainable by principled
+// blockers, implying an arbitrary insertion/removal of negative pairs.
+//
+// Flags: --scale, --recall, --kmax, --max-pairs (existing side).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "core/benchmark_builder.h"
+#include "datagen/catalog.h"
+#include "datagen/task_builder.h"
+
+using namespace rlbench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  double scale = flags.GetDouble("scale", 0.35);
+  double recall = flags.GetDouble("recall", 0.9);
+  int k_max = static_cast<int>(flags.GetInt("kmax", 64));
+  size_t max_pairs = static_cast<size_t>(flags.GetInt("max-pairs", 60000));
+  Stopwatch watch;
+
+  // The paper's same-origin pairs: (existing, new).
+  const std::pair<const char*, const char*> kPairs[] = {
+      {"Dt1", "Dn1"}, {"Ds1", "Dn3"}, {"Ds2", "Dn8"}, {"Ds4", "Dn7"},
+      {"Ds6", "Dn2"}};
+
+  TablePrinter table("Table VII: existing vs new benchmarks (same origin)");
+  table.SetHeader({"existing", "PC", "PQ", "IR", "new", "PC", "PQ", "IR"});
+
+  for (const auto& [existing_id, new_id] : kPairs) {
+    const auto* existing_spec = datagen::FindExistingBenchmark(existing_id);
+    const auto* new_spec = datagen::FindSourceDataset(new_id);
+    if (existing_spec == nullptr || new_spec == nullptr) continue;
+    std::fprintf(stderr, "[table7] %s vs %s...\n", existing_id, new_id);
+
+    double existing_scale =
+        benchutil::AutoScale(existing_spec->total_pairs, max_pairs);
+    auto task = datagen::BuildExistingBenchmark(*existing_spec,
+                                                existing_scale);
+    auto stats = task.TotalStats();
+
+    core::NewBenchmarkOptions options;
+    options.scale = scale;
+    options.min_recall = recall;
+    options.k_max = k_max;
+    auto benchmark = core::BuildNewBenchmark(*new_spec, options);
+    auto new_stats = benchmark.task.TotalStats();
+
+    table.AddRow(
+        {existing_id, benchutil::F3(1.0),  // all labelled matches included
+         benchutil::F3(stats.ImbalanceRatio()),
+         benchutil::Pct(stats.ImbalanceRatio()) + "%", new_id,
+         benchutil::F3(benchmark.blocking.metrics.pair_completeness),
+         benchutil::F3(benchmark.blocking.metrics.pairs_quality),
+         benchutil::Pct(new_stats.ImbalanceRatio()) + "%"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: at comparable recall the established benchmarks report\n"
+      "far higher PQ than a fine-tuned blocker can achieve, evidence that\n"
+      "an arbitrary number of negative pairs was inserted or removed.\n");
+  benchutil::PrintElapsed("table7_comparison", watch.ElapsedSeconds());
+  return 0;
+}

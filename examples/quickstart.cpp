@@ -1,0 +1,66 @@
+// Quickstart: generate one easy and one hard benchmark from the catalog,
+// measure their difficulty a-priori (degree of linearity, complexity) and
+// a-posteriori (a few matchers' F1), and print the comparison.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [--scale=0.3]
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/strings.h"
+#include "core/complexity.h"
+#include "core/linearity.h"
+#include "core/practical.h"
+#include "datagen/catalog.h"
+#include "datagen/task_builder.h"
+#include "matchers/registry.h"
+
+using namespace rlbench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  double scale = flags.GetDouble("scale", 0.3);
+  std::string datasets = flags.GetString("datasets", "Ds7,Ds4");
+
+  for (const auto& id : SplitAny(datasets, ",")) {
+    const auto* spec = datagen::FindExistingBenchmark(id);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown benchmark %s\n", id.c_str());
+      return 1;
+    }
+    std::printf("=== %s (%s) ===\n", spec->id.c_str(), spec->origin.c_str());
+    data::MatchingTask task = datagen::BuildExistingBenchmark(*spec, scale);
+    auto stats = task.TotalStats();
+    std::printf("pairs=%zu positives=%zu IR=%.2f%%\n", stats.total,
+                stats.positives, 100.0 * stats.ImbalanceRatio());
+
+    matchers::MatchingContext context(&task);
+
+    // A-priori measures.
+    auto linearity = core::ComputeLinearity(context);
+    std::printf("linearity: F1_CS=%.3f (t=%.2f)  F1_JS=%.3f (t=%.2f)\n",
+                linearity.f1_cosine, linearity.threshold_cosine,
+                linearity.f1_jaccard, linearity.threshold_jaccard);
+    auto complexity = core::ComputeComplexity(core::PairFeaturePoints(context));
+    std::printf("complexity: average=%.3f (f1=%.2f l2=%.2f n1=%.2f n3=%.2f "
+                "c2=%.2f)\n",
+                complexity.Average(), complexity.f1, complexity.l2,
+                complexity.n1, complexity.n3, complexity.c2);
+
+    // A-posteriori: run the full matcher line-up and derive NLB / LBM.
+    matchers::RegistryOptions registry;
+    auto lineup = matchers::BuildMatcherLineup(registry);
+    auto scores = core::ScoreLineup(context, &lineup);
+    for (const auto& score : scores) {
+      std::printf("  %-22s F1=%.4f\n", score.name.c_str(), score.f1);
+    }
+    auto practical = core::ComputePractical(scores);
+    std::printf("NLB=%.2f%%  LBM=%.2f%%  (best nonlinear=%.4f, best "
+                "linear=%.4f)\n\n",
+                100.0 * practical.non_linear_boost,
+                100.0 * practical.learning_based_margin,
+                practical.best_nonlinear_f1, practical.best_linear_f1);
+  }
+  return 0;
+}

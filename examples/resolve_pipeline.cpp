@@ -1,0 +1,72 @@
+// End-of-pipeline demo: train a matcher, calibrate its scores, and enforce
+// the Clean-Clean one-to-one constraint — the post-processing that turns
+// per-pair decisions into an entity-level mapping, and the library
+// extensions (GBDT, Platt scaling, resolution) working together.
+//
+//   ./build/examples/resolve_pipeline [--dataset=Ds3] [--scale=1.0]
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/resolution.h"
+#include "datagen/catalog.h"
+#include "datagen/task_builder.h"
+#include "matchers/context.h"
+#include "ml/calibration.h"
+#include "ml/gbdt.h"
+#include "ml/metrics.h"
+
+using namespace rlbench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  std::string id = flags.GetString("dataset", "Ds3");
+  double scale = flags.GetDouble("scale", 1.0);
+
+  const auto* spec = datagen::FindExistingBenchmark(id);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown benchmark %s\n", id.c_str());
+    return 1;
+  }
+  auto task = datagen::BuildExistingBenchmark(*spec, scale);
+  matchers::MatchingContext context(&task);
+  std::printf("%s: %zu test pairs (%zu positive)\n\n", id.c_str(),
+              task.test().size(), task.TestStats().positives);
+
+  // 1. Train a gradient-boosted matcher on the Magellan features.
+  ml::GradientBoostedTrees model;
+  model.Fit(context.MagellanTrain(), context.MagellanValid());
+
+  // 2. Calibrate its scores on the validation split (Platt scaling).
+  std::vector<double> valid_scores;
+  std::vector<uint8_t> valid_labels;
+  const auto& valid = context.MagellanValid();
+  for (size_t i = 0; i < valid.size(); ++i) {
+    valid_scores.push_back(model.PredictScore(valid.row(i)));
+    valid_labels.push_back(valid.label(i) ? 1 : 0);
+  }
+  ml::PlattScaler scaler;
+  scaler.Fit(valid_scores, valid_labels);
+  std::printf("Platt calibration: p = sigmoid(%.2f * s + %.2f)\n",
+              scaler.slope(), scaler.intercept());
+
+  // 3. Score the test pairs and measure ranking quality.
+  const auto& test = context.MagellanTest();
+  std::vector<double> scores(test.size());
+  std::vector<uint8_t> truth(test.size());
+  for (size_t i = 0; i < test.size(); ++i) {
+    scores[i] = scaler.Transform(model.PredictScore(test.row(i)));
+    truth[i] = test.label(i) ? 1 : 0;
+  }
+  std::printf("average precision of the ranking: %.4f\n",
+              ml::AveragePrecision(scores, truth));
+
+  // 4. Enforce the Clean-Clean one-to-one constraint and compare.
+  auto impact = core::EvaluateResolution(task.test(), scores);
+  std::printf("F1 with plain 0.5 threshold:      %.4f\n",
+              impact.f1_before);
+  std::printf("F1 after one-to-one resolution:   %.4f\n", impact.f1_after);
+  std::printf("\nThe resolution step removes competing sibling pairs on\n"
+              "shared records — the global reasoning GNEM approximates,\n"
+              "available to any matcher as a post-process.\n");
+  return 0;
+}

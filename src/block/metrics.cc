@@ -1,0 +1,35 @@
+#include "block/metrics.h"
+
+#include <unordered_set>
+
+namespace rlbench::block {
+
+namespace {
+uint64_t Key(const CandidatePair& pair) {
+  return (static_cast<uint64_t>(pair.first) << 32) | pair.second;
+}
+}  // namespace
+
+BlockingMetrics EvaluateBlocking(const std::vector<CandidatePair>& candidates,
+                                 const std::vector<CandidatePair>& matches) {
+  BlockingMetrics metrics;
+  metrics.num_candidates = candidates.size();
+  if (matches.empty()) return metrics;
+
+  std::unordered_set<uint64_t> truth;
+  truth.reserve(matches.size() * 2);
+  for (const auto& match : matches) truth.insert(Key(match));
+
+  for (const auto& candidate : candidates) {
+    if (truth.count(Key(candidate)) != 0) ++metrics.true_candidates;
+  }
+  metrics.pair_completeness = static_cast<double>(metrics.true_candidates) /
+                              static_cast<double>(matches.size());
+  if (!candidates.empty()) {
+    metrics.pairs_quality = static_cast<double>(metrics.true_candidates) /
+                            static_cast<double>(candidates.size());
+  }
+  return metrics;
+}
+
+}  // namespace rlbench::block

@@ -1,0 +1,27 @@
+// Blocking quality metrics: pair completeness (PC, recall) and pairs
+// quality (PQ, precision), as used throughout Section VI and Table V.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rlbench::block {
+
+/// One candidate pair: (index into D1, index into D2).
+using CandidatePair = std::pair<uint32_t, uint32_t>;
+
+struct BlockingMetrics {
+  double pair_completeness = 0.0;  // PC: |candidates ∩ matches| / |matches|
+  double pairs_quality = 0.0;      // PQ: |candidates ∩ matches| / |candidates|
+  size_t true_candidates = 0;      // |candidates ∩ matches|
+  size_t num_candidates = 0;
+};
+
+/// Evaluate a candidate set against the ground truth. Candidates must be
+/// unique pairs; duplicates would double-count.
+BlockingMetrics EvaluateBlocking(const std::vector<CandidatePair>& candidates,
+                                 const std::vector<CandidatePair>& matches);
+
+}  // namespace rlbench::block

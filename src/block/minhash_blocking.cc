@@ -1,0 +1,77 @@
+#include "block/minhash_blocking.h"
+
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "text/tokenizer.h"
+
+namespace rlbench::block {
+
+std::vector<uint64_t> MinHashSignature(const text::TokenSet& tokens,
+                                       size_t num_hashes, uint64_t seed) {
+  std::vector<uint64_t> signature(
+      num_hashes, std::numeric_limits<uint64_t>::max());
+  for (uint64_t hash : tokens.hashes()) {
+    for (size_t k = 0; k < num_hashes; ++k) {
+      // A distinct mixing per hash function, derived from the seed.
+      uint64_t mixed = SplitMix64(hash ^ SplitMix64(seed + k));
+      signature[k] = std::min(signature[k], mixed);
+    }
+  }
+  return signature;
+}
+
+std::vector<CandidatePair> MinHashBlocking(const data::Table& d1,
+                                           const data::Table& d2,
+                                           const MinHashOptions& options) {
+  size_t bands = std::max<size_t>(1, options.bands);
+  size_t rows = std::max<size_t>(1, options.num_hashes / bands);
+
+  // Band-bucket index over d2.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+  auto band_keys = [&](const data::Record& record) {
+    auto signature = MinHashSignature(
+        text::TokenSet::FromText(record.ConcatenatedValues()),
+        bands * rows, options.seed);
+    std::vector<uint64_t> keys(bands);
+    for (size_t b = 0; b < bands; ++b) {
+      uint64_t key = 0xCBF29CE484222325ULL ^ (b + 1);
+      for (size_t r = 0; r < rows; ++r) {
+        key = SplitMix64(key ^ signature[b * rows + r]);
+      }
+      keys[b] = key;
+    }
+    return keys;
+  };
+
+  for (size_t i = 0; i < d2.size(); ++i) {
+    for (uint64_t key : band_keys(d2.record(i))) {
+      buckets[key].push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  std::unordered_set<uint64_t> seen;
+  std::vector<CandidatePair> candidates;
+  for (size_t i = 0; i < d1.size(); ++i) {
+    for (uint64_t key : band_keys(d1.record(i))) {
+      auto it = buckets.find(key);
+      if (it == buckets.end()) continue;
+      if (it->second.size() > options.max_bucket_size) continue;
+      for (uint32_t j : it->second) {
+        uint64_t pair_key = (static_cast<uint64_t>(i) << 32) | j;
+        if (!seen.insert(pair_key).second) continue;
+        candidates.emplace_back(static_cast<uint32_t>(i), j);
+        if (options.max_candidates > 0 &&
+            candidates.size() >= options.max_candidates) {
+          return candidates;
+        }
+      }
+    }
+  }
+  return candidates;
+}
+
+}  // namespace rlbench::block

@@ -1,0 +1,35 @@
+// MinHash-LSH blocking: records with high Jaccard token similarity land in
+// a shared band bucket with high probability, giving near-neighbour
+// candidate generation in near-linear time — the scalable alternative to
+// the exact top-K search of the DeepBlocker simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "block/metrics.h"
+#include "data/record.h"
+#include "text/tokenizer.h"
+
+namespace rlbench::block {
+
+struct MinHashOptions {
+  size_t num_hashes = 32;  // signature length; must be bands * rows
+  size_t bands = 8;
+  uint64_t seed = 17;
+  /// Buckets larger than this are skipped (stop buckets).
+  size_t max_bucket_size = 200;
+  size_t max_candidates = 0;  // 0 = unlimited
+};
+
+/// Candidate pairs whose MinHash signatures collide in at least one band.
+std::vector<CandidatePair> MinHashBlocking(const data::Table& d1,
+                                           const data::Table& d2,
+                                           const MinHashOptions& options);
+
+/// The MinHash signature of a token set (exposed for tests: the collision
+/// probability per hash equals the Jaccard similarity).
+std::vector<uint64_t> MinHashSignature(const text::TokenSet& tokens,
+                                       size_t num_hashes, uint64_t seed);
+
+}  // namespace rlbench::block

@@ -1,0 +1,46 @@
+#include "block/qgram_blocking.h"
+
+#include <unordered_map>
+
+#include "text/qgrams.h"
+
+namespace rlbench::block {
+
+std::vector<CandidatePair> QGramBlocking(const data::Table& d1,
+                                         const data::Table& d2,
+                                         const QGramBlockingOptions& options) {
+  // Inverted index over d2's q-grams.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+  for (size_t i = 0; i < d2.size(); ++i) {
+    const auto set =
+        text::QGramSet(d2.record(i).ConcatenatedValues(), options.q);
+    for (uint64_t hash : set.hashes()) {
+      index[hash].push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  std::vector<CandidatePair> candidates;
+  std::unordered_map<uint32_t, size_t> shared;  // d2 record -> shared grams
+  for (size_t i = 0; i < d1.size(); ++i) {
+    shared.clear();
+    const auto set =
+        text::QGramSet(d1.record(i).ConcatenatedValues(), options.q);
+    for (uint64_t hash : set.hashes()) {
+      auto it = index.find(hash);
+      if (it == index.end()) continue;
+      if (it->second.size() > options.max_block_size) continue;
+      for (uint32_t j : it->second) ++shared[j];
+    }
+    for (const auto& [j, count] : shared) {
+      if (count < options.min_shared_grams) continue;
+      candidates.emplace_back(static_cast<uint32_t>(i), j);
+      if (options.max_candidates > 0 &&
+          candidates.size() >= options.max_candidates) {
+        return candidates;
+      }
+    }
+  }
+  return candidates;
+}
+
+}  // namespace rlbench::block

@@ -1,0 +1,29 @@
+// Q-gram blocking: candidates share at least one character q-gram, which
+// tolerates typos that break token blocking. The classic robust-but-loose
+// baseline from the blocking survey the paper builds on.
+#pragma once
+
+#include <vector>
+
+#include "block/metrics.h"
+#include "data/record.h"
+
+namespace rlbench::block {
+
+struct QGramBlockingOptions {
+  int q = 3;
+  /// Grams whose block would exceed this size are skipped.
+  size_t max_block_size = 400;
+  /// Minimum number of shared grams before a pair becomes a candidate
+  /// (raising it trades recall for precision).
+  size_t min_shared_grams = 1;
+  size_t max_candidates = 0;  // 0 = unlimited
+};
+
+/// Candidate pairs of records sharing >= min_shared_grams q-grams over
+/// their concatenated values.
+std::vector<CandidatePair> QGramBlocking(const data::Table& d1,
+                                         const data::Table& d2,
+                                         const QGramBlockingOptions& options);
+
+}  // namespace rlbench::block

@@ -1,0 +1,55 @@
+#include "block/sorted_neighborhood.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "text/tokenizer.h"
+
+namespace rlbench::block {
+
+std::vector<CandidatePair> SortedNeighborhoodBlocking(
+    const data::Table& d1, const data::Table& d2,
+    const SortedNeighborhoodOptions& options) {
+  struct Entry {
+    std::string key;
+    uint32_t record;
+    bool from_d1;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(d1.size() + d2.size());
+  auto make_key = [&](const data::Record& record) {
+    auto tokens = text::Tokenize(record.ConcatenatedValues());
+    std::sort(tokens.begin(), tokens.end());
+    tokens.resize(std::min(tokens.size(), options.key_tokens));
+    return Join(tokens, " ");
+  };
+  for (size_t i = 0; i < d1.size(); ++i) {
+    entries.push_back({make_key(d1.record(i)), static_cast<uint32_t>(i),
+                       true});
+  }
+  for (size_t i = 0; i < d2.size(); ++i) {
+    entries.push_back({make_key(d2.record(i)), static_cast<uint32_t>(i),
+                       false});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+
+  std::unordered_set<uint64_t> seen;
+  std::vector<CandidatePair> candidates;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    size_t limit = std::min(entries.size(), i + options.window);
+    for (size_t j = i + 1; j < limit; ++j) {
+      if (entries[i].from_d1 == entries[j].from_d1) continue;
+      uint32_t left = entries[i].from_d1 ? entries[i].record
+                                         : entries[j].record;
+      uint32_t right = entries[i].from_d1 ? entries[j].record
+                                          : entries[i].record;
+      uint64_t key = (static_cast<uint64_t>(left) << 32) | right;
+      if (seen.insert(key).second) candidates.emplace_back(left, right);
+    }
+  }
+  return candidates;
+}
+
+}  // namespace rlbench::block

@@ -1,0 +1,24 @@
+// Sorted-neighbourhood blocking: sort all records of both sources by a
+// blocking key (here: their sorted token signature) and slide a fixed-size
+// window; records of different sources inside the same window become
+// candidates. The classic bounded-cost alternative to token blocking.
+#pragma once
+
+#include <vector>
+
+#include "block/metrics.h"
+#include "data/record.h"
+
+namespace rlbench::block {
+
+struct SortedNeighborhoodOptions {
+  size_t window = 10;
+  /// Number of leading (lexicographically smallest) tokens forming the key.
+  size_t key_tokens = 3;
+};
+
+std::vector<CandidatePair> SortedNeighborhoodBlocking(
+    const data::Table& d1, const data::Table& d2,
+    const SortedNeighborhoodOptions& options);
+
+}  // namespace rlbench::block

@@ -1,0 +1,47 @@
+#include "block/token_blocking.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace rlbench::block {
+
+std::vector<CandidatePair> TokenBlocking(const data::Table& d1,
+                                         const data::Table& d2,
+                                         const TokenBlockingOptions& options) {
+  // Inverted index over d2 tokens.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+  for (size_t i = 0; i < d2.size(); ++i) {
+    const auto& set = text::TokenSet::FromText(
+        d2.record(i).ConcatenatedValues());
+    for (uint64_t hash : set.hashes()) {
+      index[hash].push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  std::unordered_set<uint64_t> seen;
+  std::vector<CandidatePair> candidates;
+  for (size_t i = 0; i < d1.size(); ++i) {
+    const auto& set = text::TokenSet::FromText(
+        d1.record(i).ConcatenatedValues());
+    for (uint64_t hash : set.hashes()) {
+      auto it = index.find(hash);
+      if (it == index.end()) continue;
+      if (it->second.size() > options.max_block_size) continue;
+      for (uint32_t j : it->second) {
+        uint64_t key = (static_cast<uint64_t>(i) << 32) | j;
+        if (!seen.insert(key).second) continue;
+        candidates.emplace_back(static_cast<uint32_t>(i), j);
+        if (options.max_candidates > 0 &&
+            candidates.size() >= options.max_candidates) {
+          return candidates;
+        }
+      }
+    }
+  }
+  return candidates;
+}
+
+}  // namespace rlbench::block

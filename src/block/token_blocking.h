@@ -1,0 +1,26 @@
+// Classic token blocking: every pair of records sharing at least one token
+// becomes a candidate. Serves as the loose-blocking baseline the paper
+// contrasts with fine-tuned nearest-neighbour blocking.
+#pragma once
+
+#include <vector>
+
+#include "block/metrics.h"
+#include "data/record.h"
+
+namespace rlbench::block {
+
+struct TokenBlockingOptions {
+  /// Tokens whose block would exceed this size are skipped (stop tokens).
+  size_t max_block_size = 200;
+  /// Hard cap on emitted candidates (0 = unlimited).
+  size_t max_candidates = 0;
+};
+
+/// Candidate pairs of records from d1 x d2 sharing at least one token in
+/// any attribute value (schema-agnostic), deduplicated.
+std::vector<CandidatePair> TokenBlocking(const data::Table& d1,
+                                         const data::Table& d2,
+                                         const TokenBlockingOptions& options);
+
+}  // namespace rlbench::block

@@ -1,0 +1,30 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+// Flags use the form --name=value or --name (boolean true).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace rlbench {
+
+/// \brief Parsed command-line flags.
+///
+/// Unknown flags are retained and queryable; positional arguments are
+/// ignored. Parsing never fails: malformed tokens are skipped.
+class Flags {
+ public:
+  Flags() = default;
+  Flags(int argc, char** argv);
+
+  bool Has(std::string_view name) const;
+  std::string GetString(std::string_view name, std::string fallback) const;
+  double GetDouble(std::string_view name, double fallback) const;
+  int64_t GetInt(std::string_view name, int64_t fallback) const;
+  bool GetBool(std::string_view name, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+}  // namespace rlbench

@@ -1,0 +1,35 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rlbench {
+
+/// Lower-case an ASCII string (bytes >= 0x80 pass through unchanged).
+std::string ToLowerAscii(std::string_view s);
+
+/// Split on any of the given delimiter characters; empty pieces are dropped.
+std::vector<std::string> SplitAny(std::string_view s, std::string_view delims);
+
+/// Join the pieces with the given separator.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view StripAscii(std::string_view s);
+
+/// True if s starts with the given prefix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// FNV-1a 64-bit hash of a byte string; stable across platforms and runs.
+uint64_t Fnv1a64(std::string_view s);
+
+/// Format a double with the given number of decimals (fixed notation).
+std::string FormatDouble(double value, int decimals);
+
+/// Format an integer with thousands separators, e.g. 12345 -> "12,345".
+std::string FormatWithCommas(int64_t value);
+
+}  // namespace rlbench

@@ -1,0 +1,55 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+
+namespace rlbench {
+
+void TablePrinter::SetHeader(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& row : rows_) grow(row);
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      os << cell << std::string(widths[i] - cell.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+
+  if (!title_.empty()) {
+    os << title_ << '\n' << std::string(total, '=') << '\n';
+  }
+  if (!header_.empty()) {
+    print_row(header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      os << std::string(total, '-') << '\n';
+    } else {
+      print_row(row);
+    }
+  }
+}
+
+}  // namespace rlbench

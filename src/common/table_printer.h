@@ -1,0 +1,35 @@
+// Text table formatting used by the bench harnesses to print the paper's
+// tables and figure data series in aligned columns.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rlbench {
+
+/// \brief Accumulates rows of string cells and renders them aligned.
+///
+/// The first row added via SetHeader is underlined in the output. Numeric
+/// alignment is not attempted; cells are padded to the widest entry of the
+/// column.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> cells);
+  void AddRow(std::vector<std::string> cells);
+  /// Insert a horizontal separator line before the next row.
+  void AddSeparator();
+
+  /// Render the table to the stream.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  // Separator rows are encoded as empty cell vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rlbench

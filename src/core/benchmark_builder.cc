@@ -1,0 +1,51 @@
+#include "core/benchmark_builder.h"
+
+#include <unordered_set>
+
+#include "data/split.h"
+
+namespace rlbench::core {
+
+NewBenchmark BuildNewBenchmark(const datagen::SourceDatasetSpec& spec,
+                               const NewBenchmarkOptions& options) {
+  // Step 1: the dataset pair with complete ground truth.
+  datagen::SourcePair source =
+      datagen::BuildSourceDataset(spec, options.scale);
+
+  // Step 2: recall-tuned blocking.
+  block::DeepBlockerSim blocker(options.embedding_dim,
+                                options.seed ^ spec.seed);
+  block::DeepBlockerSim::TuneOptions tune;
+  tune.min_recall = options.min_recall;
+  tune.k_max = options.k_max;
+  block::BlockingRun run = blocker.TuneForRecall(source, tune);
+
+  // Step 3: label candidates from the ground truth and split 3:1:1.
+  std::unordered_set<uint64_t> truth;
+  truth.reserve(source.matches.size() * 2);
+  for (const auto& [l, r] : source.matches) {
+    truth.insert((static_cast<uint64_t>(l) << 32) | r);
+  }
+  std::vector<data::LabeledPair> pairs;
+  pairs.reserve(run.candidates.size());
+  for (const auto& [l, r] : run.candidates) {
+    bool is_match = truth.count((static_cast<uint64_t>(l) << 32) | r) != 0;
+    pairs.push_back({l, r, is_match});
+  }
+
+  NewBenchmark out;
+  out.d1_size = source.d1.size();
+  out.d2_size = source.d2.size();
+  out.num_matches = source.matches.size();
+  out.blocking = run;
+  out.task = data::MatchingTask(spec.id, std::move(source.d1),
+                                std::move(source.d2));
+  auto split = data::SplitPairs(pairs, data::SplitRatio{3, 1, 1},
+                                options.seed ^ 0x5217ULL);
+  out.task.set_train(std::move(split.train));
+  out.task.set_valid(std::move(split.valid));
+  out.task.set_test(std::move(split.test));
+  return out;
+}
+
+}  // namespace rlbench::core

@@ -1,0 +1,41 @@
+// The Section VI methodology for constructing new benchmarks:
+//   1. take a dataset pair with complete ground truth,
+//   2. block it with a recall-tuned state-of-the-art blocker (the
+//      DeepBlocker simulator) so that PC >= the target while PQ is
+//      maximised,
+//   3. label the surviving candidate pairs from the ground truth and split
+//      them 3:1:1 into train / validation / test,
+//   4. (the caller then applies the Section III measures to decide whether
+//      the benchmark is challenging).
+#pragma once
+
+#include <cstdint>
+
+#include "block/deepblocker_sim.h"
+#include "data/task.h"
+#include "datagen/source_builder.h"
+#include "datagen/spec.h"
+
+namespace rlbench::core {
+
+struct NewBenchmarkOptions {
+  double scale = 1.0;
+  double min_recall = 0.9;
+  int k_max = 64;
+  size_t embedding_dim = 48;
+  uint64_t seed = 3;
+};
+
+struct NewBenchmark {
+  data::MatchingTask task;
+  block::BlockingRun blocking;
+  size_t d1_size = 0;
+  size_t d2_size = 0;
+  size_t num_matches = 0;  // |M|: ground-truth duplicates before blocking
+};
+
+/// Execute steps 1-3 of the methodology for one source dataset spec.
+NewBenchmark BuildNewBenchmark(const datagen::SourceDatasetSpec& spec,
+                               const NewBenchmarkOptions& options = {});
+
+}  // namespace rlbench::core

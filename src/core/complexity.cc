@@ -1,0 +1,626 @@
+#include "core/complexity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/linear_svm.h"
+
+namespace rlbench::core {
+
+namespace {
+
+struct Point {
+  double x0 = 0.0;
+  double x1 = 0.0;
+  bool label = false;
+};
+
+/// Gower distance on two [0,1] features: mean absolute difference.
+double Gower(const Point& a, const Point& b) {
+  return 0.5 * (std::fabs(a.x0 - b.x0) + std::fabs(a.x1 - b.x1));
+}
+
+std::vector<Point> Subsample(const std::vector<FeaturePoint>& input,
+                             size_t max_points, uint64_t seed) {
+  std::vector<Point> positives;
+  std::vector<Point> negatives;
+  for (const auto& p : input) {
+    (p.is_match ? positives : negatives).push_back({p.cs, p.js, p.is_match});
+  }
+  if (input.size() <= max_points) {
+    std::vector<Point> all = positives;
+    all.insert(all.end(), negatives.begin(), negatives.end());
+    return all;
+  }
+  // Stratified: keep the class proportions of the input.
+  double ratio = static_cast<double>(max_points) /
+                 static_cast<double>(input.size());
+  size_t keep_pos = std::max<size_t>(
+      2, static_cast<size_t>(ratio * static_cast<double>(positives.size())));
+  size_t keep_neg = max_points - std::min(max_points, keep_pos);
+  Rng rng(seed);
+  auto take = [&rng](std::vector<Point>& from, size_t k) {
+    k = std::min(k, from.size());
+    auto indices = rng.SampleIndices(from.size(), k);
+    std::vector<Point> out;
+    out.reserve(k);
+    for (size_t i : indices) out.push_back(from[i]);
+    return out;
+  };
+  std::vector<Point> sample = take(positives, keep_pos);
+  auto negs = take(negatives, keep_neg);
+  sample.insert(sample.end(), negs.begin(), negs.end());
+  return sample;
+}
+
+// --- Feature-based measures -------------------------------------------------
+
+double FisherF1(const std::vector<Point>& points) {
+  double best_ratio = 0.0;
+  for (int f = 0; f < 2; ++f) {
+    auto value = [f](const Point& p) { return f == 0 ? p.x0 : p.x1; };
+    double sum[2] = {0, 0};
+    double count[2] = {0, 0};
+    for (const auto& p : points) {
+      sum[p.label] += value(p);
+      count[p.label] += 1.0;
+    }
+    if (count[0] == 0.0 || count[1] == 0.0) return 0.0;
+    double mean[2] = {sum[0] / count[0], sum[1] / count[1]};
+    double overall = (sum[0] + sum[1]) / (count[0] + count[1]);
+    double between = count[0] * (mean[0] - overall) * (mean[0] - overall) +
+                     count[1] * (mean[1] - overall) * (mean[1] - overall);
+    double within = 0.0;
+    for (const auto& p : points) {
+      double d = value(p) - mean[p.label];
+      within += d * d;
+    }
+    if (within > 1e-12) best_ratio = std::max(best_ratio, between / within);
+  }
+  return 1.0 / (1.0 + best_ratio);
+}
+
+double FisherF1v(const std::vector<Point>& points) {
+  double count[2] = {0, 0};
+  double mean[2][2] = {{0, 0}, {0, 0}};
+  for (const auto& p : points) {
+    mean[p.label][0] += p.x0;
+    mean[p.label][1] += p.x1;
+    count[p.label] += 1.0;
+  }
+  if (count[0] == 0.0 || count[1] == 0.0) return 0.0;
+  for (int c = 0; c < 2; ++c) {
+    mean[c][0] /= count[c];
+    mean[c][1] /= count[c];
+  }
+  // Pooled within-class covariance (2x2) with a small ridge.
+  double w00 = 1e-6, w01 = 0.0, w11 = 1e-6;
+  for (const auto& p : points) {
+    double d0 = p.x0 - mean[p.label][0];
+    double d1 = p.x1 - mean[p.label][1];
+    w00 += d0 * d0;
+    w01 += d0 * d1;
+    w11 += d1 * d1;
+  }
+  double n = count[0] + count[1];
+  w00 /= n;
+  w01 /= n;
+  w11 /= n;
+  double diff0 = mean[1][0] - mean[0][0];
+  double diff1 = mean[1][1] - mean[0][1];
+  double det = w00 * w11 - w01 * w01;
+  if (std::fabs(det) < 1e-18) return 0.0;
+  // d = W^-1 (m1 - m0)
+  double d0 = (w11 * diff0 - w01 * diff1) / det;
+  double d1 = (-w01 * diff0 + w00 * diff1) / det;
+  double numer = d0 * diff0 + d1 * diff1;  // d^T B d = (d.(m1-m0))^2 / |..|
+  numer = numer * numer;
+  double denom = d0 * (w00 * d0 + w01 * d1) + d1 * (w01 * d0 + w11 * d1);
+  if (denom < 1e-18) return 0.0;
+  double df = numer / denom;
+  return 1.0 / (1.0 + df);
+}
+
+void FeatureRanges(const std::vector<Point>& points, int f, double out_min[2],
+                   double out_max[2]) {
+  out_min[0] = out_min[1] = std::numeric_limits<double>::infinity();
+  out_max[0] = out_max[1] = -std::numeric_limits<double>::infinity();
+  for (const auto& p : points) {
+    double v = f == 0 ? p.x0 : p.x1;
+    out_min[p.label] = std::min(out_min[p.label], v);
+    out_max[p.label] = std::max(out_max[p.label], v);
+  }
+}
+
+double VolumeOverlapF2(const std::vector<Point>& points) {
+  double product = 1.0;
+  for (int f = 0; f < 2; ++f) {
+    double lo[2], hi[2];
+    FeatureRanges(points, f, lo, hi);
+    double overlap = std::max(
+        0.0, std::min(hi[0], hi[1]) - std::max(lo[0], lo[1]));
+    double range = std::max(hi[0], hi[1]) - std::min(lo[0], lo[1]);
+    product *= range > 1e-12 ? overlap / range : 0.0;
+  }
+  return product;
+}
+
+double FeatureEfficiencyF3(const std::vector<Point>& points) {
+  double best = 1.0;  // fraction of points in the overlap region (min over f)
+  for (int f = 0; f < 2; ++f) {
+    double lo[2], hi[2];
+    FeatureRanges(points, f, lo, hi);
+    double overlap_lo = std::max(lo[0], lo[1]);
+    double overlap_hi = std::min(hi[0], hi[1]);
+    size_t inside = 0;
+    for (const auto& p : points) {
+      double v = f == 0 ? p.x0 : p.x1;
+      if (v >= overlap_lo && v <= overlap_hi) ++inside;
+    }
+    best = std::min(best, static_cast<double>(inside) /
+                              static_cast<double>(points.size()));
+  }
+  return best;
+}
+
+// --- Neighbourhood machinery -------------------------------------------------
+
+struct NeighborInfo {
+  double nearest_any = std::numeric_limits<double>::infinity();
+  size_t nearest_any_index = 0;
+  double nearest_same = std::numeric_limits<double>::infinity();
+  double nearest_enemy = std::numeric_limits<double>::infinity();
+};
+
+std::vector<NeighborInfo> ComputeNeighbors(const std::vector<Point>& points) {
+  std::vector<NeighborInfo> info(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = 0; j < points.size(); ++j) {
+      if (i == j) continue;
+      double d = Gower(points[i], points[j]);
+      if (d < info[i].nearest_any) {
+        info[i].nearest_any = d;
+        info[i].nearest_any_index = j;
+      }
+      if (points[i].label == points[j].label) {
+        info[i].nearest_same = std::min(info[i].nearest_same, d);
+      } else {
+        info[i].nearest_enemy = std::min(info[i].nearest_enemy, d);
+      }
+    }
+  }
+  return info;
+}
+
+/// Fraction of MST vertices incident to an inter-class edge (n1).
+double BorderlineN1(const std::vector<Point>& points) {
+  size_t n = points.size();
+  if (n < 2) return 0.0;
+  // Prim's algorithm with O(n^2) updates and on-the-fly distances.
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  std::vector<size_t> parent(n, 0);
+  std::vector<bool> in_tree(n, false);
+  std::vector<bool> borderline(n, false);
+  best[0] = 0.0;
+  for (size_t step = 0; step < n; ++step) {
+    size_t u = n;
+    double u_best = std::numeric_limits<double>::infinity();
+    for (size_t v = 0; v < n; ++v) {
+      if (!in_tree[v] && best[v] < u_best) {
+        u_best = best[v];
+        u = v;
+      }
+    }
+    if (u == n) break;
+    in_tree[u] = true;
+    if (step > 0 && points[u].label != points[parent[u]].label) {
+      borderline[u] = true;
+      borderline[parent[u]] = true;
+    }
+    for (size_t v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      double d = Gower(points[u], points[v]);
+      if (d < best[v]) {
+        best[v] = d;
+        parent[v] = u;
+      }
+    }
+  }
+  size_t count = 0;
+  for (bool b : borderline) count += b ? 1 : 0;
+  return static_cast<double>(count) / static_cast<double>(n);
+}
+
+double HypersphereT1(const std::vector<Point>& points,
+                     const std::vector<NeighborInfo>& info) {
+  size_t n = points.size();
+  // Radius of each hypersphere: distance to the nearest enemy.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return info[a].nearest_enemy > info[b].nearest_enemy;
+  });
+  std::vector<size_t> kept;
+  size_t kept_count = 0;
+  for (size_t idx : order) {
+    bool absorbed = false;
+    for (size_t big : kept) {
+      if (points[big].label != points[idx].label) continue;
+      if (Gower(points[big], points[idx]) + info[idx].nearest_enemy <=
+          info[big].nearest_enemy + 1e-12) {
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) {
+      kept.push_back(idx);
+      ++kept_count;
+    }
+  }
+  return static_cast<double>(kept_count) / static_cast<double>(n);
+}
+
+double LocalSetLsc(const std::vector<Point>& points,
+                   const std::vector<NeighborInfo>& info) {
+  size_t n = points.size();
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t cardinality = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j || points[i].label != points[j].label) continue;
+      if (Gower(points[i], points[j]) < info[i].nearest_enemy) ++cardinality;
+    }
+    total += static_cast<double>(cardinality);
+  }
+  return 1.0 - total / (static_cast<double>(n) * static_cast<double>(n));
+}
+
+// --- Network measures --------------------------------------------------------
+
+struct Network {
+  size_t n = 0;
+  size_t num_edges = 0;
+  std::vector<std::vector<uint64_t>> adjacency;  // bitset rows
+  std::vector<size_t> degree;
+
+  bool Connected(size_t i, size_t j) const {
+    return (adjacency[i][j / 64] >> (j % 64)) & 1ULL;
+  }
+};
+
+Network BuildNetwork(const std::vector<Point>& points, double epsilon) {
+  Network net;
+  net.n = points.size();
+  size_t words = (net.n + 63) / 64;
+  net.adjacency.assign(net.n, std::vector<uint64_t>(words, 0));
+  net.degree.assign(net.n, 0);
+  for (size_t i = 0; i < net.n; ++i) {
+    for (size_t j = i + 1; j < net.n; ++j) {
+      // Inter-class edges are pruned after construction (equivalently,
+      // never added).
+      if (points[i].label != points[j].label) continue;
+      if (Gower(points[i], points[j]) >= epsilon) continue;
+      net.adjacency[i][j / 64] |= 1ULL << (j % 64);
+      net.adjacency[j][i / 64] |= 1ULL << (i % 64);
+      ++net.degree[i];
+      ++net.degree[j];
+      ++net.num_edges;
+    }
+  }
+  return net;
+}
+
+double NetworkDensity(const Network& net) {
+  if (net.n < 2) return 1.0;
+  double possible = static_cast<double>(net.n) *
+                    static_cast<double>(net.n - 1) / 2.0;
+  return 1.0 - static_cast<double>(net.num_edges) / possible;
+}
+
+double ClusteringCoefficient(const Network& net) {
+  if (net.n == 0) return 1.0;
+  double total = 0.0;
+  size_t words = (net.n + 63) / 64;
+  for (size_t v = 0; v < net.n; ++v) {
+    if (net.degree[v] < 2) continue;  // coefficient 0
+    size_t links = 0;
+    for (size_t u = 0; u < net.n; ++u) {
+      if (!net.Connected(v, u)) continue;
+      // Count common neighbours of v and u (each triangle edge counted
+      // twice over u).
+      for (size_t w = 0; w < words; ++w) {
+        links += static_cast<size_t>(
+            __builtin_popcountll(net.adjacency[v][w] & net.adjacency[u][w]));
+      }
+    }
+    double possible = static_cast<double>(net.degree[v]) *
+                      static_cast<double>(net.degree[v] - 1);
+    total += static_cast<double>(links) / possible;
+  }
+  return 1.0 - total / static_cast<double>(net.n);
+}
+
+double HubScore(const Network& net) {
+  if (net.n == 0) return 1.0;
+  // Eigenvector centrality by power iteration on the undirected graph.
+  std::vector<double> score(net.n, 1.0);
+  std::vector<double> next(net.n, 0.0);
+  for (int iter = 0; iter < 30; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (size_t v = 0; v < net.n; ++v) {
+      if (score[v] == 0.0) continue;
+      for (size_t w = 0; w < net.adjacency[v].size(); ++w) {
+        uint64_t bits = net.adjacency[v][w];
+        while (bits != 0) {
+          size_t u = w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
+          next[u] += score[v];
+          bits &= bits - 1;
+        }
+      }
+    }
+    double norm = 0.0;
+    for (double x : next) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      std::fill(score.begin(), score.end(), 0.0);
+      break;
+    }
+    for (size_t v = 0; v < net.n; ++v) score[v] = next[v] / norm;
+  }
+  double max_score = *std::max_element(score.begin(), score.end());
+  if (max_score < 1e-12) return 1.0;
+  double mean = 0.0;
+  for (double x : score) mean += x / max_score;
+  mean /= static_cast<double>(net.n);
+  return 1.0 - mean;
+}
+
+}  // namespace
+
+ExcludedMeasures ComputeExcludedMeasures(
+    const std::vector<FeaturePoint>& input,
+    const ComplexityOptions& options) {
+  ExcludedMeasures out;
+  if (input.empty()) return out;
+  std::vector<Point> points =
+      Subsample(input, options.max_points, options.seed);
+  size_t n = points.size();
+  double nd = static_cast<double>(n);
+
+  // t2: average number of features per point (d / n).
+  out.t2 = 2.0 / nd;
+
+  // t3/t4: PCA dimensionality capturing 95% of the variance.
+  double mean0 = 0.0;
+  double mean1 = 0.0;
+  for (const auto& p : points) {
+    mean0 += p.x0;
+    mean1 += p.x1;
+  }
+  mean0 /= nd;
+  mean1 /= nd;
+  double c00 = 0.0, c01 = 0.0, c11 = 0.0;
+  for (const auto& p : points) {
+    double d0 = p.x0 - mean0;
+    double d1 = p.x1 - mean1;
+    c00 += d0 * d0;
+    c01 += d0 * d1;
+    c11 += d1 * d1;
+  }
+  // Eigenvalues of the 2x2 covariance.
+  double trace = c00 + c11;
+  double det = c00 * c11 - c01 * c01;
+  double disc = std::sqrt(std::max(0.0, trace * trace / 4.0 - det));
+  double lambda1 = trace / 2.0 + disc;
+  double lambda2 = std::max(0.0, trace / 2.0 - disc);
+  size_t pca_dims =
+      trace <= 1e-15 ? 0 : (lambda1 / std::max(trace, 1e-15) >= 0.95 ? 1 : 2);
+  (void)lambda2;
+  out.t3 = static_cast<double>(pca_dims) / nd;
+  out.t4 = static_cast<double>(pca_dims) / 2.0;
+
+  // f4: collective feature efficiency — remove the points each feature's
+  // non-overlap region can separate, feature by feature.
+  std::vector<Point> remaining = points;
+  for (int f = 0; f < 2 && !remaining.empty(); ++f) {
+    double lo[2], hi[2];
+    FeatureRanges(remaining, f, lo, hi);
+    double overlap_lo = std::max(lo[0], lo[1]);
+    double overlap_hi = std::min(hi[0], hi[1]);
+    std::vector<Point> kept;
+    kept.reserve(remaining.size());
+    for (const auto& p : remaining) {
+      double v = f == 0 ? p.x0 : p.x1;
+      if (v >= overlap_lo && v <= overlap_hi) kept.push_back(p);
+    }
+    remaining = std::move(kept);
+    // Stop early once one class is exhausted: nothing left to separate.
+    bool has_pos = false;
+    bool has_neg = false;
+    for (const auto& p : remaining) (p.label ? has_pos : has_neg) = true;
+    if (!has_pos || !has_neg) {
+      remaining.clear();
+    }
+  }
+  out.f4 = static_cast<double>(remaining.size()) / nd;
+
+  // l3: error rate of the linear SVM on within-class interpolated points.
+  ml::Dataset dataset(2);
+  dataset.Reserve(n);
+  for (const auto& p : points) {
+    dataset.Add({static_cast<float>(p.x0), static_cast<float>(p.x1)},
+                p.label);
+  }
+  ml::LinearSvmOptions svm_options;
+  svm_options.seed = options.seed;
+  ml::LinearSvm svm(svm_options);
+  svm.Fit(dataset, dataset);
+  Rng rng(SplitMix64(options.seed ^ 0x13ULL));
+  std::vector<size_t> pos_idx;
+  std::vector<size_t> neg_idx;
+  for (size_t i = 0; i < n; ++i) {
+    (points[i].label ? pos_idx : neg_idx).push_back(i);
+  }
+  size_t errors = 0;
+  size_t trials = 0;
+  for (size_t t = 0; t < n; ++t) {
+    const auto& bucket =
+        (t % 2 == 0 && pos_idx.size() >= 2) || neg_idx.size() < 2 ? pos_idx
+                                                                  : neg_idx;
+    if (bucket.size() < 2) continue;
+    size_t a = bucket[rng.Index(bucket.size())];
+    size_t b = bucket[rng.Index(bucket.size())];
+    double alpha = rng.Uniform();
+    std::vector<float> synth = {
+        static_cast<float>(points[a].x0 +
+                           alpha * (points[b].x0 - points[a].x0)),
+        static_cast<float>(points[a].x1 +
+                           alpha * (points[b].x1 - points[a].x1))};
+    ++trials;
+    if (svm.Predict(synth) != points[a].label) ++errors;
+  }
+  out.l3 = trials == 0 ? 0.0
+                       : static_cast<double>(errors) /
+                             static_cast<double>(trials);
+  return out;
+}
+
+double ComplexityReport::Average() const {
+  double sum = f1 + f1v + f2 + f3 + l1 + l2 + n1 + n2 + n3 + n4 + t1 + lsc +
+               den + cls + hub + c1 + c2;
+  return sum / 17.0;
+}
+
+std::vector<std::pair<std::string, double>> ComplexityReport::Items() const {
+  return {{"f1", f1},   {"f1v", f1v}, {"f2", f2},   {"f3", f3},
+          {"l1", l1},   {"l2", l2},   {"n1", n1},   {"n2", n2},
+          {"n3", n3},   {"n4", n4},   {"t1", t1},   {"lsc", lsc},
+          {"den", den}, {"cls", cls}, {"hub", hub}, {"c1", c1},
+          {"c2", c2}};
+}
+
+ComplexityReport ComputeComplexity(const std::vector<FeaturePoint>& input,
+                                   const ComplexityOptions& options) {
+  ComplexityReport report;
+  if (input.empty()) return report;
+  std::vector<Point> points =
+      Subsample(input, options.max_points, options.seed);
+  size_t n = points.size();
+  double n_pos = 0.0;
+  for (const auto& p : points) n_pos += p.label ? 1.0 : 0.0;
+  double n_neg = static_cast<double>(n) - n_pos;
+  if (n_pos == 0.0 || n_neg == 0.0) {
+    report.c1 = 1.0;
+    report.c2 = 1.0;
+    return report;
+  }
+
+  // Class balance (on the FULL input, not the sample: these are exact).
+  double total = static_cast<double>(input.size());
+  double full_pos = 0.0;
+  for (const auto& p : input) full_pos += p.is_match ? 1.0 : 0.0;
+  double p1 = full_pos / total;
+  double p0 = 1.0 - p1;
+  double entropy = 0.0;
+  if (p0 > 0.0) entropy -= p0 * std::log2(p0);
+  if (p1 > 0.0) entropy -= p1 * std::log2(p1);
+  report.c1 = 1.0 - entropy;
+  double imbalance =
+      0.5 * (p0 / std::max(p1, 1e-12) + p1 / std::max(p0, 1e-12));
+  report.c2 = 1.0 - 1.0 / imbalance;
+
+  // Feature-based.
+  report.f1 = FisherF1(points);
+  report.f1v = FisherF1v(points);
+  report.f2 = VolumeOverlapF2(points);
+  report.f3 = FeatureEfficiencyF3(points);
+
+  // Linearity: a linear SVM on the sampled points.
+  ml::Dataset dataset(2);
+  dataset.Reserve(n);
+  for (const auto& p : points) {
+    dataset.Add({static_cast<float>(p.x0), static_cast<float>(p.x1)},
+                p.label);
+  }
+  ml::LinearSvmOptions svm_options;
+  svm_options.seed = options.seed;
+  ml::LinearSvm svm(svm_options);
+  svm.Fit(dataset, dataset);
+  size_t errors = 0;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    if (svm.Predict(dataset.row(i)) != dataset.label(i)) ++errors;
+  }
+  report.l2 = static_cast<double>(errors) / static_cast<double>(n);
+  double hinge = svm.MeanHingeLoss(dataset);
+  report.l1 = hinge / (1.0 + hinge);
+
+  // Neighbourhood.
+  auto info = ComputeNeighbors(points);
+  report.n1 = BorderlineN1(points);
+  double intra = 0.0;
+  double extra = 0.0;
+  size_t nn_errors = 0;
+  for (size_t i = 0; i < n; ++i) {
+    intra += info[i].nearest_same;
+    extra += info[i].nearest_enemy;
+    if (points[info[i].nearest_any_index].label != points[i].label) {
+      ++nn_errors;
+    }
+  }
+  double ratio = extra > 1e-12 ? intra / extra : 0.0;
+  report.n2 = ratio / (1.0 + ratio);
+  report.n3 = static_cast<double>(nn_errors) / static_cast<double>(n);
+
+  // n4: 1-NN error on within-class interpolated points.
+  {
+    Rng rng(SplitMix64(options.seed ^ 0x4E4ULL));
+    std::vector<size_t> pos_idx;
+    std::vector<size_t> neg_idx;
+    for (size_t i = 0; i < n; ++i) {
+      (points[i].label ? pos_idx : neg_idx).push_back(i);
+    }
+    size_t trials = n;
+    size_t errors4 = 0;
+    for (size_t t = 0; t < trials; ++t) {
+      const auto& bucket = (t % 2 == 0 && pos_idx.size() >= 2) ||
+                                   neg_idx.size() < 2
+                               ? pos_idx
+                               : neg_idx;
+      if (bucket.size() < 2) continue;
+      size_t a = bucket[rng.Index(bucket.size())];
+      size_t b = bucket[rng.Index(bucket.size())];
+      double alpha = rng.Uniform();
+      Point synth{points[a].x0 + alpha * (points[b].x0 - points[a].x0),
+                  points[a].x1 + alpha * (points[b].x1 - points[a].x1),
+                  points[a].label};
+      double best = std::numeric_limits<double>::infinity();
+      size_t best_index = 0;
+      for (size_t i = 0; i < n; ++i) {
+        double d = Gower(points[i], synth);
+        if (d < best) {
+          best = d;
+          best_index = i;
+        }
+      }
+      if (points[best_index].label != synth.label) ++errors4;
+    }
+    report.n4 = static_cast<double>(errors4) / static_cast<double>(trials);
+  }
+
+  report.t1 = HypersphereT1(points, info);
+  report.lsc = LocalSetLsc(points, info);
+
+  // Network.
+  Network net = BuildNetwork(points, options.epsilon);
+  report.den = NetworkDensity(net);
+  report.cls = ClusteringCoefficient(net);
+  report.hub = HubScore(net);
+
+  return report;
+}
+
+}  // namespace rlbench::core

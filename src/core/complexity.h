@@ -1,0 +1,69 @@
+// The 17 classification-complexity measures of Table I, computed on the
+// paper's two-dimensional [CS, JS] pair representation: feature-based (f1,
+// f1v, f2, f3), linearity (l1, l2), neighbourhood (n1, n2, n3, n4, t1,
+// lsc), network (den, cls, hub) and class balance (c1, c2).
+//
+// All values lie in [0, 1]; higher means a more complex classification
+// task. The excluded measures (t2, t3, t4, f4, l3) follow the paper's
+// exclusion rationale for two-feature instances.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/linearity.h"
+
+namespace rlbench::core {
+
+struct ComplexityOptions {
+  /// The neighbourhood and network measures are O(n^2); larger inputs are
+  /// stratified-subsampled to this many points.
+  size_t max_points = 2000;
+  /// Gower-distance threshold of the epsilon-NN network graph.
+  double epsilon = 0.15;
+  uint64_t seed = 97;
+};
+
+struct ComplexityReport {
+  // Feature-based.
+  double f1 = 0.0, f1v = 0.0, f2 = 0.0, f3 = 0.0;
+  // Linearity.
+  double l1 = 0.0, l2 = 0.0;
+  // Neighbourhood.
+  double n1 = 0.0, n2 = 0.0, n3 = 0.0, n4 = 0.0, t1 = 0.0, lsc = 0.0;
+  // Network.
+  double den = 0.0, cls = 0.0, hub = 0.0;
+  // Class balance.
+  double c1 = 0.0, c2 = 0.0;
+
+  /// Mean of the 17 measures (the per-dataset average in Figures 2 and 5).
+  double Average() const;
+
+  /// The measures as (short name, value) in Table I order.
+  std::vector<std::pair<std::string, double>> Items() const;
+};
+
+/// Compute all measures for the labelled feature points of one benchmark.
+ComplexityReport ComputeComplexity(const std::vector<FeaturePoint>& points,
+                                   const ComplexityOptions& options = {});
+
+/// \brief The measures the paper EXCLUDES from the aggregate (Section
+/// III-B): the dimensionality measures t2/t3/t4 are constants for the
+/// two-feature representation, f4 collapses onto f3 and l3 onto l2.
+///
+/// They are implemented so the exclusion rationale is verifiable, but they
+/// never enter ComplexityReport::Average().
+struct ExcludedMeasures {
+  double t2 = 0.0;   // average number of features per point: d / n
+  double t3 = 0.0;   // PCA dimensionality per point
+  double t4 = 0.0;   // ratio of the PCA dimension to the raw dimension
+  double f4 = 0.0;   // collective feature efficiency
+  double l3 = 0.0;   // non-linearity of the linear classifier
+};
+
+ExcludedMeasures ComputeExcludedMeasures(
+    const std::vector<FeaturePoint>& points,
+    const ComplexityOptions& options = {});
+
+}  // namespace rlbench::core

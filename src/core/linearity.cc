@@ -1,0 +1,64 @@
+#include "core/linearity.h"
+
+#include "ml/metrics.h"
+#include "text/similarity.h"
+
+namespace rlbench::core {
+
+std::vector<FeaturePoint> PairFeaturePoints(
+    const matchers::MatchingContext& context) {
+  std::vector<FeaturePoint> points;
+  auto all = context.task().AllPairs();
+  points.reserve(all.size());
+  for (const auto& pair : all) {
+    const auto& a = context.left().TokenSetAll(pair.left);
+    const auto& b = context.right().TokenSetAll(pair.right);
+    points.push_back({text::CosineSimilarity(a, b),
+                      text::JaccardSimilarity(a, b), pair.is_match});
+  }
+  return points;
+}
+
+std::vector<LinearityResult> ComputeLinearityPerAttribute(
+    const matchers::MatchingContext& context) {
+  size_t num_attrs = context.task().left().schema().num_attributes();
+  auto all = context.task().AllPairs();
+  std::vector<uint8_t> labels;
+  labels.reserve(all.size());
+  for (const auto& pair : all) labels.push_back(pair.is_match ? 1 : 0);
+
+  std::vector<LinearityResult> results;
+  results.reserve(num_attrs);
+  std::vector<double> cosine(all.size());
+  std::vector<double> jaccard(all.size());
+  for (size_t a = 0; a < num_attrs; ++a) {
+    for (size_t i = 0; i < all.size(); ++i) {
+      const auto& left = context.left().TokenSetAttr(all[i].left, a);
+      const auto& right = context.right().TokenSetAttr(all[i].right, a);
+      cosine[i] = text::CosineSimilarity(left, right);
+      jaccard[i] = text::JaccardSimilarity(left, right);
+    }
+    auto cs = ml::SweepThresholds(cosine, labels);
+    auto js = ml::SweepThresholds(jaccard, labels);
+    results.push_back(
+        {cs.best_f1, cs.best_threshold, js.best_f1, js.best_threshold});
+  }
+  return results;
+}
+
+LinearityResult ComputeLinearity(const matchers::MatchingContext& context) {
+  auto points = PairFeaturePoints(context);
+  std::vector<double> cosine(points.size());
+  std::vector<double> jaccard(points.size());
+  std::vector<uint8_t> labels(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    cosine[i] = points[i].cs;
+    jaccard[i] = points[i].js;
+    labels[i] = points[i].is_match ? 1 : 0;
+  }
+  auto cs = ml::SweepThresholds(cosine, labels);
+  auto js = ml::SweepThresholds(jaccard, labels);
+  return {cs.best_f1, cs.best_threshold, js.best_f1, js.best_threshold};
+}
+
+}  // namespace rlbench::core

@@ -1,0 +1,38 @@
+// Degree of linearity (Algorithm 1): the maximum F1 a single similarity
+// threshold can achieve over ALL labelled pairs of a benchmark, for the
+// schema-agnostic Cosine and Jaccard token-set similarities.
+#pragma once
+
+#include "matchers/context.h"
+
+namespace rlbench::core {
+
+struct LinearityResult {
+  double f1_cosine = 0.0;
+  double threshold_cosine = 0.0;
+  double f1_jaccard = 0.0;
+  double threshold_jaccard = 0.0;
+};
+
+/// Run Algorithm 1 on the context's task: merge train + valid + test,
+/// score every pair with CS and JS over lower-cased token sets, and sweep
+/// thresholds 0.01..0.99 (step 0.01) for the best F1 per measure.
+LinearityResult ComputeLinearity(const matchers::MatchingContext& context);
+
+/// The [CS, JS] feature points of every labelled pair (the paper's 2-D
+/// instance representation for the complexity measures), with labels.
+struct FeaturePoint {
+  double cs = 0.0;
+  double js = 0.0;
+  bool is_match = false;
+};
+std::vector<FeaturePoint> PairFeaturePoints(
+    const matchers::MatchingContext& context);
+
+/// Schema-aware variant (the setting the paper explored in its extended
+/// version and found equivalent to schema-agnostic): Algorithm 1 applied
+/// to each attribute's token sets individually. One result per attribute.
+std::vector<LinearityResult> ComputeLinearityPerAttribute(
+    const matchers::MatchingContext& context);
+
+}  // namespace rlbench::core

@@ -1,0 +1,38 @@
+#include "core/practical.h"
+
+#include <algorithm>
+
+namespace rlbench::core {
+
+PracticalMeasures ComputePractical(const std::vector<MatcherScore>& scores) {
+  PracticalMeasures out;
+  double best_any = 0.0;
+  for (const auto& score : scores) {
+    best_any = std::max(best_any, score.f1);
+    if (score.group == matchers::MatcherGroup::kLinear) {
+      out.best_linear_f1 = std::max(out.best_linear_f1, score.f1);
+    } else {
+      out.best_nonlinear_f1 = std::max(out.best_nonlinear_f1, score.f1);
+    }
+  }
+  out.non_linear_boost = out.best_nonlinear_f1 - out.best_linear_f1;
+  out.learning_based_margin = 1.0 - best_any;
+  return out;
+}
+
+std::vector<MatcherScore> ScoreLineup(
+    const matchers::MatchingContext& context,
+    std::vector<matchers::RegisteredMatcher>* lineup) {
+  std::vector<MatcherScore> scores;
+  scores.reserve(lineup->size());
+  for (auto& entry : *lineup) {
+    MatcherScore score;
+    score.name = entry.matcher->name();
+    score.group = entry.group;
+    score.f1 = entry.matcher->TestF1(context);
+    scores.push_back(std::move(score));
+  }
+  return scores;
+}
+
+}  // namespace rlbench::core

@@ -1,0 +1,37 @@
+// The two a-posteriori (practical) difficulty measures of Section III-C:
+// non-linear boost (NLB) and learning-based margin (LBM), aggregated from
+// per-matcher F1 scores.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "matchers/registry.h"
+
+namespace rlbench::core {
+
+/// One matcher's result on one benchmark.
+struct MatcherScore {
+  std::string name;
+  matchers::MatcherGroup group;
+  double f1 = 0.0;
+};
+
+struct PracticalMeasures {
+  /// NLB = max F1 of non-linear (DL + classic ML) matchers minus max F1 of
+  /// the linear (ESDE) matchers.
+  double non_linear_boost = 0.0;
+  /// LBM = 1 - max F1 over every learning-based matcher.
+  double learning_based_margin = 0.0;
+  double best_nonlinear_f1 = 0.0;
+  double best_linear_f1 = 0.0;
+};
+
+PracticalMeasures ComputePractical(const std::vector<MatcherScore>& scores);
+
+/// Run every matcher of the line-up on the task and collect the scores.
+std::vector<MatcherScore> ScoreLineup(
+    const matchers::MatchingContext& context,
+    std::vector<matchers::RegisteredMatcher>* lineup);
+
+}  // namespace rlbench::core

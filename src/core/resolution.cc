@@ -1,0 +1,55 @@
+#include "core/resolution.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "ml/metrics.h"
+
+namespace rlbench::core {
+
+std::vector<uint8_t> ResolveOneToOne(
+    const std::vector<data::LabeledPair>& pairs,
+    const std::vector<double>& scores, const ResolutionOptions& options) {
+  std::vector<size_t> order(pairs.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::unordered_set<uint32_t> used_left;
+  std::unordered_set<uint32_t> used_right;
+  std::vector<uint8_t> decisions(pairs.size(), 0);
+  for (size_t index : order) {
+    if (scores[index] < options.score_threshold) break;  // sorted: all below
+    const auto& pair = pairs[index];
+    if (used_left.count(pair.left) != 0 ||
+        used_right.count(pair.right) != 0) {
+      continue;
+    }
+    used_left.insert(pair.left);
+    used_right.insert(pair.right);
+    decisions[index] = 1;
+  }
+  return decisions;
+}
+
+ResolutionImpact EvaluateResolution(
+    const std::vector<data::LabeledPair>& pairs,
+    const std::vector<double>& scores, const ResolutionOptions& options) {
+  std::vector<uint8_t> truth;
+  std::vector<uint8_t> thresholded;
+  truth.reserve(pairs.size());
+  thresholded.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    truth.push_back(pairs[i].is_match ? 1 : 0);
+    thresholded.push_back(scores[i] >= options.score_threshold ? 1 : 0);
+  }
+  ResolutionImpact impact;
+  impact.f1_before = ml::Evaluate(truth, thresholded).F1();
+  impact.f1_after =
+      ml::Evaluate(truth, ResolveOneToOne(pairs, scores, options)).F1();
+  return impact;
+}
+
+}  // namespace rlbench::core

@@ -1,0 +1,38 @@
+// End-of-pipeline resolution for Clean-Clean ER: each record of either
+// source matches at most one record of the other, so per-pair matcher
+// scores are turned into a one-to-one mapping. This is the global
+// constraint GNEM's interaction module approximates, exposed as a reusable
+// post-processing step for any matcher.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/task.h"
+
+namespace rlbench::core {
+
+struct ResolutionOptions {
+  /// Pairs scoring below the threshold are never matched.
+  double score_threshold = 0.5;
+};
+
+/// Greedy maximum-score one-to-one assignment: pairs are visited in
+/// descending score order and accepted when both records are still free.
+/// Returns one 0/1 decision per input pair (in input order). Greedy is a
+/// 1/2-approximation of the optimal matching and is the standard choice in
+/// ER systems.
+std::vector<uint8_t> ResolveOneToOne(
+    const std::vector<data::LabeledPair>& pairs,
+    const std::vector<double>& scores, const ResolutionOptions& options = {});
+
+/// Convenience: F1 before/after enforcing one-to-one on a scored test set.
+struct ResolutionImpact {
+  double f1_before = 0.0;
+  double f1_after = 0.0;
+};
+ResolutionImpact EvaluateResolution(
+    const std::vector<data::LabeledPair>& pairs,
+    const std::vector<double>& scores, const ResolutionOptions& options = {});
+
+}  // namespace rlbench::core

@@ -1,0 +1,53 @@
+#include "data/benchmark_io.h"
+
+#include <filesystem>
+
+#include "data/csv.h"
+
+namespace rlbench::data {
+
+Status ExportBenchmark(const MatchingTask& task,
+                       const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) return Status::IOError("cannot create " + directory);
+  RLBENCH_RETURN_NOT_OK(WriteTableCsv(task.left(), directory + "/d1.csv"));
+  RLBENCH_RETURN_NOT_OK(WriteTableCsv(task.right(), directory + "/d2.csv"));
+  RLBENCH_RETURN_NOT_OK(WritePairsCsv(task.train(), directory + "/train.csv"));
+  RLBENCH_RETURN_NOT_OK(WritePairsCsv(task.valid(), directory + "/valid.csv"));
+  RLBENCH_RETURN_NOT_OK(WritePairsCsv(task.test(), directory + "/test.csv"));
+  return Status::OK();
+}
+
+Result<MatchingTask> ImportBenchmark(const std::string& directory,
+                                     const std::string& name) {
+  auto d1 = ReadTableCsv(directory + "/d1.csv", "d1");
+  if (!d1.ok()) return d1.status();
+  auto d2 = ReadTableCsv(directory + "/d2.csv", "d2");
+  if (!d2.ok()) return d2.status();
+  auto train = ReadPairsCsv(directory + "/train.csv");
+  if (!train.ok()) return train.status();
+  auto valid = ReadPairsCsv(directory + "/valid.csv");
+  if (!valid.ok()) return valid.status();
+  auto test = ReadPairsCsv(directory + "/test.csv");
+  if (!test.ok()) return test.status();
+
+  size_t left_size = d1->size();
+  size_t right_size = d2->size();
+  for (const auto* split : {&*train, &*valid, &*test}) {
+    for (const auto& pair : *split) {
+      if (pair.left >= left_size || pair.right >= right_size) {
+        return Status::InvalidArgument(
+            "pair index out of range in " + directory);
+      }
+    }
+  }
+
+  MatchingTask task(name, std::move(*d1), std::move(*d2));
+  task.set_train(std::move(*train));
+  task.set_valid(std::move(*valid));
+  task.set_test(std::move(*test));
+  return task;
+}
+
+}  // namespace rlbench::data

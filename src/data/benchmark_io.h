@@ -1,0 +1,21 @@
+// Whole-benchmark serialisation: a MatchingTask as a directory of CSV
+// files (d1.csv, d2.csv, train.csv, valid.csv, test.csv), the layout the
+// examples and external consumers use.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "data/task.h"
+
+namespace rlbench::data {
+
+/// Write the task's tables and splits into `directory` (created if absent).
+Status ExportBenchmark(const MatchingTask& task, const std::string& directory);
+
+/// Load a benchmark previously written by ExportBenchmark (or hand-built
+/// in the same layout). Pair indices are validated against table sizes.
+Result<MatchingTask> ImportBenchmark(const std::string& directory,
+                                     const std::string& name = "imported");
+
+}  // namespace rlbench::data

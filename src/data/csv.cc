@@ -1,0 +1,187 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace rlbench::data {
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field_started && field.empty()) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          field.push_back(c);
+        }
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // swallow; LF terminates the row
+      case '\n':
+        end_row();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+namespace {
+
+std::string QuoteField(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << content;
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+}  // namespace
+
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out.append(QuoteField(row[i]));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<Table> ReadTableCsv(const std::string& path, const std::string& name) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  auto rows = ParseCsv(*text);
+  if (!rows.ok()) return rows.status();
+  if (rows->empty()) return Status::InvalidArgument("empty CSV: " + path);
+
+  const auto& header = (*rows)[0];
+  if (header.size() < 2) {
+    return Status::InvalidArgument("table CSV needs id + 1 attribute: " + path);
+  }
+  Schema schema(std::vector<std::string>(header.begin() + 1, header.end()));
+  Table table(name, schema);
+  table.Reserve(rows->size() - 1);
+  for (size_t r = 1; r < rows->size(); ++r) {
+    const auto& row = (*rows)[r];
+    Record record;
+    record.id = row.empty() ? "" : row[0];
+    record.values.assign(schema.num_attributes(), "");
+    for (size_t i = 1; i < row.size() && i - 1 < schema.num_attributes(); ++i) {
+      record.values[i - 1] = row[i];
+    }
+    table.Add(std::move(record));
+  }
+  return table;
+}
+
+Status WriteTableCsv(const Table& table, const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(table.size() + 1);
+  std::vector<std::string> header = {"id"};
+  for (const auto& attr : table.schema().attributes()) header.push_back(attr);
+  rows.push_back(std::move(header));
+  for (const auto& record : table.records()) {
+    std::vector<std::string> row = {record.id};
+    row.insert(row.end(), record.values.begin(), record.values.end());
+    rows.push_back(std::move(row));
+  }
+  return WriteFile(path, WriteCsv(rows));
+}
+
+Result<std::vector<LabeledPair>> ReadPairsCsv(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  auto rows = ParseCsv(*text);
+  if (!rows.ok()) return rows.status();
+  std::vector<LabeledPair> pairs;
+  for (size_t r = 1; r < rows->size(); ++r) {
+    const auto& row = (*rows)[r];
+    if (row.size() < 3) {
+      return Status::InvalidArgument("pair CSV row needs 3 fields: " + path);
+    }
+    LabeledPair pair;
+    pair.left = static_cast<uint32_t>(std::stoul(row[0]));
+    pair.right = static_cast<uint32_t>(std::stoul(row[1]));
+    pair.is_match = row[2] == "1" || row[2] == "true";
+    pairs.push_back(pair);
+  }
+  return pairs;
+}
+
+Status WritePairsCsv(const std::vector<LabeledPair>& pairs,
+                     const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(pairs.size() + 1);
+  rows.push_back({"left", "right", "label"});
+  for (const auto& pair : pairs) {
+    rows.push_back({std::to_string(pair.left), std::to_string(pair.right),
+                    pair.is_match ? "1" : "0"});
+  }
+  return WriteFile(path, WriteCsv(rows));
+}
+
+}  // namespace rlbench::data

@@ -1,0 +1,35 @@
+// CSV serialisation for tables and labelled pair sets, RFC-4180 style
+// quoting. Lets users export generated benchmarks and import their own.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/record.h"
+#include "data/task.h"
+
+namespace rlbench::data {
+
+/// Parse one CSV document into rows of fields. Handles quoted fields with
+/// embedded commas, quotes ("" escape) and newlines. CRLF is accepted.
+Result<std::vector<std::vector<std::string>>> ParseCsv(const std::string& text);
+
+/// Serialise rows of fields to CSV text, quoting where needed.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
+
+/// Read a table from a CSV file: first row is the header, first column is
+/// the record id, remaining columns are the schema attributes.
+Result<Table> ReadTableCsv(const std::string& path, const std::string& name);
+
+/// Write a table in the same layout.
+Status WriteTableCsv(const Table& table, const std::string& path);
+
+/// Read labelled pairs from a CSV file with header "left,right,label".
+Result<std::vector<LabeledPair>> ReadPairsCsv(const std::string& path);
+
+/// Write labelled pairs in the same layout.
+Status WritePairsCsv(const std::vector<LabeledPair>& pairs,
+                     const std::string& path);
+
+}  // namespace rlbench::data

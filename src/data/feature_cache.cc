@@ -1,0 +1,75 @@
+#include "data/feature_cache.h"
+
+namespace rlbench::data {
+
+RecordFeatureCache::RecordFeatureCache(const Table* table) : table_(table) {
+  entries_.resize(table_->size());
+  size_t num_attrs = table_->schema().num_attributes();
+  for (auto& e : entries_) {
+    e.token_set_attr.resize(num_attrs);
+    e.tokens_attr.resize(num_attrs);
+    e.qgrams_all.resize(kNumQ);
+    e.qgrams_attr.resize(num_attrs * kNumQ);
+  }
+}
+
+const std::vector<std::string>& RecordFeatureCache::Tokens(
+    size_t record) const {
+  Entry& e = entry(record);
+  if (!e.tokens) {
+    e.tokens = text::TokenizeAll(table_->record(record).values);
+  }
+  return *e.tokens;
+}
+
+const text::TokenSet& RecordFeatureCache::TokenSetAll(size_t record) const {
+  Entry& e = entry(record);
+  if (!e.token_set_all) {
+    e.token_set_all = text::TokenSet(Tokens(record));
+  }
+  return *e.token_set_all;
+}
+
+const text::TokenSet& RecordFeatureCache::TokenSetAttr(size_t record,
+                                                       size_t attr) const {
+  Entry& e = entry(record);
+  if (!e.token_set_attr[attr]) {
+    e.token_set_attr[attr] = text::TokenSet(TokensAttr(record, attr));
+  }
+  return *e.token_set_attr[attr];
+}
+
+const std::vector<std::string>& RecordFeatureCache::TokensAttr(
+    size_t record, size_t attr) const {
+  Entry& e = entry(record);
+  if (!e.tokens_attr[attr]) {
+    e.tokens_attr[attr] = text::Tokenize(table_->record(record).values[attr]);
+  }
+  return *e.tokens_attr[attr];
+}
+
+const text::TokenSet& RecordFeatureCache::QGramSetAll(size_t record,
+                                                      int q) const {
+  Entry& e = entry(record);
+  auto& slot = e.qgrams_all[q - kMinQ];
+  if (!slot) {
+    std::string text = table_->record(record).ConcatenatedValues();
+    if (text.size() > kQGramCharCap) text.resize(kQGramCharCap);
+    slot = text::QGramSet(text, q);
+  }
+  return *slot;
+}
+
+const text::TokenSet& RecordFeatureCache::QGramSetAttr(size_t record,
+                                                       size_t attr,
+                                                       int q) const {
+  Entry& e = entry(record);
+  auto& slot = e.qgrams_attr[attr * kNumQ + (q - kMinQ)];
+  if (!slot) {
+    std::string_view text = table_->record(record).values[attr];
+    slot = text::QGramSet(text.substr(0, kQGramCharCap), q);
+  }
+  return *slot;
+}
+
+}  // namespace rlbench::data

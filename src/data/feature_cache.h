@@ -1,0 +1,74 @@
+// Per-record derived-feature caches. Records participate in many candidate
+// pairs, so token sets, q-gram sets and token sequences are computed once
+// per record and shared across every pair that touches the record. This is
+// the main performance lever for Algorithm 1, the ESDE matchers and the
+// Magellan feature extractor.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "data/record.h"
+#include "text/qgrams.h"
+#include "text/tokenizer.h"
+
+namespace rlbench::data {
+
+/// \brief Lazily memoised per-record text features over one table.
+///
+/// Not thread-safe; the whole pipeline is single-threaded and deterministic.
+class RecordFeatureCache {
+ public:
+  static constexpr int kMinQ = 2;
+  static constexpr int kMaxQ = 10;
+
+  /// Characters of text considered when building q-gram sets; bounds the
+  /// per-record memory on long-text datasets (q-gram sets grow linearly in
+  /// text length and are cached for nine values of q).
+  static constexpr size_t kQGramCharCap = 160;
+
+  explicit RecordFeatureCache(const Table* table);
+
+  const Table& table() const { return *table_; }
+
+  /// Lower-cased tokens of all attribute values, in order (schema-agnostic).
+  const std::vector<std::string>& Tokens(size_t record) const;
+
+  /// Deduplicated token set over all attribute values (schema-agnostic).
+  const text::TokenSet& TokenSetAll(size_t record) const;
+
+  /// Token set of one attribute value.
+  const text::TokenSet& TokenSetAttr(size_t record, size_t attr) const;
+
+  /// Tokens of one attribute value.
+  const std::vector<std::string>& TokensAttr(size_t record, size_t attr) const;
+
+  /// q-gram set over the concatenation of all attribute values,
+  /// q in [kMinQ, kMaxQ].
+  const text::TokenSet& QGramSetAll(size_t record, int q) const;
+
+  /// q-gram set of one attribute value.
+  const text::TokenSet& QGramSetAttr(size_t record, size_t attr, int q) const;
+
+ private:
+  struct Entry {
+    std::optional<std::vector<std::string>> tokens;
+    std::optional<text::TokenSet> token_set_all;
+    std::vector<std::optional<text::TokenSet>> token_set_attr;
+    std::vector<std::optional<std::vector<std::string>>> tokens_attr;
+    // Indexed [q - kMinQ].
+    std::vector<std::optional<text::TokenSet>> qgrams_all;
+    // Indexed [attr * kNumQ + (q - kMinQ)].
+    std::vector<std::optional<text::TokenSet>> qgrams_attr;
+  };
+
+  static constexpr int kNumQ = kMaxQ - kMinQ + 1;
+
+  Entry& entry(size_t record) const { return entries_[record]; }
+
+  const Table* table_;
+  mutable std::vector<Entry> entries_;
+};
+
+}  // namespace rlbench::data

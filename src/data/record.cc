@@ -1,0 +1,22 @@
+#include "data/record.h"
+
+namespace rlbench::data {
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Record::ConcatenatedValues() const {
+  std::string out;
+  for (const auto& value : values) {
+    if (value.empty()) continue;
+    if (!out.empty()) out.push_back(' ');
+    out.append(value);
+  }
+  return out;
+}
+
+}  // namespace rlbench::data

@@ -1,0 +1,65 @@
+// Relational record model. A record linkage task compares records from two
+// duplicate-free sources that share a schema (the paper's Clean-Clean ER
+// setting); records are identified positionally within their table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rlbench::data {
+
+/// \brief Ordered attribute names shared by the records of a table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const std::string& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+
+  /// Index of the attribute with the given name, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  bool operator==(const Schema& other) const = default;
+
+ private:
+  std::vector<std::string> attributes_;
+};
+
+/// \brief One entity description: an id plus one value per schema attribute.
+struct Record {
+  std::string id;
+  std::vector<std::string> values;
+
+  /// Concatenation of all attribute values separated by single spaces.
+  std::string ConcatenatedValues() const;
+};
+
+/// \brief A named collection of records under one schema.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  const Record& record(size_t i) const { return records_[i]; }
+  Record& record(size_t i) { return records_[i]; }
+  const std::vector<Record>& records() const { return records_; }
+
+  void Add(Record record) { records_.push_back(std::move(record)); }
+  void Reserve(size_t n) { records_.reserve(n); }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Record> records_;
+};
+
+}  // namespace rlbench::data

@@ -1,0 +1,48 @@
+#include "data/split.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace rlbench::data {
+
+SplitResult SplitPairs(const std::vector<LabeledPair>& pairs,
+                       const SplitRatio& ratio, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LabeledPair> positives;
+  std::vector<LabeledPair> negatives;
+  for (const auto& pair : pairs) {
+    (pair.is_match ? positives : negatives).push_back(pair);
+  }
+  rng.Shuffle(&positives);
+  rng.Shuffle(&negatives);
+
+  double total_ratio = ratio.train + ratio.valid + ratio.test;
+  SplitResult result;
+  auto distribute = [&](const std::vector<LabeledPair>& from) {
+    size_t n = from.size();
+    size_t n_train = static_cast<size_t>(n * ratio.train / total_ratio);
+    size_t n_valid = static_cast<size_t>(n * ratio.valid / total_ratio);
+    for (size_t i = 0; i < n; ++i) {
+      if (i < n_train) {
+        result.train.push_back(from[i]);
+      } else if (i < n_train + n_valid) {
+        result.valid.push_back(from[i]);
+      } else {
+        result.test.push_back(from[i]);
+      }
+    }
+  };
+  distribute(positives);
+  distribute(negatives);
+
+  // Interleave classes inside each split so that mini-batch learners do not
+  // see long single-class runs.
+  Rng mix(SplitMix64(seed ^ 0xA5A5A5A5ULL));
+  mix.Shuffle(&result.train);
+  mix.Shuffle(&result.valid);
+  mix.Shuffle(&result.test);
+  return result;
+}
+
+}  // namespace rlbench::data

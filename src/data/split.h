@@ -1,0 +1,33 @@
+// Deterministic random splitting of candidate pairs into train / validation
+// / test sets (Section VI step 3: "randomly split the candidate pairs...
+// with a typical ratio", the benchmarks use 3:1:1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/task.h"
+
+namespace rlbench::data {
+
+/// Relative sizes of the three splits.
+struct SplitRatio {
+  double train = 3.0;
+  double valid = 1.0;
+  double test = 1.0;
+};
+
+struct SplitResult {
+  std::vector<LabeledPair> train;
+  std::vector<LabeledPair> valid;
+  std::vector<LabeledPair> test;
+};
+
+/// Shuffle the pairs with the given seed and cut them into three parts
+/// according to the ratio. Stratified per class so that the imbalance ratio
+/// is (up to rounding) identical in all three sets, as in Table V ("the
+/// imbalance ratio in the rightmost column is the same in all sets").
+SplitResult SplitPairs(const std::vector<LabeledPair>& pairs,
+                       const SplitRatio& ratio, uint64_t seed);
+
+}  // namespace rlbench::data

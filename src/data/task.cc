@@ -1,0 +1,27 @@
+#include "data/task.h"
+
+namespace rlbench::data {
+
+PairSetStats ComputeStats(const std::vector<LabeledPair>& pairs) {
+  PairSetStats stats;
+  stats.total = pairs.size();
+  for (const auto& pair : pairs) {
+    if (pair.is_match) {
+      ++stats.positives;
+    } else {
+      ++stats.negatives;
+    }
+  }
+  return stats;
+}
+
+std::vector<LabeledPair> MatchingTask::AllPairs() const {
+  std::vector<LabeledPair> all;
+  all.reserve(train_.size() + valid_.size() + test_.size());
+  all.insert(all.end(), train_.begin(), train_.end());
+  all.insert(all.end(), valid_.begin(), valid_.end());
+  all.insert(all.end(), test_.begin(), test_.end());
+  return all;
+}
+
+}  // namespace rlbench::data

@@ -1,0 +1,79 @@
+// The labelled matching task: candidate pairs over two tables partitioned
+// into training, validation and testing sets (Problem 1 in the paper).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+
+namespace rlbench::data {
+
+/// \brief One candidate pair with its ground-truth label.
+///
+/// Indices refer to positions in the task's left and right tables.
+struct LabeledPair {
+  uint32_t left = 0;
+  uint32_t right = 0;
+  bool is_match = false;
+};
+
+/// Counts of positive and negative pairs in a pair set.
+struct PairSetStats {
+  size_t total = 0;
+  size_t positives = 0;
+  size_t negatives = 0;
+
+  /// Imbalance ratio: positives / total, as in Table III's IR column.
+  double ImbalanceRatio() const {
+    return total == 0 ? 0.0 : static_cast<double>(positives) /
+                                  static_cast<double>(total);
+  }
+};
+
+PairSetStats ComputeStats(const std::vector<LabeledPair>& pairs);
+
+/// \brief A complete supervised matching benchmark.
+///
+/// Owns the two record tables and the three mutually exclusive labelled
+/// pair sets (train : valid : test, typically 3:1:1).
+class MatchingTask {
+ public:
+  MatchingTask() = default;
+  MatchingTask(std::string name, Table left, Table right)
+      : name_(std::move(name)),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  const std::string& name() const { return name_; }
+  const Table& left() const { return left_; }
+  const Table& right() const { return right_; }
+
+  const std::vector<LabeledPair>& train() const { return train_; }
+  const std::vector<LabeledPair>& valid() const { return valid_; }
+  const std::vector<LabeledPair>& test() const { return test_; }
+
+  void set_train(std::vector<LabeledPair> pairs) { train_ = std::move(pairs); }
+  void set_valid(std::vector<LabeledPair> pairs) { valid_ = std::move(pairs); }
+  void set_test(std::vector<LabeledPair> pairs) { test_ = std::move(pairs); }
+
+  /// All labelled pairs (train + valid + test), the set D of Algorithm 1.
+  std::vector<LabeledPair> AllPairs() const;
+
+  PairSetStats TrainStats() const { return ComputeStats(train_); }
+  PairSetStats ValidStats() const { return ComputeStats(valid_); }
+  PairSetStats TestStats() const { return ComputeStats(test_); }
+  PairSetStats TotalStats() const { return ComputeStats(AllPairs()); }
+
+ private:
+  std::string name_;
+  Table left_;
+  Table right_;
+  std::vector<LabeledPair> train_;
+  std::vector<LabeledPair> valid_;
+  std::vector<LabeledPair> test_;
+};
+
+}  // namespace rlbench::data

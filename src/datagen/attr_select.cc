@@ -1,0 +1,35 @@
+#include "datagen/attr_select.h"
+
+#include <algorithm>
+
+namespace rlbench::datagen {
+
+std::vector<int> ResolveAttrIndices(const data::Schema& schema,
+                                    const std::vector<int>& explicit_indices,
+                                    int num_attrs) {
+  if (!explicit_indices.empty()) return explicit_indices;
+  size_t count = num_attrs > 0
+                     ? std::min<size_t>(num_attrs, schema.num_attributes())
+                     : schema.num_attributes();
+  std::vector<int> indices(count);
+  for (size_t i = 0; i < count; ++i) indices[i] = static_cast<int>(i);
+  return indices;
+}
+
+data::Schema SelectSchema(const data::Schema& schema,
+                          const std::vector<int>& indices) {
+  std::vector<std::string> attrs;
+  attrs.reserve(indices.size());
+  for (int i : indices) attrs.push_back(schema.attribute(i));
+  return data::Schema(std::move(attrs));
+}
+
+void SelectRecordColumns(data::Record* record,
+                         const std::vector<int>& indices) {
+  std::vector<std::string> values;
+  values.reserve(indices.size());
+  for (int i : indices) values.push_back(std::move(record->values[i]));
+  record->values = std::move(values);
+}
+
+}  // namespace rlbench::datagen

@@ -1,0 +1,27 @@
+// Attribute-subset selection shared by the benchmark builders: a spec may
+// either take the first `num_attrs` attributes of its domain schema or
+// name an explicit index subset (e.g. Amazon-Google uses title,
+// manufacturer and price but not the model number column).
+#pragma once
+
+#include <vector>
+
+#include "data/record.h"
+
+namespace rlbench::datagen {
+
+/// Resolve a spec's attribute choice into concrete schema indices:
+/// explicit indices win; otherwise the first `num_attrs` (0 = all).
+std::vector<int> ResolveAttrIndices(const data::Schema& schema,
+                                    const std::vector<int>& explicit_indices,
+                                    int num_attrs);
+
+/// Schema restricted to the given indices.
+data::Schema SelectSchema(const data::Schema& schema,
+                          const std::vector<int>& indices);
+
+/// Rewrite the record's values to the given indices, in order.
+void SelectRecordColumns(data::Record* record,
+                         const std::vector<int>& indices);
+
+}  // namespace rlbench::datagen

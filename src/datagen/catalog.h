@@ -1,0 +1,30 @@
+// The benchmark catalog: specs for the 13 established DeepMatcher-era
+// benchmarks analysed in Section V (Table III) and the 8 raw dataset pairs
+// used to construct the new benchmarks in Section VI (Table V).
+//
+// Pair counts and imbalance ratios mirror the originals; the difficulty
+// knobs (match_noise, hard_negative_fraction) are calibrated so that the
+// measured degree of linearity, complexity and matcher gaps reproduce the
+// paper's reported shape (which datasets are easy vs challenging).
+#pragma once
+
+#include <vector>
+
+#include "datagen/spec.h"
+
+namespace rlbench::datagen {
+
+/// Specs of Ds1..Ds7, Dd1..Dd4, Dt1, Dt2, in Table III order.
+const std::vector<ExistingBenchmarkSpec>& ExistingBenchmarks();
+
+/// Look up an existing benchmark spec by id ("Ds1".."Dt2"); nullptr if
+/// unknown.
+const ExistingBenchmarkSpec* FindExistingBenchmark(const std::string& id);
+
+/// Specs of Dn1..Dn8, in Table V order.
+const std::vector<SourceDatasetSpec>& SourceDatasets();
+
+/// Look up a source dataset spec by id ("Dn1".."Dn8"); nullptr if unknown.
+const SourceDatasetSpec* FindSourceDataset(const std::string& id);
+
+}  // namespace rlbench::datagen

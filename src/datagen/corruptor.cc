@@ -1,0 +1,136 @@
+#include "datagen/corruptor.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace rlbench::datagen {
+
+NoiseProfile NoiseProfile::Scaled(double factor) const {
+  auto clamp01 = [](double x) { return std::clamp(x, 0.0, 1.0); };
+  NoiseProfile out;
+  out.typo_rate = clamp01(typo_rate * factor);
+  out.token_drop_rate = clamp01(token_drop_rate * factor);
+  out.abbrev_rate = clamp01(abbrev_rate * factor);
+  out.reorder_rate = clamp01(reorder_rate * factor);
+  out.value_drop_rate = clamp01(value_drop_rate * factor);
+  out.number_noise = clamp01(number_noise * factor);
+  out.misplace_rate = clamp01(misplace_rate * factor);
+  return out;
+}
+
+std::string Corruptor::TypoWord(const std::string& word) {
+  if (word.size() < 2) return word;
+  std::string out = word;
+  size_t pos = rng_.Index(out.size());
+  switch (rng_.UniformInt(0, 3)) {
+    case 0:  // swap adjacent
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+    case 1:  // delete
+      out.erase(pos, 1);
+      break;
+    case 2:  // insert a nearby letter
+      out.insert(out.begin() + pos,
+                 static_cast<char>('a' + rng_.UniformInt(0, 25)));
+      break;
+    default:  // replace
+      out[pos] = static_cast<char>('a' + rng_.UniformInt(0, 25));
+  }
+  return out;
+}
+
+std::string Corruptor::Abbreviate(const std::string& word) {
+  if (word.size() <= 2) return word;
+  size_t keep = static_cast<size_t>(rng_.UniformInt(1, 3));
+  std::string out = word.substr(0, keep);
+  if (rng_.Bernoulli(0.5)) out.push_back('.');
+  return out;
+}
+
+std::string Corruptor::CorruptValue(const std::string& value) {
+  auto tokens = SplitAny(value, " ");
+  std::vector<std::string> kept;
+  kept.reserve(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    auto& token = tokens[i];
+    // A drop may never empty the whole value: keep the last token when
+    // nothing has survived yet.
+    bool last_chance = kept.empty() && i + 1 == tokens.size();
+    if (!last_chance && tokens.size() > 1 &&
+        rng_.Bernoulli(profile_.token_drop_rate)) {
+      continue;
+    }
+    if (rng_.Bernoulli(profile_.abbrev_rate)) {
+      kept.push_back(Abbreviate(token));
+    } else if (rng_.Bernoulli(profile_.typo_rate)) {
+      kept.push_back(TypoWord(token));
+    } else {
+      kept.push_back(std::move(token));
+    }
+  }
+  if (kept.size() > 1 && rng_.Bernoulli(profile_.reorder_rate)) {
+    size_t i = rng_.Index(kept.size() - 1);
+    std::swap(kept[i], kept[i + 1]);
+  }
+  return Join(kept, " ");
+}
+
+std::string Corruptor::CorruptNumber(const std::string& value) {
+  if (profile_.number_noise <= 0.0 || value.empty()) return value;
+  char* end = nullptr;
+  double x = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size()) return value;
+  double factor = 1.0 + rng_.Uniform(-profile_.number_noise,
+                                     profile_.number_noise);
+  double y = x * factor;
+  // Preserve integer formatting for integer inputs.
+  if (value.find('.') == std::string::npos) {
+    return std::to_string(static_cast<long long>(y + 0.5));
+  }
+  return FormatDouble(y, 2);
+}
+
+void Corruptor::CorruptRecord(data::Record* record,
+                              const std::vector<bool>& numeric_attr) {
+  for (size_t a = 0; a < record->values.size(); ++a) {
+    std::string& value = record->values[a];
+    if (value.empty()) continue;
+    if (rng_.Bernoulli(profile_.value_drop_rate)) {
+      value.clear();
+      continue;
+    }
+    bool numeric = a < numeric_attr.size() && numeric_attr[a];
+    value = numeric ? CorruptNumber(value) : CorruptValue(value);
+  }
+  // Misplacement: the record keeps the information but in the wrong field,
+  // which breaks schema-aware features while leaving schema-agnostic ones
+  // intact (the realistic flaw of the noisy product benchmarks).
+  if (profile_.misplace_rate > 0.0 && record->values.size() > 1) {
+    for (size_t a = 1; a < record->values.size(); ++a) {
+      if (record->values[a].empty()) continue;
+      if (!rng_.Bernoulli(profile_.misplace_rate)) continue;
+      size_t target = rng_.Index(record->values.size());
+      if (target == a) target = 0;
+      std::string& destination = record->values[target];
+      if (!destination.empty()) destination.push_back(' ');
+      destination.append(record->values[a]);
+      record->values[a].clear();
+    }
+  }
+}
+
+void Corruptor::DirtyInject(data::Record* record, size_t title_attr) {
+  for (size_t a = 0; a < record->values.size(); ++a) {
+    if (a == title_attr || record->values[a].empty()) continue;
+    if (rng_.Bernoulli(0.5)) {
+      std::string& title = record->values[title_attr];
+      if (!title.empty()) title.push_back(' ');
+      title.append(record->values[a]);
+      record->values[a].clear();
+    }
+  }
+}
+
+}  // namespace rlbench::datagen

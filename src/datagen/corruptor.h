@@ -1,0 +1,65 @@
+// Record corruption model. Duplicates in the synthetic benchmarks are
+// produced by corrupting a canonical record: typos, token drops,
+// abbreviations, token reordering, missing values and numeric perturbation.
+// The aggregate noise level is the primary knob controlling how hard the
+// positive class is, which in turn drives the measured degree of linearity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "data/record.h"
+
+namespace rlbench::datagen {
+
+/// Per-operator corruption probabilities, all in [0, 1].
+struct NoiseProfile {
+  double typo_rate = 0.0;        // per token: random character edit
+  double token_drop_rate = 0.0;  // per token: delete the token
+  double abbrev_rate = 0.0;      // per token: truncate to a prefix
+  double reorder_rate = 0.0;     // per value: shuffle adjacent tokens
+  double value_drop_rate = 0.0;  // per attribute: blank the value
+  double number_noise = 0.0;     // relative perturbation of numeric values
+  double misplace_rate = 0.0;    // per attribute: move the value elsewhere
+
+  /// Scale every rate by `factor` (clamped to [0,1] per rate).
+  NoiseProfile Scaled(double factor) const;
+};
+
+/// \brief Applies a NoiseProfile to strings and records.
+class Corruptor {
+ public:
+  Corruptor(NoiseProfile profile, uint64_t seed)
+      : profile_(profile), rng_(seed) {}
+
+  /// One random character edit: swap, delete, insert or replace.
+  std::string TypoWord(const std::string& word);
+
+  /// Truncate to a 1..4 character prefix (abbreviation with optional dot).
+  std::string Abbreviate(const std::string& word);
+
+  /// Apply token-level noise (typo / drop / abbreviate / reorder) to a
+  /// whitespace-delimited value.
+  std::string CorruptValue(const std::string& value);
+
+  /// Perturb a numeric string by up to ±number_noise relative error.
+  std::string CorruptNumber(const std::string& value);
+
+  /// Corrupt every attribute of the record in place; `numeric_attr` flags
+  /// attributes treated as numbers (perturbed instead of edited).
+  void CorruptRecord(data::Record* record,
+                     const std::vector<bool>& numeric_attr);
+
+  /// The paper's dirty-dataset recipe: move each non-title value into the
+  /// title attribute with 50% probability, blanking its own field.
+  void DirtyInject(data::Record* record, size_t title_attr);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  NoiseProfile profile_;
+  Rng rng_;
+};
+
+}  // namespace rlbench::datagen

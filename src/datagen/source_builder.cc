@@ -1,0 +1,115 @@
+#include "datagen/source_builder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "datagen/attr_select.h"
+
+namespace rlbench::datagen {
+
+SourcePair BuildSourceDataset(const SourceDatasetSpec& spec, double scale) {
+  DomainGenerator generator(spec.domain, spec.seed);
+  Rng rng(SplitMix64(spec.seed ^ 0x50FAULL));
+
+  size_t matches = std::max<size_t>(
+      10, static_cast<size_t>(static_cast<double>(spec.matches) * scale));
+  size_t d1_size = std::max(
+      matches,
+      static_cast<size_t>(static_cast<double>(spec.d1_size) * scale));
+  size_t d2_size = std::max(
+      matches,
+      static_cast<size_t>(static_cast<double>(spec.d2_size) * scale));
+
+  std::vector<int> attrs = ResolveAttrIndices(
+      generator.schema(), spec.attr_indices, spec.num_attrs);
+  data::Schema schema = SelectSchema(generator.schema(), attrs);
+
+  double left_noise = 0.35 * spec.match_noise;
+
+  struct Slot {
+    data::Record record;
+  };
+  std::vector<data::Record> d1_records;
+  std::vector<data::Record> d2_records;
+  d1_records.reserve(d1_size);
+  d2_records.reserve(d2_size);
+
+  // Matched entities appear in both sources. A sibling_density share of
+  // them are siblings of earlier matched entities: real catalogs contain
+  // whole product lines / bibliographies of related entries, and those
+  // confusable co-matched entities are what makes blocking (and the
+  // resulting benchmark) hard even when every record has a counterpart.
+  std::vector<data::Record> canonicals;
+  canonicals.reserve(matches);
+  for (size_t e = 0; e < matches; ++e) {
+    data::Record canonical =
+        (!canonicals.empty() && rng.Bernoulli(spec.sibling_density))
+            ? generator.MakeSibling(canonicals[rng.Index(canonicals.size())])
+            : generator.MakeFamily(1)[0];
+    data::Record l = generator.MakeDuplicate(canonical, left_noise);
+    data::Record r = generator.MakeDuplicate(canonical, spec.match_noise);
+    SelectRecordColumns(&l, attrs);
+    SelectRecordColumns(&r, attrs);
+    d1_records.push_back(std::move(l));
+    d2_records.push_back(std::move(r));
+    canonicals.push_back(std::move(canonical));
+  }
+
+  // Fill each source to size: a sibling_density share of the filler records
+  // are siblings of matched entities; the rest are fresh entities.
+  auto fill = [&](std::vector<data::Record>* records, size_t target) {
+    while (records->size() < target) {
+      data::Record record;
+      if (!canonicals.empty() && rng.Bernoulli(spec.sibling_density)) {
+        record = generator.MakeSibling(canonicals[rng.Index(canonicals.size())]);
+      } else {
+        record = generator.MakeFamily(1)[0];
+      }
+      SelectRecordColumns(&record, attrs);
+      records->push_back(std::move(record));
+    }
+  };
+  fill(&d1_records, d1_size);
+  fill(&d2_records, d2_size);
+
+  // Shuffle so matched records are not all at the front, and rebuild the
+  // ground-truth index mapping.
+  std::vector<size_t> perm1(d1_records.size());
+  std::vector<size_t> perm2(d2_records.size());
+  std::iota(perm1.begin(), perm1.end(), size_t{0});
+  std::iota(perm2.begin(), perm2.end(), size_t{0});
+  rng.Shuffle(&perm1);
+  rng.Shuffle(&perm2);
+  std::vector<uint32_t> position1(d1_records.size());
+  std::vector<uint32_t> position2(d2_records.size());
+  for (size_t i = 0; i < perm1.size(); ++i) {
+    position1[perm1[i]] = static_cast<uint32_t>(i);
+  }
+  for (size_t i = 0; i < perm2.size(); ++i) {
+    position2[perm2[i]] = static_cast<uint32_t>(i);
+  }
+
+  SourcePair out;
+  out.d1 = data::Table(spec.d1_name, schema);
+  out.d2 = data::Table(spec.d2_name, schema);
+  out.d1.Reserve(d1_records.size());
+  out.d2.Reserve(d2_records.size());
+  for (size_t i = 0; i < perm1.size(); ++i) {
+    data::Record record = std::move(d1_records[perm1[i]]);
+    record.id = spec.d1_name + std::to_string(i);
+    out.d1.Add(std::move(record));
+  }
+  for (size_t i = 0; i < perm2.size(); ++i) {
+    data::Record record = std::move(d2_records[perm2[i]]);
+    record.id = spec.d2_name + std::to_string(i);
+    out.d2.Add(std::move(record));
+  }
+  out.matches.reserve(matches);
+  for (size_t e = 0; e < matches; ++e) {
+    out.matches.emplace_back(position1[e], position2[e]);
+  }
+  return out;
+}
+
+}  // namespace rlbench::datagen

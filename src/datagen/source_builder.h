@@ -1,0 +1,27 @@
+// Builds the raw two-source datasets with complete ground truth used by the
+// Section VI methodology (Table V): full record tables, no candidate pairs
+// yet — those come from blocking.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/record.h"
+#include "datagen/spec.h"
+
+namespace rlbench::datagen {
+
+/// \brief A dataset pair with its complete ground truth.
+struct SourcePair {
+  data::Table d1;
+  data::Table d2;
+  /// (index into d1, index into d2) of every true duplicate pair.
+  std::vector<std::pair<uint32_t, uint32_t>> matches;
+};
+
+/// Generate the dataset pair described by `spec`, scaled by `scale`.
+SourcePair BuildSourceDataset(const SourceDatasetSpec& spec,
+                              double scale = 1.0);
+
+}  // namespace rlbench::datagen

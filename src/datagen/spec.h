@@ -1,0 +1,62 @@
+// Benchmark specifications: the knobs that define one synthetic benchmark.
+//
+// Existing benchmarks (Table III) are specified by their labelled-pair
+// counts plus a difficulty profile; source datasets (Table V) are specified
+// by their record counts and ground-truth size, and get their candidate
+// pairs later from blocking (Section VI).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/domain.h"
+
+namespace rlbench::datagen {
+
+/// \brief Spec of one established benchmark (Table III row).
+struct ExistingBenchmarkSpec {
+  std::string id;      // e.g. "Ds1"
+  std::string origin;  // e.g. "DBLP-ACM"
+  Domain domain = Domain::kBibliographic;
+  /// Number of schema attributes used (prefix of the domain schema).
+  int num_attrs = 0;
+  /// Explicit attribute indices (overrides num_attrs when non-empty); lets
+  /// a benchmark keep, say, title+brand+price but drop the model number.
+  std::vector<int> attr_indices;
+  /// Total labelled pairs across train+valid+test and the positives within.
+  size_t total_pairs = 0;
+  size_t positives = 0;
+  /// Difficulty profile ------------------------------------------------
+  /// Corruption level of the duplicate record (right side); the left side
+  /// receives 0.35x of it. Drives how hard the positive class is.
+  double match_noise = 0.2;
+  /// Fraction of negative pairs drawn from sibling entities (hard
+  /// negatives); the rest are random cross-entity pairs.
+  double hard_negative_fraction = 0.3;
+  /// Apply the paper's dirty transformation (values moved into title).
+  bool dirty = false;
+  uint64_t seed = 1;
+};
+
+/// \brief Spec of one raw dataset pair used to build new benchmarks
+/// (Table V row), before blocking.
+struct SourceDatasetSpec {
+  std::string id;       // e.g. "Dn1"
+  std::string d1_name;  // e.g. "Abt"
+  std::string d2_name;  // e.g. "Buy"
+  Domain domain = Domain::kProduct;
+  int num_attrs = 0;
+  /// Explicit attribute indices (overrides num_attrs when non-empty).
+  std::vector<int> attr_indices;
+  size_t d1_size = 0;
+  size_t d2_size = 0;
+  size_t matches = 0;
+  double match_noise = 0.3;
+  /// Fraction of the non-matched records generated as siblings of matched
+  /// entities (the confusable near-neighbours blocking will surface).
+  double sibling_density = 0.3;
+  uint64_t seed = 1;
+};
+
+}  // namespace rlbench::datagen

@@ -1,0 +1,117 @@
+#include "datagen/task_builder.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "data/split.h"
+#include "datagen/attr_select.h"
+
+namespace rlbench::datagen {
+
+data::MatchingTask BuildExistingBenchmark(const ExistingBenchmarkSpec& spec,
+                                          double scale) {
+  DomainGenerator generator(spec.domain, spec.seed);
+  Rng rng(SplitMix64(spec.seed ^ 0xBEEFCAFEULL));
+
+  size_t total = std::max<size_t>(
+      25, static_cast<size_t>(static_cast<double>(spec.total_pairs) * scale));
+  size_t positives = std::max<size_t>(
+      5, static_cast<size_t>(static_cast<double>(spec.positives) * scale));
+  positives = std::min(positives, total - 1);
+  size_t negatives = total - positives;
+  size_t hard = static_cast<size_t>(spec.hard_negative_fraction *
+                                    static_cast<double>(negatives));
+  size_t easy = negatives - hard;
+
+  std::vector<int> attrs = ResolveAttrIndices(
+      generator.schema(), spec.attr_indices, spec.num_attrs);
+  data::Schema schema = SelectSchema(generator.schema(), attrs);
+  data::Table left(spec.origin + "-1", schema);
+  data::Table right(spec.origin + "-2", schema);
+
+  double left_noise = 0.35 * spec.match_noise;
+
+  // One canonical entity per positive pair; the left record is a lightly
+  // corrupted rendering, the right record a fully corrupted duplicate.
+  std::vector<data::Record> canonicals;
+  canonicals.reserve(positives);
+  std::vector<uint32_t> left_of_entity(positives);
+  std::vector<uint32_t> right_of_entity(positives);
+  std::vector<data::LabeledPair> pairs;
+  pairs.reserve(total);
+
+  for (size_t e = 0; e < positives; ++e) {
+    data::Record canonical = generator.MakeFamily(1)[0];
+    data::Record l = generator.MakeDuplicate(canonical, left_noise);
+    data::Record r = generator.MakeDuplicate(canonical, spec.match_noise);
+    SelectRecordColumns(&l, attrs);
+    SelectRecordColumns(&r, attrs);
+    l.id = spec.id + "-l" + std::to_string(e);
+    r.id = spec.id + "-r" + std::to_string(e);
+    left_of_entity[e] = static_cast<uint32_t>(left.size());
+    right_of_entity[e] = static_cast<uint32_t>(right.size());
+    left.Add(std::move(l));
+    right.Add(std::move(r));
+    canonicals.push_back(std::move(canonical));
+    pairs.push_back({left_of_entity[e], right_of_entity[e], true});
+  }
+
+  // Hard negatives: sibling records of matched entities, inserted as
+  // unmatched records and paired against the entity's other-side record.
+  for (size_t h = 0; h < hard; ++h) {
+    size_t e = h % positives;
+    data::Record sibling = generator.MakeSibling(canonicals[e]);
+    SelectRecordColumns(&sibling, attrs);
+    if (h % 2 == 0) {
+      // Sibling lives in the right table; pair with the entity's left record.
+      sibling.id = spec.id + "-hr" + std::to_string(h);
+      uint32_t idx = static_cast<uint32_t>(right.size());
+      right.Add(std::move(sibling));
+      pairs.push_back({left_of_entity[e], idx, false});
+    } else {
+      sibling.id = spec.id + "-hl" + std::to_string(h);
+      uint32_t idx = static_cast<uint32_t>(left.size());
+      left.Add(std::move(sibling));
+      pairs.push_back({idx, right_of_entity[e], false});
+    }
+  }
+
+  // Easy negatives: random cross-entity pairs, deduplicated.
+  std::unordered_set<uint64_t> used;
+  used.reserve(easy * 2);
+  size_t added = 0;
+  size_t guard = 0;
+  while (added < easy && guard < easy * 50 + 1000) {
+    ++guard;
+    size_t i = rng.Index(positives);
+    size_t j = rng.Index(positives);
+    if (i == j) continue;
+    uint64_t key = (static_cast<uint64_t>(left_of_entity[i]) << 32) |
+                   right_of_entity[j];
+    if (!used.insert(key).second) continue;
+    pairs.push_back({left_of_entity[i], right_of_entity[j], false});
+    ++added;
+  }
+
+  // Dirty transformation, applied to every record of both tables.
+  if (spec.dirty) {
+    Corruptor dirty(NoiseProfile{}, SplitMix64(spec.seed ^ 0xD127ULL));
+    for (size_t i = 0; i < left.size(); ++i) {
+      dirty.DirtyInject(&left.record(i), generator.title_attr());
+    }
+    for (size_t i = 0; i < right.size(); ++i) {
+      dirty.DirtyInject(&right.record(i), generator.title_attr());
+    }
+  }
+
+  data::MatchingTask task(spec.id, std::move(left), std::move(right));
+  auto split =
+      data::SplitPairs(pairs, data::SplitRatio{3, 1, 1}, spec.seed ^ 0x5EEDULL);
+  task.set_train(std::move(split.train));
+  task.set_valid(std::move(split.valid));
+  task.set_test(std::move(split.test));
+  return task;
+}
+
+}  // namespace rlbench::datagen

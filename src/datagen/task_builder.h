@@ -1,0 +1,21 @@
+// Builds a complete MatchingTask from an ExistingBenchmarkSpec: matched
+// entities with corrupted duplicates, sibling-based hard negatives, random
+// easy negatives, optional dirty injection, and a stratified 3:1:1 split.
+//
+// This reconstructs the *undocumented blocking output* of the established
+// benchmarks: the paper's central criticism is that these candidate sets
+// mix an arbitrary number of easy negatives with the hard ones, and the
+// hard_negative_fraction knob makes that mixture explicit and controllable.
+#pragma once
+
+#include "data/task.h"
+#include "datagen/spec.h"
+
+namespace rlbench::datagen {
+
+/// Generate the benchmark described by `spec`, scaled by `scale` in (0, 1]
+/// (pair counts are multiplied by it; floors keep tiny datasets usable).
+data::MatchingTask BuildExistingBenchmark(const ExistingBenchmarkSpec& spec,
+                                          double scale = 1.0);
+
+}  // namespace rlbench::datagen

@@ -1,0 +1,256 @@
+#include "datagen/vocab.h"
+
+#include <array>
+
+namespace rlbench::datagen {
+
+namespace {
+
+using sv = std::string_view;
+
+constexpr std::array<sv, 40> kBrandsArr = {
+    "acme",     "zenix",    "nordwave", "apexon",  "lumina",   "vertex",
+    "solara",   "quantix",  "helio",    "pinnacle", "orbitek",  "stellar",
+    "cascade",  "fusionix", "polaris",  "meridian", "aurora",   "titanex",
+    "novacore", "ecliptic", "summit",   "radiant",  "kinetik",  "maxtron",
+    "veloce",   "argon",    "cryon",    "duplex",   "electra",  "fornax",
+    "gravix",   "hydron",   "ionix",    "jetstream", "krypton", "lyra",
+    "magnus",   "nimbus",   "octave",   "protonix"};
+
+constexpr std::array<sv, 40> kProductNounsArr = {
+    "laptop",     "monitor",    "keyboard",  "mouse",      "headphones",
+    "speaker",    "camera",     "printer",   "router",     "tablet",
+    "smartphone", "charger",    "projector", "microphone", "webcam",
+    "scanner",    "drive",      "adapter",   "dock",       "headset",
+    "turntable",  "amplifier",  "receiver",  "subwoofer",  "soundbar",
+    "television", "drone",      "tripod",    "lens",       "flash",
+    "console",    "controller", "earbuds",   "smartwatch", "thermostat",
+    "doorbell",   "vacuum",     "blender",   "toaster",    "dishwasher"};
+
+constexpr std::array<sv, 36> kProductQualifiersArr = {
+    "pro",      "ultra",     "compact",  "wireless", "portable", "premium",
+    "deluxe",   "slim",      "advanced", "digital",  "smart",    "classic",
+    "elite",    "essential", "extreme",  "gaming",   "hd",       "max",
+    "mini",     "plus",      "rugged",   "silent",   "turbo",    "universal",
+    "vintage",  "waterproof", "ergonomic", "foldable", "hybrid",  "modular",
+    "precision", "quickcharge", "retina", "stereo",   "touch",    "zoom"};
+
+constexpr std::array<sv, 20> kColorsArr = {
+    "black",  "white", "silver", "gray",   "blue",   "red",    "green",
+    "gold",   "rose",  "navy",   "teal",   "purple", "orange", "yellow",
+    "bronze", "copper", "ivory", "charcoal", "crimson", "slate"};
+
+constexpr std::array<sv, 64> kFirstNamesArr = {
+    "james",   "mary",    "robert",  "patricia", "john",    "jennifer",
+    "michael", "linda",   "david",   "elizabeth", "william", "barbara",
+    "richard", "susan",   "joseph",  "jessica",  "thomas",  "sarah",
+    "charles", "karen",   "chris",   "lisa",     "daniel",  "nancy",
+    "matthew", "betty",   "anthony", "sandra",   "mark",    "margaret",
+    "donald",  "ashley",  "steven",  "kimberly", "andrew",  "emily",
+    "paul",    "donna",   "joshua",  "michelle", "kenneth", "carol",
+    "kevin",   "amanda",  "brian",   "melissa",  "george",  "deborah",
+    "timothy", "stephanie", "ronald", "rebecca", "edward",  "sharon",
+    "jason",   "laura",   "jeffrey", "cynthia",  "ryan",    "kathleen",
+    "jacob",   "amy",     "gary",    "angela"};
+
+constexpr std::array<sv, 80> kLastNamesArr = {
+    "smith",    "johnson",  "williams", "brown",    "jones",    "garcia",
+    "miller",   "davis",    "rodriguez", "martinez", "hernandez", "lopez",
+    "gonzalez", "wilson",   "anderson", "thomas",   "taylor",   "moore",
+    "jackson",  "martin",   "lee",      "perez",    "thompson", "white",
+    "harris",   "sanchez",  "clark",    "ramirez",  "lewis",    "robinson",
+    "walker",   "young",    "allen",    "king",     "wright",   "scott",
+    "torres",   "nguyen",   "hill",     "flores",   "green",    "adams",
+    "nelson",   "baker",    "hall",     "rivera",   "campbell", "mitchell",
+    "carter",   "roberts",  "gomez",    "phillips", "evans",    "turner",
+    "diaz",     "parker",   "cruz",     "edwards",  "collins",  "reyes",
+    "stewart",  "morris",   "morales",  "murphy",   "cook",     "rogers",
+    "gutierrez", "ortiz",   "morgan",   "cooper",   "peterson", "bailey",
+    "reed",     "kelly",    "howard",   "ramos",    "kim",      "cox",
+    "ward",     "richardson"};
+
+constexpr std::array<sv, 48> kCitiesArr = {
+    "springfield", "riverton",  "lakewood",  "fairview",  "georgetown",
+    "clinton",     "salem",     "madison",   "franklin",  "arlington",
+    "ashland",     "burlington", "clayton",  "dayton",    "dover",
+    "easton",      "florence",  "greenville", "hamilton", "jackson",
+    "kingston",    "lebanon",   "manchester", "milton",   "newport",
+    "oakland",     "oxford",    "princeton", "quincy",    "richmond",
+    "shelby",      "trenton",   "union",     "vernon",    "warren",
+    "winchester",  "york",      "bristol",   "camden",    "dalton",
+    "elgin",       "fremont",   "glendale",  "hudson",    "irving",
+    "jasper",      "keller",    "laredo"};
+
+constexpr std::array<sv, 32> kStreetsArr = {
+    "main",     "oak",     "pine",    "maple",   "cedar",    "elm",
+    "washington", "lake",  "hill",    "park",    "walnut",   "spring",
+    "north",    "ridge",   "church",  "willow",  "mill",     "sunset",
+    "railroad", "jefferson", "center", "highland", "forest",  "jackson",
+    "river",    "meadow",  "broad",   "chestnut", "franklin", "grove",
+    "prospect", "vine"};
+
+constexpr std::array<sv, 56> kResearchTopicsArr = {
+    "efficient",  "scalable",   "distributed", "parallel",  "adaptive",
+    "incremental", "approximate", "robust",    "optimal",   "dynamic",
+    "query",      "processing", "optimization", "indexing", "clustering",
+    "classification", "learning", "mining",    "streaming", "caching",
+    "database",   "systems",    "networks",    "graphs",    "transactions",
+    "storage",    "memory",     "retrieval",   "integration", "resolution",
+    "matching",   "blocking",   "linkage",     "entity",    "schema",
+    "semantic",   "probabilistic", "relational", "temporal", "spatial",
+    "algorithms", "models",     "frameworks",  "architectures", "evaluation",
+    "analysis",   "estimation", "detection",   "recognition", "prediction",
+    "compression", "encryption", "verification", "benchmarking", "sampling",
+    "partitioning"};
+
+constexpr std::array<sv, 24> kVenuesArr = {
+    "sigmod",  "vldb",   "icde",   "kdd",    "www",    "cikm",
+    "edbt",    "icdm",   "sdm",    "pods",   "wsdm",   "recsys",
+    "ijcai",   "aaai",   "acl",    "emnlp",  "nips",   "icml",
+    "tods",    "tkde",   "pvldb",  "dmkd",   "jmlr",   "tois"};
+
+constexpr std::array<sv, 20> kMusicGenresArr = {
+    "rock",  "pop",   "jazz",    "blues",     "country", "folk",
+    "metal", "indie", "hip hop", "electronic", "classical", "reggae",
+    "soul",  "funk",  "punk",    "ambient",   "house",   "techno",
+    "latin", "gospel"};
+
+constexpr std::array<sv, 48> kSongWordsArr = {
+    "love",    "night",  "heart",   "dream",   "fire",    "rain",
+    "summer",  "dance",  "light",   "shadow",  "river",   "home",
+    "road",    "sky",    "star",    "moon",    "sun",     "storm",
+    "wild",    "free",   "golden",  "broken",  "silent",  "lonely",
+    "forever", "tonight", "yesterday", "tomorrow", "midnight", "morning",
+    "ocean",   "mountain", "desert", "city",    "train",   "highway",
+    "angel",   "devil",  "ghost",   "soul",    "crazy",   "sweet",
+    "blue",    "black",  "red",     "white",   "young",   "old"};
+
+constexpr std::array<sv, 48> kMovieWordsArr = {
+    "dark",    "last",     "first",   "lost",     "hidden",  "secret",
+    "final",   "eternal",  "broken",  "silent",   "deadly",  "perfect",
+    "american", "royal",   "golden",  "crimson",  "midnight", "savage",
+    "knight",  "king",     "queen",   "empire",   "legacy",  "destiny",
+    "shadow",  "storm",    "fire",    "ice",      "blood",   "steel",
+    "city",    "island",   "forest",  "ocean",    "mountain", "desert",
+    "return",  "rise",     "fall",    "escape",   "revenge", "redemption",
+    "chronicles", "legend", "tales",  "journey",  "quest",   "awakening"};
+
+constexpr std::array<sv, 20> kFilmGenresArr = {
+    "action",    "drama",    "comedy",  "thriller", "horror",
+    "romance",   "sci-fi",   "fantasy", "mystery",  "crime",
+    "adventure", "animation", "documentary", "western", "musical",
+    "war",       "biography", "family",  "sport",    "noir"};
+
+constexpr std::array<sv, 24> kBeerStylesArr = {
+    "ipa",        "pale ale",  "stout",     "porter",    "lager",
+    "pilsner",    "wheat",     "saison",    "amber ale", "brown ale",
+    "double ipa", "hefeweizen", "kolsch",   "bock",      "dunkel",
+    "tripel",     "dubbel",    "gose",      "barleywine", "cream ale",
+    "red ale",    "black ipa", "session ipa", "imperial stout"};
+
+constexpr std::array<sv, 36> kBeerWordsArr = {
+    "hoppy",    "golden",  "midnight", "raging",   "lazy",     "dancing",
+    "crooked",  "rusty",   "wandering", "howling", "sleepy",   "thirsty",
+    "grumpy",   "mighty",  "velvet",   "smoky",    "foggy",    "sunny",
+    "frosty",   "barrel",  "harvest",  "summit",   "canyon",   "prairie",
+    "timber",   "copper",  "granite",  "cobble",   "anchor",   "compass",
+    "lantern",  "hammer",  "saddle",   "whistle",  "raven",    "badger"};
+
+constexpr std::array<sv, 28> kBreweryWordsArr = {
+    "brewing",  "brewery",  "brewhouse", "ales",     "craft",
+    "creek",    "valley",   "mountain",  "river",    "harbor",
+    "bridge",   "mill",     "forge",     "works",    "collective",
+    "company",  "brothers", "union",     "district", "point",
+    "springs",  "hollow",   "ridge",     "grove",    "junction",
+    "crossing", "landing",  "station"};
+
+constexpr std::array<sv, 24> kCuisinesArr = {
+    "italian", "french",  "chinese",  "japanese", "mexican",  "thai",
+    "indian",  "greek",   "spanish",  "korean",   "vietnamese", "american",
+    "cajun",   "seafood", "steakhouse", "barbecue", "mediterranean", "fusion",
+    "vegetarian", "sushi", "pizzeria", "bistro",   "diner",    "cafe"};
+
+constexpr std::array<sv, 36> kRestaurantWordsArr = {
+    "golden",  "blue",    "silver",  "royal",   "little",  "grand",
+    "olive",   "garden",  "corner",  "harbor",  "sunset",  "spice",
+    "pearl",   "lotus",   "bamboo",  "dragon",  "palace",  "villa",
+    "terrace", "grill",   "kitchen", "table",   "house",   "tavern",
+    "cellar",  "garden",  "fountain", "plaza",  "market",  "lantern",
+    "fig",     "sage",    "basil",   "saffron", "juniper", "clover"};
+
+constexpr std::array<sv, 40> kIndustryWordsArr = {
+    "software",     "analytics",  "logistics",  "consulting", "insurance",
+    "manufacturing", "biotech",   "pharmaceutical", "telecommunications",
+    "automotive",   "aerospace",  "agriculture", "construction", "energy",
+    "financial",    "healthcare", "hospitality", "media",      "mining",
+    "publishing",   "retail",     "robotics",    "security",   "semiconductor",
+    "shipping",     "textile",    "tourism",     "transport",  "utilities",
+    "wholesale",    "ecommerce",  "gaming",      "education",  "recycling",
+    "renewable",    "chemicals",  "furniture",   "packaging",  "brewing",
+    "catering"};
+
+constexpr std::array<sv, 48> kBusinessWordsArr = {
+    "solutions",   "services",  "technologies", "systems",   "group",
+    "holdings",    "partners",  "ventures",     "industries", "enterprises",
+    "global",      "international", "worldwide", "leading",  "innovative",
+    "trusted",     "established", "headquartered", "founded", "provider",
+    "platform",    "customers",  "clients",     "markets",   "products",
+    "operations",  "offices",    "employees",   "teams",     "delivering",
+    "quality",     "sustainable", "certified",  "award",     "winning",
+    "mission",     "vision",     "growth",      "strategy",  "excellence",
+    "network",     "portfolio",  "supply",      "chain",     "research",
+    "development", "engineering", "digital"};
+
+}  // namespace
+
+std::span<const std::string_view> Words(Pool pool) {
+  switch (pool) {
+    case Pool::kBrands:
+      return kBrandsArr;
+    case Pool::kProductNouns:
+      return kProductNounsArr;
+    case Pool::kProductQualifiers:
+      return kProductQualifiersArr;
+    case Pool::kColors:
+      return kColorsArr;
+    case Pool::kFirstNames:
+      return kFirstNamesArr;
+    case Pool::kLastNames:
+      return kLastNamesArr;
+    case Pool::kCities:
+      return kCitiesArr;
+    case Pool::kStreets:
+      return kStreetsArr;
+    case Pool::kResearchTopics:
+      return kResearchTopicsArr;
+    case Pool::kVenues:
+      return kVenuesArr;
+    case Pool::kMusicGenres:
+      return kMusicGenresArr;
+    case Pool::kSongWords:
+      return kSongWordsArr;
+    case Pool::kMovieWords:
+      return kMovieWordsArr;
+    case Pool::kFilmGenres:
+      return kFilmGenresArr;
+    case Pool::kBeerStyles:
+      return kBeerStylesArr;
+    case Pool::kBeerWords:
+      return kBeerWordsArr;
+    case Pool::kBreweryWords:
+      return kBreweryWordsArr;
+    case Pool::kCuisines:
+      return kCuisinesArr;
+    case Pool::kRestaurantWords:
+      return kRestaurantWordsArr;
+    case Pool::kIndustryWords:
+      return kIndustryWordsArr;
+    case Pool::kBusinessWords:
+      return kBusinessWordsArr;
+  }
+  return {};
+}
+
+size_t PoolSize(Pool pool) { return Words(pool).size(); }
+
+}  // namespace rlbench::datagen

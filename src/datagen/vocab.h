@@ -1,0 +1,41 @@
+// Word pools backing the synthetic dataset generators. Each pool is a
+// fixed, ordered array so that generation is deterministic under a seed.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace rlbench::datagen {
+
+/// Named vocabulary pools.
+enum class Pool {
+  kBrands,           // consumer electronics brands
+  kProductNouns,     // camera, laptop, headphones, ...
+  kProductQualifiers,// pro, ultra, compact, wireless, ...
+  kColors,
+  kFirstNames,
+  kLastNames,
+  kCities,
+  kStreets,
+  kResearchTopics,   // words appearing in paper titles
+  kVenues,           // conference/journal name stems
+  kMusicGenres,
+  kSongWords,        // words appearing in song titles
+  kMovieWords,       // words appearing in movie titles
+  kFilmGenres,
+  kBeerStyles,
+  kBeerWords,
+  kBreweryWords,
+  kCuisines,
+  kRestaurantWords,
+  kIndustryWords,    // company descriptions
+  kBusinessWords,    // generic corporate boilerplate
+};
+
+/// The words of a pool, in fixed order.
+std::span<const std::string_view> Words(Pool pool);
+
+/// Convenience: pool size.
+size_t PoolSize(Pool pool);
+
+}  // namespace rlbench::datagen

@@ -1,0 +1,58 @@
+#include "embed/hashed_embedding.h"
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "text/tokenizer.h"
+
+namespace rlbench::embed {
+
+void HashedEmbedding::AccumulateHashed(std::string_view key, Vec* out) const {
+  // Derive a stream of pseudo-random coordinates from the key hash with
+  // SplitMix64; each coordinate is mapped to roughly N(0, 1) by summing two
+  // uniforms (cheap and smooth enough for similarity geometry).
+  uint64_t state = Fnv1a64(key) ^ seed_;
+  for (size_t i = 0; i < dim_; ++i) {
+    state = SplitMix64(state);
+    double u1 = static_cast<double>(state >> 11) * (1.0 / 9007199254740992.0);
+    state = SplitMix64(state);
+    double u2 = static_cast<double>(state >> 11) * (1.0 / 9007199254740992.0);
+    (*out)[i] += static_cast<float>((u1 + u2 - 1.0) * 1.7320508);
+  }
+}
+
+Vec HashedEmbedding::EmbedToken(std::string_view token) const {
+  Vec vec(dim_, 0.0F);
+  if (token.empty()) return vec;
+  // Whole-token component plus boundary-padded character n-grams, as in
+  // fastText's subword model.
+  AccumulateHashed(token, &vec);
+  std::string padded = "<";
+  padded.append(token);
+  padded.push_back('>');
+  for (size_t n = 3; n <= 5; ++n) {
+    if (padded.size() < n) break;
+    for (size_t i = 0; i + n <= padded.size(); ++i) {
+      AccumulateHashed(std::string_view(padded).substr(i, n), &vec);
+    }
+  }
+  L2NormalizeInPlace(&vec);
+  return vec;
+}
+
+Vec HashedEmbedding::EmbedTokens(const std::vector<std::string>& tokens) const {
+  Vec vec(dim_, 0.0F);
+  if (tokens.empty()) return vec;
+  for (const auto& token : tokens) {
+    Vec tv = EmbedToken(token);
+    AddInPlace(&vec, tv);
+  }
+  ScaleInPlace(&vec, 1.0F / static_cast<float>(tokens.size()));
+  L2NormalizeInPlace(&vec);
+  return vec;
+}
+
+Vec HashedEmbedding::EmbedText(std::string_view text) const {
+  return EmbedTokens(text::Tokenize(text));
+}
+
+}  // namespace rlbench::embed

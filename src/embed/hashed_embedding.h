@@ -1,0 +1,47 @@
+// Static subword embeddings: the offline stand-in for fastText.
+//
+// Each token vector is the normalised sum of deterministic pseudo-random
+// vectors of its character n-grams (n in [3,5]) plus the whole token — the
+// same composition rule fastText uses, so the vectors are static (context
+// independent) and robust to typos, which is exactly what the paper's
+// taxonomy relies on for "static" methods.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "embed/vector_ops.h"
+
+namespace rlbench::embed {
+
+/// \brief Deterministic hashed subword embedding model.
+///
+/// Stateless apart from (dimension, seed): the vector of a token is a pure
+/// function of its bytes, so no training corpus or storage is needed and
+/// two processes with the same seed produce identical embeddings.
+class HashedEmbedding {
+ public:
+  HashedEmbedding(size_t dim, uint64_t seed) : dim_(dim), seed_(seed) {}
+
+  size_t dim() const { return dim_; }
+
+  /// Embedding of one token (unit L2 norm; zero vector for empty token).
+  Vec EmbedToken(std::string_view token) const;
+
+  /// Mean-pooled embedding of a token sequence, L2-normalised.
+  Vec EmbedTokens(const std::vector<std::string>& tokens) const;
+
+  /// Tokenise the text and embed the resulting sequence.
+  Vec EmbedText(std::string_view text) const;
+
+ private:
+  /// Add the deterministic pseudo-random vector of `key` into `out`.
+  void AccumulateHashed(std::string_view key, Vec* out) const;
+
+  size_t dim_;
+  uint64_t seed_;
+};
+
+}  // namespace rlbench::embed

@@ -1,0 +1,29 @@
+// Whole-record sentence embeddings: the offline stand-in for the
+// Sentence-BERT (S-GTR-T5) vectors used by SAS/SBS-ESDE. A record vector is
+// the hashed-subword bag over the concatenated attribute values; only its
+// cosine / Euclidean / Wasserstein similarities are ever consumed.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "embed/hashed_embedding.h"
+#include "embed/vector_ops.h"
+
+namespace rlbench::embed {
+
+/// \brief Fixed (non-trainable) sentence-level encoder.
+class SentenceEncoder {
+ public:
+  SentenceEncoder(size_t dim, uint64_t seed) : model_(dim, seed) {}
+
+  size_t dim() const { return model_.dim(); }
+
+  /// Embed arbitrary text into a unit-norm vector.
+  Vec Encode(std::string_view text) const { return model_.EmbedText(text); }
+
+ private:
+  HashedEmbedding model_;
+};
+
+}  // namespace rlbench::embed

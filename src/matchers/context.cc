@@ -1,0 +1,50 @@
+#include "matchers/context.h"
+
+#include "matchers/features.h"
+
+namespace rlbench::matchers {
+
+MatchingContext::MatchingContext(const data::MatchingTask* task)
+    : task_(task), left_(&task->left()), right_(&task->right()) {
+  for (size_t i = 0; i < task->left().size(); ++i) {
+    tfidf_.AddDocument(left_.Tokens(i));
+  }
+  for (size_t i = 0; i < task->right().size(); ++i) {
+    tfidf_.AddDocument(right_.Tokens(i));
+  }
+  tfidf_.Finalize();
+}
+
+void MatchingContext::EnsureMagellan() const {
+  if (magellan_train_) return;
+  size_t dim = task_->left().schema().num_attributes() *
+               kMagellanFeaturesPerAttr;
+  auto build = [&](const std::vector<data::LabeledPair>& pairs) {
+    ml::Dataset dataset(dim);
+    dataset.Reserve(pairs.size());
+    for (const auto& pair : pairs) {
+      dataset.Add(MagellanFeatures(left_, right_, pair), pair.is_match);
+    }
+    return dataset;
+  };
+  magellan_train_ = build(task_->train());
+  magellan_valid_ = build(task_->valid());
+  magellan_test_ = build(task_->test());
+}
+
+const ml::Dataset& MatchingContext::MagellanTrain() const {
+  EnsureMagellan();
+  return *magellan_train_;
+}
+
+const ml::Dataset& MatchingContext::MagellanValid() const {
+  EnsureMagellan();
+  return *magellan_valid_;
+}
+
+const ml::Dataset& MatchingContext::MagellanTest() const {
+  EnsureMagellan();
+  return *magellan_test_;
+}
+
+}  // namespace rlbench::matchers

@@ -1,0 +1,45 @@
+// Shared per-task state for matchers: feature caches over both tables, a
+// corpus TF-IDF model, and the lazily built Magellan feature datasets that
+// several matchers reuse. Building this once per task and passing it to
+// every matcher is what keeps a full Table IV run affordable.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "data/feature_cache.h"
+#include "data/task.h"
+#include "ml/dataset.h"
+#include "text/tfidf.h"
+
+namespace rlbench::matchers {
+
+/// \brief Read-only context shared by all matchers evaluating one task.
+class MatchingContext {
+ public:
+  explicit MatchingContext(const data::MatchingTask* task);
+
+  const data::MatchingTask& task() const { return *task_; }
+  const data::RecordFeatureCache& left() const { return left_; }
+  const data::RecordFeatureCache& right() const { return right_; }
+  const text::TfIdfModel& tfidf() const { return tfidf_; }
+
+  /// Magellan feature datasets for train / valid / test, built on first use
+  /// and cached (shared by the four Magellan variants and ZeroER).
+  const ml::Dataset& MagellanTrain() const;
+  const ml::Dataset& MagellanValid() const;
+  const ml::Dataset& MagellanTest() const;
+
+ private:
+  void EnsureMagellan() const;
+
+  const data::MatchingTask* task_;
+  data::RecordFeatureCache left_;
+  data::RecordFeatureCache right_;
+  text::TfIdfModel tfidf_;
+  mutable std::optional<ml::Dataset> magellan_train_;
+  mutable std::optional<ml::Dataset> magellan_valid_;
+  mutable std::optional<ml::Dataset> magellan_test_;
+};
+
+}  // namespace rlbench::matchers

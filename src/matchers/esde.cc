@@ -1,0 +1,174 @@
+#include "matchers/esde.h"
+
+#include <algorithm>
+
+#include "ml/metrics.h"
+#include "text/similarity.h"
+
+namespace rlbench::matchers {
+
+namespace {
+
+constexpr int kMinQ = data::RecordFeatureCache::kMinQ;
+constexpr int kMaxQ = data::RecordFeatureCache::kMaxQ;
+constexpr int kNumQ = kMaxQ - kMinQ + 1;
+
+void PushSetSims(const text::TokenSet& a, const text::TokenSet& b,
+                 std::vector<double>* out) {
+  out->push_back(text::CosineSimilarity(a, b));
+  out->push_back(text::DiceSimilarity(a, b));
+  out->push_back(text::JaccardSimilarity(a, b));
+}
+
+void PushVecSims(const embed::Vec& a, const embed::Vec& b,
+                 std::vector<double>* out) {
+  out->push_back(embed::CosineSimilarity01(a, b));
+  out->push_back(embed::EuclideanSimilarity(a, b));
+  out->push_back(embed::WassersteinSimilarity(a, b));
+}
+
+}  // namespace
+
+EsdeMatcher::EsdeMatcher(EsdeVariant variant, EsdeOptions options)
+    : variant_(variant),
+      options_(options),
+      encoder_(options.sentence_dim, options.seed) {}
+
+const embed::Vec& EsdeMatcher::RecordVec(const MatchingContext& context,
+                                         bool left_side, uint32_t record,
+                                         int attr) {
+  if (vec_cache_.empty()) {
+    size_t num_attrs = context.task().left().schema().num_attributes();
+    vec_cache_.assign(
+        2, std::vector<std::vector<embed::Vec>>(num_attrs + 1));
+    vec_cache_[0].assign(num_attrs + 1,
+                         std::vector<embed::Vec>(context.task().left().size()));
+    vec_cache_[1].assign(
+        num_attrs + 1, std::vector<embed::Vec>(context.task().right().size()));
+  }
+  size_t side = left_side ? 0 : 1;
+  size_t slot = static_cast<size_t>(attr + 1);
+  embed::Vec& vec = vec_cache_[side][slot][record];
+  if (vec.empty()) {
+    const data::Table& table =
+        left_side ? context.task().left() : context.task().right();
+    const std::string text =
+        attr < 0 ? table.record(record).ConcatenatedValues()
+                 : table.record(record).values[static_cast<size_t>(attr)];
+    vec = encoder_.Encode(text);
+    if (vec.empty()) vec.assign(encoder_.dim(), 0.0F);
+  }
+  return vec;
+}
+
+std::vector<double> EsdeMatcher::Features(const MatchingContext& context,
+                                          const data::LabeledPair& pair) {
+  const auto& left = context.left();
+  const auto& right = context.right();
+  size_t num_attrs = context.task().left().schema().num_attributes();
+  std::vector<double> features;
+  switch (variant_) {
+    case EsdeVariant::kSchemaAgnostic:
+      PushSetSims(left.TokenSetAll(pair.left), right.TokenSetAll(pair.right),
+                  &features);
+      break;
+    case EsdeVariant::kSchemaBased:
+      for (size_t a = 0; a < num_attrs; ++a) {
+        PushSetSims(left.TokenSetAttr(pair.left, a),
+                    right.TokenSetAttr(pair.right, a), &features);
+      }
+      break;
+    case EsdeVariant::kSchemaAgnosticQgram:
+      for (int q = kMinQ; q <= kMaxQ; ++q) {
+        PushSetSims(left.QGramSetAll(pair.left, q),
+                    right.QGramSetAll(pair.right, q), &features);
+      }
+      break;
+    case EsdeVariant::kSchemaBasedQgram:
+      for (size_t a = 0; a < num_attrs; ++a) {
+        for (int q = kMinQ; q <= kMaxQ; ++q) {
+          PushSetSims(left.QGramSetAttr(pair.left, a, q),
+                      right.QGramSetAttr(pair.right, a, q), &features);
+        }
+      }
+      break;
+    case EsdeVariant::kSchemaAgnosticSent:
+      PushVecSims(RecordVec(context, true, pair.left, -1),
+                  RecordVec(context, false, pair.right, -1), &features);
+      break;
+    case EsdeVariant::kSchemaBasedSent:
+      for (size_t a = 0; a < num_attrs; ++a) {
+        PushVecSims(RecordVec(context, true, pair.left, static_cast<int>(a)),
+                    RecordVec(context, false, pair.right, static_cast<int>(a)),
+                    &features);
+      }
+      break;
+  }
+  return features;
+}
+
+double EsdeMatcher::SingleFeature(const MatchingContext& context,
+                                  const data::LabeledPair& pair, int feature) {
+  // For the set-similarity variants, computing the full (cheap) vector and
+  // indexing keeps the code simple; the expensive caches are shared anyway.
+  return Features(context, pair)[feature];
+}
+
+std::vector<uint8_t> EsdeMatcher::Run(const MatchingContext& context) {
+  const auto& task = context.task();
+  size_t dim = EsdeFeatureCount(
+      variant_, task.left().schema().num_attributes());
+
+  // --- Training phase: best threshold per feature on the training set.
+  std::vector<std::vector<double>> columns(dim);
+  std::vector<uint8_t> train_labels;
+  train_labels.reserve(task.train().size());
+  for (auto& column : columns) column.reserve(task.train().size());
+  for (const auto& pair : task.train()) {
+    auto features = Features(context, pair);
+    for (size_t f = 0; f < dim; ++f) columns[f].push_back(features[f]);
+    train_labels.push_back(pair.is_match ? 1 : 0);
+  }
+  std::vector<double> thresholds(dim, 0.5);
+  for (size_t f = 0; f < dim; ++f) {
+    thresholds[f] = ml::SweepThresholds(columns[f], train_labels).best_threshold;
+  }
+
+  // --- Validation phase: pick the feature whose (feature, threshold) rule
+  // scores best on the validation set.
+  std::vector<ml::Confusion> confusion(dim);
+  for (const auto& pair : task.valid()) {
+    auto features = Features(context, pair);
+    for (size_t f = 0; f < dim; ++f) {
+      bool predicted = thresholds[f] <= features[f];
+      if (pair.is_match) {
+        predicted ? ++confusion[f].true_positives
+                  : ++confusion[f].false_negatives;
+      } else {
+        predicted ? ++confusion[f].false_positives
+                  : ++confusion[f].true_negatives;
+      }
+    }
+  }
+  best_feature_ = 0;
+  best_valid_f1_ = -1.0;
+  for (size_t f = 0; f < dim; ++f) {
+    double f1 = confusion[f].F1();
+    if (f1 > best_valid_f1_) {
+      best_valid_f1_ = f1;
+      best_feature_ = static_cast<int>(f);
+    }
+  }
+  best_threshold_ = thresholds[best_feature_];
+
+  // --- Testing phase: apply the selected rule.
+  std::vector<uint8_t> predictions;
+  predictions.reserve(task.test().size());
+  for (const auto& pair : task.test()) {
+    double score = SingleFeature(context, pair, best_feature_);
+    predictions.push_back(best_threshold_ <= score ? 1 : 0);
+  }
+  return predictions;
+}
+
+}  // namespace rlbench::matchers

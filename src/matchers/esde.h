@@ -1,0 +1,61 @@
+// Efficient Supervised Difficulty Estimation (ESDE), Algorithm 2 of the
+// paper: the family of linear matchers that anchor the non-linear boost
+// measure. Training picks the best (feature, threshold) per feature on the
+// training set, validation selects the single best feature, and testing
+// applies that one feature with its threshold.
+#pragma once
+
+#include <cstdint>
+
+#include "embed/sentence_encoder.h"
+#include "matchers/features.h"
+#include "matchers/matcher.h"
+
+namespace rlbench::matchers {
+
+struct EsdeOptions {
+  /// Embedding dimensionality for the sentence-encoder variants.
+  size_t sentence_dim = 64;
+  uint64_t seed = 7;
+  /// Characters of text fed to the q-gram variants per value (bounds the
+  /// q-gram set size on long-text datasets; mirrors transformer caps).
+  size_t qgram_char_cap = 160;
+};
+
+/// \brief One of the six ESDE variants.
+class EsdeMatcher : public Matcher {
+ public:
+  explicit EsdeMatcher(EsdeVariant variant, EsdeOptions options = {});
+
+  std::string name() const override { return EsdeVariantName(variant_); }
+  std::vector<uint8_t> Run(const MatchingContext& context) override;
+
+  /// Diagnostics after Run: the selected feature index, its threshold, and
+  /// the validation F1 that selected it.
+  int best_feature() const { return best_feature_; }
+  double best_threshold() const { return best_threshold_; }
+  double best_valid_f1() const { return best_valid_f1_; }
+
+ private:
+  /// Full feature vector of one pair under this variant.
+  std::vector<double> Features(const MatchingContext& context,
+                               const data::LabeledPair& pair);
+  /// Only the selected feature (testing phase of Algorithm 2).
+  double SingleFeature(const MatchingContext& context,
+                       const data::LabeledPair& pair, int feature);
+
+  /// Sentence-embedding caches (built lazily for the SAS/SBS variants).
+  const embed::Vec& RecordVec(const MatchingContext& context, bool left_side,
+                              uint32_t record, int attr);
+
+  EsdeVariant variant_;
+  EsdeOptions options_;
+  embed::SentenceEncoder encoder_;
+  // [side][attr+1][record] -> embedding; attr slot 0 is schema-agnostic.
+  std::vector<std::vector<std::vector<embed::Vec>>> vec_cache_;
+  int best_feature_ = -1;
+  double best_threshold_ = 0.0;
+  double best_valid_f1_ = 0.0;
+};
+
+}  // namespace rlbench::matchers

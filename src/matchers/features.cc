@@ -1,0 +1,88 @@
+#include "matchers/features.h"
+
+#include <algorithm>
+
+#include "text/similarity.h"
+
+namespace rlbench::matchers {
+
+namespace {
+
+std::string_view Truncated(const std::string& value, size_t max_chars) {
+  return std::string_view(value).substr(0, max_chars);
+}
+
+std::vector<std::string> CapTokens(const std::vector<std::string>& tokens,
+                                   size_t max_tokens) {
+  if (tokens.size() <= max_tokens) return tokens;
+  return std::vector<std::string>(tokens.begin(), tokens.begin() + max_tokens);
+}
+
+}  // namespace
+
+std::vector<float> MagellanFeatures(const data::RecordFeatureCache& left,
+                                    const data::RecordFeatureCache& right,
+                                    const data::LabeledPair& pair) {
+  const data::Record& l = left.table().record(pair.left);
+  const data::Record& r = right.table().record(pair.right);
+  size_t num_attrs = left.table().schema().num_attributes();
+
+  std::vector<float> features;
+  features.reserve(num_attrs * kMagellanFeaturesPerAttr);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    const std::string& lv = l.values[a];
+    const std::string& rv = r.values[a];
+    const auto& lset = left.TokenSetAttr(pair.left, a);
+    const auto& rset = right.TokenSetAttr(pair.right, a);
+    features.push_back(
+        static_cast<float>(text::JaccardSimilarity(lset, rset)));
+    features.push_back(static_cast<float>(text::LevenshteinSimilarity(
+        Truncated(lv, kMaxCharsForEditSims), Truncated(rv, kMaxCharsForEditSims))));
+    features.push_back(static_cast<float>(text::JaroWinklerSimilarity(
+        Truncated(lv, kMaxCharsForEditSims), Truncated(rv, kMaxCharsForEditSims))));
+    features.push_back(static_cast<float>(text::MongeElkanSimilarity(
+        CapTokens(left.TokensAttr(pair.left, a), kMaxTokensForMongeElkan),
+        CapTokens(right.TokensAttr(pair.right, a), kMaxTokensForMongeElkan))));
+    features.push_back(static_cast<float>(text::NumericSimilarity(lv, rv)));
+    features.push_back(static_cast<float>(text::ExactMatchSimilarity(lv, rv)));
+  }
+  return features;
+}
+
+const char* EsdeVariantName(EsdeVariant variant) {
+  switch (variant) {
+    case EsdeVariant::kSchemaAgnostic:
+      return "SA-ESDE";
+    case EsdeVariant::kSchemaBased:
+      return "SB-ESDE";
+    case EsdeVariant::kSchemaAgnosticQgram:
+      return "SAQ-ESDE";
+    case EsdeVariant::kSchemaBasedQgram:
+      return "SBQ-ESDE";
+    case EsdeVariant::kSchemaAgnosticSent:
+      return "SAS-ESDE";
+    case EsdeVariant::kSchemaBasedSent:
+      return "SBS-ESDE";
+  }
+  return "ESDE";
+}
+
+size_t EsdeFeatureCount(EsdeVariant variant, size_t num_attrs) {
+  constexpr size_t kNumQ =
+      data::RecordFeatureCache::kMaxQ - data::RecordFeatureCache::kMinQ + 1;
+  switch (variant) {
+    case EsdeVariant::kSchemaAgnostic:
+    case EsdeVariant::kSchemaAgnosticSent:
+      return 3;
+    case EsdeVariant::kSchemaBased:
+    case EsdeVariant::kSchemaBasedSent:
+      return 3 * num_attrs;
+    case EsdeVariant::kSchemaAgnosticQgram:
+      return 3 * kNumQ;
+    case EsdeVariant::kSchemaBasedQgram:
+      return 3 * kNumQ * num_attrs;
+  }
+  return 0;
+}
+
+}  // namespace rlbench::matchers

@@ -1,0 +1,58 @@
+#include "matchers/magellan.h"
+
+#include <memory>
+
+#include "ml/decision_tree.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+#include "ml/random_forest.h"
+
+namespace rlbench::matchers {
+
+std::string MagellanMatcher::name() const {
+  switch (classifier_) {
+    case MagellanClassifier::kDecisionTree:
+      return "Magellan-DT";
+    case MagellanClassifier::kLogisticRegression:
+      return "Magellan-LR";
+    case MagellanClassifier::kRandomForest:
+      return "Magellan-RF";
+    case MagellanClassifier::kLinearSvm:
+      return "Magellan-SVM";
+  }
+  return "Magellan";
+}
+
+std::vector<uint8_t> MagellanMatcher::Run(const MatchingContext& context) {
+  std::unique_ptr<ml::Classifier> model;
+  switch (classifier_) {
+    case MagellanClassifier::kDecisionTree: {
+      ml::DecisionTreeOptions options;
+      options.seed = options_.seed;
+      model = std::make_unique<ml::DecisionTree>(options);
+      break;
+    }
+    case MagellanClassifier::kLogisticRegression: {
+      ml::LogisticRegressionOptions options;
+      options.seed = options_.seed;
+      model = std::make_unique<ml::LogisticRegression>(options);
+      break;
+    }
+    case MagellanClassifier::kRandomForest: {
+      ml::RandomForestOptions options;
+      options.seed = options_.seed;
+      model = std::make_unique<ml::RandomForest>(options);
+      break;
+    }
+    case MagellanClassifier::kLinearSvm: {
+      ml::LinearSvmOptions options;
+      options.seed = options_.seed;
+      model = std::make_unique<ml::LinearSvm>(options);
+      break;
+    }
+  }
+  model->Fit(context.MagellanTrain(), context.MagellanValid());
+  return model->PredictAll(context.MagellanTest());
+}
+
+}  // namespace rlbench::matchers

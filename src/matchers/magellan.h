@@ -1,0 +1,39 @@
+// Magellan-style matchers: classical classifiers over automatically
+// extracted per-attribute similarity features (Section IV-B). Four variants
+// mirror the paper: decision tree, logistic regression, random forest and
+// linear SVM. Blocking is decoupled exactly as in the paper: the matcher
+// consumes the task's given candidate pairs.
+#pragma once
+
+#include <cstdint>
+
+#include "matchers/matcher.h"
+
+namespace rlbench::matchers {
+
+enum class MagellanClassifier {
+  kDecisionTree,
+  kLogisticRegression,
+  kRandomForest,
+  kLinearSvm,
+};
+
+struct MagellanOptions {
+  uint64_t seed = 13;
+};
+
+/// \brief Magellan with one of its four classifiers.
+class MagellanMatcher : public Matcher {
+ public:
+  MagellanMatcher(MagellanClassifier classifier, MagellanOptions options = {})
+      : classifier_(classifier), options_(options) {}
+
+  std::string name() const override;
+  std::vector<uint8_t> Run(const MatchingContext& context) override;
+
+ private:
+  MagellanClassifier classifier_;
+  MagellanOptions options_;
+};
+
+}  // namespace rlbench::matchers

@@ -1,0 +1,17 @@
+#include "matchers/matcher.h"
+
+#include "ml/metrics.h"
+
+namespace rlbench::matchers {
+
+double Matcher::TestF1(const MatchingContext& context) {
+  auto predictions = Run(context);
+  std::vector<uint8_t> truth;
+  truth.reserve(context.task().test().size());
+  for (const auto& pair : context.task().test()) {
+    truth.push_back(pair.is_match ? 1 : 0);
+  }
+  return ml::Evaluate(truth, predictions).F1();
+}
+
+}  // namespace rlbench::matchers

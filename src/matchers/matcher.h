@@ -1,0 +1,31 @@
+// The common matcher interface: every algorithm in Tables IV and VI —
+// simulated DL matchers, Magellan variants, ZeroER, and the ESDE family —
+// trains on the task's train (+valid) sets and predicts the test set.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "matchers/context.h"
+
+namespace rlbench::matchers {
+
+/// \brief A supervised (or unsupervised) matching algorithm.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Row label used in the result tables, e.g. "DM(15)" or "SA-ESDE".
+  virtual std::string name() const = 0;
+
+  /// Train on the context's train/validation pairs and return one 0/1
+  /// prediction per test pair, in test order.
+  virtual std::vector<uint8_t> Run(const MatchingContext& context) = 0;
+
+  /// Convenience: F1 of Run's predictions against the test labels.
+  double TestF1(const MatchingContext& context);
+};
+
+}  // namespace rlbench::matchers

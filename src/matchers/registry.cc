@@ -1,0 +1,72 @@
+#include "matchers/registry.h"
+
+#include <algorithm>
+
+#include "matchers/dl_sims.h"
+#include "matchers/esde.h"
+#include "matchers/magellan.h"
+#include "matchers/zeroer.h"
+
+namespace rlbench::matchers {
+
+std::vector<RegisteredMatcher> BuildMatcherLineup(
+    const RegistryOptions& options) {
+  std::vector<RegisteredMatcher> lineup;
+  auto scaled = [&options](int epochs) {
+    return std::max(1, static_cast<int>(epochs * options.epoch_scale));
+  };
+
+  if (options.dl) {
+    DlOptions dl_options;
+    dl_options.seed = options.seed;
+    auto add_dl = [&](DlMethod method, int epochs) {
+      lineup.push_back({std::make_unique<DlMatcher>(method, scaled(epochs),
+                                                    dl_options),
+                        MatcherGroup::kDeepLearning});
+    };
+    // The epoch pairs follow Table IV: default-from-paper and 40 (10/40 for
+    // GNEM and HierMatcher).
+    add_dl(DlMethod::kDeepMatcher, 15);
+    add_dl(DlMethod::kDeepMatcher, 40);
+    add_dl(DlMethod::kDitto, 15);
+    add_dl(DlMethod::kDitto, 40);
+    add_dl(DlMethod::kEmTransformerB, 15);
+    add_dl(DlMethod::kEmTransformerB, 40);
+    add_dl(DlMethod::kEmTransformerR, 15);
+    add_dl(DlMethod::kEmTransformerR, 40);
+    add_dl(DlMethod::kGnem, 10);
+    add_dl(DlMethod::kGnem, 40);
+    add_dl(DlMethod::kHierMatcher, 10);
+    add_dl(DlMethod::kHierMatcher, 40);
+  }
+
+  if (options.classic) {
+    MagellanOptions mg_options;
+    mg_options.seed = options.seed ^ 0x3117ULL;
+    for (auto classifier :
+         {MagellanClassifier::kDecisionTree,
+          MagellanClassifier::kLogisticRegression,
+          MagellanClassifier::kRandomForest, MagellanClassifier::kLinearSvm}) {
+      lineup.push_back({std::make_unique<MagellanMatcher>(classifier,
+                                                          mg_options),
+                        MatcherGroup::kClassicMl});
+    }
+    lineup.push_back(
+        {std::make_unique<ZeroErMatcher>(), MatcherGroup::kClassicMl});
+  }
+
+  if (options.linear) {
+    EsdeOptions esde_options;
+    esde_options.seed = options.seed ^ 0xE5DEULL;
+    for (auto variant :
+         {EsdeVariant::kSchemaAgnostic, EsdeVariant::kSchemaAgnosticQgram,
+          EsdeVariant::kSchemaAgnosticSent, EsdeVariant::kSchemaBased,
+          EsdeVariant::kSchemaBasedQgram, EsdeVariant::kSchemaBasedSent}) {
+      lineup.push_back({std::make_unique<EsdeMatcher>(variant, esde_options),
+                        MatcherGroup::kLinear});
+    }
+  }
+  return lineup;
+}
+
+}  // namespace rlbench::matchers

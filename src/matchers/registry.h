@@ -1,0 +1,36 @@
+// Builds the matcher line-ups used by the evaluation tables: the DL group
+// with its two epoch settings, the Magellan group, ZeroER, and the six
+// linear ESDE matchers — the exact row set of Tables IV and VI.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "matchers/matcher.h"
+
+namespace rlbench::matchers {
+
+/// Which matcher families (table sections) to instantiate.
+struct RegistryOptions {
+  bool dl = true;       // section (a): DL-based matchers, 2 epoch settings
+  bool classic = true;  // section (b): Magellan x4 + ZeroER
+  bool linear = true;   // section (c): the 6 ESDE variants
+  /// Epoch budget scale for quick runs (1.0 = the paper's settings).
+  double epoch_scale = 1.0;
+  uint64_t seed = 17;
+};
+
+/// The section a matcher belongs to, for table grouping and the practical
+/// measures: NLB contrasts kNonLinear (a+b) with kLinear (c).
+enum class MatcherGroup { kDeepLearning, kClassicMl, kLinear };
+
+struct RegisteredMatcher {
+  std::unique_ptr<Matcher> matcher;
+  MatcherGroup group;
+};
+
+/// Instantiate the full line-up.
+std::vector<RegisteredMatcher> BuildMatcherLineup(
+    const RegistryOptions& options = {});
+
+}  // namespace rlbench::matchers

@@ -1,0 +1,57 @@
+#include "matchers/zeroer.h"
+
+#include <span>
+
+#include "matchers/features.h"
+
+namespace rlbench::matchers {
+
+namespace {
+
+/// ZeroER performs feature selection before fitting its mixture model; the
+/// strongest, least redundant members of the Magellan family for a
+/// generative diagonal-Gaussian model are the per-attribute Jaccard and
+/// Monge-Elkan scores (the edit-based ones are highly correlated with
+/// them, which violates the model's independence assumption).
+std::vector<float> SelectFeatures(std::span<const float> magellan_row) {
+  std::vector<float> out;
+  out.reserve(magellan_row.size() / kMagellanFeaturesPerAttr * 2);
+  for (size_t base = 0; base + kMagellanFeaturesPerAttr <= magellan_row.size();
+       base += kMagellanFeaturesPerAttr) {
+    out.push_back(magellan_row[base]);      // Jaccard
+    out.push_back(magellan_row[base + 3]);  // Monge-Elkan
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint8_t> ZeroErMatcher::Run(const MatchingContext& context) {
+  // Pool all candidate pairs' features; labels carried by the datasets are
+  // never read by the mixture model.
+  const ml::Dataset& train = context.MagellanTrain();
+  const ml::Dataset& valid = context.MagellanValid();
+  const ml::Dataset& test = context.MagellanTest();
+
+  size_t dim = SelectFeatures(train.empty() ? test.row(0) : train.row(0))
+                   .size();
+  ml::Dataset all(dim);
+  all.Reserve(train.size() + valid.size() + test.size());
+  for (const ml::Dataset* part : {&train, &valid, &test}) {
+    for (size_t i = 0; i < part->size(); ++i) {
+      all.Add(SelectFeatures(part->row(i)), false);
+    }
+  }
+
+  ml::GaussianMixtureMatcher gmm(options_.gmm);
+  gmm.Fit(all);
+
+  std::vector<uint8_t> predictions;
+  predictions.reserve(test.size());
+  for (size_t i = 0; i < test.size(); ++i) {
+    predictions.push_back(gmm.Predict(SelectFeatures(test.row(i))) ? 1 : 0);
+  }
+  return predictions;
+}
+
+}  // namespace rlbench::matchers

@@ -1,0 +1,31 @@
+// ZeroER: unsupervised matching via a two-component Gaussian mixture over
+// the Magellan feature vectors (Section IV-B). It ignores all labels and,
+// as in the paper's setup, is decoupled from blocking — it fits on every
+// candidate pair of the task (train + valid + test) and predicts the test
+// pairs from the match-component posterior.
+#pragma once
+
+#include <cstdint>
+
+#include "matchers/matcher.h"
+#include "ml/gmm_em.h"
+
+namespace rlbench::matchers {
+
+struct ZeroErOptions {
+  ml::GmmOptions gmm;
+};
+
+/// \brief Unsupervised EM-based matcher.
+class ZeroErMatcher : public Matcher {
+ public:
+  explicit ZeroErMatcher(ZeroErOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "ZeroER"; }
+  std::vector<uint8_t> Run(const MatchingContext& context) override;
+
+ private:
+  ZeroErOptions options_;
+};
+
+}  // namespace rlbench::matchers

@@ -1,0 +1,82 @@
+#include "ml/calibration.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+
+namespace rlbench::ml {
+
+namespace {
+double Sigmoid(double z) {
+  if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+void PlattScaler::Fit(const std::vector<double>& scores,
+                      const std::vector<uint8_t>& labels) {
+  assert(scores.size() == labels.size());
+  a_ = 1.0;
+  b_ = 0.0;
+  if (scores.empty()) return;
+  double n = static_cast<double>(scores.size());
+  double learning_rate = 0.5;
+  for (int iter = 0; iter < 400; ++iter) {
+    double grad_a = 0.0;
+    double grad_b = 0.0;
+    for (size_t i = 0; i < scores.size(); ++i) {
+      double err = Sigmoid(a_ * scores[i] + b_) -
+                   (labels[i] != 0 ? 1.0 : 0.0);
+      grad_a += err * scores[i];
+      grad_b += err;
+    }
+    a_ -= learning_rate * grad_a / n;
+    b_ -= learning_rate * grad_b / n;
+  }
+}
+
+double PlattScaler::Transform(double score) const {
+  return Sigmoid(a_ * score + b_);
+}
+
+std::vector<double> CrossValidateF1(
+    const std::function<std::unique_ptr<Classifier>()>& factory,
+    const Dataset& data, size_t folds, uint64_t seed) {
+  folds = std::max<size_t>(2, folds);
+  // Stratified fold assignment: positives and negatives are dealt out
+  // round-robin after a seeded shuffle.
+  std::vector<size_t> positives;
+  std::vector<size_t> negatives;
+  for (size_t i = 0; i < data.size(); ++i) {
+    (data.label(i) ? positives : negatives).push_back(i);
+  }
+  Rng rng(seed);
+  rng.Shuffle(&positives);
+  rng.Shuffle(&negatives);
+  std::vector<size_t> fold_of(data.size(), 0);
+  size_t counter = 0;
+  for (size_t i : positives) fold_of[i] = counter++ % folds;
+  counter = 0;
+  for (size_t i : negatives) fold_of[i] = counter++ % folds;
+
+  std::vector<double> f1s;
+  f1s.reserve(folds);
+  for (size_t fold = 0; fold < folds; ++fold) {
+    Dataset train(data.num_features());
+    Dataset test(data.num_features());
+    for (size_t i = 0; i < data.size(); ++i) {
+      auto row = data.row(i);
+      std::vector<float> values(row.begin(), row.end());
+      (fold_of[i] == fold ? test : train).Add(values, data.label(i));
+    }
+    auto model = factory();
+    model->Fit(train, {});
+    f1s.push_back(model->EvaluateF1(test));
+  }
+  return f1s;
+}
+
+}  // namespace rlbench::ml

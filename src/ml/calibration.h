@@ -1,0 +1,38 @@
+// Score calibration and model-selection utilities: Platt scaling (turning
+// raw margins into probabilities) and stratified k-fold cross-validation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace rlbench::ml {
+
+/// \brief Platt scaling: fit p(y=1|s) = sigmoid(A*s + B) on held-out
+/// (score, label) pairs by gradient descent on the log loss.
+class PlattScaler {
+ public:
+  void Fit(const std::vector<double>& scores,
+           const std::vector<uint8_t>& labels);
+
+  /// Calibrated probability for a raw score.
+  double Transform(double score) const;
+
+  double slope() const { return a_; }
+  double intercept() const { return b_; }
+
+ private:
+  double a_ = 1.0;
+  double b_ = 0.0;
+};
+
+/// Stratified k-fold cross-validated F1 of classifiers produced by
+/// `factory` (one fresh classifier per fold). Returns the per-fold F1s.
+std::vector<double> CrossValidateF1(
+    const std::function<std::unique_ptr<Classifier>()>& factory,
+    const Dataset& data, size_t folds, uint64_t seed);
+
+}  // namespace rlbench::ml

@@ -1,0 +1,17 @@
+#include "ml/classifier.h"
+
+namespace rlbench::ml {
+
+std::vector<uint8_t> Classifier::PredictAll(const Dataset& data) const {
+  std::vector<uint8_t> out(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    out[i] = Predict(data.row(i)) ? 1 : 0;
+  }
+  return out;
+}
+
+double Classifier::EvaluateF1(const Dataset& data) const {
+  return Evaluate(data.labels(), PredictAll(data)).F1();
+}
+
+}  // namespace rlbench::ml

@@ -1,0 +1,17 @@
+#include "ml/dataset.h"
+
+namespace rlbench::ml {
+
+void Dataset::Add(const std::vector<float>& features, bool label) {
+  assert(features.size() == num_features_);
+  values_.insert(values_.end(), features.begin(), features.end());
+  labels_.push_back(label ? 1 : 0);
+}
+
+size_t Dataset::CountPositives() const {
+  size_t count = 0;
+  for (uint8_t l : labels_) count += l;
+  return count;
+}
+
+}  // namespace rlbench::ml

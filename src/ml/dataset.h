@@ -1,0 +1,48 @@
+// Dense feature-matrix dataset used by all classifiers. Rows are candidate
+// pairs, columns are similarity / interaction features in [0, 1] (or
+// standardised values after scaling).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rlbench::ml {
+
+/// \brief Row-major dense dataset with binary labels.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(size_t num_features) : num_features_(num_features) {}
+
+  size_t num_features() const { return num_features_; }
+  size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+
+  /// Append one row; `features.size()` must equal num_features().
+  void Add(const std::vector<float>& features, bool label);
+
+  std::span<const float> row(size_t i) const {
+    return {&values_[i * num_features_], num_features_};
+  }
+  std::span<float> mutable_row(size_t i) {
+    return {&values_[i * num_features_], num_features_};
+  }
+  bool label(size_t i) const { return labels_[i] != 0; }
+  const std::vector<uint8_t>& labels() const { return labels_; }
+
+  size_t CountPositives() const;
+
+  void Reserve(size_t rows) {
+    values_.reserve(rows * num_features_);
+    labels_.reserve(rows);
+  }
+
+ private:
+  size_t num_features_ = 0;
+  std::vector<float> values_;
+  std::vector<uint8_t> labels_;
+};
+
+}  // namespace rlbench::ml

@@ -1,0 +1,171 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace rlbench::ml {
+
+namespace {
+
+/// Weighted Gini impurity of a (pos_weight·n_pos, n_neg) split side.
+double Gini(double wpos, double wneg) {
+  double total = wpos + wneg;
+  if (total <= 0.0) return 0.0;
+  double p = wpos / total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+void DecisionTree::Fit(const Dataset& train, const Dataset& valid) {
+  (void)valid;
+  std::vector<size_t> indices(train.size());
+  std::iota(indices.begin(), indices.end(), size_t{0});
+  FitOnIndices(train, std::move(indices));
+}
+
+void DecisionTree::FitOnIndices(const Dataset& train,
+                                std::vector<size_t> indices) {
+  nodes_.clear();
+  pos_weight_ = 1.0;
+  if (options_.balance_classes && !train.empty()) {
+    double positives = static_cast<double>(train.CountPositives());
+    double negatives = static_cast<double>(train.size()) - positives;
+    if (positives > 0.0 && negatives > 0.0) {
+      pos_weight_ = negatives / positives;
+    }
+  }
+  if (indices.empty()) {
+    nodes_.push_back(Node{});
+    return;
+  }
+  Rng rng(options_.seed);
+  BuildNode(train, indices, 0, indices.size(), 0, &rng);
+}
+
+int DecisionTree::MakeLeaf(const Dataset& data,
+                           const std::vector<size_t>& indices, size_t begin,
+                           size_t end) {
+  double wpos = 0.0;
+  double wneg = 0.0;
+  for (size_t k = begin; k < end; ++k) {
+    if (data.label(indices[k])) {
+      wpos += pos_weight_;
+    } else {
+      wneg += 1.0;
+    }
+  }
+  Node leaf;
+  leaf.score = wpos + wneg > 0.0 ? wpos / (wpos + wneg) : 0.0;
+  nodes_.push_back(leaf);
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int DecisionTree::BuildNode(const Dataset& data, std::vector<size_t>& indices,
+                            size_t begin, size_t end, int depth, Rng* rng) {
+  size_t count = end - begin;
+  double wpos = 0.0;
+  double wneg = 0.0;
+  for (size_t k = begin; k < end; ++k) {
+    if (data.label(indices[k])) {
+      wpos += pos_weight_;
+    } else {
+      wneg += 1.0;
+    }
+  }
+  bool pure = wpos == 0.0 || wneg == 0.0;
+  if (pure || depth >= options_.max_depth ||
+      count < options_.min_samples_split) {
+    return MakeLeaf(data, indices, begin, end);
+  }
+
+  size_t dim = data.num_features();
+  std::vector<size_t> features(dim);
+  std::iota(features.begin(), features.end(), size_t{0});
+  if (options_.max_features > 0 && options_.max_features < dim) {
+    rng->Shuffle(&features);
+    features.resize(options_.max_features);
+  }
+
+  double parent_impurity = Gini(wpos, wneg);
+  double best_gain = 1e-9;
+  int best_feature = -1;
+  float best_threshold = 0.0F;
+
+  std::vector<std::pair<float, uint8_t>> column(count);
+  for (size_t feature : features) {
+    for (size_t k = begin; k < end; ++k) {
+      column[k - begin] = {data.row(indices[k])[feature],
+                           data.label(indices[k]) ? uint8_t{1} : uint8_t{0}};
+    }
+    std::sort(column.begin(), column.end());
+    double left_pos = 0.0;
+    double left_neg = 0.0;
+    double total = wpos + wneg;
+    for (size_t k = 0; k + 1 < count; ++k) {
+      if (column[k].second != 0) {
+        left_pos += pos_weight_;
+      } else {
+        left_neg += 1.0;
+      }
+      if (column[k].first == column[k + 1].first) continue;
+      size_t left_count = k + 1;
+      size_t right_count = count - left_count;
+      if (left_count < options_.min_samples_leaf ||
+          right_count < options_.min_samples_leaf) {
+        continue;
+      }
+      double right_pos = wpos - left_pos;
+      double right_neg = wneg - left_neg;
+      double left_total = left_pos + left_neg;
+      double right_total = right_pos + right_neg;
+      double weighted = (left_total * Gini(left_pos, left_neg) +
+                         right_total * Gini(right_pos, right_neg)) /
+                        total;
+      double gain = parent_impurity - weighted;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(feature);
+        best_threshold = 0.5F * (column[k].first + column[k + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    return MakeLeaf(data, indices, begin, end);
+  }
+
+  auto mid_it = std::partition(
+      indices.begin() + begin, indices.begin() + end, [&](size_t i) {
+        return data.row(i)[best_feature] <= best_threshold;
+      });
+  size_t mid = static_cast<size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) {
+    return MakeLeaf(data, indices, begin, end);
+  }
+
+  int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  int left = BuildNode(data, indices, begin, mid, depth + 1, rng);
+  int right = BuildNode(data, indices, mid, end, depth + 1, rng);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+double DecisionTree::PredictScore(std::span<const float> row) const {
+  if (nodes_.empty()) return 0.0;
+  int index = 0;
+  while (!nodes_[index].IsLeaf()) {
+    const Node& node = nodes_[index];
+    index = row[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return nodes_[index].score;
+}
+
+}  // namespace rlbench::ml

@@ -1,0 +1,66 @@
+// CART-style binary decision tree with Gini impurity splits. Backs
+// Magellan-DT and the trees inside the random forest.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace rlbench {
+class Rng;
+}
+
+namespace rlbench::ml {
+
+struct DecisionTreeOptions {
+  int max_depth = 12;
+  size_t min_samples_split = 4;
+  size_t min_samples_leaf = 2;
+  /// Number of features considered per split; 0 means all features. Random
+  /// forests set this to sqrt(d).
+  size_t max_features = 0;
+  /// Weight positive samples by inverse class frequency in impurity and
+  /// leaf probabilities.
+  bool balance_classes = true;
+  uint64_t seed = 42;
+};
+
+/// \brief Axis-aligned binary classification tree.
+class DecisionTree : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "DecisionTree"; }
+  void Fit(const Dataset& train, const Dataset& valid) override;
+
+  /// Fit on a subset identified by row indices (bootstrap bagging).
+  void FitOnIndices(const Dataset& train, std::vector<size_t> indices);
+
+  double PredictScore(std::span<const float> row) const override;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    // Internal node: feature/threshold + children; leaf: score only.
+    int feature = -1;
+    float threshold = 0.0F;
+    int left = -1;
+    int right = -1;
+    double score = 0.0;  // P(match) at a leaf
+    bool IsLeaf() const { return feature < 0; }
+  };
+
+  int BuildNode(const Dataset& data, std::vector<size_t>& indices,
+                size_t begin, size_t end, int depth, Rng* rng);
+  int MakeLeaf(const Dataset& data, const std::vector<size_t>& indices,
+               size_t begin, size_t end);
+
+  DecisionTreeOptions options_;
+  double pos_weight_ = 1.0;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace rlbench::ml

@@ -1,0 +1,171 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace rlbench::ml {
+
+namespace {
+double Sigmoid(double z) {
+  if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+double GradientBoostedTrees::Tree::Predict(std::span<const float> row) const {
+  if (nodes.empty()) return 0.0;
+  int index = 0;
+  while (!nodes[index].IsLeaf()) {
+    const Node& node = nodes[index];
+    index = row[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return nodes[index].value;
+}
+
+int GradientBoostedTrees::BuildNode(const Dataset& data,
+                                    const std::vector<double>& gradient,
+                                    const std::vector<double>& hessian,
+                                    std::vector<size_t>& indices,
+                                    size_t begin, size_t end, int depth,
+                                    Tree* tree) const {
+  double grad_sum = 0.0;
+  double hess_sum = 0.0;
+  for (size_t k = begin; k < end; ++k) {
+    grad_sum += gradient[indices[k]];
+    hess_sum += hessian[indices[k]];
+  }
+  auto make_leaf = [&]() {
+    Node leaf;
+    // Newton step: -G / (H + λ).
+    leaf.value = -grad_sum / (hess_sum + options_.l2);
+    tree->nodes.push_back(leaf);
+    return static_cast<int>(tree->nodes.size()) - 1;
+  };
+  size_t count = end - begin;
+  if (depth >= options_.max_depth ||
+      count < 2 * options_.min_samples_leaf) {
+    return make_leaf();
+  }
+
+  // Greedy split: maximise the standard gain
+  //   GL^2/(HL+λ) + GR^2/(HR+λ) - G^2/(H+λ).
+  double parent_score = grad_sum * grad_sum / (hess_sum + options_.l2);
+  double best_gain = 1e-8;
+  int best_feature = -1;
+  float best_threshold = 0.0F;
+
+  size_t dim = data.num_features();
+  std::vector<std::pair<float, size_t>> column(count);
+  for (size_t feature = 0; feature < dim; ++feature) {
+    for (size_t k = begin; k < end; ++k) {
+      column[k - begin] = {data.row(indices[k])[feature], indices[k]};
+    }
+    std::sort(column.begin(), column.end());
+    double left_grad = 0.0;
+    double left_hess = 0.0;
+    for (size_t k = 0; k + 1 < count; ++k) {
+      left_grad += gradient[column[k].second];
+      left_hess += hessian[column[k].second];
+      if (column[k].first == column[k + 1].first) continue;
+      size_t left_count = k + 1;
+      if (left_count < options_.min_samples_leaf ||
+          count - left_count < options_.min_samples_leaf) {
+        continue;
+      }
+      double right_grad = grad_sum - left_grad;
+      double right_hess = hess_sum - left_hess;
+      double gain = left_grad * left_grad / (left_hess + options_.l2) +
+                    right_grad * right_grad / (right_hess + options_.l2) -
+                    parent_score;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(feature);
+        best_threshold = 0.5F * (column[k].first + column[k + 1].first);
+      }
+    }
+  }
+  if (best_feature < 0) return make_leaf();
+
+  auto mid_it = std::partition(
+      indices.begin() + begin, indices.begin() + end, [&](size_t i) {
+        return data.row(i)[best_feature] <= best_threshold;
+      });
+  size_t mid = static_cast<size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return make_leaf();
+
+  int node_index = static_cast<int>(tree->nodes.size());
+  tree->nodes.push_back(Node{});
+  tree->nodes[node_index].feature = best_feature;
+  tree->nodes[node_index].threshold = best_threshold;
+  int left = BuildNode(data, gradient, hessian, indices, begin, mid,
+                       depth + 1, tree);
+  int right =
+      BuildNode(data, gradient, hessian, indices, mid, end, depth + 1, tree);
+  tree->nodes[node_index].left = left;
+  tree->nodes[node_index].right = right;
+  return node_index;
+}
+
+void GradientBoostedTrees::Fit(const Dataset& train, const Dataset& valid) {
+  (void)valid;
+  trees_.clear();
+  base_score_ = 0.0;
+  if (train.empty()) return;
+
+  double positives = static_cast<double>(train.CountPositives());
+  double negatives = static_cast<double>(train.size()) - positives;
+  double pos_weight = 1.0;
+  if (options_.balance_classes && positives > 0.0 && negatives > 0.0) {
+    pos_weight = negatives / positives;
+  }
+  double effective_pos = positives * pos_weight;
+  base_score_ = std::log(std::max(effective_pos, 1e-9) /
+                         std::max(negatives, 1e-9));
+
+  std::vector<double> raw(train.size(), base_score_);
+  std::vector<double> gradient(train.size());
+  std::vector<double> hessian(train.size());
+  Rng rng(options_.seed);
+
+  for (int round = 0; round < options_.rounds; ++round) {
+    for (size_t i = 0; i < train.size(); ++i) {
+      double p = Sigmoid(raw[i]);
+      double w = train.label(i) ? pos_weight : 1.0;
+      gradient[i] = w * (p - (train.label(i) ? 1.0 : 0.0));
+      hessian[i] = std::max(1e-9, w * p * (1.0 - p));
+    }
+    // Row subsampling (stochastic gradient boosting).
+    std::vector<size_t> indices;
+    indices.reserve(train.size());
+    for (size_t i = 0; i < train.size(); ++i) {
+      if (options_.subsample >= 1.0 || rng.Bernoulli(options_.subsample)) {
+        indices.push_back(i);
+      }
+    }
+    if (indices.size() < 2 * options_.min_samples_leaf) {
+      indices.resize(train.size());
+      std::iota(indices.begin(), indices.end(), size_t{0});
+    }
+    Tree tree;
+    BuildNode(train, gradient, hessian, indices, 0, indices.size(), 0,
+              &tree);
+    for (size_t i = 0; i < train.size(); ++i) {
+      raw[i] += options_.learning_rate * tree.Predict(train.row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GradientBoostedTrees::PredictScore(std::span<const float> row) const {
+  double raw = base_score_;
+  for (const auto& tree : trees_) {
+    raw += options_.learning_rate * tree.Predict(row);
+  }
+  return Sigmoid(raw);
+}
+
+}  // namespace rlbench::ml

@@ -1,0 +1,66 @@
+// Gradient-boosted decision trees with logistic loss: the strongest
+// classical ensemble Magellan-style matchers use (scikit-learn's
+// GradientBoostingClassifier / XGBoost family). Implemented from scratch:
+// shallow regression trees fitted to logistic-loss gradients with
+// Newton-step leaf values, shrinkage, and row subsampling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace rlbench {
+class Rng;
+}
+
+namespace rlbench::ml {
+
+struct GbdtOptions {
+  int rounds = 60;
+  int max_depth = 4;
+  double learning_rate = 0.15;
+  double subsample = 0.8;        // row fraction per round
+  size_t min_samples_leaf = 4;
+  double l2 = 1.0;               // leaf Newton-step regulariser
+  bool balance_classes = true;
+  uint64_t seed = 42;
+};
+
+/// \brief Binary classifier: boosted regression trees on logistic loss.
+class GradientBoostedTrees : public Classifier {
+ public:
+  explicit GradientBoostedTrees(GbdtOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "GBDT"; }
+  void Fit(const Dataset& train, const Dataset& valid) override;
+  double PredictScore(std::span<const float> row) const override;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;     // -1 = leaf
+    float threshold = 0.0F;
+    int left = -1;
+    int right = -1;
+    double value = 0.0;   // leaf contribution to the raw score
+    bool IsLeaf() const { return feature < 0; }
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    double Predict(std::span<const float> row) const;
+  };
+
+  int BuildNode(const Dataset& data, const std::vector<double>& gradient,
+                const std::vector<double>& hessian,
+                std::vector<size_t>& indices, size_t begin, size_t end,
+                int depth, Tree* tree) const;
+
+  GbdtOptions options_;
+  double base_score_ = 0.0;  // initial log-odds
+  std::vector<Tree> trees_;
+};
+
+}  // namespace rlbench::ml

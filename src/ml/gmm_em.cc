@@ -1,0 +1,151 @@
+#include "ml/gmm_em.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace rlbench::ml {
+
+namespace {
+constexpr double kLog2Pi = 1.8378770664093453;
+}
+
+double GaussianMixtureMatcher::LogDensity(std::span<const float> row,
+                                          const std::vector<double>& mean,
+                                          const std::vector<double>& var) const {
+  double log_density = 0.0;
+  for (size_t f = 0; f < dim_; ++f) {
+    double d = row[f] - mean[f];
+    log_density += -0.5 * (kLog2Pi + std::log(var[f]) + d * d / var[f]);
+  }
+  return log_density;
+}
+
+void GaussianMixtureMatcher::Fit(const Dataset& data) {
+  dim_ = data.num_features();
+  size_t n = data.size();
+  log_likelihood_trace_.clear();
+  iterations_run_ = 0;
+  if (n == 0) {
+    dim_ = 0;  // leave the model unfitted; PredictScore returns 0
+    return;
+  }
+
+  // Initialise by ranking rows on their mean feature value: the top
+  // `initial_match_prior` fraction seeds the match component. Similarity
+  // features are oriented so that matches score high, which is what makes
+  // this unsupervised bootstrap work (same trick as ZeroER's seeding).
+  std::vector<double> row_mean(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = data.row(i);
+    double sum = 0.0;
+    for (size_t f = 0; f < dim_; ++f) sum += row[f];
+    row_mean[i] = sum / static_cast<double>(dim_);
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return row_mean[a] > row_mean[b]; });
+  size_t seed_matches = std::max<size_t>(
+      1, static_cast<size_t>(options_.initial_match_prior *
+                             static_cast<double>(n)));
+
+  std::vector<double> responsibility(n, 0.0);
+  for (size_t k = 0; k < n; ++k) {
+    responsibility[order[k]] = k < seed_matches ? 1.0 : 0.0;
+  }
+
+  mean_match_.assign(dim_, 0.0);
+  var_match_.assign(dim_, 1.0);
+  mean_unmatch_.assign(dim_, 0.0);
+  var_unmatch_.assign(dim_, 1.0);
+
+  double prev_log_likelihood = -1e300;
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // M step.
+    double weight_match = 0.0;
+    for (double r : responsibility) weight_match += r;
+    double weight_unmatch = static_cast<double>(n) - weight_match;
+    weight_match = std::max(weight_match, 1e-9);
+    weight_unmatch = std::max(weight_unmatch, 1e-9);
+    prior_match_ =
+        std::clamp(weight_match / static_cast<double>(n), 1e-6, 1.0 - 1e-6);
+
+    std::fill(mean_match_.begin(), mean_match_.end(), 0.0);
+    std::fill(mean_unmatch_.begin(), mean_unmatch_.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      auto row = data.row(i);
+      for (size_t f = 0; f < dim_; ++f) {
+        mean_match_[f] += responsibility[i] * row[f];
+        mean_unmatch_[f] += (1.0 - responsibility[i]) * row[f];
+      }
+    }
+    for (size_t f = 0; f < dim_; ++f) {
+      mean_match_[f] /= weight_match;
+      mean_unmatch_[f] /= weight_unmatch;
+    }
+    std::fill(var_match_.begin(), var_match_.end(), 0.0);
+    std::fill(var_unmatch_.begin(), var_unmatch_.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      auto row = data.row(i);
+      for (size_t f = 0; f < dim_; ++f) {
+        double dm = row[f] - mean_match_[f];
+        double du = row[f] - mean_unmatch_[f];
+        var_match_[f] += responsibility[i] * dm * dm;
+        var_unmatch_[f] += (1.0 - responsibility[i]) * du * du;
+      }
+    }
+    for (size_t f = 0; f < dim_; ++f) {
+      var_match_[f] =
+          std::max(options_.variance_floor, var_match_[f] / weight_match);
+      var_unmatch_[f] =
+          std::max(options_.variance_floor, var_unmatch_[f] / weight_unmatch);
+    }
+
+    // E step + log-likelihood.
+    double log_likelihood = 0.0;
+    double log_prior_match = std::log(prior_match_);
+    double log_prior_unmatch = std::log(1.0 - prior_match_);
+    for (size_t i = 0; i < n; ++i) {
+      auto row = data.row(i);
+      double lm = log_prior_match + LogDensity(row, mean_match_, var_match_);
+      double lu =
+          log_prior_unmatch + LogDensity(row, mean_unmatch_, var_unmatch_);
+      double mx = std::max(lm, lu);
+      double log_sum = mx + std::log(std::exp(lm - mx) + std::exp(lu - mx));
+      responsibility[i] = std::exp(lm - log_sum);
+      log_likelihood += log_sum;
+    }
+    log_likelihood_trace_.push_back(log_likelihood);
+    iterations_run_ = iter + 1;
+    final_log_likelihood_ = log_likelihood;
+    if (std::fabs(log_likelihood - prev_log_likelihood) <
+        options_.tolerance * (1.0 + std::fabs(log_likelihood))) {
+      break;
+    }
+    prev_log_likelihood = log_likelihood;
+  }
+
+  // Orient the components: the match component must have the larger mean
+  // similarity; EM can converge with the labels flipped.
+  double sum_match = std::accumulate(mean_match_.begin(), mean_match_.end(), 0.0);
+  double sum_unmatch =
+      std::accumulate(mean_unmatch_.begin(), mean_unmatch_.end(), 0.0);
+  if (sum_match < sum_unmatch) {
+    std::swap(mean_match_, mean_unmatch_);
+    std::swap(var_match_, var_unmatch_);
+    prior_match_ = 1.0 - prior_match_;
+  }
+}
+
+double GaussianMixtureMatcher::PredictScore(std::span<const float> row) const {
+  if (dim_ == 0) return 0.0;
+  double lm = std::log(prior_match_) + LogDensity(row, mean_match_, var_match_);
+  double lu = std::log(1.0 - prior_match_) +
+              LogDensity(row, mean_unmatch_, var_unmatch_);
+  double mx = std::max(lm, lu);
+  double log_sum = mx + std::log(std::exp(lm - mx) + std::exp(lu - mx));
+  return std::exp(lm - log_sum);
+}
+
+}  // namespace rlbench::ml

@@ -1,0 +1,61 @@
+// Two-component diagonal Gaussian mixture fitted with expectation-
+// maximisation: the generative core of ZeroER (matches and non-matches are
+// modelled as separate Gaussians over the similarity features and no labels
+// are used).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace rlbench::ml {
+
+struct GmmOptions {
+  int max_iterations = 200;
+  double tolerance = 1e-6;
+  double variance_floor = 1e-4;
+  /// Initial fraction of instances assumed to be matches; EM refines it.
+  double initial_match_prior = 0.1;
+  uint64_t seed = 42;
+};
+
+/// \brief Unsupervised match / non-match mixture model.
+class GaussianMixtureMatcher {
+ public:
+  explicit GaussianMixtureMatcher(GmmOptions options = {})
+      : options_(options) {}
+
+  /// Fit by EM on the rows only — labels in `data` are ignored.
+  void Fit(const Dataset& data);
+
+  /// Posterior probability of the match component.
+  double PredictScore(std::span<const float> row) const;
+  bool Predict(std::span<const float> row) const {
+    return PredictScore(row) >= 0.5;
+  }
+
+  int iterations_run() const { return iterations_run_; }
+  double final_log_likelihood() const { return final_log_likelihood_; }
+  const std::vector<double>& log_likelihood_trace() const {
+    return log_likelihood_trace_;
+  }
+  double match_prior() const { return prior_match_; }
+
+ private:
+  double LogDensity(std::span<const float> row,
+                    const std::vector<double>& mean,
+                    const std::vector<double>& var) const;
+
+  GmmOptions options_;
+  size_t dim_ = 0;
+  std::vector<double> mean_match_, var_match_;
+  std::vector<double> mean_unmatch_, var_unmatch_;
+  double prior_match_ = 0.1;
+  int iterations_run_ = 0;
+  double final_log_likelihood_ = 0.0;
+  std::vector<double> log_likelihood_trace_;
+};
+
+}  // namespace rlbench::ml

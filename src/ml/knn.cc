@@ -1,0 +1,34 @@
+#include "ml/knn.h"
+
+#include <limits>
+
+namespace rlbench::ml {
+
+size_t NearestNeighbor(const std::vector<LabeledPoint>& points,
+                       const std::vector<double>& query,
+                       const DistanceFn& distance, size_t exclude) {
+  size_t best = std::numeric_limits<size_t>::max();
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (i == exclude) continue;
+    double d = distance(points[i].x, query);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double LeaveOneOut1NnErrorRate(const std::vector<LabeledPoint>& points,
+                               const DistanceFn& distance) {
+  if (points.size() < 2) return 0.0;
+  size_t errors = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    size_t nn = NearestNeighbor(points, points[i].x, distance, i);
+    if (points[nn].label != points[i].label) ++errors;
+  }
+  return static_cast<double>(errors) / static_cast<double>(points.size());
+}
+
+}  // namespace rlbench::ml

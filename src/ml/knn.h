@@ -1,0 +1,32 @@
+// Exact nearest-neighbour queries over small point sets with a pluggable
+// distance. Used by the neighbourhood complexity measures (n1..n4, t1, lsc)
+// and by 1-NN classification.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rlbench::ml {
+
+/// 2-D (or k-D) point with a class label; the complexity measures operate
+/// on the paper's two similarity features, so points are tiny.
+struct LabeledPoint {
+  std::vector<double> x;
+  bool label = false;
+};
+
+using DistanceFn =
+    std::function<double(const std::vector<double>&, const std::vector<double>&)>;
+
+/// Index of the nearest point to `query` among `points`, excluding
+/// `exclude` (pass SIZE_MAX to exclude nothing). Linear scan.
+size_t NearestNeighbor(const std::vector<LabeledPoint>& points,
+                       const std::vector<double>& query,
+                       const DistanceFn& distance, size_t exclude);
+
+/// Leave-one-out 1-NN error rate (complexity measure n3's core).
+double LeaveOneOut1NnErrorRate(const std::vector<LabeledPoint>& points,
+                               const DistanceFn& distance);
+
+}  // namespace rlbench::ml

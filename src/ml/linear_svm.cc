@@ -1,0 +1,82 @@
+#include "ml/linear_svm.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace rlbench::ml {
+
+void LinearSvm::Fit(const Dataset& train, const Dataset& valid) {
+  (void)valid;
+  scaler_.Fit(train);
+  Dataset scaled = scaler_.TransformAll(train);
+
+  size_t dim = scaled.num_features();
+  weights_.assign(dim, 0.0);
+  bias_ = 0.0;
+  if (scaled.empty()) return;
+
+  double positives = static_cast<double>(scaled.CountPositives());
+  double negatives = static_cast<double>(scaled.size()) - positives;
+  double pos_weight = 1.0;
+  if (options_.balance_classes && positives > 0.0 && negatives > 0.0) {
+    pos_weight = negatives / positives;
+  }
+
+  Rng rng(options_.seed);
+  std::vector<size_t> order(scaled.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+
+  size_t t = 0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t index : order) {
+      ++t;
+      double eta = 1.0 / (options_.lambda * static_cast<double>(t));
+      auto row = scaled.row(index);
+      double y = scaled.label(index) ? 1.0 : -1.0;
+      double margin = bias_;
+      for (size_t f = 0; f < dim; ++f) margin += weights_[f] * row[f];
+      // Weight-decay step of Pegasos.
+      double decay = 1.0 - eta * options_.lambda;
+      for (size_t f = 0; f < dim; ++f) weights_[f] *= decay;
+      if (y * margin < 1.0) {
+        double w = scaled.label(index) ? pos_weight : 1.0;
+        for (size_t f = 0; f < dim; ++f) {
+          weights_[f] += eta * w * y * row[f];
+        }
+        bias_ += eta * w * y;
+      }
+    }
+  }
+}
+
+double LinearSvm::Margin(std::span<const float> row) const {
+  std::vector<float> scaled(row.begin(), row.end());
+  scaler_.Transform(scaled);
+  double z = bias_;
+  for (size_t f = 0; f < weights_.size() && f < scaled.size(); ++f) {
+    z += weights_[f] * scaled[f];
+  }
+  return z;
+}
+
+double LinearSvm::PredictScore(std::span<const float> row) const {
+  double z = Margin(row);
+  if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+double LinearSvm::MeanHingeLoss(const Dataset& data) const {
+  if (data.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    double y = data.label(i) ? 1.0 : -1.0;
+    total += std::max(0.0, 1.0 - y * Margin(data.row(i)));
+  }
+  return total / static_cast<double>(data.size());
+}
+
+}  // namespace rlbench::ml

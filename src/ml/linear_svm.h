@@ -1,0 +1,48 @@
+// Linear support vector machine trained with Pegasos-style stochastic
+// sub-gradient descent on the hinge loss. Backs Magellan-SVM and the l1/l2
+// complexity measures (error rate and error distance of a linear SVM).
+#pragma once
+
+#include <cstdint>
+
+#include "ml/classifier.h"
+#include "ml/scaler.h"
+
+namespace rlbench::ml {
+
+struct LinearSvmOptions {
+  int epochs = 60;
+  double lambda = 1e-3;  // regularisation strength (Pegasos λ)
+  bool balance_classes = true;
+  uint64_t seed = 42;
+};
+
+/// \brief Soft-margin linear SVM.
+class LinearSvm : public Classifier {
+ public:
+  explicit LinearSvm(LinearSvmOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "LinearSVM"; }
+  void Fit(const Dataset& train, const Dataset& valid) override;
+
+  /// Signed margin squashed through a logistic link for a [0,1] score.
+  double PredictScore(std::span<const float> row) const override;
+  bool Predict(std::span<const float> row) const override {
+    return Margin(row) >= 0.0;
+  }
+
+  /// Raw signed distance-like margin w·x + b (positive = match side).
+  double Margin(std::span<const float> row) const;
+
+  /// Mean hinge loss of the training data under the learned hyperplane,
+  /// i.e. the "sum of the error distance" statistic behind measure l1.
+  double MeanHingeLoss(const Dataset& data) const;
+
+ private:
+  LinearSvmOptions options_;
+  StandardScaler scaler_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace rlbench::ml

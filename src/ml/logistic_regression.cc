@@ -1,0 +1,78 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace rlbench::ml {
+
+namespace {
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+void LogisticRegression::Fit(const Dataset& train, const Dataset& valid) {
+  (void)valid;  // no model selection needed for a convex model
+  scaler_.Fit(train);
+  Dataset scaled = scaler_.TransformAll(train);
+
+  size_t dim = scaled.num_features();
+  weights_.assign(dim, 0.0);
+  bias_ = 0.0;
+  if (scaled.empty()) return;
+
+  double positives = static_cast<double>(scaled.CountPositives());
+  double negatives = static_cast<double>(scaled.size()) - positives;
+  double pos_weight = 1.0;
+  if (options_.balance_classes && positives > 0.0 && negatives > 0.0) {
+    pos_weight = negatives / positives;
+  }
+
+  Rng rng(options_.seed);
+  std::vector<size_t> order(scaled.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double lr = options_.learning_rate / (1.0 + 0.05 * epoch);
+    for (size_t start = 0; start < order.size();
+         start += options_.batch_size) {
+      size_t end = std::min(order.size(), start + options_.batch_size);
+      std::vector<double> grad(dim, 0.0);
+      double grad_bias = 0.0;
+      for (size_t k = start; k < end; ++k) {
+        auto row = scaled.row(order[k]);
+        double y = scaled.label(order[k]) ? 1.0 : 0.0;
+        double z = bias_;
+        for (size_t f = 0; f < dim; ++f) z += weights_[f] * row[f];
+        double err = Sigmoid(z) - y;
+        double w = scaled.label(order[k]) ? pos_weight : 1.0;
+        for (size_t f = 0; f < dim; ++f) grad[f] += w * err * row[f];
+        grad_bias += w * err;
+      }
+      double scale = lr / static_cast<double>(end - start);
+      for (size_t f = 0; f < dim; ++f) {
+        weights_[f] -= scale * (grad[f] + options_.l2 * weights_[f]);
+      }
+      bias_ -= scale * grad_bias;
+    }
+  }
+}
+
+double LogisticRegression::PredictScore(std::span<const float> row) const {
+  std::vector<float> scaled(row.begin(), row.end());
+  scaler_.Transform(scaled);
+  double z = bias_;
+  for (size_t f = 0; f < weights_.size() && f < scaled.size(); ++f) {
+    z += weights_[f] * scaled[f];
+  }
+  return Sigmoid(z);
+}
+
+}  // namespace rlbench::ml

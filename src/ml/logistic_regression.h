@@ -1,0 +1,43 @@
+// L2-regularised logistic regression trained with mini-batch SGD.
+// The linear classifier behind Magellan-LR.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/classifier.h"
+#include "ml/scaler.h"
+
+namespace rlbench::ml {
+
+struct LogisticRegressionOptions {
+  int epochs = 100;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  size_t batch_size = 32;
+  /// Weight positive examples by the inverse class frequency so that the
+  /// minority (match) class is not drowned by the imbalance ratio.
+  bool balance_classes = true;
+  uint64_t seed = 42;
+};
+
+/// \brief Binary logistic regression.
+class LogisticRegression : public Classifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "LogisticRegression"; }
+  void Fit(const Dataset& train, const Dataset& valid) override;
+  double PredictScore(std::span<const float> row) const override;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  LogisticRegressionOptions options_;
+  StandardScaler scaler_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace rlbench::ml

@@ -1,0 +1,168 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rlbench::ml {
+
+double Confusion::Precision() const {
+  size_t denom = true_positives + false_positives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double Confusion::Recall() const {
+  size_t denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double Confusion::F1() const {
+  double p = Precision();
+  double r = Recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double Confusion::Accuracy() const {
+  size_t total = true_positives + false_positives + true_negatives +
+                 false_negatives;
+  return total == 0 ? 0.0
+                    : static_cast<double>(true_positives + true_negatives) /
+                          static_cast<double>(total);
+}
+
+double Confusion::MatthewsCorrelation() const {
+  double tp = static_cast<double>(true_positives);
+  double fp = static_cast<double>(false_positives);
+  double tn = static_cast<double>(true_negatives);
+  double fn = static_cast<double>(false_negatives);
+  double denom = std::sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn));
+  if (denom == 0.0) return 0.0;
+  return (tp * tn - fp * fn) / denom;
+}
+
+Confusion Evaluate(const std::vector<uint8_t>& truth,
+                   const std::vector<uint8_t>& predicted) {
+  assert(truth.size() == predicted.size());
+  Confusion c;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] != 0) {
+      if (predicted[i] != 0) {
+        ++c.true_positives;
+      } else {
+        ++c.false_negatives;
+      }
+    } else {
+      if (predicted[i] != 0) {
+        ++c.false_positives;
+      } else {
+        ++c.true_negatives;
+      }
+    }
+  }
+  return c;
+}
+
+double F1AtThreshold(const std::vector<double>& scores,
+                     const std::vector<uint8_t>& truth, double threshold) {
+  assert(scores.size() == truth.size());
+  Confusion c;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    bool predicted = threshold <= scores[i];
+    if (truth[i] != 0) {
+      if (predicted) {
+        ++c.true_positives;
+      } else {
+        ++c.false_negatives;
+      }
+    } else if (predicted) {
+      ++c.false_positives;
+    }
+  }
+  return c.F1();
+}
+
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<uint8_t>& truth) {
+  assert(scores.size() == truth.size());
+  size_t total_positives = 0;
+  for (uint8_t label : truth) total_positives += label;
+  if (total_positives == 0) return 0.0;
+
+  std::vector<std::pair<double, uint8_t>> sorted(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) sorted[i] = {scores[i], truth[i]};
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  double sum = 0.0;
+  size_t tp = 0;
+  for (size_t rank = 0; rank < sorted.size(); ++rank) {
+    if (sorted[rank].second == 0) continue;
+    ++tp;
+    sum += static_cast<double>(tp) / static_cast<double>(rank + 1);
+  }
+  return sum / static_cast<double>(total_positives);
+}
+
+ThresholdSweepResult SweepThresholds(const std::vector<double>& scores,
+                                     const std::vector<uint8_t>& truth) {
+  assert(scores.size() == truth.size());
+  ThresholdSweepResult result;
+  result.best_threshold = 0.01;
+
+  size_t total_positives = 0;
+  for (uint8_t label : truth) total_positives += label;
+
+  // Sort (score, label) descending once; walking the 99 thresholds over the
+  // sorted array yields cumulative TP / predicted-positive counts.
+  std::vector<std::pair<double, uint8_t>> sorted(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) sorted[i] = {scores[i], truth[i]};
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  size_t cursor = 0;
+  size_t tp = 0;
+  // Thresholds descend so that the cumulative counters only ever grow;
+  // we still report the *lowest-index (first swept)* threshold 0.01..0.99,
+  // matching Algorithm 1's "keep strictly better" update from low to high.
+  struct Candidate {
+    double threshold;
+    double f1;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(99);
+  for (int step = 99; step >= 1; --step) {
+    double threshold = step / 100.0;
+    while (cursor < sorted.size() && sorted[cursor].first >= threshold) {
+      tp += sorted[cursor].second;
+      ++cursor;
+    }
+    size_t predicted_positives = cursor;
+    double precision = predicted_positives == 0
+                           ? 0.0
+                           : static_cast<double>(tp) /
+                                 static_cast<double>(predicted_positives);
+    double recall = total_positives == 0
+                        ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(total_positives);
+    double f1 = precision + recall == 0.0
+                    ? 0.0
+                    : 2.0 * precision * recall / (precision + recall);
+    candidates.push_back({threshold, f1});
+  }
+  // Algorithm 1 sweeps ascending and keeps the first strict improvement, so
+  // replay ascending.
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    if (it->f1 > result.best_f1) {
+      result.best_f1 = it->f1;
+      result.best_threshold = it->threshold;
+    }
+  }
+  return result;
+}
+
+}  // namespace rlbench::ml

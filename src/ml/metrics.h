@@ -1,0 +1,55 @@
+// Classification metrics (Section II of the paper) and the threshold sweep
+// shared by Algorithm 1 and Algorithm 2.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rlbench::ml {
+
+/// \brief Binary confusion counts.
+struct Confusion {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t true_negatives = 0;
+  size_t false_negatives = 0;
+
+  double Precision() const;
+  double Recall() const;
+  /// Harmonic mean of precision and recall; 0 when undefined.
+  double F1() const;
+  double Accuracy() const;
+  /// Matthews correlation coefficient in [-1, 1]; 0 when undefined. The
+  /// imbalance-robust alternative the F-measure review [15] discusses.
+  double MatthewsCorrelation() const;
+};
+
+/// Tally predictions against ground truth. Vectors must be equal length.
+Confusion Evaluate(const std::vector<uint8_t>& truth,
+                   const std::vector<uint8_t>& predicted);
+
+/// F1 for score-threshold classification: pairs with score >= threshold are
+/// predicted matches.
+double F1AtThreshold(const std::vector<double>& scores,
+                     const std::vector<uint8_t>& truth, double threshold);
+
+/// \brief Result of the exhaustive threshold sweep.
+struct ThresholdSweepResult {
+  double best_f1 = 0.0;
+  double best_threshold = 0.0;
+};
+
+/// Sweep thresholds over [0.01, 0.99] with step 0.01 exactly as Algorithm 1
+/// does, returning the maximum F1 and the first threshold achieving it.
+/// Runs in O(n log n + 99) via a sort + cumulative counting, which is
+/// equivalent to the paper's O(99 n) loop.
+ThresholdSweepResult SweepThresholds(const std::vector<double>& scores,
+                                     const std::vector<uint8_t>& truth);
+
+/// Average precision (area under the precision-recall curve, step-wise):
+/// the threshold-free ranking quality of a matcher's scores.
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<uint8_t>& truth);
+
+}  // namespace rlbench::ml

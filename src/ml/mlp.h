@@ -1,0 +1,66 @@
+// Feed-forward neural network: Dense+ReLU -> Highway -> sigmoid output,
+// trained with mini-batch Adam. This is the classification head shared by
+// all simulated DL matchers; the highway layer mirrors DeepMatcher's
+// two-layer HighwayNet classifier. The validation set selects the best
+// epoch (the paper aligned EMTransformer to do exactly this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/scaler.h"
+
+namespace rlbench::ml {
+
+struct MlpOptions {
+  size_t hidden = 32;
+  int epochs = 15;
+  size_t batch_size = 32;
+  double learning_rate = 2e-3;
+  double l2 = 1e-5;
+  bool balance_classes = true;
+  /// Snapshot the parameters after every epoch and keep the snapshot with
+  /// the best validation F1.
+  bool select_best_epoch_on_valid = true;
+  uint64_t seed = 42;
+};
+
+/// \brief Two-layer highway MLP binary classifier.
+class Mlp : public Classifier {
+ public:
+  explicit Mlp(MlpOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "MLP"; }
+  void Fit(const Dataset& train, const Dataset& valid) override;
+  double PredictScore(std::span<const float> row) const override;
+
+  /// Validation F1 of the selected snapshot (for diagnostics).
+  double best_valid_f1() const { return best_valid_f1_; }
+  int best_epoch() const { return best_epoch_; }
+
+ private:
+  struct Params {
+    // Dense input layer: hidden x input.
+    std::vector<double> w1, b1;
+    // Highway transform gate and candidate: hidden x hidden.
+    std::vector<double> wt, bt, wh, bh;
+    // Output layer: hidden -> 1.
+    std::vector<double> w2;
+    double b2 = 0.0;
+  };
+
+  double Forward(std::span<const float> scaled_row, const Params& params,
+                 std::vector<double>* z1, std::vector<double>* pre1,
+                 std::vector<double>* pre_t, std::vector<double>* pre_h,
+                 std::vector<double>* z2) const;
+
+  MlpOptions options_;
+  StandardScaler scaler_;
+  size_t input_dim_ = 0;
+  Params params_;
+  double best_valid_f1_ = 0.0;
+  int best_epoch_ = -1;
+};
+
+}  // namespace rlbench::ml

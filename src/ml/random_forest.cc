@@ -1,0 +1,45 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace rlbench::ml {
+
+void RandomForest::Fit(const Dataset& train, const Dataset& valid) {
+  (void)valid;
+  trees_.clear();
+  trees_.reserve(options_.num_trees);
+  Rng rng(options_.seed);
+
+  size_t dim = train.num_features();
+  size_t per_split = options_.tree.max_features;
+  if (per_split == 0) {
+    per_split = std::max<size_t>(
+        1, static_cast<size_t>(std::lround(std::sqrt(dim))));
+  }
+
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    DecisionTreeOptions tree_options = options_.tree;
+    tree_options.max_features = per_split;
+    tree_options.seed = rng.Fork();
+    DecisionTree tree(tree_options);
+
+    // Bootstrap sample: n draws with replacement.
+    std::vector<size_t> sample(train.size());
+    for (size_t i = 0; i < train.size(); ++i) {
+      sample[i] = rng.Index(train.size());
+    }
+    tree.FitOnIndices(train, std::move(sample));
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::PredictScore(std::span<const float> row) const {
+  if (trees_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& tree : trees_) total += tree.PredictScore(row);
+  return total / static_cast<double>(trees_.size());
+}
+
+}  // namespace rlbench::ml

@@ -1,0 +1,39 @@
+// Bagged ensemble of decision trees with per-split feature subsampling.
+// Backs Magellan-RF, typically the strongest classical baseline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+
+namespace rlbench::ml {
+
+struct RandomForestOptions {
+  size_t num_trees = 48;
+  DecisionTreeOptions tree;
+  uint64_t seed = 42;
+};
+
+/// \brief Random forest (bootstrap bagging + feature subsampling).
+class RandomForest : public Classifier {
+ public:
+  explicit RandomForest(RandomForestOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "RandomForest"; }
+  void Fit(const Dataset& train, const Dataset& valid) override;
+
+  /// Mean of the tree leaf probabilities.
+  double PredictScore(std::span<const float> row) const override;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  RandomForestOptions options_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace rlbench::ml

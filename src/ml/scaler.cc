@@ -1,0 +1,50 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+namespace rlbench::ml {
+
+void StandardScaler::Fit(const Dataset& data) {
+  size_t dim = data.num_features();
+  means_.assign(dim, 0.0F);
+  stddevs_.assign(dim, 1.0F);
+  if (data.empty()) return;
+
+  std::vector<double> sum(dim, 0.0);
+  std::vector<double> sum_sq(dim, 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    auto row = data.row(i);
+    for (size_t f = 0; f < dim; ++f) {
+      sum[f] += row[f];
+      sum_sq[f] += double{row[f]} * row[f];
+    }
+  }
+  double n = static_cast<double>(data.size());
+  for (size_t f = 0; f < dim; ++f) {
+    double mean = sum[f] / n;
+    double var = sum_sq[f] / n - mean * mean;
+    means_[f] = static_cast<float>(mean);
+    stddevs_[f] = var > 1e-12 ? static_cast<float>(std::sqrt(var)) : 1.0F;
+  }
+}
+
+void StandardScaler::Transform(std::span<float> row) const {
+  for (size_t f = 0; f < row.size() && f < means_.size(); ++f) {
+    row[f] = (row[f] - means_[f]) / stddevs_[f];
+  }
+}
+
+Dataset StandardScaler::TransformAll(const Dataset& data) const {
+  Dataset out(data.num_features());
+  out.Reserve(data.size());
+  std::vector<float> buffer(data.num_features());
+  for (size_t i = 0; i < data.size(); ++i) {
+    auto row = data.row(i);
+    buffer.assign(row.begin(), row.end());
+    Transform(buffer);
+    out.Add(buffer, data.label(i));
+  }
+  return out;
+}
+
+}  // namespace rlbench::ml

@@ -1,0 +1,33 @@
+// Per-feature standardisation (zero mean, unit variance) fitted on the
+// training split only and applied to validation / test rows.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace rlbench::ml {
+
+/// \brief Standard (z-score) feature scaler.
+class StandardScaler {
+ public:
+  /// Estimate per-feature mean and standard deviation from the dataset.
+  void Fit(const Dataset& data);
+
+  /// Scale one row in place. Features with zero variance pass through
+  /// centred only.
+  void Transform(std::span<float> row) const;
+
+  /// Produce a scaled copy of an entire dataset.
+  Dataset TransformAll(const Dataset& data) const;
+
+  const std::vector<float>& means() const { return means_; }
+  const std::vector<float>& stddevs() const { return stddevs_; }
+
+ private:
+  std::vector<float> means_;
+  std::vector<float> stddevs_;
+};
+
+}  // namespace rlbench::ml

@@ -1,0 +1,79 @@
+#include "text/normalize.h"
+
+#include <array>
+#include <algorithm>
+
+#include "common/strings.h"
+#include "text/tokenizer.h"
+
+namespace rlbench::text {
+
+namespace {
+
+constexpr std::array<std::string_view, 32> kStopWords = {
+    "a",   "an",  "and",  "are", "as",   "at",   "be",   "by",
+    "for", "from", "has",  "he",  "in",   "is",   "it",   "its",
+    "of",  "on",  "or",   "that", "the", "this", "to",   "was",
+    "were", "will", "with", "we",  "you",  "but",  "not",  "their"};
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+bool IsStopWord(std::string_view token) {
+  return std::find(kStopWords.begin(), kStopWords.end(), token) !=
+         kStopWords.end();
+}
+
+std::vector<std::string> RemoveStopWords(
+    const std::vector<std::string>& tokens) {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const auto& token : tokens) {
+    if (!IsStopWord(token)) out.push_back(token);
+  }
+  return out;
+}
+
+std::string Stem(std::string_view token) {
+  std::string word(token);
+  // Keep very short words intact: stripping would destroy them.
+  if (word.size() <= 3) return word;
+  if (EndsWith(word, "sses")) {
+    word.resize(word.size() - 2);
+  } else if (EndsWith(word, "ies")) {
+    word.resize(word.size() - 2);
+  } else if (EndsWith(word, "s") && !EndsWith(word, "ss") &&
+             !EndsWith(word, "us")) {
+    word.resize(word.size() - 1);
+  }
+  if (word.size() > 4 && EndsWith(word, "ing")) {
+    word.resize(word.size() - 3);
+  } else if (word.size() > 4 && EndsWith(word, "ed")) {
+    word.resize(word.size() - 2);
+  } else if (word.size() > 4 && EndsWith(word, "ly")) {
+    word.resize(word.size() - 2);
+  }
+  if (word.size() > 5 && EndsWith(word, "ation")) {
+    word.resize(word.size() - 3);
+    word.push_back('e');
+  }
+  return word;
+}
+
+std::vector<std::string> StemAll(const std::vector<std::string>& tokens) {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const auto& token : tokens) out.push_back(Stem(token));
+  return out;
+}
+
+std::string CleanText(std::string_view text) {
+  auto tokens = StemAll(RemoveStopWords(Tokenize(text)));
+  return Join(tokens, " ");
+}
+
+}  // namespace rlbench::text

@@ -1,0 +1,30 @@
+// Text cleaning used by the blocking tuner (Section VI: "whether cleaning is
+// used or not — if it is, stop-words are removed and stemming is applied")
+// and by the DITTO-style TF-IDF summarisation.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rlbench::text {
+
+/// True if the token is an English stop-word (small fixed list, lower-case).
+bool IsStopWord(std::string_view token);
+
+/// Remove stop-words from a token sequence.
+std::vector<std::string> RemoveStopWords(const std::vector<std::string>& tokens);
+
+/// A light suffix-stripping stemmer (Porter-style step-1 rules: plurals,
+/// -ed/-ing, -ly, -tion families). Deterministic and cheap; sufficient for
+/// the cleaning toggle the blocking grid search explores.
+std::string Stem(std::string_view token);
+
+/// Apply Stem to every token.
+std::vector<std::string> StemAll(const std::vector<std::string>& tokens);
+
+/// Full cleaning pipeline: tokenize -> remove stop-words -> stem -> rejoin
+/// with single spaces.
+std::string CleanText(std::string_view text);
+
+}  // namespace rlbench::text

@@ -1,0 +1,34 @@
+#include "text/qgrams.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace rlbench::text {
+
+std::vector<std::string> QGrams(std::string_view value, int q) {
+  std::string lower = ToLowerAscii(value);
+  std::vector<std::string> grams;
+  if (lower.empty() || q <= 0) return grams;
+  if (static_cast<int>(lower.size()) <= q) {
+    grams.push_back(lower);
+    return grams;
+  }
+  grams.reserve(lower.size() - q + 1);
+  for (size_t i = 0; i + q <= lower.size(); ++i) {
+    grams.push_back(lower.substr(i, q));
+  }
+  return grams;
+}
+
+TokenSet QGramSet(std::string_view value, int q) {
+  auto grams = QGrams(value, q);
+  // Salt each gram with its q so different gram orders never collide.
+  for (auto& gram : grams) {
+    gram.push_back('\x01');
+    gram.push_back(static_cast<char>('0' + q));
+  }
+  return TokenSet(grams);
+}
+
+}  // namespace rlbench::text

@@ -1,0 +1,22 @@
+// Character q-gram extraction for the q-gram ESDE variants (SAQ/SBQ) and
+// q-gram blocking.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace rlbench::text {
+
+/// Extract the (overlapping) character q-grams of a string after
+/// lower-casing; strings shorter than q yield the whole string as one gram.
+std::vector<std::string> QGrams(std::string_view value, int q);
+
+/// Build a TokenSet of q-gram hashes for the given q directly from text.
+/// The hash space is salted with q so that the 2-gram "ab" and a token "ab"
+/// never alias.
+TokenSet QGramSet(std::string_view value, int q);
+
+}  // namespace rlbench::text

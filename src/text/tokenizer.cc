@@ -1,0 +1,64 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace rlbench::text {
+
+std::vector<std::string> Tokenize(std::string_view value) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char raw : value) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> TokenizeAll(const std::vector<std::string>& values) {
+  std::vector<std::string> tokens;
+  for (const auto& value : values) {
+    auto piece = Tokenize(value);
+    tokens.insert(tokens.end(), piece.begin(), piece.end());
+  }
+  return tokens;
+}
+
+TokenSet::TokenSet(const std::vector<std::string>& tokens) {
+  hashes_.reserve(tokens.size());
+  for (const auto& token : tokens) hashes_.push_back(Fnv1a64(token));
+  std::sort(hashes_.begin(), hashes_.end());
+  hashes_.erase(std::unique(hashes_.begin(), hashes_.end()), hashes_.end());
+}
+
+TokenSet TokenSet::FromText(std::string_view text) {
+  return TokenSet(Tokenize(text));
+}
+
+size_t TokenSet::IntersectionSize(const TokenSet& other) const {
+  size_t count = 0;
+  auto a = hashes_.begin();
+  auto b = other.hashes_.begin();
+  while (a != hashes_.end() && b != other.hashes_.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      ++count;
+      ++a;
+      ++b;
+    }
+  }
+  return count;
+}
+
+}  // namespace rlbench::text

@@ -1,0 +1,47 @@
+// Tokenization and token-set construction. All difficulty measures and the
+// schema-agnostic matchers in the paper operate on lower-cased whitespace /
+// punctuation tokens, so this module is the shared entry point for turning
+// attribute values into comparable token sequences and sets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rlbench::text {
+
+/// Lower-case and split on whitespace and punctuation; digits and letters
+/// are kept, everything else is a delimiter. Empty tokens are dropped.
+std::vector<std::string> Tokenize(std::string_view value);
+
+/// Tokenize each string and concatenate the results in order.
+std::vector<std::string> TokenizeAll(const std::vector<std::string>& values);
+
+/// \brief A deduplicated, sorted set of 64-bit token hashes.
+///
+/// Set similarities (Jaccard, Cosine, Dice, Overlap) reduce to merge-style
+/// intersections over these sorted vectors, which is the hot path of
+/// Algorithm 1 and the ESDE matchers.
+class TokenSet {
+ public:
+  TokenSet() = default;
+  explicit TokenSet(const std::vector<std::string>& tokens);
+
+  /// Build directly from raw text (tokenizes first).
+  static TokenSet FromText(std::string_view text);
+
+  size_t size() const { return hashes_.size(); }
+  bool empty() const { return hashes_.empty(); }
+  const std::vector<uint64_t>& hashes() const { return hashes_; }
+
+  /// Number of elements shared with the other set (merge intersection).
+  size_t IntersectionSize(const TokenSet& other) const;
+
+  bool operator==(const TokenSet& other) const = default;
+
+ private:
+  std::vector<uint64_t> hashes_;
+};
+
+}  // namespace rlbench::text

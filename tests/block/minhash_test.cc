@@ -1,0 +1,78 @@
+#include "block/minhash_blocking.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/catalog.h"
+#include "datagen/source_builder.h"
+#include "text/similarity.h"
+
+namespace rlbench::block {
+namespace {
+
+TEST(MinHashSignatureTest, CollisionRateTracksJaccard) {
+  // The fraction of colliding MinHash slots estimates the Jaccard
+  // similarity of the underlying sets.
+  auto a = text::TokenSet::FromText(
+      "alpha beta gamma delta epsilon zeta eta theta");
+  auto b = text::TokenSet::FromText(
+      "alpha beta gamma delta epsilon zeta iota kappa");
+  double jaccard = text::JaccardSimilarity(a, b);
+  size_t hashes = 512;  // large signature for a tight estimate
+  auto sig_a = MinHashSignature(a, hashes, 3);
+  auto sig_b = MinHashSignature(b, hashes, 3);
+  size_t collisions = 0;
+  for (size_t i = 0; i < hashes; ++i) {
+    collisions += sig_a[i] == sig_b[i] ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(collisions) / hashes, jaccard, 0.08);
+}
+
+TEST(MinHashSignatureTest, IdenticalSetsIdenticalSignatures) {
+  auto a = text::TokenSet::FromText("one two three");
+  EXPECT_EQ(MinHashSignature(a, 16, 7), MinHashSignature(a, 16, 7));
+  // Different seed, different signature.
+  EXPECT_NE(MinHashSignature(a, 16, 7), MinHashSignature(a, 16, 8));
+}
+
+TEST(MinHashBlockingTest, HighRecallOnLowNoiseSource) {
+  auto source = datagen::BuildSourceDataset(
+      *datagen::FindSourceDataset("Dn3"), 0.1);
+  MinHashOptions options;
+  options.bands = 16;  // looser: more bands, fewer rows
+  options.num_hashes = 32;
+  auto candidates = MinHashBlocking(source.d1, source.d2, options);
+  auto metrics = EvaluateBlocking(candidates, source.matches);
+  EXPECT_GT(metrics.pair_completeness, 0.9);
+  // Far fewer candidates than the cross product.
+  EXPECT_LT(metrics.num_candidates,
+            source.d1.size() * source.d2.size() / 4);
+}
+
+TEST(MinHashBlockingTest, MoreRowsPerBandRaisesPrecision) {
+  auto source = datagen::BuildSourceDataset(
+      *datagen::FindSourceDataset("Dn3"), 0.1);
+  MinHashOptions loose;
+  loose.num_hashes = 32;
+  loose.bands = 16;  // 2 rows per band
+  MinHashOptions strict;
+  strict.num_hashes = 32;
+  strict.bands = 4;  // 8 rows per band
+  auto loose_metrics = EvaluateBlocking(
+      MinHashBlocking(source.d1, source.d2, loose), source.matches);
+  auto strict_metrics = EvaluateBlocking(
+      MinHashBlocking(source.d1, source.d2, strict), source.matches);
+  EXPECT_GE(strict_metrics.pairs_quality, loose_metrics.pairs_quality);
+  EXPECT_LE(strict_metrics.pair_completeness,
+            loose_metrics.pair_completeness + 1e-9);
+}
+
+TEST(MinHashBlockingTest, DeterministicForSeed) {
+  auto source = datagen::BuildSourceDataset(
+      *datagen::FindSourceDataset("Dn1"), 0.1);
+  MinHashOptions options;
+  EXPECT_EQ(MinHashBlocking(source.d1, source.d2, options),
+            MinHashBlocking(source.d1, source.d2, options));
+}
+
+}  // namespace
+}  // namespace rlbench::block

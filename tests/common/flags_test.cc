@@ -1,0 +1,53 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace rlbench {
+namespace {
+
+Flags Make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(FlagsTest, ParsesKeyValue) {
+  Flags flags = Make({"--scale=0.5", "--name=test"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.0), 0.5);
+  EXPECT_EQ(flags.GetString("name", ""), "test");
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  Flags flags = Make({"--verbose"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.Has("verbose"));
+}
+
+TEST(FlagsTest, FallbacksWhenMissing) {
+  Flags flags = Make({});
+  EXPECT_EQ(flags.GetInt("n", 42), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("x", 2.5), 2.5);
+  EXPECT_FALSE(flags.GetBool("b", false));
+  EXPECT_FALSE(flags.Has("anything"));
+}
+
+TEST(FlagsTest, MalformedValueFallsBack) {
+  Flags flags = Make({"--n=abc"});
+  EXPECT_EQ(flags.GetInt("n", 7), 7);
+}
+
+TEST(FlagsTest, NonFlagTokensIgnored) {
+  Flags flags = Make({"positional", "--k=3"});
+  EXPECT_EQ(flags.GetInt("k", 0), 3);
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  Flags flags = Make({"--a=true", "--b=1", "--c=yes", "--d=false"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+}
+
+}  // namespace
+}  // namespace rlbench

@@ -1,0 +1,67 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace rlbench {
+namespace {
+
+TEST(StringsTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("HeLLo 123"), "hello 123");
+  EXPECT_EQ(ToLowerAscii(""), "");
+}
+
+TEST(StringsTest, SplitAnyDropsEmptyPieces) {
+  auto pieces = SplitAny("a,,b;;c", ",;");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(StringsTest, SplitAnyNoDelimiters) {
+  auto pieces = SplitAny("abc", ",");
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "abc");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"one"}, ", "), "one");
+}
+
+TEST(StringsTest, StripAscii) {
+  EXPECT_EQ(StripAscii("  hi \t\n"), "hi");
+  EXPECT_EQ(StripAscii(""), "");
+  EXPECT_EQ(StripAscii("   "), "");
+  EXPECT_EQ(StripAscii("x"), "x");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-f", "--"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+TEST(StringsTest, Fnv1a64StableAndDistinct) {
+  EXPECT_EQ(Fnv1a64("hello"), Fnv1a64("hello"));
+  EXPECT_NE(Fnv1a64("hello"), Fnv1a64("hellp"));
+  // Known FNV-1a reference value for the empty string.
+  EXPECT_EQ(Fnv1a64(""), 0xCBF29CE484222325ULL);
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(0.5, 3), "0.500");
+}
+
+TEST(StringsTest, FormatWithCommas) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(-9876), "-9,876");
+}
+
+}  // namespace
+}  // namespace rlbench

@@ -1,0 +1,68 @@
+// Edge cases of the Section VI builder: tuner fallback when the recall
+// target is unreachable, determinism, and parameter plumbing.
+#include <gtest/gtest.h>
+
+#include "core/benchmark_builder.h"
+#include "datagen/catalog.h"
+
+namespace rlbench::core {
+namespace {
+
+TEST(BuilderEdgeTest, UnreachableRecallFallsBackToBestPc) {
+  // With k_max = 1 on a noisy movie source the 0.99 target is unreachable;
+  // the tuner must return its best-recall run instead of failing.
+  auto spec = *datagen::FindSourceDataset("Dn6");
+  NewBenchmarkOptions options;
+  options.scale = 0.05;
+  options.min_recall = 0.995;
+  options.k_max = 1;
+  auto benchmark = BuildNewBenchmark(spec, options);
+  EXPECT_GT(benchmark.task.AllPairs().size(), 0u);
+  EXPECT_GT(benchmark.blocking.metrics.pair_completeness, 0.0);
+  EXPECT_EQ(benchmark.blocking.config.k, 1);
+}
+
+TEST(BuilderEdgeTest, DeterministicAcrossCalls) {
+  auto spec = *datagen::FindSourceDataset("Dn1");
+  NewBenchmarkOptions options;
+  options.scale = 0.08;
+  options.k_max = 8;
+  auto a = BuildNewBenchmark(spec, options);
+  auto b = BuildNewBenchmark(spec, options);
+  EXPECT_EQ(a.task.AllPairs().size(), b.task.AllPairs().size());
+  EXPECT_EQ(a.blocking.config.k, b.blocking.config.k);
+  EXPECT_EQ(a.blocking.metrics.true_candidates,
+            b.blocking.metrics.true_candidates);
+  ASSERT_FALSE(a.task.train().empty());
+  EXPECT_EQ(a.task.train()[0].left, b.task.train()[0].left);
+}
+
+TEST(BuilderEdgeTest, RecallTargetPropagates) {
+  auto spec = *datagen::FindSourceDataset("Dn3");
+  NewBenchmarkOptions strict;
+  strict.scale = 0.08;
+  strict.min_recall = 0.98;
+  strict.k_max = 16;
+  NewBenchmarkOptions loose = strict;
+  loose.min_recall = 0.5;
+  auto strict_result = BuildNewBenchmark(spec, strict);
+  auto loose_result = BuildNewBenchmark(spec, loose);
+  EXPECT_GE(strict_result.blocking.metrics.pair_completeness, 0.98);
+  // The loose run needs at most as many candidates as the strict one.
+  EXPECT_LE(loose_result.blocking.candidates.size(),
+            strict_result.blocking.candidates.size());
+}
+
+TEST(BuilderEdgeTest, EchoesSourceSizes) {
+  auto spec = *datagen::FindSourceDataset("Dn4");
+  NewBenchmarkOptions options;
+  options.scale = 0.05;
+  options.k_max = 8;
+  auto benchmark = BuildNewBenchmark(spec, options);
+  EXPECT_EQ(benchmark.d1_size, benchmark.task.left().size());
+  EXPECT_EQ(benchmark.d2_size, benchmark.task.right().size());
+  EXPECT_GT(benchmark.num_matches, 0u);
+}
+
+}  // namespace
+}  // namespace rlbench::core

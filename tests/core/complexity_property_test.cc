@@ -1,0 +1,70 @@
+// Parameterised property sweeps for the complexity measures: the average
+// score must grow monotonically as the class clusters approach each other,
+// and the balance measures must grow monotonically in the imbalance.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/complexity.h"
+
+namespace rlbench::core {
+namespace {
+
+std::vector<FeaturePoint> ClustersAtSeparation(double separation,
+                                               double positive_fraction,
+                                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FeaturePoint> points;
+  double center = 0.5;
+  for (size_t i = 0; i < 600; ++i) {
+    bool match = rng.Bernoulli(positive_fraction);
+    double c = match ? center + separation / 2 : center - separation / 2;
+    points.push_back({std::clamp(c + rng.Gaussian(0, 0.06), 0.0, 1.0),
+                      std::clamp(c + rng.Gaussian(0, 0.06), 0.0, 1.0),
+                      match});
+  }
+  return points;
+}
+
+class SeparationSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SeparationSweepTest, TighterSeparationIsMoreComplex) {
+  double separation = GetParam();
+  double tighter = separation / 2.0;
+  auto wide = ComputeComplexity(ClustersAtSeparation(separation, 0.3, 5));
+  auto narrow = ComputeComplexity(ClustersAtSeparation(tighter, 0.3, 5));
+  EXPECT_GE(narrow.Average(), wide.Average() - 0.02)
+      << "separation " << separation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Separations, SeparationSweepTest,
+                         ::testing::Values(0.8, 0.5, 0.3));
+
+class ImbalanceSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ImbalanceSweepTest, BalanceMeasuresTrackImbalance) {
+  double fraction = GetParam();
+  auto report = ComputeComplexity(ClustersAtSeparation(0.6, fraction, 9));
+  auto balanced = ComputeComplexity(ClustersAtSeparation(0.6, 0.5, 9));
+  EXPECT_GE(report.c1, balanced.c1 - 1e-9);
+  EXPECT_GE(report.c2, balanced.c2 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, ImbalanceSweepTest,
+                         ::testing::Values(0.25, 0.1, 0.04));
+
+TEST(ComplexityConsistencyTest, LinearityAndComplexityAgreeOnOrdering) {
+  // The a-priori measures must agree: when one says clearly harder, so
+  // does the other (tested across three separations).
+  double previous_average = -1.0;
+  for (double separation : {0.7, 0.4, 0.15}) {
+    auto points = ClustersAtSeparation(separation, 0.3, 13);
+    auto report = ComputeComplexity(points);
+    EXPECT_GT(report.Average(), previous_average - 0.02);
+    previous_average = report.Average();
+  }
+}
+
+}  // namespace
+}  // namespace rlbench::core

@@ -1,0 +1,115 @@
+#include "core/complexity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rlbench::core {
+namespace {
+
+/// Well-separated clusters: a trivially easy classification task.
+std::vector<FeaturePoint> EasyPoints(size_t n, double positive_fraction,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FeaturePoint> points;
+  for (size_t i = 0; i < n; ++i) {
+    bool match = rng.Bernoulli(positive_fraction);
+    double c = match ? 0.9 : 0.1;
+    points.push_back({std::clamp(c + rng.Gaussian(0, 0.02), 0.0, 1.0),
+                      std::clamp(c + rng.Gaussian(0, 0.02), 0.0, 1.0),
+                      match});
+  }
+  return points;
+}
+
+/// Heavily overlapping clusters: a hard task.
+std::vector<FeaturePoint> HardPoints(size_t n, double positive_fraction,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FeaturePoint> points;
+  for (size_t i = 0; i < n; ++i) {
+    bool match = rng.Bernoulli(positive_fraction);
+    double c = match ? 0.55 : 0.45;
+    points.push_back({std::clamp(c + rng.Gaussian(0, 0.15), 0.0, 1.0),
+                      std::clamp(c + rng.Gaussian(0, 0.15), 0.0, 1.0),
+                      match});
+  }
+  return points;
+}
+
+TEST(ComplexityTest, AllMeasuresInUnitInterval) {
+  for (auto points : {EasyPoints(400, 0.3, 1), HardPoints(400, 0.3, 2)}) {
+    auto report = ComputeComplexity(points);
+    for (const auto& [name, value] : report.Items()) {
+      EXPECT_GE(value, 0.0) << name;
+      EXPECT_LE(value, 1.0) << name;
+    }
+  }
+}
+
+TEST(ComplexityTest, SeventeenMeasures) {
+  auto report = ComputeComplexity(EasyPoints(100, 0.5, 3));
+  EXPECT_EQ(report.Items().size(), 17u);
+}
+
+TEST(ComplexityTest, HardTaskScoresHigherThanEasy) {
+  auto easy = ComputeComplexity(EasyPoints(500, 0.25, 4));
+  auto hard = ComputeComplexity(HardPoints(500, 0.25, 5));
+  EXPECT_GT(hard.Average(), easy.Average() + 0.1);
+  // The individual families must agree on the ordering.
+  EXPECT_GT(hard.f1, easy.f1);
+  EXPECT_GT(hard.l2, easy.l2);
+  EXPECT_GT(hard.n1, easy.n1);
+  EXPECT_GT(hard.n3, easy.n3);
+}
+
+TEST(ComplexityTest, EasySeparableTaskNearZeroNeighbourhood) {
+  auto easy = ComputeComplexity(EasyPoints(500, 0.3, 6));
+  EXPECT_LT(easy.n1, 0.05);
+  EXPECT_LT(easy.n3, 0.05);
+  EXPECT_LT(easy.l2, 0.05);
+  EXPECT_LT(easy.f2, 0.05);  // tiny class-overlap volume
+}
+
+TEST(ComplexityTest, ClassBalanceMeasures) {
+  // Balanced classes: c1 = 0 (max entropy), c2 = 0 (IR = 1).
+  auto balanced = ComputeComplexity(EasyPoints(1000, 0.5, 7));
+  EXPECT_LT(balanced.c1, 0.02);
+  EXPECT_LT(balanced.c2, 0.02);
+  // Imbalanced classes score higher on both.
+  auto imbalanced = ComputeComplexity(EasyPoints(1000, 0.05, 8));
+  EXPECT_GT(imbalanced.c1, 0.5);
+  EXPECT_GT(imbalanced.c2, 0.5);
+}
+
+TEST(ComplexityTest, SubsamplingStableAndBounded) {
+  auto points = HardPoints(5000, 0.3, 9);
+  ComplexityOptions options;
+  options.max_points = 500;
+  auto small = ComputeComplexity(points, options);
+  options.max_points = 1500;
+  auto large = ComputeComplexity(points, options);
+  // Estimates from different sample sizes agree on the overall level.
+  EXPECT_NEAR(small.Average(), large.Average(), 0.08);
+}
+
+TEST(ComplexityTest, DeterministicForSeed) {
+  auto points = HardPoints(3000, 0.3, 10);
+  ComplexityOptions options;
+  options.max_points = 400;
+  auto a = ComputeComplexity(points, options);
+  auto b = ComputeComplexity(points, options);
+  EXPECT_DOUBLE_EQ(a.Average(), b.Average());
+}
+
+TEST(ComplexityTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(ComputeComplexity({}).Average(), 0.0);
+  // Single-class input: balance measures flag it, others stay defined.
+  std::vector<FeaturePoint> one_class = {{0.5, 0.5, true}, {0.6, 0.6, true}};
+  auto report = ComputeComplexity(one_class);
+  EXPECT_DOUBLE_EQ(report.c1, 1.0);
+  EXPECT_DOUBLE_EQ(report.c2, 1.0);
+}
+
+}  // namespace
+}  // namespace rlbench::core

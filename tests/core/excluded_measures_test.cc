@@ -1,0 +1,64 @@
+// Verifies the paper's rationale for EXCLUDING t2/t3/t4, f4 and l3 from
+// the aggregate complexity score on the two-feature representation.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/complexity.h"
+
+namespace rlbench::core {
+namespace {
+
+std::vector<FeaturePoint> Clusters(double separation, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FeaturePoint> points;
+  for (size_t i = 0; i < 500; ++i) {
+    bool match = rng.Bernoulli(0.3);
+    double c = match ? 0.5 + separation / 2 : 0.5 - separation / 2;
+    points.push_back({std::clamp(c + rng.Gaussian(0, 0.05), 0.0, 1.0),
+                      std::clamp(c + rng.Gaussian(0, 0.05), 0.0, 1.0),
+                      match});
+  }
+  return points;
+}
+
+TEST(ExcludedMeasuresTest, DimensionalityMeasuresNearConstant) {
+  // t2 and t3 vanish with n; t4 is 0.5 or 1.0 regardless of difficulty —
+  // none carries dataset-difficulty information with two features.
+  auto easy = ComputeExcludedMeasures(Clusters(0.7, 1));
+  auto hard = ComputeExcludedMeasures(Clusters(0.05, 2));
+  EXPECT_LT(easy.t2, 0.02);
+  EXPECT_LT(hard.t2, 0.02);
+  EXPECT_LT(easy.t3, 0.02);
+  EXPECT_LT(hard.t3, 0.02);
+  EXPECT_TRUE(easy.t4 == 0.5 || easy.t4 == 1.0) << easy.t4;
+  EXPECT_TRUE(hard.t4 == 0.5 || hard.t4 == 1.0) << hard.t4;
+}
+
+TEST(ExcludedMeasuresTest, F4TracksF3) {
+  // f4 (collective efficiency) is nearly identical to f3 when the two
+  // features are as correlated as CS and JS are.
+  for (double separation : {0.6, 0.2}) {
+    auto points = Clusters(separation, 7);
+    auto excluded = ComputeExcludedMeasures(points);
+    auto report = ComputeComplexity(points);
+    EXPECT_NEAR(excluded.f4, report.f3, 0.15) << separation;
+  }
+}
+
+TEST(ExcludedMeasuresTest, L3TracksL2) {
+  for (double separation : {0.6, 0.2}) {
+    auto points = Clusters(separation, 9);
+    auto excluded = ComputeExcludedMeasures(points);
+    auto report = ComputeComplexity(points);
+    EXPECT_NEAR(excluded.l3, report.l2, 0.15) << separation;
+  }
+}
+
+TEST(ExcludedMeasuresTest, EmptyInputSafe) {
+  auto out = ComputeExcludedMeasures({});
+  EXPECT_DOUBLE_EQ(out.t2, 0.0);
+  EXPECT_DOUBLE_EQ(out.f4, 0.0);
+}
+
+}  // namespace
+}  // namespace rlbench::core

@@ -1,0 +1,72 @@
+#include "core/linearity.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/catalog.h"
+#include "datagen/task_builder.h"
+
+namespace rlbench::core {
+namespace {
+
+TEST(LinearityTest, EasyBenchmarkNearOne) {
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds7"), 0.5);
+  matchers::MatchingContext context(&task);
+  auto result = ComputeLinearity(context);
+  EXPECT_GT(result.f1_cosine, 0.95);
+  EXPECT_GT(result.f1_jaccard, 0.95);
+}
+
+TEST(LinearityTest, HardBenchmarkClearlyLower) {
+  auto easy_task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds1"), 0.15);
+  auto hard_task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds4"), 0.15);
+  matchers::MatchingContext easy(&easy_task);
+  matchers::MatchingContext hard(&hard_task);
+  auto easy_result = ComputeLinearity(easy);
+  auto hard_result = ComputeLinearity(hard);
+  EXPECT_GT(easy_result.f1_cosine, hard_result.f1_cosine + 0.1);
+}
+
+TEST(LinearityTest, ThresholdsInSweepRange) {
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds5"), 1.0);
+  matchers::MatchingContext context(&task);
+  auto result = ComputeLinearity(context);
+  for (double t : {result.threshold_cosine, result.threshold_jaccard}) {
+    EXPECT_GE(t, 0.01);
+    EXPECT_LE(t, 0.99);
+  }
+}
+
+TEST(LinearityTest, CosineAtLeastJaccardThresholdHigher) {
+  // CS >= JS pointwise (|∩|/sqrt(|A||B|) >= |∩|/|A∪B|), so the optimal
+  // cosine threshold sits at or above the Jaccard one.
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Dt1"), 0.05);
+  matchers::MatchingContext context(&task);
+  auto result = ComputeLinearity(context);
+  EXPECT_GE(result.threshold_cosine, result.threshold_jaccard);
+}
+
+TEST(FeaturePointsTest, OnePointPerPairInUnitSquare) {
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds5"), 1.0);
+  matchers::MatchingContext context(&task);
+  auto points = PairFeaturePoints(context);
+  EXPECT_EQ(points.size(), task.AllPairs().size());
+  size_t positives = 0;
+  for (const auto& p : points) {
+    EXPECT_GE(p.cs, 0.0);
+    EXPECT_LE(p.cs, 1.0);
+    EXPECT_GE(p.js, 0.0);
+    EXPECT_LE(p.js, 1.0);
+    EXPECT_GE(p.cs, p.js - 1e-12);  // cosine dominates jaccard
+    positives += p.is_match ? 1 : 0;
+  }
+  EXPECT_EQ(positives, task.TotalStats().positives);
+}
+
+}  // namespace
+}  // namespace rlbench::core

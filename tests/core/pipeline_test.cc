@@ -1,0 +1,108 @@
+// Integration tests: the full Section VI pipeline (generate -> block ->
+// split -> measure -> match) on scaled-down datasets, plus the paper's
+// headline shape assertions.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/benchmark_builder.h"
+#include "core/complexity.h"
+#include "core/linearity.h"
+#include "core/practical.h"
+#include "datagen/catalog.h"
+#include "datagen/task_builder.h"
+#include "matchers/registry.h"
+
+namespace rlbench::core {
+namespace {
+
+TEST(PipelineTest, NewBenchmarkEndToEnd) {
+  auto spec = *datagen::FindSourceDataset("Dn3");
+  NewBenchmarkOptions options;
+  options.scale = 0.1;
+  options.k_max = 16;
+  NewBenchmark benchmark = BuildNewBenchmark(spec, options);
+
+  // Blocking reached the recall target on this easy source.
+  EXPECT_GE(benchmark.blocking.metrics.pair_completeness, 0.9);
+
+  // The task's positives equal the candidates that are true matches.
+  auto stats = benchmark.task.TotalStats();
+  EXPECT_EQ(stats.total, benchmark.blocking.candidates.size());
+  EXPECT_EQ(stats.positives, benchmark.blocking.metrics.true_candidates);
+  EXPECT_GT(stats.positives, 0u);
+
+  // Splits disjoint.
+  std::unordered_set<uint64_t> seen;
+  for (const auto& pair : benchmark.task.AllPairs()) {
+    uint64_t key = (static_cast<uint64_t>(pair.left) << 32) | pair.right;
+    EXPECT_TRUE(seen.insert(key).second);
+  }
+}
+
+TEST(PipelineTest, NewBenchmarkMeasurable) {
+  auto spec = *datagen::FindSourceDataset("Dn6");
+  NewBenchmarkOptions options;
+  options.scale = 0.08;
+  options.k_max = 16;
+  NewBenchmark benchmark = BuildNewBenchmark(spec, options);
+  matchers::MatchingContext context(&benchmark.task);
+  auto linearity = ComputeLinearity(context);
+  EXPECT_GT(linearity.f1_cosine, 0.0);
+  EXPECT_LE(linearity.f1_cosine, 1.0);
+  auto complexity = ComputeComplexity(PairFeaturePoints(context));
+  EXPECT_GT(complexity.Average(), 0.0);
+}
+
+TEST(PipelineTest, EasyVsHardShapeHolds) {
+  // The paper's central finding, in miniature: Ds7 is easy on every
+  // measure; Ds4 is challenging on every measure.
+  auto easy_task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds7"), 0.5);
+  auto hard_task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds4"), 0.15);
+  matchers::MatchingContext easy(&easy_task);
+  matchers::MatchingContext hard(&hard_task);
+
+  auto easy_linearity = ComputeLinearity(easy);
+  auto hard_linearity = ComputeLinearity(hard);
+  EXPECT_GT(easy_linearity.f1_cosine, 0.9);
+  EXPECT_LT(hard_linearity.f1_cosine, 0.85);
+
+  auto easy_complexity = ComputeComplexity(PairFeaturePoints(easy));
+  auto hard_complexity = ComputeComplexity(PairFeaturePoints(hard));
+  EXPECT_LT(easy_complexity.Average(), hard_complexity.Average());
+
+  // Practical measures with a reduced line-up (keep the test fast): one
+  // non-linear DL matcher, one classic, and the linear family.
+  matchers::RegistryOptions registry;
+  registry.epoch_scale = 0.4;
+  auto easy_lineup = matchers::BuildMatcherLineup(registry);
+  auto hard_lineup = matchers::BuildMatcherLineup(registry);
+  auto easy_practical = ComputePractical(ScoreLineup(easy, &easy_lineup));
+  auto hard_practical = ComputePractical(ScoreLineup(hard, &hard_lineup));
+
+  EXPECT_LT(easy_practical.learning_based_margin, 0.05);
+  EXPECT_GT(hard_practical.learning_based_margin,
+            easy_practical.learning_based_margin);
+  EXPECT_GT(hard_practical.non_linear_boost, 0.02);
+}
+
+TEST(PipelineTest, ScoreLineupReportsEveryMatcher) {
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds5"), 1.0);
+  matchers::MatchingContext context(&task);
+  matchers::RegistryOptions registry;
+  registry.dl = false;  // keep runtime low; DL covered elsewhere
+  auto lineup = matchers::BuildMatcherLineup(registry);
+  auto scores = ScoreLineup(context, &lineup);
+  EXPECT_EQ(scores.size(), lineup.size());
+  for (const auto& score : scores) {
+    EXPECT_GE(score.f1, 0.0);
+    EXPECT_LE(score.f1, 1.0);
+    EXPECT_FALSE(score.name.empty());
+  }
+}
+
+}  // namespace
+}  // namespace rlbench::core

@@ -1,0 +1,62 @@
+#include "core/practical.h"
+
+#include <gtest/gtest.h>
+
+namespace rlbench::core {
+namespace {
+
+using matchers::MatcherGroup;
+
+TEST(PracticalTest, NlbAndLbmExactValues) {
+  std::vector<MatcherScore> scores = {
+      {"dl-a", MatcherGroup::kDeepLearning, 0.92},
+      {"dl-b", MatcherGroup::kDeepLearning, 0.88},
+      {"ml-a", MatcherGroup::kClassicMl, 0.85},
+      {"lin-a", MatcherGroup::kLinear, 0.80},
+      {"lin-b", MatcherGroup::kLinear, 0.76},
+  };
+  auto measures = ComputePractical(scores);
+  EXPECT_DOUBLE_EQ(measures.best_nonlinear_f1, 0.92);
+  EXPECT_DOUBLE_EQ(measures.best_linear_f1, 0.80);
+  EXPECT_NEAR(measures.non_linear_boost, 0.12, 1e-12);
+  EXPECT_NEAR(measures.learning_based_margin, 0.08, 1e-12);
+}
+
+TEST(PracticalTest, LinearCanWin) {
+  // Ds5-style situation: the best linear matcher beats the non-linear ones.
+  std::vector<MatcherScore> scores = {
+      {"dl", MatcherGroup::kDeepLearning, 0.84},
+      {"lin", MatcherGroup::kLinear, 0.86},
+  };
+  auto measures = ComputePractical(scores);
+  EXPECT_LT(measures.non_linear_boost, 0.0);
+  EXPECT_NEAR(measures.learning_based_margin, 0.14, 1e-12);
+}
+
+TEST(PracticalTest, PerfectScoresZeroBoth) {
+  std::vector<MatcherScore> scores = {
+      {"dl", MatcherGroup::kDeepLearning, 1.0},
+      {"lin", MatcherGroup::kLinear, 1.0},
+  };
+  auto measures = ComputePractical(scores);
+  EXPECT_DOUBLE_EQ(measures.non_linear_boost, 0.0);
+  EXPECT_DOUBLE_EQ(measures.learning_based_margin, 0.0);
+}
+
+TEST(PracticalTest, ClassicMlCountsAsNonLinear) {
+  std::vector<MatcherScore> scores = {
+      {"ml", MatcherGroup::kClassicMl, 0.9},
+      {"lin", MatcherGroup::kLinear, 0.7},
+  };
+  auto measures = ComputePractical(scores);
+  EXPECT_NEAR(measures.non_linear_boost, 0.2, 1e-12);
+}
+
+TEST(PracticalTest, EmptyScores) {
+  auto measures = ComputePractical({});
+  EXPECT_DOUBLE_EQ(measures.non_linear_boost, 0.0);
+  EXPECT_DOUBLE_EQ(measures.learning_based_margin, 1.0);
+}
+
+}  // namespace
+}  // namespace rlbench::core

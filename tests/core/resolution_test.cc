@@ -1,0 +1,73 @@
+#include "core/resolution.h"
+
+#include <gtest/gtest.h>
+
+namespace rlbench::core {
+namespace {
+
+using data::LabeledPair;
+
+TEST(ResolutionTest, GreedyPicksHighestScorePerRecord) {
+  // Record L0 appears in two pairs; the higher-scoring pair wins.
+  std::vector<LabeledPair> pairs = {{0, 0, true}, {0, 1, false},
+                                    {1, 1, true}};
+  std::vector<double> scores = {0.9, 0.8, 0.7};
+  auto decisions = ResolveOneToOne(pairs, scores);
+  EXPECT_EQ(decisions, (std::vector<uint8_t>{1, 0, 1}));
+}
+
+TEST(ResolutionTest, ThresholdGates) {
+  std::vector<LabeledPair> pairs = {{0, 0, true}, {1, 1, true}};
+  std::vector<double> scores = {0.9, 0.3};
+  ResolutionOptions options;
+  options.score_threshold = 0.5;
+  auto decisions = ResolveOneToOne(pairs, scores, options);
+  EXPECT_EQ(decisions, (std::vector<uint8_t>{1, 0}));
+}
+
+TEST(ResolutionTest, OneToOneInvariantHolds) {
+  // Many pairs over few records: no record may be matched twice.
+  std::vector<LabeledPair> pairs;
+  std::vector<double> scores;
+  for (uint32_t l = 0; l < 5; ++l) {
+    for (uint32_t r = 0; r < 5; ++r) {
+      pairs.push_back({l, r, l == r});
+      scores.push_back(0.5 + 0.01 * l + 0.02 * r);
+    }
+  }
+  auto decisions = ResolveOneToOne(pairs, scores);
+  std::vector<int> left_used(5, 0);
+  std::vector<int> right_used(5, 0);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (decisions[i] != 0) {
+      ++left_used[pairs[i].left];
+      ++right_used[pairs[i].right];
+    }
+  }
+  for (int count : left_used) EXPECT_LE(count, 1);
+  for (int count : right_used) EXPECT_LE(count, 1);
+}
+
+TEST(ResolutionTest, ImprovesPrecisionOnCompetingSiblings) {
+  // A true match plus a slightly lower-scoring sibling pair on the same
+  // left record: plain thresholding keeps both, resolution drops the
+  // sibling — the GNEM-style global win.
+  std::vector<LabeledPair> pairs = {{0, 0, true}, {0, 1, false},
+                                    {1, 2, true}, {2, 3, false}};
+  std::vector<double> scores = {0.92, 0.88, 0.85, 0.2};
+  auto impact = EvaluateResolution(pairs, scores);
+  EXPECT_GT(impact.f1_after, impact.f1_before);
+  EXPECT_DOUBLE_EQ(impact.f1_after, 1.0);
+}
+
+TEST(ResolutionTest, StableUnderTies) {
+  std::vector<LabeledPair> pairs = {{0, 0, true}, {0, 1, false}};
+  std::vector<double> scores = {0.7, 0.7};
+  auto a = ResolveOneToOne(pairs, scores);
+  auto b = ResolveOneToOne(pairs, scores);
+  EXPECT_EQ(a, b);  // stable sort: first pair wins deterministically
+  EXPECT_EQ(a[0] + a[1], 1);
+}
+
+}  // namespace
+}  // namespace rlbench::core

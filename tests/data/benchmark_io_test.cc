@@ -1,0 +1,61 @@
+#include "data/benchmark_io.h"
+
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "datagen/catalog.h"
+#include "datagen/task_builder.h"
+
+namespace rlbench::data {
+namespace {
+
+class BenchmarkIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "rlbench_io_test")
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(BenchmarkIoTest, RoundTrip) {
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds5"), 1.0);
+  ASSERT_TRUE(ExportBenchmark(task, dir_).ok());
+
+  auto loaded = ImportBenchmark(dir_, "roundtrip");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->left().size(), task.left().size());
+  EXPECT_EQ(loaded->right().size(), task.right().size());
+  EXPECT_EQ(loaded->train().size(), task.train().size());
+  EXPECT_EQ(loaded->test().size(), task.test().size());
+  EXPECT_EQ(loaded->TotalStats().positives, task.TotalStats().positives);
+  // Record contents survive byte-exactly.
+  EXPECT_EQ(loaded->left().record(0).values, task.left().record(0).values);
+  EXPECT_EQ(loaded->left().schema().attributes(),
+            task.left().schema().attributes());
+}
+
+TEST_F(BenchmarkIoTest, MissingDirectoryFails) {
+  auto loaded = ImportBenchmark(dir_ + "/nope");
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(BenchmarkIoTest, OutOfRangePairRejected) {
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds5"), 0.5);
+  ASSERT_TRUE(ExportBenchmark(task, dir_).ok());
+  // Corrupt the pairs file with an index beyond the table.
+  ASSERT_TRUE(WritePairsCsv({{999999, 0, true}}, dir_ + "/test.csv").ok());
+  auto loaded = ImportBenchmark(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rlbench::data

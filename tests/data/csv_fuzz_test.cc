@@ -1,0 +1,57 @@
+// Randomised round-trip tests for the CSV layer: arbitrary byte content
+// (commas, quotes, newlines, high bytes) must survive write -> parse.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/csv.h"
+
+namespace rlbench::data {
+namespace {
+
+std::string RandomField(Rng* rng) {
+  static const char kAlphabet[] =
+      "abcXYZ019 ,\"\n\r\t;|\\'\xC3\xA9";  // includes the CSV specials
+  size_t len = rng->Index(20);
+  std::string out;
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng->Index(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+TEST(CsvFuzzTest, RandomRoundTrips) {
+  Rng rng(71);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::vector<std::string>> rows;
+    size_t num_rows = 1 + rng.Index(10);
+    size_t num_cols = 1 + rng.Index(6);
+    for (size_t r = 0; r < num_rows; ++r) {
+      std::vector<std::string> row;
+      for (size_t c = 0; c < num_cols; ++c) row.push_back(RandomField(&rng));
+      rows.push_back(std::move(row));
+    }
+    auto parsed = ParseCsv(WriteCsv(rows));
+    ASSERT_TRUE(parsed.ok()) << "trial " << trial;
+    ASSERT_EQ(parsed->size(), rows.size()) << "trial " << trial;
+    for (size_t r = 0; r < rows.size(); ++r) {
+      EXPECT_EQ((*parsed)[r], rows[r]) << "trial " << trial << " row " << r;
+    }
+  }
+}
+
+TEST(CsvFuzzTest, CarriageReturnOnlyInsideQuotesSurvives) {
+  std::vector<std::vector<std::string>> rows = {{"a\rb"}};
+  auto parsed = ParseCsv(WriteCsv(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)[0][0], "a\rb");
+}
+
+TEST(CsvFuzzTest, EmptyFieldsAndRows) {
+  std::vector<std::vector<std::string>> rows = {{"", "", ""}, {"x", "", "y"}};
+  auto parsed = ParseCsv(WriteCsv(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
+}  // namespace
+}  // namespace rlbench::data

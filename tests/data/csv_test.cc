@@ -1,0 +1,106 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace rlbench::data {
+namespace {
+
+TEST(CsvParseTest, SimpleRows) {
+  auto rows = ParseCsv("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0], "a");
+  EXPECT_EQ((*rows)[1][2], "3");
+}
+
+TEST(CsvParseTest, QuotedFieldsWithCommasAndQuotes) {
+  auto rows = ParseCsv("name,desc\n\"Smith, John\",\"said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[1][0], "Smith, John");
+  EXPECT_EQ((*rows)[1][1], "said \"hi\"");
+}
+
+TEST(CsvParseTest, EmbeddedNewlineInQuotes) {
+  auto rows = ParseCsv("a\n\"line1\nline2\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][0], "line1\nline2");
+}
+
+TEST(CsvParseTest, CrLfAccepted) {
+  auto rows = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[1][1], "2");
+}
+
+TEST(CsvParseTest, MissingTrailingNewline) {
+  auto rows = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][1], "2");
+}
+
+TEST(CsvParseTest, UnterminatedQuoteIsError) {
+  auto rows = ParseCsv("a\n\"oops\n");
+  EXPECT_FALSE(rows.ok());
+}
+
+TEST(CsvWriteTest, RoundTrip) {
+  std::vector<std::vector<std::string>> rows = {
+      {"id", "text"}, {"1", "plain"}, {"2", "has,comma"}, {"3", "has\"quote"}};
+  auto parsed = ParseCsv(WriteCsv(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "rlbench_csv_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvFileTest, TableRoundTrip) {
+  Table table("products", Schema({"name", "price"}));
+  Record r1{"p1", {"iPhone 14", "999"}};
+  Record r2{"p2", {"Galaxy, S22", "799"}};
+  table.Add(r1);
+  table.Add(r2);
+  std::string path = (dir_ / "table.csv").string();
+  ASSERT_TRUE(WriteTableCsv(table, path).ok());
+
+  auto loaded = ReadTableCsv(path, "products");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->schema().attributes(),
+            std::vector<std::string>({"name", "price"}));
+  EXPECT_EQ(loaded->record(1).values[0], "Galaxy, S22");
+}
+
+TEST_F(CsvFileTest, PairsRoundTrip) {
+  std::vector<LabeledPair> pairs = {{0, 5, true}, {1, 6, false}, {2, 7, true}};
+  std::string path = (dir_ / "pairs.csv").string();
+  ASSERT_TRUE(WritePairsCsv(pairs, path).ok());
+  auto loaded = ReadPairsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ((*loaded)[0].left, 0u);
+  EXPECT_EQ((*loaded)[0].right, 5u);
+  EXPECT_TRUE((*loaded)[0].is_match);
+  EXPECT_FALSE((*loaded)[1].is_match);
+}
+
+TEST_F(CsvFileTest, MissingFileIsIOError) {
+  auto loaded = ReadTableCsv((dir_ / "nope.csv").string(), "x");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace rlbench::data

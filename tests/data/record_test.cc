@@ -1,0 +1,41 @@
+#include "data/record.h"
+
+#include <gtest/gtest.h>
+
+namespace rlbench::data {
+namespace {
+
+TEST(SchemaTest, IndexOf) {
+  Schema schema({"title", "authors", "year"});
+  EXPECT_EQ(schema.num_attributes(), 3u);
+  EXPECT_EQ(schema.IndexOf("authors"), 1);
+  EXPECT_EQ(schema.IndexOf("missing"), -1);
+}
+
+TEST(RecordTest, ConcatenatedValuesSkipsEmpty) {
+  Record r;
+  r.values = {"Deep Learning", "", "2018"};
+  EXPECT_EQ(r.ConcatenatedValues(), "Deep Learning 2018");
+}
+
+TEST(RecordTest, ConcatenatedValuesAllEmpty) {
+  Record r;
+  r.values = {"", "", ""};
+  EXPECT_EQ(r.ConcatenatedValues(), "");
+}
+
+TEST(TableTest, AddAndAccess) {
+  Table table("left", Schema({"name"}));
+  EXPECT_TRUE(table.empty());
+  Record r;
+  r.id = "r1";
+  r.values = {"alpha"};
+  table.Add(r);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.record(0).id, "r1");
+  EXPECT_EQ(table.name(), "left");
+  EXPECT_EQ(table.schema().attribute(0), "name");
+}
+
+}  // namespace
+}  // namespace rlbench::data

@@ -1,0 +1,84 @@
+#include "data/split.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rlbench::data {
+namespace {
+
+std::vector<LabeledPair> MakePairs(size_t positives, size_t negatives) {
+  std::vector<LabeledPair> pairs;
+  uint32_t id = 0;
+  for (size_t i = 0; i < positives; ++i) pairs.push_back({id++, 0, true});
+  for (size_t i = 0; i < negatives; ++i) pairs.push_back({id++, 1, false});
+  return pairs;
+}
+
+TEST(SplitTest, RatioApproximatelyRespected) {
+  auto pairs = MakePairs(200, 800);
+  auto split = SplitPairs(pairs, SplitRatio{3, 1, 1}, 42);
+  EXPECT_EQ(split.train.size() + split.valid.size() + split.test.size(),
+            1000u);
+  EXPECT_NEAR(static_cast<double>(split.train.size()), 600.0, 5.0);
+  EXPECT_NEAR(static_cast<double>(split.valid.size()), 200.0, 5.0);
+  EXPECT_NEAR(static_cast<double>(split.test.size()), 200.0, 5.0);
+}
+
+TEST(SplitTest, StratificationKeepsImbalanceRatio) {
+  auto pairs = MakePairs(100, 900);
+  auto split = SplitPairs(pairs, SplitRatio{3, 1, 1}, 7);
+  double ir_train = ComputeStats(split.train).ImbalanceRatio();
+  double ir_valid = ComputeStats(split.valid).ImbalanceRatio();
+  double ir_test = ComputeStats(split.test).ImbalanceRatio();
+  EXPECT_NEAR(ir_train, 0.1, 0.01);
+  EXPECT_NEAR(ir_valid, 0.1, 0.01);
+  EXPECT_NEAR(ir_test, 0.1, 0.01);
+}
+
+TEST(SplitTest, NoPairLostOrDuplicated) {
+  auto pairs = MakePairs(50, 150);
+  auto split = SplitPairs(pairs, SplitRatio{3, 1, 1}, 99);
+  std::multiset<uint32_t> original;
+  for (const auto& p : pairs) original.insert(p.left);
+  std::multiset<uint32_t> seen;
+  for (const auto& p : split.train) seen.insert(p.left);
+  for (const auto& p : split.valid) seen.insert(p.left);
+  for (const auto& p : split.test) seen.insert(p.left);
+  EXPECT_EQ(original, seen);
+}
+
+TEST(SplitTest, DeterministicForSeed) {
+  auto pairs = MakePairs(30, 70);
+  auto a = SplitPairs(pairs, SplitRatio{3, 1, 1}, 5);
+  auto b = SplitPairs(pairs, SplitRatio{3, 1, 1}, 5);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].left, b.train[i].left);
+    EXPECT_EQ(a.train[i].is_match, b.train[i].is_match);
+  }
+}
+
+TEST(SplitTest, DifferentSeedsShuffleDifferently) {
+  auto pairs = MakePairs(100, 100);
+  auto a = SplitPairs(pairs, SplitRatio{3, 1, 1}, 1);
+  auto b = SplitPairs(pairs, SplitRatio{3, 1, 1}, 2);
+  bool any_diff = false;
+  for (size_t i = 0; i < std::min(a.train.size(), b.train.size()); ++i) {
+    if (a.train[i].left != b.train[i].left) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SplitTest, EmptyInput) {
+  auto split = SplitPairs({}, SplitRatio{3, 1, 1}, 1);
+  EXPECT_TRUE(split.train.empty());
+  EXPECT_TRUE(split.valid.empty());
+  EXPECT_TRUE(split.test.empty());
+}
+
+}  // namespace
+}  // namespace rlbench::data

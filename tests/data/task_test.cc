@@ -1,0 +1,46 @@
+#include "data/task.h"
+
+#include <gtest/gtest.h>
+
+namespace rlbench::data {
+namespace {
+
+std::vector<LabeledPair> MakePairs(size_t positives, size_t negatives) {
+  std::vector<LabeledPair> pairs;
+  for (size_t i = 0; i < positives; ++i) {
+    pairs.push_back({static_cast<uint32_t>(i), 0, true});
+  }
+  for (size_t i = 0; i < negatives; ++i) {
+    pairs.push_back({static_cast<uint32_t>(i), 1, false});
+  }
+  return pairs;
+}
+
+TEST(PairSetStatsTest, CountsAndImbalance) {
+  auto stats = ComputeStats(MakePairs(25, 75));
+  EXPECT_EQ(stats.total, 100u);
+  EXPECT_EQ(stats.positives, 25u);
+  EXPECT_EQ(stats.negatives, 75u);
+  EXPECT_DOUBLE_EQ(stats.ImbalanceRatio(), 0.25);
+}
+
+TEST(PairSetStatsTest, EmptySet) {
+  auto stats = ComputeStats({});
+  EXPECT_EQ(stats.total, 0u);
+  EXPECT_DOUBLE_EQ(stats.ImbalanceRatio(), 0.0);
+}
+
+TEST(MatchingTaskTest, AllPairsConcatenatesSplits) {
+  MatchingTask task("toy", Table("l", Schema({"a"})), Table("r", Schema({"a"})));
+  task.set_train(MakePairs(3, 7));
+  task.set_valid(MakePairs(1, 2));
+  task.set_test(MakePairs(1, 2));
+  EXPECT_EQ(task.AllPairs().size(), 16u);
+  EXPECT_EQ(task.TotalStats().positives, 5u);
+  EXPECT_EQ(task.TrainStats().total, 10u);
+  EXPECT_EQ(task.ValidStats().total, 3u);
+  EXPECT_EQ(task.TestStats().total, 3u);
+}
+
+}  // namespace
+}  // namespace rlbench::data

@@ -1,0 +1,50 @@
+#include "datagen/attr_select.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/catalog.h"
+#include "datagen/task_builder.h"
+
+namespace rlbench::datagen {
+namespace {
+
+TEST(AttrSelectTest, PrefixWhenNoExplicitIndices) {
+  data::Schema schema({"a", "b", "c", "d"});
+  auto indices = ResolveAttrIndices(schema, {}, 2);
+  EXPECT_EQ(indices, (std::vector<int>{0, 1}));
+}
+
+TEST(AttrSelectTest, ZeroMeansAll) {
+  data::Schema schema({"a", "b", "c"});
+  auto indices = ResolveAttrIndices(schema, {}, 0);
+  EXPECT_EQ(indices, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(AttrSelectTest, ExplicitIndicesWin) {
+  data::Schema schema({"a", "b", "c", "d"});
+  auto indices = ResolveAttrIndices(schema, {0, 2}, 4);
+  EXPECT_EQ(indices, (std::vector<int>{0, 2}));
+}
+
+TEST(AttrSelectTest, SelectSchemaAndRecord) {
+  data::Schema schema({"title", "brand", "model", "price"});
+  std::vector<int> indices = {0, 3};
+  auto selected = SelectSchema(schema, indices);
+  EXPECT_EQ(selected.attributes(),
+            (std::vector<std::string>{"title", "price"}));
+  data::Record record{"r", {"tv", "acme", "x1", "99"}};
+  SelectRecordColumns(&record, indices);
+  EXPECT_EQ(record.values, (std::vector<std::string>{"tv", "99"}));
+}
+
+TEST(AttrSelectTest, CatalogAmazonGoogleKeepsPrice) {
+  // Ds6 models Amazon-Google's title/manufacturer/price layout: the price
+  // column must survive and the model-number column must be gone.
+  auto task = BuildExistingBenchmark(*FindExistingBenchmark("Ds6"), 0.02);
+  EXPECT_EQ(task.left().schema().num_attributes(), 3u);
+  EXPECT_EQ(task.left().schema().attribute(0), "title");
+  EXPECT_EQ(task.left().schema().attribute(2), "price");
+}
+
+}  // namespace
+}  // namespace rlbench::datagen

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+
+#include "datagen/catalog.h"
+#include "datagen/source_builder.h"
+#include "datagen/task_builder.h"
+
+namespace rlbench::datagen {
+namespace {
+
+TEST(CatalogTest, ThirteenExistingEightSources) {
+  EXPECT_EQ(ExistingBenchmarks().size(), 13u);
+  EXPECT_EQ(SourceDatasets().size(), 8u);
+  EXPECT_NE(FindExistingBenchmark("Ds1"), nullptr);
+  EXPECT_NE(FindExistingBenchmark("Dt2"), nullptr);
+  EXPECT_EQ(FindExistingBenchmark("Dx9"), nullptr);
+  EXPECT_NE(FindSourceDataset("Dn8"), nullptr);
+  EXPECT_EQ(FindSourceDataset("Ds1"), nullptr);
+}
+
+TEST(CatalogTest, DirtyVariantsShareSeedsWithStructuredOrigins) {
+  // Dd_i is derived from Ds_i, so they must generate the same entities.
+  for (int i = 1; i <= 4; ++i) {
+    const auto* dirty = FindExistingBenchmark("Dd" + std::to_string(i));
+    const auto* structured = FindExistingBenchmark("Ds" + std::to_string(i));
+    ASSERT_NE(dirty, nullptr);
+    ASSERT_NE(structured, nullptr);
+    EXPECT_EQ(dirty->seed, structured->seed);
+    EXPECT_EQ(dirty->total_pairs, structured->total_pairs);
+    EXPECT_TRUE(dirty->dirty);
+    EXPECT_FALSE(structured->dirty);
+  }
+}
+
+TEST(TaskBuilderTest, CountsMatchSpecAtFullScale) {
+  ExistingBenchmarkSpec spec = *FindExistingBenchmark("Ds5");  // smallest
+  auto task = BuildExistingBenchmark(spec, 1.0);
+  auto stats = task.TotalStats();
+  EXPECT_EQ(stats.total, spec.total_pairs);
+  EXPECT_EQ(stats.positives, spec.positives);
+}
+
+TEST(TaskBuilderTest, ScaleShrinksProportionally) {
+  ExistingBenchmarkSpec spec = *FindExistingBenchmark("Ds4");
+  auto task = BuildExistingBenchmark(spec, 0.1);
+  auto stats = task.TotalStats();
+  EXPECT_NEAR(static_cast<double>(stats.total),
+              0.1 * static_cast<double>(spec.total_pairs),
+              0.02 * static_cast<double>(spec.total_pairs));
+  // The imbalance ratio survives scaling.
+  EXPECT_NEAR(stats.ImbalanceRatio(),
+              static_cast<double>(spec.positives) /
+                  static_cast<double>(spec.total_pairs),
+              0.02);
+}
+
+TEST(TaskBuilderTest, SplitsAreDisjointAndStratified) {
+  auto task = BuildExistingBenchmark(*FindExistingBenchmark("Ds5"), 1.0);
+  auto key = [](const data::LabeledPair& p) {
+    return (static_cast<uint64_t>(p.left) << 32) | p.right;
+  };
+  std::unordered_set<uint64_t> seen;
+  for (const auto* split : {&task.train(), &task.valid(), &task.test()}) {
+    for (const auto& pair : *split) {
+      EXPECT_TRUE(seen.insert(key(pair)).second) << "duplicate pair";
+    }
+  }
+  double ir_train = task.TrainStats().ImbalanceRatio();
+  double ir_test = task.TestStats().ImbalanceRatio();
+  EXPECT_NEAR(ir_train, ir_test, 0.03);
+  // Roughly 3:1:1.
+  EXPECT_NEAR(static_cast<double>(task.train().size()) /
+                  static_cast<double>(task.AllPairs().size()),
+              0.6, 0.02);
+}
+
+TEST(TaskBuilderTest, PairIndicesInRange) {
+  auto task = BuildExistingBenchmark(*FindExistingBenchmark("Ds3"), 1.0);
+  for (const auto& pair : task.AllPairs()) {
+    EXPECT_LT(pair.left, task.left().size());
+    EXPECT_LT(pair.right, task.right().size());
+  }
+}
+
+TEST(TaskBuilderTest, DeterministicForSeed) {
+  auto a = BuildExistingBenchmark(*FindExistingBenchmark("Ds5"), 1.0);
+  auto b = BuildExistingBenchmark(*FindExistingBenchmark("Ds5"), 1.0);
+  ASSERT_EQ(a.train().size(), b.train().size());
+  for (size_t i = 0; i < a.train().size(); ++i) {
+    EXPECT_EQ(a.train()[i].left, b.train()[i].left);
+    EXPECT_EQ(a.train()[i].right, b.train()[i].right);
+  }
+  EXPECT_EQ(a.left().record(0).values, b.left().record(0).values);
+}
+
+TEST(TaskBuilderTest, DirtyTransformPreservesPairStructure) {
+  auto clean = BuildExistingBenchmark(*FindExistingBenchmark("Ds3"), 1.0);
+  auto dirty = BuildExistingBenchmark(*FindExistingBenchmark("Dd3"), 1.0);
+  // Same pair counts and labels, different record layouts.
+  EXPECT_EQ(clean.TotalStats().positives, dirty.TotalStats().positives);
+  EXPECT_EQ(clean.left().size(), dirty.left().size());
+  // At least some records must have values moved into the title.
+  size_t moved = 0;
+  for (size_t i = 0; i < dirty.left().size(); ++i) {
+    for (size_t a = 1; a < dirty.left().record(i).values.size(); ++a) {
+      if (dirty.left().record(i).values[a].empty() &&
+          !clean.left().record(i).values[a].empty()) {
+        ++moved;
+      }
+    }
+  }
+  EXPECT_GT(moved, dirty.left().size() / 2);
+}
+
+TEST(SourceBuilderTest, SizesAndGroundTruth) {
+  SourceDatasetSpec spec = *FindSourceDataset("Dn1");
+  auto source = BuildSourceDataset(spec, 0.25);
+  EXPECT_GT(source.d1.size(), 0u);
+  EXPECT_GT(source.d2.size(), 0u);
+  EXPECT_GT(source.matches.size(), 0u);
+  EXPECT_LE(source.matches.size(), source.d1.size());
+  for (const auto& [l, r] : source.matches) {
+    EXPECT_LT(l, source.d1.size());
+    EXPECT_LT(r, source.d2.size());
+  }
+}
+
+TEST(SourceBuilderTest, MatchesAreOneToOne) {
+  auto source = BuildSourceDataset(*FindSourceDataset("Dn3"), 0.2);
+  std::unordered_set<uint32_t> lefts;
+  std::unordered_set<uint32_t> rights;
+  for (const auto& [l, r] : source.matches) {
+    EXPECT_TRUE(lefts.insert(l).second);
+    EXPECT_TRUE(rights.insert(r).second);
+  }
+}
+
+TEST(SourceBuilderTest, MatchedRecordsAreSimilar) {
+  auto source = BuildSourceDataset(*FindSourceDataset("Dn3"), 0.2);
+  // Bibliographic Dn3 has low noise: matched records share many tokens.
+  size_t similar = 0;
+  size_t checked = 0;
+  for (const auto& [l, r] : source.matches) {
+    if (checked++ >= 50) break;
+    auto a = rlbench::text::TokenSet::FromText(
+        source.d1.record(l).ConcatenatedValues());
+    auto b = rlbench::text::TokenSet::FromText(
+        source.d2.record(r).ConcatenatedValues());
+    if (rlbench::text::JaccardSimilarity(a, b) > 0.5) ++similar;
+  }
+  EXPECT_GT(similar, 40u);
+}
+
+}  // namespace
+}  // namespace rlbench::datagen

@@ -1,0 +1,96 @@
+// Catalog-wide invariant sweep: every one of the 13 established specs and
+// 8 source specs must build at small scale and satisfy the structural
+// invariants the measures and matchers rely on.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "datagen/catalog.h"
+#include "datagen/source_builder.h"
+#include "datagen/task_builder.h"
+
+namespace rlbench::datagen {
+namespace {
+
+class ExistingSweepTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExistingSweepTest, StructuralInvariants) {
+  const auto* spec = FindExistingBenchmark(GetParam());
+  ASSERT_NE(spec, nullptr);
+  auto task = BuildExistingBenchmark(*spec, 0.05);
+
+  // Non-empty splits, all three mutually exclusive.
+  EXPECT_FALSE(task.train().empty());
+  EXPECT_FALSE(task.valid().empty());
+  EXPECT_FALSE(task.test().empty());
+  std::unordered_set<uint64_t> seen;
+  for (const auto& pair : task.AllPairs()) {
+    EXPECT_LT(pair.left, task.left().size());
+    EXPECT_LT(pair.right, task.right().size());
+    uint64_t key = (static_cast<uint64_t>(pair.left) << 32) | pair.right;
+    EXPECT_TRUE(seen.insert(key).second);
+  }
+
+  // Both tables share the spec's schema width.
+  size_t expected_attrs = spec->attr_indices.empty()
+                              ? static_cast<size_t>(spec->num_attrs)
+                              : spec->attr_indices.size();
+  EXPECT_EQ(task.left().schema().num_attributes(), expected_attrs);
+  EXPECT_EQ(task.right().schema().num_attributes(), expected_attrs);
+
+  // No record is entirely empty (matching needs some text).
+  for (const auto* table : {&task.left(), &task.right()}) {
+    for (const auto& record : table->records()) {
+      EXPECT_FALSE(record.ConcatenatedValues().empty()) << record.id;
+    }
+  }
+
+  // Each split holds both classes (a degenerate split breaks training).
+  EXPECT_GT(task.TrainStats().positives, 0u);
+  EXPECT_GT(task.TrainStats().negatives, 0u);
+  EXPECT_GT(task.TestStats().positives, 0u);
+  EXPECT_GT(task.TestStats().negatives, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllThirteen, ExistingSweepTest,
+    ::testing::Values("Ds1", "Ds2", "Ds3", "Ds4", "Ds5", "Ds6", "Ds7",
+                      "Dd1", "Dd2", "Dd3", "Dd4", "Dt1", "Dt2"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+class SourceSweepTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SourceSweepTest, StructuralInvariants) {
+  const auto* spec = FindSourceDataset(GetParam());
+  ASSERT_NE(spec, nullptr);
+  auto source = BuildSourceDataset(*spec, 0.05);
+  EXPECT_GT(source.matches.size(), 0u);
+  EXPECT_GE(source.d1.size(), source.matches.size());
+  EXPECT_GE(source.d2.size(), source.matches.size());
+  std::unordered_set<uint32_t> lefts;
+  std::unordered_set<uint32_t> rights;
+  for (const auto& [l, r] : source.matches) {
+    ASSERT_LT(l, source.d1.size());
+    ASSERT_LT(r, source.d2.size());
+    EXPECT_TRUE(lefts.insert(l).second) << "duplicate left match";
+    EXPECT_TRUE(rights.insert(r).second) << "duplicate right match";
+  }
+  size_t expected_attrs = spec->attr_indices.empty()
+                              ? static_cast<size_t>(spec->num_attrs)
+                              : spec->attr_indices.size();
+  EXPECT_EQ(source.d1.schema().num_attributes(), expected_attrs);
+  EXPECT_EQ(source.d2.schema().num_attributes(), expected_attrs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEight, SourceSweepTest,
+    ::testing::Values("Dn1", "Dn2", "Dn3", "Dn4", "Dn5", "Dn6", "Dn7",
+                      "Dn8"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace rlbench::datagen

@@ -1,0 +1,144 @@
+#include "datagen/corruptor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+
+namespace rlbench::datagen {
+namespace {
+
+TEST(NoiseProfileTest, ScalingClamps) {
+  NoiseProfile profile;
+  profile.typo_rate = 0.6;
+  profile.value_drop_rate = 0.3;
+  NoiseProfile scaled = profile.Scaled(3.0);
+  EXPECT_DOUBLE_EQ(scaled.typo_rate, 1.0);
+  EXPECT_DOUBLE_EQ(scaled.value_drop_rate, 0.9);
+  NoiseProfile zero = profile.Scaled(0.0);
+  EXPECT_DOUBLE_EQ(zero.typo_rate, 0.0);
+}
+
+TEST(CorruptorTest, TypoChangesWord) {
+  Corruptor corruptor(NoiseProfile{}, 3);
+  int changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (corruptor.TypoWord("keyboard") != "keyboard") ++changed;
+  }
+  EXPECT_GT(changed, 45);  // insert/delete/replace/swap almost always differ
+}
+
+TEST(CorruptorTest, TypoKeepsShortWordsIntact) {
+  Corruptor corruptor(NoiseProfile{}, 3);
+  EXPECT_EQ(corruptor.TypoWord("a"), "a");
+  EXPECT_EQ(corruptor.TypoWord(""), "");
+}
+
+TEST(CorruptorTest, AbbreviateShortens) {
+  Corruptor corruptor(NoiseProfile{}, 5);
+  for (int i = 0; i < 20; ++i) {
+    std::string abbr = corruptor.Abbreviate("johnson");
+    EXPECT_LE(abbr.size(), 4u);
+    EXPECT_EQ(abbr[0], 'j');
+  }
+}
+
+TEST(CorruptorTest, ZeroNoiseIsIdentity) {
+  Corruptor corruptor(NoiseProfile{}, 7);
+  EXPECT_EQ(corruptor.CorruptValue("deep entity matching"),
+            "deep entity matching");
+  data::Record record{"r", {"alpha beta", "42"}};
+  data::Record copy = record;
+  corruptor.CorruptRecord(&record, {false, true});
+  EXPECT_EQ(record.values, copy.values);
+}
+
+TEST(CorruptorTest, HighNoiseChangesValue) {
+  NoiseProfile profile;
+  profile.typo_rate = 0.9;
+  Corruptor corruptor(profile, 9);
+  int changed = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (corruptor.CorruptValue("wireless bluetooth headphones") !=
+        "wireless bluetooth headphones") {
+      ++changed;
+    }
+  }
+  EXPECT_GT(changed, 15);
+}
+
+TEST(CorruptorTest, TokenDropNeverEmptiesValue) {
+  NoiseProfile profile;
+  profile.token_drop_rate = 1.0;
+  Corruptor corruptor(profile, 11);
+  // With drop probability 1 at least one token must survive.
+  std::string out = corruptor.CorruptValue("one two three");
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(CorruptorTest, NumberPerturbationBounded) {
+  NoiseProfile profile;
+  profile.number_noise = 0.2;
+  Corruptor corruptor(profile, 13);
+  for (int i = 0; i < 50; ++i) {
+    double y = std::stod(corruptor.CorruptNumber("100.00"));
+    EXPECT_GE(y, 79.9);
+    EXPECT_LE(y, 120.1);
+  }
+}
+
+TEST(CorruptorTest, NumberPerturbationPreservesIntegerFormat) {
+  NoiseProfile profile;
+  profile.number_noise = 0.2;
+  Corruptor corruptor(profile, 15);
+  std::string out = corruptor.CorruptNumber("1999");
+  EXPECT_EQ(out.find('.'), std::string::npos);
+}
+
+TEST(CorruptorTest, NonNumericValueUntouchedByNumberNoise) {
+  NoiseProfile profile;
+  profile.number_noise = 0.5;
+  Corruptor corruptor(profile, 17);
+  EXPECT_EQ(corruptor.CorruptNumber("n/a"), "n/a");
+}
+
+TEST(DirtyInjectTest, MovesValuesIntoTitle) {
+  Corruptor corruptor(NoiseProfile{}, 19);
+  int moved_total = 0;
+  for (int i = 0; i < 100; ++i) {
+    data::Record record{"r", {"title", "brand", "price"}};
+    corruptor.DirtyInject(&record, 0);
+    for (size_t a = 1; a < 3; ++a) {
+      if (record.values[a].empty()) ++moved_total;
+    }
+    // Whatever moved must now be inside the title.
+    if (record.values[1].empty()) {
+      EXPECT_NE(record.values[0].find("brand"), std::string::npos);
+    }
+  }
+  // Each value moves with probability 0.5: expect around 100 moves.
+  EXPECT_GT(moved_total, 70);
+  EXPECT_LT(moved_total, 130);
+}
+
+TEST(DirtyInjectTest, PreservesTokenMultiset) {
+  // The paper's recipe moves values around but never loses information:
+  // the schema-agnostic token set stays identical.
+  Corruptor corruptor(NoiseProfile{}, 21);
+  data::Record record{"r", {"alpha beta", "gamma", "delta"}};
+  std::string before_tokens = record.values[0] + " " + record.values[1] +
+                              " " + record.values[2];
+  corruptor.DirtyInject(&record, 0);
+  std::string after_tokens;
+  for (const auto& value : record.values) {
+    if (!value.empty()) after_tokens += value + " ";
+  }
+  auto sorted = [](std::string text) {
+    auto tokens = SplitAny(text, " ");
+    std::sort(tokens.begin(), tokens.end());
+    return Join(tokens, " ");
+  };
+  EXPECT_EQ(sorted(before_tokens), sorted(after_tokens));
+}
+
+}  // namespace
+}  // namespace rlbench::datagen

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "embed/context_encoder.h"
+#include "embed/hashed_embedding.h"
+#include "embed/sentence_encoder.h"
+#include "text/tfidf.h"
+
+namespace rlbench::embed {
+namespace {
+
+TEST(HashedEmbeddingTest, DeterministicAcrossInstances) {
+  HashedEmbedding a(32, 7);
+  HashedEmbedding b(32, 7);
+  EXPECT_EQ(a.EmbedToken("record"), b.EmbedToken("record"));
+}
+
+TEST(HashedEmbeddingTest, SeedChangesVectors) {
+  HashedEmbedding a(32, 7);
+  HashedEmbedding b(32, 8);
+  EXPECT_NE(a.EmbedToken("record"), b.EmbedToken("record"));
+}
+
+TEST(HashedEmbeddingTest, UnitNormTokens) {
+  HashedEmbedding model(64, 3);
+  for (const char* token : {"alpha", "beta", "x", "1234"}) {
+    EXPECT_NEAR(Norm(model.EmbedToken(token)), 1.0, 1e-5);
+  }
+}
+
+TEST(HashedEmbeddingTest, EmptyTokenIsZero) {
+  HashedEmbedding model(16, 3);
+  EXPECT_DOUBLE_EQ(Norm(model.EmbedToken("")), 0.0);
+  EXPECT_DOUBLE_EQ(Norm(model.EmbedTokens({})), 0.0);
+}
+
+TEST(HashedEmbeddingTest, SubwordRobustness) {
+  // Typo'd tokens must stay much closer than unrelated tokens — this is the
+  // fastText property every "static" DL matcher depends on.
+  HashedEmbedding model(64, 11);
+  double typo = Cosine(model.EmbedToken("wireless"),
+                       model.EmbedToken("wirelss"));
+  double unrelated = Cosine(model.EmbedToken("wireless"),
+                            model.EmbedToken("keyboard"));
+  EXPECT_GT(typo, 0.3);
+  EXPECT_GT(typo, unrelated + 0.25);
+}
+
+TEST(HashedEmbeddingTest, TokenOrderInvariantPooling) {
+  HashedEmbedding model(32, 5);
+  Vec a = model.EmbedTokens({"red", "laptop", "stand"});
+  Vec b = model.EmbedTokens({"stand", "red", "laptop"});
+  // Mean pooling ignores order (up to float summation order).
+  EXPECT_NEAR(Cosine(a, b), 1.0, 1e-6);
+}
+
+TEST(SentenceEncoderTest, SimilarTextsCloser) {
+  SentenceEncoder encoder(64, 9);
+  Vec a = encoder.Encode("apple iphone 14 pro max");
+  Vec b = encoder.Encode("apple iphone 14 pro");
+  Vec c = encoder.Encode("dblp conference proceedings 2019");
+  EXPECT_GT(Cosine(a, b), Cosine(a, c) + 0.2);
+}
+
+TEST(ContextEncoderTest, ContextChangesTokenVectors) {
+  text::TfIdfModel tfidf;
+  tfidf.AddDocument({"bank", "river", "water"});
+  tfidf.AddDocument({"bank", "money", "loan"});
+  tfidf.Finalize();
+  ContextEncoder encoder(32, 13, 1, &tfidf);
+  auto river = encoder.EncodeTokens({"bank", "river", "water"});
+  auto money = encoder.EncodeTokens({"bank", "money", "loan"});
+  // The vector of "bank" must depend on its context (the dynamic property).
+  EXPECT_NE(river[0], money[0]);
+  // But identical contexts give identical vectors (determinism).
+  auto river2 = encoder.EncodeTokens({"bank", "river", "water"});
+  EXPECT_EQ(river[0], river2[0]);
+}
+
+TEST(ContextEncoderTest, VariantSaltDecorrelates) {
+  text::TfIdfModel tfidf;
+  tfidf.Finalize();
+  ContextEncoder bert(32, 13, 1, &tfidf);
+  ContextEncoder roberta(32, 13, 2, &tfidf);
+  EXPECT_NE(bert.EncodeSequence({"entity", "matching"}),
+            roberta.EncodeSequence({"entity", "matching"}));
+}
+
+TEST(ContextEncoderTest, SequenceVectorUnitNorm) {
+  text::TfIdfModel tfidf;
+  tfidf.Finalize();
+  ContextEncoder encoder(32, 13, 1, &tfidf);
+  EXPECT_NEAR(Norm(encoder.EncodeSequence({"a", "b", "c"})), 1.0, 1e-5);
+  EXPECT_DOUBLE_EQ(Norm(encoder.EncodeSequence({})), 0.0);
+}
+
+}  // namespace
+}  // namespace rlbench::embed

@@ -1,0 +1,86 @@
+#include "embed/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rlbench::embed {
+namespace {
+
+TEST(VectorOpsTest, DotAndNorm) {
+  Vec a = {1.0F, 2.0F, 2.0F};
+  Vec b = {2.0F, 0.0F, 1.0F};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(Norm(a), 3.0);
+}
+
+TEST(VectorOpsTest, CosineKnownAngles) {
+  Vec x = {1.0F, 0.0F};
+  Vec y = {0.0F, 1.0F};
+  Vec neg_x = {-1.0F, 0.0F};
+  EXPECT_NEAR(Cosine(x, x), 1.0, 1e-12);
+  EXPECT_NEAR(Cosine(x, y), 0.0, 1e-12);
+  EXPECT_NEAR(Cosine(x, neg_x), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CosineSimilarity01(x, neg_x), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity01(x, x), 1.0);
+}
+
+TEST(VectorOpsTest, ZeroVectorCosineIsZero) {
+  Vec z = {0.0F, 0.0F};
+  Vec x = {1.0F, 0.0F};
+  EXPECT_DOUBLE_EQ(Cosine(z, x), 0.0);
+}
+
+TEST(VectorOpsTest, EuclideanDistanceAndSimilarity) {
+  Vec a = {0.0F, 0.0F};
+  Vec b = {3.0F, 4.0F};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanSimilarity(a, b), 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(EuclideanSimilarity(a, a), 1.0);
+}
+
+TEST(VectorOpsTest, WassersteinIsPermutationInvariant) {
+  Vec a = {0.1F, 0.9F, 0.5F};
+  Vec shuffled = {0.9F, 0.5F, 0.1F};
+  EXPECT_DOUBLE_EQ(WassersteinSimilarity(a, shuffled), 1.0);
+}
+
+TEST(VectorOpsTest, WassersteinKnownValue) {
+  Vec a = {0.0F, 0.0F};
+  Vec b = {1.0F, 1.0F};
+  // Sorted coordinate distributions differ by 1 everywhere: W = 1.
+  EXPECT_DOUBLE_EQ(WassersteinSimilarity(a, b), 0.5);
+}
+
+TEST(VectorOpsTest, L2Normalize) {
+  Vec a = {3.0F, 4.0F};
+  L2NormalizeInPlace(&a);
+  EXPECT_NEAR(Norm(a), 1.0, 1e-6);
+  Vec zero = {0.0F, 0.0F};
+  L2NormalizeInPlace(&zero);  // must not divide by zero
+  EXPECT_DOUBLE_EQ(Norm(zero), 0.0);
+}
+
+TEST(VectorOpsTest, AxpyAndScale) {
+  Vec a = {1.0F, 1.0F};
+  Vec b = {2.0F, 4.0F};
+  AxpyInPlace(&a, 0.5F, b);
+  EXPECT_FLOAT_EQ(a[0], 2.0F);
+  EXPECT_FLOAT_EQ(a[1], 3.0F);
+  ScaleInPlace(&a, 2.0F);
+  EXPECT_FLOAT_EQ(a[0], 4.0F);
+}
+
+TEST(VectorOpsTest, InteractionFeaturesLayout) {
+  Vec a = {1.0F, 2.0F};
+  Vec b = {3.0F, 1.0F};
+  Vec f = InteractionFeatures(a, b);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_FLOAT_EQ(f[0], 2.0F);  // |1-3|
+  EXPECT_FLOAT_EQ(f[1], 1.0F);  // |2-1|
+  EXPECT_FLOAT_EQ(f[2], 3.0F);  // 1*3
+  EXPECT_FLOAT_EQ(f[3], 2.0F);  // 2*1
+}
+
+}  // namespace
+}  // namespace rlbench::embed

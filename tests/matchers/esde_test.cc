@@ -1,0 +1,74 @@
+#include "matchers/esde.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/catalog.h"
+#include "datagen/task_builder.h"
+
+namespace rlbench::matchers {
+namespace {
+
+class EsdeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    task_ = new data::MatchingTask(datagen::BuildExistingBenchmark(
+        *datagen::FindExistingBenchmark("Ds7"), 0.5));
+    context_ = new MatchingContext(task_);
+  }
+  static void TearDownTestSuite() {
+    delete context_;
+    delete task_;
+    context_ = nullptr;
+    task_ = nullptr;
+  }
+  static data::MatchingTask* task_;
+  static MatchingContext* context_;
+};
+
+data::MatchingTask* EsdeTest::task_ = nullptr;
+MatchingContext* EsdeTest::context_ = nullptr;
+
+TEST_F(EsdeTest, FeatureCounts) {
+  EXPECT_EQ(EsdeFeatureCount(EsdeVariant::kSchemaAgnostic, 5), 3u);
+  EXPECT_EQ(EsdeFeatureCount(EsdeVariant::kSchemaBased, 5), 15u);
+  EXPECT_EQ(EsdeFeatureCount(EsdeVariant::kSchemaAgnosticQgram, 5), 27u);
+  EXPECT_EQ(EsdeFeatureCount(EsdeVariant::kSchemaBasedQgram, 5), 135u);
+  EXPECT_EQ(EsdeFeatureCount(EsdeVariant::kSchemaAgnosticSent, 5), 3u);
+  EXPECT_EQ(EsdeFeatureCount(EsdeVariant::kSchemaBasedSent, 5), 15u);
+}
+
+TEST_F(EsdeTest, AllVariantsRunAndScoreWell) {
+  // Ds7 is the easy benchmark: every linear variant must do well.
+  for (auto variant :
+       {EsdeVariant::kSchemaAgnostic, EsdeVariant::kSchemaBased,
+        EsdeVariant::kSchemaAgnosticQgram, EsdeVariant::kSchemaBasedQgram,
+        EsdeVariant::kSchemaAgnosticSent, EsdeVariant::kSchemaBasedSent}) {
+    EsdeMatcher matcher(variant);
+    double f1 = matcher.TestF1(*context_);
+    EXPECT_GT(f1, 0.7) << EsdeVariantName(variant);
+    EXPECT_GE(matcher.best_feature(), 0);
+    EXPECT_GT(matcher.best_threshold(), 0.0);
+    EXPECT_LT(matcher.best_threshold(), 1.0);
+  }
+}
+
+TEST_F(EsdeTest, PredictionsMatchTestSize) {
+  EsdeMatcher matcher(EsdeVariant::kSchemaAgnostic);
+  auto predictions = matcher.Run(*context_);
+  EXPECT_EQ(predictions.size(), task_->test().size());
+}
+
+TEST_F(EsdeTest, DeterministicAcrossRuns) {
+  EsdeMatcher a(EsdeVariant::kSchemaAgnosticSent);
+  EsdeMatcher b(EsdeVariant::kSchemaAgnosticSent);
+  EXPECT_EQ(a.Run(*context_), b.Run(*context_));
+}
+
+TEST_F(EsdeTest, NamesMatchPaper) {
+  EXPECT_EQ(EsdeMatcher(EsdeVariant::kSchemaAgnostic).name(), "SA-ESDE");
+  EXPECT_EQ(EsdeMatcher(EsdeVariant::kSchemaBasedQgram).name(), "SBQ-ESDE");
+  EXPECT_EQ(EsdeMatcher(EsdeVariant::kSchemaAgnosticSent).name(), "SAS-ESDE");
+}
+
+}  // namespace
+}  // namespace rlbench::matchers

@@ -1,0 +1,79 @@
+// Shape tests: the taxonomy-level behavioural claims the paper's analysis
+// rests on, verified on scaled-down benchmarks.
+#include <gtest/gtest.h>
+
+#include "datagen/catalog.h"
+#include "datagen/task_builder.h"
+#include "matchers/dl_sims.h"
+#include "matchers/magellan.h"
+
+namespace rlbench::matchers {
+namespace {
+
+/// Run one matcher on a freshly built benchmark.
+double F1On(const std::string& id, double scale, Matcher* matcher) {
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark(id), scale);
+  MatchingContext context(&task);
+  return matcher->TestF1(context);
+}
+
+TEST(ShapeTest, DirtyDataHurtsSchemaAwareMoreThanSchemaFree) {
+  // Section V-B / Table IV: moving values into the title (Dd4 vs Ds4)
+  // collapses Magellan's per-attribute features while the heterogeneous
+  // transformer-style matchers barely move.
+  MagellanMatcher magellan(MagellanClassifier::kRandomForest);
+  DlMatcher transformer(DlMethod::kEmTransformerR, 15);
+
+  double magellan_clean = F1On("Ds4", 0.15, &magellan);
+  double magellan_dirty = F1On("Dd4", 0.15, &magellan);
+  double transformer_clean = F1On("Ds4", 0.15, &transformer);
+  double transformer_dirty = F1On("Dd4", 0.15, &transformer);
+
+  double magellan_drop = magellan_clean - magellan_dirty;
+  double transformer_drop = transformer_clean - transformer_dirty;
+  EXPECT_GT(magellan_drop, 0.1);  // Magellan collapses
+  EXPECT_LT(transformer_drop, magellan_drop);  // heterogeneous holds up
+}
+
+TEST(ShapeTest, EveryMatcherSaturatesOnEasyBenchmark) {
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds7"), 0.6);
+  MatchingContext context(&task);
+  DlMatcher dm(DlMethod::kDeepMatcher, 15);
+  DlMatcher emt(DlMethod::kEmTransformerB, 15);
+  MagellanMatcher rf(MagellanClassifier::kRandomForest);
+  for (Matcher* matcher :
+       std::initializer_list<Matcher*>{&dm, &emt, &rf}) {
+    EXPECT_GT(matcher->TestF1(context), 0.9) << matcher->name();
+  }
+}
+
+TEST(ShapeTest, GnemCompetitionSuppressesDominatedPairs) {
+  // GNEM's global step must not hurt on a benchmark full of sibling pairs
+  // that share records with true matches, relative to its own local scores
+  // (EMTransformer-B uses the same embedding family).
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds3"), 1.0);
+  MatchingContext context(&task);
+  DlMatcher gnem(DlMethod::kGnem, 15);
+  DlMatcher local(DlMethod::kEmTransformerB, 15);
+  double gnem_f1 = gnem.TestF1(context);
+  double local_f1 = local.TestF1(context);
+  EXPECT_GT(gnem_f1, local_f1 - 0.1);
+}
+
+TEST(ShapeTest, DittoAugmentationChangesTraining) {
+  // DITTO differs from a plain transformer matcher through augmentation
+  // and summarisation; its predictions must not be byte-identical to
+  // EMTransformer-R's on a non-trivial task.
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds4"), 0.08);
+  MatchingContext context(&task);
+  DlMatcher ditto(DlMethod::kDitto, 15);
+  DlMatcher emt(DlMethod::kEmTransformerR, 15);
+  EXPECT_NE(ditto.Run(context), emt.Run(context));
+}
+
+}  // namespace
+}  // namespace rlbench::matchers

@@ -1,0 +1,85 @@
+#include "ml/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+
+namespace rlbench::ml {
+namespace {
+
+TEST(PlattTest, CalibratesMargins) {
+  // Raw margins in [-4, 4] with labels following a sigmoid at slope 1.
+  Rng rng(51);
+  std::vector<double> margins;
+  std::vector<uint8_t> labels;
+  for (int i = 0; i < 2000; ++i) {
+    double m = rng.Uniform(-4.0, 4.0);
+    margins.push_back(m);
+    labels.push_back(rng.Bernoulli(1.0 / (1.0 + std::exp(-m))) ? 1 : 0);
+  }
+  PlattScaler scaler;
+  scaler.Fit(margins, labels);
+  EXPECT_NEAR(scaler.slope(), 1.0, 0.25);
+  EXPECT_NEAR(scaler.intercept(), 0.0, 0.25);
+  EXPECT_GT(scaler.Transform(3.0), 0.85);
+  EXPECT_LT(scaler.Transform(-3.0), 0.15);
+}
+
+TEST(PlattTest, MonotoneInScore) {
+  PlattScaler scaler;
+  std::vector<double> scores = {-2, -1, 0, 1, 2};
+  std::vector<uint8_t> labels = {0, 0, 0, 1, 1};
+  scaler.Fit(scores, labels);
+  double previous = -1.0;
+  for (double s = -3.0; s <= 3.0; s += 0.5) {
+    double p = scaler.Transform(s);
+    EXPECT_GT(p, previous);
+    previous = p;
+  }
+}
+
+TEST(PlattTest, EmptyInputSafe) {
+  PlattScaler scaler;
+  scaler.Fit({}, {});
+  EXPECT_GT(scaler.Transform(1.0), 0.5);
+}
+
+Dataset Blobs(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(2);
+  for (size_t i = 0; i < n; ++i) {
+    bool label = i % 3 == 0;
+    double c = label ? 0.72 : 0.28;
+    data.Add({static_cast<float>(c + rng.Gaussian(0, 0.1)),
+              static_cast<float>(c + rng.Gaussian(0, 0.1))},
+             label);
+  }
+  return data;
+}
+
+TEST(CrossValidationTest, FoldsScoreHighOnSeparableData) {
+  Dataset data = Blobs(600, 53);
+  auto f1s = CrossValidateF1(
+      [] { return std::make_unique<LogisticRegression>(); }, data, 5, 7);
+  ASSERT_EQ(f1s.size(), 5u);
+  for (double f1 : f1s) EXPECT_GT(f1, 0.85);
+}
+
+TEST(CrossValidationTest, DeterministicForSeed) {
+  Dataset data = Blobs(300, 55);
+  auto factory = [] { return std::make_unique<LinearSvm>(); };
+  EXPECT_EQ(CrossValidateF1(factory, data, 4, 9),
+            CrossValidateF1(factory, data, 4, 9));
+}
+
+TEST(CrossValidationTest, MinimumTwoFolds) {
+  Dataset data = Blobs(100, 57);
+  auto f1s = CrossValidateF1(
+      [] { return std::make_unique<LogisticRegression>(); }, data, 1, 3);
+  EXPECT_EQ(f1s.size(), 2u);  // clamped up
+}
+
+}  // namespace
+}  // namespace rlbench::ml

@@ -1,0 +1,102 @@
+#include "ml/gbdt.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/linear_svm.h"
+
+namespace rlbench::ml {
+namespace {
+
+Dataset XorData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(2);
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng.Uniform();
+    double y = rng.Uniform();
+    data.Add({static_cast<float>(x), static_cast<float>(y)},
+             (x > 0.5) != (y > 0.5));
+  }
+  return data;
+}
+
+Dataset Blobs(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(2);
+  for (size_t i = 0; i < n; ++i) {
+    bool label = i % 4 == 0;
+    double c = label ? 0.7 : 0.3;
+    data.Add({static_cast<float>(c + rng.Gaussian(0, 0.1)),
+              static_cast<float>(c + rng.Gaussian(0, 0.1))},
+             label);
+  }
+  return data;
+}
+
+TEST(GbdtTest, SolvesXor) {
+  Dataset train = XorData(800, 41);
+  Dataset test = XorData(200, 42);
+  GradientBoostedTrees model;
+  model.Fit(train, {});
+  EXPECT_GT(model.EvaluateF1(test), 0.9);
+}
+
+TEST(GbdtTest, BeatsLinearOnXor) {
+  Dataset train = XorData(800, 43);
+  Dataset test = XorData(200, 44);
+  GradientBoostedTrees gbdt;
+  gbdt.Fit(train, {});
+  LinearSvm svm;
+  svm.Fit(train, {});
+  EXPECT_GT(gbdt.EvaluateF1(test), svm.EvaluateF1(test) + 0.2);
+}
+
+TEST(GbdtTest, MoreRoundsDoNotHurtSeparableData) {
+  Dataset train = Blobs(600, 45);
+  Dataset test = Blobs(200, 46);
+  GbdtOptions few;
+  few.rounds = 5;
+  GbdtOptions many;
+  many.rounds = 80;
+  GradientBoostedTrees a(few);
+  GradientBoostedTrees b(many);
+  a.Fit(train, {});
+  b.Fit(train, {});
+  EXPECT_GE(b.EvaluateF1(test), a.EvaluateF1(test) - 0.05);
+  EXPECT_EQ(b.num_trees(), 80u);
+}
+
+TEST(GbdtTest, ScoresAreProbabilities) {
+  Dataset train = Blobs(300, 47);
+  GradientBoostedTrees model;
+  model.Fit(train, {});
+  for (size_t i = 0; i < train.size(); ++i) {
+    double p = model.PredictScore(train.row(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(GbdtTest, DeterministicForSeed) {
+  Dataset train = XorData(400, 48);
+  GbdtOptions options;
+  options.seed = 9;
+  GradientBoostedTrees a(options);
+  GradientBoostedTrees b(options);
+  a.Fit(train, {});
+  b.Fit(train, {});
+  Dataset test = XorData(100, 49);
+  EXPECT_EQ(a.PredictAll(test), b.PredictAll(test));
+}
+
+TEST(GbdtTest, EmptyTrainingSafe) {
+  GradientBoostedTrees model;
+  model.Fit(Dataset(2), {});
+  std::vector<float> row = {0.5F, 0.5F};
+  double p = model.PredictScore(row);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+}  // namespace
+}  // namespace rlbench::ml

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/gmm_em.h"
+#include "ml/knn.h"
+
+namespace rlbench::ml {
+namespace {
+
+Dataset TwoGaussians(size_t n, double match_fraction, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(2);
+  for (size_t i = 0; i < n; ++i) {
+    bool match = rng.Bernoulli(match_fraction);
+    double c = match ? 0.85 : 0.2;
+    data.Add({static_cast<float>(c + rng.Gaussian(0, 0.07)),
+              static_cast<float>(c + rng.Gaussian(0, 0.07))},
+             match);
+  }
+  return data;
+}
+
+TEST(GmmTest, RecoversWellSeparatedComponents) {
+  Dataset data = TwoGaussians(1000, 0.15, 31);
+  GaussianMixtureMatcher gmm;
+  gmm.Fit(data);
+  size_t correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (gmm.Predict(data.row(i)) == data.label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / data.size(), 0.95);
+  EXPECT_NEAR(gmm.match_prior(), 0.15, 0.05);
+}
+
+TEST(GmmTest, LogLikelihoodMonotoneNonDecreasing) {
+  Dataset data = TwoGaussians(500, 0.2, 32);
+  GaussianMixtureMatcher gmm;
+  gmm.Fit(data);
+  const auto& trace = gmm.log_likelihood_trace();
+  ASSERT_GE(trace.size(), 2u);
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i], trace[i - 1] - 1e-6) << "EM step " << i;
+  }
+}
+
+TEST(GmmTest, ConvergesBeforeMaxIterations) {
+  Dataset data = TwoGaussians(500, 0.2, 33);
+  GmmOptions options;
+  options.max_iterations = 200;
+  GaussianMixtureMatcher gmm(options);
+  gmm.Fit(data);
+  EXPECT_LT(gmm.iterations_run(), 200);
+}
+
+TEST(GmmTest, MatchComponentOrientedHigh) {
+  // Even when seeded badly, the match component must end up on the
+  // high-similarity side.
+  Dataset data = TwoGaussians(600, 0.5, 34);
+  GaussianMixtureMatcher gmm;
+  gmm.Fit(data);
+  std::vector<float> high = {0.9F, 0.9F};
+  std::vector<float> low = {0.1F, 0.1F};
+  EXPECT_GT(gmm.PredictScore(high), 0.5);
+  EXPECT_LT(gmm.PredictScore(low), 0.5);
+}
+
+TEST(GmmTest, EmptyInputSafe) {
+  GaussianMixtureMatcher gmm;
+  gmm.Fit(Dataset(2));
+  std::vector<float> row = {0.5F, 0.5F};
+  EXPECT_DOUBLE_EQ(gmm.PredictScore(row), 0.0);
+}
+
+DistanceFn Euclid() {
+  return [](const std::vector<double>& a, const std::vector<double>& b) {
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      sum += (a[i] - b[i]) * (a[i] - b[i]);
+    }
+    return sum;
+  };
+}
+
+TEST(KnnTest, NearestNeighborExcludesSelf) {
+  std::vector<LabeledPoint> points = {
+      {{0.0, 0.0}, false}, {{0.1, 0.0}, true}, {{5.0, 5.0}, false}};
+  EXPECT_EQ(NearestNeighbor(points, points[0].x, Euclid(), 0), 1u);
+  EXPECT_EQ(NearestNeighbor(points, points[0].x, Euclid(), SIZE_MAX), 0u);
+}
+
+TEST(KnnTest, LeaveOneOutErrorRate) {
+  // Two tight clusters, one mislabelled point inside the wrong cluster.
+  std::vector<LabeledPoint> points = {
+      {{0.0, 0.0}, false}, {{0.1, 0.1}, false}, {{0.05, 0.0}, false},
+      {{1.0, 1.0}, true},  {{1.1, 1.0}, true},  {{0.02, 0.05}, true}};
+  double error = LeaveOneOut1NnErrorRate(points, Euclid());
+  // The intruder misclassifies itself and pollutes its nearest neighbour.
+  EXPECT_NEAR(error, 2.0 / 6.0, 1e-9);
+}
+
+TEST(KnnTest, PerfectClustersZeroError) {
+  std::vector<LabeledPoint> points = {
+      {{0.0, 0.0}, false}, {{0.1, 0.1}, false},
+      {{1.0, 1.0}, true},  {{1.1, 1.0}, true}};
+  EXPECT_DOUBLE_EQ(LeaveOneOut1NnErrorRate(points, Euclid()), 0.0);
+}
+
+}  // namespace
+}  // namespace rlbench::ml

@@ -1,0 +1,64 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+
+namespace rlbench::ml {
+namespace {
+
+TEST(MatthewsTest, PerfectPredictionIsOne) {
+  Confusion c;
+  c.true_positives = 10;
+  c.true_negatives = 90;
+  EXPECT_DOUBLE_EQ(c.MatthewsCorrelation(), 1.0);
+}
+
+TEST(MatthewsTest, InvertedPredictionIsMinusOne) {
+  Confusion c;
+  c.false_positives = 90;
+  c.false_negatives = 10;
+  EXPECT_DOUBLE_EQ(c.MatthewsCorrelation(), -1.0);
+}
+
+TEST(MatthewsTest, DegenerateIsZero) {
+  Confusion c;
+  c.true_positives = 5;  // no negatives at all -> undefined -> 0
+  EXPECT_DOUBLE_EQ(c.MatthewsCorrelation(), 0.0);
+}
+
+TEST(MatthewsTest, KnownValue) {
+  Confusion c;
+  c.true_positives = 6;
+  c.false_positives = 2;
+  c.false_negatives = 4;
+  c.true_negatives = 8;
+  // MCC = (6*8 - 2*4) / sqrt(8*10*10*12) = 40 / sqrt(9600).
+  EXPECT_NEAR(c.MatthewsCorrelation(), 40.0 / std::sqrt(9600.0), 1e-12);
+}
+
+TEST(AveragePrecisionTest, PerfectRanking) {
+  std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  std::vector<uint8_t> truth = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(AveragePrecision(scores, truth), 1.0);
+}
+
+TEST(AveragePrecisionTest, WorstRanking) {
+  std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  std::vector<uint8_t> truth = {0, 0, 1, 1};
+  // Positives at ranks 3 and 4: AP = (1/3 + 2/4) / 2.
+  EXPECT_NEAR(AveragePrecision(scores, truth), (1.0 / 3 + 0.5) / 2, 1e-12);
+}
+
+TEST(AveragePrecisionTest, MixedRanking) {
+  std::vector<double> scores = {0.9, 0.7, 0.5, 0.3};
+  std::vector<uint8_t> truth = {1, 0, 1, 0};
+  // Positives at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+  EXPECT_NEAR(AveragePrecision(scores, truth), (1.0 + 2.0 / 3) / 2, 1e-12);
+}
+
+TEST(AveragePrecisionTest, NoPositives) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.5}, {0}), 0.0);
+}
+
+}  // namespace
+}  // namespace rlbench::ml

@@ -1,0 +1,103 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rlbench::ml {
+namespace {
+
+TEST(ConfusionTest, ExactValues) {
+  Confusion c;
+  c.true_positives = 8;
+  c.false_positives = 2;
+  c.false_negatives = 4;
+  c.true_negatives = 86;
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.8);
+  EXPECT_DOUBLE_EQ(c.Recall(), 8.0 / 12.0);
+  EXPECT_NEAR(c.F1(), 2 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0), 1e-12);
+  EXPECT_DOUBLE_EQ(c.Accuracy(), 0.94);
+}
+
+TEST(ConfusionTest, DegenerateCases) {
+  Confusion empty;
+  EXPECT_DOUBLE_EQ(empty.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.F1(), 0.0);
+}
+
+TEST(EvaluateTest, TalliesCorrectly) {
+  std::vector<uint8_t> truth = {1, 1, 0, 0, 1};
+  std::vector<uint8_t> predicted = {1, 0, 0, 1, 1};
+  Confusion c = Evaluate(truth, predicted);
+  EXPECT_EQ(c.true_positives, 2u);
+  EXPECT_EQ(c.false_negatives, 1u);
+  EXPECT_EQ(c.false_positives, 1u);
+  EXPECT_EQ(c.true_negatives, 1u);
+}
+
+TEST(F1AtThresholdTest, ThresholdInclusive) {
+  std::vector<double> scores = {0.5, 0.4};
+  std::vector<uint8_t> truth = {1, 0};
+  // t <= s is a match, as in Algorithm 1 line 9.
+  EXPECT_DOUBLE_EQ(F1AtThreshold(scores, truth, 0.5), 1.0);
+}
+
+/// Brute-force reference implementation of the threshold sweep.
+ThresholdSweepResult BruteForceSweep(const std::vector<double>& scores,
+                                     const std::vector<uint8_t>& truth) {
+  ThresholdSweepResult best;
+  best.best_threshold = 0.01;
+  for (int step = 1; step <= 99; ++step) {
+    double t = step / 100.0;
+    double f1 = F1AtThreshold(scores, truth, t);
+    if (f1 > best.best_f1) {
+      best.best_f1 = f1;
+      best.best_threshold = t;
+    }
+  }
+  return best;
+}
+
+TEST(SweepThresholdsTest, PerfectSeparation) {
+  std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  std::vector<uint8_t> truth = {1, 1, 0, 0};
+  auto result = SweepThresholds(scores, truth);
+  EXPECT_DOUBLE_EQ(result.best_f1, 1.0);
+  EXPECT_GT(result.best_threshold, 0.2);
+  EXPECT_LE(result.best_threshold, 0.8);
+}
+
+TEST(SweepThresholdsTest, MatchesBruteForceOnRandomData) {
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> scores;
+    std::vector<uint8_t> truth;
+    size_t n = 50 + rng.Index(200);
+    for (size_t i = 0; i < n; ++i) {
+      bool label = rng.Bernoulli(0.3);
+      double score = label ? rng.Uniform(0.3, 1.0) : rng.Uniform(0.0, 0.7);
+      scores.push_back(score);
+      truth.push_back(label ? 1 : 0);
+    }
+    auto fast = SweepThresholds(scores, truth);
+    auto brute = BruteForceSweep(scores, truth);
+    EXPECT_NEAR(fast.best_f1, brute.best_f1, 1e-12);
+    EXPECT_DOUBLE_EQ(fast.best_threshold, brute.best_threshold);
+  }
+}
+
+TEST(SweepThresholdsTest, AllNegativeLabels) {
+  std::vector<double> scores = {0.5, 0.6};
+  std::vector<uint8_t> truth = {0, 0};
+  auto result = SweepThresholds(scores, truth);
+  EXPECT_DOUBLE_EQ(result.best_f1, 0.0);
+}
+
+TEST(SweepThresholdsTest, EmptyInput) {
+  auto result = SweepThresholds({}, {});
+  EXPECT_DOUBLE_EQ(result.best_f1, 0.0);
+}
+
+}  // namespace
+}  // namespace rlbench::ml

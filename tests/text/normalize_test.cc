@@ -1,0 +1,56 @@
+#include "text/normalize.h"
+
+#include <gtest/gtest.h>
+
+namespace rlbench::text {
+namespace {
+
+TEST(StopWordsTest, DetectsCommonWords) {
+  EXPECT_TRUE(IsStopWord("the"));
+  EXPECT_TRUE(IsStopWord("and"));
+  EXPECT_FALSE(IsStopWord("database"));
+}
+
+TEST(StopWordsTest, RemoveStopWordsFilters) {
+  auto out = RemoveStopWords({"the", "quick", "and", "brown", "fox"});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "quick");
+  EXPECT_EQ(out[1], "brown");
+  EXPECT_EQ(out[2], "fox");
+}
+
+TEST(StemTest, Plurals) {
+  EXPECT_EQ(Stem("databases"), "database");
+  EXPECT_EQ(Stem("glasses"), "glass");  // -sses -> -ss
+  EXPECT_EQ(Stem("cats"), "cat");
+}
+
+TEST(StemTest, Suffixes) {
+  EXPECT_EQ(Stem("matching"), "match");
+  EXPECT_EQ(Stem("linked"), "link");
+  EXPECT_EQ(Stem("quickly"), "quick");
+}
+
+TEST(StemTest, ShortWordsUntouched) {
+  EXPECT_EQ(Stem("is"), "is");
+  EXPECT_EQ(Stem("bus"), "bus");
+  EXPECT_EQ(Stem("a"), "a");
+}
+
+TEST(StemTest, Idempotent) {
+  for (const char* word :
+       {"databases", "matching", "linked", "records", "evaluation"}) {
+    std::string once = Stem(word);
+    EXPECT_EQ(Stem(once), Stem(once));
+  }
+}
+
+TEST(CleanTextTest, FullPipeline) {
+  std::string cleaned = CleanText("The Matching of the Records");
+  EXPECT_EQ(cleaned, "match record");
+}
+
+TEST(CleanTextTest, EmptyInput) { EXPECT_EQ(CleanText(""), ""); }
+
+}  // namespace
+}  // namespace rlbench::text

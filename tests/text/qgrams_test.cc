@@ -1,0 +1,64 @@
+#include "text/qgrams.h"
+
+#include <gtest/gtest.h>
+
+namespace rlbench::text {
+namespace {
+
+TEST(QGramsTest, BasicBigrams) {
+  auto grams = QGrams("abcd", 2);
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[0], "ab");
+  EXPECT_EQ(grams[1], "bc");
+  EXPECT_EQ(grams[2], "cd");
+}
+
+TEST(QGramsTest, LowercasesInput) {
+  auto grams = QGrams("AB", 2);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "ab");
+}
+
+TEST(QGramsTest, ShortStringYieldsWholeString) {
+  auto grams = QGrams("ab", 3);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "ab");
+}
+
+TEST(QGramsTest, EmptyAndInvalidQ) {
+  EXPECT_TRUE(QGrams("", 2).empty());
+  EXPECT_TRUE(QGrams("abc", 0).empty());
+}
+
+TEST(QGramSetTest, DifferentQDoNotAlias) {
+  // The 2-gram set of "ab" and the 3-gram set of "ab" both contain the
+  // whole string "ab", but the q-salt must keep them distinct.
+  TokenSet two = QGramSet("ab", 2);
+  TokenSet three = QGramSet("ab", 3);
+  EXPECT_EQ(two.IntersectionSize(three), 0u);
+}
+
+TEST(QGramSetTest, SimilarStringsShareGrams) {
+  TokenSet a = QGramSet("databases", 3);
+  TokenSet b = QGramSet("database", 3);
+  EXPECT_GT(a.IntersectionSize(b), 4u);
+}
+
+class QGramRangeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QGramRangeTest, CountMatchesFormula) {
+  int q = GetParam();
+  std::string s = "record linkage";
+  auto grams = QGrams(s, q);
+  if (static_cast<int>(s.size()) <= q) {
+    EXPECT_EQ(grams.size(), 1u);
+  } else {
+    EXPECT_EQ(grams.size(), s.size() - q + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQ, QGramRangeTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace rlbench::text

@@ -1,0 +1,88 @@
+// Tests for the alignment-based similarities and TF-IDF-weighted measures.
+#include <gtest/gtest.h>
+
+#include "text/similarity.h"
+#include "text/tfidf.h"
+
+namespace rlbench::text {
+namespace {
+
+TEST(NeedlemanWunschTest, IdenticalAndDisjoint) {
+  EXPECT_DOUBLE_EQ(NeedlemanWunschSimilarity("match", "match"), 1.0);
+  EXPECT_DOUBLE_EQ(NeedlemanWunschSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NeedlemanWunschSimilarity("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(NeedlemanWunschSimilarity("aaaa", "zzzz"), 0.0);
+}
+
+TEST(NeedlemanWunschTest, SingleGap) {
+  // "abcd" vs "abd": 3 matches + 1 gap = 3 - 0.5 = 2.5, / 4 = 0.625.
+  EXPECT_NEAR(NeedlemanWunschSimilarity("abcd", "abd"), 0.625, 1e-12);
+}
+
+TEST(SmithWatermanTest, LocalAlignmentIgnoresFlanks) {
+  // The shared core "nikon d750" aligns locally despite different flanks.
+  double sim = SmithWatermanSimilarity("xxxx nikon d750 yyyy",
+                                       "nikon d750 camera body");
+  EXPECT_GT(sim, 0.4);
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("same", "same"), 1.0);
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("", "x"), 0.0);
+}
+
+TEST(SmithWatermanTest, AtLeastGlobalOnSuffixedStrings) {
+  // Local alignment never scores below the global one when one string is
+  // a flanked version of the other.
+  std::string core = "record linkage";
+  std::string flanked = "the " + core + " problem";
+  EXPECT_GE(SmithWatermanSimilarity(core, flanked) + 1e-12,
+            NeedlemanWunschSimilarity(core, flanked));
+}
+
+class WeightedSimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_.AddDocument({"apple", "iphone", "case"});
+    model_.AddDocument({"apple", "macbook", "pro"});
+    model_.AddDocument({"samsung", "galaxy", "case"});
+    model_.AddDocument({"rare", "token"});
+    model_.Finalize();
+  }
+  TfIdfModel model_;
+};
+
+TEST_F(WeightedSimTest, IdenticalIsOne) {
+  std::vector<std::string> tokens = {"apple", "iphone"};
+  EXPECT_NEAR(model_.WeightedCosine(tokens, tokens), 1.0, 1e-9);
+}
+
+TEST_F(WeightedSimTest, RareSharedTokenOutweighsCommonOne) {
+  // Sharing the rare "rare" must score higher than sharing the common
+  // "apple" (same-length token lists).
+  double rare = model_.WeightedCosine({"rare", "iphone"}, {"rare", "galaxy"});
+  double common = model_.WeightedCosine({"apple", "iphone"},
+                                        {"apple", "galaxy"});
+  EXPECT_GT(rare, common);
+}
+
+TEST_F(WeightedSimTest, DisjointIsZero) {
+  EXPECT_DOUBLE_EQ(model_.WeightedCosine({"apple"}, {"galaxy"}), 0.0);
+  EXPECT_DOUBLE_EQ(model_.WeightedCosine({}, {"x"}), 0.0);
+}
+
+TEST_F(WeightedSimTest, SoftTfIdfMatchesTypos) {
+  // "iphonee" has no exact counterpart but Jaro-Winkler-matches "iphone",
+  // so the soft variant scores higher than the exact-token cosine.
+  double hard = model_.WeightedCosine({"apple", "iphonee"},
+                                      {"apple", "iphone"});
+  double soft = model_.SoftTfIdf({"apple", "iphonee"}, {"apple", "iphone"});
+  EXPECT_GT(soft, hard);
+  EXPECT_LE(soft, 1.0);
+}
+
+TEST_F(WeightedSimTest, SoftTfIdfThresholdGates) {
+  // Below the JW threshold the soft match must not fire.
+  double strict = model_.SoftTfIdf({"zebra"}, {"iphone"}, 0.95);
+  EXPECT_DOUBLE_EQ(strict, 0.0);
+}
+
+}  // namespace
+}  // namespace rlbench::text

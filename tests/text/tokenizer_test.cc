@@ -1,0 +1,74 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace rlbench::text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplitsOnPunctuation) {
+  auto tokens = Tokenize("Hello, World! iPhone-14 Pro");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "iphone");
+  EXPECT_EQ(tokens[3], "14");
+  EXPECT_EQ(tokens[4], "pro");
+}
+
+TEST(TokenizerTest, EmptyAndPurePunctuation) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("!!! --- ...").empty());
+}
+
+TEST(TokenizerTest, DigitsKept) {
+  auto tokens = Tokenize("model 42b rev7");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1], "42b");
+}
+
+TEST(TokenizerTest, TokenizeAllConcatenates) {
+  auto tokens = TokenizeAll({"a b", "c", "", "d e f"});
+  EXPECT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens.front(), "a");
+  EXPECT_EQ(tokens.back(), "f");
+}
+
+TEST(TokenSetTest, DeduplicatesTokens) {
+  TokenSet set(std::vector<std::string>{"a", "b", "a", "c", "b"});
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(TokenSetTest, IntersectionSize) {
+  TokenSet a(std::vector<std::string>{"x", "y", "z"});
+  TokenSet b(std::vector<std::string>{"y", "z", "w"});
+  EXPECT_EQ(a.IntersectionSize(b), 2u);
+  EXPECT_EQ(b.IntersectionSize(a), 2u);
+}
+
+TEST(TokenSetTest, DisjointSets) {
+  TokenSet a(std::vector<std::string>{"p", "q"});
+  TokenSet b(std::vector<std::string>{"r", "s"});
+  EXPECT_EQ(a.IntersectionSize(b), 0u);
+}
+
+TEST(TokenSetTest, EmptySet) {
+  TokenSet empty;
+  TokenSet a(std::vector<std::string>{"p"});
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.IntersectionSize(a), 0u);
+  EXPECT_EQ(a.IntersectionSize(empty), 0u);
+}
+
+TEST(TokenSetTest, FromTextMatchesTokenize) {
+  TokenSet from_text = TokenSet::FromText("Alpha beta ALPHA");
+  TokenSet manual(std::vector<std::string>{"alpha", "beta"});
+  EXPECT_EQ(from_text, manual);
+}
+
+TEST(TokenSetTest, SelfIntersectionIsSize) {
+  TokenSet a = TokenSet::FromText("one two three four");
+  EXPECT_EQ(a.IntersectionSize(a), a.size());
+}
+
+}  // namespace
+}  // namespace rlbench::text

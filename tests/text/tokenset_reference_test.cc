@@ -1,0 +1,71 @@
+// Cross-check the hashed TokenSet machinery against a straightforward
+// std::set<std::string> reference on random token soups — the hashes must
+// never change intersection sizes (collisions at 64 bits are negligible,
+// and any logic bug shows up immediately).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+
+namespace rlbench::text {
+namespace {
+
+std::vector<std::string> RandomTokens(Rng* rng, size_t max_len) {
+  size_t n = rng->Index(max_len + 1);
+  std::vector<std::string> tokens;
+  for (size_t i = 0; i < n; ++i) {
+    // Small alphabet on purpose: forces overlaps and duplicates.
+    std::string t;
+    size_t len = 1 + rng->Index(4);
+    for (size_t j = 0; j < len; ++j) {
+      t.push_back(static_cast<char>('a' + rng->UniformInt(0, 5)));
+    }
+    tokens.push_back(std::move(t));
+  }
+  return tokens;
+}
+
+TEST(TokenSetReferenceTest, IntersectionMatchesStdSet) {
+  Rng rng(83);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto ta = RandomTokens(&rng, 30);
+    auto tb = RandomTokens(&rng, 30);
+    TokenSet a(ta);
+    TokenSet b(tb);
+    std::set<std::string> sa(ta.begin(), ta.end());
+    std::set<std::string> sb(tb.begin(), tb.end());
+    size_t expected = 0;
+    for (const auto& t : sa) expected += sb.count(t);
+    EXPECT_EQ(a.IntersectionSize(b), expected) << "trial " << trial;
+    EXPECT_EQ(a.size(), sa.size());
+    EXPECT_EQ(b.size(), sb.size());
+  }
+}
+
+TEST(TokenSetReferenceTest, SimilaritiesMatchSetFormulas) {
+  Rng rng(85);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto ta = RandomTokens(&rng, 20);
+    auto tb = RandomTokens(&rng, 20);
+    TokenSet a(ta);
+    TokenSet b(tb);
+    std::set<std::string> sa(ta.begin(), ta.end());
+    std::set<std::string> sb(tb.begin(), tb.end());
+    size_t inter = 0;
+    for (const auto& t : sa) inter += sb.count(t);
+    size_t uni = sa.size() + sb.size() - inter;
+    if (!sa.empty() && !sb.empty()) {
+      EXPECT_NEAR(CosineSimilarity(a, b),
+                  inter / std::sqrt(double(sa.size()) * sb.size()), 1e-12);
+    }
+    if (uni > 0) {
+      EXPECT_NEAR(JaccardSimilarity(a, b), double(inter) / uni, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rlbench::text
