@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_difficulty.dir/ablation_difficulty.cc.o"
+  "CMakeFiles/ablation_difficulty.dir/ablation_difficulty.cc.o.d"
+  "ablation_difficulty"
+  "ablation_difficulty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_difficulty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

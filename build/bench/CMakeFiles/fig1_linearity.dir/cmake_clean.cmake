@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_linearity.dir/fig1_linearity.cc.o"
+  "CMakeFiles/fig1_linearity.dir/fig1_linearity.cc.o.d"
+  "fig1_linearity"
+  "fig1_linearity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_linearity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

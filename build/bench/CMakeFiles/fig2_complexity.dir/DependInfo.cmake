@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_complexity.cc" "bench/CMakeFiles/fig2_complexity.dir/fig2_complexity.cc.o" "gcc" "bench/CMakeFiles/fig2_complexity.dir/fig2_complexity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/rlbench_benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rlbench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matchers/CMakeFiles/rlbench_matchers.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/rlbench_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/rlbench_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rlbench_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/rlbench_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rlbench_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rlbench_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rlbench_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

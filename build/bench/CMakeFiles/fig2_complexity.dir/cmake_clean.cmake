@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_complexity.dir/fig2_complexity.cc.o"
+  "CMakeFiles/fig2_complexity.dir/fig2_complexity.cc.o.d"
+  "fig2_complexity"
+  "fig2_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

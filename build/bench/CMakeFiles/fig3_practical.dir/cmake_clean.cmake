@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_practical.dir/fig3_practical.cc.o"
+  "CMakeFiles/fig3_practical.dir/fig3_practical.cc.o.d"
+  "fig3_practical"
+  "fig3_practical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_practical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

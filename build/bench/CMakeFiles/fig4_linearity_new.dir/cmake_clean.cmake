@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_linearity_new.dir/fig4_linearity_new.cc.o"
+  "CMakeFiles/fig4_linearity_new.dir/fig4_linearity_new.cc.o.d"
+  "fig4_linearity_new"
+  "fig4_linearity_new.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_linearity_new.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

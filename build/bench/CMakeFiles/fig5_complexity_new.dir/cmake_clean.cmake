@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_complexity_new.dir/fig5_complexity_new.cc.o"
+  "CMakeFiles/fig5_complexity_new.dir/fig5_complexity_new.cc.o.d"
+  "fig5_complexity_new"
+  "fig5_complexity_new.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_complexity_new.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_practical_new.dir/fig6_practical_new.cc.o"
+  "CMakeFiles/fig6_practical_new.dir/fig6_practical_new.cc.o.d"
+  "fig6_practical_new"
+  "fig6_practical_new.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_practical_new.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

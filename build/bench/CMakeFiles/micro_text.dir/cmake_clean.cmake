@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_text.dir/micro_text.cc.o"
+  "CMakeFiles/micro_text.dir/micro_text.cc.o.d"
+  "micro_text"
+  "micro_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlbench_benchutil.dir/bench_util.cc.o"
+  "CMakeFiles/rlbench_benchutil.dir/bench_util.cc.o.d"
+  "librlbench_benchutil.a"
+  "librlbench_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlbench_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_matchers.dir/table4_matchers.cc.o"
+  "CMakeFiles/table4_matchers.dir/table4_matchers.cc.o.d"
+  "table4_matchers"
+  "table4_matchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_matchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_newbench.dir/table5_newbench.cc.o"
+  "CMakeFiles/table5_newbench.dir/table5_newbench.cc.o.d"
+  "table5_newbench"
+  "table5_newbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_newbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_matchers_new.dir/table6_matchers_new.cc.o"
+  "CMakeFiles/table6_matchers_new.dir/table6_matchers_new.cc.o.d"
+  "table6_matchers_new"
+  "table6_matchers_new.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_matchers_new.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

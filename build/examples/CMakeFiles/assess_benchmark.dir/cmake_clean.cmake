@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assess_benchmark.dir/assess_benchmark.cpp.o"
+  "CMakeFiles/assess_benchmark.dir/assess_benchmark.cpp.o.d"
+  "assess_benchmark"
+  "assess_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assess_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_new_benchmark.dir/build_new_benchmark.cpp.o"
+  "CMakeFiles/build_new_benchmark.dir/build_new_benchmark.cpp.o.d"
+  "build_new_benchmark"
+  "build_new_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_new_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolve_pipeline.dir/resolve_pipeline.cpp.o"
+  "CMakeFiles/resolve_pipeline.dir/resolve_pipeline.cpp.o.d"
+  "resolve_pipeline"
+  "resolve_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolve_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_matcher.dir/train_matcher.cpp.o"
+  "CMakeFiles/train_matcher.dir/train_matcher.cpp.o.d"
+  "train_matcher"
+  "train_matcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/block/deepblocker_sim.cc" "src/block/CMakeFiles/rlbench_block.dir/deepblocker_sim.cc.o" "gcc" "src/block/CMakeFiles/rlbench_block.dir/deepblocker_sim.cc.o.d"
+  "/root/repo/src/block/metrics.cc" "src/block/CMakeFiles/rlbench_block.dir/metrics.cc.o" "gcc" "src/block/CMakeFiles/rlbench_block.dir/metrics.cc.o.d"
+  "/root/repo/src/block/minhash_blocking.cc" "src/block/CMakeFiles/rlbench_block.dir/minhash_blocking.cc.o" "gcc" "src/block/CMakeFiles/rlbench_block.dir/minhash_blocking.cc.o.d"
+  "/root/repo/src/block/qgram_blocking.cc" "src/block/CMakeFiles/rlbench_block.dir/qgram_blocking.cc.o" "gcc" "src/block/CMakeFiles/rlbench_block.dir/qgram_blocking.cc.o.d"
+  "/root/repo/src/block/sorted_neighborhood.cc" "src/block/CMakeFiles/rlbench_block.dir/sorted_neighborhood.cc.o" "gcc" "src/block/CMakeFiles/rlbench_block.dir/sorted_neighborhood.cc.o.d"
+  "/root/repo/src/block/token_blocking.cc" "src/block/CMakeFiles/rlbench_block.dir/token_blocking.cc.o" "gcc" "src/block/CMakeFiles/rlbench_block.dir/token_blocking.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rlbench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rlbench_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rlbench_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/rlbench_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/rlbench_datagen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

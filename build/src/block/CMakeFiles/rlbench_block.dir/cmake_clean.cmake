@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlbench_block.dir/deepblocker_sim.cc.o"
+  "CMakeFiles/rlbench_block.dir/deepblocker_sim.cc.o.d"
+  "CMakeFiles/rlbench_block.dir/metrics.cc.o"
+  "CMakeFiles/rlbench_block.dir/metrics.cc.o.d"
+  "CMakeFiles/rlbench_block.dir/minhash_blocking.cc.o"
+  "CMakeFiles/rlbench_block.dir/minhash_blocking.cc.o.d"
+  "CMakeFiles/rlbench_block.dir/qgram_blocking.cc.o"
+  "CMakeFiles/rlbench_block.dir/qgram_blocking.cc.o.d"
+  "CMakeFiles/rlbench_block.dir/sorted_neighborhood.cc.o"
+  "CMakeFiles/rlbench_block.dir/sorted_neighborhood.cc.o.d"
+  "CMakeFiles/rlbench_block.dir/token_blocking.cc.o"
+  "CMakeFiles/rlbench_block.dir/token_blocking.cc.o.d"
+  "librlbench_block.a"
+  "librlbench_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlbench_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

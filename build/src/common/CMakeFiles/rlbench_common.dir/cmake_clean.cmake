@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlbench_common.dir/flags.cc.o"
+  "CMakeFiles/rlbench_common.dir/flags.cc.o.d"
+  "CMakeFiles/rlbench_common.dir/rng.cc.o"
+  "CMakeFiles/rlbench_common.dir/rng.cc.o.d"
+  "CMakeFiles/rlbench_common.dir/status.cc.o"
+  "CMakeFiles/rlbench_common.dir/status.cc.o.d"
+  "CMakeFiles/rlbench_common.dir/strings.cc.o"
+  "CMakeFiles/rlbench_common.dir/strings.cc.o.d"
+  "CMakeFiles/rlbench_common.dir/table_printer.cc.o"
+  "CMakeFiles/rlbench_common.dir/table_printer.cc.o.d"
+  "librlbench_common.a"
+  "librlbench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlbench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlbench_core.dir/benchmark_builder.cc.o"
+  "CMakeFiles/rlbench_core.dir/benchmark_builder.cc.o.d"
+  "CMakeFiles/rlbench_core.dir/complexity.cc.o"
+  "CMakeFiles/rlbench_core.dir/complexity.cc.o.d"
+  "CMakeFiles/rlbench_core.dir/linearity.cc.o"
+  "CMakeFiles/rlbench_core.dir/linearity.cc.o.d"
+  "CMakeFiles/rlbench_core.dir/practical.cc.o"
+  "CMakeFiles/rlbench_core.dir/practical.cc.o.d"
+  "CMakeFiles/rlbench_core.dir/resolution.cc.o"
+  "CMakeFiles/rlbench_core.dir/resolution.cc.o.d"
+  "librlbench_core.a"
+  "librlbench_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlbench_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/benchmark_io.cc" "src/data/CMakeFiles/rlbench_data.dir/benchmark_io.cc.o" "gcc" "src/data/CMakeFiles/rlbench_data.dir/benchmark_io.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/rlbench_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/rlbench_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/feature_cache.cc" "src/data/CMakeFiles/rlbench_data.dir/feature_cache.cc.o" "gcc" "src/data/CMakeFiles/rlbench_data.dir/feature_cache.cc.o.d"
+  "/root/repo/src/data/record.cc" "src/data/CMakeFiles/rlbench_data.dir/record.cc.o" "gcc" "src/data/CMakeFiles/rlbench_data.dir/record.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/data/CMakeFiles/rlbench_data.dir/split.cc.o" "gcc" "src/data/CMakeFiles/rlbench_data.dir/split.cc.o.d"
+  "/root/repo/src/data/task.cc" "src/data/CMakeFiles/rlbench_data.dir/task.cc.o" "gcc" "src/data/CMakeFiles/rlbench_data.dir/task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rlbench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rlbench_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

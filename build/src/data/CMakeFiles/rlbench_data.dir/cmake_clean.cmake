@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlbench_data.dir/benchmark_io.cc.o"
+  "CMakeFiles/rlbench_data.dir/benchmark_io.cc.o.d"
+  "CMakeFiles/rlbench_data.dir/csv.cc.o"
+  "CMakeFiles/rlbench_data.dir/csv.cc.o.d"
+  "CMakeFiles/rlbench_data.dir/feature_cache.cc.o"
+  "CMakeFiles/rlbench_data.dir/feature_cache.cc.o.d"
+  "CMakeFiles/rlbench_data.dir/record.cc.o"
+  "CMakeFiles/rlbench_data.dir/record.cc.o.d"
+  "CMakeFiles/rlbench_data.dir/split.cc.o"
+  "CMakeFiles/rlbench_data.dir/split.cc.o.d"
+  "CMakeFiles/rlbench_data.dir/task.cc.o"
+  "CMakeFiles/rlbench_data.dir/task.cc.o.d"
+  "librlbench_data.a"
+  "librlbench_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlbench_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/attr_select.cc" "src/datagen/CMakeFiles/rlbench_datagen.dir/attr_select.cc.o" "gcc" "src/datagen/CMakeFiles/rlbench_datagen.dir/attr_select.cc.o.d"
+  "/root/repo/src/datagen/catalog.cc" "src/datagen/CMakeFiles/rlbench_datagen.dir/catalog.cc.o" "gcc" "src/datagen/CMakeFiles/rlbench_datagen.dir/catalog.cc.o.d"
+  "/root/repo/src/datagen/corruptor.cc" "src/datagen/CMakeFiles/rlbench_datagen.dir/corruptor.cc.o" "gcc" "src/datagen/CMakeFiles/rlbench_datagen.dir/corruptor.cc.o.d"
+  "/root/repo/src/datagen/domain.cc" "src/datagen/CMakeFiles/rlbench_datagen.dir/domain.cc.o" "gcc" "src/datagen/CMakeFiles/rlbench_datagen.dir/domain.cc.o.d"
+  "/root/repo/src/datagen/source_builder.cc" "src/datagen/CMakeFiles/rlbench_datagen.dir/source_builder.cc.o" "gcc" "src/datagen/CMakeFiles/rlbench_datagen.dir/source_builder.cc.o.d"
+  "/root/repo/src/datagen/task_builder.cc" "src/datagen/CMakeFiles/rlbench_datagen.dir/task_builder.cc.o" "gcc" "src/datagen/CMakeFiles/rlbench_datagen.dir/task_builder.cc.o.d"
+  "/root/repo/src/datagen/vocab.cc" "src/datagen/CMakeFiles/rlbench_datagen.dir/vocab.cc.o" "gcc" "src/datagen/CMakeFiles/rlbench_datagen.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rlbench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rlbench_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rlbench_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlbench_datagen.dir/attr_select.cc.o"
+  "CMakeFiles/rlbench_datagen.dir/attr_select.cc.o.d"
+  "CMakeFiles/rlbench_datagen.dir/catalog.cc.o"
+  "CMakeFiles/rlbench_datagen.dir/catalog.cc.o.d"
+  "CMakeFiles/rlbench_datagen.dir/corruptor.cc.o"
+  "CMakeFiles/rlbench_datagen.dir/corruptor.cc.o.d"
+  "CMakeFiles/rlbench_datagen.dir/domain.cc.o"
+  "CMakeFiles/rlbench_datagen.dir/domain.cc.o.d"
+  "CMakeFiles/rlbench_datagen.dir/source_builder.cc.o"
+  "CMakeFiles/rlbench_datagen.dir/source_builder.cc.o.d"
+  "CMakeFiles/rlbench_datagen.dir/task_builder.cc.o"
+  "CMakeFiles/rlbench_datagen.dir/task_builder.cc.o.d"
+  "CMakeFiles/rlbench_datagen.dir/vocab.cc.o"
+  "CMakeFiles/rlbench_datagen.dir/vocab.cc.o.d"
+  "librlbench_datagen.a"
+  "librlbench_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlbench_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

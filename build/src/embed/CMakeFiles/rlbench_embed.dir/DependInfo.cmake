@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/context_encoder.cc" "src/embed/CMakeFiles/rlbench_embed.dir/context_encoder.cc.o" "gcc" "src/embed/CMakeFiles/rlbench_embed.dir/context_encoder.cc.o.d"
+  "/root/repo/src/embed/hashed_embedding.cc" "src/embed/CMakeFiles/rlbench_embed.dir/hashed_embedding.cc.o" "gcc" "src/embed/CMakeFiles/rlbench_embed.dir/hashed_embedding.cc.o.d"
+  "/root/repo/src/embed/vector_ops.cc" "src/embed/CMakeFiles/rlbench_embed.dir/vector_ops.cc.o" "gcc" "src/embed/CMakeFiles/rlbench_embed.dir/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rlbench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rlbench_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

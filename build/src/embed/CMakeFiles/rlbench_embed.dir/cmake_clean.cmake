@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlbench_embed.dir/context_encoder.cc.o"
+  "CMakeFiles/rlbench_embed.dir/context_encoder.cc.o.d"
+  "CMakeFiles/rlbench_embed.dir/hashed_embedding.cc.o"
+  "CMakeFiles/rlbench_embed.dir/hashed_embedding.cc.o.d"
+  "CMakeFiles/rlbench_embed.dir/vector_ops.cc.o"
+  "CMakeFiles/rlbench_embed.dir/vector_ops.cc.o.d"
+  "librlbench_embed.a"
+  "librlbench_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlbench_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

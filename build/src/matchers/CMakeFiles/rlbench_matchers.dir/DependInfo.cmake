@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matchers/context.cc" "src/matchers/CMakeFiles/rlbench_matchers.dir/context.cc.o" "gcc" "src/matchers/CMakeFiles/rlbench_matchers.dir/context.cc.o.d"
+  "/root/repo/src/matchers/dl_sims.cc" "src/matchers/CMakeFiles/rlbench_matchers.dir/dl_sims.cc.o" "gcc" "src/matchers/CMakeFiles/rlbench_matchers.dir/dl_sims.cc.o.d"
+  "/root/repo/src/matchers/esde.cc" "src/matchers/CMakeFiles/rlbench_matchers.dir/esde.cc.o" "gcc" "src/matchers/CMakeFiles/rlbench_matchers.dir/esde.cc.o.d"
+  "/root/repo/src/matchers/features.cc" "src/matchers/CMakeFiles/rlbench_matchers.dir/features.cc.o" "gcc" "src/matchers/CMakeFiles/rlbench_matchers.dir/features.cc.o.d"
+  "/root/repo/src/matchers/magellan.cc" "src/matchers/CMakeFiles/rlbench_matchers.dir/magellan.cc.o" "gcc" "src/matchers/CMakeFiles/rlbench_matchers.dir/magellan.cc.o.d"
+  "/root/repo/src/matchers/matcher.cc" "src/matchers/CMakeFiles/rlbench_matchers.dir/matcher.cc.o" "gcc" "src/matchers/CMakeFiles/rlbench_matchers.dir/matcher.cc.o.d"
+  "/root/repo/src/matchers/registry.cc" "src/matchers/CMakeFiles/rlbench_matchers.dir/registry.cc.o" "gcc" "src/matchers/CMakeFiles/rlbench_matchers.dir/registry.cc.o.d"
+  "/root/repo/src/matchers/zeroer.cc" "src/matchers/CMakeFiles/rlbench_matchers.dir/zeroer.cc.o" "gcc" "src/matchers/CMakeFiles/rlbench_matchers.dir/zeroer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rlbench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rlbench_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rlbench_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/rlbench_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rlbench_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

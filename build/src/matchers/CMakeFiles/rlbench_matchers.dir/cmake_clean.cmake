@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlbench_matchers.dir/context.cc.o"
+  "CMakeFiles/rlbench_matchers.dir/context.cc.o.d"
+  "CMakeFiles/rlbench_matchers.dir/dl_sims.cc.o"
+  "CMakeFiles/rlbench_matchers.dir/dl_sims.cc.o.d"
+  "CMakeFiles/rlbench_matchers.dir/esde.cc.o"
+  "CMakeFiles/rlbench_matchers.dir/esde.cc.o.d"
+  "CMakeFiles/rlbench_matchers.dir/features.cc.o"
+  "CMakeFiles/rlbench_matchers.dir/features.cc.o.d"
+  "CMakeFiles/rlbench_matchers.dir/magellan.cc.o"
+  "CMakeFiles/rlbench_matchers.dir/magellan.cc.o.d"
+  "CMakeFiles/rlbench_matchers.dir/matcher.cc.o"
+  "CMakeFiles/rlbench_matchers.dir/matcher.cc.o.d"
+  "CMakeFiles/rlbench_matchers.dir/registry.cc.o"
+  "CMakeFiles/rlbench_matchers.dir/registry.cc.o.d"
+  "CMakeFiles/rlbench_matchers.dir/zeroer.cc.o"
+  "CMakeFiles/rlbench_matchers.dir/zeroer.cc.o.d"
+  "librlbench_matchers.a"
+  "librlbench_matchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlbench_matchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

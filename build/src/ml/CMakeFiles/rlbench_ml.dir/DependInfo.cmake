@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/calibration.cc" "src/ml/CMakeFiles/rlbench_ml.dir/calibration.cc.o" "gcc" "src/ml/CMakeFiles/rlbench_ml.dir/calibration.cc.o.d"
+  "/root/repo/src/ml/classifier.cc" "src/ml/CMakeFiles/rlbench_ml.dir/classifier.cc.o" "gcc" "src/ml/CMakeFiles/rlbench_ml.dir/classifier.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/rlbench_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/rlbench_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/rlbench_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/rlbench_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/gbdt.cc" "src/ml/CMakeFiles/rlbench_ml.dir/gbdt.cc.o" "gcc" "src/ml/CMakeFiles/rlbench_ml.dir/gbdt.cc.o.d"
+  "/root/repo/src/ml/gmm_em.cc" "src/ml/CMakeFiles/rlbench_ml.dir/gmm_em.cc.o" "gcc" "src/ml/CMakeFiles/rlbench_ml.dir/gmm_em.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/rlbench_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/rlbench_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/linear_svm.cc" "src/ml/CMakeFiles/rlbench_ml.dir/linear_svm.cc.o" "gcc" "src/ml/CMakeFiles/rlbench_ml.dir/linear_svm.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/ml/CMakeFiles/rlbench_ml.dir/logistic_regression.cc.o" "gcc" "src/ml/CMakeFiles/rlbench_ml.dir/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/rlbench_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/rlbench_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/rlbench_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/rlbench_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/rlbench_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/rlbench_ml.dir/random_forest.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/ml/CMakeFiles/rlbench_ml.dir/scaler.cc.o" "gcc" "src/ml/CMakeFiles/rlbench_ml.dir/scaler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rlbench_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

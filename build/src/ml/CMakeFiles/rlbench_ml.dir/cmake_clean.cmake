@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlbench_ml.dir/calibration.cc.o"
+  "CMakeFiles/rlbench_ml.dir/calibration.cc.o.d"
+  "CMakeFiles/rlbench_ml.dir/classifier.cc.o"
+  "CMakeFiles/rlbench_ml.dir/classifier.cc.o.d"
+  "CMakeFiles/rlbench_ml.dir/dataset.cc.o"
+  "CMakeFiles/rlbench_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/rlbench_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/rlbench_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/rlbench_ml.dir/gbdt.cc.o"
+  "CMakeFiles/rlbench_ml.dir/gbdt.cc.o.d"
+  "CMakeFiles/rlbench_ml.dir/gmm_em.cc.o"
+  "CMakeFiles/rlbench_ml.dir/gmm_em.cc.o.d"
+  "CMakeFiles/rlbench_ml.dir/knn.cc.o"
+  "CMakeFiles/rlbench_ml.dir/knn.cc.o.d"
+  "CMakeFiles/rlbench_ml.dir/linear_svm.cc.o"
+  "CMakeFiles/rlbench_ml.dir/linear_svm.cc.o.d"
+  "CMakeFiles/rlbench_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/rlbench_ml.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/rlbench_ml.dir/metrics.cc.o"
+  "CMakeFiles/rlbench_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/rlbench_ml.dir/mlp.cc.o"
+  "CMakeFiles/rlbench_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/rlbench_ml.dir/random_forest.cc.o"
+  "CMakeFiles/rlbench_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/rlbench_ml.dir/scaler.cc.o"
+  "CMakeFiles/rlbench_ml.dir/scaler.cc.o.d"
+  "librlbench_ml.a"
+  "librlbench_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlbench_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlbench_text.dir/normalize.cc.o"
+  "CMakeFiles/rlbench_text.dir/normalize.cc.o.d"
+  "CMakeFiles/rlbench_text.dir/qgrams.cc.o"
+  "CMakeFiles/rlbench_text.dir/qgrams.cc.o.d"
+  "CMakeFiles/rlbench_text.dir/similarity.cc.o"
+  "CMakeFiles/rlbench_text.dir/similarity.cc.o.d"
+  "CMakeFiles/rlbench_text.dir/tfidf.cc.o"
+  "CMakeFiles/rlbench_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/rlbench_text.dir/tokenizer.cc.o"
+  "CMakeFiles/rlbench_text.dir/tokenizer.cc.o.d"
+  "librlbench_text.a"
+  "librlbench_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlbench_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_test.dir/block/alt_blocking_test.cc.o"
+  "CMakeFiles/block_test.dir/block/alt_blocking_test.cc.o.d"
+  "CMakeFiles/block_test.dir/block/blocking_test.cc.o"
+  "CMakeFiles/block_test.dir/block/blocking_test.cc.o.d"
+  "CMakeFiles/block_test.dir/block/minhash_test.cc.o"
+  "CMakeFiles/block_test.dir/block/minhash_test.cc.o.d"
+  "block_test"
+  "block_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

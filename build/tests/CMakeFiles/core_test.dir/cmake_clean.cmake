@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/builder_edge_test.cc.o"
+  "CMakeFiles/core_test.dir/core/builder_edge_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/complexity_property_test.cc.o"
+  "CMakeFiles/core_test.dir/core/complexity_property_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/complexity_test.cc.o"
+  "CMakeFiles/core_test.dir/core/complexity_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/excluded_measures_test.cc.o"
+  "CMakeFiles/core_test.dir/core/excluded_measures_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/linearity_schema_test.cc.o"
+  "CMakeFiles/core_test.dir/core/linearity_schema_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/linearity_test.cc.o"
+  "CMakeFiles/core_test.dir/core/linearity_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/pipeline_test.cc.o"
+  "CMakeFiles/core_test.dir/core/pipeline_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/practical_test.cc.o"
+  "CMakeFiles/core_test.dir/core/practical_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/resolution_test.cc.o"
+  "CMakeFiles/core_test.dir/core/resolution_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

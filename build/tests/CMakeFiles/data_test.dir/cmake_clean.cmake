@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_test.dir/data/benchmark_io_test.cc.o"
+  "CMakeFiles/data_test.dir/data/benchmark_io_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/csv_fuzz_test.cc.o"
+  "CMakeFiles/data_test.dir/data/csv_fuzz_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/csv_test.cc.o"
+  "CMakeFiles/data_test.dir/data/csv_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/feature_cache_test.cc.o"
+  "CMakeFiles/data_test.dir/data/feature_cache_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/record_test.cc.o"
+  "CMakeFiles/data_test.dir/data/record_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/split_test.cc.o"
+  "CMakeFiles/data_test.dir/data/split_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/task_test.cc.o"
+  "CMakeFiles/data_test.dir/data/task_test.cc.o.d"
+  "data_test"
+  "data_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

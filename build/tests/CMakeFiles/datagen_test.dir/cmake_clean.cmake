@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_test.dir/datagen/attr_select_test.cc.o"
+  "CMakeFiles/datagen_test.dir/datagen/attr_select_test.cc.o.d"
+  "CMakeFiles/datagen_test.dir/datagen/builder_test.cc.o"
+  "CMakeFiles/datagen_test.dir/datagen/builder_test.cc.o.d"
+  "CMakeFiles/datagen_test.dir/datagen/catalog_sweep_test.cc.o"
+  "CMakeFiles/datagen_test.dir/datagen/catalog_sweep_test.cc.o.d"
+  "CMakeFiles/datagen_test.dir/datagen/corruptor_test.cc.o"
+  "CMakeFiles/datagen_test.dir/datagen/corruptor_test.cc.o.d"
+  "CMakeFiles/datagen_test.dir/datagen/domain_test.cc.o"
+  "CMakeFiles/datagen_test.dir/datagen/domain_test.cc.o.d"
+  "datagen_test"
+  "datagen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matchers_test.dir/matchers/context_test.cc.o"
+  "CMakeFiles/matchers_test.dir/matchers/context_test.cc.o.d"
+  "CMakeFiles/matchers_test.dir/matchers/esde_test.cc.o"
+  "CMakeFiles/matchers_test.dir/matchers/esde_test.cc.o.d"
+  "CMakeFiles/matchers_test.dir/matchers/matchers_test.cc.o"
+  "CMakeFiles/matchers_test.dir/matchers/matchers_test.cc.o.d"
+  "CMakeFiles/matchers_test.dir/matchers/shape_test.cc.o"
+  "CMakeFiles/matchers_test.dir/matchers/shape_test.cc.o.d"
+  "matchers_test"
+  "matchers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matchers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_test.dir/ml/calibration_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/calibration_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/classifiers_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/classifiers_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/gbdt_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/gbdt_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/gmm_knn_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/gmm_knn_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/metrics_extra_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/metrics_extra_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/metrics_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/metrics_test.cc.o.d"
+  "ml_test"
+  "ml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/text/metric_properties_test.cc" "tests/CMakeFiles/text_test.dir/text/metric_properties_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/metric_properties_test.cc.o.d"
+  "/root/repo/tests/text/normalize_test.cc" "tests/CMakeFiles/text_test.dir/text/normalize_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/normalize_test.cc.o.d"
+  "/root/repo/tests/text/qgrams_test.cc" "tests/CMakeFiles/text_test.dir/text/qgrams_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/qgrams_test.cc.o.d"
+  "/root/repo/tests/text/similarity_extra_test.cc" "tests/CMakeFiles/text_test.dir/text/similarity_extra_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/similarity_extra_test.cc.o.d"
+  "/root/repo/tests/text/similarity_test.cc" "tests/CMakeFiles/text_test.dir/text/similarity_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/similarity_test.cc.o.d"
+  "/root/repo/tests/text/tfidf_test.cc" "tests/CMakeFiles/text_test.dir/text/tfidf_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/tfidf_test.cc.o.d"
+  "/root/repo/tests/text/tokenizer_test.cc" "tests/CMakeFiles/text_test.dir/text/tokenizer_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/tokenizer_test.cc.o.d"
+  "/root/repo/tests/text/tokenset_reference_test.cc" "tests/CMakeFiles/text_test.dir/text/tokenset_reference_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/tokenset_reference_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rlbench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matchers/CMakeFiles/rlbench_matchers.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/rlbench_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/rlbench_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rlbench_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/rlbench_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rlbench_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rlbench_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rlbench_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_test.dir/text/metric_properties_test.cc.o"
+  "CMakeFiles/text_test.dir/text/metric_properties_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/normalize_test.cc.o"
+  "CMakeFiles/text_test.dir/text/normalize_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/qgrams_test.cc.o"
+  "CMakeFiles/text_test.dir/text/qgrams_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/similarity_extra_test.cc.o"
+  "CMakeFiles/text_test.dir/text/similarity_extra_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/similarity_test.cc.o"
+  "CMakeFiles/text_test.dir/text/similarity_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/tfidf_test.cc.o"
+  "CMakeFiles/text_test.dir/text/tfidf_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/tokenizer_test.cc.o"
+  "CMakeFiles/text_test.dir/text/tokenizer_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/tokenset_reference_test.cc.o"
+  "CMakeFiles/text_test.dir/text/tokenset_reference_test.cc.o.d"
+  "text_test"
+  "text_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
