@@ -2,7 +2,8 @@
 // selection flags, automatic scale capping, percentage formatting, and a
 // results cache so the figure benches can reuse the expensive matcher runs
 // of the table benches.
-#pragma once
+#ifndef RLBENCH_BENCH_BENCH_UTIL_H_
+#define RLBENCH_BENCH_BENCH_UTIL_H_
 
 #include <optional>
 #include <string>
@@ -54,3 +55,5 @@ void PrintElapsed(const char* name, double seconds);
 void CapPairs(data::MatchingTask* task, size_t max_pairs);
 
 }  // namespace rlbench::benchutil
+
+#endif  // RLBENCH_BENCH_BENCH_UTIL_H_

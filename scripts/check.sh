@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# One-shot pre-PR gate (and future CI entry point):
+#   1. configure + build + ctest under ASan/UBSan (warnings as errors)
+#   2. repo lint (tools/rlbench_lint.py)
+#   3. clang-tidy over src/ (skipped with a warning if not installed)
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build-asan}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== [1/3] build + test under ASan/UBSan =="
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRLBENCH_SANITIZE="address;undefined" \
+  -DRLBENCH_WERROR=ON
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+# halt_on_error so UBSan findings fail the test run instead of scrolling by.
+(
+  cd "${BUILD_DIR}"
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ASAN_OPTIONS="detect_leaks=1" \
+    ctest --output-on-failure -j "${JOBS}"
+)
+
+echo "== [2/3] repo lint =="
+python3 "${REPO_ROOT}/tools/rlbench_lint.py" --root "${REPO_ROOT}"
+echo "repo lint: clean"
+
+echo "== [3/3] clang-tidy =="
+TIDY_BIN="$(command -v clang-tidy || true)"
+if [[ -z "${TIDY_BIN}" ]]; then
+  for v in 18 17 16 15 14; do
+    if command -v "clang-tidy-${v}" >/dev/null; then
+      TIDY_BIN="clang-tidy-${v}"
+      break
+    fi
+  done
+fi
+if [[ -z "${TIDY_BIN}" ]]; then
+  echo "WARNING: clang-tidy not installed; skipping tidy stage" >&2
+else
+  TIDY_DIR="${REPO_ROOT}/build-tidy"
+  cmake -B "${TIDY_DIR}" -S "${REPO_ROOT}" \
+    -DCMAKE_BUILD_TYPE=Release -DRLBENCH_TIDY=ON
+  # Building with CMAKE_CXX_CLANG_TIDY runs tidy on every translation unit;
+  # RLBENCH_WERROR stays off so only tidy diagnostics surface here.
+  cmake --build "${TIDY_DIR}" -j "${JOBS}" --target \
+    rlbench_common rlbench_text rlbench_data rlbench_embed rlbench_ml \
+    rlbench_datagen rlbench_block rlbench_matchers rlbench_core
+  echo "clang-tidy: clean"
+fi
+
+echo "== all gates passed =="

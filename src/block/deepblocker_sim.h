@@ -8,7 +8,8 @@
 // best by cosine. The tuner then explores {attribute choice, cleaning,
 // indexed side} and picks the smallest K whose recall (PC) reaches the
 // target, maximising precision (PQ) — exactly the methodology of Table V.
-#pragma once
+#ifndef RLBENCH_SRC_BLOCK_DEEPBLOCKER_SIM_H_
+#define RLBENCH_SRC_BLOCK_DEEPBLOCKER_SIM_H_
 
 #include <cstdint>
 #include <string>
@@ -83,3 +84,5 @@ class DeepBlockerSim {
 };
 
 }  // namespace rlbench::block
+
+#endif  // RLBENCH_SRC_BLOCK_DEEPBLOCKER_SIM_H_

@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "common/check.h"
+
 namespace rlbench::block {
 
 namespace {
@@ -19,16 +21,22 @@ BlockingMetrics EvaluateBlocking(const std::vector<CandidatePair>& candidates,
   std::unordered_set<uint64_t> truth;
   truth.reserve(matches.size() * 2);
   for (const auto& match : matches) truth.insert(Key(match));
+  size_t distinct_matches = truth.size();
 
+  // Erase found keys so a duplicated candidate pair cannot count the same
+  // ground-truth match twice and push pair completeness past 1.0.
   for (const auto& candidate : candidates) {
-    if (truth.count(Key(candidate)) != 0) ++metrics.true_candidates;
+    if (truth.erase(Key(candidate)) != 0) ++metrics.true_candidates;
   }
+  RLBENCH_CHECK_LE(metrics.true_candidates, distinct_matches);
   metrics.pair_completeness = static_cast<double>(metrics.true_candidates) /
-                              static_cast<double>(matches.size());
+                              static_cast<double>(distinct_matches);
   if (!candidates.empty()) {
     metrics.pairs_quality = static_cast<double>(metrics.true_candidates) /
                             static_cast<double>(candidates.size());
   }
+  RLBENCH_CHECK_PROB(metrics.pair_completeness);
+  RLBENCH_CHECK_PROB(metrics.pairs_quality);
   return metrics;
 }
 

@@ -1,6 +1,7 @@
 // Blocking quality metrics: pair completeness (PC, recall) and pairs
 // quality (PQ, precision), as used throughout Section VI and Table V.
-#pragma once
+#ifndef RLBENCH_SRC_BLOCK_METRICS_H_
+#define RLBENCH_SRC_BLOCK_METRICS_H_
 
 #include <cstddef>
 #include <cstdint>
@@ -19,9 +20,11 @@ struct BlockingMetrics {
   size_t num_candidates = 0;
 };
 
-/// Evaluate a candidate set against the ground truth. Candidates must be
-/// unique pairs; duplicates would double-count.
+/// Evaluate a candidate set against the ground truth. Duplicate candidate
+/// or match pairs are counted once; PC and PQ are guaranteed in [0, 1].
 BlockingMetrics EvaluateBlocking(const std::vector<CandidatePair>& candidates,
                                  const std::vector<CandidatePair>& matches);
 
 }  // namespace rlbench::block
+
+#endif  // RLBENCH_SRC_BLOCK_METRICS_H_

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "text/tokenizer.h"
@@ -27,6 +28,8 @@ std::vector<uint64_t> MinHashSignature(const text::TokenSet& tokens,
 std::vector<CandidatePair> MinHashBlocking(const data::Table& d1,
                                            const data::Table& d2,
                                            const MinHashOptions& options) {
+  RLBENCH_CHECK_LE(d1.size(), std::numeric_limits<uint32_t>::max());
+  RLBENCH_CHECK_LE(d2.size(), std::numeric_limits<uint32_t>::max());
   size_t bands = std::max<size_t>(1, options.bands);
   size_t rows = std::max<size_t>(1, options.num_hashes / bands);
 
@@ -61,6 +64,7 @@ std::vector<CandidatePair> MinHashBlocking(const data::Table& d1,
       if (it == buckets.end()) continue;
       if (it->second.size() > options.max_bucket_size) continue;
       for (uint32_t j : it->second) {
+        RLBENCH_DCHECK_INDEX(j, d2.size());
         uint64_t pair_key = (static_cast<uint64_t>(i) << 32) | j;
         if (!seen.insert(pair_key).second) continue;
         candidates.emplace_back(static_cast<uint32_t>(i), j);

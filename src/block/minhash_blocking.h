@@ -2,7 +2,8 @@
 // a shared band bucket with high probability, giving near-neighbour
 // candidate generation in near-linear time — the scalable alternative to
 // the exact top-K search of the DeepBlocker simulator.
-#pragma once
+#ifndef RLBENCH_SRC_BLOCK_MINHASH_BLOCKING_H_
+#define RLBENCH_SRC_BLOCK_MINHASH_BLOCKING_H_
 
 #include <cstdint>
 #include <vector>
@@ -33,3 +34,5 @@ std::vector<uint64_t> MinHashSignature(const text::TokenSet& tokens,
                                        size_t num_hashes, uint64_t seed);
 
 }  // namespace rlbench::block
+
+#endif  // RLBENCH_SRC_BLOCK_MINHASH_BLOCKING_H_

@@ -1,7 +1,9 @@
 #include "block/qgram_blocking.h"
 
+#include <limits>
 #include <unordered_map>
 
+#include "common/check.h"
 #include "text/qgrams.h"
 
 namespace rlbench::block {
@@ -9,6 +11,9 @@ namespace rlbench::block {
 std::vector<CandidatePair> QGramBlocking(const data::Table& d1,
                                          const data::Table& d2,
                                          const QGramBlockingOptions& options) {
+  RLBENCH_CHECK_LE(d1.size(), std::numeric_limits<uint32_t>::max());
+  RLBENCH_CHECK_LE(d2.size(), std::numeric_limits<uint32_t>::max());
+  RLBENCH_CHECK_GT(options.q, 0);
   // Inverted index over d2's q-grams.
   std::unordered_map<uint64_t, std::vector<uint32_t>> index;
   for (size_t i = 0; i < d2.size(); ++i) {
@@ -33,6 +38,7 @@ std::vector<CandidatePair> QGramBlocking(const data::Table& d1,
     }
     for (const auto& [j, count] : shared) {
       if (count < options.min_shared_grams) continue;
+      RLBENCH_DCHECK_INDEX(j, d2.size());
       candidates.emplace_back(static_cast<uint32_t>(i), j);
       if (options.max_candidates > 0 &&
           candidates.size() >= options.max_candidates) {

@@ -1,7 +1,8 @@
 // Q-gram blocking: candidates share at least one character q-gram, which
 // tolerates typos that break token blocking. The classic robust-but-loose
 // baseline from the blocking survey the paper builds on.
-#pragma once
+#ifndef RLBENCH_SRC_BLOCK_QGRAM_BLOCKING_H_
+#define RLBENCH_SRC_BLOCK_QGRAM_BLOCKING_H_
 
 #include <vector>
 
@@ -27,3 +28,5 @@ std::vector<CandidatePair> QGramBlocking(const data::Table& d1,
                                          const QGramBlockingOptions& options);
 
 }  // namespace rlbench::block
+
+#endif  // RLBENCH_SRC_BLOCK_QGRAM_BLOCKING_H_

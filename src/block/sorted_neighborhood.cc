@@ -1,8 +1,10 @@
 #include "block/sorted_neighborhood.h"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_set>
 
+#include "common/check.h"
 #include "common/strings.h"
 #include "text/tokenizer.h"
 
@@ -11,6 +13,8 @@ namespace rlbench::block {
 std::vector<CandidatePair> SortedNeighborhoodBlocking(
     const data::Table& d1, const data::Table& d2,
     const SortedNeighborhoodOptions& options) {
+  RLBENCH_CHECK_LE(d1.size(), std::numeric_limits<uint32_t>::max());
+  RLBENCH_CHECK_LE(d2.size(), std::numeric_limits<uint32_t>::max());
   struct Entry {
     std::string key;
     uint32_t record;
@@ -45,6 +49,8 @@ std::vector<CandidatePair> SortedNeighborhoodBlocking(
                                          : entries[j].record;
       uint32_t right = entries[i].from_d1 ? entries[j].record
                                           : entries[i].record;
+      RLBENCH_DCHECK_INDEX(left, d1.size());
+      RLBENCH_DCHECK_INDEX(right, d2.size());
       uint64_t key = (static_cast<uint64_t>(left) << 32) | right;
       if (seen.insert(key).second) candidates.emplace_back(left, right);
     }

@@ -2,7 +2,8 @@
 // blocking key (here: their sorted token signature) and slide a fixed-size
 // window; records of different sources inside the same window become
 // candidates. The classic bounded-cost alternative to token blocking.
-#pragma once
+#ifndef RLBENCH_SRC_BLOCK_SORTED_NEIGHBORHOOD_H_
+#define RLBENCH_SRC_BLOCK_SORTED_NEIGHBORHOOD_H_
 
 #include <vector>
 
@@ -22,3 +23,5 @@ std::vector<CandidatePair> SortedNeighborhoodBlocking(
     const SortedNeighborhoodOptions& options);
 
 }  // namespace rlbench::block
+
+#endif  // RLBENCH_SRC_BLOCK_SORTED_NEIGHBORHOOD_H_

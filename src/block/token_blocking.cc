@@ -1,9 +1,11 @@
 #include "block/token_blocking.h"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/check.h"
 #include "text/tokenizer.h"
 
 namespace rlbench::block {
@@ -11,6 +13,10 @@ namespace rlbench::block {
 std::vector<CandidatePair> TokenBlocking(const data::Table& d1,
                                          const data::Table& d2,
                                          const TokenBlockingOptions& options) {
+  // CandidatePair packs record ids into 32 bits each; larger tables would
+  // silently truncate.
+  RLBENCH_CHECK_LE(d1.size(), std::numeric_limits<uint32_t>::max());
+  RLBENCH_CHECK_LE(d2.size(), std::numeric_limits<uint32_t>::max());
   // Inverted index over d2 tokens.
   std::unordered_map<uint64_t, std::vector<uint32_t>> index;
   for (size_t i = 0; i < d2.size(); ++i) {
@@ -31,6 +37,7 @@ std::vector<CandidatePair> TokenBlocking(const data::Table& d1,
       if (it == index.end()) continue;
       if (it->second.size() > options.max_block_size) continue;
       for (uint32_t j : it->second) {
+        RLBENCH_DCHECK_INDEX(j, d2.size());
         uint64_t key = (static_cast<uint64_t>(i) << 32) | j;
         if (!seen.insert(key).second) continue;
         candidates.emplace_back(static_cast<uint32_t>(i), j);

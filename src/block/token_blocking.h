@@ -1,7 +1,8 @@
 // Classic token blocking: every pair of records sharing at least one token
 // becomes a candidate. Serves as the loose-blocking baseline the paper
 // contrasts with fine-tuned nearest-neighbour blocking.
-#pragma once
+#ifndef RLBENCH_SRC_BLOCK_TOKEN_BLOCKING_H_
+#define RLBENCH_SRC_BLOCK_TOKEN_BLOCKING_H_
 
 #include <vector>
 
@@ -24,3 +25,5 @@ std::vector<CandidatePair> TokenBlocking(const data::Table& d1,
                                          const TokenBlockingOptions& options);
 
 }  // namespace rlbench::block
+
+#endif  // RLBENCH_SRC_BLOCK_TOKEN_BLOCKING_H_

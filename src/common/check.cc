@@ -1,0 +1,28 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rlbench {
+
+void CheckFailed(const char* kind, const char* expression, const char* file,
+                 int line, const std::string& detail) {
+  // One fprintf so the report stays contiguous even with interleaved stderr
+  // writers; flush before abort so the report survives the crash.
+  if (detail.empty()) {
+    std::fprintf(stderr,
+                 "[rlbench fatal] %s failed: %s\n"
+                 "  at %s:%d\n",
+                 kind, expression, file, line);
+  } else {
+    std::fprintf(stderr,
+                 "[rlbench fatal] %s failed: %s\n"
+                 "  at %s:%d\n"
+                 "  with %s\n",
+                 kind, expression, file, line, detail.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace rlbench

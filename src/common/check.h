@@ -1,0 +1,186 @@
+// Runtime contract macros for the measurement pipeline. A silent NaN in a
+// similarity or an out-of-bounds read in a complexity measure skews every
+// downstream conclusion, so hot numerical paths state their preconditions
+// with these macros instead of bare asserts.
+//
+// Severity tiers:
+//   RLBENCH_CHECK*  — always on, in every build type. Use at API boundaries
+//                     and for conditions whose violation would corrupt
+//                     results (divide-by-zero, dimension mismatch,
+//                     out-of-range probability).
+//   RLBENCH_DCHECK* — compiled out in NDEBUG builds. Use inside per-element
+//                     hot loops where the always-on cost is not acceptable.
+//
+// On failure the process prints a structured report (expression, file:line,
+// captured operand values) to stderr and aborts; contract violations are
+// programming errors, not recoverable conditions (recoverable failures use
+// common/status.h).
+#ifndef RLBENCH_SRC_COMMON_CHECK_H_
+#define RLBENCH_SRC_COMMON_CHECK_H_
+
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+namespace rlbench {
+
+/// Print a structured contract-violation report to stderr and abort.
+/// `detail` carries captured operand values ("lhs = ..., rhs = ...").
+[[noreturn]] void CheckFailed(const char* kind, const char* expression,
+                              const char* file, int line,
+                              const std::string& detail);
+
+namespace internal {
+
+/// Render one captured operand as "name = value" for the failure report.
+template <typename T>
+std::string FormatOperand(const char* name, const T& value) {
+  std::ostringstream os;
+  os << name << " = " << value;
+  return os.str();
+}
+
+inline std::string FormatOperand(const char* name, bool value) {
+  std::string out(name);
+  out += value ? " = true" : " = false";
+  return out;
+}
+
+template <typename A, typename B>
+std::string FormatOperands(const char* name_a, const A& a, const char* name_b,
+                           const B& b) {
+  return FormatOperand(name_a, a) + ", " + FormatOperand(name_b, b);
+}
+
+}  // namespace internal
+
+/// True when RLBENCH_DCHECK* expand to live checks (non-NDEBUG builds).
+constexpr bool DchecksEnabled() {
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+}  // namespace rlbench
+
+/// Always-on contract: aborts with a structured report when `cond` is false.
+#define RLBENCH_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::rlbench::CheckFailed("CHECK", #cond, __FILE__, __LINE__, "");    \
+    }                                                                    \
+  } while (false)
+
+/// Like RLBENCH_CHECK but appends a caller-supplied message to the report.
+#define RLBENCH_CHECK_MSG(cond, msg)                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::rlbench::CheckFailed("CHECK", #cond, __FILE__, __LINE__, (msg)); \
+    }                                                                    \
+  } while (false)
+
+// Binary comparison contracts; on failure both operand values are captured
+// in the report.
+#define RLBENCH_CHECK_OP_(op, a, b)                                         \
+  do {                                                                      \
+    const auto& rlbench_check_a_ = (a);                                     \
+    const auto& rlbench_check_b_ = (b);                                     \
+    if (!(rlbench_check_a_ op rlbench_check_b_)) {                          \
+      ::rlbench::CheckFailed(                                               \
+          "CHECK", #a " " #op " " #b, __FILE__, __LINE__,                   \
+          ::rlbench::internal::FormatOperands(#a, rlbench_check_a_, #b,     \
+                                              rlbench_check_b_));           \
+    }                                                                       \
+  } while (false)
+
+#define RLBENCH_CHECK_EQ(a, b) RLBENCH_CHECK_OP_(==, a, b)
+#define RLBENCH_CHECK_NE(a, b) RLBENCH_CHECK_OP_(!=, a, b)
+#define RLBENCH_CHECK_LT(a, b) RLBENCH_CHECK_OP_(<, a, b)
+#define RLBENCH_CHECK_LE(a, b) RLBENCH_CHECK_OP_(<=, a, b)
+#define RLBENCH_CHECK_GT(a, b) RLBENCH_CHECK_OP_(>, a, b)
+#define RLBENCH_CHECK_GE(a, b) RLBENCH_CHECK_OP_(>=, a, b)
+
+/// Contract: `x` is a finite floating-point value (no NaN, no infinity).
+#define RLBENCH_CHECK_FINITE(x)                                             \
+  do {                                                                      \
+    const double rlbench_check_x_ = static_cast<double>(x);                 \
+    if (!std::isfinite(rlbench_check_x_)) {                                 \
+      ::rlbench::CheckFailed(                                               \
+          "CHECK_FINITE", #x, __FILE__, __LINE__,                           \
+          ::rlbench::internal::FormatOperand(#x, rlbench_check_x_));        \
+    }                                                                       \
+  } while (false)
+
+/// Contract: `p` is a valid probability — finite and within [0, 1].
+#define RLBENCH_CHECK_PROB(p)                                               \
+  do {                                                                      \
+    const double rlbench_check_p_ = static_cast<double>(p);                 \
+    if (!(rlbench_check_p_ >= 0.0 && rlbench_check_p_ <= 1.0)) {            \
+      ::rlbench::CheckFailed(                                               \
+          "CHECK_PROB", #p " in [0, 1]", __FILE__, __LINE__,                \
+          ::rlbench::internal::FormatOperand(#p, rlbench_check_p_));        \
+    }                                                                       \
+  } while (false)
+
+/// Contract: `i` is a valid index into a container of size `n`.
+#define RLBENCH_CHECK_INDEX(i, n)                                           \
+  do {                                                                      \
+    const size_t rlbench_check_i_ = static_cast<size_t>(i);                 \
+    const size_t rlbench_check_n_ = static_cast<size_t>(n);                 \
+    if (rlbench_check_i_ >= rlbench_check_n_) {                             \
+      ::rlbench::CheckFailed(                                               \
+          "CHECK_INDEX", #i " < " #n, __FILE__, __LINE__,                   \
+          ::rlbench::internal::FormatOperands(#i, rlbench_check_i_, #n,     \
+                                              rlbench_check_n_));           \
+    }                                                                       \
+  } while (false)
+
+// Debug-only variants: identical semantics, compiled out under NDEBUG.
+#ifdef NDEBUG
+#define RLBENCH_DCHECK(cond) \
+  do {                       \
+  } while (false)
+#define RLBENCH_DCHECK_EQ(a, b) RLBENCH_DCHECK((a) == (b))
+#define RLBENCH_DCHECK_NE(a, b) RLBENCH_DCHECK((a) != (b))
+#define RLBENCH_DCHECK_LT(a, b) RLBENCH_DCHECK((a) < (b))
+#define RLBENCH_DCHECK_LE(a, b) RLBENCH_DCHECK((a) <= (b))
+#define RLBENCH_DCHECK_GT(a, b) RLBENCH_DCHECK((a) > (b))
+#define RLBENCH_DCHECK_GE(a, b) RLBENCH_DCHECK((a) >= (b))
+#define RLBENCH_DCHECK_FINITE(x) RLBENCH_DCHECK(true)
+#define RLBENCH_DCHECK_PROB(p) RLBENCH_DCHECK(true)
+#define RLBENCH_DCHECK_INDEX(i, n) RLBENCH_DCHECK(true)
+#else
+#define RLBENCH_DCHECK(cond) RLBENCH_CHECK(cond)
+#define RLBENCH_DCHECK_EQ(a, b) RLBENCH_CHECK_EQ(a, b)
+#define RLBENCH_DCHECK_NE(a, b) RLBENCH_CHECK_NE(a, b)
+#define RLBENCH_DCHECK_LT(a, b) RLBENCH_CHECK_LT(a, b)
+#define RLBENCH_DCHECK_LE(a, b) RLBENCH_CHECK_LE(a, b)
+#define RLBENCH_DCHECK_GT(a, b) RLBENCH_CHECK_GT(a, b)
+#define RLBENCH_DCHECK_GE(a, b) RLBENCH_CHECK_GE(a, b)
+#define RLBENCH_DCHECK_FINITE(x) RLBENCH_CHECK_FINITE(x)
+#define RLBENCH_DCHECK_PROB(p) RLBENCH_CHECK_PROB(p)
+#define RLBENCH_DCHECK_INDEX(i, n) RLBENCH_CHECK_INDEX(i, n)
+#endif
+
+namespace rlbench {
+
+/// Bounds-checked index pass-through: returns `i` after asserting i < n.
+/// Usage: `values[CheckedIndex(i, values.size())]`.
+inline size_t CheckedIndex(size_t i, size_t n) {
+  RLBENCH_CHECK_INDEX(i, n);
+  return i;
+}
+
+/// Debug-only bounds check (free in NDEBUG builds); returns `i`.
+inline size_t DcheckedIndex(size_t i, size_t n) {
+  RLBENCH_DCHECK_INDEX(i, n);
+  (void)n;
+  return i;
+}
+
+}  // namespace rlbench
+
+#endif  // RLBENCH_SRC_COMMON_CHECK_H_

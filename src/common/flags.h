@@ -1,6 +1,7 @@
 // Minimal command-line flag parsing for the bench and example binaries.
 // Flags use the form --name=value or --name (boolean true).
-#pragma once
+#ifndef RLBENCH_SRC_COMMON_FLAGS_H_
+#define RLBENCH_SRC_COMMON_FLAGS_H_
 
 #include <map>
 #include <string>
@@ -28,3 +29,5 @@ class Flags {
 };
 
 }  // namespace rlbench
+
+#endif  // RLBENCH_SRC_COMMON_FLAGS_H_

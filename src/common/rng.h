@@ -1,7 +1,8 @@
 // Deterministic random number generation. Every stochastic component in
 // rlbench takes an explicit seed so that all experiments are reproducible
 // bit-for-bit across runs.
-#pragma once
+#ifndef RLBENCH_SRC_COMMON_RNG_H_
+#define RLBENCH_SRC_COMMON_RNG_H_
 
 #include <cstdint>
 #include <random>
@@ -61,3 +62,5 @@ class Rng {
 uint64_t SplitMix64(uint64_t x);
 
 }  // namespace rlbench
+
+#endif  // RLBENCH_SRC_COMMON_RNG_H_

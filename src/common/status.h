@@ -1,7 +1,8 @@
 // Lightweight Status / Result error model, in the style used by database
 // engines (Arrow, RocksDB): recoverable failures are returned as values,
 // never thrown across public API boundaries.
-#pragma once
+#ifndef RLBENCH_SRC_COMMON_STATUS_H_
+#define RLBENCH_SRC_COMMON_STATUS_H_
 
 #include <optional>
 #include <ostream>
@@ -105,3 +106,5 @@ class Result {
   } while (false)
 
 }  // namespace rlbench
+
+#endif  // RLBENCH_SRC_COMMON_STATUS_H_

@@ -1,5 +1,6 @@
 // Wall-clock stopwatch for coarse experiment timing.
-#pragma once
+#ifndef RLBENCH_SRC_COMMON_STOPWATCH_H_
+#define RLBENCH_SRC_COMMON_STOPWATCH_H_
 
 #include <chrono>
 
@@ -26,3 +27,5 @@ class Stopwatch {
 };
 
 }  // namespace rlbench
+
+#endif  // RLBENCH_SRC_COMMON_STOPWATCH_H_

@@ -1,5 +1,6 @@
 // Small string helpers shared across modules.
-#pragma once
+#ifndef RLBENCH_SRC_COMMON_STRINGS_H_
+#define RLBENCH_SRC_COMMON_STRINGS_H_
 
 #include <cstdint>
 #include <string>
@@ -33,3 +34,5 @@ std::string FormatDouble(double value, int decimals);
 std::string FormatWithCommas(int64_t value);
 
 }  // namespace rlbench
+
+#endif  // RLBENCH_SRC_COMMON_STRINGS_H_

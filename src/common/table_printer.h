@@ -1,6 +1,7 @@
 // Text table formatting used by the bench harnesses to print the paper's
 // tables and figure data series in aligned columns.
-#pragma once
+#ifndef RLBENCH_SRC_COMMON_TABLE_PRINTER_H_
+#define RLBENCH_SRC_COMMON_TABLE_PRINTER_H_
 
 #include <ostream>
 #include <string>
@@ -33,3 +34,5 @@ class TablePrinter {
 };
 
 }  // namespace rlbench
+
+#endif  // RLBENCH_SRC_COMMON_TABLE_PRINTER_H_

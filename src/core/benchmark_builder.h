@@ -7,7 +7,8 @@
 //      them 3:1:1 into train / validation / test,
 //   4. (the caller then applies the Section III measures to decide whether
 //      the benchmark is challenging).
-#pragma once
+#ifndef RLBENCH_SRC_CORE_BENCHMARK_BUILDER_H_
+#define RLBENCH_SRC_CORE_BENCHMARK_BUILDER_H_
 
 #include <cstdint>
 
@@ -39,3 +40,5 @@ NewBenchmark BuildNewBenchmark(const datagen::SourceDatasetSpec& spec,
                                const NewBenchmarkOptions& options = {});
 
 }  // namespace rlbench::core
+
+#endif  // RLBENCH_SRC_CORE_BENCHMARK_BUILDER_H_

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "ml/dataset.h"
 #include "ml/linear_svm.h"
@@ -388,6 +389,7 @@ ExcludedMeasures ComputeExcludedMeasures(
   if (input.empty()) return out;
   std::vector<Point> points =
       Subsample(input, options.max_points, options.seed);
+  RLBENCH_CHECK(!points.empty());
   size_t n = points.size();
   double nd = static_cast<double>(n);
 
@@ -486,6 +488,13 @@ ExcludedMeasures ComputeExcludedMeasures(
   out.l3 = trials == 0 ? 0.0
                        : static_cast<double>(errors) /
                              static_cast<double>(trials);
+  // t2/t3/t4 are dimensionality ratios that may legitimately exceed 1 on
+  // tiny samples; f4 and l3 are fractions.
+  RLBENCH_CHECK_FINITE(out.t2);
+  RLBENCH_CHECK_FINITE(out.t3);
+  RLBENCH_CHECK_FINITE(out.t4);
+  RLBENCH_CHECK_PROB(out.f4);
+  RLBENCH_CHECK_PROB(out.l3);
   return out;
 }
 
@@ -509,6 +518,7 @@ ComplexityReport ComputeComplexity(const std::vector<FeaturePoint>& input,
   if (input.empty()) return report;
   std::vector<Point> points =
       Subsample(input, options.max_points, options.seed);
+  RLBENCH_CHECK(!points.empty());
   size_t n = points.size();
   double n_pos = 0.0;
   for (const auto& p : points) n_pos += p.label ? 1.0 : 0.0;
@@ -565,8 +575,12 @@ ComplexityReport ComputeComplexity(const std::vector<FeaturePoint>& input,
   double extra = 0.0;
   size_t nn_errors = 0;
   for (size_t i = 0; i < n; ++i) {
-    intra += info[i].nearest_same;
+    // A point whose class has a single member in the sample has no
+    // same-class neighbour (nearest_same stays +inf); summing it would turn
+    // the intra/extra ratio into NaN. Skip such points.
+    if (std::isfinite(info[i].nearest_same)) intra += info[i].nearest_same;
     extra += info[i].nearest_enemy;
+    RLBENCH_DCHECK_INDEX(info[i].nearest_any_index, n);
     if (points[info[i].nearest_any_index].label != points[i].label) {
       ++nn_errors;
     }
@@ -620,6 +634,13 @@ ComplexityReport ComputeComplexity(const std::vector<FeaturePoint>& input,
   report.cls = ClusteringCoefficient(net);
   report.hub = HubScore(net);
 
+  // Every measure is a difficulty score in [0, 1]; a NaN or out-of-range
+  // value here would skew the cross-benchmark averages in Tables 3/5.
+  for (const auto& [name, value] : report.Items()) {
+    (void)name;
+    RLBENCH_CHECK_FINITE(value);
+    RLBENCH_CHECK_PROB(value);
+  }
   return report;
 }
 

@@ -6,7 +6,8 @@
 // All values lie in [0, 1]; higher means a more complex classification
 // task. The excluded measures (t2, t3, t4, f4, l3) follow the paper's
 // exclusion rationale for two-feature instances.
-#pragma once
+#ifndef RLBENCH_SRC_CORE_COMPLEXITY_H_
+#define RLBENCH_SRC_CORE_COMPLEXITY_H_
 
 #include <cstdint>
 #include <string>
@@ -67,3 +68,5 @@ ExcludedMeasures ComputeExcludedMeasures(
     const ComplexityOptions& options = {});
 
 }  // namespace rlbench::core
+
+#endif  // RLBENCH_SRC_CORE_COMPLEXITY_H_

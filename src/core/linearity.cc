@@ -1,5 +1,6 @@
 #include "core/linearity.h"
 
+#include "common/check.h"
 #include "ml/metrics.h"
 #include "text/similarity.h"
 
@@ -15,6 +16,8 @@ std::vector<FeaturePoint> PairFeaturePoints(
     const auto& b = context.right().TokenSetAll(pair.right);
     points.push_back({text::CosineSimilarity(a, b),
                       text::JaccardSimilarity(a, b), pair.is_match});
+    RLBENCH_DCHECK_PROB(points.back().cs);
+    RLBENCH_DCHECK_PROB(points.back().js);
   }
   return points;
 }
@@ -58,6 +61,8 @@ LinearityResult ComputeLinearity(const matchers::MatchingContext& context) {
   }
   auto cs = ml::SweepThresholds(cosine, labels);
   auto js = ml::SweepThresholds(jaccard, labels);
+  RLBENCH_CHECK_PROB(cs.best_f1);
+  RLBENCH_CHECK_PROB(js.best_f1);
   return {cs.best_f1, cs.best_threshold, js.best_f1, js.best_threshold};
 }
 

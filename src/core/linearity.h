@@ -1,7 +1,8 @@
 // Degree of linearity (Algorithm 1): the maximum F1 a single similarity
 // threshold can achieve over ALL labelled pairs of a benchmark, for the
 // schema-agnostic Cosine and Jaccard token-set similarities.
-#pragma once
+#ifndef RLBENCH_SRC_CORE_LINEARITY_H_
+#define RLBENCH_SRC_CORE_LINEARITY_H_
 
 #include "matchers/context.h"
 
@@ -36,3 +37,5 @@ std::vector<LinearityResult> ComputeLinearityPerAttribute(
     const matchers::MatchingContext& context);
 
 }  // namespace rlbench::core
+
+#endif  // RLBENCH_SRC_CORE_LINEARITY_H_

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace rlbench::core {
 
 PracticalMeasures ComputePractical(const std::vector<MatcherScore>& scores) {
   PracticalMeasures out;
   double best_any = 0.0;
   for (const auto& score : scores) {
+    // Matcher F1s feed directly into NLB/LBM; an out-of-range score means
+    // the matcher (not this aggregation) is broken.
+    RLBENCH_CHECK_PROB(score.f1);
     best_any = std::max(best_any, score.f1);
     if (score.group == matchers::MatcherGroup::kLinear) {
       out.best_linear_f1 = std::max(out.best_linear_f1, score.f1);
@@ -17,6 +22,8 @@ PracticalMeasures ComputePractical(const std::vector<MatcherScore>& scores) {
   }
   out.non_linear_boost = out.best_nonlinear_f1 - out.best_linear_f1;
   out.learning_based_margin = 1.0 - best_any;
+  RLBENCH_CHECK_FINITE(out.non_linear_boost);
+  RLBENCH_CHECK_PROB(out.learning_based_margin);
   return out;
 }
 

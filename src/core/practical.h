@@ -1,7 +1,8 @@
 // The two a-posteriori (practical) difficulty measures of Section III-C:
 // non-linear boost (NLB) and learning-based margin (LBM), aggregated from
 // per-matcher F1 scores.
-#pragma once
+#ifndef RLBENCH_SRC_CORE_PRACTICAL_H_
+#define RLBENCH_SRC_CORE_PRACTICAL_H_
 
 #include <string>
 #include <vector>
@@ -35,3 +36,5 @@ std::vector<MatcherScore> ScoreLineup(
     std::vector<matchers::RegisteredMatcher>* lineup);
 
 }  // namespace rlbench::core
+
+#endif  // RLBENCH_SRC_CORE_PRACTICAL_H_

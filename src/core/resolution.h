@@ -3,7 +3,8 @@
 // scores are turned into a one-to-one mapping. This is the global
 // constraint GNEM's interaction module approximates, exposed as a reusable
 // post-processing step for any matcher.
-#pragma once
+#ifndef RLBENCH_SRC_CORE_RESOLUTION_H_
+#define RLBENCH_SRC_CORE_RESOLUTION_H_
 
 #include <cstdint>
 #include <vector>
@@ -36,3 +37,5 @@ ResolutionImpact EvaluateResolution(
     const std::vector<double>& scores, const ResolutionOptions& options = {});
 
 }  // namespace rlbench::core
+
+#endif  // RLBENCH_SRC_CORE_RESOLUTION_H_

@@ -1,7 +1,8 @@
 // Whole-benchmark serialisation: a MatchingTask as a directory of CSV
 // files (d1.csv, d2.csv, train.csv, valid.csv, test.csv), the layout the
 // examples and external consumers use.
-#pragma once
+#ifndef RLBENCH_SRC_DATA_BENCHMARK_IO_H_
+#define RLBENCH_SRC_DATA_BENCHMARK_IO_H_
 
 #include <string>
 
@@ -19,3 +20,5 @@ Result<MatchingTask> ImportBenchmark(const std::string& directory,
                                      const std::string& name = "imported");
 
 }  // namespace rlbench::data
+
+#endif  // RLBENCH_SRC_DATA_BENCHMARK_IO_H_

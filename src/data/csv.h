@@ -1,6 +1,7 @@
 // CSV serialisation for tables and labelled pair sets, RFC-4180 style
 // quoting. Lets users export generated benchmarks and import their own.
-#pragma once
+#ifndef RLBENCH_SRC_DATA_CSV_H_
+#define RLBENCH_SRC_DATA_CSV_H_
 
 #include <string>
 #include <vector>
@@ -33,3 +34,5 @@ Status WritePairsCsv(const std::vector<LabeledPair>& pairs,
                      const std::string& path);
 
 }  // namespace rlbench::data
+
+#endif  // RLBENCH_SRC_DATA_CSV_H_

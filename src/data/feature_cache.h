@@ -3,7 +3,8 @@
 // per record and shared across every pair that touches the record. This is
 // the main performance lever for Algorithm 1, the ESDE matchers and the
 // Magellan feature extractor.
-#pragma once
+#ifndef RLBENCH_SRC_DATA_FEATURE_CACHE_H_
+#define RLBENCH_SRC_DATA_FEATURE_CACHE_H_
 
 #include <memory>
 #include <optional>
@@ -72,3 +73,5 @@ class RecordFeatureCache {
 };
 
 }  // namespace rlbench::data
+
+#endif  // RLBENCH_SRC_DATA_FEATURE_CACHE_H_

@@ -1,7 +1,8 @@
 // Relational record model. A record linkage task compares records from two
 // duplicate-free sources that share a schema (the paper's Clean-Clean ER
 // setting); records are identified positionally within their table.
-#pragma once
+#ifndef RLBENCH_SRC_DATA_RECORD_H_
+#define RLBENCH_SRC_DATA_RECORD_H_
 
 #include <string>
 #include <vector>
@@ -63,3 +64,5 @@ class Table {
 };
 
 }  // namespace rlbench::data
+
+#endif  // RLBENCH_SRC_DATA_RECORD_H_

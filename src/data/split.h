@@ -1,7 +1,8 @@
 // Deterministic random splitting of candidate pairs into train / validation
 // / test sets (Section VI step 3: "randomly split the candidate pairs...
 // with a typical ratio", the benchmarks use 3:1:1).
-#pragma once
+#ifndef RLBENCH_SRC_DATA_SPLIT_H_
+#define RLBENCH_SRC_DATA_SPLIT_H_
 
 #include <cstdint>
 #include <vector>
@@ -31,3 +32,5 @@ SplitResult SplitPairs(const std::vector<LabeledPair>& pairs,
                        const SplitRatio& ratio, uint64_t seed);
 
 }  // namespace rlbench::data
+
+#endif  // RLBENCH_SRC_DATA_SPLIT_H_

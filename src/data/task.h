@@ -1,6 +1,7 @@
 // The labelled matching task: candidate pairs over two tables partitioned
 // into training, validation and testing sets (Problem 1 in the paper).
-#pragma once
+#ifndef RLBENCH_SRC_DATA_TASK_H_
+#define RLBENCH_SRC_DATA_TASK_H_
 
 #include <cstdint>
 #include <memory>
@@ -77,3 +78,5 @@ class MatchingTask {
 };
 
 }  // namespace rlbench::data
+
+#endif  // RLBENCH_SRC_DATA_TASK_H_

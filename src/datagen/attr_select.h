@@ -2,7 +2,8 @@
 // either take the first `num_attrs` attributes of its domain schema or
 // name an explicit index subset (e.g. Amazon-Google uses title,
 // manufacturer and price but not the model number column).
-#pragma once
+#ifndef RLBENCH_SRC_DATAGEN_ATTR_SELECT_H_
+#define RLBENCH_SRC_DATAGEN_ATTR_SELECT_H_
 
 #include <vector>
 
@@ -25,3 +26,5 @@ void SelectRecordColumns(data::Record* record,
                          const std::vector<int>& indices);
 
 }  // namespace rlbench::datagen
+
+#endif  // RLBENCH_SRC_DATAGEN_ATTR_SELECT_H_

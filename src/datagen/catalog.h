@@ -6,7 +6,8 @@
 // knobs (match_noise, hard_negative_fraction) are calibrated so that the
 // measured degree of linearity, complexity and matcher gaps reproduce the
 // paper's reported shape (which datasets are easy vs challenging).
-#pragma once
+#ifndef RLBENCH_SRC_DATAGEN_CATALOG_H_
+#define RLBENCH_SRC_DATAGEN_CATALOG_H_
 
 #include <vector>
 
@@ -28,3 +29,5 @@ const std::vector<SourceDatasetSpec>& SourceDatasets();
 const SourceDatasetSpec* FindSourceDataset(const std::string& id);
 
 }  // namespace rlbench::datagen
+
+#endif  // RLBENCH_SRC_DATAGEN_CATALOG_H_

@@ -3,7 +3,8 @@
 // abbreviations, token reordering, missing values and numeric perturbation.
 // The aggregate noise level is the primary knob controlling how hard the
 // positive class is, which in turn drives the measured degree of linearity.
-#pragma once
+#ifndef RLBENCH_SRC_DATAGEN_CORRUPTOR_H_
+#define RLBENCH_SRC_DATAGEN_CORRUPTOR_H_
 
 #include <cstdint>
 #include <string>
@@ -63,3 +64,5 @@ class Corruptor {
 };
 
 }  // namespace rlbench::datagen
+
+#endif  // RLBENCH_SRC_DATAGEN_CORRUPTOR_H_

@@ -7,7 +7,8 @@
 // siblings (the raw material for hard negatives), and produces corrupted
 // duplicates of a canonical record at a controllable noise level (the raw
 // material for hard positives).
-#pragma once
+#ifndef RLBENCH_SRC_DATAGEN_DOMAIN_H_
+#define RLBENCH_SRC_DATAGEN_DOMAIN_H_
 
 #include <cstdint>
 #include <string>
@@ -107,3 +108,5 @@ class DomainGenerator {
 NoiseProfile DuplicateNoiseProfile(double noise);
 
 }  // namespace rlbench::datagen
+
+#endif  // RLBENCH_SRC_DATAGEN_DOMAIN_H_

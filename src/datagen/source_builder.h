@@ -1,7 +1,8 @@
 // Builds the raw two-source datasets with complete ground truth used by the
 // Section VI methodology (Table V): full record tables, no candidate pairs
 // yet — those come from blocking.
-#pragma once
+#ifndef RLBENCH_SRC_DATAGEN_SOURCE_BUILDER_H_
+#define RLBENCH_SRC_DATAGEN_SOURCE_BUILDER_H_
 
 #include <cstdint>
 #include <utility>
@@ -25,3 +26,5 @@ SourcePair BuildSourceDataset(const SourceDatasetSpec& spec,
                               double scale = 1.0);
 
 }  // namespace rlbench::datagen
+
+#endif  // RLBENCH_SRC_DATAGEN_SOURCE_BUILDER_H_

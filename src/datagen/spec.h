@@ -4,7 +4,8 @@
 // counts plus a difficulty profile; source datasets (Table V) are specified
 // by their record counts and ground-truth size, and get their candidate
 // pairs later from blocking (Section VI).
-#pragma once
+#ifndef RLBENCH_SRC_DATAGEN_SPEC_H_
+#define RLBENCH_SRC_DATAGEN_SPEC_H_
 
 #include <cstdint>
 #include <string>
@@ -60,3 +61,5 @@ struct SourceDatasetSpec {
 };
 
 }  // namespace rlbench::datagen
+
+#endif  // RLBENCH_SRC_DATAGEN_SPEC_H_

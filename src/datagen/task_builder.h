@@ -6,7 +6,8 @@
 // benchmarks: the paper's central criticism is that these candidate sets
 // mix an arbitrary number of easy negatives with the hard ones, and the
 // hard_negative_fraction knob makes that mixture explicit and controllable.
-#pragma once
+#ifndef RLBENCH_SRC_DATAGEN_TASK_BUILDER_H_
+#define RLBENCH_SRC_DATAGEN_TASK_BUILDER_H_
 
 #include "data/task.h"
 #include "datagen/spec.h"
@@ -19,3 +20,5 @@ data::MatchingTask BuildExistingBenchmark(const ExistingBenchmarkSpec& spec,
                                           double scale = 1.0);
 
 }  // namespace rlbench::datagen
+
+#endif  // RLBENCH_SRC_DATAGEN_TASK_BUILDER_H_

@@ -1,6 +1,7 @@
 // Word pools backing the synthetic dataset generators. Each pool is a
 // fixed, ordered array so that generation is deterministic under a seed.
-#pragma once
+#ifndef RLBENCH_SRC_DATAGEN_VOCAB_H_
+#define RLBENCH_SRC_DATAGEN_VOCAB_H_
 
 #include <span>
 #include <string_view>
@@ -39,3 +40,5 @@ std::span<const std::string_view> Words(Pool pool);
 size_t PoolSize(Pool pool);
 
 }  // namespace rlbench::datagen
+
+#endif  // RLBENCH_SRC_DATAGEN_VOCAB_H_

@@ -7,7 +7,8 @@
 // different records — the defining property of the "dynamic" cell in the
 // paper's taxonomy. A model-variant salt lets us instantiate two distinct
 // encoders (the EMTransformer-B vs EMTransformer-R analogy).
-#pragma once
+#ifndef RLBENCH_SRC_EMBED_CONTEXT_ENCODER_H_
+#define RLBENCH_SRC_EMBED_CONTEXT_ENCODER_H_
 
 #include <cstdint>
 #include <string>
@@ -43,3 +44,5 @@ class ContextEncoder {
 };
 
 }  // namespace rlbench::embed
+
+#endif  // RLBENCH_SRC_EMBED_CONTEXT_ENCODER_H_

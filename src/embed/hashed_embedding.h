@@ -5,7 +5,8 @@
 // same composition rule fastText uses, so the vectors are static (context
 // independent) and robust to typos, which is exactly what the paper's
 // taxonomy relies on for "static" methods.
-#pragma once
+#ifndef RLBENCH_SRC_EMBED_HASHED_EMBEDDING_H_
+#define RLBENCH_SRC_EMBED_HASHED_EMBEDDING_H_
 
 #include <cstdint>
 #include <string>
@@ -45,3 +46,5 @@ class HashedEmbedding {
 };
 
 }  // namespace rlbench::embed
+
+#endif  // RLBENCH_SRC_EMBED_HASHED_EMBEDDING_H_

@@ -2,7 +2,8 @@
 // Sentence-BERT (S-GTR-T5) vectors used by SAS/SBS-ESDE. A record vector is
 // the hashed-subword bag over the concatenated attribute values; only its
 // cosine / Euclidean / Wasserstein similarities are ever consumed.
-#pragma once
+#ifndef RLBENCH_SRC_EMBED_SENTENCE_ENCODER_H_
+#define RLBENCH_SRC_EMBED_SENTENCE_ENCODER_H_
 
 #include <cstdint>
 #include <string_view>
@@ -27,3 +28,5 @@ class SentenceEncoder {
 };
 
 }  // namespace rlbench::embed
+
+#endif  // RLBENCH_SRC_EMBED_SENTENCE_ENCODER_H_

@@ -1,6 +1,7 @@
 // Dense vector operations shared by the embedding substrates, the
 // DL-matcher simulators and the SAS/SBS-ESDE feature extractors.
-#pragma once
+#ifndef RLBENCH_SRC_EMBED_VECTOR_OPS_H_
+#define RLBENCH_SRC_EMBED_VECTOR_OPS_H_
 
 #include <vector>
 
@@ -40,3 +41,5 @@ void L2NormalizeInPlace(Vec* a);
 Vec InteractionFeatures(const Vec& a, const Vec& b);
 
 }  // namespace rlbench::embed
+
+#endif  // RLBENCH_SRC_EMBED_VECTOR_OPS_H_

@@ -2,7 +2,8 @@
 // corpus TF-IDF model, and the lazily built Magellan feature datasets that
 // several matchers reuse. Building this once per task and passing it to
 // every matcher is what keeps a full Table IV run affordable.
-#pragma once
+#ifndef RLBENCH_SRC_MATCHERS_CONTEXT_H_
+#define RLBENCH_SRC_MATCHERS_CONTEXT_H_
 
 #include <memory>
 #include <optional>
@@ -43,3 +44,5 @@ class MatchingContext {
 };
 
 }  // namespace rlbench::matchers
+
+#endif  // RLBENCH_SRC_MATCHERS_CONTEXT_H_

@@ -16,7 +16,8 @@
 // "dynamic" ones pass through the attention context mixer (BERT stand-in).
 // Sequences are capped at kMaxSequenceTokens, mirroring the 512-token
 // attention span the paper highlights for transformer models.
-#pragma once
+#ifndef RLBENCH_SRC_MATCHERS_DL_SIMS_H_
+#define RLBENCH_SRC_MATCHERS_DL_SIMS_H_
 
 #include <cstdint>
 #include <unordered_map>
@@ -107,3 +108,5 @@ class DlMatcher : public Matcher {
 };
 
 }  // namespace rlbench::matchers
+
+#endif  // RLBENCH_SRC_MATCHERS_DL_SIMS_H_

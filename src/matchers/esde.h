@@ -3,7 +3,8 @@
 // measure. Training picks the best (feature, threshold) per feature on the
 // training set, validation selects the single best feature, and testing
 // applies that one feature with its threshold.
-#pragma once
+#ifndef RLBENCH_SRC_MATCHERS_ESDE_H_
+#define RLBENCH_SRC_MATCHERS_ESDE_H_
 
 #include <cstdint>
 
@@ -59,3 +60,5 @@ class EsdeMatcher : public Matcher {
 };
 
 }  // namespace rlbench::matchers
+
+#endif  // RLBENCH_SRC_MATCHERS_ESDE_H_

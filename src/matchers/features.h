@@ -1,6 +1,7 @@
 // Pair-level feature extractors: the Magellan-style per-attribute classical
 // similarity features and the ESDE feature families of Algorithm 2.
-#pragma once
+#ifndef RLBENCH_SRC_MATCHERS_FEATURES_H_
+#define RLBENCH_SRC_MATCHERS_FEATURES_H_
 
 #include <string>
 #include <vector>
@@ -42,3 +43,5 @@ const char* EsdeVariantName(EsdeVariant variant);
 size_t EsdeFeatureCount(EsdeVariant variant, size_t num_attrs);
 
 }  // namespace rlbench::matchers
+
+#endif  // RLBENCH_SRC_MATCHERS_FEATURES_H_

@@ -3,7 +3,8 @@
 // mirror the paper: decision tree, logistic regression, random forest and
 // linear SVM. Blocking is decoupled exactly as in the paper: the matcher
 // consumes the task's given candidate pairs.
-#pragma once
+#ifndef RLBENCH_SRC_MATCHERS_MAGELLAN_H_
+#define RLBENCH_SRC_MATCHERS_MAGELLAN_H_
 
 #include <cstdint>
 
@@ -37,3 +38,5 @@ class MagellanMatcher : public Matcher {
 };
 
 }  // namespace rlbench::matchers
+
+#endif  // RLBENCH_SRC_MATCHERS_MAGELLAN_H_

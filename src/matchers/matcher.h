@@ -1,7 +1,8 @@
 // The common matcher interface: every algorithm in Tables IV and VI —
 // simulated DL matchers, Magellan variants, ZeroER, and the ESDE family —
 // trains on the task's train (+valid) sets and predicts the test set.
-#pragma once
+#ifndef RLBENCH_SRC_MATCHERS_MATCHER_H_
+#define RLBENCH_SRC_MATCHERS_MATCHER_H_
 
 #include <cstdint>
 #include <memory>
@@ -29,3 +30,5 @@ class Matcher {
 };
 
 }  // namespace rlbench::matchers
+
+#endif  // RLBENCH_SRC_MATCHERS_MATCHER_H_

@@ -1,7 +1,8 @@
 // Builds the matcher line-ups used by the evaluation tables: the DL group
 // with its two epoch settings, the Magellan group, ZeroER, and the six
 // linear ESDE matchers — the exact row set of Tables IV and VI.
-#pragma once
+#ifndef RLBENCH_SRC_MATCHERS_REGISTRY_H_
+#define RLBENCH_SRC_MATCHERS_REGISTRY_H_
 
 #include <memory>
 #include <vector>
@@ -34,3 +35,5 @@ std::vector<RegisteredMatcher> BuildMatcherLineup(
     const RegistryOptions& options = {});
 
 }  // namespace rlbench::matchers
+
+#endif  // RLBENCH_SRC_MATCHERS_REGISTRY_H_

@@ -3,7 +3,8 @@
 // as in the paper's setup, is decoupled from blocking — it fits on every
 // candidate pair of the task (train + valid + test) and predicts the test
 // pairs from the match-component posterior.
-#pragma once
+#ifndef RLBENCH_SRC_MATCHERS_ZEROER_H_
+#define RLBENCH_SRC_MATCHERS_ZEROER_H_
 
 #include <cstdint>
 
@@ -29,3 +30,5 @@ class ZeroErMatcher : public Matcher {
 };
 
 }  // namespace rlbench::matchers
+
+#endif  // RLBENCH_SRC_MATCHERS_ZEROER_H_

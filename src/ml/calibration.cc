@@ -1,7 +1,8 @@
 #include "ml/calibration.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 #include "common/rng.h"
 #include "ml/metrics.h"
@@ -18,7 +19,7 @@ double Sigmoid(double z) {
 
 void PlattScaler::Fit(const std::vector<double>& scores,
                       const std::vector<uint8_t>& labels) {
-  assert(scores.size() == labels.size());
+  RLBENCH_CHECK_EQ(scores.size(), labels.size());
   a_ = 1.0;
   b_ = 0.0;
   if (scores.empty()) return;
@@ -39,7 +40,9 @@ void PlattScaler::Fit(const std::vector<double>& scores,
 }
 
 double PlattScaler::Transform(double score) const {
-  return Sigmoid(a_ * score + b_);
+  double calibrated = Sigmoid(a_ * score + b_);
+  RLBENCH_DCHECK_PROB(calibrated);
+  return calibrated;
 }
 
 std::vector<double> CrossValidateF1(

@@ -1,6 +1,7 @@
 // Score calibration and model-selection utilities: Platt scaling (turning
 // raw margins into probabilities) and stratified k-fold cross-validation.
-#pragma once
+#ifndef RLBENCH_SRC_ML_CALIBRATION_H_
+#define RLBENCH_SRC_ML_CALIBRATION_H_
 
 #include <cstdint>
 #include <functional>
@@ -36,3 +37,5 @@ std::vector<double> CrossValidateF1(
     const Dataset& data, size_t folds, uint64_t seed);
 
 }  // namespace rlbench::ml
+
+#endif  // RLBENCH_SRC_ML_CALIBRATION_H_

@@ -1,5 +1,6 @@
 // Common interface for all supervised binary classifiers in the substrate.
-#pragma once
+#ifndef RLBENCH_SRC_ML_CLASSIFIER_H_
+#define RLBENCH_SRC_ML_CLASSIFIER_H_
 
 #include <memory>
 #include <span>
@@ -41,3 +42,5 @@ class Classifier {
 };
 
 }  // namespace rlbench::ml
+
+#endif  // RLBENCH_SRC_ML_CLASSIFIER_H_

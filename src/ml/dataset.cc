@@ -1,9 +1,11 @@
 #include "ml/dataset.h"
 
+#include "common/check.h"
+
 namespace rlbench::ml {
 
 void Dataset::Add(const std::vector<float>& features, bool label) {
-  assert(features.size() == num_features_);
+  RLBENCH_CHECK_EQ(features.size(), num_features_);
   values_.insert(values_.end(), features.begin(), features.end());
   labels_.push_back(label ? 1 : 0);
 }

@@ -1,12 +1,14 @@
 // Dense feature-matrix dataset used by all classifiers. Rows are candidate
 // pairs, columns are similarity / interaction features in [0, 1] (or
 // standardised values after scaling).
-#pragma once
+#ifndef RLBENCH_SRC_ML_DATASET_H_
+#define RLBENCH_SRC_ML_DATASET_H_
 
-#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "common/check.h"
 
 namespace rlbench::ml {
 
@@ -24,12 +26,16 @@ class Dataset {
   void Add(const std::vector<float>& features, bool label);
 
   std::span<const float> row(size_t i) const {
-    return {&values_[i * num_features_], num_features_};
+    return {&values_[DcheckedIndex(i, size()) * num_features_],
+            num_features_};
   }
   std::span<float> mutable_row(size_t i) {
-    return {&values_[i * num_features_], num_features_};
+    return {&values_[DcheckedIndex(i, size()) * num_features_],
+            num_features_};
   }
-  bool label(size_t i) const { return labels_[i] != 0; }
+  bool label(size_t i) const {
+    return labels_[DcheckedIndex(i, size())] != 0;
+  }
   const std::vector<uint8_t>& labels() const { return labels_; }
 
   size_t CountPositives() const;
@@ -46,3 +52,5 @@ class Dataset {
 };
 
 }  // namespace rlbench::ml
+
+#endif  // RLBENCH_SRC_ML_DATASET_H_

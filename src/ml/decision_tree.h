@@ -1,6 +1,7 @@
 // CART-style binary decision tree with Gini impurity splits. Backs
 // Magellan-DT and the trees inside the random forest.
-#pragma once
+#ifndef RLBENCH_SRC_ML_DECISION_TREE_H_
+#define RLBENCH_SRC_ML_DECISION_TREE_H_
 
 #include <cstdint>
 #include <vector>
@@ -64,3 +65,5 @@ class DecisionTree : public Classifier {
 };
 
 }  // namespace rlbench::ml
+
+#endif  // RLBENCH_SRC_ML_DECISION_TREE_H_

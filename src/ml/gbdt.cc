@@ -1,5 +1,7 @@
 #include "ml/gbdt.h"
 
+#include "common/check.h"
+
 #include <algorithm>
 #include <cmath>
 #include <numeric>
@@ -165,7 +167,10 @@ double GradientBoostedTrees::PredictScore(std::span<const float> row) const {
   for (const auto& tree : trees_) {
     raw += options_.learning_rate * tree.Predict(row);
   }
-  return Sigmoid(raw);
+  RLBENCH_DCHECK_FINITE(raw);
+  double score = Sigmoid(raw);
+  RLBENCH_DCHECK_PROB(score);
+  return score;
 }
 
 }  // namespace rlbench::ml

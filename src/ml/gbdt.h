@@ -3,7 +3,8 @@
 // GradientBoostingClassifier / XGBoost family). Implemented from scratch:
 // shallow regression trees fitted to logistic-loss gradients with
 // Newton-step leaf values, shrinkage, and row subsampling.
-#pragma once
+#ifndef RLBENCH_SRC_ML_GBDT_H_
+#define RLBENCH_SRC_ML_GBDT_H_
 
 #include <cstdint>
 #include <vector>
@@ -64,3 +65,5 @@ class GradientBoostedTrees : public Classifier {
 };
 
 }  // namespace rlbench::ml
+
+#endif  // RLBENCH_SRC_ML_GBDT_H_

@@ -2,7 +2,8 @@
 // maximisation: the generative core of ZeroER (matches and non-matches are
 // modelled as separate Gaussians over the similarity features and no labels
 // are used).
-#pragma once
+#ifndef RLBENCH_SRC_ML_GMM_EM_H_
+#define RLBENCH_SRC_ML_GMM_EM_H_
 
 #include <cstdint>
 #include <span>
@@ -59,3 +60,5 @@ class GaussianMixtureMatcher {
 };
 
 }  // namespace rlbench::ml
+
+#endif  // RLBENCH_SRC_ML_GMM_EM_H_

@@ -1,7 +1,8 @@
 // Exact nearest-neighbour queries over small point sets with a pluggable
 // distance. Used by the neighbourhood complexity measures (n1..n4, t1, lsc)
 // and by 1-NN classification.
-#pragma once
+#ifndef RLBENCH_SRC_ML_KNN_H_
+#define RLBENCH_SRC_ML_KNN_H_
 
 #include <cstdint>
 #include <functional>
@@ -30,3 +31,5 @@ double LeaveOneOut1NnErrorRate(const std::vector<LabeledPoint>& points,
                                const DistanceFn& distance);
 
 }  // namespace rlbench::ml
+
+#endif  // RLBENCH_SRC_ML_KNN_H_

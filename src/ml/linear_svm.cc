@@ -1,5 +1,7 @@
 #include "ml/linear_svm.h"
 
+#include "common/check.h"
+
 #include <cmath>
 #include <numeric>
 
@@ -64,9 +66,15 @@ double LinearSvm::Margin(std::span<const float> row) const {
 
 double LinearSvm::PredictScore(std::span<const float> row) const {
   double z = Margin(row);
-  if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
-  double e = std::exp(z);
-  return e / (1.0 + e);
+  double score;
+  if (z >= 0.0) {
+    score = 1.0 / (1.0 + std::exp(-z));
+  } else {
+    double e = std::exp(z);
+    score = e / (1.0 + e);
+  }
+  RLBENCH_DCHECK_PROB(score);
+  return score;
 }
 
 double LinearSvm::MeanHingeLoss(const Dataset& data) const {
@@ -76,7 +84,10 @@ double LinearSvm::MeanHingeLoss(const Dataset& data) const {
     double y = data.label(i) ? 1.0 : -1.0;
     total += std::max(0.0, 1.0 - y * Margin(data.row(i)));
   }
-  return total / static_cast<double>(data.size());
+  double loss = total / static_cast<double>(data.size());
+  RLBENCH_CHECK_FINITE(loss);
+  RLBENCH_CHECK_GE(loss, 0.0);
+  return loss;
 }
 
 }  // namespace rlbench::ml

@@ -1,7 +1,8 @@
 // Linear support vector machine trained with Pegasos-style stochastic
 // sub-gradient descent on the hinge loss. Backs Magellan-SVM and the l1/l2
 // complexity measures (error rate and error distance of a linear SVM).
-#pragma once
+#ifndef RLBENCH_SRC_ML_LINEAR_SVM_H_
+#define RLBENCH_SRC_ML_LINEAR_SVM_H_
 
 #include <cstdint>
 
@@ -46,3 +47,5 @@ class LinearSvm : public Classifier {
 };
 
 }  // namespace rlbench::ml
+
+#endif  // RLBENCH_SRC_ML_LINEAR_SVM_H_

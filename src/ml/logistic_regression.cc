@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace rlbench::ml {
@@ -63,6 +64,10 @@ void LogisticRegression::Fit(const Dataset& train, const Dataset& valid) {
       bias_ -= scale * grad_bias;
     }
   }
+  // A diverged fit (non-finite weights) would silently poison every
+  // downstream score; fail loudly here instead.
+  for (double w : weights_) RLBENCH_CHECK_FINITE(w);
+  RLBENCH_CHECK_FINITE(bias_);
 }
 
 double LogisticRegression::PredictScore(std::span<const float> row) const {
@@ -72,7 +77,9 @@ double LogisticRegression::PredictScore(std::span<const float> row) const {
   for (size_t f = 0; f < weights_.size() && f < scaled.size(); ++f) {
     z += weights_[f] * scaled[f];
   }
-  return Sigmoid(z);
+  double score = Sigmoid(z);
+  RLBENCH_DCHECK_PROB(score);
+  return score;
 }
 
 }  // namespace rlbench::ml

@@ -1,6 +1,7 @@
 // L2-regularised logistic regression trained with mini-batch SGD.
 // The linear classifier behind Magellan-LR.
-#pragma once
+#ifndef RLBENCH_SRC_ML_LOGISTIC_REGRESSION_H_
+#define RLBENCH_SRC_ML_LOGISTIC_REGRESSION_H_
 
 #include <cstdint>
 
@@ -41,3 +42,5 @@ class LogisticRegression : public Classifier {
 };
 
 }  // namespace rlbench::ml
+
+#endif  // RLBENCH_SRC_ML_LOGISTIC_REGRESSION_H_

@@ -1,8 +1,9 @@
 #include "ml/metrics.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace rlbench::ml {
 
@@ -23,6 +24,8 @@ double Confusion::Recall() const {
 double Confusion::F1() const {
   double p = Precision();
   double r = Recall();
+  RLBENCH_DCHECK_PROB(p);
+  RLBENCH_DCHECK_PROB(r);
   return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
 }
 
@@ -41,12 +44,15 @@ double Confusion::MatthewsCorrelation() const {
   double fn = static_cast<double>(false_negatives);
   double denom = std::sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn));
   if (denom == 0.0) return 0.0;
-  return (tp * tn - fp * fn) / denom;
+  double mcc = (tp * tn - fp * fn) / denom;
+  RLBENCH_DCHECK_GE(mcc, -1.0 - 1e-9);
+  RLBENCH_DCHECK_LE(mcc, 1.0 + 1e-9);
+  return mcc;
 }
 
 Confusion Evaluate(const std::vector<uint8_t>& truth,
                    const std::vector<uint8_t>& predicted) {
-  assert(truth.size() == predicted.size());
+  RLBENCH_CHECK_EQ(truth.size(), predicted.size());
   Confusion c;
   for (size_t i = 0; i < truth.size(); ++i) {
     if (truth[i] != 0) {
@@ -68,7 +74,8 @@ Confusion Evaluate(const std::vector<uint8_t>& truth,
 
 double F1AtThreshold(const std::vector<double>& scores,
                      const std::vector<uint8_t>& truth, double threshold) {
-  assert(scores.size() == truth.size());
+  RLBENCH_CHECK_EQ(scores.size(), truth.size());
+  RLBENCH_CHECK_FINITE(threshold);
   Confusion c;
   for (size_t i = 0; i < scores.size(); ++i) {
     bool predicted = threshold <= scores[i];
@@ -87,7 +94,7 @@ double F1AtThreshold(const std::vector<double>& scores,
 
 double AveragePrecision(const std::vector<double>& scores,
                         const std::vector<uint8_t>& truth) {
-  assert(scores.size() == truth.size());
+  RLBENCH_CHECK_EQ(scores.size(), truth.size());
   size_t total_positives = 0;
   for (uint8_t label : truth) total_positives += label;
   if (total_positives == 0) return 0.0;
@@ -104,12 +111,14 @@ double AveragePrecision(const std::vector<double>& scores,
     ++tp;
     sum += static_cast<double>(tp) / static_cast<double>(rank + 1);
   }
-  return sum / static_cast<double>(total_positives);
+  double ap = sum / static_cast<double>(total_positives);
+  RLBENCH_CHECK_PROB(ap);
+  return ap;
 }
 
 ThresholdSweepResult SweepThresholds(const std::vector<double>& scores,
                                      const std::vector<uint8_t>& truth) {
-  assert(scores.size() == truth.size());
+  RLBENCH_CHECK_EQ(scores.size(), truth.size());
   ThresholdSweepResult result;
   result.best_threshold = 0.01;
 
@@ -152,6 +161,7 @@ ThresholdSweepResult SweepThresholds(const std::vector<double>& scores,
     double f1 = precision + recall == 0.0
                     ? 0.0
                     : 2.0 * precision * recall / (precision + recall);
+    RLBENCH_DCHECK_PROB(f1);
     candidates.push_back({threshold, f1});
   }
   // Algorithm 1 sweeps ascending and keeps the first strict improvement, so

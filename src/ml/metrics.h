@@ -1,6 +1,7 @@
 // Classification metrics (Section II of the paper) and the threshold sweep
 // shared by Algorithm 1 and Algorithm 2.
-#pragma once
+#ifndef RLBENCH_SRC_ML_METRICS_H_
+#define RLBENCH_SRC_ML_METRICS_H_
 
 #include <cstddef>
 #include <cstdint>
@@ -53,3 +54,5 @@ double AveragePrecision(const std::vector<double>& scores,
                         const std::vector<uint8_t>& truth);
 
 }  // namespace rlbench::ml
+
+#endif  // RLBENCH_SRC_ML_METRICS_H_

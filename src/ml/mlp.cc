@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace rlbench::ml {
@@ -247,6 +248,10 @@ void Mlp::Fit(const Dataset& train, const Dataset& valid) {
   if (options_.select_best_epoch_on_valid && best_epoch_ >= 0) {
     params_ = best;
   }
+  // Diverged training (non-finite parameters) must fail loudly rather than
+  // emit NaN scores downstream.
+  for (double w : params_.w1) RLBENCH_CHECK_FINITE(w);
+  for (double w : params_.w2) RLBENCH_CHECK_FINITE(w);
 }
 
 double Mlp::PredictScore(std::span<const float> row) const {
@@ -254,7 +259,10 @@ double Mlp::PredictScore(std::span<const float> row) const {
   scaler_.Transform(scaled);
   std::vector<double> z1, pre1, pre_t, pre_h, z2;
   double logit = Forward(scaled, params_, &z1, &pre1, &pre_t, &pre_h, &z2);
-  return Sigmoid(logit);
+  RLBENCH_DCHECK_FINITE(logit);
+  double score = Sigmoid(logit);
+  RLBENCH_DCHECK_PROB(score);
+  return score;
 }
 
 }  // namespace rlbench::ml

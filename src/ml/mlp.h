@@ -3,7 +3,8 @@
 // all simulated DL matchers; the highway layer mirrors DeepMatcher's
 // two-layer HighwayNet classifier. The validation set selects the best
 // epoch (the paper aligned EMTransformer to do exactly this).
-#pragma once
+#ifndef RLBENCH_SRC_ML_MLP_H_
+#define RLBENCH_SRC_ML_MLP_H_
 
 #include <cstdint>
 #include <vector>
@@ -64,3 +65,5 @@ class Mlp : public Classifier {
 };
 
 }  // namespace rlbench::ml
+
+#endif  // RLBENCH_SRC_ML_MLP_H_

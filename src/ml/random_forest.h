@@ -1,6 +1,7 @@
 // Bagged ensemble of decision trees with per-split feature subsampling.
 // Backs Magellan-RF, typically the strongest classical baseline.
-#pragma once
+#ifndef RLBENCH_SRC_ML_RANDOM_FOREST_H_
+#define RLBENCH_SRC_ML_RANDOM_FOREST_H_
 
 #include <cstdint>
 #include <memory>
@@ -37,3 +38,5 @@ class RandomForest : public Classifier {
 };
 
 }  // namespace rlbench::ml
+
+#endif  // RLBENCH_SRC_ML_RANDOM_FOREST_H_

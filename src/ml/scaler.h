@@ -1,6 +1,7 @@
 // Per-feature standardisation (zero mean, unit variance) fitted on the
 // training split only and applied to validation / test rows.
-#pragma once
+#ifndef RLBENCH_SRC_ML_SCALER_H_
+#define RLBENCH_SRC_ML_SCALER_H_
 
 #include <span>
 #include <vector>
@@ -31,3 +32,5 @@ class StandardScaler {
 };
 
 }  // namespace rlbench::ml
+
+#endif  // RLBENCH_SRC_ML_SCALER_H_

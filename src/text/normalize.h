@@ -1,7 +1,8 @@
 // Text cleaning used by the blocking tuner (Section VI: "whether cleaning is
 // used or not — if it is, stop-words are removed and stemming is applied")
 // and by the DITTO-style TF-IDF summarisation.
-#pragma once
+#ifndef RLBENCH_SRC_TEXT_NORMALIZE_H_
+#define RLBENCH_SRC_TEXT_NORMALIZE_H_
 
 #include <string>
 #include <string_view>
@@ -28,3 +29,5 @@ std::vector<std::string> StemAll(const std::vector<std::string>& tokens);
 std::string CleanText(std::string_view text);
 
 }  // namespace rlbench::text
+
+#endif  // RLBENCH_SRC_TEXT_NORMALIZE_H_

@@ -1,6 +1,7 @@
 // Character q-gram extraction for the q-gram ESDE variants (SAQ/SBQ) and
 // q-gram blocking.
-#pragma once
+#ifndef RLBENCH_SRC_TEXT_QGRAMS_H_
+#define RLBENCH_SRC_TEXT_QGRAMS_H_
 
 #include <string>
 #include <string_view>
@@ -20,3 +21,5 @@ std::vector<std::string> QGrams(std::string_view value, int q);
 TokenSet QGramSet(std::string_view value, int q);
 
 }  // namespace rlbench::text
+
+#endif  // RLBENCH_SRC_TEXT_QGRAMS_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "common/check.h"
 #include "common/strings.h"
 
 namespace rlbench::text {
@@ -11,21 +12,27 @@ namespace rlbench::text {
 double CosineSimilarity(const TokenSet& a, const TokenSet& b) {
   if (a.empty() || b.empty()) return 0.0;
   double inter = static_cast<double>(a.IntersectionSize(b));
-  return inter / std::sqrt(static_cast<double>(a.size()) *
-                           static_cast<double>(b.size()));
+  double sim = inter / std::sqrt(static_cast<double>(a.size()) *
+                                 static_cast<double>(b.size()));
+  RLBENCH_DCHECK_PROB(sim);
+  return sim;
 }
 
 double JaccardSimilarity(const TokenSet& a, const TokenSet& b) {
   if (a.empty() && b.empty()) return 0.0;
   double inter = static_cast<double>(a.IntersectionSize(b));
   double uni = static_cast<double>(a.size() + b.size()) - inter;
-  return uni <= 0.0 ? 0.0 : inter / uni;
+  double sim = uni <= 0.0 ? 0.0 : inter / uni;
+  RLBENCH_DCHECK_PROB(sim);
+  return sim;
 }
 
 double DiceSimilarity(const TokenSet& a, const TokenSet& b) {
   if (a.empty() && b.empty()) return 0.0;
   double inter = static_cast<double>(a.IntersectionSize(b));
-  return 2.0 * inter / static_cast<double>(a.size() + b.size());
+  double sim = 2.0 * inter / static_cast<double>(a.size() + b.size());
+  RLBENCH_DCHECK_PROB(sim);
+  return sim;
 }
 
 double OverlapSimilarity(const TokenSet& a, const TokenSet& b) {
@@ -89,7 +96,10 @@ double JaroSimilarity(std::string_view a, std::string_view b) {
     ++j;
   }
   double m = static_cast<double>(matches);
-  return (m / a.size() + m / b.size() + (m - transpositions / 2.0) / m) / 3.0;
+  double sim =
+      (m / a.size() + m / b.size() + (m - transpositions / 2.0) / m) / 3.0;
+  RLBENCH_DCHECK_PROB(sim);
+  return sim;
 }
 
 double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
@@ -187,11 +197,16 @@ double NumericSimilarity(std::string_view a, std::string_view b) {
   double x = 0.0;
   double y = 0.0;
   if (!parse(a, &x) || !parse(b, &y)) return 0.0;
+  // strtod accepts "inf"/"nan" spellings; those are not numeric attribute
+  // values, and letting them through would propagate NaN into the features.
+  if (!std::isfinite(x) || !std::isfinite(y)) return 0.0;
   if (x == y) return 1.0;
   double denom = std::max(std::fabs(x), std::fabs(y));
   if (denom == 0.0) return 1.0;
   double sim = 1.0 - std::fabs(x - y) / denom;
-  return std::max(0.0, sim);
+  sim = std::max(0.0, sim);
+  RLBENCH_DCHECK_PROB(sim);
+  return sim;
 }
 
 }  // namespace rlbench::text

@@ -3,7 +3,8 @@
 // (Algorithm 2), and the Magellan-style feature extractor.
 //
 // All similarities return values in [0, 1], with 1 meaning identical.
-#pragma once
+#ifndef RLBENCH_SRC_TEXT_SIMILARITY_H_
+#define RLBENCH_SRC_TEXT_SIMILARITY_H_
 
 #include <string_view>
 
@@ -65,3 +66,5 @@ double NeedlemanWunschSimilarity(std::string_view a, std::string_view b);
 double SmithWatermanSimilarity(std::string_view a, std::string_view b);
 
 }  // namespace rlbench::text
+
+#endif  // RLBENCH_SRC_TEXT_SIMILARITY_H_

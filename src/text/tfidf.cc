@@ -1,17 +1,18 @@
 #include "text/tfidf.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <unordered_set>
 
+#include "common/check.h"
 #include "text/normalize.h"
 #include "text/similarity.h"
 
 namespace rlbench::text {
 
 void TfIdfModel::AddDocument(const std::vector<std::string>& tokens) {
-  assert(!finalized_);
+  RLBENCH_CHECK_MSG(!finalized_,
+                    "AddDocument after Finalize would corrupt IDF weights");
   std::unordered_set<std::string> distinct(tokens.begin(), tokens.end());
   for (const auto& token : distinct) ++document_frequency_[token];
   ++num_documents_;

@@ -1,7 +1,8 @@
 // Corpus-level TF-IDF model. Used by the DITTO-style matcher to summarise
 // long attribute values (keep the highest-TF-IDF non-stop-word tokens) and
 // by the dynamic context encoder to weight token importance.
-#pragma once
+#ifndef RLBENCH_SRC_TEXT_TFIDF_H_
+#define RLBENCH_SRC_TEXT_TFIDF_H_
 
 #include <string>
 #include <unordered_map>
@@ -53,3 +54,5 @@ class TfIdfModel {
 };
 
 }  // namespace rlbench::text
+
+#endif  // RLBENCH_SRC_TEXT_TFIDF_H_

@@ -2,7 +2,8 @@
 // schema-agnostic matchers in the paper operate on lower-cased whitespace /
 // punctuation tokens, so this module is the shared entry point for turning
 // attribute values into comparable token sequences and sets.
-#pragma once
+#ifndef RLBENCH_SRC_TEXT_TOKENIZER_H_
+#define RLBENCH_SRC_TEXT_TOKENIZER_H_
 
 #include <cstdint>
 #include <string>
@@ -45,3 +46,5 @@ class TokenSet {
 };
 
 }  // namespace rlbench::text
+
+#endif  // RLBENCH_SRC_TEXT_TOKENIZER_H_

@@ -1,0 +1,49 @@
+// Regression tests for EvaluateBlocking against degenerate candidate and
+// match lists. Duplicated candidate pairs used to count the same
+// ground-truth match repeatedly, pushing pair completeness past 1.0 — the
+// kind of silent corruption RLBENCH_CHECK_PROB now catches at the source.
+#include "block/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace rlbench::block {
+namespace {
+
+TEST(BlockingMetricsEdgeTest, DuplicateCandidatesDoNotInflateCompleteness) {
+  std::vector<CandidatePair> matches = {{0, 0}, {1, 1}};
+  // Pair (0,0) emitted three times; historically PC came out as 3/2 = 1.5.
+  std::vector<CandidatePair> candidates = {{0, 0}, {0, 0}, {0, 0}};
+  auto metrics = EvaluateBlocking(candidates, matches);
+  EXPECT_EQ(metrics.true_candidates, 1u);
+  EXPECT_DOUBLE_EQ(metrics.pair_completeness, 0.5);
+  EXPECT_LE(metrics.pair_completeness, 1.0);
+  // PQ counts distinct true candidates over all emitted candidates.
+  EXPECT_DOUBLE_EQ(metrics.pairs_quality, 1.0 / 3.0);
+}
+
+TEST(BlockingMetricsEdgeTest, DuplicateMatchesCountOnce) {
+  std::vector<CandidatePair> matches = {{0, 0}, {0, 0}, {1, 1}};
+  std::vector<CandidatePair> candidates = {{0, 0}, {1, 1}};
+  auto metrics = EvaluateBlocking(candidates, matches);
+  EXPECT_EQ(metrics.true_candidates, 2u);
+  EXPECT_DOUBLE_EQ(metrics.pair_completeness, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.pairs_quality, 1.0);
+}
+
+TEST(BlockingMetricsEdgeTest, PerfectBlockingWithDuplicates) {
+  std::vector<CandidatePair> matches = {{2, 3}};
+  std::vector<CandidatePair> candidates = {{2, 3}, {2, 3}};
+  auto metrics = EvaluateBlocking(candidates, matches);
+  EXPECT_DOUBLE_EQ(metrics.pair_completeness, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.pairs_quality, 0.5);
+}
+
+TEST(BlockingMetricsEdgeTest, EmptyMatchesYieldZeroMetrics) {
+  auto metrics = EvaluateBlocking({{0, 0}}, {});
+  EXPECT_DOUBLE_EQ(metrics.pair_completeness, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.pairs_quality, 0.0);
+  EXPECT_EQ(metrics.num_candidates, 1u);
+}
+
+}  // namespace
+}  // namespace rlbench::block

@@ -1,0 +1,110 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace rlbench {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  RLBENCH_CHECK(true);
+  RLBENCH_CHECK(1 + 1 == 2);
+  RLBENCH_CHECK_MSG(true, "never shown");
+  RLBENCH_CHECK_EQ(3, 3);
+  RLBENCH_CHECK_NE(3, 4);
+  RLBENCH_CHECK_LT(3, 4);
+  RLBENCH_CHECK_LE(4, 4);
+  RLBENCH_CHECK_GT(4, 3);
+  RLBENCH_CHECK_GE(4, 4);
+}
+
+TEST(CheckDeathTest, FailedCheckAbortsWithExpression) {
+  EXPECT_DEATH(RLBENCH_CHECK(2 < 1), "CHECK failed: 2 < 1");
+}
+
+TEST(CheckDeathTest, FailedCheckMsgCarriesDetail) {
+  EXPECT_DEATH(RLBENCH_CHECK_MSG(false, "the operand story"),
+               "the operand story");
+}
+
+TEST(CheckDeathTest, ComparisonFailureCapturesOperands) {
+  int lhs = 7;
+  int rhs = 3;
+  // The report must contain both captured operand values.
+  EXPECT_DEATH(RLBENCH_CHECK_LT(lhs, rhs), "lhs = 7, rhs = 3");
+}
+
+TEST(CheckTest, FiniteAcceptsOrdinaryValues) {
+  RLBENCH_CHECK_FINITE(0.0);
+  RLBENCH_CHECK_FINITE(-1e300);
+  RLBENCH_CHECK_FINITE(std::numeric_limits<double>::denorm_min());
+}
+
+TEST(CheckDeathTest, FiniteRejectsNanAndInfinity) {
+  EXPECT_DEATH(RLBENCH_CHECK_FINITE(kNan), "CHECK_FINITE failed");
+  EXPECT_DEATH(RLBENCH_CHECK_FINITE(kInf), "CHECK_FINITE failed");
+  EXPECT_DEATH(RLBENCH_CHECK_FINITE(-kInf), "CHECK_FINITE failed");
+}
+
+TEST(CheckTest, ProbAcceptsUnitInterval) {
+  RLBENCH_CHECK_PROB(0.0);
+  RLBENCH_CHECK_PROB(0.5);
+  RLBENCH_CHECK_PROB(1.0);
+}
+
+TEST(CheckDeathTest, ProbRejectsOutOfRangeAndNan) {
+  EXPECT_DEATH(RLBENCH_CHECK_PROB(-0.001), "CHECK_PROB failed");
+  EXPECT_DEATH(RLBENCH_CHECK_PROB(1.001), "CHECK_PROB failed");
+  EXPECT_DEATH(RLBENCH_CHECK_PROB(kNan), "CHECK_PROB failed");
+}
+
+TEST(CheckTest, IndexAcceptsValidRange) {
+  RLBENCH_CHECK_INDEX(0, 1);
+  RLBENCH_CHECK_INDEX(9, 10);
+  EXPECT_EQ(CheckedIndex(2, 3), 2u);
+  EXPECT_EQ(DcheckedIndex(2, 3), 2u);
+}
+
+TEST(CheckDeathTest, IndexRejectsOutOfBounds) {
+  EXPECT_DEATH(RLBENCH_CHECK_INDEX(3, 3), "CHECK_INDEX failed");
+  EXPECT_DEATH(CheckedIndex(5, 2), "CHECK_INDEX failed");
+}
+
+TEST(CheckTest, CheckEvaluatesConditionExactlyOnce) {
+  int calls = 0;
+  auto count = [&calls]() {
+    ++calls;
+    return true;
+  };
+  RLBENCH_CHECK(count());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckTest, DcheckPassesInEveryBuild) {
+  RLBENCH_DCHECK(true);
+  RLBENCH_DCHECK_EQ(1, 1);
+  RLBENCH_DCHECK_FINITE(0.25);
+  RLBENCH_DCHECK_PROB(0.25);
+  RLBENCH_DCHECK_INDEX(0, 4);
+}
+
+TEST(CheckDeathTest, DcheckFiresOnlyWhenEnabled) {
+  if (DchecksEnabled()) {
+    EXPECT_DEATH(RLBENCH_DCHECK(false), "CHECK failed");
+    EXPECT_DEATH(RLBENCH_DCHECK_PROB(2.0), "CHECK_PROB failed");
+  } else {
+    // Release builds compile DCHECKs out entirely.
+    RLBENCH_DCHECK(false);
+    RLBENCH_DCHECK_PROB(2.0);
+    RLBENCH_DCHECK_FINITE(kNan);
+  }
+}
+
+}  // namespace
+}  // namespace rlbench

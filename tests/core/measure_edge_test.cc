@@ -1,0 +1,116 @@
+// Edge-case behaviour of the core measures: empty datasets, single-class
+// and near-single-class labels, and constant features must yield defined
+// values — never NaN, infinity, or out-of-range reads. These run in CI
+// under ASan/UBSan via scripts/check.sh.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/complexity.h"
+#include "core/linearity.h"
+#include "ml/metrics.h"
+
+namespace rlbench::core {
+namespace {
+
+void ExpectAllDefined(const ComplexityReport& report) {
+  for (const auto& [name, value] : report.Items()) {
+    EXPECT_TRUE(std::isfinite(value)) << name << " is not finite";
+    EXPECT_GE(value, 0.0) << name;
+    EXPECT_LE(value, 1.0) << name;
+  }
+  EXPECT_TRUE(std::isfinite(report.Average()));
+}
+
+TEST(ComplexityEdgeTest, EmptyInputYieldsDefaultReport) {
+  auto report = ComputeComplexity({});
+  ExpectAllDefined(report);
+  EXPECT_EQ(report.Average(), 0.0);
+}
+
+TEST(ComplexityEdgeTest, SingleClassInputsAreDefined) {
+  std::vector<FeaturePoint> all_negative(50, {0.3, 0.2, false});
+  ExpectAllDefined(ComputeComplexity(all_negative));
+
+  std::vector<FeaturePoint> all_positive(50, {0.8, 0.7, true});
+  auto report = ComputeComplexity(all_positive);
+  ExpectAllDefined(report);
+  // Perfectly imbalanced: the class-balance measures flag maximum skew.
+  EXPECT_EQ(report.c1, 1.0);
+  EXPECT_EQ(report.c2, 1.0);
+}
+
+TEST(ComplexityEdgeTest, SinglePositiveAmongNegativesIsDefined) {
+  // Regression: a lone positive has no same-class neighbour, so its
+  // nearest_same distance is +inf; n2 used to become inf/(1+inf) = NaN.
+  std::vector<FeaturePoint> points(40, {0.2, 0.1, false});
+  points.push_back({0.9, 0.8, true});
+  auto report = ComputeComplexity(points);
+  ExpectAllDefined(report);
+}
+
+TEST(ComplexityEdgeTest, SinglePointPerClassIsDefined) {
+  std::vector<FeaturePoint> points = {{0.1, 0.1, false}, {0.9, 0.9, true}};
+  ExpectAllDefined(ComputeComplexity(points));
+}
+
+TEST(ComplexityEdgeTest, ConstantFeaturesAreDefined) {
+  // Every pair has identical [CS, JS]: zero variance, zero distances, and
+  // degenerate covariance matrices everywhere.
+  std::vector<FeaturePoint> points;
+  for (int i = 0; i < 30; ++i) points.push_back({0.5, 0.5, i % 2 == 0});
+  auto report = ComputeComplexity(points);
+  ExpectAllDefined(report);
+  // Identical classes are maximally overlapped for the feature measures.
+  EXPECT_DOUBLE_EQ(report.f3, 1.0);
+}
+
+TEST(ComplexityEdgeTest, ExcludedMeasuresDefinedOnEdgeCases) {
+  EXPECT_EQ(ComputeExcludedMeasures({}).f4, 0.0);
+
+  std::vector<FeaturePoint> constant(20, {0.5, 0.5, false});
+  for (int i = 0; i < 20; ++i) constant.push_back({0.5, 0.5, true});
+  auto excluded = ComputeExcludedMeasures(constant);
+  EXPECT_TRUE(std::isfinite(excluded.t2));
+  EXPECT_TRUE(std::isfinite(excluded.t3));
+  EXPECT_TRUE(std::isfinite(excluded.t4));
+  EXPECT_TRUE(std::isfinite(excluded.f4));
+  EXPECT_TRUE(std::isfinite(excluded.l3));
+
+  std::vector<FeaturePoint> single_class(25, {0.4, 0.3, true});
+  auto single = ComputeExcludedMeasures(single_class);
+  EXPECT_TRUE(std::isfinite(single.l3));
+}
+
+TEST(LinearityEdgeTest, SweepOnEmptyScoresIsDefined) {
+  auto result = ml::SweepThresholds({}, {});
+  EXPECT_EQ(result.best_f1, 0.0);
+  EXPECT_TRUE(std::isfinite(result.best_threshold));
+}
+
+TEST(LinearityEdgeTest, SweepOnSingleClassScoresIsDefined) {
+  // All negatives: no threshold can score any F1.
+  std::vector<double> scores = {0.2, 0.4, 0.6, 0.8};
+  std::vector<uint8_t> negatives(4, 0);
+  auto no_pos = ml::SweepThresholds(scores, negatives);
+  EXPECT_EQ(no_pos.best_f1, 0.0);
+
+  // All positives: threshold 0.01 captures everything, perfect F1.
+  std::vector<uint8_t> positives(4, 1);
+  auto all_pos = ml::SweepThresholds(scores, positives);
+  EXPECT_DOUBLE_EQ(all_pos.best_f1, 1.0);
+  EXPECT_GE(all_pos.best_threshold, 0.01);
+}
+
+TEST(LinearityEdgeTest, SweepOnConstantScoresIsDefined) {
+  std::vector<double> scores(6, 0.5);
+  std::vector<uint8_t> labels = {1, 0, 1, 0, 1, 0};
+  auto result = ml::SweepThresholds(scores, labels);
+  EXPECT_TRUE(std::isfinite(result.best_f1));
+  EXPECT_GE(result.best_f1, 0.0);
+  EXPECT_LE(result.best_f1, 1.0);
+}
+
+}  // namespace
+}  // namespace rlbench::core

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Repo lint for rlbench: project invariants clang-tidy cannot express.
+
+Rules:
+  guard         every header under src/ and bench/ opens with an include
+                guard derived from its repo-relative path
+                (src/common/check.h -> RLBENCH_SRC_COMMON_CHECK_H_)
+  rng           no std::rand / srand / std::random_device / raw std::mt19937
+                outside common/rng.{h,cc}; all randomness flows through
+                rlbench::Rng so experiments stay reproducible
+  using-ns      no `using namespace` at any scope in headers
+  cmake-reg     every .cc under src/ is listed in its directory's
+                CMakeLists.txt (unregistered files silently fall out of the
+                build and rot)
+
+Exit status: 0 when clean, 1 with one "path:line: message" per violation.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+HEADER_DIRS = ("src", "bench")
+SOURCE_DIRS = ("src", "bench", "tests", "examples", "tools")
+RNG_ALLOWLIST = {"src/common/rng.h", "src/common/rng.cc"}
+RNG_PATTERNS = [
+    (re.compile(r"\bstd::rand\b"), "std::rand is banned; use rlbench::Rng"),
+    (re.compile(r"(?<![\w:])srand\s*\("), "srand is banned; use rlbench::Rng"),
+    (re.compile(r"\bstd::random_device\b"),
+     "std::random_device is non-deterministic; seed rlbench::Rng explicitly"),
+    (re.compile(r"\bstd::mt19937(_64)?\b"),
+     "raw std::mt19937 outside common/rng; draw through rlbench::Rng"),
+]
+USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
+LINE_COMMENT = re.compile(r"//.*$")
+
+
+def guard_name(rel_path: pathlib.PurePosixPath) -> str:
+    mangled = re.sub(r"[^A-Za-z0-9]", "_", str(rel_path)).upper()
+    return f"RLBENCH_{mangled}_"
+
+
+def check_guard(rel, lines, errors):
+    guard = guard_name(rel)
+    ifndef_idx = None
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("//"):
+            continue
+        if stripped.startswith("#ifndef"):
+            ifndef_idx = i
+        break
+    if ifndef_idx is None:
+        errors.append(f"{rel}:1: header must open with include guard "
+                      f"'#ifndef {guard}' (found none before first code)")
+        return
+    tokens = lines[ifndef_idx].split()
+    if len(tokens) < 2 or tokens[1] != guard:
+        found = tokens[1] if len(tokens) > 1 else "<nothing>"
+        errors.append(f"{rel}:{ifndef_idx + 1}: include guard '{found}' does "
+                      f"not match path-derived '{guard}'")
+        return
+    define_idx = ifndef_idx + 1
+    if define_idx >= len(lines) or lines[define_idx].split()[:2] != [
+            "#define", guard]:
+        errors.append(f"{rel}:{define_idx + 1}: '#ifndef {guard}' must be "
+                      f"followed by '#define {guard}'")
+    closed = any(line.strip().startswith("#endif") for line in lines[::-1][:5])
+    if not closed:
+        errors.append(f"{rel}:{len(lines)}: missing trailing '#endif' for "
+                      f"include guard {guard}")
+
+
+def check_rng(rel, lines, errors):
+    if str(rel) in RNG_ALLOWLIST:
+        return
+    for i, line in enumerate(lines):
+        code = LINE_COMMENT.sub("", line)
+        for pattern, message in RNG_PATTERNS:
+            if pattern.search(code):
+                errors.append(f"{rel}:{i + 1}: {message}")
+
+
+def check_using_namespace(rel, lines, errors):
+    for i, line in enumerate(lines):
+        code = LINE_COMMENT.sub("", line)
+        if USING_NAMESPACE.search(code):
+            errors.append(f"{rel}:{i + 1}: 'using namespace' is banned in "
+                          f"headers")
+
+
+def check_cmake_registration(root, errors):
+    for cc in sorted((root / "src").rglob("*.cc")):
+        rel = cc.relative_to(root).as_posix()
+        cmake = cc.parent / "CMakeLists.txt"
+        if not cmake.exists():
+            errors.append(f"{rel}:1: no CMakeLists.txt in {cc.parent.name}/ "
+                          f"to register this source")
+            continue
+        listed = re.findall(r"[\w./-]+\.cc\b", cmake.read_text())
+        if cc.name not in listed:
+            cmake_rel = cmake.relative_to(root).as_posix()
+            errors.append(f"{rel}:1: not registered in {cmake_rel}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    args = parser.parse_args()
+    root = pathlib.Path(args.root).resolve()
+
+    errors = []
+    for top in HEADER_DIRS:
+        for header in sorted((root / top).rglob("*.h")):
+            rel = header.relative_to(root)
+            lines = header.read_text().splitlines()
+            check_guard(pathlib.PurePosixPath(rel.as_posix()), lines, errors)
+            check_using_namespace(rel.as_posix(), lines, errors)
+    for top in SOURCE_DIRS:
+        directory = root / top
+        if not directory.is_dir():
+            continue
+        for source in sorted(directory.rglob("*")):
+            if source.suffix not in {".h", ".cc", ".cpp"}:
+                continue
+            check_rng(source.relative_to(root).as_posix(),
+                      source.read_text().splitlines(), errors)
+    check_cmake_registration(root, errors)
+
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"rlbench_lint: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
