@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
@@ -32,24 +33,35 @@ int main(int argc, char** argv) {
       "Figure 4(a) (data series): degree of linearity per new dataset");
   table.SetHeader({"dataset", "F1max_CS", "t_CS", "F1max_JS", "t_JS"});
 
+  // Resolve ids serially (bad-flag path), then fan the datasets out across
+  // the pool at grain 1; progress lines may interleave but results land in
+  // indexed slots and the table keeps the original id order. Inner
+  // Parallel* calls run inline, so results match a serial drive.
+  std::vector<const datagen::SourceDatasetSpec*> specs;
   for (const auto& id : ids) {
     const auto* spec = datagen::FindSourceDataset(id);
     if (spec == nullptr) {
       std::fprintf(stderr, "unknown dataset id %s\n", id.c_str());
       return 1;
     }
-    std::fprintf(stderr, "[fig4] %s...\n", id.c_str());
+    specs.push_back(spec);
+  }
+  std::vector<core::LinearityResult> results(specs.size());
+  ParallelFor(0, specs.size(), 1, [&](size_t i) {
+    std::fprintf(stderr, "[fig4] %s...\n", specs[i]->id.c_str());
     core::NewBenchmarkOptions options;
     options.scale = scale;
     options.min_recall = recall;
     options.k_max = k_max;
-    auto benchmark = core::BuildNewBenchmark(*spec, options);
+    auto benchmark = core::BuildNewBenchmark(*specs[i], options);
     matchers::MatchingContext context(&benchmark.task);
-    auto result = core::ComputeLinearity(context);
-    table.AddRow({spec->id, benchutil::F3(result.f1_cosine),
-                  FormatDouble(result.threshold_cosine, 2),
-                  benchutil::F3(result.f1_jaccard),
-                  FormatDouble(result.threshold_jaccard, 2)});
+    results[i] = core::ComputeLinearity(context);
+  });
+  for (size_t i = 0; i < specs.size(); ++i) {
+    table.AddRow({specs[i]->id, benchutil::F3(results[i].f1_cosine),
+                  FormatDouble(results[i].threshold_cosine, 2),
+                  benchutil::F3(results[i].f1_jaccard),
+                  FormatDouble(results[i].threshold_jaccard, 2)});
   }
   table.Print(std::cout);
   std::printf(

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
@@ -30,37 +31,49 @@ int main(int argc, char** argv) {
 
   TablePrinter table(
       "Figure 5 (data series): complexity measures per new dataset");
-  bool header_set = false;
-
+  // Resolve ids serially (bad-flag path), then fan the datasets out across
+  // the pool at grain 1; progress lines may interleave but reports land in
+  // indexed slots and the table keeps the original id order. Inner
+  // Parallel* calls run inline, so reports match a serial drive.
+  std::vector<const datagen::SourceDatasetSpec*> specs;
   for (const auto& id : ids) {
     const auto* spec = datagen::FindSourceDataset(id);
     if (spec == nullptr) {
       std::fprintf(stderr, "unknown dataset id %s\n", id.c_str());
       return 1;
     }
-    std::fprintf(stderr, "[fig5] %s...\n", id.c_str());
+    specs.push_back(spec);
+  }
+  std::vector<core::ComplexityReport> reports(specs.size());
+  ParallelFor(0, specs.size(), 1, [&](size_t i) {
+    std::fprintf(stderr, "[fig5] %s...\n", specs[i]->id.c_str());
     core::NewBenchmarkOptions options;
     options.scale = scale;
     options.min_recall = recall;
     options.k_max = k_max;
-    auto benchmark = core::BuildNewBenchmark(*spec, options);
+    auto benchmark = core::BuildNewBenchmark(*specs[i], options);
     matchers::MatchingContext context(&benchmark.task);
     core::ComplexityOptions complexity_options;
     complexity_options.max_points = sample;
-    auto report = core::ComputeComplexity(core::PairFeaturePoints(context),
-                                          complexity_options);
+    reports[i] = core::ComputeComplexity(core::PairFeaturePoints(context),
+                                         complexity_options);
+  });
+  bool header_set = false;
+  for (size_t i = 0; i < specs.size(); ++i) {
     if (!header_set) {
       std::vector<std::string> header = {"dataset"};
-      for (const auto& [name, value] : report.Items()) header.push_back(name);
+      for (const auto& [name, value] : reports[i].Items()) {
+        header.push_back(name);
+      }
       header.push_back("avg");
       table.SetHeader(std::move(header));
       header_set = true;
     }
-    std::vector<std::string> row = {spec->id};
-    for (const auto& [name, value] : report.Items()) {
+    std::vector<std::string> row = {specs[i]->id};
+    for (const auto& [name, value] : reports[i].Items()) {
       row.push_back(FormatDouble(value, 2));
     }
-    row.push_back(benchutil::F3(report.Average()));
+    row.push_back(benchutil::F3(reports[i].Average()));
     table.AddRow(std::move(row));
   }
   table.Print(std::cout);

@@ -1,0 +1,131 @@
+// Scaling microbenchmark for the deterministic parallel layer: times the
+// two hottest call sites — the O(n^2) complexity measures and Magellan
+// batch feature extraction — at 1, 2, 4, and 8 threads, verifies the
+// results are bit-identical across the sweep, and records the trajectory
+// to bench_results/BENCH_parallel.json. Speedups are honest wall-clock
+// numbers; on a 1-core host they hover near 1.0 by construction (the
+// pool adds threads, the kernel has nowhere to run them).
+//
+// Flags: --scale (default 0.4), --sample (default 1500), --repeats
+//        (default 3: best-of), --dataset (default Ds1)
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+#include "core/complexity.h"
+#include "core/linearity.h"
+#include "datagen/catalog.h"
+#include "datagen/task_builder.h"
+#include "matchers/context.h"
+
+using namespace rlbench;
+
+namespace {
+
+constexpr size_t kThreadSweep[] = {1, 2, 4, 8};
+
+// Best-of-`repeats` wall time of one closure.
+template <typename Fn>
+double BestOf(int repeats, const Fn& fn) {
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    Stopwatch watch;
+    fn();
+    double elapsed = watch.ElapsedSeconds();
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+void PrintWorkload(FILE* out, const char* name,
+                   const std::vector<double>& seconds, bool last) {
+  std::fprintf(out, "    {\"name\": \"%s\", \"times\": [", name);
+  for (size_t i = 0; i < seconds.size(); ++i) {
+    std::fprintf(out, "%s{\"threads\": %zu, \"seconds\": %.6f}",
+                 i == 0 ? "" : ", ", kThreadSweep[i], seconds[i]);
+  }
+  std::fprintf(out, "], \"speedup_vs_1\": [");
+  for (size_t i = 0; i < seconds.size(); ++i) {
+    double speedup = seconds[i] > 0.0 ? seconds[0] / seconds[i] : 0.0;
+    std::fprintf(out, "%s%.3f", i == 0 ? "" : ", ", speedup);
+  }
+  std::fprintf(out, "]}%s\n", last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  double scale = flags.GetDouble("scale", 0.4);
+  size_t sample = static_cast<size_t>(flags.GetInt("sample", 1500));
+  int repeats = static_cast<int>(flags.GetInt("repeats", 3));
+  std::string dataset = flags.GetString("dataset", "Ds1");
+
+  const auto* spec = datagen::FindExistingBenchmark(dataset);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown dataset id %s\n", dataset.c_str());
+    return 1;
+  }
+  auto task = datagen::BuildExistingBenchmark(*spec, scale);
+
+  // Feature points are computed once, up front, so the complexity workload
+  // times only ComputeComplexity itself.
+  SetParallelThreads(1);
+  matchers::MatchingContext warm_context(&task);
+  auto points = core::PairFeaturePoints(warm_context);
+  core::ComplexityOptions options;
+  options.max_points = sample;
+
+  std::vector<double> complexity_seconds;
+  std::vector<double> feature_seconds;
+  double reference_average = 0.0;
+  for (size_t threads : kThreadSweep) {
+    SetParallelThreads(threads);
+
+    double average = 0.0;
+    complexity_seconds.push_back(BestOf(repeats, [&] {
+      average = core::ComputeComplexity(points, options).Average();
+    }));
+    // The determinism contract, spot-checked on real work: every thread
+    // count must reproduce the 1-thread aggregate bit for bit.
+    if (threads == 1) reference_average = average;
+    RLBENCH_CHECK_MSG(average == reference_average,
+                      "complexity average drifted across thread counts");
+
+    feature_seconds.push_back(BestOf(repeats, [&] {
+      matchers::MatchingContext context(&task);
+      context.MagellanTrain();  // forces the parallel batch extraction
+    }));
+
+    std::printf("threads=%zu complexity=%.3fs features=%.3fs\n", threads,
+                complexity_seconds.back(), feature_seconds.back());
+  }
+  SetParallelThreads(0);
+
+  std::string path = benchutil::ResultsDir() + "/BENCH_parallel.json";
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"parallel_scaling\",\n");
+  std::fprintf(out, "  \"dataset\": \"%s\",\n", spec->id.c_str());
+  std::fprintf(out, "  \"scale\": %.3f,\n", scale);
+  std::fprintf(out, "  \"sample\": %zu,\n", sample);
+  std::fprintf(out, "  \"labelled_pairs\": %zu,\n", points.size());
+  std::fprintf(out, "  \"hardware_concurrency\": %zu,\n",
+               static_cast<size_t>(std::thread::hardware_concurrency()));
+  std::fprintf(out, "  \"workloads\": [\n");
+  PrintWorkload(out, "complexity_measures", complexity_seconds, false);
+  PrintWorkload(out, "magellan_features", feature_seconds, true);
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # One-shot pre-PR gate (and future CI entry point):
 #   1. configure + build + ctest under ASan/UBSan (warnings as errors)
-#   2. repo lint (tools/rlbench_lint.py)
-#   3. clang-tidy over src/ (skipped with a warning if not installed)
+#   2. TSan build + the concurrency-bearing tests (parallel pool, frozen
+#      feature cache, thread-count invariance)
+#   3. repo lint (tools/rlbench_lint.py)
+#   4. clang-tidy over src/ (skipped with a warning if not installed)
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -11,7 +13,7 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_ROOT}/build-asan}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/3] build + test under ASan/UBSan =="
+echo "== [1/4] build + test under ASan/UBSan =="
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRLBENCH_SANITIZE="address;undefined" \
@@ -25,11 +27,33 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
     ctest --output-on-failure -j "${JOBS}"
 )
 
-echo "== [2/3] repo lint =="
+echo "== [2/4] concurrency tests under TSan =="
+TSAN_DIR="${REPO_ROOT}/build-tsan"
+cmake -B "${TSAN_DIR}" -S "${REPO_ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRLBENCH_SANITIZE="thread" \
+  -DRLBENCH_WERROR=ON
+cmake --build "${TSAN_DIR}" -j "${JOBS}" --target \
+  common_test data_test core_test
+# Only the tests that exercise the pool and the frozen-cache read phase;
+# the full suite already ran under ASan/UBSan above. TSan halts on the
+# first race, so a pass here is a proof of race-freedom for these paths.
+(
+  cd "${TSAN_DIR}"
+  TSAN_OPTIONS="halt_on_error=1" ./tests/common_test \
+    --gtest_filter='Parallel*:SplitSeed*'
+  TSAN_OPTIONS="halt_on_error=1" ./tests/data_test \
+    --gtest_filter='FeatureCacheTest.*'
+  TSAN_OPTIONS="halt_on_error=1" ./tests/core_test \
+    --gtest_filter='ThreadInvarianceTest.*'
+)
+echo "TSan: clean"
+
+echo "== [3/4] repo lint =="
 python3 "${REPO_ROOT}/tools/rlbench_lint.py" --root "${REPO_ROOT}"
 echo "repo lint: clean"
 
-echo "== [3/3] clang-tidy =="
+echo "== [4/4] clang-tidy =="
 TIDY_BIN="$(command -v clang-tidy || true)"
 if [[ -z "${TIDY_BIN}" ]]; then
   for v in 18 17 16 15 14; do

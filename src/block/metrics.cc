@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace rlbench::block {
 
@@ -23,10 +24,20 @@ BlockingMetrics EvaluateBlocking(const std::vector<CandidatePair>& candidates,
   for (const auto& match : matches) truth.insert(Key(match));
   size_t distinct_matches = truth.size();
 
-  // Erase found keys so a duplicated candidate pair cannot count the same
-  // ground-truth match twice and push pair completeness past 1.0.
-  for (const auto& candidate : candidates) {
-    if (truth.erase(Key(candidate)) != 0) ++metrics.true_candidates;
+  // Stage 1 (parallel): probe the immutable truth set for every candidate —
+  // the O(candidates) hashing work. Concurrent reads of the set are safe
+  // and each index writes only its own flag slot.
+  std::vector<uint8_t> is_truth(candidates.size(), 0);
+  ParallelFor(0, candidates.size(), kDefaultGrain, [&](size_t i) {
+    is_truth[i] = truth.count(Key(candidates[i])) != 0 ? 1 : 0;
+  });
+  // Stage 2 (serial): erase flagged keys so a duplicated candidate pair
+  // cannot count the same ground-truth match twice and push pair
+  // completeness past 1.0. Only the (few) flagged candidates are touched.
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (is_truth[i] != 0 && truth.erase(Key(candidates[i])) != 0) {
+      ++metrics.true_candidates;
+    }
   }
   RLBENCH_CHECK_LE(metrics.true_candidates, distinct_matches);
   metrics.pair_completeness = static_cast<double>(metrics.true_candidates) /

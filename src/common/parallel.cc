@@ -1,0 +1,244 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/check.h"
+
+namespace rlbench {
+
+namespace {
+
+// Set while the current thread is executing a chunk body; nested Parallel*
+// calls observe it and run inline instead of re-entering the pool.
+thread_local bool tls_in_parallel_region = false;
+
+size_t EnvThreadCount() {
+  const char* env = std::getenv("RLBENCH_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    long value = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && value > 0) {
+      return static_cast<size_t>(value);
+    }
+  }
+  size_t hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1;
+}
+
+/// \brief The global worker pool behind ParallelFor / ParallelReduce.
+///
+/// One job runs at a time (callers serialise on jobs_mutex_); a job is a
+/// shared chunk counter the workers and the calling thread drain together.
+/// All ordering decisions (chunk boundaries, combine order) live in the
+/// callers — the pool only schedules, so it cannot affect results.
+class ThreadPool {
+ public:
+  static ThreadPool& Instance() {
+    static ThreadPool* pool = new ThreadPool();  // leaked: outlives main
+    return *pool;
+  }
+
+  size_t thread_count() {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    return configured_threads_;
+  }
+
+  void SetThreadCount(size_t threads) {
+    RLBENCH_CHECK_MSG(!tls_in_parallel_region,
+                      "SetParallelThreads inside a parallel region");
+    std::lock_guard<std::mutex> jobs_lock(jobs_mutex_);
+    std::unique_lock<std::mutex> lock(config_mutex_);
+    size_t target = threads > 0 ? threads : EnvThreadCount();
+    if (target == configured_threads_) return;
+    StopWorkersLocked(lock);
+    configured_threads_ = target;
+    StartWorkersLocked(lock);
+  }
+
+  void Run(size_t num_chunks, const std::function<void(size_t)>& body) {
+    if (num_chunks == 0) return;
+    if (tls_in_parallel_region) {  // nested: rejected from the pool
+      RunInline(num_chunks, body);
+      return;
+    }
+    // One job at a time; concurrent top-level callers queue up here.
+    std::lock_guard<std::mutex> jobs_lock(jobs_mutex_);
+    {
+      std::unique_lock<std::mutex> lock(config_mutex_);
+      if (workers_.empty() && configured_threads_ == 0) {
+        configured_threads_ = EnvThreadCount();
+        StartWorkersLocked(lock);
+      }
+    }
+    if (workers_.empty() || num_chunks == 1) {
+      RunInline(num_chunks, body);
+      return;
+    }
+
+    Job job;
+    job.num_chunks = num_chunks;
+    job.body = &body;
+    {
+      std::lock_guard<std::mutex> lock(job_mutex_);
+      job_ = &job;
+      ++job_generation_;
+    }
+    job_cv_.notify_all();
+
+    // The calling thread works alongside the pool.
+    tls_in_parallel_region = true;
+    DrainChunks(&job);
+    tls_in_parallel_region = false;
+
+    // Wait for workers still inside their last chunk.
+    {
+      std::unique_lock<std::mutex> lock(job_mutex_);
+      done_cv_.wait(lock, [&] { return job.active_workers == 0; });
+      job_ = nullptr;
+    }
+    if (job.error) std::rethrow_exception(job.error);
+  }
+
+ private:
+  struct Job {
+    size_t num_chunks = 0;
+    const std::function<void(size_t)>* body = nullptr;
+    std::atomic<size_t> next_chunk{0};
+    // Workers currently executing chunks of this job (job_mutex_).
+    size_t active_workers = 0;
+    std::exception_ptr error;  // first failure only (job_mutex_)
+  };
+
+  ThreadPool() = default;
+
+  void StartWorkersLocked(std::unique_lock<std::mutex>& /*config_lock*/) {
+    size_t workers = configured_threads_ > 0 ? configured_threads_ - 1 : 0;
+    stop_ = false;
+    workers_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void StopWorkersLocked(std::unique_lock<std::mutex>& /*config_lock*/) {
+    if (workers_.empty()) return;
+    {
+      std::lock_guard<std::mutex> lock(job_mutex_);
+      stop_ = true;
+    }
+    job_cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+    workers_.clear();
+  }
+
+  void WorkerLoop() {
+    uint64_t seen_generation = 0;
+    while (true) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(job_mutex_);
+        job_cv_.wait(lock, [&] {
+          return stop_ || (job_ != nullptr && job_generation_ != seen_generation);
+        });
+        if (stop_) return;
+        seen_generation = job_generation_;
+        job = job_;
+        ++job->active_workers;
+      }
+      tls_in_parallel_region = true;
+      DrainChunks(job);
+      tls_in_parallel_region = false;
+      {
+        std::lock_guard<std::mutex> lock(job_mutex_);
+        --job->active_workers;
+      }
+      done_cv_.notify_all();
+    }
+  }
+
+  void DrainChunks(Job* job) {
+    while (true) {
+      size_t chunk = job->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= job->num_chunks) return;
+      try {
+        (*job->body)(chunk);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job_mutex_);
+        if (!job->error) job->error = std::current_exception();
+      }
+    }
+  }
+
+  static void RunInline(size_t num_chunks,
+                        const std::function<void(size_t)>& body) {
+    bool was_in_region = tls_in_parallel_region;
+    tls_in_parallel_region = true;
+    try {
+      for (size_t chunk = 0; chunk < num_chunks; ++chunk) body(chunk);
+    } catch (...) {
+      tls_in_parallel_region = was_in_region;
+      throw;
+    }
+    tls_in_parallel_region = was_in_region;
+  }
+
+  // Serialises whole jobs: one Run() owns the pool at a time.
+  std::mutex jobs_mutex_;
+  // Guards pool (re)configuration.
+  std::mutex config_mutex_;
+  size_t configured_threads_ = 0;  // 0 = not yet initialised
+  std::vector<std::thread> workers_;
+
+  // Guards the current job pointer and worker bookkeeping.
+  std::mutex job_mutex_;
+  std::condition_variable job_cv_;
+  std::condition_variable done_cv_;
+  Job* job_ = nullptr;
+  uint64_t job_generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+size_t ParallelThreadCount() {
+  size_t configured = ThreadPool::Instance().thread_count();
+  return configured > 0 ? configured : EnvThreadCount();
+}
+
+void SetParallelThreads(size_t threads) {
+  ThreadPool::Instance().SetThreadCount(threads);
+}
+
+bool InParallelRegion() { return tls_in_parallel_region; }
+
+size_t ParallelChunkCount(size_t begin, size_t end, size_t grain) {
+  if (begin >= end) return 0;
+  size_t n = end - begin;
+  size_t g = grain > 0 ? grain : 1;
+  return (n + g - 1) / g;
+}
+
+std::pair<size_t, size_t> ParallelChunkBounds(size_t begin, size_t end,
+                                              size_t grain, size_t chunk) {
+  size_t g = grain > 0 ? grain : 1;
+  size_t first = begin + chunk * g;
+  size_t last = first + g < end ? first + g : end;
+  RLBENCH_DCHECK_LT(first, end);
+  return {first, last};
+}
+
+namespace internal {
+
+void RunChunks(size_t num_chunks, const std::function<void(size_t)>& body) {
+  ThreadPool::Instance().Run(num_chunks, body);
+}
+
+}  // namespace internal
+
+}  // namespace rlbench

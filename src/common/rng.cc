@@ -49,6 +49,13 @@ uint64_t Rng::Fork() {
   return SplitMix64(engine_() ^ (++fork_counter_ * 0x9E3779B97F4A7C15ULL));
 }
 
+uint64_t SplitSeed(uint64_t base_seed, uint64_t index) {
+  // Two mixing rounds with a golden-ratio offset on the index keep streams
+  // decorrelated even for adjacent (base, index) pairs.
+  return SplitMix64(SplitMix64(base_seed) ^
+                    SplitMix64(index * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL));
+}
+
 uint64_t SplitMix64(uint64_t x) {
   x += 0x9E3779B97F4A7C15ULL;
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;

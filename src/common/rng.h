@@ -61,6 +61,14 @@ class Rng {
 /// SplitMix64 mixing function; used for stable hashing and seed derivation.
 uint64_t SplitMix64(uint64_t x);
 
+/// \brief Split a base seed into independent per-stream seeds.
+///
+/// Stream `index` depends only on (base_seed, index) — never on how much
+/// randomness the other streams consumed — so parallel chunks seeded with
+/// SplitSeed(base, chunk_index) draw identical values at any thread count.
+/// This is the RNG half of the determinism contract in common/parallel.h.
+uint64_t SplitSeed(uint64_t base_seed, uint64_t index);
+
 }  // namespace rlbench
 
 #endif  // RLBENCH_SRC_COMMON_RNG_H_

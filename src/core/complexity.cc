@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "ml/dataset.h"
 #include "ml/linear_svm.h"
@@ -13,6 +14,12 @@
 namespace rlbench::core {
 
 namespace {
+
+// Chunk width for the parallel O(n^2) loops. Every chunked reduction below
+// uses this fixed grain, so the floating-point grouping — and therefore
+// every reported measure — is a function of the input alone, not of the
+// thread count (see the determinism contract in common/parallel.h).
+constexpr size_t kPointGrain = 128;
 
 struct Point {
   double x0 = 0.0;
@@ -179,7 +186,9 @@ struct NeighborInfo {
 
 std::vector<NeighborInfo> ComputeNeighbors(const std::vector<Point>& points) {
   std::vector<NeighborInfo> info(points.size());
-  for (size_t i = 0; i < points.size(); ++i) {
+  // Each index writes only info[i], so the parallel loop is bit-identical
+  // to the serial one at any thread count.
+  ParallelFor(0, points.size(), kPointGrain, [&](size_t i) {
     for (size_t j = 0; j < points.size(); ++j) {
       if (i == j) continue;
       double d = Gower(points[i], points[j]);
@@ -193,7 +202,7 @@ std::vector<NeighborInfo> ComputeNeighbors(const std::vector<Point>& points) {
         info[i].nearest_enemy = std::min(info[i].nearest_enemy, d);
       }
     }
-  }
+  });
   return info;
 }
 
@@ -222,14 +231,17 @@ double BorderlineN1(const std::vector<Point>& points) {
       borderline[u] = true;
       borderline[parent[u]] = true;
     }
-    for (size_t v = 0; v < n; ++v) {
-      if (in_tree[v]) continue;
+    // The relax step carries the distance computations; each v updates only
+    // its own best/parent slot, so it parallelises without reordering. The
+    // coarse grain keeps per-step dispatch overhead below the O(n) work.
+    ParallelFor(0, n, 4 * kPointGrain, [&](size_t v) {
+      if (in_tree[v]) return;
       double d = Gower(points[u], points[v]);
       if (d < best[v]) {
         best[v] = d;
         parent[v] = u;
       }
-    }
+    });
   }
   size_t count = 0;
   for (bool b : borderline) count += b ? 1 : 0;
@@ -268,16 +280,25 @@ double HypersphereT1(const std::vector<Point>& points,
 double LocalSetLsc(const std::vector<Point>& points,
                    const std::vector<NeighborInfo>& info) {
   size_t n = points.size();
-  double total = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    size_t cardinality = 0;
-    for (size_t j = 0; j < n; ++j) {
-      if (i == j || points[i].label != points[j].label) continue;
-      if (Gower(points[i], points[j]) < info[i].nearest_enemy) ++cardinality;
-    }
-    total += static_cast<double>(cardinality);
-  }
-  return 1.0 - total / (static_cast<double>(n) * static_cast<double>(n));
+  // Local-set cardinalities are integers, so the chunked sum is exact —
+  // identical to the serial loop at any grouping.
+  size_t total = ParallelReduce(
+      0, n, kPointGrain, size_t{0},
+      [&](size_t first, size_t last, size_t /*chunk*/) {
+        size_t partial = 0;
+        for (size_t i = first; i < last; ++i) {
+          for (size_t j = 0; j < n; ++j) {
+            if (i == j || points[i].label != points[j].label) continue;
+            if (Gower(points[i], points[j]) < info[i].nearest_enemy) {
+              ++partial;
+            }
+          }
+        }
+        return partial;
+      },
+      [](size_t a, size_t b) { return a + b; });
+  return 1.0 - static_cast<double>(total) /
+                   (static_cast<double>(n) * static_cast<double>(n));
 }
 
 // --- Network measures --------------------------------------------------------
@@ -299,19 +320,25 @@ Network BuildNetwork(const std::vector<Point>& points, double epsilon) {
   size_t words = (net.n + 63) / 64;
   net.adjacency.assign(net.n, std::vector<uint64_t>(words, 0));
   net.degree.assign(net.n, 0);
-  for (size_t i = 0; i < net.n; ++i) {
-    for (size_t j = i + 1; j < net.n; ++j) {
+  // Row-parallel construction: each i owns its full adjacency row (the
+  // symmetric (i, j) test runs twice, once per side, which keeps all writes
+  // disjoint). The membership test is exact, so the rows — and the edge
+  // count derived from the degrees — match the serial triangular build.
+  ParallelFor(0, net.n, kPointGrain, [&](size_t i) {
+    size_t degree = 0;
+    for (size_t j = 0; j < net.n; ++j) {
       // Inter-class edges are pruned after construction (equivalently,
       // never added).
-      if (points[i].label != points[j].label) continue;
+      if (i == j || points[i].label != points[j].label) continue;
       if (Gower(points[i], points[j]) >= epsilon) continue;
       net.adjacency[i][j / 64] |= 1ULL << (j % 64);
-      net.adjacency[j][i / 64] |= 1ULL << (i % 64);
-      ++net.degree[i];
-      ++net.degree[j];
-      ++net.num_edges;
+      ++degree;
     }
-  }
+    net.degree[i] = degree;
+  });
+  size_t degree_sum = 0;
+  for (size_t d : net.degree) degree_sum += d;
+  net.num_edges = degree_sum / 2;
   return net;
 }
 
@@ -324,45 +351,56 @@ double NetworkDensity(const Network& net) {
 
 double ClusteringCoefficient(const Network& net) {
   if (net.n == 0) return 1.0;
-  double total = 0.0;
   size_t words = (net.n + 63) / 64;
-  for (size_t v = 0; v < net.n; ++v) {
-    if (net.degree[v] < 2) continue;  // coefficient 0
-    size_t links = 0;
-    for (size_t u = 0; u < net.n; ++u) {
-      if (!net.Connected(v, u)) continue;
-      // Count common neighbours of v and u (each triangle edge counted
-      // twice over u).
-      for (size_t w = 0; w < words; ++w) {
-        links += static_cast<size_t>(
-            __builtin_popcountll(net.adjacency[v][w] & net.adjacency[u][w]));
-      }
-    }
-    double possible = static_cast<double>(net.degree[v]) *
-                      static_cast<double>(net.degree[v] - 1);
-    total += static_cast<double>(links) / possible;
-  }
+  // Fixed chunk boundaries + ordered combine pin the floating-point
+  // grouping of the per-vertex coefficients to the input alone.
+  double total = ParallelReduce(
+      0, net.n, kPointGrain, 0.0,
+      [&](size_t first, size_t last, size_t /*chunk*/) {
+        double partial = 0.0;
+        for (size_t v = first; v < last; ++v) {
+          if (net.degree[v] < 2) continue;  // coefficient 0
+          size_t links = 0;
+          for (size_t u = 0; u < net.n; ++u) {
+            if (!net.Connected(v, u)) continue;
+            // Count common neighbours of v and u (each triangle edge
+            // counted twice over u).
+            for (size_t w = 0; w < words; ++w) {
+              links += static_cast<size_t>(__builtin_popcountll(
+                  net.adjacency[v][w] & net.adjacency[u][w]));
+            }
+          }
+          double possible = static_cast<double>(net.degree[v]) *
+                            static_cast<double>(net.degree[v] - 1);
+          partial += static_cast<double>(links) / possible;
+        }
+        return partial;
+      },
+      [](double a, double b) { return a + b; });
   return 1.0 - total / static_cast<double>(net.n);
 }
 
 double HubScore(const Network& net) {
   if (net.n == 0) return 1.0;
   // Eigenvector centrality by power iteration on the undirected graph.
+  // Row-parallel gather: next[u] sums score over u's adjacency row in
+  // ascending neighbour order — the same addition order as the serial
+  // scatter formulation (the matrix is symmetric), for any thread count.
   std::vector<double> score(net.n, 1.0);
   std::vector<double> next(net.n, 0.0);
   for (int iter = 0; iter < 30; ++iter) {
-    std::fill(next.begin(), next.end(), 0.0);
-    for (size_t v = 0; v < net.n; ++v) {
-      if (score[v] == 0.0) continue;
-      for (size_t w = 0; w < net.adjacency[v].size(); ++w) {
-        uint64_t bits = net.adjacency[v][w];
+    ParallelFor(0, net.n, kPointGrain, [&](size_t u) {
+      double sum = 0.0;
+      for (size_t w = 0; w < net.adjacency[u].size(); ++w) {
+        uint64_t bits = net.adjacency[u][w];
         while (bits != 0) {
-          size_t u = w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
-          next[u] += score[v];
+          size_t v = w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
+          sum += score[v];
           bits &= bits - 1;
         }
       }
-    }
+      next[u] = sum;
+    });
     double norm = 0.0;
     for (double x : next) norm += x * x;
     norm = std::sqrt(norm);
@@ -461,33 +499,48 @@ ExcludedMeasures ComputeExcludedMeasures(
   svm_options.seed = options.seed;
   ml::LinearSvm svm(svm_options);
   svm.Fit(dataset, dataset);
-  Rng rng(SplitMix64(options.seed ^ 0x13ULL));
+  uint64_t l3_seed = SplitMix64(options.seed ^ 0x13ULL);
   std::vector<size_t> pos_idx;
   std::vector<size_t> neg_idx;
   for (size_t i = 0; i < n; ++i) {
     (points[i].label ? pos_idx : neg_idx).push_back(i);
   }
-  size_t errors = 0;
-  size_t trials = 0;
-  for (size_t t = 0; t < n; ++t) {
-    const auto& bucket =
-        (t % 2 == 0 && pos_idx.size() >= 2) || neg_idx.size() < 2 ? pos_idx
-                                                                  : neg_idx;
-    if (bucket.size() < 2) continue;
-    size_t a = bucket[rng.Index(bucket.size())];
-    size_t b = bucket[rng.Index(bucket.size())];
-    double alpha = rng.Uniform();
-    std::vector<float> synth = {
-        static_cast<float>(points[a].x0 +
-                           alpha * (points[b].x0 - points[a].x0)),
-        static_cast<float>(points[a].x1 +
-                           alpha * (points[b].x1 - points[a].x1))};
-    ++trials;
-    if (svm.Predict(synth) != points[a].label) ++errors;
-  }
-  out.l3 = trials == 0 ? 0.0
-                       : static_cast<double>(errors) /
-                             static_cast<double>(trials);
+  // Chunked trials with split RNG streams: same interpolants at any thread
+  // count; (errors, trials) are integers and combine exactly.
+  struct Tally {
+    size_t errors = 0;
+    size_t trials = 0;
+  };
+  Tally tally = ParallelReduce(
+      0, n, kPointGrain, Tally{},
+      [&](size_t first, size_t last, size_t chunk) {
+        Rng rng(SplitSeed(l3_seed, chunk));
+        Tally partial;
+        for (size_t t = first; t < last; ++t) {
+          const auto& bucket =
+              (t % 2 == 0 && pos_idx.size() >= 2) || neg_idx.size() < 2
+                  ? pos_idx
+                  : neg_idx;
+          if (bucket.size() < 2) continue;
+          size_t a = bucket[rng.Index(bucket.size())];
+          size_t b = bucket[rng.Index(bucket.size())];
+          double alpha = rng.Uniform();
+          std::vector<float> synth = {
+              static_cast<float>(points[a].x0 +
+                                 alpha * (points[b].x0 - points[a].x0)),
+              static_cast<float>(points[a].x1 +
+                                 alpha * (points[b].x1 - points[a].x1))};
+          ++partial.trials;
+          if (svm.Predict(synth) != points[a].label) ++partial.errors;
+        }
+        return partial;
+      },
+      [](Tally a, Tally b) {
+        return Tally{a.errors + b.errors, a.trials + b.trials};
+      });
+  out.l3 = tally.trials == 0 ? 0.0
+                             : static_cast<double>(tally.errors) /
+                                   static_cast<double>(tally.trials);
   // t2/t3/t4 are dimensionality ratios that may legitimately exceed 1 on
   // tiny samples; f4 and l3 are fractions.
   RLBENCH_CHECK_FINITE(out.t2);
@@ -589,39 +642,49 @@ ComplexityReport ComputeComplexity(const std::vector<FeaturePoint>& input,
   report.n2 = ratio / (1.0 + ratio);
   report.n3 = static_cast<double>(nn_errors) / static_cast<double>(n);
 
-  // n4: 1-NN error on within-class interpolated points.
+  // n4: 1-NN error on within-class interpolated points. Trials are chunked
+  // with one split RNG stream per chunk (SplitSeed), so each trial draws
+  // the same interpolants at any thread count; the error tally is an
+  // integer sum and combines exactly.
   {
-    Rng rng(SplitMix64(options.seed ^ 0x4E4ULL));
     std::vector<size_t> pos_idx;
     std::vector<size_t> neg_idx;
     for (size_t i = 0; i < n; ++i) {
       (points[i].label ? pos_idx : neg_idx).push_back(i);
     }
     size_t trials = n;
-    size_t errors4 = 0;
-    for (size_t t = 0; t < trials; ++t) {
-      const auto& bucket = (t % 2 == 0 && pos_idx.size() >= 2) ||
-                                   neg_idx.size() < 2
-                               ? pos_idx
-                               : neg_idx;
-      if (bucket.size() < 2) continue;
-      size_t a = bucket[rng.Index(bucket.size())];
-      size_t b = bucket[rng.Index(bucket.size())];
-      double alpha = rng.Uniform();
-      Point synth{points[a].x0 + alpha * (points[b].x0 - points[a].x0),
-                  points[a].x1 + alpha * (points[b].x1 - points[a].x1),
-                  points[a].label};
-      double best = std::numeric_limits<double>::infinity();
-      size_t best_index = 0;
-      for (size_t i = 0; i < n; ++i) {
-        double d = Gower(points[i], synth);
-        if (d < best) {
-          best = d;
-          best_index = i;
-        }
-      }
-      if (points[best_index].label != synth.label) ++errors4;
-    }
+    uint64_t n4_seed = SplitMix64(options.seed ^ 0x4E4ULL);
+    size_t errors4 = ParallelReduce(
+        0, trials, kPointGrain, size_t{0},
+        [&](size_t first, size_t last, size_t chunk) {
+          Rng rng(SplitSeed(n4_seed, chunk));
+          size_t partial = 0;
+          for (size_t t = first; t < last; ++t) {
+            const auto& bucket = (t % 2 == 0 && pos_idx.size() >= 2) ||
+                                         neg_idx.size() < 2
+                                     ? pos_idx
+                                     : neg_idx;
+            if (bucket.size() < 2) continue;
+            size_t a = bucket[rng.Index(bucket.size())];
+            size_t b = bucket[rng.Index(bucket.size())];
+            double alpha = rng.Uniform();
+            Point synth{points[a].x0 + alpha * (points[b].x0 - points[a].x0),
+                        points[a].x1 + alpha * (points[b].x1 - points[a].x1),
+                        points[a].label};
+            double best = std::numeric_limits<double>::infinity();
+            size_t best_index = 0;
+            for (size_t i = 0; i < n; ++i) {
+              double d = Gower(points[i], synth);
+              if (d < best) {
+                best = d;
+                best_index = i;
+              }
+            }
+            if (points[best_index].label != synth.label) ++partial;
+          }
+          return partial;
+        },
+        [](size_t a, size_t b) { return a + b; });
     report.n4 = static_cast<double>(errors4) / static_cast<double>(trials);
   }
 

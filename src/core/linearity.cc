@@ -1,24 +1,36 @@
 #include "core/linearity.h"
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "ml/metrics.h"
 #include "text/similarity.h"
 
 namespace rlbench::core {
 
+namespace {
+// A token-set similarity costs a few hundred ns; chunks of pairs this size
+// amortise pool dispatch while leaving enough chunks to balance.
+constexpr size_t kPairGrain = 512;
+}  // namespace
+
 std::vector<FeaturePoint> PairFeaturePoints(
     const matchers::MatchingContext& context) {
-  std::vector<FeaturePoint> points;
   auto all = context.task().AllPairs();
-  points.reserve(all.size());
-  for (const auto& pair : all) {
-    const auto& a = context.left().TokenSetAll(pair.left);
-    const auto& b = context.right().TokenSetAll(pair.right);
-    points.push_back({text::CosineSimilarity(a, b),
-                      text::JaccardSimilarity(a, b), pair.is_match});
-    RLBENCH_DCHECK_PROB(points.back().cs);
-    RLBENCH_DCHECK_PROB(points.back().js);
-  }
+  std::vector<FeaturePoint> points(all.size());
+  // The MatchingContext constructor warmed every token slot, so the caches
+  // freeze for the duration of the concurrent scoring pass.
+  context.left().Freeze();
+  context.right().Freeze();
+  ParallelFor(0, all.size(), kPairGrain, [&](size_t i) {
+    const auto& a = context.left().TokenSetAll(all[i].left);
+    const auto& b = context.right().TokenSetAll(all[i].right);
+    points[i] = {text::CosineSimilarity(a, b), text::JaccardSimilarity(a, b),
+                 all[i].is_match};
+    RLBENCH_DCHECK_PROB(points[i].cs);
+    RLBENCH_DCHECK_PROB(points[i].js);
+  });
+  context.left().Thaw();
+  context.right().Thaw();
   return points;
 }
 
@@ -34,18 +46,22 @@ std::vector<LinearityResult> ComputeLinearityPerAttribute(
   results.reserve(num_attrs);
   std::vector<double> cosine(all.size());
   std::vector<double> jaccard(all.size());
+  context.left().Freeze();
+  context.right().Freeze();
   for (size_t a = 0; a < num_attrs; ++a) {
-    for (size_t i = 0; i < all.size(); ++i) {
+    ParallelFor(0, all.size(), kPairGrain, [&](size_t i) {
       const auto& left = context.left().TokenSetAttr(all[i].left, a);
       const auto& right = context.right().TokenSetAttr(all[i].right, a);
       cosine[i] = text::CosineSimilarity(left, right);
       jaccard[i] = text::JaccardSimilarity(left, right);
-    }
+    });
     auto cs = ml::SweepThresholds(cosine, labels);
     auto js = ml::SweepThresholds(jaccard, labels);
     results.push_back(
         {cs.best_f1, cs.best_threshold, js.best_f1, js.best_threshold});
   }
+  context.left().Thaw();
+  context.right().Thaw();
   return results;
 }
 

@@ -1,6 +1,15 @@
 #include "data/feature_cache.h"
 
+#include "common/check.h"
+#include "common/parallel.h"
+
 namespace rlbench::data {
+
+namespace {
+// Tokenising a record costs microseconds; keep chunks coarse enough that
+// dispatch overhead stays negligible.
+constexpr size_t kWarmGrain = 64;
+}  // namespace
 
 RecordFeatureCache::RecordFeatureCache(const Table* table) : table_(table) {
   entries_.resize(table_->size());
@@ -17,6 +26,7 @@ const std::vector<std::string>& RecordFeatureCache::Tokens(
     size_t record) const {
   Entry& e = entry(record);
   if (!e.tokens) {
+    RLBENCH_DCHECK(!frozen_);  // frozen-phase miss: warm-up was incomplete
     e.tokens = text::TokenizeAll(table_->record(record).values);
   }
   return *e.tokens;
@@ -25,6 +35,7 @@ const std::vector<std::string>& RecordFeatureCache::Tokens(
 const text::TokenSet& RecordFeatureCache::TokenSetAll(size_t record) const {
   Entry& e = entry(record);
   if (!e.token_set_all) {
+    RLBENCH_DCHECK(!frozen_);
     e.token_set_all = text::TokenSet(Tokens(record));
   }
   return *e.token_set_all;
@@ -34,6 +45,7 @@ const text::TokenSet& RecordFeatureCache::TokenSetAttr(size_t record,
                                                        size_t attr) const {
   Entry& e = entry(record);
   if (!e.token_set_attr[attr]) {
+    RLBENCH_DCHECK(!frozen_);
     e.token_set_attr[attr] = text::TokenSet(TokensAttr(record, attr));
   }
   return *e.token_set_attr[attr];
@@ -43,6 +55,7 @@ const std::vector<std::string>& RecordFeatureCache::TokensAttr(
     size_t record, size_t attr) const {
   Entry& e = entry(record);
   if (!e.tokens_attr[attr]) {
+    RLBENCH_DCHECK(!frozen_);
     e.tokens_attr[attr] = text::Tokenize(table_->record(record).values[attr]);
   }
   return *e.tokens_attr[attr];
@@ -53,6 +66,7 @@ const text::TokenSet& RecordFeatureCache::QGramSetAll(size_t record,
   Entry& e = entry(record);
   auto& slot = e.qgrams_all[q - kMinQ];
   if (!slot) {
+    RLBENCH_DCHECK(!frozen_);
     std::string text = table_->record(record).ConcatenatedValues();
     if (text.size() > kQGramCharCap) text.resize(kQGramCharCap);
     slot = text::QGramSet(text, q);
@@ -66,10 +80,54 @@ const text::TokenSet& RecordFeatureCache::QGramSetAttr(size_t record,
   Entry& e = entry(record);
   auto& slot = e.qgrams_attr[attr * kNumQ + (q - kMinQ)];
   if (!slot) {
+    RLBENCH_DCHECK(!frozen_);
     std::string_view text = table_->record(record).values[attr];
     slot = text::QGramSet(text.substr(0, kQGramCharCap), q);
   }
   return *slot;
+}
+
+void RecordFeatureCache::FillTokenSlots(Entry& e, size_t record) const {
+  const Record& row = table_->record(record);
+  size_t num_attrs = table_->schema().num_attributes();
+  for (size_t a = 0; a < num_attrs; ++a) {
+    if (!e.tokens_attr[a]) e.tokens_attr[a] = text::Tokenize(row.values[a]);
+    if (!e.token_set_attr[a]) {
+      e.token_set_attr[a] = text::TokenSet(*e.tokens_attr[a]);
+    }
+  }
+  if (!e.tokens) e.tokens = text::TokenizeAll(row.values);
+  if (!e.token_set_all) e.token_set_all = text::TokenSet(*e.tokens);
+}
+
+void RecordFeatureCache::FillQGramSlots(Entry& e, size_t record) const {
+  const Record& row = table_->record(record);
+  size_t num_attrs = table_->schema().num_attributes();
+  std::string all_text = row.ConcatenatedValues();
+  if (all_text.size() > kQGramCharCap) all_text.resize(kQGramCharCap);
+  for (int q = kMinQ; q <= kMaxQ; ++q) {
+    auto& all_slot = e.qgrams_all[q - kMinQ];
+    if (!all_slot) all_slot = text::QGramSet(all_text, q);
+    for (size_t a = 0; a < num_attrs; ++a) {
+      auto& slot = e.qgrams_attr[a * kNumQ + (q - kMinQ)];
+      if (!slot) {
+        std::string_view text = row.values[a];
+        slot = text::QGramSet(text.substr(0, kQGramCharCap), q);
+      }
+    }
+  }
+}
+
+void RecordFeatureCache::WarmTokens() const {
+  RLBENCH_CHECK_MSG(!frozen_, "WarmTokens on a frozen RecordFeatureCache");
+  ParallelFor(0, entries_.size(), kWarmGrain,
+              [this](size_t record) { FillTokenSlots(entry(record), record); });
+}
+
+void RecordFeatureCache::WarmQGrams() const {
+  RLBENCH_CHECK_MSG(!frozen_, "WarmQGrams on a frozen RecordFeatureCache");
+  ParallelFor(0, entries_.size(), kWarmGrain,
+              [this](size_t record) { FillQGramSlots(entry(record), record); });
 }
 
 }  // namespace rlbench::data

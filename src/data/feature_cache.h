@@ -18,7 +18,20 @@ namespace rlbench::data {
 
 /// \brief Lazily memoised per-record text features over one table.
 ///
-/// Not thread-safe; the whole pipeline is single-threaded and deterministic.
+/// Two-phase threading contract (common/parallel.h drives the phases):
+///
+///   Phase 1 — warm-up. Entries are filled either lazily by the accessors
+///   (single-threaded callers only) or in bulk by the Warm*() methods,
+///   which parallelise over records (each record's entry is written by
+///   exactly one chunk, so warm-up itself is deterministic and race-free).
+///
+///   Phase 2 — frozen. After Freeze() the cache is immutable and any number
+///   of threads may call the accessors concurrently. A cache miss in this
+///   phase is a contract violation (the warm-up was incomplete) and trips
+///   RLBENCH_DCHECK instead of racing on a lazy fill. Thaw() re-enters
+///   phase 1; the caller must sequence it after all concurrent readers
+///   have finished (parallel regions in this codebase always end before
+///   control returns, so calling Thaw() between regions is safe).
 class RecordFeatureCache {
  public:
   static constexpr int kMinQ = 2;
@@ -52,6 +65,26 @@ class RecordFeatureCache {
   /// q-gram set of one attribute value.
   const text::TokenSet& QGramSetAttr(size_t record, size_t attr, int q) const;
 
+  // --- Phase control ---------------------------------------------------------
+
+  /// Bulk-fill every token-derived slot (Tokens, TokenSetAll, per-attribute
+  /// tokens and token sets) for all records; parallel over records.
+  /// Warm-up phase only.
+  void WarmTokens() const;
+
+  /// Bulk-fill every q-gram slot (schema-agnostic and per-attribute, all q)
+  /// for all records; parallel over records. Warm-up phase only.
+  void WarmQGrams() const;
+
+  /// Enter the frozen (immutable, concurrent-read) phase. Idempotent.
+  void Freeze() const { frozen_ = true; }
+
+  /// Return to the warm-up phase. The caller must guarantee no concurrent
+  /// readers are in flight.
+  void Thaw() const { frozen_ = false; }
+
+  bool frozen() const { return frozen_; }
+
  private:
   struct Entry {
     std::optional<std::vector<std::string>> tokens;
@@ -68,8 +101,15 @@ class RecordFeatureCache {
 
   Entry& entry(size_t record) const { return entries_[record]; }
 
+  /// Fill every token-derived slot of one record (warm-up work item).
+  void FillTokenSlots(Entry& e, size_t record) const;
+
+  /// Fill every q-gram slot of one record (warm-up work item).
+  void FillQGramSlots(Entry& e, size_t record) const;
+
   const Table* table_;
   mutable std::vector<Entry> entries_;
+  mutable bool frozen_ = false;
 };
 
 }  // namespace rlbench::data

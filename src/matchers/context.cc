@@ -1,11 +1,19 @@
 #include "matchers/context.h"
 
+#include <algorithm>
+
+#include "common/check.h"
 #include "matchers/features.h"
 
 namespace rlbench::matchers {
 
 MatchingContext::MatchingContext(const data::MatchingTask* task)
     : task_(task), left_(&task->left()), right_(&task->right()) {
+  // Tokenisation dominates construction; warm it in parallel (disjoint
+  // per-record slots), then feed the corpus model serially so document
+  // order — and the resulting IDF table — stays exactly as before.
+  left_.WarmTokens();
+  right_.WarmTokens();
   for (size_t i = 0; i < task->left().size(); ++i) {
     tfidf_.AddDocument(left_.Tokens(i));
   }
@@ -19,17 +27,27 @@ void MatchingContext::EnsureMagellan() const {
   if (magellan_train_) return;
   size_t dim = task_->left().schema().num_attributes() *
                kMagellanFeaturesPerAttr;
+  // Two-phase cache contract: the constructor warmed every token-derived
+  // slot MagellanFeatures reads, so the caches can be frozen and read
+  // concurrently while rows are extracted in parallel.
+  left_.Freeze();
+  right_.Freeze();
   auto build = [&](const std::vector<data::LabeledPair>& pairs) {
-    ml::Dataset dataset(dim);
-    dataset.Reserve(pairs.size());
-    for (const auto& pair : pairs) {
-      dataset.Add(MagellanFeatures(left_, right_, pair), pair.is_match);
-    }
-    return dataset;
+    return ml::Dataset::BuildParallel(
+        dim, pairs.size(), [&](size_t i, std::span<float> row) {
+          auto features = MagellanFeatures(left_, right_, pairs[i]);
+          RLBENCH_DCHECK_EQ(features.size(), row.size());
+          std::copy(features.begin(), features.end(), row.begin());
+          return pairs[i].is_match;
+        });
   };
   magellan_train_ = build(task_->train());
   magellan_valid_ = build(task_->valid());
   magellan_test_ = build(task_->test());
+  // Later consumers (the q-gram ESDE variants) still fill q-gram slots
+  // lazily from serial code, so return the caches to the warm-up phase.
+  left_.Thaw();
+  right_.Thaw();
 }
 
 const ml::Dataset& MatchingContext::MagellanTrain() const {

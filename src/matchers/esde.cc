@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "ml/metrics.h"
 #include "text/similarity.h"
 
@@ -12,6 +13,9 @@ namespace {
 constexpr int kMinQ = data::RecordFeatureCache::kMinQ;
 constexpr int kMaxQ = data::RecordFeatureCache::kMaxQ;
 constexpr int kNumQ = kMaxQ - kMinQ + 1;
+
+// Chunk of candidate pairs per dispatch in the batch-extraction loops.
+constexpr size_t kPairGrain = 256;
 
 void PushSetSims(const text::TokenSet& a, const text::TokenSet& b,
                  std::vector<double>* out) {
@@ -114,34 +118,92 @@ double EsdeMatcher::SingleFeature(const MatchingContext& context,
   return Features(context, pair)[feature];
 }
 
+void EsdeMatcher::WarmCaches(const MatchingContext& context) {
+  switch (variant_) {
+    case EsdeVariant::kSchemaAgnostic:
+    case EsdeVariant::kSchemaBased:
+      // Token slots were warmed by the MatchingContext constructor; the
+      // idempotent re-warm only scans for (absent) gaps.
+      context.left().WarmTokens();
+      context.right().WarmTokens();
+      break;
+    case EsdeVariant::kSchemaAgnosticQgram:
+    case EsdeVariant::kSchemaBasedQgram:
+      context.left().WarmQGrams();
+      context.right().WarmQGrams();
+      break;
+    case EsdeVariant::kSchemaAgnosticSent:
+    case EsdeVariant::kSchemaBasedSent: {
+      // Pre-encode every record vector the variant reads; afterwards the
+      // batch loops only hit immutable cache slots.
+      size_t num_attrs = context.task().left().schema().num_attributes();
+      std::vector<int> attrs;
+      if (variant_ == EsdeVariant::kSchemaAgnosticSent) {
+        attrs.push_back(-1);
+      } else {
+        for (size_t a = 0; a < num_attrs; ++a) {
+          attrs.push_back(static_cast<int>(a));
+        }
+      }
+      if (context.task().left().size() == 0) break;
+      RecordVec(context, true, 0, attrs[0]);  // allocate the cache shape
+      for (bool left_side : {true, false}) {
+        size_t records = left_side ? context.task().left().size()
+                                   : context.task().right().size();
+        for (int attr : attrs) {
+          ParallelFor(0, records, 64, [&](size_t r) {
+            RecordVec(context, left_side, static_cast<uint32_t>(r), attr);
+          });
+        }
+      }
+      break;
+    }
+  }
+}
+
 std::vector<uint8_t> EsdeMatcher::Run(const MatchingContext& context) {
   const auto& task = context.task();
   size_t dim = EsdeFeatureCount(
       variant_, task.left().schema().num_attributes());
 
+  // Two-phase cache contract: bulk-fill everything this variant reads,
+  // then freeze both record caches so the batch loops below may extract
+  // features concurrently (rows are index-addressed — identical results
+  // at any thread count).
+  WarmCaches(context);
+  context.left().Freeze();
+  context.right().Freeze();
+
   // --- Training phase: best threshold per feature on the training set.
-  std::vector<std::vector<double>> columns(dim);
-  std::vector<uint8_t> train_labels;
-  train_labels.reserve(task.train().size());
-  for (auto& column : columns) column.reserve(task.train().size());
-  for (const auto& pair : task.train()) {
-    auto features = Features(context, pair);
-    for (size_t f = 0; f < dim; ++f) columns[f].push_back(features[f]);
-    train_labels.push_back(pair.is_match ? 1 : 0);
+  const auto& train = task.train();
+  std::vector<std::vector<double>> train_rows(train.size());
+  ParallelFor(0, train.size(), kPairGrain, [&](size_t i) {
+    train_rows[i] = Features(context, train[i]);
+  });
+  std::vector<uint8_t> train_labels(train.size());
+  for (size_t i = 0; i < train.size(); ++i) {
+    train_labels[i] = train[i].is_match ? 1 : 0;
   }
   std::vector<double> thresholds(dim, 0.5);
-  for (size_t f = 0; f < dim; ++f) {
-    thresholds[f] = ml::SweepThresholds(columns[f], train_labels).best_threshold;
-  }
+  // One independent sweep per feature; each writes only thresholds[f].
+  ParallelFor(0, dim, 1, [&](size_t f) {
+    std::vector<double> column(train.size());
+    for (size_t i = 0; i < train.size(); ++i) column[i] = train_rows[i][f];
+    thresholds[f] = ml::SweepThresholds(column, train_labels).best_threshold;
+  });
 
   // --- Validation phase: pick the feature whose (feature, threshold) rule
   // scores best on the validation set.
+  const auto& valid = task.valid();
+  std::vector<std::vector<double>> valid_rows(valid.size());
+  ParallelFor(0, valid.size(), kPairGrain, [&](size_t i) {
+    valid_rows[i] = Features(context, valid[i]);
+  });
   std::vector<ml::Confusion> confusion(dim);
-  for (const auto& pair : task.valid()) {
-    auto features = Features(context, pair);
-    for (size_t f = 0; f < dim; ++f) {
-      bool predicted = thresholds[f] <= features[f];
-      if (pair.is_match) {
+  ParallelFor(0, dim, 1, [&](size_t f) {
+    for (size_t i = 0; i < valid.size(); ++i) {
+      bool predicted = thresholds[f] <= valid_rows[i][f];
+      if (valid[i].is_match) {
         predicted ? ++confusion[f].true_positives
                   : ++confusion[f].false_negatives;
       } else {
@@ -149,7 +211,8 @@ std::vector<uint8_t> EsdeMatcher::Run(const MatchingContext& context) {
                   : ++confusion[f].true_negatives;
       }
     }
-  }
+  });
+  // Serial arg-max keeps the historical lowest-index tie-break.
   best_feature_ = 0;
   best_valid_f1_ = -1.0;
   for (size_t f = 0; f < dim; ++f) {
@@ -162,12 +225,15 @@ std::vector<uint8_t> EsdeMatcher::Run(const MatchingContext& context) {
   best_threshold_ = thresholds[best_feature_];
 
   // --- Testing phase: apply the selected rule.
-  std::vector<uint8_t> predictions;
-  predictions.reserve(task.test().size());
-  for (const auto& pair : task.test()) {
-    double score = SingleFeature(context, pair, best_feature_);
-    predictions.push_back(best_threshold_ <= score ? 1 : 0);
-  }
+  const auto& test = task.test();
+  std::vector<uint8_t> predictions(test.size());
+  ParallelFor(0, test.size(), kPairGrain, [&](size_t i) {
+    double score = SingleFeature(context, test[i], best_feature_);
+    predictions[i] = best_threshold_ <= score ? 1 : 0;
+  });
+
+  context.left().Thaw();
+  context.right().Thaw();
   return predictions;
 }
 

@@ -49,6 +49,11 @@ class EsdeMatcher : public Matcher {
   const embed::Vec& RecordVec(const MatchingContext& context, bool left_side,
                               uint32_t record, int attr);
 
+  /// Warm-up half of the two-phase cache contract: bulk-fill every slot
+  /// this variant reads (token sets, q-gram sets, or record vectors) so
+  /// the batch loops in Run() can read the frozen caches concurrently.
+  void WarmCaches(const MatchingContext& context);
+
   EsdeVariant variant_;
   EsdeOptions options_;
   embed::SentenceEncoder encoder_;

@@ -1,13 +1,34 @@
 #include "ml/dataset.h"
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace rlbench::ml {
+
+namespace {
+// Feature extraction per row costs microseconds (string similarities over
+// a candidate pair), so modest chunks already amortise dispatch.
+constexpr size_t kRowGrain = 32;
+}  // namespace
 
 void Dataset::Add(const std::vector<float>& features, bool label) {
   RLBENCH_CHECK_EQ(features.size(), num_features_);
   values_.insert(values_.end(), features.begin(), features.end());
   labels_.push_back(label ? 1 : 0);
+}
+
+Dataset Dataset::BuildParallel(
+    size_t num_features, size_t rows,
+    const std::function<bool(size_t, std::span<float>)>& fill) {
+  RLBENCH_CHECK_GT(num_features, 0u);
+  Dataset dataset(num_features);
+  dataset.values_.resize(rows * num_features);
+  dataset.labels_.resize(rows);
+  ParallelFor(0, rows, kRowGrain, [&](size_t i) {
+    std::span<float> row(&dataset.values_[i * num_features], num_features);
+    dataset.labels_[i] = fill(i, row) ? 1 : 0;
+  });
+  return dataset;
 }
 
 size_t Dataset::CountPositives() const {

@@ -5,6 +5,7 @@
 #define RLBENCH_SRC_ML_DATASET_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -24,6 +25,17 @@ class Dataset {
 
   /// Append one row; `features.size()` must equal num_features().
   void Add(const std::vector<float>& features, bool label);
+
+  /// \brief Assemble a dataset by filling index-addressed rows in parallel.
+  ///
+  /// `fill(i, row)` writes row i's features into the pre-sized span and
+  /// returns its label. Because every row is owned by exactly one index,
+  /// the result is bit-identical to the serial loop at any thread count
+  /// (common/parallel.h contract). This is the batch path the matcher
+  /// training-set assembly uses.
+  static Dataset BuildParallel(
+      size_t num_features, size_t rows,
+      const std::function<bool(size_t, std::span<float>)>& fill);
 
   std::span<const float> row(size_t i) const {
     return {&values_[DcheckedIndex(i, size()) * num_features_],

@@ -8,6 +8,11 @@ Rules:
   rng           no std::rand / srand / std::random_device / raw std::mt19937
                 outside common/rng.{h,cc}; all randomness flows through
                 rlbench::Rng so experiments stay reproducible
+  threads       no raw std::thread / std::jthread / std::async outside
+                common/parallel.cc; all parallelism flows through
+                ParallelFor / ParallelReduce so results stay deterministic
+                (std::thread::id and hardware_concurrency are inert and
+                exempt)
   using-ns      no `using namespace` at any scope in headers
   cmake-reg     every .cc under src/ is listed in its directory's
                 CMakeLists.txt (unregistered files silently fall out of the
@@ -31,6 +36,17 @@ RNG_PATTERNS = [
      "std::random_device is non-deterministic; seed rlbench::Rng explicitly"),
     (re.compile(r"\bstd::mt19937(_64)?\b"),
      "raw std::mt19937 outside common/rng; draw through rlbench::Rng"),
+]
+THREAD_ALLOWLIST = {"src/common/parallel.cc"}
+THREAD_PATTERNS = [
+    # std::thread::id / ::hardware_concurrency are inert (no thread is
+    # spawned); everything else must go through common/parallel.h.
+    (re.compile(r"\bstd::thread\b(?!::(?:id|hardware_concurrency)\b)"),
+     "raw std::thread outside common/parallel; use ParallelFor/Reduce"),
+    (re.compile(r"\bstd::jthread\b"),
+     "raw std::jthread outside common/parallel; use ParallelFor/Reduce"),
+    (re.compile(r"\bstd::async\b"),
+     "std::async outside common/parallel; use ParallelFor/Reduce"),
 ]
 USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
 LINE_COMMENT = re.compile(r"//.*$")
@@ -82,6 +98,16 @@ def check_rng(rel, lines, errors):
                 errors.append(f"{rel}:{i + 1}: {message}")
 
 
+def check_threads(rel, lines, errors):
+    if str(rel) in THREAD_ALLOWLIST:
+        return
+    for i, line in enumerate(lines):
+        code = LINE_COMMENT.sub("", line)
+        for pattern, message in THREAD_PATTERNS:
+            if pattern.search(code):
+                errors.append(f"{rel}:{i + 1}: {message}")
+
+
 def check_using_namespace(rel, lines, errors):
     for i, line in enumerate(lines):
         code = LINE_COMMENT.sub("", line)
@@ -125,8 +151,10 @@ def main() -> int:
         for source in sorted(directory.rglob("*")):
             if source.suffix not in {".h", ".cc", ".cpp"}:
                 continue
-            check_rng(source.relative_to(root).as_posix(),
-                      source.read_text().splitlines(), errors)
+            source_rel = source.relative_to(root).as_posix()
+            source_lines = source.read_text().splitlines()
+            check_rng(source_rel, source_lines, errors)
+            check_threads(source_rel, source_lines, errors)
     check_cmake_registration(root, errors)
 
     for error in errors:
