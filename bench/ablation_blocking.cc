@@ -11,7 +11,6 @@
 
 #include "bench_util.h"
 #include "block/deepblocker_sim.h"
-#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
 #include "core/linearity.h"
@@ -25,7 +24,10 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   std::string id = flags.GetString("dataset", "Dn6");
   double scale = flags.GetDouble("scale", 0.2);
-  Stopwatch watch;
+
+  benchutil::BenchRun run("ablation_blocking");
+  run.manifest().AddDataset(id);
+  run.manifest().AddConfig("scale", scale);
 
   const auto* spec = datagen::FindSourceDataset(id);
   if (spec == nullptr) {
@@ -39,6 +41,7 @@ int main(int argc, char** argv) {
                      id + ")");
   table.SetHeader({"K", "PC", "PQ", "|C|", "IR", "F1max_CS"});
 
+  run.manifest().BeginPhase("sweep");
   for (int k : {1, 2, 4, 8, 16, 32}) {
     block::BlockerConfig config;
     config.attr = -1;
@@ -71,11 +74,12 @@ int main(int argc, char** argv) {
                   benchutil::Pct(stats.ImbalanceRatio()) + "%",
                   benchutil::F3(linearity.f1_cosine)});
   }
+  run.manifest().EndPhase();
   table.Print(std::cout);
   std::printf(
       "\nReading: small K = strict blocking = only near-neighbour negatives\n"
       "(hard, balanced); large K = loose blocking = easy negatives flood in\n"
       "and the imbalance explodes while recall saturates.\n");
-  benchutil::PrintElapsed("ablation_blocking", watch.ElapsedSeconds());
+  run.Finish();
   return 0;
 }

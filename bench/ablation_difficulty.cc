@@ -10,7 +10,6 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
 #include "core/complexity.h"
@@ -40,7 +39,10 @@ int main(int argc, char** argv) {
   size_t pairs = static_cast<size_t>(flags.GetInt("pairs", 2500));
   datagen::Domain domain =
       ParseDomain(flags.GetString("domain", "product"));
-  Stopwatch watch;
+
+  benchutil::BenchRun run("ablation_difficulty");
+  run.manifest().AddConfig("pairs", static_cast<int64_t>(pairs));
+  run.manifest().AddConfig("domain", std::string(datagen::DomainName(domain)));
 
   TablePrinter table(
       std::string("Ablation: difficulty continuum on the '") +
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
   table.SetHeader({"noise", "hard-neg", "F1max_CS", "cx avg", "SA-ESDE",
                    "SBQ-ESDE"});
 
+  run.manifest().BeginPhase("sweep");
   for (double noise : {0.05, 0.2, 0.35, 0.5, 0.65}) {
     for (double hard : {0.1, 0.5}) {
       datagen::ExistingBenchmarkSpec spec;
@@ -78,11 +81,12 @@ int main(int argc, char** argv) {
     }
     table.AddSeparator();
   }
+  run.manifest().EndPhase();
   table.Print(std::cout);
   std::printf(
       "\nReading: linearity falls and complexity rises monotonically in the\n"
       "noise knob; the hard-negative knob steepens both — the controllable\n"
       "difficulty continuum the paper proposes as future work.\n");
-  benchutil::PrintElapsed("ablation_difficulty", watch.ElapsedSeconds());
+  run.Finish();
   return 0;
 }

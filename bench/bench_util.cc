@@ -3,10 +3,13 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "data/csv.h"
+#include "obs/trace.h"
 
 namespace rlbench::benchutil {
 
@@ -66,8 +69,32 @@ std::optional<std::vector<CachedScore>> LoadScores(const std::string& name) {
   return scores;
 }
 
-void PrintElapsed(const char* name, double seconds) {
-  std::printf("\n[%s finished in %.1f s]\n", name, seconds);
+BenchRun::BenchRun(const char* name) : manifest_(name) {
+  obs::SetCurrentThreadName("main");
+}
+
+BenchRun::~BenchRun() { Finish(); }
+
+void BenchRun::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  manifest_.set_threads(ParallelThreadCount());
+  manifest_.set_hardware_concurrency(std::thread::hardware_concurrency());
+  std::string trace_path = obs::WriteTraceIfEnabled();
+  if (!trace_path.empty()) manifest_.set_trace_file(trace_path);
+  // Freeze the wall time so the printed line and the manifest agree to
+  // the digit.
+  manifest_.Finalize();
+  double seconds = manifest_.TotalSeconds();
+  std::string manifest_path = manifest_.WriteFile(ResultsDir());
+  std::printf("\n[%s finished in %.1f s]\n", manifest_.name().c_str(),
+              seconds);
+  if (!manifest_path.empty()) {
+    std::printf("[manifest: %s]\n", manifest_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::printf("[trace: %s]\n", trace_path.c_str());
+  }
 }
 
 void CapPairs(data::MatchingTask* task, size_t max_pairs) {

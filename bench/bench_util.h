@@ -11,6 +11,7 @@
 
 #include "common/flags.h"
 #include "core/practical.h"
+#include "obs/manifest.h"
 
 namespace rlbench::benchutil {
 
@@ -46,8 +47,37 @@ void SaveScores(const std::string& name, const std::vector<CachedScore>& rows);
 /// Load a previously saved score file; nullopt when absent or malformed.
 std::optional<std::vector<CachedScore>> LoadScores(const std::string& name);
 
-/// Standard epilogue: print the wall time of the harness.
-void PrintElapsed(const char* name, double seconds);
+// --- Run bookkeeping --------------------------------------------------------
+
+/// One object per bench binary: owns the run manifest, names the main
+/// thread's trace track, and (in Finish) writes the machine-readable
+/// artefacts plus the human-readable epilogue line — which is *derived
+/// from* the manifest, so the printed seconds and the recorded seconds
+/// can never disagree.
+///
+///   int main(...) {
+///     benchutil::BenchRun run("table3_datasets");
+///     { obs::ManifestPhase phase(&run.manifest(), "datasets"); ... }
+///     run.Finish();
+///   }
+///
+/// Finish() fills in thread count / hardware concurrency, writes the
+/// Chrome trace when RLBENCH_TRACE is set, and always writes
+/// ResultsDir()/<name>.manifest.json.
+class BenchRun {
+ public:
+  explicit BenchRun(const char* name);
+  ~BenchRun();
+
+  obs::RunManifest& manifest() { return manifest_; }
+
+  /// Writes trace + manifest and prints the epilogue; idempotent.
+  void Finish();
+
+ private:
+  obs::RunManifest manifest_;
+  bool finished_ = false;
+};
 
 /// Cap a task's pair count by thinning easy negatives (positives are
 /// always kept, so difficulty is preserved or increased). Shared by the

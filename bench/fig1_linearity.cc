@@ -9,7 +9,6 @@
 
 #include "bench_util.h"
 #include "common/parallel.h"
-#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
 #include "core/linearity.h"
@@ -22,13 +21,16 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   size_t max_pairs =
       static_cast<size_t>(flags.GetInt("max-pairs", 120000));
-  Stopwatch watch;
+
+  benchutil::BenchRun run("fig1_linearity");
+  run.manifest().AddConfig("max_pairs", static_cast<int64_t>(max_pairs));
 
   std::vector<std::string> fallback;
   for (const auto& spec : datagen::ExistingBenchmarks()) {
     fallback.push_back(spec.id);
   }
   auto ids = benchutil::SelectIds(flags, fallback);
+  run.manifest().SetDatasets(ids);
 
   TablePrinter table(
       "Figure 1 (data series): degree of linearity per established dataset");
@@ -47,6 +49,7 @@ int main(int argc, char** argv) {
     }
     specs.push_back(spec);
   }
+  run.manifest().BeginPhase("linearity");
   std::vector<core::LinearityResult> results(specs.size());
   ParallelFor(0, specs.size(), 1, [&](size_t i) {
     double scale = benchutil::AutoScale(specs[i]->total_pairs, max_pairs);
@@ -54,6 +57,7 @@ int main(int argc, char** argv) {
     matchers::MatchingContext context(&task);
     results[i] = core::ComputeLinearity(context);
   });
+  run.manifest().EndPhase();
   for (size_t i = 0; i < specs.size(); ++i) {
     table.AddRow({specs[i]->id, benchutil::F3(results[i].f1_cosine),
                   FormatDouble(results[i].threshold_cosine, 2),
@@ -64,6 +68,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nReading: >0.8 marks an (almost) linearly separable benchmark; the\n"
       "paper finds six such datasets among the thirteen.\n");
-  benchutil::PrintElapsed("fig1_linearity", watch.ElapsedSeconds());
+  run.Finish();
   return 0;
 }

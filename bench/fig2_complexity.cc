@@ -9,7 +9,6 @@
 
 #include "bench_util.h"
 #include "common/parallel.h"
-#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
 #include "core/complexity.h"
@@ -22,13 +21,17 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   size_t max_pairs = static_cast<size_t>(flags.GetInt("max-pairs", 60000));
   size_t sample = static_cast<size_t>(flags.GetInt("sample", 2000));
-  Stopwatch watch;
+
+  benchutil::BenchRun run("fig2_complexity");
+  run.manifest().AddConfig("max_pairs", static_cast<int64_t>(max_pairs));
+  run.manifest().AddConfig("sample", static_cast<int64_t>(sample));
 
   std::vector<std::string> fallback;
   for (const auto& spec : datagen::ExistingBenchmarks()) {
     fallback.push_back(spec.id);
   }
   auto ids = benchutil::SelectIds(flags, fallback);
+  run.manifest().SetDatasets(ids);
 
   TablePrinter table(
       "Figure 2 (data series): complexity measures per established dataset "
@@ -47,6 +50,7 @@ int main(int argc, char** argv) {
     }
     specs.push_back(spec);
   }
+  run.manifest().BeginPhase("complexity");
   std::vector<core::ComplexityReport> reports(specs.size());
   ParallelFor(0, specs.size(), 1, [&](size_t i) {
     double scale = benchutil::AutoScale(specs[i]->total_pairs, max_pairs);
@@ -57,6 +61,7 @@ int main(int argc, char** argv) {
     reports[i] =
         core::ComputeComplexity(core::PairFeaturePoints(context), options);
   });
+  run.manifest().EndPhase();
   bool header_set = false;
   for (size_t i = 0; i < specs.size(); ++i) {
     if (!header_set) {
@@ -79,6 +84,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nReading: a mean score below 0.400 indicates an easy classification\n"
       "task (the paper marks only Ds4, Ds6, Dd4, Dt1, Dt2 as challenging).\n");
-  benchutil::PrintElapsed("fig2_complexity", watch.ElapsedSeconds());
+  run.Finish();
   return 0;
 }

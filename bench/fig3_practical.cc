@@ -10,7 +10,6 @@
 #include <map>
 
 #include "bench_util.h"
-#include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "core/practical.h"
 #include "datagen/catalog.h"
@@ -21,17 +20,20 @@ using namespace rlbench;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  Stopwatch watch;
+
+  benchutil::BenchRun run("fig3_practical");
 
   std::vector<std::string> fallback;
   for (const auto& spec : datagen::ExistingBenchmarks()) {
     fallback.push_back(spec.id);
   }
   auto ids = benchutil::SelectIds(flags, fallback);
+  run.manifest().SetDatasets(ids);
 
-  auto cached = flags.GetBool("recompute", false)
-                    ? std::nullopt
-                    : benchutil::LoadScores("table4_scores");
+  bool recompute = flags.GetBool("recompute", false);
+  run.manifest().AddConfig("recompute", static_cast<int64_t>(recompute));
+  auto cached =
+      recompute ? std::nullopt : benchutil::LoadScores("table4_scores");
   std::vector<benchutil::CachedScore> scores;
   if (cached) {
     scores = *cached;
@@ -39,6 +41,9 @@ int main(int argc, char** argv) {
   } else {
     size_t max_pairs = static_cast<size_t>(flags.GetInt("max-pairs", 4000));
     double epoch_scale = flags.GetDouble("epoch-scale", 1.0);
+    run.manifest().AddConfig("max_pairs", static_cast<int64_t>(max_pairs));
+    run.manifest().AddConfig("epoch_scale", epoch_scale);
+    run.manifest().BeginPhase("score_matchers");
     for (const auto& id : ids) {
       const auto* spec = datagen::FindExistingBenchmark(id);
       if (spec == nullptr) continue;
@@ -53,12 +58,14 @@ int main(int argc, char** argv) {
         scores.push_back({id, score.name, score.group, score.f1});
       }
     }
+    run.manifest().EndPhase();
     benchutil::SaveScores("table4_scores", scores);
   }
 
   TablePrinter table(
       "Figure 3 (data series): non-linear boost and learning-based margin");
   table.SetHeader({"dataset", "NLB%", "LBM%", "best nonlinear", "best linear"});
+  run.manifest().BeginPhase("practical");
   for (const auto& id : ids) {
     std::vector<core::MatcherScore> dataset_scores;
     for (const auto& row : scores) {
@@ -73,10 +80,11 @@ int main(int argc, char** argv) {
                   benchutil::F3(practical.best_nonlinear_f1),
                   benchutil::F3(practical.best_linear_f1)});
   }
+  run.manifest().EndPhase();
   table.Print(std::cout);
   std::printf(
       "\nReading: a challenging benchmark needs both NLB and LBM above 5%%\n"
       "(ideally 10%%); the paper marks only Ds4, Ds6, Dd4 and Dt1.\n");
-  benchutil::PrintElapsed("fig3_practical", watch.ElapsedSeconds());
+  run.Finish();
   return 0;
 }

@@ -7,7 +7,6 @@
 
 #include "bench_util.h"
 #include "common/parallel.h"
-#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
 #include "core/benchmark_builder.h"
@@ -21,13 +20,18 @@ int main(int argc, char** argv) {
   double scale = flags.GetDouble("scale", 0.35);
   double recall = flags.GetDouble("recall", 0.9);
   int k_max = static_cast<int>(flags.GetInt("kmax", 64));
-  Stopwatch watch;
+
+  benchutil::BenchRun run("fig4_linearity_new");
+  run.manifest().AddConfig("scale", scale);
+  run.manifest().AddConfig("recall", recall);
+  run.manifest().AddConfig("kmax", static_cast<int64_t>(k_max));
 
   std::vector<std::string> fallback;
   for (const auto& spec : datagen::SourceDatasets()) {
     fallback.push_back(spec.id);
   }
   auto ids = benchutil::SelectIds(flags, fallback);
+  run.manifest().SetDatasets(ids);
 
   TablePrinter table(
       "Figure 4(a) (data series): degree of linearity per new dataset");
@@ -46,6 +50,7 @@ int main(int argc, char** argv) {
     }
     specs.push_back(spec);
   }
+  run.manifest().BeginPhase("linearity");
   std::vector<core::LinearityResult> results(specs.size());
   ParallelFor(0, specs.size(), 1, [&](size_t i) {
     std::fprintf(stderr, "[fig4] %s...\n", specs[i]->id.c_str());
@@ -57,6 +62,7 @@ int main(int argc, char** argv) {
     matchers::MatchingContext context(&benchmark.task);
     results[i] = core::ComputeLinearity(context);
   });
+  run.manifest().EndPhase();
   for (size_t i = 0; i < specs.size(); ++i) {
     table.AddRow({specs[i]->id, benchutil::F3(results[i].f1_cosine),
                   FormatDouble(results[i].threshold_cosine, 2),
@@ -67,6 +73,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nReading: the paper finds both measures high for the bibliographic\n"
       "Dn3/Dn8 and low for the challenging Dn1, Dn2, Dn5, Dn6, Dn7.\n");
-  benchutil::PrintElapsed("fig4_linearity_new", watch.ElapsedSeconds());
+  run.Finish();
   return 0;
 }

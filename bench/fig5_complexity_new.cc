@@ -6,7 +6,6 @@
 
 #include "bench_util.h"
 #include "common/parallel.h"
-#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
 #include "core/benchmark_builder.h"
@@ -21,13 +20,19 @@ int main(int argc, char** argv) {
   double recall = flags.GetDouble("recall", 0.9);
   int k_max = static_cast<int>(flags.GetInt("kmax", 64));
   size_t sample = static_cast<size_t>(flags.GetInt("sample", 2000));
-  Stopwatch watch;
+
+  benchutil::BenchRun run("fig5_complexity_new");
+  run.manifest().AddConfig("scale", scale);
+  run.manifest().AddConfig("recall", recall);
+  run.manifest().AddConfig("kmax", static_cast<int64_t>(k_max));
+  run.manifest().AddConfig("sample", static_cast<int64_t>(sample));
 
   std::vector<std::string> fallback;
   for (const auto& spec : datagen::SourceDatasets()) {
     fallback.push_back(spec.id);
   }
   auto ids = benchutil::SelectIds(flags, fallback);
+  run.manifest().SetDatasets(ids);
 
   TablePrinter table(
       "Figure 5 (data series): complexity measures per new dataset");
@@ -44,6 +49,7 @@ int main(int argc, char** argv) {
     }
     specs.push_back(spec);
   }
+  run.manifest().BeginPhase("complexity");
   std::vector<core::ComplexityReport> reports(specs.size());
   ParallelFor(0, specs.size(), 1, [&](size_t i) {
     std::fprintf(stderr, "[fig5] %s...\n", specs[i]->id.c_str());
@@ -58,6 +64,7 @@ int main(int argc, char** argv) {
     reports[i] = core::ComputeComplexity(core::PairFeaturePoints(context),
                                          complexity_options);
   });
+  run.manifest().EndPhase();
   bool header_set = false;
   for (size_t i = 0; i < specs.size(); ++i) {
     if (!header_set) {
@@ -80,6 +87,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nReading: the paper finds averages below 0.40 only for the\n"
       "bibliographic Dn3/Dn8 (and the outlier Dn5).\n");
-  benchutil::PrintElapsed("fig5_complexity_new", watch.ElapsedSeconds());
+  run.Finish();
   return 0;
 }

@@ -8,7 +8,6 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "core/benchmark_builder.h"
 #include "core/practical.h"
@@ -19,17 +18,20 @@ using namespace rlbench;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  Stopwatch watch;
+
+  benchutil::BenchRun run("fig6_practical_new");
 
   std::vector<std::string> fallback;
   for (const auto& spec : datagen::SourceDatasets()) {
     fallback.push_back(spec.id);
   }
   auto ids = benchutil::SelectIds(flags, fallback);
+  run.manifest().SetDatasets(ids);
 
-  auto cached = flags.GetBool("recompute", false)
-                    ? std::nullopt
-                    : benchutil::LoadScores("table6_scores");
+  bool recompute = flags.GetBool("recompute", false);
+  run.manifest().AddConfig("recompute", static_cast<int64_t>(recompute));
+  auto cached =
+      recompute ? std::nullopt : benchutil::LoadScores("table6_scores");
   std::vector<benchutil::CachedScore> scores;
   if (cached) {
     scores = *cached;
@@ -39,6 +41,11 @@ int main(int argc, char** argv) {
     double recall = flags.GetDouble("recall", 0.9);
     int k_max = static_cast<int>(flags.GetInt("kmax", 64));
     double epoch_scale = flags.GetDouble("epoch-scale", 1.0);
+    run.manifest().AddConfig("scale", scale);
+    run.manifest().AddConfig("recall", recall);
+    run.manifest().AddConfig("kmax", static_cast<int64_t>(k_max));
+    run.manifest().AddConfig("epoch_scale", epoch_scale);
+    run.manifest().BeginPhase("score_matchers");
     for (const auto& id : ids) {
       const auto* spec = datagen::FindSourceDataset(id);
       if (spec == nullptr) continue;
@@ -58,6 +65,7 @@ int main(int argc, char** argv) {
         scores.push_back({id, score.name, score.group, score.f1});
       }
     }
+    run.manifest().EndPhase();
     benchutil::SaveScores("table6_scores", scores);
   }
 
@@ -65,6 +73,7 @@ int main(int argc, char** argv) {
       "Figure 6 (data series): NLB and LBM per new benchmark");
   table.SetHeader({"dataset", "NLB%", "LBM%", "best nonlinear",
                    "best linear"});
+  run.manifest().BeginPhase("practical");
   for (const auto& id : ids) {
     std::vector<core::MatcherScore> dataset_scores;
     for (const auto& row : scores) {
@@ -79,10 +88,11 @@ int main(int argc, char** argv) {
                   benchutil::F3(practical.best_nonlinear_f1),
                   benchutil::F3(practical.best_linear_f1)});
   }
+  run.manifest().EndPhase();
   table.Print(std::cout);
   std::printf(
       "\nReading: the paper finds both measures well above 5%% for Dn1,\n"
       "Dn2, Dn6, Dn7 and near zero for the linearly separable Dn3/Dn8.\n");
-  benchutil::PrintElapsed("fig6_practical_new", watch.ElapsedSeconds());
+  run.Finish();
   return 0;
 }

@@ -22,6 +22,7 @@
 #include "datagen/catalog.h"
 #include "datagen/task_builder.h"
 #include "matchers/context.h"
+#include "obs/metrics.h"
 
 using namespace rlbench;
 
@@ -66,6 +67,15 @@ int main(int argc, char** argv) {
   int repeats = static_cast<int>(flags.GetInt("repeats", 3));
   std::string dataset = flags.GetString("dataset", "Ds1");
 
+  // Metrics are always on here: the scaling report doubles as the smoke
+  // test for the feature-cache counters.
+  obs::Metrics::SetEnabled(true);
+  benchutil::BenchRun run("micro_parallel");
+  run.manifest().AddDataset(dataset);
+  run.manifest().AddConfig("scale", scale);
+  run.manifest().AddConfig("sample", static_cast<int64_t>(sample));
+  run.manifest().AddConfig("repeats", static_cast<int64_t>(repeats));
+
   const auto* spec = datagen::FindExistingBenchmark(dataset);
   if (spec == nullptr) {
     std::fprintf(stderr, "unknown dataset id %s\n", dataset.c_str());
@@ -76,14 +86,17 @@ int main(int argc, char** argv) {
   // Feature points are computed once, up front, so the complexity workload
   // times only ComputeComplexity itself.
   SetParallelThreads(1);
+  run.manifest().BeginPhase("warm");
   matchers::MatchingContext warm_context(&task);
   auto points = core::PairFeaturePoints(warm_context);
+  run.manifest().EndPhase();
   core::ComplexityOptions options;
   options.max_points = sample;
 
   std::vector<double> complexity_seconds;
   std::vector<double> feature_seconds;
   double reference_average = 0.0;
+  run.manifest().BeginPhase("sweep");
   for (size_t threads : kThreadSweep) {
     SetParallelThreads(threads);
 
@@ -105,7 +118,25 @@ int main(int argc, char** argv) {
     std::printf("threads=%zu complexity=%.3fs features=%.3fs\n", threads,
                 complexity_seconds.back(), feature_seconds.back());
   }
+  run.manifest().EndPhase();
   SetParallelThreads(0);
+
+  // Satellite report: how well the two-phase RecordFeatureCache served the
+  // run. Warmed counts come from the bulk fills, hits/misses from the
+  // accessors on the hot paths.
+  obs::Metrics& metrics = obs::Metrics::Instance();
+  auto hits = metrics.GetCounter("feature_cache/hits").Value();
+  auto misses = metrics.GetCounter("feature_cache/misses").Value();
+  auto token_warm = metrics.GetCounter("feature_cache/warmed_token_records").Value();
+  auto qgram_warm = metrics.GetCounter("feature_cache/warmed_qgram_records").Value();
+  double entries = metrics.GetGauge("feature_cache/entries").Value();
+  std::printf(
+      "feature cache: %llu hits, %llu misses, %.0f entries "
+      "(%llu token / %llu qgram records warmed)\n",
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(misses), entries,
+      static_cast<unsigned long long>(token_warm),
+      static_cast<unsigned long long>(qgram_warm));
 
   std::string path = benchutil::ResultsDir() + "/BENCH_parallel.json";
   FILE* out = std::fopen(path.c_str(), "w");
@@ -121,11 +152,20 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"labelled_pairs\": %zu,\n", points.size());
   std::fprintf(out, "  \"hardware_concurrency\": %zu,\n",
                static_cast<size_t>(std::thread::hardware_concurrency()));
+  std::fprintf(out,
+               "  \"feature_cache\": {\"hits\": %llu, \"misses\": %llu, "
+               "\"entries\": %.0f, \"token_records_warmed\": %llu, "
+               "\"qgram_records_warmed\": %llu},\n",
+               static_cast<unsigned long long>(hits),
+               static_cast<unsigned long long>(misses), entries,
+               static_cast<unsigned long long>(token_warm),
+               static_cast<unsigned long long>(qgram_warm));
   std::fprintf(out, "  \"workloads\": [\n");
   PrintWorkload(out, "complexity_measures", complexity_seconds, false);
   PrintWorkload(out, "magellan_features", feature_seconds, true);
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", path.c_str());
+  run.Finish();
   return 0;
 }

@@ -8,7 +8,6 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
 #include "datagen/catalog.h"
@@ -19,13 +18,16 @@ using namespace rlbench;
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   double scale = flags.GetDouble("scale", 1.0);
-  Stopwatch watch;
+
+  benchutil::BenchRun run("table3_datasets");
+  run.manifest().AddConfig("scale", scale);
 
   std::vector<std::string> fallback;
   for (const auto& spec : datagen::ExistingBenchmarks()) {
     fallback.push_back(spec.id);
   }
   auto ids = benchutil::SelectIds(flags, fallback);
+  run.manifest().SetDatasets(ids);
 
   TablePrinter table(
       "Table III: The established datasets for DL-based matching algorithms "
@@ -34,6 +36,7 @@ int main(int argc, char** argv) {
   table.SetHeader({"id", "origin", "domain", "|D1|", "|D2|", "|A|", "|Itr|",
                    "|Ptr|", "|Ntr|", "|Ite|", "|Pte|", "|Nte|", "IR"});
 
+  run.manifest().BeginPhase("datasets");
   for (const auto& id : ids) {
     const auto* spec = datagen::FindExistingBenchmark(id);
     if (spec == nullptr) {
@@ -56,7 +59,8 @@ int main(int argc, char** argv) {
                   FormatWithCommas(static_cast<int64_t>(test.negatives)),
                   benchutil::Pct(total.ImbalanceRatio()) + "%"});
   }
+  run.manifest().EndPhase();
   table.Print(std::cout);
-  benchutil::PrintElapsed("table3_datasets", watch.ElapsedSeconds());
+  run.Finish();
   return 0;
 }

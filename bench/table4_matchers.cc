@@ -10,7 +10,6 @@
 #include <map>
 
 #include "bench_util.h"
-#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
 #include "core/practical.h"
@@ -24,13 +23,17 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   size_t max_pairs = static_cast<size_t>(flags.GetInt("max-pairs", 4000));
   double epoch_scale = flags.GetDouble("epoch-scale", 1.0);
-  Stopwatch watch;
+
+  benchutil::BenchRun run("table4_matchers");
+  run.manifest().AddConfig("max_pairs", static_cast<int64_t>(max_pairs));
+  run.manifest().AddConfig("epoch_scale", epoch_scale);
 
   std::vector<std::string> fallback;
   for (const auto& spec : datagen::ExistingBenchmarks()) {
     fallback.push_back(spec.id);
   }
   auto ids = benchutil::SelectIds(flags, fallback);
+  run.manifest().SetDatasets(ids);
 
   // matcher name -> dataset -> F1 (insertion-ordered rows).
   std::vector<std::string> row_order;
@@ -38,6 +41,7 @@ int main(int argc, char** argv) {
   std::map<std::string, matchers::MatcherGroup> groups;
   std::vector<benchutil::CachedScore> cache;
 
+  run.manifest().BeginPhase("score_matchers");
   for (const auto& id : ids) {
     const auto* spec = datagen::FindExistingBenchmark(id);
     if (spec == nullptr) {
@@ -62,6 +66,8 @@ int main(int argc, char** argv) {
       cache.push_back({id, score.name, score.group, score.f1});
     }
   }
+
+  run.manifest().EndPhase();
 
   TablePrinter table("Table IV: F1 per method and dataset (x100)");
   std::vector<std::string> header = {"method"};
@@ -94,6 +100,6 @@ int main(int argc, char** argv) {
   std::printf("\nScores cached to %s/table4_scores.csv (used by "
               "fig3_practical).\n",
               benchutil::ResultsDir().c_str());
-  benchutil::PrintElapsed("table4_matchers", watch.ElapsedSeconds());
+  run.Finish();
   return 0;
 }

@@ -10,7 +10,6 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
-#include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "core/benchmark_builder.h"
 #include "core/practical.h"
@@ -27,19 +26,27 @@ int main(int argc, char** argv) {
   int k_max = static_cast<int>(flags.GetInt("kmax", 64));
   size_t max_pairs = static_cast<size_t>(flags.GetInt("max-pairs", 4000));
   double epoch_scale = flags.GetDouble("epoch-scale", 1.0);
-  Stopwatch watch;
+
+  benchutil::BenchRun run("table6_matchers_new");
+  run.manifest().AddConfig("scale", scale);
+  run.manifest().AddConfig("recall", recall);
+  run.manifest().AddConfig("kmax", static_cast<int64_t>(k_max));
+  run.manifest().AddConfig("max_pairs", static_cast<int64_t>(max_pairs));
+  run.manifest().AddConfig("epoch_scale", epoch_scale);
 
   std::vector<std::string> fallback;
   for (const auto& spec : datagen::SourceDatasets()) {
     fallback.push_back(spec.id);
   }
   auto ids = benchutil::SelectIds(flags, fallback);
+  run.manifest().SetDatasets(ids);
 
   std::vector<std::string> row_order;
   std::map<std::string, std::map<std::string, double>> matrix;
   std::map<std::string, matchers::MatcherGroup> groups;
   std::vector<benchutil::CachedScore> cache;
 
+  run.manifest().BeginPhase("score_matchers");
   for (const auto& id : ids) {
     const auto* spec = datagen::FindSourceDataset(id);
     if (spec == nullptr) {
@@ -68,6 +75,8 @@ int main(int argc, char** argv) {
       cache.push_back({id, score.name, score.group, score.f1});
     }
   }
+
+  run.manifest().EndPhase();
 
   TablePrinter table("Table VI: F1 per method and new dataset (x100)");
   std::vector<std::string> header = {"method"};
@@ -99,6 +108,6 @@ int main(int argc, char** argv) {
   std::printf("\nScores cached to %s/table6_scores.csv (used by "
               "fig6_practical_new).\n",
               benchutil::ResultsDir().c_str());
-  benchutil::PrintElapsed("table6_matchers_new", watch.ElapsedSeconds());
+  run.Finish();
   return 0;
 }

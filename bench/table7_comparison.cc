@@ -12,7 +12,6 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "core/benchmark_builder.h"
 #include "datagen/catalog.h"
@@ -26,7 +25,12 @@ int main(int argc, char** argv) {
   double recall = flags.GetDouble("recall", 0.9);
   int k_max = static_cast<int>(flags.GetInt("kmax", 64));
   size_t max_pairs = static_cast<size_t>(flags.GetInt("max-pairs", 60000));
-  Stopwatch watch;
+
+  benchutil::BenchRun run("table7_comparison");
+  run.manifest().AddConfig("scale", scale);
+  run.manifest().AddConfig("recall", recall);
+  run.manifest().AddConfig("kmax", static_cast<int64_t>(k_max));
+  run.manifest().AddConfig("max_pairs", static_cast<int64_t>(max_pairs));
 
   // The paper's same-origin pairs: (existing, new).
   const std::pair<const char*, const char*> kPairs[] = {
@@ -36,7 +40,10 @@ int main(int argc, char** argv) {
   TablePrinter table("Table VII: existing vs new benchmarks (same origin)");
   table.SetHeader({"existing", "PC", "PQ", "IR", "new", "PC", "PQ", "IR"});
 
+  run.manifest().BeginPhase("compare");
   for (const auto& [existing_id, new_id] : kPairs) {
+    run.manifest().AddDataset(existing_id);
+    run.manifest().AddDataset(new_id);
     const auto* existing_spec = datagen::FindExistingBenchmark(existing_id);
     const auto* new_spec = datagen::FindSourceDataset(new_id);
     if (existing_spec == nullptr || new_spec == nullptr) continue;
@@ -63,11 +70,12 @@ int main(int argc, char** argv) {
          benchutil::F3(benchmark.blocking.metrics.pairs_quality),
          benchutil::Pct(new_stats.ImbalanceRatio()) + "%"});
   }
+  run.manifest().EndPhase();
   table.Print(std::cout);
   std::printf(
       "\nReading: at comparable recall the established benchmarks report\n"
       "far higher PQ than a fine-tuned blocker can achieve, evidence that\n"
       "an arbitrary number of negative pairs was inserted or removed.\n");
-  benchutil::PrintElapsed("table7_comparison", watch.ElapsedSeconds());
+  run.Finish();
   return 0;
 }

@@ -2,9 +2,12 @@
 # One-shot pre-PR gate (and future CI entry point):
 #   1. configure + build + ctest under ASan/UBSan (warnings as errors)
 #   2. TSan build + the concurrency-bearing tests (parallel pool, frozen
-#      feature cache, thread-count invariance)
-#   3. repo lint (tools/rlbench_lint.py)
-#   4. clang-tidy over src/ (skipped with a warning if not installed)
+#      feature cache, thread-count invariance, metrics shards)
+#   3. observability end-to-end: one bench with RLBENCH_METRICS +
+#      RLBENCH_TRACE, manifest + trace validated by
+#      tools/validate_manifest.py
+#   4. repo lint (tools/rlbench_lint.py)
+#   5. clang-tidy over src/ (skipped with a warning if not installed)
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -13,7 +16,7 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_ROOT}/build-asan}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/4] build + test under ASan/UBSan =="
+echo "== [1/5] build + test under ASan/UBSan =="
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRLBENCH_SANITIZE="address;undefined" \
@@ -27,14 +30,14 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
     ctest --output-on-failure -j "${JOBS}"
 )
 
-echo "== [2/4] concurrency tests under TSan =="
+echo "== [2/5] concurrency tests under TSan =="
 TSAN_DIR="${REPO_ROOT}/build-tsan"
 cmake -B "${TSAN_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRLBENCH_SANITIZE="thread" \
   -DRLBENCH_WERROR=ON
 cmake --build "${TSAN_DIR}" -j "${JOBS}" --target \
-  common_test data_test core_test
+  common_test data_test core_test obs_test
 # Only the tests that exercise the pool and the frozen-cache read phase;
 # the full suite already ran under ASan/UBSan above. TSan halts on the
 # first race, so a pass here is a proof of race-freedom for these paths.
@@ -46,14 +49,23 @@ cmake --build "${TSAN_DIR}" -j "${JOBS}" --target \
     --gtest_filter='FeatureCacheTest.*'
   TSAN_OPTIONS="halt_on_error=1" ./tests/core_test \
     --gtest_filter='ThreadInvarianceTest.*'
+  # The lock-free metric shards and per-thread trace buffers under real
+  # pool concurrency.
+  TSAN_OPTIONS="halt_on_error=1" ./tests/obs_test \
+    --gtest_filter='MetricsTest.*:TraceTest.*:ObsInvarianceTest.*'
 )
 echo "TSan: clean"
 
-echo "== [3/4] repo lint =="
+echo "== [3/5] observability end-to-end =="
+python3 "${REPO_ROOT}/tools/validate_manifest.py" --run \
+  "${BUILD_DIR}/bench/table3_datasets" --datasets=Ds1 --scale=0.05
+echo "observability: manifest + trace validate"
+
+echo "== [4/5] repo lint =="
 python3 "${REPO_ROOT}/tools/rlbench_lint.py" --root "${REPO_ROOT}"
 echo "repo lint: clean"
 
-echo "== [4/4] clang-tidy =="
+echo "== [5/5] clang-tidy =="
 TIDY_BIN="$(command -v clang-tidy || true)"
 if [[ -z "${TIDY_BIN}" ]]; then
   for v in 18 17 16 15 14; do
@@ -72,8 +84,8 @@ else
   # Building with CMAKE_CXX_CLANG_TIDY runs tidy on every translation unit;
   # RLBENCH_WERROR stays off so only tidy diagnostics surface here.
   cmake --build "${TIDY_DIR}" -j "${JOBS}" --target \
-    rlbench_common rlbench_text rlbench_data rlbench_embed rlbench_ml \
-    rlbench_datagen rlbench_block rlbench_matchers rlbench_core
+    rlbench_obs rlbench_common rlbench_text rlbench_data rlbench_embed \
+    rlbench_ml rlbench_datagen rlbench_block rlbench_matchers rlbench_core
   echo "clang-tidy: clean"
 fi
 

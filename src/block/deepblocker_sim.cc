@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/normalize.h"
 #include "text/tokenizer.h"
 
@@ -42,6 +44,7 @@ embed::Vec DeepBlockerSim::EmbedRecord(const data::Record& record, int attr,
 std::vector<std::vector<uint32_t>> DeepBlockerSim::RankedNeighbors(
     const data::Table& index_table, const data::Table& query_table, int attr,
     bool clean, int k_max) const {
+  RLBENCH_TRACE_SPAN("block/deepblocker/rank");
   size_t dim = model_.dim();
   size_t index_size = index_table.size();
   std::vector<float> index_matrix(index_size * dim);
@@ -96,6 +99,7 @@ std::vector<CandidatePair> MaterializeCandidates(
 
 BlockingRun DeepBlockerSim::Run(const datagen::SourcePair& source,
                                 const BlockerConfig& config) const {
+  RLBENCH_TRACE_SPAN("block/deepblocker/run");
   const data::Table& index_table = config.index_d2 ? source.d2 : source.d1;
   const data::Table& query_table = config.index_d2 ? source.d1 : source.d2;
   auto ranked = RankedNeighbors(index_table, query_table, config.attr,
@@ -103,12 +107,14 @@ BlockingRun DeepBlockerSim::Run(const datagen::SourcePair& source,
   BlockingRun run;
   run.config = config;
   run.candidates = MaterializeCandidates(ranked, config.k, config.index_d2);
+  RLBENCH_COUNTER_ADD("block/deepblocker/candidates", run.candidates.size());
   run.metrics = EvaluateBlocking(run.candidates, source.matches);
   return run;
 }
 
 BlockingRun DeepBlockerSim::TuneForRecall(const datagen::SourcePair& source,
                                           const TuneOptions& options) const {
+  RLBENCH_TRACE_SPAN("block/deepblocker/tune");
   size_t larger = std::max(source.d1.size(), source.d2.size());
   std::vector<int> attrs = {-1};
   if (larger <= options.per_attribute_limit) {
@@ -136,6 +142,7 @@ BlockingRun DeepBlockerSim::TuneForRecall(const datagen::SourcePair& source,
           auto candidates = MaterializeCandidates(ranked, k, index_d2);
           BlockingMetrics metrics =
               EvaluateBlocking(candidates, source.matches);
+          RLBENCH_COUNTER_INC("block/deepblocker/configs_tried");
           BlockerConfig config{attr, clean, index_d2, k};
           if (metrics.pair_completeness > best_fallback_pc) {
             best_fallback_pc = metrics.pair_completeness;

@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rlbench::block {
 
@@ -15,6 +17,8 @@ uint64_t Key(const CandidatePair& pair) {
 
 BlockingMetrics EvaluateBlocking(const std::vector<CandidatePair>& candidates,
                                  const std::vector<CandidatePair>& matches) {
+  RLBENCH_TRACE_SPAN("block/evaluate");
+  RLBENCH_COUNTER_ADD("block/evaluated_candidates", candidates.size());
   BlockingMetrics metrics;
   metrics.num_candidates = candidates.size();
   if (matches.empty()) return metrics;
@@ -39,6 +43,7 @@ BlockingMetrics EvaluateBlocking(const std::vector<CandidatePair>& candidates,
       ++metrics.true_candidates;
     }
   }
+  RLBENCH_COUNTER_ADD("block/true_candidates", metrics.true_candidates);
   RLBENCH_CHECK_LE(metrics.true_candidates, distinct_matches);
   metrics.pair_completeness = static_cast<double>(metrics.true_candidates) /
                               static_cast<double>(distinct_matches);

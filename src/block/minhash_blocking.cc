@@ -8,6 +8,8 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "text/tokenizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rlbench::block {
 
@@ -28,6 +30,7 @@ std::vector<uint64_t> MinHashSignature(const text::TokenSet& tokens,
 std::vector<CandidatePair> MinHashBlocking(const data::Table& d1,
                                            const data::Table& d2,
                                            const MinHashOptions& options) {
+  RLBENCH_TRACE_SPAN("block/minhash");
   RLBENCH_CHECK_LE(d1.size(), std::numeric_limits<uint32_t>::max());
   RLBENCH_CHECK_LE(d2.size(), std::numeric_limits<uint32_t>::max());
   size_t bands = std::max<size_t>(1, options.bands);
@@ -70,11 +73,13 @@ std::vector<CandidatePair> MinHashBlocking(const data::Table& d1,
         candidates.emplace_back(static_cast<uint32_t>(i), j);
         if (options.max_candidates > 0 &&
             candidates.size() >= options.max_candidates) {
+          RLBENCH_COUNTER_ADD("block/minhash/candidates", candidates.size());
           return candidates;
         }
       }
     }
   }
+  RLBENCH_COUNTER_ADD("block/minhash/candidates", candidates.size());
   return candidates;
 }
 

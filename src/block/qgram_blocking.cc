@@ -5,12 +5,15 @@
 
 #include "common/check.h"
 #include "text/qgrams.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rlbench::block {
 
 std::vector<CandidatePair> QGramBlocking(const data::Table& d1,
                                          const data::Table& d2,
                                          const QGramBlockingOptions& options) {
+  RLBENCH_TRACE_SPAN("block/qgram");
   RLBENCH_CHECK_LE(d1.size(), std::numeric_limits<uint32_t>::max());
   RLBENCH_CHECK_LE(d2.size(), std::numeric_limits<uint32_t>::max());
   RLBENCH_CHECK_GT(options.q, 0);
@@ -42,10 +45,12 @@ std::vector<CandidatePair> QGramBlocking(const data::Table& d1,
       candidates.emplace_back(static_cast<uint32_t>(i), j);
       if (options.max_candidates > 0 &&
           candidates.size() >= options.max_candidates) {
+        RLBENCH_COUNTER_ADD("block/qgram/candidates", candidates.size());
         return candidates;
       }
     }
   }
+  RLBENCH_COUNTER_ADD("block/qgram/candidates", candidates.size());
   return candidates;
 }
 

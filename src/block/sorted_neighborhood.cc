@@ -7,12 +7,15 @@
 #include "common/check.h"
 #include "common/strings.h"
 #include "text/tokenizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rlbench::block {
 
 std::vector<CandidatePair> SortedNeighborhoodBlocking(
     const data::Table& d1, const data::Table& d2,
     const SortedNeighborhoodOptions& options) {
+  RLBENCH_TRACE_SPAN("block/sorted_neighborhood");
   RLBENCH_CHECK_LE(d1.size(), std::numeric_limits<uint32_t>::max());
   RLBENCH_CHECK_LE(d2.size(), std::numeric_limits<uint32_t>::max());
   struct Entry {
@@ -55,6 +58,8 @@ std::vector<CandidatePair> SortedNeighborhoodBlocking(
       if (seen.insert(key).second) candidates.emplace_back(left, right);
     }
   }
+  RLBENCH_COUNTER_ADD("block/sorted_neighborhood/candidates",
+                      candidates.size());
   return candidates;
 }
 

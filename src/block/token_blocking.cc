@@ -7,12 +7,15 @@
 
 #include "common/check.h"
 #include "text/tokenizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rlbench::block {
 
 std::vector<CandidatePair> TokenBlocking(const data::Table& d1,
                                          const data::Table& d2,
                                          const TokenBlockingOptions& options) {
+  RLBENCH_TRACE_SPAN("block/token");
   // CandidatePair packs record ids into 32 bits each; larger tables would
   // silently truncate.
   RLBENCH_CHECK_LE(d1.size(), std::numeric_limits<uint32_t>::max());
@@ -43,11 +46,13 @@ std::vector<CandidatePair> TokenBlocking(const data::Table& d1,
         candidates.emplace_back(static_cast<uint32_t>(i), j);
         if (options.max_candidates > 0 &&
             candidates.size() >= options.max_candidates) {
+          RLBENCH_COUNTER_ADD("block/token/candidates", candidates.size());
           return candidates;
         }
       }
     }
   }
+  RLBENCH_COUNTER_ADD("block/token/candidates", candidates.size());
   return candidates;
 }
 

@@ -9,6 +9,8 @@
 #include <thread>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rlbench {
 
@@ -63,6 +65,14 @@ class ThreadPool {
 
   void Run(size_t num_chunks, const std::function<void(size_t)>& body) {
     if (num_chunks == 0) return;
+    // Counted before the inline/pooled dispatch so the exported totals are
+    // identical at every thread count (a "job" is a parallel region
+    // entered, whether it ran on workers or inline).
+    RLBENCH_COUNTER_INC("parallel/jobs");
+    RLBENCH_COUNTER_ADD("parallel/chunks", num_chunks);
+    RLBENCH_HISTOGRAM_RECORD("parallel/chunks_per_job",
+                             ::rlbench::obs::ExponentialBounds(1.0, 2.0, 13),
+                             num_chunks);
     if (tls_in_parallel_region) {  // nested: rejected from the pool
       RunInline(num_chunks, body);
       return;
@@ -84,6 +94,13 @@ class ThreadPool {
     Job job;
     job.num_chunks = num_chunks;
     job.body = &body;
+    // Label the per-chunk worker spans after whatever span is open on the
+    // calling thread, so pool work shows up nested under its logical
+    // parent in the trace (see docs/observability.md).
+    if (obs::TraceEnabled()) {
+      const char* label = obs::CurrentSpanName();
+      job.trace_label = label != nullptr ? label : "parallel";
+    }
     {
       std::lock_guard<std::mutex> lock(job_mutex_);
       job_ = &job;
@@ -109,6 +126,10 @@ class ThreadPool {
   struct Job {
     size_t num_chunks = 0;
     const std::function<void(size_t)>* body = nullptr;
+    // Span name for per-chunk trace events; points at the calling
+    // thread's open span, which outlives the job (Run() returns before
+    // the span closes). Null when tracing is off.
+    const char* trace_label = nullptr;
     std::atomic<size_t> next_chunk{0};
     // Workers currently executing chunks of this job (job_mutex_).
     size_t active_workers = 0;
@@ -122,7 +143,10 @@ class ThreadPool {
     stop_ = false;
     workers_.reserve(workers);
     for (size_t i = 0; i < workers; ++i) {
-      workers_.emplace_back([this] { WorkerLoop(); });
+      workers_.emplace_back([this, i] {
+        obs::SetCurrentThreadName("pool-worker-" + std::to_string(i));
+        WorkerLoop();
+      });
     }
   }
 
@@ -167,6 +191,12 @@ class ThreadPool {
       size_t chunk = job->next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= job->num_chunks) return;
       try {
+        // Pool-scheduled chunks only (inline/nested runs are not traced):
+        // each chunk becomes a span on this thread's track. Recording is
+        // observation-only, so results are unchanged by construction.
+        obs::TraceSpan span(
+            job->trace_label != nullptr ? job->trace_label : "parallel",
+            chunk);
         (*job->body)(chunk);
       } catch (...) {
         std::lock_guard<std::mutex> lock(job_mutex_);

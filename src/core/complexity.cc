@@ -1,4 +1,6 @@
 #include "core/complexity.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 #include <algorithm>
 #include <cmath>
@@ -185,6 +187,7 @@ struct NeighborInfo {
 };
 
 std::vector<NeighborInfo> ComputeNeighbors(const std::vector<Point>& points) {
+  RLBENCH_TRACE_SPAN("complexity/neighbors");
   std::vector<NeighborInfo> info(points.size());
   // Each index writes only info[i], so the parallel loop is bit-identical
   // to the serial one at any thread count.
@@ -208,6 +211,7 @@ std::vector<NeighborInfo> ComputeNeighbors(const std::vector<Point>& points) {
 
 /// Fraction of MST vertices incident to an inter-class edge (n1).
 double BorderlineN1(const std::vector<Point>& points) {
+  RLBENCH_TRACE_SPAN("complexity/n1");
   size_t n = points.size();
   if (n < 2) return 0.0;
   // Prim's algorithm with O(n^2) updates and on-the-fly distances.
@@ -250,6 +254,7 @@ double BorderlineN1(const std::vector<Point>& points) {
 
 double HypersphereT1(const std::vector<Point>& points,
                      const std::vector<NeighborInfo>& info) {
+  RLBENCH_TRACE_SPAN("complexity/t1");
   size_t n = points.size();
   // Radius of each hypersphere: distance to the nearest enemy.
   std::vector<size_t> order(n);
@@ -279,6 +284,7 @@ double HypersphereT1(const std::vector<Point>& points,
 
 double LocalSetLsc(const std::vector<Point>& points,
                    const std::vector<NeighborInfo>& info) {
+  RLBENCH_TRACE_SPAN("complexity/lsc");
   size_t n = points.size();
   // Local-set cardinalities are integers, so the chunked sum is exact —
   // identical to the serial loop at any grouping.
@@ -315,6 +321,7 @@ struct Network {
 };
 
 Network BuildNetwork(const std::vector<Point>& points, double epsilon) {
+  RLBENCH_TRACE_SPAN("complexity/network_build");
   Network net;
   net.n = points.size();
   size_t words = (net.n + 63) / 64;
@@ -350,6 +357,7 @@ double NetworkDensity(const Network& net) {
 }
 
 double ClusteringCoefficient(const Network& net) {
+  RLBENCH_TRACE_SPAN("complexity/cls");
   if (net.n == 0) return 1.0;
   size_t words = (net.n + 63) / 64;
   // Fixed chunk boundaries + ordered combine pin the floating-point
@@ -381,6 +389,7 @@ double ClusteringCoefficient(const Network& net) {
 }
 
 double HubScore(const Network& net) {
+  RLBENCH_TRACE_SPAN("complexity/hub");
   if (net.n == 0) return 1.0;
   // Eigenvector centrality by power iteration on the undirected graph.
   // Row-parallel gather: next[u] sums score over u's adjacency row in
@@ -425,6 +434,7 @@ ExcludedMeasures ComputeExcludedMeasures(
     const ComplexityOptions& options) {
   ExcludedMeasures out;
   if (input.empty()) return out;
+  RLBENCH_TRACE_SPAN("complexity/excluded");
   std::vector<Point> points =
       Subsample(input, options.max_points, options.seed);
   RLBENCH_CHECK(!points.empty());
@@ -569,10 +579,17 @@ ComplexityReport ComputeComplexity(const std::vector<FeaturePoint>& input,
                                    const ComplexityOptions& options) {
   ComplexityReport report;
   if (input.empty()) return report;
+  RLBENCH_TRACE_SPAN("complexity/compute");
+  RLBENCH_COUNTER_INC("complexity/reports");
+  RLBENCH_COUNTER_ADD("complexity/input_points", input.size());
   std::vector<Point> points =
       Subsample(input, options.max_points, options.seed);
   RLBENCH_CHECK(!points.empty());
   size_t n = points.size();
+  RLBENCH_COUNTER_ADD("complexity/sampled_points", n);
+  RLBENCH_HISTOGRAM_RECORD("complexity/sample_size",
+                           ::rlbench::obs::ExponentialBounds(16.0, 2.0, 12),
+                           n);
   double n_pos = 0.0;
   for (const auto& p : points) n_pos += p.label ? 1.0 : 0.0;
   double n_neg = static_cast<double>(n) - n_pos;
@@ -597,56 +614,66 @@ ComplexityReport ComputeComplexity(const std::vector<FeaturePoint>& input,
   report.c2 = 1.0 - 1.0 / imbalance;
 
   // Feature-based.
-  report.f1 = FisherF1(points);
-  report.f1v = FisherF1v(points);
-  report.f2 = VolumeOverlapF2(points);
-  report.f3 = FeatureEfficiencyF3(points);
+  {
+    RLBENCH_TRACE_SPAN("complexity/feature");
+    report.f1 = FisherF1(points);
+    report.f1v = FisherF1v(points);
+    report.f2 = VolumeOverlapF2(points);
+    report.f3 = FeatureEfficiencyF3(points);
+  }
 
   // Linearity: a linear SVM on the sampled points.
-  ml::Dataset dataset(2);
-  dataset.Reserve(n);
-  for (const auto& p : points) {
-    dataset.Add({static_cast<float>(p.x0), static_cast<float>(p.x1)},
-                p.label);
+  {
+    RLBENCH_TRACE_SPAN("complexity/linearity_svm");
+    ml::Dataset dataset(2);
+    dataset.Reserve(n);
+    for (const auto& p : points) {
+      dataset.Add({static_cast<float>(p.x0), static_cast<float>(p.x1)},
+                  p.label);
+    }
+    ml::LinearSvmOptions svm_options;
+    svm_options.seed = options.seed;
+    ml::LinearSvm svm(svm_options);
+    svm.Fit(dataset, dataset);
+    size_t errors = 0;
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      if (svm.Predict(dataset.row(i)) != dataset.label(i)) ++errors;
+    }
+    report.l2 = static_cast<double>(errors) / static_cast<double>(n);
+    double hinge = svm.MeanHingeLoss(dataset);
+    report.l1 = hinge / (1.0 + hinge);
   }
-  ml::LinearSvmOptions svm_options;
-  svm_options.seed = options.seed;
-  ml::LinearSvm svm(svm_options);
-  svm.Fit(dataset, dataset);
-  size_t errors = 0;
-  for (size_t i = 0; i < dataset.size(); ++i) {
-    if (svm.Predict(dataset.row(i)) != dataset.label(i)) ++errors;
-  }
-  report.l2 = static_cast<double>(errors) / static_cast<double>(n);
-  double hinge = svm.MeanHingeLoss(dataset);
-  report.l1 = hinge / (1.0 + hinge);
 
   // Neighbourhood.
   auto info = ComputeNeighbors(points);
   report.n1 = BorderlineN1(points);
-  double intra = 0.0;
-  double extra = 0.0;
-  size_t nn_errors = 0;
-  for (size_t i = 0; i < n; ++i) {
-    // A point whose class has a single member in the sample has no
-    // same-class neighbour (nearest_same stays +inf); summing it would turn
-    // the intra/extra ratio into NaN. Skip such points.
-    if (std::isfinite(info[i].nearest_same)) intra += info[i].nearest_same;
-    extra += info[i].nearest_enemy;
-    RLBENCH_DCHECK_INDEX(info[i].nearest_any_index, n);
-    if (points[info[i].nearest_any_index].label != points[i].label) {
-      ++nn_errors;
+  {
+    RLBENCH_TRACE_SPAN("complexity/n2");
+    double intra = 0.0;
+    double extra = 0.0;
+    size_t nn_errors = 0;
+    for (size_t i = 0; i < n; ++i) {
+      // A point whose class has a single member in the sample has no
+      // same-class neighbour (nearest_same stays +inf); summing it would
+      // turn the intra/extra ratio into NaN. Skip such points.
+      if (std::isfinite(info[i].nearest_same)) intra += info[i].nearest_same;
+      extra += info[i].nearest_enemy;
+      RLBENCH_DCHECK_INDEX(info[i].nearest_any_index, n);
+      if (points[info[i].nearest_any_index].label != points[i].label) {
+        ++nn_errors;
+      }
     }
+    double ratio = extra > 1e-12 ? intra / extra : 0.0;
+    report.n2 = ratio / (1.0 + ratio);
+    report.n3 = static_cast<double>(nn_errors) / static_cast<double>(n);
   }
-  double ratio = extra > 1e-12 ? intra / extra : 0.0;
-  report.n2 = ratio / (1.0 + ratio);
-  report.n3 = static_cast<double>(nn_errors) / static_cast<double>(n);
 
   // n4: 1-NN error on within-class interpolated points. Trials are chunked
   // with one split RNG stream per chunk (SplitSeed), so each trial draws
   // the same interpolants at any thread count; the error tally is an
   // integer sum and combines exactly.
   {
+    RLBENCH_TRACE_SPAN("complexity/n4");
     std::vector<size_t> pos_idx;
     std::vector<size_t> neg_idx;
     for (size_t i = 0; i < n; ++i) {

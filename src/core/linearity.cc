@@ -2,6 +2,8 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ml/metrics.h"
 #include "text/similarity.h"
 
@@ -15,7 +17,9 @@ constexpr size_t kPairGrain = 512;
 
 std::vector<FeaturePoint> PairFeaturePoints(
     const matchers::MatchingContext& context) {
+  RLBENCH_TRACE_SPAN("linearity/pair_features");
   auto all = context.task().AllPairs();
+  RLBENCH_COUNTER_ADD("linearity/pairs_scored", all.size());
   std::vector<FeaturePoint> points(all.size());
   // The MatchingContext constructor warmed every token slot, so the caches
   // freeze for the duration of the concurrent scoring pass.
@@ -36,6 +40,7 @@ std::vector<FeaturePoint> PairFeaturePoints(
 
 std::vector<LinearityResult> ComputeLinearityPerAttribute(
     const matchers::MatchingContext& context) {
+  RLBENCH_TRACE_SPAN("linearity/per_attribute");
   size_t num_attrs = context.task().left().schema().num_attributes();
   auto all = context.task().AllPairs();
   std::vector<uint8_t> labels;
@@ -66,6 +71,7 @@ std::vector<LinearityResult> ComputeLinearityPerAttribute(
 }
 
 LinearityResult ComputeLinearity(const matchers::MatchingContext& context) {
+  RLBENCH_TRACE_SPAN("linearity/compute");
   auto points = PairFeaturePoints(context);
   std::vector<double> cosine(points.size());
   std::vector<double> jaccard(points.size());

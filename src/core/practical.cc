@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rlbench::core {
 
@@ -36,7 +38,12 @@ std::vector<MatcherScore> ScoreLineup(
     MatcherScore score;
     score.name = entry.matcher->name();
     score.group = entry.group;
+    // Span named after the matcher so lineup sweeps read directly off the
+    // trace; the label string outlives the span (required by TraceSpan).
+    std::string span_name = "matcher/" + score.name;
+    RLBENCH_TRACE_SPAN(span_name.c_str());
     score.f1 = entry.matcher->TestF1(context);
+    RLBENCH_COUNTER_INC("matchers/scored");
     scores.push_back(std::move(score));
   }
   return scores;

@@ -2,6 +2,8 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rlbench::data {
 
@@ -27,7 +29,10 @@ const std::vector<std::string>& RecordFeatureCache::Tokens(
   Entry& e = entry(record);
   if (!e.tokens) {
     RLBENCH_DCHECK(!frozen_);  // frozen-phase miss: warm-up was incomplete
+    RLBENCH_COUNTER_INC("feature_cache/misses");
     e.tokens = text::TokenizeAll(table_->record(record).values);
+  } else {
+    RLBENCH_COUNTER_INC("feature_cache/hits");
   }
   return *e.tokens;
 }
@@ -36,7 +41,10 @@ const text::TokenSet& RecordFeatureCache::TokenSetAll(size_t record) const {
   Entry& e = entry(record);
   if (!e.token_set_all) {
     RLBENCH_DCHECK(!frozen_);
+    RLBENCH_COUNTER_INC("feature_cache/misses");
     e.token_set_all = text::TokenSet(Tokens(record));
+  } else {
+    RLBENCH_COUNTER_INC("feature_cache/hits");
   }
   return *e.token_set_all;
 }
@@ -46,7 +54,10 @@ const text::TokenSet& RecordFeatureCache::TokenSetAttr(size_t record,
   Entry& e = entry(record);
   if (!e.token_set_attr[attr]) {
     RLBENCH_DCHECK(!frozen_);
+    RLBENCH_COUNTER_INC("feature_cache/misses");
     e.token_set_attr[attr] = text::TokenSet(TokensAttr(record, attr));
+  } else {
+    RLBENCH_COUNTER_INC("feature_cache/hits");
   }
   return *e.token_set_attr[attr];
 }
@@ -56,7 +67,10 @@ const std::vector<std::string>& RecordFeatureCache::TokensAttr(
   Entry& e = entry(record);
   if (!e.tokens_attr[attr]) {
     RLBENCH_DCHECK(!frozen_);
+    RLBENCH_COUNTER_INC("feature_cache/misses");
     e.tokens_attr[attr] = text::Tokenize(table_->record(record).values[attr]);
+  } else {
+    RLBENCH_COUNTER_INC("feature_cache/hits");
   }
   return *e.tokens_attr[attr];
 }
@@ -67,9 +81,12 @@ const text::TokenSet& RecordFeatureCache::QGramSetAll(size_t record,
   auto& slot = e.qgrams_all[q - kMinQ];
   if (!slot) {
     RLBENCH_DCHECK(!frozen_);
+    RLBENCH_COUNTER_INC("feature_cache/misses");
     std::string text = table_->record(record).ConcatenatedValues();
     if (text.size() > kQGramCharCap) text.resize(kQGramCharCap);
     slot = text::QGramSet(text, q);
+  } else {
+    RLBENCH_COUNTER_INC("feature_cache/hits");
   }
   return *slot;
 }
@@ -81,8 +98,11 @@ const text::TokenSet& RecordFeatureCache::QGramSetAttr(size_t record,
   auto& slot = e.qgrams_attr[attr * kNumQ + (q - kMinQ)];
   if (!slot) {
     RLBENCH_DCHECK(!frozen_);
+    RLBENCH_COUNTER_INC("feature_cache/misses");
     std::string_view text = table_->record(record).values[attr];
     slot = text::QGramSet(text.substr(0, kQGramCharCap), q);
+  } else {
+    RLBENCH_COUNTER_INC("feature_cache/hits");
   }
   return *slot;
 }
@@ -120,12 +140,18 @@ void RecordFeatureCache::FillQGramSlots(Entry& e, size_t record) const {
 
 void RecordFeatureCache::WarmTokens() const {
   RLBENCH_CHECK_MSG(!frozen_, "WarmTokens on a frozen RecordFeatureCache");
+  RLBENCH_TRACE_SPAN("feature_cache/warm_tokens");
+  RLBENCH_COUNTER_ADD("feature_cache/warmed_token_records", entries_.size());
+  RLBENCH_GAUGE_OBSERVE("feature_cache/entries", entries_.size());
   ParallelFor(0, entries_.size(), kWarmGrain,
               [this](size_t record) { FillTokenSlots(entry(record), record); });
 }
 
 void RecordFeatureCache::WarmQGrams() const {
   RLBENCH_CHECK_MSG(!frozen_, "WarmQGrams on a frozen RecordFeatureCache");
+  RLBENCH_TRACE_SPAN("feature_cache/warm_qgrams");
+  RLBENCH_COUNTER_ADD("feature_cache/warmed_qgram_records", entries_.size());
+  RLBENCH_GAUGE_OBSERVE("feature_cache/entries", entries_.size());
   ParallelFor(0, entries_.size(), kWarmGrain,
               [this](size_t record) { FillQGramSlots(entry(record), record); });
 }

@@ -4,16 +4,23 @@
 
 #include "common/check.h"
 #include "matchers/features.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rlbench::matchers {
 
 MatchingContext::MatchingContext(const data::MatchingTask* task)
     : task_(task), left_(&task->left()), right_(&task->right()) {
+  RLBENCH_TRACE_SPAN("context/build");
   // Tokenisation dominates construction; warm it in parallel (disjoint
   // per-record slots), then feed the corpus model serially so document
   // order — and the resulting IDF table — stays exactly as before.
-  left_.WarmTokens();
-  right_.WarmTokens();
+  {
+    RLBENCH_TRACE_SPAN("context/warm_tokens");
+    left_.WarmTokens();
+    right_.WarmTokens();
+  }
+  RLBENCH_TRACE_SPAN("context/tfidf");
   for (size_t i = 0; i < task->left().size(); ++i) {
     tfidf_.AddDocument(left_.Tokens(i));
   }
@@ -25,6 +32,7 @@ MatchingContext::MatchingContext(const data::MatchingTask* task)
 
 void MatchingContext::EnsureMagellan() const {
   if (magellan_train_) return;
+  RLBENCH_TRACE_SPAN("context/magellan_features");
   size_t dim = task_->left().schema().num_attributes() *
                kMagellanFeaturesPerAttr;
   // Two-phase cache contract: the constructor warmed every token-derived
@@ -44,6 +52,9 @@ void MatchingContext::EnsureMagellan() const {
   magellan_train_ = build(task_->train());
   magellan_valid_ = build(task_->valid());
   magellan_test_ = build(task_->test());
+  RLBENCH_COUNTER_ADD("matchers/magellan/feature_rows",
+                      task_->train().size() + task_->valid().size() +
+                          task_->test().size());
   // Later consumers (the q-gram ESDE variants) still fill q-gram slots
   // lazily from serial code, so return the caches to the warm-up phase.
   left_.Thaw();

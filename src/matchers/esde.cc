@@ -4,6 +4,8 @@
 
 #include "common/parallel.h"
 #include "ml/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/similarity.h"
 
 namespace rlbench::matchers {
@@ -119,6 +121,7 @@ double EsdeMatcher::SingleFeature(const MatchingContext& context,
 }
 
 void EsdeMatcher::WarmCaches(const MatchingContext& context) {
+  RLBENCH_TRACE_SPAN("esde/warm");
   switch (variant_) {
     case EsdeVariant::kSchemaAgnostic:
     case EsdeVariant::kSchemaBased:
@@ -162,6 +165,8 @@ void EsdeMatcher::WarmCaches(const MatchingContext& context) {
 }
 
 std::vector<uint8_t> EsdeMatcher::Run(const MatchingContext& context) {
+  RLBENCH_TRACE_SPAN("esde/run");
+  RLBENCH_COUNTER_INC("matchers/esde/runs");
   const auto& task = context.task();
   size_t dim = EsdeFeatureCount(
       variant_, task.left().schema().num_attributes());
@@ -177,24 +182,30 @@ std::vector<uint8_t> EsdeMatcher::Run(const MatchingContext& context) {
   // --- Training phase: best threshold per feature on the training set.
   const auto& train = task.train();
   std::vector<std::vector<double>> train_rows(train.size());
-  ParallelFor(0, train.size(), kPairGrain, [&](size_t i) {
-    train_rows[i] = Features(context, train[i]);
-  });
-  std::vector<uint8_t> train_labels(train.size());
-  for (size_t i = 0; i < train.size(); ++i) {
-    train_labels[i] = train[i].is_match ? 1 : 0;
-  }
   std::vector<double> thresholds(dim, 0.5);
-  // One independent sweep per feature; each writes only thresholds[f].
-  ParallelFor(0, dim, 1, [&](size_t f) {
-    std::vector<double> column(train.size());
-    for (size_t i = 0; i < train.size(); ++i) column[i] = train_rows[i][f];
-    thresholds[f] = ml::SweepThresholds(column, train_labels).best_threshold;
-  });
+  {
+    RLBENCH_TRACE_SPAN("esde/train");
+    RLBENCH_COUNTER_ADD("matchers/esde/pairs_featurized", train.size());
+    ParallelFor(0, train.size(), kPairGrain, [&](size_t i) {
+      train_rows[i] = Features(context, train[i]);
+    });
+    std::vector<uint8_t> train_labels(train.size());
+    for (size_t i = 0; i < train.size(); ++i) {
+      train_labels[i] = train[i].is_match ? 1 : 0;
+    }
+    // One independent sweep per feature; each writes only thresholds[f].
+    ParallelFor(0, dim, 1, [&](size_t f) {
+      std::vector<double> column(train.size());
+      for (size_t i = 0; i < train.size(); ++i) column[i] = train_rows[i][f];
+      thresholds[f] = ml::SweepThresholds(column, train_labels).best_threshold;
+    });
+  }
 
   // --- Validation phase: pick the feature whose (feature, threshold) rule
   // scores best on the validation set.
   const auto& valid = task.valid();
+  RLBENCH_TRACE_SPAN("esde/valid_and_test");
+  RLBENCH_COUNTER_ADD("matchers/esde/pairs_featurized", valid.size());
   std::vector<std::vector<double>> valid_rows(valid.size());
   ParallelFor(0, valid.size(), kPairGrain, [&](size_t i) {
     valid_rows[i] = Features(context, valid[i]);
@@ -226,6 +237,7 @@ std::vector<uint8_t> EsdeMatcher::Run(const MatchingContext& context) {
 
   // --- Testing phase: apply the selected rule.
   const auto& test = task.test();
+  RLBENCH_COUNTER_ADD("matchers/esde/pairs_featurized", test.size());
   std::vector<uint8_t> predictions(test.size());
   ParallelFor(0, test.size(), kPairGrain, [&](size_t i) {
     double score = SingleFeature(context, test[i], best_feature_);

@@ -6,6 +6,8 @@
 #include "ml/linear_svm.h"
 #include "ml/logistic_regression.h"
 #include "ml/random_forest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rlbench::matchers {
 
@@ -51,7 +53,12 @@ std::vector<uint8_t> MagellanMatcher::Run(const MatchingContext& context) {
       break;
     }
   }
-  model->Fit(context.MagellanTrain(), context.MagellanValid());
+  RLBENCH_COUNTER_INC("matchers/magellan/runs");
+  {
+    RLBENCH_TRACE_SPAN("magellan/fit");
+    model->Fit(context.MagellanTrain(), context.MagellanValid());
+  }
+  RLBENCH_TRACE_SPAN("magellan/predict");
   return model->PredictAll(context.MagellanTest());
 }
 

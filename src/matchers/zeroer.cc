@@ -3,6 +3,8 @@
 #include <span>
 
 #include "matchers/features.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rlbench::matchers {
 
@@ -27,6 +29,8 @@ std::vector<float> SelectFeatures(std::span<const float> magellan_row) {
 }  // namespace
 
 std::vector<uint8_t> ZeroErMatcher::Run(const MatchingContext& context) {
+  RLBENCH_TRACE_SPAN("zeroer/run");
+  RLBENCH_COUNTER_INC("matchers/zeroer/runs");
   // Pool all candidate pairs' features; labels carried by the datasets are
   // never read by the mixture model.
   const ml::Dataset& train = context.MagellanTrain();
@@ -44,8 +48,12 @@ std::vector<uint8_t> ZeroErMatcher::Run(const MatchingContext& context) {
   }
 
   ml::GaussianMixtureMatcher gmm(options_.gmm);
-  gmm.Fit(all);
+  {
+    RLBENCH_TRACE_SPAN("zeroer/fit");
+    gmm.Fit(all);
+  }
 
+  RLBENCH_TRACE_SPAN("zeroer/predict");
   std::vector<uint8_t> predictions;
   predictions.reserve(test.size());
   for (size_t i = 0; i < test.size(); ++i) {

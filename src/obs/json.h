@@ -1,0 +1,43 @@
+// Minimal JSON emission + syntax validation for the observability layer.
+//
+// The obs subsystem writes two machine-readable artefacts — Chrome
+// trace-event files and per-bench run manifests — and both must be valid
+// JSON without pulling a parser dependency into the repo. This header
+// provides the three escaping/formatting helpers the writers share, plus
+// a strict syntax checker used by the tests (and by validate_manifest.py
+// on the Python side) to prove round-trip loadability.
+#ifndef RLBENCH_SRC_OBS_JSON_H_
+#define RLBENCH_SRC_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace rlbench::obs {
+
+/// \brief `text` with JSON string escapes applied (no surrounding quotes).
+///
+/// Escapes `"` `\` and control characters (the latter as \u00XX); all
+/// other bytes pass through untouched, so valid UTF-8 stays valid.
+std::string JsonEscape(std::string_view text);
+
+/// \brief `text` as a quoted JSON string literal.
+std::string JsonString(std::string_view text);
+
+/// \brief `value` as a JSON number token.
+///
+/// Finite values round-trip through %.17g (shortest form readable back
+/// bit-exactly by strtod); NaN and infinities — which JSON cannot
+/// represent — become `null`.
+std::string JsonNumber(double value);
+
+/// \brief True iff `text` is one syntactically complete JSON value.
+///
+/// A recursive-descent checker: objects, arrays, strings (with escape
+/// validation), numbers, true/false/null, arbitrary whitespace. It does
+/// not build a DOM and enforces no semantic schema — callers layer their
+/// own key checks on top.
+bool JsonSyntaxValid(std::string_view text);
+
+}  // namespace rlbench::obs
+
+#endif  // RLBENCH_SRC_OBS_JSON_H_

@@ -1,0 +1,127 @@
+// Machine-readable run manifests for the bench harnesses.
+//
+// Every bench binary records what it ran (git revision, seed, thread
+// count, dataset ids, flag values), how long each phase took, and — when
+// RLBENCH_METRICS is on — a snapshot of every registered counter, gauge,
+// and histogram. The result is written beside the printed table as
+// `bench_results/<name>.manifest.json` so downstream tooling
+// (tools/validate_manifest.py, plotting scripts, CI) can consume runs
+// without scraping stdout.
+//
+// Manifest schema (schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "bench": "<name>",
+//     "git": "<git describe --always --dirty, or 'unknown'>",
+//     "threads": N, "hardware_concurrency": N,
+//     "seed": N,                     // only when set
+//     "datasets": ["Ds1", ...],
+//     "config": {"flag": "value", ...},
+//     "phases": [{"name": "...", "seconds": S}, ...],
+//     "total_seconds": S,
+//     "trace_file": "path",          // only when tracing
+//     "counters": {"name": N, ...},          // only with RLBENCH_METRICS
+//     "gauges": {"name": V, ...},
+//     "histograms": {"name": {"count": N, "sum": S, "min": V, "max": V,
+//                             "p50": V, "p90": V, "p99": V}, ...}
+//   }
+#ifndef RLBENCH_SRC_OBS_MANIFEST_H_
+#define RLBENCH_SRC_OBS_MANIFEST_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace rlbench::obs {
+
+/// \brief Mutable record of one bench run; serialised by ToJson().
+/// Not thread-safe — benches drive it from the main thread only.
+class RunManifest {
+ public:
+  explicit RunManifest(std::string bench_name);
+  ~RunManifest();
+
+  const std::string& name() const { return name_; }
+
+  void set_threads(size_t threads) { threads_ = threads; }
+  void set_hardware_concurrency(size_t n) { hardware_concurrency_ = n; }
+  void set_seed(uint64_t seed) {
+    seed_ = seed;
+    has_seed_ = true;
+  }
+  void set_trace_file(std::string path) { trace_file_ = std::move(path); }
+  void SetDatasets(std::vector<std::string> ids) { datasets_ = std::move(ids); }
+  void AddDataset(const std::string& id) { datasets_.push_back(id); }
+
+  void AddConfig(const std::string& key, const std::string& value);
+  void AddConfig(const std::string& key, double value);
+  void AddConfig(const std::string& key, int64_t value);
+
+  /// Phases nest (stack discipline); serialised in begin order. Each open
+  /// phase also holds a matching trace span, so manifests and traces tell
+  /// the same story. Prefer the ManifestPhase RAII wrapper when a scope is
+  /// natural; call these directly to bracket a statement run.
+  void BeginPhase(const std::string& phase_name);
+  void EndPhase();
+
+  /// Wall seconds since construction; after Finalize(), the frozen value.
+  double TotalSeconds() const;
+
+  /// Freezes TotalSeconds() at the current elapsed time, so every later
+  /// consumer (printed epilogue, ToJson) reports the same number.
+  void Finalize();
+
+  std::string ToJson() const;
+
+  /// Writes `<dir>/<name>.manifest.json`; returns the path, or "" on I/O
+  /// failure (reported to stderr).
+  std::string WriteFile(const std::string& dir) const;
+
+ private:
+  struct Phase {
+    std::string name;
+    double seconds = 0.0;
+    bool open = true;
+  };
+  struct PhaseSpan;  // owns the phase name copy backing its trace span
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  double frozen_total_ = -1.0;  // < 0 = not frozen
+  size_t threads_ = 0;
+  size_t hardware_concurrency_ = 0;
+  uint64_t seed_ = 0;
+  bool has_seed_ = false;
+  std::string trace_file_;
+  std::vector<std::string> datasets_;
+  std::vector<std::pair<std::string, std::string>> config_;  // pre-serialised
+  std::vector<Phase> phases_;
+  std::vector<size_t> phase_stack_;  // indices into phases_
+  std::vector<std::chrono::steady_clock::time_point> phase_starts_;
+  std::vector<std::unique_ptr<PhaseSpan>> phase_spans_;  // open phases only
+};
+
+/// \brief RAII wrapper over BeginPhase/EndPhase for scope-shaped phases.
+class ManifestPhase {
+ public:
+  ManifestPhase(RunManifest* manifest, const std::string& phase_name)
+      : manifest_(manifest) {
+    manifest_->BeginPhase(phase_name);
+  }
+  ~ManifestPhase() { manifest_->EndPhase(); }
+
+  ManifestPhase(const ManifestPhase&) = delete;
+  ManifestPhase& operator=(const ManifestPhase&) = delete;
+
+ private:
+  RunManifest* manifest_;
+};
+
+}  // namespace rlbench::obs
+
+#endif  // RLBENCH_SRC_OBS_MANIFEST_H_

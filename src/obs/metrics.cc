@@ -1,0 +1,351 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <mutex>
+
+namespace rlbench::obs {
+
+namespace internal {
+
+std::atomic<int> g_metrics_state{0};
+
+int ResolveMetricsState() {
+  // Racing first callers all compute the same answer from the same
+  // environment; last store wins harmlessly.
+  const char* env = std::getenv("RLBENCH_METRICS");
+  int state = (env != nullptr && env[0] != '\0' && env[0] != '0') ? 2 : 1;
+  g_metrics_state.store(state, std::memory_order_relaxed);
+  return state;
+}
+
+size_t ThreadOrdinal() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+namespace {
+
+// Lock-free max-merge on an atomic<double> via CAS. Relaxed ordering is
+// fine: the value is only read after all recording threads are quiescent.
+void AtomicMax(std::atomic<double>* slot, double value) {
+  double current = slot->load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* slot, double value) {
+  double current = slot->load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicAdd(std::atomic<double>* slot, double value) {
+  double current = slot->load(std::memory_order_relaxed);
+  while (!slot->compare_exchange_weak(current, current + value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+}  // namespace internal
+
+// --- Counter --------------------------------------------------------------
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (auto& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- Gauge ----------------------------------------------------------------
+
+void Gauge::Observe(double value) {
+  auto& shard = shards_[internal::ThreadOrdinal() % internal::kMetricShards];
+  uint64_t seen = shard.count.fetch_add(1, std::memory_order_relaxed);
+  if (seen == 0) {
+    // First observation on this shard: the stored 0.0 is a placeholder,
+    // not data, so seed it unconditionally before the max-merge. A racing
+    // second observer may interleave, but both then funnel through
+    // AtomicMax, so the final value is still the true maximum.
+    double expected = 0.0;
+    if (!shard.max.compare_exchange_strong(expected, value,
+                                           std::memory_order_relaxed)) {
+      internal::AtomicMax(&shard.max, value);
+    }
+  } else {
+    internal::AtomicMax(&shard.max, value);
+  }
+}
+
+double Gauge::Value() const {
+  double best = 0.0;
+  bool any = false;
+  for (const auto& shard : shards_) {
+    if (shard.count.load(std::memory_order_relaxed) == 0) continue;
+    double v = shard.max.load(std::memory_order_relaxed);
+    best = any ? std::max(best, v) : v;
+    any = true;
+  }
+  return any ? best : 0.0;
+}
+
+uint64_t Gauge::ObservationCount() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::Reset() {
+  for (auto& shard : shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.max.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+// --- Histogram ------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  size_t buckets = bounds_.size() + 1;  // + overflow
+  row_ = (buckets + 7) / 8 * 8;         // pad rows to a 64-byte boundary
+  counts_.reset(new std::atomic<uint64_t>[internal::kMetricShards * row_]());
+  for (auto& stat : stats_) {
+    stat.min.store(std::numeric_limits<double>::infinity(),
+                   std::memory_order_relaxed);
+    stat.max.store(-std::numeric_limits<double>::infinity(),
+                   std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Record(double value) {
+  size_t shard = internal::ThreadOrdinal() % internal::kMetricShards;
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  counts_[shard * row_ + bucket].fetch_add(1, std::memory_order_relaxed);
+  auto& stat = stats_[shard];
+  stat.total.fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicAdd(&stat.sum, value);
+  internal::AtomicMin(&stat.min, value);
+  internal::AtomicMax(&stat.max, value);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& stat : stats_) {
+    total += stat.total.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  // Shard partials are added in fixed shard order, so the floating-point
+  // grouping is stable for a given event→shard assignment. Integer-valued
+  // samples (the common case: sizes, counts) are exact regardless.
+  double total = 0.0;
+  for (const auto& stat : stats_) {
+    if (stat.total.load(std::memory_order_relaxed) == 0) continue;
+    total += stat.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Min() const {
+  double best = std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& stat : stats_) {
+    if (stat.total.load(std::memory_order_relaxed) == 0) continue;
+    best = std::min(best, stat.min.load(std::memory_order_relaxed));
+    any = true;
+  }
+  return any ? best : 0.0;
+}
+
+double Histogram::Max() const {
+  double best = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& stat : stats_) {
+    if (stat.total.load(std::memory_order_relaxed) == 0) continue;
+    best = std::max(best, stat.max.load(std::memory_order_relaxed));
+    any = true;
+  }
+  return any ? best : 0.0;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> merged(bounds_.size() + 1, 0);
+  for (size_t shard = 0; shard < internal::kMetricShards; ++shard) {
+    for (size_t b = 0; b < merged.size(); ++b) {
+      merged[b] += counts_[shard * row_ + b].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+double Histogram::Percentile(double p) const {
+  std::vector<uint64_t> merged = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : merged) total += c;
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the target sample, 1-based: p=0 → first, p=1 → last.
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < merged.size(); ++b) {
+    cumulative += merged[b];
+    if (cumulative >= rank) {
+      return b < bounds_.size() ? bounds_[b] : Max();
+    }
+  }
+  return Max();  // unreachable
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i < internal::kMetricShards * row_; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  for (auto& stat : stats_) {
+    stat.total.store(0, std::memory_order_relaxed);
+    stat.sum.store(0.0, std::memory_order_relaxed);
+    stat.min.store(std::numeric_limits<double>::infinity(),
+                   std::memory_order_relaxed);
+    stat.max.store(-std::numeric_limits<double>::infinity(),
+                   std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> ExponentialBounds(double lo, double factor, size_t n) {
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double bound = lo;
+  for (size_t i = 0; i < n; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LinearBounds(double lo, double hi, size_t n) {
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double t = n == 1 ? 1.0 : static_cast<double>(i) / (n - 1);
+    bounds.push_back(lo + (hi - lo) * t);
+  }
+  return bounds;
+}
+
+// --- Registry -------------------------------------------------------------
+
+struct Metrics::Impl {
+  std::mutex mutex;
+  // std::map keeps iteration sorted by name, which makes every export
+  // deterministic without a sort at snapshot time. Metric objects are
+  // owned here and never erased, so references handed out stay valid.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Metrics& Metrics::Instance() {
+  static Metrics* instance = new Metrics();  // leaked: alive at exit
+  return *instance;
+}
+
+Metrics::Impl& Metrics::impl() const {
+  static Impl* impl = new Impl();  // leaked alongside the registry
+  return *impl;
+}
+
+Counter& Metrics::GetCounter(const std::string& name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto& slot = state.counters[name];
+  if (!slot) slot.reset(new Counter());
+  return *slot;
+}
+
+Gauge& Metrics::GetGauge(const std::string& name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto& slot = state.gauges[name];
+  if (!slot) slot.reset(new Gauge());
+  return *slot;
+}
+
+Histogram& Metrics::GetHistogram(const std::string& name,
+                                 std::vector<double> bounds) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto& slot = state.histograms[name];
+  if (!slot) slot.reset(new Histogram(std::move(bounds)));
+  return *slot;
+}
+
+void Metrics::SetEnabled(bool enabled) {
+  internal::g_metrics_state.store(enabled ? 2 : 1, std::memory_order_relaxed);
+}
+
+void Metrics::ResetAll() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (auto& entry : state.counters) entry.second->Reset();
+  for (auto& entry : state.gauges) entry.second->Reset();
+  for (auto& entry : state.histograms) entry.second->Reset();
+}
+
+std::vector<std::pair<std::string, const Counter*>> Metrics::Counters() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(state.counters.size());
+  for (const auto& entry : state.counters) {
+    out.emplace_back(entry.first, entry.second.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Gauge*>> Metrics::Gauges() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::vector<std::pair<std::string, const Gauge*>> out;
+  out.reserve(state.gauges.size());
+  for (const auto& entry : state.gauges) {
+    out.emplace_back(entry.first, entry.second.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>> Metrics::Histograms()
+    const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(state.histograms.size());
+  for (const auto& entry : state.histograms) {
+    out.emplace_back(entry.first, entry.second.get());
+  }
+  return out;
+}
+
+}  // namespace rlbench::obs

@@ -1,0 +1,221 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms with lock-free per-thread shards.
+//
+// Design constraints, in order:
+//   1. Determinism — recording a metric may never change what the
+//      instrumented code computes, and exported values must not depend on
+//      the thread count. Counters/histograms merge by integer summation
+//      (order-free); gauges merge by max (order-free); so any shard→thread
+//      assignment yields the same export.
+//   2. Near-zero cost when disabled — every RLBENCH_* macro is a single
+//      relaxed atomic load on the off path; no registry lookup, no
+//      allocation.
+//   3. Race-freedom when enabled — hot-path updates are relaxed atomic
+//      RMWs on cache-line-padded shards; registration takes a mutex once
+//      per call site (cached in a function-local static).
+//
+// Enable with RLBENCH_METRICS=1 in the environment, or programmatically
+// via Metrics::SetEnabled(true) (tests, micro_parallel). Export via
+// Metrics snapshots — see manifest.h for the JSON embedding.
+#ifndef RLBENCH_SRC_OBS_METRICS_H_
+#define RLBENCH_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rlbench::obs {
+
+namespace internal {
+
+// Shard count: a power of two comfortably above any realistic pool size so
+// concurrent threads rarely collide on a cache line. Threads hash to a
+// shard by a monotonically assigned thread ordinal mod kMetricShards;
+// collisions are correct (atomic RMW), just slower.
+inline constexpr size_t kMetricShards = 64;
+
+struct alignas(64) CounterShard {
+  std::atomic<uint64_t> value{0};
+};
+
+struct alignas(64) GaugeShard {
+  std::atomic<uint64_t> count{0};
+  std::atomic<double> max{0.0};
+};
+
+// Tri-state so MetricsEnabled() is one relaxed load after first resolution:
+// 0 = unresolved (consult RLBENCH_METRICS), 1 = off, 2 = on.
+extern std::atomic<int> g_metrics_state;
+int ResolveMetricsState();
+
+/// \brief Stable small ordinal for the calling thread (used mod kMetricShards).
+size_t ThreadOrdinal();
+
+}  // namespace internal
+
+/// \brief True iff metric recording is currently enabled.
+inline bool MetricsEnabled() {
+  int state = internal::g_metrics_state.load(std::memory_order_relaxed);
+  if (state == 0) state = internal::ResolveMetricsState();
+  return state == 2;
+}
+
+/// \brief Monotonic event counter. Add() is lock-free; Value() merges the
+/// shards by summation, so the total is thread-count invariant.
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    shards_[internal::ThreadOrdinal() % internal::kMetricShards].value
+        .fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  uint64_t Value() const;
+  void Reset();
+
+ private:
+  friend class Metrics;
+  Counter() = default;
+  internal::CounterShard shards_[internal::kMetricShards];
+};
+
+/// \brief Max-merge gauge: records the largest value observed. Max is
+/// commutative and associative, so the export is deterministic no matter
+/// which thread observed what.
+class Gauge {
+ public:
+  void Observe(double value);
+
+  /// Largest observed value, or 0.0 if nothing was ever observed.
+  double Value() const;
+  uint64_t ObservationCount() const;
+  void Reset();
+
+ private:
+  friend class Metrics;
+  Gauge() = default;
+  internal::GaugeShard shards_[internal::kMetricShards];
+};
+
+/// \brief Fixed-bucket histogram. Bucket upper bounds are set at first
+/// registration and never change; sample `v` lands in the first bucket
+/// with `v <= bound`, or the overflow bucket past the last bound. Counts
+/// merge by summation; min/max merge by min/max — all order-free.
+class Histogram {
+ public:
+  void Record(double value);
+
+  uint64_t Count() const;
+  double Sum() const;
+  double Min() const;  ///< 0.0 when empty.
+  double Max() const;  ///< 0.0 when empty.
+
+  /// Merged per-bucket counts; size() == bounds().size() + 1, the last
+  /// entry being the overflow bucket.
+  std::vector<uint64_t> BucketCounts() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// \brief Upper bound of the bucket holding the `p`-quantile sample
+  /// (`p` in [0, 1]); the overflow bucket reports the exact observed Max().
+  /// Empty histograms report 0.0.
+  double Percentile(double p) const;
+
+  void Reset();
+
+ private:
+  friend class Metrics;
+  explicit Histogram(std::vector<double> bounds);
+
+  struct alignas(64) StatShard {
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};
+    std::atomic<double> max{0.0};
+    std::atomic<uint64_t> total{0};
+  };
+
+  std::vector<double> bounds_;  // ascending upper bounds
+  size_t row_ = 0;  // bounds_.size() + 1 padded to a cache line multiple
+  // Per-shard bucket counts, shard s owning counts_[s * row_ ... ).
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+  StatShard stats_[internal::kMetricShards];
+};
+
+/// \brief Exponentially spaced bucket bounds: lo, lo*factor, ... (n bounds).
+std::vector<double> ExponentialBounds(double lo, double factor, size_t n);
+
+/// \brief Evenly spaced bounds over [lo, hi] (n bounds, last == hi).
+std::vector<double> LinearBounds(double lo, double hi, size_t n);
+
+/// \brief The process-wide registry. Metric objects are created on first
+/// use, never moved or destroyed, so cached references stay valid forever.
+class Metrics {
+ public:
+  static Metrics& Instance();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// First registration fixes the bucket bounds; later calls with the same
+  /// name return the existing histogram regardless of `bounds`.
+  Histogram& GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  /// Programmatic override of the RLBENCH_METRICS gate (tests, benches).
+  static void SetEnabled(bool enabled);
+
+  /// Zeroes every registered metric (tests). Not safe concurrently with
+  /// recording on other threads.
+  void ResetAll();
+
+  // Deterministic exports: entries sorted by name.
+  std::vector<std::pair<std::string, const Counter*>> Counters() const;
+  std::vector<std::pair<std::string, const Gauge*>> Gauges() const;
+  std::vector<std::pair<std::string, const Histogram*>> Histograms() const;
+
+ private:
+  Metrics() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace rlbench::obs
+
+// Hot-path macros. Each caches its registry lookup in a function-local
+// static (initialised thread-safely on the first *enabled* pass through
+// the call site, then pinned forever — registry objects are never freed)
+// and is a no-op — one relaxed load — while metrics are disabled.
+#define RLBENCH_OBS_CONCAT_INNER_(a, b) a##b
+#define RLBENCH_OBS_CONCAT_(a, b) RLBENCH_OBS_CONCAT_INNER_(a, b)
+
+#define RLBENCH_COUNTER_ADD(name, delta)                                 \
+  do {                                                                   \
+    if (::rlbench::obs::MetricsEnabled()) {                              \
+      static ::rlbench::obs::Counter& rlbench_obs_counter_ =             \
+          ::rlbench::obs::Metrics::Instance().GetCounter(name);          \
+      rlbench_obs_counter_.Add(static_cast<uint64_t>(delta));            \
+    }                                                                    \
+  } while (0)
+
+#define RLBENCH_COUNTER_INC(name) RLBENCH_COUNTER_ADD(name, 1)
+
+#define RLBENCH_GAUGE_OBSERVE(name, value)                               \
+  do {                                                                   \
+    if (::rlbench::obs::MetricsEnabled()) {                              \
+      static ::rlbench::obs::Gauge& rlbench_obs_gauge_ =                 \
+          ::rlbench::obs::Metrics::Instance().GetGauge(name);            \
+      rlbench_obs_gauge_.Observe(static_cast<double>(value));            \
+    }                                                                    \
+  } while (0)
+
+#define RLBENCH_HISTOGRAM_RECORD(name, bounds, value)                    \
+  do {                                                                   \
+    if (::rlbench::obs::MetricsEnabled()) {                              \
+      static ::rlbench::obs::Histogram& rlbench_obs_histogram_ =         \
+          ::rlbench::obs::Metrics::Instance().GetHistogram(name, bounds); \
+      rlbench_obs_histogram_.Record(static_cast<double>(value));         \
+    }                                                                    \
+  } while (0)
+
+#endif  // RLBENCH_SRC_OBS_METRICS_H_

@@ -1,0 +1,217 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace rlbench::obs {
+
+namespace internal {
+std::atomic<int> g_trace_state{0};
+}  // namespace internal
+
+namespace {
+
+// Per-thread buffers are bounded so a pathological run cannot balloon the
+// JSON past what chrome://tracing will load; overflow is counted and
+// reported, never silently swallowed.
+constexpr size_t kMaxEventsPerThread = 1u << 20;
+
+struct CompletedSpan {
+  std::string name;
+  double start_us;
+  double dur_us;
+  uint64_t chunk;
+  bool has_chunk;
+};
+
+struct OpenSpan {
+  const char* name;
+  double start_us;
+  uint64_t chunk;
+  bool has_chunk;
+};
+
+struct ThreadBuffer {
+  uint32_t tid = 0;
+  std::string name;
+  std::vector<OpenSpan> stack;
+  std::vector<CompletedSpan> events;
+  uint64_t dropped = 0;
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::string path;
+  std::vector<ThreadBuffer*> buffers;  // leaked with their threads
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();  // leaked: alive at exit
+  return *state;
+}
+
+// The name a thread asks for before it ever records a span; applied when
+// its buffer is created so naming stays allocation-free while disabled.
+thread_local std::string tls_pending_name;
+thread_local ThreadBuffer* tls_buffer = nullptr;
+
+ThreadBuffer* CurrentBuffer() {
+  if (tls_buffer == nullptr) {
+    auto* buffer = new ThreadBuffer();  // leaked: events outlive the thread
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    buffer->tid = static_cast<uint32_t>(state.buffers.size());
+    buffer->name = tls_pending_name.empty()
+                       ? "thread-" + std::to_string(buffer->tid)
+                       : tls_pending_name;
+    state.buffers.push_back(buffer);
+    tls_buffer = buffer;
+  }
+  return tls_buffer;
+}
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - State().epoch)
+      .count();
+}
+
+}  // namespace
+
+namespace internal {
+
+int ResolveTraceState() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  int current = g_trace_state.load(std::memory_order_relaxed);
+  if (current != 0) return current;  // lost the race; someone resolved it
+  const char* env = std::getenv("RLBENCH_TRACE");
+  int resolved = 1;
+  if (env != nullptr && env[0] != '\0') {
+    state.path = env;
+    resolved = 2;
+  }
+  g_trace_state.store(resolved, std::memory_order_relaxed);
+  return resolved;
+}
+
+void BeginSpan(const char* name, uint64_t chunk, bool has_chunk) {
+  ThreadBuffer* buffer = CurrentBuffer();
+  buffer->stack.push_back(OpenSpan{name, NowMicros(), chunk, has_chunk});
+}
+
+void EndSpan() {
+  ThreadBuffer* buffer = tls_buffer;
+  if (buffer == nullptr || buffer->stack.empty()) return;
+  OpenSpan open = buffer->stack.back();
+  buffer->stack.pop_back();
+  if (buffer->events.size() >= kMaxEventsPerThread) {
+    ++buffer->dropped;
+    return;
+  }
+  double end_us = NowMicros();
+  buffer->events.push_back(CompletedSpan{open.name, open.start_us,
+                                         end_us - open.start_us, open.chunk,
+                                         open.has_chunk});
+}
+
+}  // namespace internal
+
+const char* CurrentSpanName() {
+  ThreadBuffer* buffer = tls_buffer;
+  if (buffer == nullptr || buffer->stack.empty()) return nullptr;
+  return buffer->stack.back().name;
+}
+
+void SetCurrentThreadName(const std::string& name) {
+  tls_pending_name = name;
+  if (tls_buffer != nullptr) {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    tls_buffer->name = name;
+  }
+}
+
+void SetTraceFile(const std::string& path) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.path = path;
+  for (ThreadBuffer* buffer : state.buffers) {
+    buffer->events.clear();
+    buffer->stack.clear();
+    buffer->dropped = 0;
+  }
+  state.epoch = std::chrono::steady_clock::now();
+  internal::g_trace_state.store(path.empty() ? 1 : 2,
+                                std::memory_order_relaxed);
+}
+
+std::string TraceFilePath() {
+  if (!TraceEnabled()) return "";
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.path;
+}
+
+uint64_t DroppedTraceEvents() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  uint64_t dropped = 0;
+  for (const ThreadBuffer* buffer : state.buffers) dropped += buffer->dropped;
+  return dropped;
+}
+
+std::string WriteTraceIfEnabled() {
+  if (!TraceEnabled()) return "";
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.path.empty()) return "";
+  FILE* out = std::fopen(state.path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "obs: cannot write trace file %s\n",
+                 state.path.c_str());
+    return "";
+  }
+  std::fprintf(out, "{\"traceEvents\": [\n");
+  std::fprintf(out,
+               "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, "
+               "\"tid\": 0, \"args\": {\"name\": \"rlbench\"}}");
+  for (const ThreadBuffer* buffer : state.buffers) {
+    std::fprintf(out,
+                 ",\n{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, "
+                 "\"tid\": %u, \"args\": {\"name\": %s}}",
+                 buffer->tid, JsonString(buffer->name).c_str());
+    if (buffer->dropped > 0) {
+      std::fprintf(out,
+                   ",\n{\"ph\": \"M\", \"name\": \"rlbench_dropped_events\", "
+                   "\"pid\": 1, \"tid\": %u, \"args\": {\"count\": %llu}}",
+                   buffer->tid,
+                   static_cast<unsigned long long>(buffer->dropped));
+    }
+    for (const CompletedSpan& span : buffer->events) {
+      std::fprintf(out,
+                   ",\n{\"ph\": \"X\", \"name\": %s, \"pid\": 1, "
+                   "\"tid\": %u, \"ts\": %s, \"dur\": %s",
+                   JsonString(span.name).c_str(), buffer->tid,
+                   JsonNumber(span.start_us).c_str(),
+                   JsonNumber(span.dur_us).c_str());
+      if (span.has_chunk) {
+        std::fprintf(out, ", \"args\": {\"chunk\": %llu}",
+                     static_cast<unsigned long long>(span.chunk));
+      }
+      std::fprintf(out, "}");
+    }
+  }
+  std::fprintf(out, "\n], \"displayTimeUnit\": \"ms\"}\n");
+  std::fclose(out);
+  return state.path;
+}
+
+}  // namespace rlbench::obs

@@ -1,0 +1,117 @@
+// Scoped trace spans exported as Chrome trace-event JSON.
+//
+// RLBENCH_TRACE_SPAN("complexity/n2") opens a span for the enclosing
+// scope; spans nest naturally (per-thread open-span stack) and completed
+// spans land in a per-thread buffer — no locks, no cross-thread traffic
+// on the hot path. WriteTraceIfEnabled() merges the buffers into one
+// `{"traceEvents": [...]}` file loadable by chrome://tracing or
+// https://ui.perfetto.dev.
+//
+// The parallel pool (common/parallel.cc) integrates directly: when a
+// traced region fans out, every worker chunk appears as a nested span on
+// that worker's track, labelled after the span that was open on the
+// calling thread (see CurrentSpanName()).
+//
+// Gating mirrors the metrics registry: set RLBENCH_TRACE=<path> in the
+// environment, or SetTraceFile() programmatically. Disabled cost is one
+// relaxed atomic load per span. Tracing never changes what instrumented
+// code computes — results stay bit-identical with tracing on or off.
+#ifndef RLBENCH_SRC_OBS_TRACE_H_
+#define RLBENCH_SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rlbench::obs {
+
+namespace internal {
+
+// 0 = unresolved (consult RLBENCH_TRACE), 1 = off, 2 = on.
+extern std::atomic<int> g_trace_state;
+int ResolveTraceState();
+
+void BeginSpan(const char* name, uint64_t chunk, bool has_chunk);
+void EndSpan();
+
+}  // namespace internal
+
+/// \brief True iff span recording is currently enabled.
+inline bool TraceEnabled() {
+  int state = internal::g_trace_state.load(std::memory_order_relaxed);
+  if (state == 0) state = internal::ResolveTraceState();
+  return state == 2;
+}
+
+/// \brief RAII span. `name` must stay valid for the span's lifetime — a
+/// string literal, or a caller-owned string that outlives the scope (the
+/// name is copied into the event buffer when the span closes).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TraceEnabled()) {
+      active_ = true;
+      internal::BeginSpan(name, 0, false);
+    }
+  }
+  /// Span tagged with a chunk index (rendered as `args.chunk`); used by
+  /// the pool for per-chunk worker spans.
+  TraceSpan(const char* name, uint64_t chunk) {
+    if (TraceEnabled()) {
+      active_ = true;
+      internal::BeginSpan(name, chunk, true);
+    }
+  }
+  ~TraceSpan() {
+    if (active_) internal::EndSpan();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+/// \brief Name of the innermost span open on this thread, or nullptr.
+/// The pointer stays valid while that span remains open.
+const char* CurrentSpanName();
+
+/// \brief Names this thread's track in the exported trace ("main",
+/// "pool-worker-3", ...). Safe to call whether or not tracing is enabled;
+/// the name sticks for the thread's lifetime.
+void SetCurrentThreadName(const std::string& name);
+
+/// \brief Programmatic gate: non-empty enables tracing to `path`
+/// (overriding RLBENCH_TRACE), empty disables. Also clears all buffered
+/// events, so tests start from a clean slate. Must not be called while
+/// spans are open or parallel work is in flight.
+void SetTraceFile(const std::string& path);
+
+/// \brief Resolved output path ("" when tracing is disabled).
+std::string TraceFilePath();
+
+/// \brief Events dropped because a thread hit its buffer cap.
+uint64_t DroppedTraceEvents();
+
+/// \brief Writes the merged Chrome trace JSON to TraceFilePath().
+///
+/// Call from the main thread with no parallel work in flight (bench
+/// epilogues satisfy this: the pool quiesces before each Run() returns).
+/// Returns the path written, or "" if tracing is disabled or the file
+/// could not be opened. Buffered events are retained, so later calls
+/// rewrite a superset.
+std::string WriteTraceIfEnabled();
+
+}  // namespace rlbench::obs
+
+#define RLBENCH_TRACE_CONCAT_INNER_(a, b) a##b
+#define RLBENCH_TRACE_CONCAT_(a, b) RLBENCH_TRACE_CONCAT_INNER_(a, b)
+
+/// Opens a span covering the rest of the enclosing scope.
+#define RLBENCH_TRACE_SPAN(name)              \
+  ::rlbench::obs::TraceSpan RLBENCH_TRACE_CONCAT_(rlbench_trace_span_, \
+                                                  __LINE__)(name)
+
+#endif  // RLBENCH_SRC_OBS_TRACE_H_

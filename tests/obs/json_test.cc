@@ -1,0 +1,66 @@
+// Tests for the minimal JSON helpers: escaping, shortest round-trip
+// number formatting, and the syntax validator used by the trace/manifest
+// round-trip tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "obs/json.h"
+
+namespace rlbench::obs {
+namespace {
+
+TEST(JsonTest, EscapesSpecialsAndControlCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab\rret"),
+            "line\\nbreak\\ttab\\rret");
+  EXPECT_EQ(JsonEscape(std::string("nul\x01") + "x"), "nul\\u0001x");
+  EXPECT_EQ(JsonString("q\"q"), "\"q\\\"q\"");
+}
+
+TEST(JsonTest, NumbersRoundTripExactly) {
+  for (double value : {0.0, 1.0, -1.5, 0.35, 1e-9, 123456789.125,
+                       std::numeric_limits<double>::max()}) {
+    std::string text = JsonNumber(value);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), value) << text;
+  }
+  EXPECT_EQ(JsonNumber(std::nan("")), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonTest, ValidatorAcceptsWellFormedDocuments) {
+  EXPECT_TRUE(JsonSyntaxValid("{}"));
+  EXPECT_TRUE(JsonSyntaxValid("[]"));
+  EXPECT_TRUE(JsonSyntaxValid("  {\"a\": [1, 2.5, -3e4], \"b\": "
+                              "{\"c\": null, \"d\": [true, false]}}  "));
+  EXPECT_TRUE(JsonSyntaxValid("\"escaped \\u00e9 \\n ok\""));
+}
+
+TEST(JsonTest, ValidatorRejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonSyntaxValid(""));
+  EXPECT_FALSE(JsonSyntaxValid("{"));
+  EXPECT_FALSE(JsonSyntaxValid("{\"a\": }"));
+  EXPECT_FALSE(JsonSyntaxValid("{\"a\": 1,}"));
+  EXPECT_FALSE(JsonSyntaxValid("[1 2]"));
+  EXPECT_FALSE(JsonSyntaxValid("\"unterminated"));
+  EXPECT_FALSE(JsonSyntaxValid("\"bad escape \\q\""));
+  EXPECT_FALSE(JsonSyntaxValid("01"));
+  EXPECT_FALSE(JsonSyntaxValid("{} trailing"));
+  EXPECT_FALSE(JsonSyntaxValid("nul"));
+}
+
+TEST(JsonTest, ValidatorBoundsRecursionDepth) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(JsonSyntaxValid(deep));  // past kMaxDepth
+  std::string shallow(20, '[');
+  shallow += std::string(20, ']');
+  EXPECT_TRUE(JsonSyntaxValid(shallow));
+}
+
+}  // namespace
+}  // namespace rlbench::obs

@@ -1,0 +1,135 @@
+// Run-manifest tests: schema round-trip through the syntax validator,
+// escaping, phase accounting, the Finalize() freeze, and the
+// metrics-section gate.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+
+namespace rlbench::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ManifestTest, ToJsonIsSyntaxValidWithAllSections) {
+  RunManifest manifest("unit_bench");
+  manifest.set_threads(4);
+  manifest.set_hardware_concurrency(8);
+  manifest.set_seed(1234);
+  manifest.SetDatasets({"Ds1", "Ds2"});
+  manifest.AddConfig("scale", 0.35);
+  manifest.AddConfig("kmax", static_cast<int64_t>(64));
+  manifest.AddConfig("mode", std::string("fast"));
+  manifest.BeginPhase("alpha");
+  manifest.BeginPhase("beta");  // nested
+  manifest.EndPhase();
+  manifest.EndPhase();
+  manifest.Finalize();
+
+  std::string json = manifest.ToJson();
+  EXPECT_TRUE(JsonSyntaxValid(json)) << json;
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"bench\": \"unit_bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"hardware_concurrency\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 1234"), std::string::npos);
+  EXPECT_NE(json.find("\"datasets\": [\"Ds1\", \"Ds2\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"scale\": 0.35"), std::string::npos);
+  EXPECT_NE(json.find("\"kmax\": 64"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"fast\""), std::string::npos);
+  EXPECT_NE(json.find("\"git\": "), std::string::npos);
+  // Phases serialise in begin order, nested or not.
+  size_t alpha = json.find("\"name\": \"alpha\"");
+  size_t beta = json.find("\"name\": \"beta\"");
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(beta, std::string::npos);
+  EXPECT_LT(alpha, beta);
+  EXPECT_NE(json.find("\"total_seconds\": "), std::string::npos);
+}
+
+TEST(ManifestTest, SeedAndTraceFileAreOptional) {
+  RunManifest manifest("unit_bench_min");
+  std::string json = manifest.ToJson();
+  EXPECT_TRUE(JsonSyntaxValid(json)) << json;
+  EXPECT_EQ(json.find("\"seed\""), std::string::npos);
+  EXPECT_EQ(json.find("\"trace_file\""), std::string::npos);
+  RunManifest traced("unit_bench_traced");
+  traced.set_trace_file("out.json");
+  EXPECT_NE(traced.ToJson().find("\"trace_file\": \"out.json\""),
+            std::string::npos);
+}
+
+TEST(ManifestTest, EscapesHostileStrings) {
+  RunManifest manifest("unit\"bench\nname");
+  manifest.AddDataset("quote\"and\\slash");
+  manifest.AddConfig("note", std::string("line1\nline2\ttab"));
+  std::string json = manifest.ToJson();
+  EXPECT_TRUE(JsonSyntaxValid(json)) << json;
+  EXPECT_NE(json.find("unit\\\"bench\\nname"), std::string::npos);
+  EXPECT_NE(json.find("quote\\\"and\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2\\ttab"), std::string::npos);
+}
+
+TEST(ManifestTest, FinalizeFreezesTotalSeconds) {
+  RunManifest manifest("unit_bench_freeze");
+  manifest.Finalize();
+  double first = manifest.TotalSeconds();
+  // Burn a little wall time; the frozen value must not move.
+  std::string sink;
+  for (int i = 0; i < 10000; ++i) sink += 'x';
+  ASSERT_FALSE(sink.empty());
+  EXPECT_EQ(manifest.TotalSeconds(), first);
+}
+
+TEST(ManifestTest, UnbalancedEndPhaseIsIgnored) {
+  RunManifest manifest("unit_bench_unbalanced");
+  manifest.EndPhase();  // no matching BeginPhase: must not crash
+  manifest.BeginPhase("only");
+  manifest.EndPhase();
+  manifest.EndPhase();
+  EXPECT_TRUE(JsonSyntaxValid(manifest.ToJson()));
+}
+
+TEST(ManifestTest, MetricsSectionFollowsTheGate) {
+  Metrics::SetEnabled(true);
+  Metrics::Instance().ResetAll();
+  Metrics::Instance().GetCounter("manifest_test/marker").Add(7);
+  RunManifest manifest("unit_bench_metrics");
+  std::string with_metrics = manifest.ToJson();
+  EXPECT_TRUE(JsonSyntaxValid(with_metrics)) << with_metrics;
+  EXPECT_NE(with_metrics.find("\"counters\""), std::string::npos);
+  EXPECT_NE(with_metrics.find("\"manifest_test/marker\": 7"),
+            std::string::npos);
+  EXPECT_NE(with_metrics.find("\"histograms\""), std::string::npos);
+
+  Metrics::SetEnabled(false);
+  std::string without_metrics = manifest.ToJson();
+  EXPECT_TRUE(JsonSyntaxValid(without_metrics));
+  EXPECT_EQ(without_metrics.find("\"counters\""), std::string::npos);
+}
+
+TEST(ManifestTest, WriteFileRoundTrips) {
+  RunManifest manifest("unit_bench_file");
+  manifest.SetDatasets({"Ds1"});
+  manifest.Finalize();
+  std::string path = manifest.WriteFile(".");
+  ASSERT_EQ(path, "./unit_bench_file.manifest.json");
+  std::string json = ReadFile(path);
+  EXPECT_EQ(json, manifest.ToJson());
+  EXPECT_TRUE(JsonSyntaxValid(json));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rlbench::obs

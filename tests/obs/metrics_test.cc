@@ -1,0 +1,210 @@
+// Unit tests for the sharded metrics registry: counter merging under real
+// pool concurrency, gauge max-merge semantics, and the histogram bucket /
+// percentile edge cases (empty, single sample, boundary values, overflow).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "obs/metrics.h"
+
+namespace rlbench::obs {
+namespace {
+
+// Every test runs with metrics force-enabled and a clean slate; teardown
+// restores the disabled default so tests elsewhere see the off path.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Metrics::SetEnabled(true);
+    Metrics::Instance().ResetAll();
+  }
+  void TearDown() override {
+    Metrics::Instance().ResetAll();
+    Metrics::SetEnabled(false);
+  }
+};
+
+TEST_F(MetricsTest, CounterStartsAtZeroAndAccumulates) {
+  Counter& counter = Metrics::Instance().GetCounter("test/counter_basic");
+  EXPECT_EQ(counter.Value(), 0U);
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42U);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0U);
+}
+
+TEST_F(MetricsTest, SameNameReturnsSameCounter) {
+  Counter& a = Metrics::Instance().GetCounter("test/counter_identity");
+  Counter& b = Metrics::Instance().GetCounter("test/counter_identity");
+  EXPECT_EQ(&a, &b);
+  a.Add(5);
+  EXPECT_EQ(b.Value(), 5U);
+}
+
+TEST_F(MetricsTest, ConcurrentIncrementsAreLossless) {
+  // Hammer one counter from the pool; the shard merge must account for
+  // every increment regardless of which worker landed where. This is the
+  // test the TSan stage leans on for the lock-free hot path.
+  Counter& counter = Metrics::Instance().GetCounter("test/counter_mt");
+  constexpr size_t kItems = 10000;
+  constexpr uint64_t kPerItem = 3;
+  SetParallelThreads(7);
+  ParallelFor(0, kItems, 64, [&](size_t) {
+    counter.Add(kPerItem - 1);
+    counter.Increment();
+  });
+  SetParallelThreads(0);
+  EXPECT_EQ(counter.Value(), kItems * kPerItem);
+}
+
+TEST_F(MetricsTest, GaugeKeepsMaximumAcrossThreads) {
+  Gauge& gauge = Metrics::Instance().GetGauge("test/gauge_mt");
+  EXPECT_EQ(gauge.Value(), 0.0);
+  EXPECT_EQ(gauge.ObservationCount(), 0U);
+  SetParallelThreads(4);
+  ParallelFor(0, 1000, 16, [&](size_t i) {
+    gauge.Observe(static_cast<double>(i));
+  });
+  SetParallelThreads(0);
+  EXPECT_EQ(gauge.Value(), 999.0);
+  EXPECT_EQ(gauge.ObservationCount(), 1000U);
+}
+
+TEST_F(MetricsTest, GaugeHandlesNegativeObservations) {
+  Gauge& gauge = Metrics::Instance().GetGauge("test/gauge_negative");
+  gauge.Observe(-7.5);
+  gauge.Observe(-2.25);
+  EXPECT_EQ(gauge.Value(), -2.25);
+  EXPECT_EQ(gauge.ObservationCount(), 2U);
+}
+
+TEST_F(MetricsTest, EmptyHistogramReportsZeros) {
+  Histogram& histogram = Metrics::Instance().GetHistogram(
+      "test/hist_empty", LinearBounds(1.0, 10.0, 10));
+  EXPECT_EQ(histogram.Count(), 0U);
+  EXPECT_EQ(histogram.Sum(), 0.0);
+  EXPECT_EQ(histogram.Min(), 0.0);
+  EXPECT_EQ(histogram.Max(), 0.0);
+  EXPECT_EQ(histogram.Percentile(0.5), 0.0);
+  auto buckets = histogram.BucketCounts();
+  ASSERT_EQ(buckets.size(), 11U);  // 10 bounds + overflow
+  for (uint64_t count : buckets) EXPECT_EQ(count, 0U);
+}
+
+TEST_F(MetricsTest, SingleSampleDrivesEveryPercentile) {
+  Histogram& histogram = Metrics::Instance().GetHistogram(
+      "test/hist_single", LinearBounds(1.0, 4.0, 4));
+  histogram.Record(2.5);
+  EXPECT_EQ(histogram.Count(), 1U);
+  EXPECT_EQ(histogram.Sum(), 2.5);
+  EXPECT_EQ(histogram.Min(), 2.5);
+  EXPECT_EQ(histogram.Max(), 2.5);
+  // 2.5 lands in the bucket bounded by 3.0; every percentile, including
+  // the degenerate p=0, reports that bucket's bound.
+  EXPECT_EQ(histogram.Percentile(0.0), 3.0);
+  EXPECT_EQ(histogram.Percentile(0.5), 3.0);
+  EXPECT_EQ(histogram.Percentile(1.0), 3.0);
+}
+
+TEST_F(MetricsTest, BoundaryValueLandsInItsBucket) {
+  // The contract is v <= bound, so an exact boundary sample belongs to
+  // that bucket, not the next one.
+  Histogram& histogram = Metrics::Instance().GetHistogram(
+      "test/hist_boundary", LinearBounds(1.0, 3.0, 3));
+  histogram.Record(2.0);
+  auto buckets = histogram.BucketCounts();
+  ASSERT_EQ(buckets.size(), 4U);
+  EXPECT_EQ(buckets[0], 0U);
+  EXPECT_EQ(buckets[1], 1U);
+  EXPECT_EQ(buckets[2], 0U);
+  EXPECT_EQ(buckets[3], 0U);
+}
+
+TEST_F(MetricsTest, OverflowSamplesReportExactMax) {
+  Histogram& histogram = Metrics::Instance().GetHistogram(
+      "test/hist_overflow", LinearBounds(1.0, 2.0, 2));
+  histogram.Record(100.0);
+  histogram.Record(250.0);
+  auto buckets = histogram.BucketCounts();
+  ASSERT_EQ(buckets.size(), 3U);
+  EXPECT_EQ(buckets[2], 2U);  // both in overflow
+  // The overflow bucket has no upper bound; percentiles that land there
+  // fall back to the exact observed maximum.
+  EXPECT_EQ(histogram.Percentile(0.5), 250.0);
+  EXPECT_EQ(histogram.Percentile(0.99), 250.0);
+  EXPECT_EQ(histogram.Max(), 250.0);
+}
+
+TEST_F(MetricsTest, PercentilesSplitAcrossBuckets) {
+  Histogram& histogram = Metrics::Instance().GetHistogram(
+      "test/hist_split", LinearBounds(10.0, 40.0, 4));
+  for (int i = 0; i < 90; ++i) histogram.Record(5.0);    // bucket <=10
+  for (int i = 0; i < 10; ++i) histogram.Record(35.0);   // bucket <=40
+  EXPECT_EQ(histogram.Percentile(0.5), 10.0);
+  EXPECT_EQ(histogram.Percentile(0.9), 10.0);
+  EXPECT_EQ(histogram.Percentile(0.95), 40.0);
+  EXPECT_EQ(histogram.Count(), 100U);
+}
+
+TEST_F(MetricsTest, ConcurrentHistogramRecordsMergeExactly) {
+  Histogram& histogram = Metrics::Instance().GetHistogram(
+      "test/hist_mt", ExponentialBounds(1.0, 2.0, 10));
+  constexpr size_t kItems = 4096;
+  SetParallelThreads(7);
+  ParallelFor(0, kItems, 32, [&](size_t i) {
+    histogram.Record(static_cast<double>(i % 7));
+  });
+  SetParallelThreads(0);
+  EXPECT_EQ(histogram.Count(), kItems);
+  uint64_t total = 0;
+  for (uint64_t count : histogram.BucketCounts()) total += count;
+  EXPECT_EQ(total, kItems);
+  EXPECT_EQ(histogram.Min(), 0.0);
+  EXPECT_EQ(histogram.Max(), 6.0);
+}
+
+TEST_F(MetricsTest, FirstHistogramRegistrationFixesBounds) {
+  Histogram& first = Metrics::Instance().GetHistogram(
+      "test/hist_bounds_pin", LinearBounds(1.0, 2.0, 2));
+  Histogram& second = Metrics::Instance().GetHistogram(
+      "test/hist_bounds_pin", LinearBounds(100.0, 200.0, 50));
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(second.bounds(), LinearBounds(1.0, 2.0, 2));
+}
+
+TEST_F(MetricsTest, BoundHelpersProduceAscendingGrids) {
+  auto exponential = ExponentialBounds(1.0, 2.0, 4);
+  EXPECT_EQ(exponential, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  auto linear = LinearBounds(0.0, 1.0, 5);
+  EXPECT_EQ(linear, (std::vector<double>{0.0, 0.25, 0.5, 0.75, 1.0}));
+}
+
+TEST_F(MetricsTest, MacrosAreInertWhileDisabled) {
+  Metrics::SetEnabled(false);
+  RLBENCH_COUNTER_INC("test/macro_disabled");
+  RLBENCH_GAUGE_OBSERVE("test/macro_disabled_gauge", 3.0);
+  Metrics::SetEnabled(true);
+  // Nothing recorded on the disabled pass; the names were not even
+  // registered, so a fresh lookup starts from zero.
+  EXPECT_EQ(Metrics::Instance().GetCounter("test/macro_disabled").Value(), 0U);
+  EXPECT_EQ(Metrics::Instance().GetGauge("test/macro_disabled_gauge").Value(),
+            0.0);
+}
+
+TEST_F(MetricsTest, ExportsAreNameSorted) {
+  Metrics::Instance().GetCounter("test/sorted_b");
+  Metrics::Instance().GetCounter("test/sorted_a");
+  auto counters = Metrics::Instance().Counters();
+  std::string previous;
+  for (const auto& [name, counter] : counters) {
+    EXPECT_LE(previous, name);
+    previous = name;
+  }
+}
+
+}  // namespace
+}  // namespace rlbench::obs

@@ -1,0 +1,127 @@
+// The observability contract, end to end: turning metrics and tracing ON
+// must not change a single bit of what the measurement pipeline computes,
+// at any thread count. Mirrors tests/core/thread_invariance_test.cc but
+// sweeps the obs gates as well as the pool width — all comparisons are
+// EXACT double equality, no tolerances.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
+#include "core/complexity.h"
+#include "core/linearity.h"
+#include "datagen/catalog.h"
+#include "datagen/task_builder.h"
+#include "matchers/context.h"
+#include "matchers/esde.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rlbench::obs {
+namespace {
+
+constexpr const char* kTracePath = "obs_invariance_trace.json";
+
+struct Snapshot {
+  std::vector<std::pair<std::string, double>> complexity;
+  core::LinearityResult linearity;
+  std::vector<uint8_t> esde_predictions;
+  double esde_threshold = 0.0;
+};
+
+Snapshot Measure(const data::MatchingTask& task, size_t threads,
+                 bool obs_on) {
+  if (obs_on) {
+    Metrics::SetEnabled(true);
+    SetTraceFile(kTracePath);
+  } else {
+    Metrics::SetEnabled(false);
+    SetTraceFile("");
+  }
+  SetParallelThreads(threads);
+
+  Snapshot snap;
+  matchers::MatchingContext context(&task);
+  core::ComplexityOptions options;
+  options.max_points = 300;
+  snap.complexity =
+      core::ComputeComplexity(core::PairFeaturePoints(context), options)
+          .Items();
+  snap.linearity = core::ComputeLinearity(context);
+  matchers::EsdeMatcher esde(matchers::EsdeVariant::kSchemaAgnostic);
+  snap.esde_predictions = esde.Run(context);
+  snap.esde_threshold = esde.best_threshold();
+
+  SetParallelThreads(0);
+  Metrics::SetEnabled(false);
+  SetTraceFile("");
+  return snap;
+}
+
+void ExpectIdentical(const Snapshot& base, const Snapshot& other,
+                     const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(base.complexity.size(), other.complexity.size());
+  for (size_t i = 0; i < base.complexity.size(); ++i) {
+    EXPECT_EQ(base.complexity[i].first, other.complexity[i].first);
+    EXPECT_EQ(base.complexity[i].second, other.complexity[i].second)
+        << "measure " << base.complexity[i].first;
+  }
+  EXPECT_EQ(base.linearity.f1_cosine, other.linearity.f1_cosine);
+  EXPECT_EQ(base.linearity.threshold_cosine, other.linearity.threshold_cosine);
+  EXPECT_EQ(base.linearity.f1_jaccard, other.linearity.f1_jaccard);
+  EXPECT_EQ(base.linearity.threshold_jaccard,
+            other.linearity.threshold_jaccard);
+  EXPECT_EQ(base.esde_predictions, other.esde_predictions);
+  EXPECT_EQ(base.esde_threshold, other.esde_threshold);
+}
+
+TEST(ObsInvarianceTest, ObservabilityNeverPerturbsResults) {
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds1"), 0.3);
+
+  Snapshot base = Measure(task, 1, /*obs_on=*/false);
+  ASSERT_FALSE(base.complexity.empty());
+  ASSERT_FALSE(base.esde_predictions.empty());
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{7}}) {
+    ExpectIdentical(base, Measure(task, threads, /*obs_on=*/false),
+                    "obs=off threads=" + std::to_string(threads));
+    ExpectIdentical(base, Measure(task, threads, /*obs_on=*/true),
+                    "obs=on threads=" + std::to_string(threads));
+  }
+  std::remove(kTracePath);
+}
+
+TEST(ObsInvarianceTest, CountersAreThreadCountInvariant) {
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds1"), 0.3);
+
+  auto count = [&](size_t threads) {
+    Metrics::SetEnabled(true);
+    Metrics::Instance().ResetAll();
+    SetParallelThreads(threads);
+    matchers::MatchingContext context(&task);
+    core::ComplexityOptions options;
+    options.max_points = 300;
+    core::ComputeComplexity(core::PairFeaturePoints(context), options);
+    SetParallelThreads(0);
+    std::vector<std::pair<std::string, uint64_t>> values;
+    for (const auto& [name, counter] : Metrics::Instance().Counters()) {
+      values.emplace_back(name, counter->Value());
+    }
+    Metrics::SetEnabled(false);
+    return values;
+  };
+
+  auto base = count(1);
+  ASSERT_FALSE(base.empty());
+  EXPECT_EQ(base, count(2));
+  EXPECT_EQ(base, count(7));
+}
+
+}  // namespace
+}  // namespace rlbench::obs

@@ -13,6 +13,9 @@ Rules:
                 ParallelFor / ParallelReduce so results stay deterministic
                 (std::thread::id and hardware_concurrency are inert and
                 exempt)
+  chrono        no direct std::chrono outside common/stopwatch.h and
+                src/obs/; all timing flows through Stopwatch or the
+                observability layer so clock reads stay auditable
   using-ns      no `using namespace` at any scope in headers
   cmake-reg     every .cc under src/ is listed in its directory's
                 CMakeLists.txt (unregistered files silently fall out of the
@@ -37,7 +40,10 @@ RNG_PATTERNS = [
     (re.compile(r"\bstd::mt19937(_64)?\b"),
      "raw std::mt19937 outside common/rng; draw through rlbench::Rng"),
 ]
-THREAD_ALLOWLIST = {"src/common/parallel.cc"}
+# tests/obs/trace_test.cc spawns one raw thread on purpose: it asserts
+# that per-thread trace tracks are named, which ParallelFor cannot pin to
+# a specific OS thread.
+THREAD_ALLOWLIST = {"src/common/parallel.cc", "tests/obs/trace_test.cc"}
 THREAD_PATTERNS = [
     # std::thread::id / ::hardware_concurrency are inert (no thread is
     # spawned); everything else must go through common/parallel.h.
@@ -47,6 +53,16 @@ THREAD_PATTERNS = [
      "raw std::jthread outside common/parallel; use ParallelFor/Reduce"),
     (re.compile(r"\bstd::async\b"),
      "std::async outside common/parallel; use ParallelFor/Reduce"),
+]
+CHRONO_ALLOWLIST = {"src/common/stopwatch.h"}
+CHRONO_ALLOWED_PREFIXES = ("src/obs/",)
+CHRONO_PATTERNS = [
+    (re.compile(r"#\s*include\s*<chrono>"),
+     "direct <chrono> outside common/stopwatch.h and src/obs/; time through "
+     "Stopwatch or the obs layer"),
+    (re.compile(r"\bstd::chrono\b"),
+     "direct std::chrono outside common/stopwatch.h and src/obs/; time "
+     "through Stopwatch or the obs layer"),
 ]
 USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
 LINE_COMMENT = re.compile(r"//.*$")
@@ -108,6 +124,16 @@ def check_threads(rel, lines, errors):
                 errors.append(f"{rel}:{i + 1}: {message}")
 
 
+def check_chrono(rel, lines, errors):
+    if rel in CHRONO_ALLOWLIST or rel.startswith(CHRONO_ALLOWED_PREFIXES):
+        return
+    for i, line in enumerate(lines):
+        code = LINE_COMMENT.sub("", line)
+        for pattern, message in CHRONO_PATTERNS:
+            if pattern.search(code):
+                errors.append(f"{rel}:{i + 1}: {message}")
+
+
 def check_using_namespace(rel, lines, errors):
     for i, line in enumerate(lines):
         code = LINE_COMMENT.sub("", line)
@@ -155,6 +181,7 @@ def main() -> int:
             source_lines = source.read_text().splitlines()
             check_rng(source_rel, source_lines, errors)
             check_threads(source_rel, source_lines, errors)
+            check_chrono(source_rel, source_lines, errors)
     check_cmake_registration(root, errors)
 
     for error in errors:

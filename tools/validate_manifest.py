@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""Validate rlbench run manifests (and their Chrome trace files).
+
+Two modes:
+
+  validate_manifest.py <manifest.json> [<manifest.json> ...]
+      Validate already-written manifests against the schema documented in
+      src/obs/manifest.h. When a manifest names a trace_file, the trace is
+      validated too (path resolved relative to the manifest's directory,
+      then as given).
+
+  validate_manifest.py --run <bench_binary> [bench args...]
+      Run a bench binary in a scratch directory with RLBENCH_METRICS=1 and
+      RLBENCH_TRACE set, then validate every manifest it wrote plus the
+      trace. This is what the `obs_manifest_validate` ctest and the obs
+      stage of scripts/check.sh execute.
+
+Exit status: 0 when everything validates, 1 with one "path: message" per
+problem on stderr.
+"""
+
+import argparse
+import json
+import numbers
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+SCHEMA_VERSION = 1
+
+
+def fail(errors, path, message):
+    errors.append(f"{path}: {message}")
+
+
+def expect_type(errors, path, manifest, key, kind, required=True):
+    if key not in manifest:
+        if required:
+            fail(errors, path, f"missing required key '{key}'")
+        return None
+    value = manifest[key]
+    # bool is an int subclass in Python; never accept it for numeric keys.
+    if isinstance(value, bool) or not isinstance(value, kind):
+        fail(errors, path, f"key '{key}' has type {type(value).__name__}, "
+                           f"expected {kind}")
+        return None
+    return value
+
+
+def validate_histogram_summary(errors, path, name, summary):
+    if not isinstance(summary, dict):
+        fail(errors, path, f"histogram '{name}' is not an object")
+        return
+    for key in ("count", "sum", "min", "max", "p50", "p90", "p99"):
+        value = summary.get(key)
+        if isinstance(value, bool) or not isinstance(value, numbers.Real):
+            fail(errors, path, f"histogram '{name}' key '{key}' is not a "
+                               f"number (got {value!r})")
+
+
+def validate_manifest(errors, path, manifest):
+    if not isinstance(manifest, dict):
+        fail(errors, path, "top level is not a JSON object")
+        return
+
+    version = expect_type(errors, path, manifest, "schema_version", int)
+    if version is not None and version != SCHEMA_VERSION:
+        fail(errors, path, f"schema_version {version} != {SCHEMA_VERSION}")
+
+    bench = expect_type(errors, path, manifest, "bench", str)
+    if bench == "":
+        fail(errors, path, "bench name is empty")
+    expect_type(errors, path, manifest, "git", str)
+    for key in ("threads", "hardware_concurrency"):
+        value = expect_type(errors, path, manifest, key, int)
+        if value is not None and value < 0:
+            fail(errors, path, f"key '{key}' is negative")
+    expect_type(errors, path, manifest, "seed", int, required=False)
+
+    datasets = expect_type(errors, path, manifest, "datasets", list)
+    if datasets is not None:
+        for entry in datasets:
+            if not isinstance(entry, str):
+                fail(errors, path, f"dataset id {entry!r} is not a string")
+
+    expect_type(errors, path, manifest, "config", dict)
+
+    phases = expect_type(errors, path, manifest, "phases", list)
+    if phases is not None:
+        for phase in phases:
+            if not isinstance(phase, dict) or \
+                    not isinstance(phase.get("name"), str) or \
+                    isinstance(phase.get("seconds"), bool) or \
+                    not isinstance(phase.get("seconds"), numbers.Real):
+                fail(errors, path, f"malformed phase entry {phase!r}")
+            elif phase["seconds"] < 0:
+                fail(errors, path, f"phase '{phase['name']}' has negative "
+                                   f"seconds")
+
+    total = expect_type(errors, path, manifest, "total_seconds", numbers.Real)
+    if total is not None and total < 0:
+        fail(errors, path, "total_seconds is negative")
+
+    expect_type(errors, path, manifest, "trace_file", str, required=False)
+
+    # The metrics sections travel together: all present or all absent.
+    metric_keys = ("counters", "gauges", "histograms")
+    present = [key for key in metric_keys if key in manifest]
+    if present and len(present) != len(metric_keys):
+        fail(errors, path, f"partial metrics sections: {present}")
+    counters = manifest.get("counters")
+    if counters is not None and isinstance(counters, dict):
+        for name, value in counters.items():
+            if isinstance(value, bool) or not isinstance(value, int) \
+                    or value < 0:
+                fail(errors, path, f"counter '{name}' is not a non-negative "
+                                   f"integer (got {value!r})")
+    gauges = manifest.get("gauges")
+    if gauges is not None and isinstance(gauges, dict):
+        for name, value in gauges.items():
+            if isinstance(value, bool) or not isinstance(value, numbers.Real):
+                fail(errors, path, f"gauge '{name}' is not a number")
+    histograms = manifest.get("histograms")
+    if histograms is not None and isinstance(histograms, dict):
+        for name, summary in histograms.items():
+            validate_histogram_summary(errors, path, name, summary)
+
+
+def validate_trace(errors, path, trace):
+    if not isinstance(trace, dict):
+        fail(errors, path, "top level is not a JSON object")
+        return
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(errors, path, "traceEvents missing or empty")
+        return
+    saw_thread_name = False
+    for event in events:
+        if not isinstance(event, dict):
+            fail(errors, path, f"event is not an object: {event!r}")
+            continue
+        phase = event.get("ph")
+        if phase not in ("X", "M"):
+            fail(errors, path, f"unexpected event phase {phase!r}")
+            continue
+        if phase == "M" and event.get("name") == "thread_name":
+            saw_thread_name = True
+        if phase == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if isinstance(value, bool) or \
+                        not isinstance(value, numbers.Real):
+                    fail(errors, path,
+                         f"complete event missing numeric '{key}': {event!r}")
+            if not isinstance(event.get("name"), str):
+                fail(errors, path, f"complete event has no name: {event!r}")
+    if not saw_thread_name:
+        fail(errors, path, "no thread_name metadata event")
+
+
+def load_json(errors, path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(errors, path, f"cannot parse: {exc}")
+        return None
+
+
+def validate_manifest_file(errors, manifest_path):
+    manifest = load_json(errors, manifest_path)
+    if manifest is None:
+        return
+    validate_manifest(errors, manifest_path, manifest)
+    trace_file = manifest.get("trace_file")
+    if isinstance(trace_file, str) and trace_file:
+        # Benches resolve RLBENCH_TRACE against their cwd, which is the
+        # parent of bench_results/ — try that first, then the manifest's
+        # own directory, then the path as given.
+        parent = pathlib.Path(manifest_path).parent
+        candidates = [parent.parent / trace_file, parent / trace_file,
+                      pathlib.Path(trace_file)]
+        for candidate in candidates:
+            if candidate.is_file():
+                trace = load_json(errors, candidate)
+                if trace is not None:
+                    validate_trace(errors, str(candidate), trace)
+                break
+        else:
+            fail(errors, manifest_path,
+                 f"trace_file '{trace_file}' does not exist")
+
+
+def run_and_validate(errors, command):
+    with tempfile.TemporaryDirectory(prefix="rlbench_obs_") as scratch:
+        env = dict(os.environ)
+        env["RLBENCH_METRICS"] = "1"
+        env["RLBENCH_TRACE"] = "validate_trace.json"
+        binary = pathlib.Path(command[0]).resolve()
+        result = subprocess.run([str(binary)] + command[1:], cwd=scratch,
+                                env=env, capture_output=True, text=True)
+        if result.returncode != 0:
+            fail(errors, binary.name,
+                 f"bench exited {result.returncode}: {result.stderr[-500:]}")
+            return
+        manifests = sorted(
+            pathlib.Path(scratch).glob("bench_results/*.manifest.json"))
+        if not manifests:
+            fail(errors, binary.name, "bench wrote no manifest under "
+                                      "bench_results/")
+            return
+        for manifest_path in manifests:
+            validate_manifest_file(errors, str(manifest_path))
+        trace = pathlib.Path(scratch) / "validate_trace.json"
+        if not trace.is_file():
+            fail(errors, binary.name, "bench wrote no trace despite "
+                                      "RLBENCH_TRACE being set")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--run", action="store_true",
+                        help="treat the first path as a bench binary to "
+                             "execute in a scratch dir with obs enabled")
+    # REMAINDER so bench flags like --datasets=Ds1 pass through untouched
+    # ( --run must precede the binary).
+    parser.add_argument("paths", nargs=argparse.REMAINDER,
+                        help="manifest files, or with --run a bench binary "
+                             "followed by its arguments")
+    args = parser.parse_args()
+    if not args.paths:
+        parser.error("nothing to validate")
+
+    errors = []
+    if args.run:
+        run_and_validate(errors, args.paths)
+    else:
+        for path in args.paths:
+            validate_manifest_file(errors, path)
+
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"validate_manifest: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print("validate_manifest: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
