@@ -31,7 +31,12 @@ int main(int argc, char** argv) {
 
   const auto* spec = datagen::FindSourceDataset(id);
   if (spec == nullptr) {
+    // Single-dataset bench: nothing to degrade to, but the manifest still
+    // records what failed before the process exits non-zero.
     std::fprintf(stderr, "unknown source dataset %s\n", id.c_str());
+    benchutil::RecordDatasetPhase(run, id, 0.0,
+                                  Status::NotFound("unknown dataset id " + id));
+    run.Finish();
     return 1;
   }
   auto source = datagen::BuildSourceDataset(*spec, scale);

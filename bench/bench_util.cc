@@ -1,14 +1,16 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <thread>
 
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "data/csv.h"
+#include "data/file_source.h"
+#include "fault/failpoint.h"
 #include "obs/trace.h"
 
 namespace rlbench::benchutil {
@@ -44,16 +46,47 @@ void SaveScores(const std::string& name,
                         std::to_string(static_cast<int>(row.group)),
                         FormatDouble(row.f1, 6)});
   }
-  std::ofstream out(ResultsDir() + "/" + name + ".csv");
-  out << data::WriteCsv(csv_rows);
+  std::string path = ResultsDir() + "/" + name + ".csv";
+  Status status = data::FileSource::WriteAtomic(path, data::WriteCsv(csv_rows));
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench: cannot save scores %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+  }
 }
 
+namespace {
+
+// Strict numeric parsers for the score cache; any damage to the cache file
+// degrades to "no cache" (nullopt) rather than a throw.
+bool ParseIntField(const std::string& text, int* out) {
+  if (text.empty()) return false;
+  size_t i = text[0] == '-' ? 1 : 0;
+  if (i == text.size()) return false;
+  long long value = 0;
+  for (; i < text.size(); ++i) {
+    if (text[i] < '0' || text[i] > '9') return false;
+    value = value * 10 + (text[i] - '0');
+    if (value > 1000000) return false;
+  }
+  *out = static_cast<int>(text[0] == '-' ? -value : value);
+  return true;
+}
+
+bool ParseDoubleField(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
 std::optional<std::vector<CachedScore>> LoadScores(const std::string& name) {
-  std::ifstream in(ResultsDir() + "/" + name + ".csv");
-  if (!in) return std::nullopt;
-  std::string text((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  auto rows = data::ParseCsv(text);
+  auto text = data::FileSource::ReadAll(ResultsDir() + "/" + name + ".csv");
+  if (!text.ok()) return std::nullopt;
+  auto rows = data::ParseCsv(*text);
   if (!rows.ok() || rows->size() < 2) return std::nullopt;
   std::vector<CachedScore> scores;
   for (size_t i = 1; i < rows->size(); ++i) {
@@ -62,8 +95,10 @@ std::optional<std::vector<CachedScore>> LoadScores(const std::string& name) {
     CachedScore score;
     score.dataset = row[0];
     score.matcher = row[1];
-    score.group = static_cast<matchers::MatcherGroup>(std::stoi(row[2]));
-    score.f1 = std::stod(row[3]);
+    int group = 0;
+    if (!ParseIntField(row[2], &group)) return std::nullopt;
+    score.group = static_cast<matchers::MatcherGroup>(group);
+    if (!ParseDoubleField(row[3], &score.f1)) return std::nullopt;
     scores.push_back(std::move(score));
   }
   return scores;
@@ -82,11 +117,25 @@ void BenchRun::Finish() {
   manifest_.set_hardware_concurrency(std::thread::hardware_concurrency());
   std::string trace_path = obs::WriteTraceIfEnabled();
   if (!trace_path.empty()) manifest_.set_trace_file(trace_path);
+  // An armed fault spec changes what the run measures; record it so the
+  // manifest says which results ran under injection. Unarmed runs carry no
+  // such key, keeping them bit-identical to pre-fault manifests.
+  if (fault::FaultsEnabled()) {
+    manifest_.AddConfig("faults", fault::ActiveSpec());
+  }
   // Freeze the wall time so the printed line and the manifest agree to
   // the digit.
   manifest_.Finalize();
   double seconds = manifest_.TotalSeconds();
-  std::string manifest_path = manifest_.WriteFile(ResultsDir());
+  std::string manifest_path =
+      ResultsDir() + "/" + manifest_.name() + ".manifest.json";
+  Status write = data::FileSource::WriteAtomic(manifest_path,
+                                               manifest_.ToJson());
+  if (!write.ok()) {
+    std::fprintf(stderr, "bench: cannot write manifest %s: %s\n",
+                 manifest_path.c_str(), write.ToString().c_str());
+    manifest_path.clear();
+  }
   std::printf("\n[%s finished in %.1f s]\n", manifest_.name().c_str(),
               seconds);
   if (!manifest_path.empty()) {
@@ -95,6 +144,35 @@ void BenchRun::Finish() {
   if (!trace_path.empty()) {
     std::printf("[trace: %s]\n", trace_path.c_str());
   }
+}
+
+size_t ForEachDataset(BenchRun& run, const std::vector<std::string>& ids,
+                      const std::function<Status(const std::string&)>& body) {
+  size_t failed = 0;
+  for (const auto& id : ids) {
+    run.manifest().BeginPhase("dataset/" + id);
+    Status status = body(id);
+    if (!status.ok()) {
+      ++failed;
+      run.manifest().FailPhase(status.ToString());
+      std::fprintf(stderr, "bench: dataset %s failed: %s (continuing)\n",
+                   id.c_str(), status.ToString().c_str());
+    }
+    run.manifest().EndPhase();
+  }
+  return failed;
+}
+
+void RecordDatasetPhase(BenchRun& run, const std::string& id, double seconds,
+                        const Status& status) {
+  if (status.ok()) {
+    run.manifest().AddCompletedPhase("dataset/" + id, seconds);
+    return;
+  }
+  run.manifest().AddCompletedPhase("dataset/" + id, seconds, true,
+                                   status.ToString());
+  std::fprintf(stderr, "bench: dataset %s failed: %s (continuing)\n",
+               id.c_str(), status.ToString().c_str());
 }
 
 void CapPairs(data::MatchingTask* task, size_t max_pairs) {

@@ -5,11 +5,13 @@
 #ifndef RLBENCH_BENCH_BENCH_UTIL_H_
 #define RLBENCH_BENCH_BENCH_UTIL_H_
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/flags.h"
+#include "common/status.h"
 #include "core/practical.h"
 #include "obs/manifest.h"
 
@@ -63,7 +65,8 @@ std::optional<std::vector<CachedScore>> LoadScores(const std::string& name);
 ///
 /// Finish() fills in thread count / hardware concurrency, writes the
 /// Chrome trace when RLBENCH_TRACE is set, and always writes
-/// ResultsDir()/<name>.manifest.json.
+/// ResultsDir()/<name>.manifest.json (atomically, via
+/// data::FileSource::WriteAtomic).
 class BenchRun {
  public:
   explicit BenchRun(const char* name);
@@ -78,6 +81,21 @@ class BenchRun {
   obs::RunManifest manifest_;
   bool finished_ = false;
 };
+
+// --- Graceful per-dataset degradation ---------------------------------------
+
+/// Run `body(id)` for each dataset id under a manifest phase
+/// "dataset/<id>". A failing dataset marks its phase "failed" (with the
+/// Status message), prints a warning, and the run continues with the next
+/// id. Returns the number of failed datasets — benches exit 0 as long as
+/// at least one dataset succeeded.
+size_t ForEachDataset(BenchRun& run, const std::vector<std::string>& ids,
+                      const std::function<Status(const std::string&)>& body);
+
+/// Record one dataset phase that was timed off-manifest (parallel benches
+/// join first, then record in deterministic id order on the main thread).
+void RecordDatasetPhase(BenchRun& run, const std::string& id, double seconds,
+                        const Status& status);
 
 /// Cap a task's pair count by thinning easy negatives (positives are
 /// always kept, so difficulty is preserved or increased). Shared by the

@@ -9,6 +9,7 @@
 
 #include "bench_util.h"
 #include "common/parallel.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
 #include "core/linearity.h"
@@ -36,29 +37,35 @@ int main(int argc, char** argv) {
       "Figure 1 (data series): degree of linearity per established dataset");
   table.SetHeader({"dataset", "F1max_CS", "t_CS", "F1max_JS", "t_JS"});
 
-  // Resolve every id up front so the bad-flag path stays serial, then fan
-  // the per-dataset work out across the pool (grain 1: one dataset per
-  // chunk). Inner Parallel* calls run inline, so results match a serial
-  // drive bit for bit; rows are emitted in the original id order.
-  std::vector<const datagen::ExistingBenchmarkSpec*> specs;
-  for (const auto& id : ids) {
-    const auto* spec = datagen::FindExistingBenchmark(id);
-    if (spec == nullptr) {
-      std::fprintf(stderr, "unknown dataset id %s\n", id.c_str());
-      return 1;
-    }
-    specs.push_back(spec);
+  // Resolve every id up front (an unknown id is a failed phase, not a
+  // fatal error), then fan the per-dataset work out across the pool
+  // (grain 1: one dataset per chunk). Inner Parallel* calls run inline,
+  // so results match a serial drive bit for bit; rows, and the manifest's
+  // per-dataset phases, are emitted post-join in the original id order
+  // because the manifest is not thread-safe.
+  std::vector<const datagen::ExistingBenchmarkSpec*> specs(ids.size(), nullptr);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    specs[i] = datagen::FindExistingBenchmark(ids[i]);
   }
-  run.manifest().BeginPhase("linearity");
   std::vector<core::LinearityResult> results(specs.size());
+  std::vector<double> seconds(specs.size(), 0.0);
   ParallelFor(0, specs.size(), 1, [&](size_t i) {
+    if (specs[i] == nullptr) return;
+    Stopwatch watch;
     double scale = benchutil::AutoScale(specs[i]->total_pairs, max_pairs);
     auto task = datagen::BuildExistingBenchmark(*specs[i], scale);
     matchers::MatchingContext context(&task);
     results[i] = core::ComputeLinearity(context);
+    seconds[i] = watch.ElapsedSeconds();
   });
-  run.manifest().EndPhase();
+  size_t failed = 0;
   for (size_t i = 0; i < specs.size(); ++i) {
+    Status status = specs[i] == nullptr
+                        ? Status::NotFound("unknown dataset id " + ids[i])
+                        : Status::OK();
+    if (!status.ok()) ++failed;
+    benchutil::RecordDatasetPhase(run, ids[i], seconds[i], status);
+    if (specs[i] == nullptr) continue;
     table.AddRow({specs[i]->id, benchutil::F3(results[i].f1_cosine),
                   FormatDouble(results[i].threshold_cosine, 2),
                   benchutil::F3(results[i].f1_jaccard),
@@ -69,5 +76,5 @@ int main(int argc, char** argv) {
       "\nReading: >0.8 marks an (almost) linearly separable benchmark; the\n"
       "paper finds six such datasets among the thirteen.\n");
   run.Finish();
-  return 0;
+  return failed == ids.size() ? 1 : 0;
 }

@@ -9,6 +9,7 @@
 
 #include "bench_util.h"
 #include "common/parallel.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
 #include "core/complexity.h"
@@ -41,18 +42,15 @@ int main(int argc, char** argv) {
   // the pool at grain 1. Inner Parallel* calls run inline, so every report
   // matches a serial drive bit for bit; the table is assembled serially
   // afterwards in the original id order.
-  std::vector<const datagen::ExistingBenchmarkSpec*> specs;
-  for (const auto& id : ids) {
-    const auto* spec = datagen::FindExistingBenchmark(id);
-    if (spec == nullptr) {
-      std::fprintf(stderr, "unknown dataset id %s\n", id.c_str());
-      return 1;
-    }
-    specs.push_back(spec);
+  std::vector<const datagen::ExistingBenchmarkSpec*> specs(ids.size(), nullptr);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    specs[i] = datagen::FindExistingBenchmark(ids[i]);
   }
-  run.manifest().BeginPhase("complexity");
   std::vector<core::ComplexityReport> reports(specs.size());
+  std::vector<double> seconds(specs.size(), 0.0);
   ParallelFor(0, specs.size(), 1, [&](size_t i) {
+    if (specs[i] == nullptr) return;
+    Stopwatch watch;
     double scale = benchutil::AutoScale(specs[i]->total_pairs, max_pairs);
     auto task = datagen::BuildExistingBenchmark(*specs[i], scale);
     matchers::MatchingContext context(&task);
@@ -60,10 +58,17 @@ int main(int argc, char** argv) {
     options.max_points = sample;
     reports[i] =
         core::ComputeComplexity(core::PairFeaturePoints(context), options);
+    seconds[i] = watch.ElapsedSeconds();
   });
-  run.manifest().EndPhase();
+  size_t failed = 0;
   bool header_set = false;
   for (size_t i = 0; i < specs.size(); ++i) {
+    Status status = specs[i] == nullptr
+                        ? Status::NotFound("unknown dataset id " + ids[i])
+                        : Status::OK();
+    if (!status.ok()) ++failed;
+    benchutil::RecordDatasetPhase(run, ids[i], seconds[i], status);
+    if (specs[i] == nullptr) continue;
     if (!header_set) {
       std::vector<std::string> header = {"dataset"};
       for (const auto& [name, value] : reports[i].Items()) {
@@ -85,5 +90,5 @@ int main(int argc, char** argv) {
       "\nReading: a mean score below 0.400 indicates an easy classification\n"
       "task (the paper marks only Ds4, Ds6, Dd4, Dt1, Dt2 as challenging).\n");
   run.Finish();
-  return 0;
+  return failed == ids.size() ? 1 : 0;
 }

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   auto cached =
       recompute ? std::nullopt : benchutil::LoadScores("table4_scores");
   std::vector<benchutil::CachedScore> scores;
+  size_t failed = 0;
   if (cached) {
     scores = *cached;
     std::printf("(using cached scores from table4_matchers)\n");
@@ -43,22 +44,25 @@ int main(int argc, char** argv) {
     double epoch_scale = flags.GetDouble("epoch-scale", 1.0);
     run.manifest().AddConfig("max_pairs", static_cast<int64_t>(max_pairs));
     run.manifest().AddConfig("epoch_scale", epoch_scale);
-    run.manifest().BeginPhase("score_matchers");
-    for (const auto& id : ids) {
-      const auto* spec = datagen::FindExistingBenchmark(id);
-      if (spec == nullptr) continue;
-      double scale = benchutil::AutoScale(spec->total_pairs, max_pairs);
-      std::fprintf(stderr, "[fig3] %s (scale %.3f)...\n", id.c_str(), scale);
-      auto task = datagen::BuildExistingBenchmark(*spec, scale);
-      matchers::MatchingContext context(&task);
-      matchers::RegistryOptions registry;
-      registry.epoch_scale = epoch_scale;
-      auto lineup = matchers::BuildMatcherLineup(registry);
-      for (const auto& score : core::ScoreLineup(context, &lineup)) {
-        scores.push_back({id, score.name, score.group, score.f1});
-      }
-    }
-    run.manifest().EndPhase();
+    failed = benchutil::ForEachDataset(
+        run, ids, [&](const std::string& id) -> Status {
+          const auto* spec = datagen::FindExistingBenchmark(id);
+          if (spec == nullptr) {
+            return Status::NotFound("unknown dataset id " + id);
+          }
+          double scale = benchutil::AutoScale(spec->total_pairs, max_pairs);
+          std::fprintf(stderr, "[fig3] %s (scale %.3f)...\n", id.c_str(),
+                       scale);
+          auto task = datagen::BuildExistingBenchmark(*spec, scale);
+          matchers::MatchingContext context(&task);
+          matchers::RegistryOptions registry;
+          registry.epoch_scale = epoch_scale;
+          auto lineup = matchers::BuildMatcherLineup(registry);
+          for (const auto& score : core::ScoreLineup(context, &lineup)) {
+            scores.push_back({id, score.name, score.group, score.f1});
+          }
+          return Status::OK();
+        });
     benchutil::SaveScores("table4_scores", scores);
   }
 
@@ -86,5 +90,5 @@ int main(int argc, char** argv) {
       "\nReading: a challenging benchmark needs both NLB and LBM above 5%%\n"
       "(ideally 10%%); the paper marks only Ds4, Ds6, Dd4 and Dt1.\n");
   run.Finish();
-  return 0;
+  return failed == ids.size() ? 1 : 0;
 }

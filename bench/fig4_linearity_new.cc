@@ -7,6 +7,7 @@
 
 #include "bench_util.h"
 #include "common/parallel.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
 #include "core/benchmark_builder.h"
@@ -41,29 +42,39 @@ int main(int argc, char** argv) {
   // the pool at grain 1; progress lines may interleave but results land in
   // indexed slots and the table keeps the original id order. Inner
   // Parallel* calls run inline, so results match a serial drive.
-  std::vector<const datagen::SourceDatasetSpec*> specs;
-  for (const auto& id : ids) {
-    const auto* spec = datagen::FindSourceDataset(id);
-    if (spec == nullptr) {
-      std::fprintf(stderr, "unknown dataset id %s\n", id.c_str());
-      return 1;
-    }
-    specs.push_back(spec);
+  std::vector<const datagen::SourceDatasetSpec*> specs(ids.size(), nullptr);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    specs[i] = datagen::FindSourceDataset(ids[i]);
   }
-  run.manifest().BeginPhase("linearity");
   std::vector<core::LinearityResult> results(specs.size());
+  std::vector<Status> statuses(specs.size(), Status::OK());
+  std::vector<double> seconds(specs.size(), 0.0);
   ParallelFor(0, specs.size(), 1, [&](size_t i) {
+    if (specs[i] == nullptr) {
+      statuses[i] = Status::NotFound("unknown dataset id " + ids[i]);
+      return;
+    }
+    Stopwatch watch;
     std::fprintf(stderr, "[fig4] %s...\n", specs[i]->id.c_str());
     core::NewBenchmarkOptions options;
     options.scale = scale;
     options.min_recall = recall;
     options.k_max = k_max;
     auto benchmark = core::BuildNewBenchmark(*specs[i], options);
-    matchers::MatchingContext context(&benchmark.task);
+    if (!benchmark.ok()) {
+      statuses[i] = benchmark.status();
+      seconds[i] = watch.ElapsedSeconds();
+      return;
+    }
+    matchers::MatchingContext context(&benchmark->task);
     results[i] = core::ComputeLinearity(context);
+    seconds[i] = watch.ElapsedSeconds();
   });
-  run.manifest().EndPhase();
+  size_t failed = 0;
   for (size_t i = 0; i < specs.size(); ++i) {
+    if (!statuses[i].ok()) ++failed;
+    benchutil::RecordDatasetPhase(run, ids[i], seconds[i], statuses[i]);
+    if (!statuses[i].ok()) continue;
     table.AddRow({specs[i]->id, benchutil::F3(results[i].f1_cosine),
                   FormatDouble(results[i].threshold_cosine, 2),
                   benchutil::F3(results[i].f1_jaccard),
@@ -74,5 +85,5 @@ int main(int argc, char** argv) {
       "\nReading: the paper finds both measures high for the bibliographic\n"
       "Dn3/Dn8 and low for the challenging Dn1, Dn2, Dn5, Dn6, Dn7.\n");
   run.Finish();
-  return 0;
+  return failed == ids.size() ? 1 : 0;
 }

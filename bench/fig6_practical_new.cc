@@ -6,6 +6,7 @@
 //        --recompute, --datasets=...
 #include <cstdio>
 #include <iostream>
+#include <utility>
 
 #include "bench_util.h"
 #include "common/table_printer.h"
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
   auto cached =
       recompute ? std::nullopt : benchutil::LoadScores("table6_scores");
   std::vector<benchutil::CachedScore> scores;
+  size_t failed = 0;
   if (cached) {
     scores = *cached;
     std::printf("(using cached scores from table6_matchers_new)\n");
@@ -45,27 +47,32 @@ int main(int argc, char** argv) {
     run.manifest().AddConfig("recall", recall);
     run.manifest().AddConfig("kmax", static_cast<int64_t>(k_max));
     run.manifest().AddConfig("epoch_scale", epoch_scale);
-    run.manifest().BeginPhase("score_matchers");
-    for (const auto& id : ids) {
-      const auto* spec = datagen::FindSourceDataset(id);
-      if (spec == nullptr) continue;
-      std::fprintf(stderr, "[fig6] %s...\n", id.c_str());
-      core::NewBenchmarkOptions options;
-      options.scale = scale;
-      options.min_recall = recall;
-      options.k_max = k_max;
-      auto benchmark = core::BuildNewBenchmark(*spec, options);
-      benchutil::CapPairs(&benchmark.task,
-                          static_cast<size_t>(flags.GetInt("max-pairs", 4000)));
-      matchers::MatchingContext context(&benchmark.task);
-      matchers::RegistryOptions registry;
-      registry.epoch_scale = epoch_scale;
-      auto lineup = matchers::BuildMatcherLineup(registry);
-      for (const auto& score : core::ScoreLineup(context, &lineup)) {
-        scores.push_back({id, score.name, score.group, score.f1});
-      }
-    }
-    run.manifest().EndPhase();
+    failed = benchutil::ForEachDataset(
+        run, ids, [&](const std::string& id) -> Status {
+          const auto* spec = datagen::FindSourceDataset(id);
+          if (spec == nullptr) {
+            return Status::NotFound("unknown dataset id " + id);
+          }
+          std::fprintf(stderr, "[fig6] %s...\n", id.c_str());
+          core::NewBenchmarkOptions options;
+          options.scale = scale;
+          options.min_recall = recall;
+          options.k_max = k_max;
+          auto built = core::BuildNewBenchmark(*spec, options);
+          if (!built.ok()) return built.status();
+          core::NewBenchmark benchmark = std::move(built).value();
+          benchutil::CapPairs(
+              &benchmark.task,
+              static_cast<size_t>(flags.GetInt("max-pairs", 4000)));
+          matchers::MatchingContext context(&benchmark.task);
+          matchers::RegistryOptions registry;
+          registry.epoch_scale = epoch_scale;
+          auto lineup = matchers::BuildMatcherLineup(registry);
+          for (const auto& score : core::ScoreLineup(context, &lineup)) {
+            scores.push_back({id, score.name, score.group, score.f1});
+          }
+          return Status::OK();
+        });
     benchutil::SaveScores("table6_scores", scores);
   }
 
@@ -94,5 +101,5 @@ int main(int argc, char** argv) {
       "\nReading: the paper finds both measures well above 5%% for Dn1,\n"
       "Dn2, Dn6, Dn7 and near zero for the linearly separable Dn3/Dn8.\n");
   run.Finish();
-  return 0;
+  return failed == ids.size() ? 1 : 0;
 }

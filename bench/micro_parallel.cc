@@ -17,6 +17,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "data/file_source.h"
 #include "core/complexity.h"
 #include "core/linearity.h"
 #include "datagen/catalog.h"
@@ -43,19 +44,24 @@ double BestOf(int repeats, const Fn& fn) {
   return best;
 }
 
-void PrintWorkload(FILE* out, const char* name,
-                   const std::vector<double>& seconds, bool last) {
-  std::fprintf(out, "    {\"name\": \"%s\", \"times\": [", name);
+std::string WorkloadJson(const char* name, const std::vector<double>& seconds,
+                         bool last) {
+  char buf[64];
+  std::string out = "    {\"name\": \"" + std::string(name) + "\", \"times\": [";
   for (size_t i = 0; i < seconds.size(); ++i) {
-    std::fprintf(out, "%s{\"threads\": %zu, \"seconds\": %.6f}",
-                 i == 0 ? "" : ", ", kThreadSweep[i], seconds[i]);
+    std::snprintf(buf, sizeof(buf), "%s{\"threads\": %zu, \"seconds\": %.6f}",
+                  i == 0 ? "" : ", ", kThreadSweep[i], seconds[i]);
+    out += buf;
   }
-  std::fprintf(out, "], \"speedup_vs_1\": [");
+  out += "], \"speedup_vs_1\": [";
   for (size_t i = 0; i < seconds.size(); ++i) {
     double speedup = seconds[i] > 0.0 ? seconds[0] / seconds[i] : 0.0;
-    std::fprintf(out, "%s%.3f", i == 0 ? "" : ", ", speedup);
+    std::snprintf(buf, sizeof(buf), "%s%.3f", i == 0 ? "" : ", ", speedup);
+    out += buf;
   }
-  std::fprintf(out, "]}%s\n", last ? "" : ",");
+  out += "]}";
+  out += last ? "\n" : ",\n";
+  return out;
 }
 
 }  // namespace
@@ -79,6 +85,9 @@ int main(int argc, char** argv) {
   const auto* spec = datagen::FindExistingBenchmark(dataset);
   if (spec == nullptr) {
     std::fprintf(stderr, "unknown dataset id %s\n", dataset.c_str());
+    benchutil::RecordDatasetPhase(
+        run, dataset, 0.0, Status::NotFound("unknown dataset id " + dataset));
+    run.Finish();
     return 1;
   }
   auto task = datagen::BuildExistingBenchmark(*spec, scale);
@@ -139,32 +148,37 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(qgram_warm));
 
   std::string path = benchutil::ResultsDir() + "/BENCH_parallel.json";
-  FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  char buf[256];
+  std::string json = "{\n";
+  json += "  \"bench\": \"parallel_scaling\",\n";
+  json += "  \"dataset\": \"" + spec->id + "\",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"scale\": %.3f,\n  \"sample\": %zu,\n"
+                "  \"labelled_pairs\": %zu,\n"
+                "  \"hardware_concurrency\": %zu,\n",
+                scale, sample, points.size(),
+                static_cast<size_t>(std::thread::hardware_concurrency()));
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"feature_cache\": {\"hits\": %llu, \"misses\": %llu, "
+                "\"entries\": %.0f, \"token_records_warmed\": %llu, "
+                "\"qgram_records_warmed\": %llu},\n",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses), entries,
+                static_cast<unsigned long long>(token_warm),
+                static_cast<unsigned long long>(qgram_warm));
+  json += buf;
+  json += "  \"workloads\": [\n";
+  json += WorkloadJson("complexity_measures", complexity_seconds, false);
+  json += WorkloadJson("magellan_features", feature_seconds, true);
+  json += "  ]\n}\n";
+  Status write = data::FileSource::WriteAtomic(path, json);
+  if (!write.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 write.ToString().c_str());
+    run.Finish();
     return 1;
   }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"bench\": \"parallel_scaling\",\n");
-  std::fprintf(out, "  \"dataset\": \"%s\",\n", spec->id.c_str());
-  std::fprintf(out, "  \"scale\": %.3f,\n", scale);
-  std::fprintf(out, "  \"sample\": %zu,\n", sample);
-  std::fprintf(out, "  \"labelled_pairs\": %zu,\n", points.size());
-  std::fprintf(out, "  \"hardware_concurrency\": %zu,\n",
-               static_cast<size_t>(std::thread::hardware_concurrency()));
-  std::fprintf(out,
-               "  \"feature_cache\": {\"hits\": %llu, \"misses\": %llu, "
-               "\"entries\": %.0f, \"token_records_warmed\": %llu, "
-               "\"qgram_records_warmed\": %llu},\n",
-               static_cast<unsigned long long>(hits),
-               static_cast<unsigned long long>(misses), entries,
-               static_cast<unsigned long long>(token_warm),
-               static_cast<unsigned long long>(qgram_warm));
-  std::fprintf(out, "  \"workloads\": [\n");
-  PrintWorkload(out, "complexity_measures", complexity_seconds, false);
-  PrintWorkload(out, "magellan_features", feature_seconds, true);
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
   std::printf("wrote %s\n", path.c_str());
   run.Finish();
   return 0;

@@ -36,31 +36,31 @@ int main(int argc, char** argv) {
   table.SetHeader({"id", "origin", "domain", "|D1|", "|D2|", "|A|", "|Itr|",
                    "|Ptr|", "|Ntr|", "|Ite|", "|Pte|", "|Nte|", "IR"});
 
-  run.manifest().BeginPhase("datasets");
-  for (const auto& id : ids) {
-    const auto* spec = datagen::FindExistingBenchmark(id);
-    if (spec == nullptr) {
-      std::fprintf(stderr, "unknown dataset id %s\n", id.c_str());
-      return 1;
-    }
-    auto task = datagen::BuildExistingBenchmark(*spec, scale);
-    auto train = task.TrainStats();
-    auto test = task.TestStats();
-    auto total = task.TotalStats();
-    table.AddRow({spec->id, spec->origin, datagen::DomainName(spec->domain),
-                  FormatWithCommas(static_cast<int64_t>(task.left().size())),
-                  FormatWithCommas(static_cast<int64_t>(task.right().size())),
-                  std::to_string(spec->num_attrs),
-                  FormatWithCommas(static_cast<int64_t>(train.total)),
-                  FormatWithCommas(static_cast<int64_t>(train.positives)),
-                  FormatWithCommas(static_cast<int64_t>(train.negatives)),
-                  FormatWithCommas(static_cast<int64_t>(test.total)),
-                  FormatWithCommas(static_cast<int64_t>(test.positives)),
-                  FormatWithCommas(static_cast<int64_t>(test.negatives)),
-                  benchutil::Pct(total.ImbalanceRatio()) + "%"});
-  }
-  run.manifest().EndPhase();
+  size_t failed = benchutil::ForEachDataset(
+      run, ids, [&](const std::string& id) -> Status {
+        const auto* spec = datagen::FindExistingBenchmark(id);
+        if (spec == nullptr) {
+          return Status::NotFound("unknown dataset id " + id);
+        }
+        auto task = datagen::BuildExistingBenchmark(*spec, scale);
+        auto train = task.TrainStats();
+        auto test = task.TestStats();
+        auto total = task.TotalStats();
+        table.AddRow(
+            {spec->id, spec->origin, datagen::DomainName(spec->domain),
+             FormatWithCommas(static_cast<int64_t>(task.left().size())),
+             FormatWithCommas(static_cast<int64_t>(task.right().size())),
+             std::to_string(spec->num_attrs),
+             FormatWithCommas(static_cast<int64_t>(train.total)),
+             FormatWithCommas(static_cast<int64_t>(train.positives)),
+             FormatWithCommas(static_cast<int64_t>(train.negatives)),
+             FormatWithCommas(static_cast<int64_t>(test.total)),
+             FormatWithCommas(static_cast<int64_t>(test.positives)),
+             FormatWithCommas(static_cast<int64_t>(test.negatives)),
+             benchutil::Pct(total.ImbalanceRatio()) + "%"});
+        return Status::OK();
+      });
   table.Print(std::cout);
   run.Finish();
-  return 0;
+  return failed == ids.size() ? 1 : 0;
 }

@@ -41,33 +41,32 @@ int main(int argc, char** argv) {
   std::map<std::string, matchers::MatcherGroup> groups;
   std::vector<benchutil::CachedScore> cache;
 
-  run.manifest().BeginPhase("score_matchers");
-  for (const auto& id : ids) {
-    const auto* spec = datagen::FindExistingBenchmark(id);
-    if (spec == nullptr) {
-      std::fprintf(stderr, "unknown dataset id %s\n", id.c_str());
-      return 1;
-    }
-    double scale = benchutil::AutoScale(spec->total_pairs, max_pairs);
-    std::fprintf(stderr, "[table4] %s (scale %.3f)...\n", id.c_str(), scale);
-    auto task = datagen::BuildExistingBenchmark(*spec, scale);
-    matchers::MatchingContext context(&task);
+  size_t failed = benchutil::ForEachDataset(
+      run, ids, [&](const std::string& id) -> Status {
+        const auto* spec = datagen::FindExistingBenchmark(id);
+        if (spec == nullptr) {
+          return Status::NotFound("unknown dataset id " + id);
+        }
+        double scale = benchutil::AutoScale(spec->total_pairs, max_pairs);
+        std::fprintf(stderr, "[table4] %s (scale %.3f)...\n", id.c_str(),
+                     scale);
+        auto task = datagen::BuildExistingBenchmark(*spec, scale);
+        matchers::MatchingContext context(&task);
 
-    matchers::RegistryOptions registry;
-    registry.epoch_scale = epoch_scale;
-    auto lineup = matchers::BuildMatcherLineup(registry);
-    auto scores = core::ScoreLineup(context, &lineup);
-    for (const auto& score : scores) {
-      if (matrix.find(score.name) == matrix.end()) {
-        row_order.push_back(score.name);
-      }
-      matrix[score.name][id] = score.f1;
-      groups[score.name] = score.group;
-      cache.push_back({id, score.name, score.group, score.f1});
-    }
-  }
-
-  run.manifest().EndPhase();
+        matchers::RegistryOptions registry;
+        registry.epoch_scale = epoch_scale;
+        auto lineup = matchers::BuildMatcherLineup(registry);
+        auto scores = core::ScoreLineup(context, &lineup);
+        for (const auto& score : scores) {
+          if (matrix.find(score.name) == matrix.end()) {
+            row_order.push_back(score.name);
+          }
+          matrix[score.name][id] = score.f1;
+          groups[score.name] = score.group;
+          cache.push_back({id, score.name, score.group, score.f1});
+        }
+        return Status::OK();
+      });
 
   TablePrinter table("Table IV: F1 per method and dataset (x100)");
   std::vector<std::string> header = {"method"};
@@ -101,5 +100,5 @@ int main(int argc, char** argv) {
               "fig3_practical).\n",
               benchutil::ResultsDir().c_str());
   run.Finish();
-  return 0;
+  return failed == ids.size() ? 1 : 0;
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <utility>
 
 #include "bench_util.h"
 #include "common/rng.h"
@@ -46,37 +47,37 @@ int main(int argc, char** argv) {
   std::map<std::string, matchers::MatcherGroup> groups;
   std::vector<benchutil::CachedScore> cache;
 
-  run.manifest().BeginPhase("score_matchers");
-  for (const auto& id : ids) {
-    const auto* spec = datagen::FindSourceDataset(id);
-    if (spec == nullptr) {
-      std::fprintf(stderr, "unknown dataset id %s\n", id.c_str());
-      return 1;
-    }
-    std::fprintf(stderr, "[table6] %s...\n", id.c_str());
-    core::NewBenchmarkOptions options;
-    options.scale = scale;
-    options.min_recall = recall;
-    options.k_max = k_max;
-    auto benchmark = core::BuildNewBenchmark(*spec, options);
-    benchutil::CapPairs(&benchmark.task, max_pairs);
-    matchers::MatchingContext context(&benchmark.task);
+  size_t failed = benchutil::ForEachDataset(
+      run, ids, [&](const std::string& id) -> Status {
+        const auto* spec = datagen::FindSourceDataset(id);
+        if (spec == nullptr) {
+          return Status::NotFound("unknown dataset id " + id);
+        }
+        std::fprintf(stderr, "[table6] %s...\n", id.c_str());
+        core::NewBenchmarkOptions options;
+        options.scale = scale;
+        options.min_recall = recall;
+        options.k_max = k_max;
+        auto built = core::BuildNewBenchmark(*spec, options);
+        if (!built.ok()) return built.status();
+        core::NewBenchmark benchmark = std::move(built).value();
+        benchutil::CapPairs(&benchmark.task, max_pairs);
+        matchers::MatchingContext context(&benchmark.task);
 
-    matchers::RegistryOptions registry;
-    registry.epoch_scale = epoch_scale;
-    auto lineup = matchers::BuildMatcherLineup(registry);
-    auto scores = core::ScoreLineup(context, &lineup);
-    for (const auto& score : scores) {
-      if (matrix.find(score.name) == matrix.end()) {
-        row_order.push_back(score.name);
-      }
-      matrix[score.name][id] = score.f1;
-      groups[score.name] = score.group;
-      cache.push_back({id, score.name, score.group, score.f1});
-    }
-  }
-
-  run.manifest().EndPhase();
+        matchers::RegistryOptions registry;
+        registry.epoch_scale = epoch_scale;
+        auto lineup = matchers::BuildMatcherLineup(registry);
+        auto scores = core::ScoreLineup(context, &lineup);
+        for (const auto& score : scores) {
+          if (matrix.find(score.name) == matrix.end()) {
+            row_order.push_back(score.name);
+          }
+          matrix[score.name][id] = score.f1;
+          groups[score.name] = score.group;
+          cache.push_back({id, score.name, score.group, score.f1});
+        }
+        return Status::OK();
+      });
 
   TablePrinter table("Table VI: F1 per method and new dataset (x100)");
   std::vector<std::string> header = {"method"};
@@ -109,5 +110,5 @@ int main(int argc, char** argv) {
               "fig6_practical_new).\n",
               benchutil::ResultsDir().c_str());
   run.Finish();
-  return 0;
+  return failed == ids.size() ? 1 : 0;
 }

@@ -5,9 +5,11 @@
 //   <dir>/d1.csv, <dir>/d2.csv        record tables (id + attributes)
 //   <dir>/train.csv, valid.csv, test.csv   labelled pairs (left,right,label)
 //
-//   ./build/examples/assess_benchmark --dir=/tmp/rlbench_Dn6
+//   ./build/examples/assess_benchmark --dir=/tmp/rlbench_Dn6 [--lenient]
 //
-// Without --dir it demonstrates the flow on a generated benchmark.
+// With --lenient, malformed rows are quarantined (and reported) instead of
+// failing the whole import. Without --dir it demonstrates the flow on a
+// generated benchmark.
 #include <cstdio>
 
 #include "common/flags.h"
@@ -80,11 +82,23 @@ int main(int argc, char** argv) {
   }
 
   std::string dir = flags.GetString("dir", "");
-  auto task = data::ImportBenchmark(dir, "user");
+  data::QuarantineReport quarantine;
+  data::ImportOptions options;
+  options.lenient = flags.Has("lenient");
+  options.quarantine = &quarantine;
+  auto task = data::ImportBenchmark(dir, "user", options);
   if (!task.ok()) {
     std::fprintf(stderr, "load failed: %s\n",
                  task.status().ToString().c_str());
+    if (!options.lenient) {
+      std::fprintf(stderr, "(rerun with --lenient to quarantine bad rows "
+                           "instead of failing)\n");
+    }
     return 1;
+  }
+  if (!quarantine.empty()) {
+    std::fprintf(stderr, "quarantined %zu malformed row(s):\n%s",
+                 quarantine.size(), quarantine.Summary().c_str());
   }
   std::printf("loaded %s: %zu + %zu records, %zu labelled pairs\n\n",
               dir.c_str(), task->left().size(), task->right().size(),

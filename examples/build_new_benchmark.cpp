@@ -8,6 +8,7 @@
 //                                        [--recall=0.9] [--out=/tmp/dn6]
 #include <cstdio>
 #include <filesystem>
+#include <utility>
 
 #include "common/flags.h"
 #include "core/benchmark_builder.h"
@@ -39,7 +40,13 @@ int main(int argc, char** argv) {
   core::NewBenchmarkOptions options;
   options.scale = scale;
   options.min_recall = recall;
-  auto benchmark = core::BuildNewBenchmark(*spec, options);
+  auto built = core::BuildNewBenchmark(*spec, options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  core::NewBenchmark benchmark = std::move(built).value();
 
   std::printf("blocking: %s -> PC=%.3f PQ=%.3f |C|=%zu |P|=%zu\n",
               block::ConfigToString(benchmark.blocking.config,

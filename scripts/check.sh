@@ -6,8 +6,11 @@
 #   3. observability end-to-end: one bench with RLBENCH_METRICS +
 #      RLBENCH_TRACE, manifest + trace validated by
 #      tools/validate_manifest.py
-#   4. repo lint (tools/rlbench_lint.py)
-#   5. clang-tidy over src/ (skipped with a warning if not installed)
+#   4. fault-injection storm: a real bench under RLBENCH_FAULTS across 8
+#      seeds with ASan/UBSan armed — graceful degradation may fail
+#      datasets, but a crash/abort/sanitizer report fails the gate
+#   5. repo lint (tools/rlbench_lint.py)
+#   6. clang-tidy over src/ (skipped with a warning if not installed)
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -16,7 +19,7 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_ROOT}/build-asan}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/5] build + test under ASan/UBSan =="
+echo "== [1/6] build + test under ASan/UBSan =="
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRLBENCH_SANITIZE="address;undefined" \
@@ -30,7 +33,7 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
     ctest --output-on-failure -j "${JOBS}"
 )
 
-echo "== [2/5] concurrency tests under TSan =="
+echo "== [2/6] concurrency tests under TSan =="
 TSAN_DIR="${REPO_ROOT}/build-tsan"
 cmake -B "${TSAN_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -56,16 +59,51 @@ cmake --build "${TSAN_DIR}" -j "${JOBS}" --target \
 )
 echo "TSan: clean"
 
-echo "== [3/5] observability end-to-end =="
+echo "== [3/6] observability end-to-end =="
 python3 "${REPO_ROOT}/tools/validate_manifest.py" --run \
   "${BUILD_DIR}/bench/table3_datasets" --datasets=Ds1 --scale=0.05
 echo "observability: manifest + trace validate"
 
-echo "== [4/5] repo lint =="
+echo "== [4/6] fault-injection storm =="
+# Drive a real bench through seeded fault storms with the sanitizers armed.
+# The degradation contract: failed datasets are fine (the bench exits 0
+# while at least one dataset survives, 1 when all fail), but any abort,
+# signal, or sanitizer report fails the gate. abort_on_error turns
+# sanitizer findings into SIGABRT so they can't masquerade as a clean
+# "all datasets failed" exit.
+FAULT_SCRATCH="$(mktemp -d "${TMPDIR:-/tmp}/rlbench_fault_storm.XXXXXX")"
+trap 'rm -rf "${FAULT_SCRATCH}"' EXIT
+for seed in 1 2 3 4 5 6 7 8; do
+  spec="seed=${seed};data/file/*=any:0.25;data/csv/*=any:0.15"
+  spec="${spec};core/build_benchmark=any:0.3"
+  status=0
+  (
+    cd "${FAULT_SCRATCH}"
+    UBSAN_OPTIONS="halt_on_error=1:abort_on_error=1:print_stacktrace=1" \
+    ASAN_OPTIONS="detect_leaks=1:abort_on_error=1" \
+    RLBENCH_FAULTS="${spec}" \
+      "${BUILD_DIR}/bench/table5_newbench" --datasets=Dn1,Dn3 --scale=0.05 \
+      > "storm_${seed}.log" 2>&1
+  ) || status=$?
+  if [[ "${status}" -gt 1 ]]; then
+    echo "fault storm seed ${seed}: bench died (exit ${status})" >&2
+    tail -20 "${FAULT_SCRATCH}/storm_${seed}.log" >&2
+    exit 1
+  fi
+  if grep -qE "AddressSanitizer|LeakSanitizer|runtime error:" \
+      "${FAULT_SCRATCH}/storm_${seed}.log"; then
+    echo "fault storm seed ${seed}: sanitizer report" >&2
+    tail -20 "${FAULT_SCRATCH}/storm_${seed}.log" >&2
+    exit 1
+  fi
+done
+echo "fault storm: clean (8 seeds, no crashes, no sanitizer reports)"
+
+echo "== [5/6] repo lint =="
 python3 "${REPO_ROOT}/tools/rlbench_lint.py" --root "${REPO_ROOT}"
 echo "repo lint: clean"
 
-echo "== [5/5] clang-tidy =="
+echo "== [6/6] clang-tidy =="
 TIDY_BIN="$(command -v clang-tidy || true)"
 if [[ -z "${TIDY_BIN}" ]]; then
   for v in 18 17 16 15 14; do

@@ -9,6 +9,8 @@
 #include <string>
 #include <utility>
 
+#include "common/check.h"
+
 namespace rlbench {
 
 /// Category of a failure carried by a Status.
@@ -19,8 +21,12 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kIOError,
+  kResourceExhausted,
   kInternal,
 };
+
+/// Stable name of a status code ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
 
 /// \brief Value-semantic error carrier.
 ///
@@ -49,6 +55,9 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -70,6 +79,9 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 /// \brief Either a value of type T or a failure Status.
 ///
 /// Mirrors arrow::Result: callers must check ok() before dereferencing.
+/// Dereferencing an error Result is a contract violation; it is caught by
+/// RLBENCH_DCHECK in debug builds (release builds would otherwise read a
+/// disengaged optional — undefined behaviour with no diagnostic).
 template <typename T>
 class Result {
  public:
@@ -79,18 +91,44 @@ class Result {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
-  const T& value() const& { return *value_; }
-  T& value() & { return *value_; }
-  T&& value() && { return std::move(*value_); }
+  const T& value() const& {
+    RLBENCH_DCHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    RLBENCH_DCHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    RLBENCH_DCHECK(ok());
+    return std::move(*value_);
+  }
 
-  const T& operator*() const& { return *value_; }
-  T& operator*() & { return *value_; }
-  const T* operator->() const { return &*value_; }
-  T* operator->() { return &*value_; }
+  const T& operator*() const& {
+    RLBENCH_DCHECK(ok());
+    return *value_;
+  }
+  T& operator*() & {
+    RLBENCH_DCHECK(ok());
+    return *value_;
+  }
+  const T* operator->() const {
+    RLBENCH_DCHECK(ok());
+    return &*value_;
+  }
+  T* operator->() {
+    RLBENCH_DCHECK(ok());
+    return &*value_;
+  }
 
-  /// Return the value, or the given fallback if this Result holds an error.
-  T ValueOr(T fallback) const {
+  /// Return a copy of the value, or the given fallback if this Result holds
+  /// an error.
+  T ValueOr(T fallback) const& {
     return ok() ? *value_ : std::move(fallback);
+  }
+  /// Rvalue overload: moves the stored value out instead of copying it.
+  T ValueOr(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
   }
 
  private:
@@ -104,6 +142,24 @@ class Result {
     ::rlbench::Status _st = (expr);            \
     if (!_st.ok()) return _st;                 \
   } while (false)
+
+// Evaluate `rexpr` (a Result<T> expression); on error return its Status,
+// otherwise move the value into `lhs`. `lhs` may declare a new variable
+// (`RLBENCH_ASSIGN_OR_RETURN(auto table, ReadTableCsv(path, "d1"))`) or
+// assign to an existing one.
+#define RLBENCH_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                   \
+  if (!result.ok()) return result.status();                \
+  lhs = std::move(result).value()
+
+#define RLBENCH_ASSIGN_OR_RETURN_CONCAT_INNER_(a, b) a##b
+#define RLBENCH_ASSIGN_OR_RETURN_CONCAT_(a, b) \
+  RLBENCH_ASSIGN_OR_RETURN_CONCAT_INNER_(a, b)
+
+#define RLBENCH_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  RLBENCH_ASSIGN_OR_RETURN_IMPL_(                                         \
+      RLBENCH_ASSIGN_OR_RETURN_CONCAT_(rlbench_result_, __LINE__), lhs,   \
+      rexpr)
 
 }  // namespace rlbench
 

@@ -1,13 +1,35 @@
 #include "core/benchmark_builder.h"
 
+#include <cmath>
 #include <unordered_set>
 
 #include "data/split.h"
+#include "fault/failpoint.h"
 
 namespace rlbench::core {
 
-NewBenchmark BuildNewBenchmark(const datagen::SourceDatasetSpec& spec,
-                               const NewBenchmarkOptions& options) {
+Result<NewBenchmark> BuildNewBenchmark(const datagen::SourceDatasetSpec& spec,
+                                       const NewBenchmarkOptions& options) {
+  if (!std::isfinite(options.scale) || options.scale <= 0.0) {
+    return Status::InvalidArgument("scale must be positive and finite");
+  }
+  if (!std::isfinite(options.min_recall) || options.min_recall <= 0.0 ||
+      options.min_recall > 1.0) {
+    return Status::InvalidArgument("min_recall must be in (0, 1]");
+  }
+  if (options.k_max < 1) {
+    return Status::InvalidArgument("k_max must be >= 1");
+  }
+  if (options.embedding_dim < 1) {
+    return Status::InvalidArgument("embedding_dim must be >= 1");
+  }
+  if (auto hit = RLBENCH_FAULT_POINT("core/build_benchmark")) {
+    if (hit.kind == fault::FaultKind::kAlloc) {
+      return Status::ResourceExhausted("injected: building " + spec.id);
+    }
+    return Status::Internal("injected: building " + spec.id);
+  }
+
   // Step 1: the dataset pair with complete ground truth.
   datagen::SourcePair source =
       datagen::BuildSourceDataset(spec, options.scale);

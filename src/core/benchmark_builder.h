@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "block/deepblocker_sim.h"
+#include "common/status.h"
 #include "data/task.h"
 #include "datagen/source_builder.h"
 #include "datagen/spec.h"
@@ -36,8 +37,11 @@ struct NewBenchmark {
 };
 
 /// Execute steps 1-3 of the methodology for one source dataset spec.
-NewBenchmark BuildNewBenchmark(const datagen::SourceDatasetSpec& spec,
-                               const NewBenchmarkOptions& options = {});
+/// Invalid options (non-positive or non-finite scale, min_recall outside
+/// (0, 1], k_max < 1, embedding_dim < 1) are InvalidArgument.
+/// Failpoint: core/build_benchmark.
+Result<NewBenchmark> BuildNewBenchmark(const datagen::SourceDatasetSpec& spec,
+                                       const NewBenchmarkOptions& options = {});
 
 }  // namespace rlbench::core
 

@@ -20,33 +20,64 @@ Status ExportBenchmark(const MatchingTask& task,
 }
 
 Result<MatchingTask> ImportBenchmark(const std::string& directory,
-                                     const std::string& name) {
-  auto d1 = ReadTableCsv(directory + "/d1.csv", "d1");
-  if (!d1.ok()) return d1.status();
-  auto d2 = ReadTableCsv(directory + "/d2.csv", "d2");
-  if (!d2.ok()) return d2.status();
-  auto train = ReadPairsCsv(directory + "/train.csv");
-  if (!train.ok()) return train.status();
-  auto valid = ReadPairsCsv(directory + "/valid.csv");
-  if (!valid.ok()) return valid.status();
-  auto test = ReadPairsCsv(directory + "/test.csv");
-  if (!test.ok()) return test.status();
+                                     const std::string& name,
+                                     const ImportOptions& options) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(directory, ec) || ec) {
+    return Status::NotFound("no such benchmark directory: " + directory);
+  }
+  CsvReadOptions csv_options;
+  csv_options.lenient = options.lenient;
+  csv_options.quarantine = options.quarantine;
 
-  size_t left_size = d1->size();
-  size_t right_size = d2->size();
-  for (const auto* split : {&*train, &*valid, &*test}) {
-    for (const auto& pair : *split) {
-      if (pair.left >= left_size || pair.right >= right_size) {
-        return Status::InvalidArgument(
-            "pair index out of range in " + directory);
+  RLBENCH_ASSIGN_OR_RETURN(
+      Table d1, ReadTableCsv(directory + "/d1.csv", "d1", csv_options));
+  RLBENCH_ASSIGN_OR_RETURN(
+      Table d2, ReadTableCsv(directory + "/d2.csv", "d2", csv_options));
+
+  size_t left_size = d1.size();
+  size_t right_size = d2.size();
+
+  // Validate one split: strict rejects the import at the first bad index,
+  // lenient quarantines and drops the pair.
+  auto load_split =
+      [&](const std::string& file) -> Result<std::vector<LabeledPair>> {
+    std::string path = directory + "/" + file;
+    RLBENCH_ASSIGN_OR_RETURN(std::vector<LabeledPair> pairs,
+                             ReadPairsCsv(path, csv_options));
+    std::vector<LabeledPair> kept;
+    kept.reserve(pairs.size());
+    for (const auto& pair : pairs) {
+      if (pair.left < left_size && pair.right < right_size) {
+        kept.push_back(pair);
+        continue;
+      }
+      std::string reason = "pair index out of range: (" +
+                           std::to_string(pair.left) + ", " +
+                           std::to_string(pair.right) + ") vs tables of " +
+                           std::to_string(left_size) + " x " +
+                           std::to_string(right_size);
+      if (!options.lenient) {
+        return Status::InvalidArgument(path + ": " + reason);
+      }
+      if (options.quarantine != nullptr) {
+        options.quarantine->Add(path, 0, reason);
       }
     }
-  }
+    return kept;
+  };
 
-  MatchingTask task(name, std::move(*d1), std::move(*d2));
-  task.set_train(std::move(*train));
-  task.set_valid(std::move(*valid));
-  task.set_test(std::move(*test));
+  RLBENCH_ASSIGN_OR_RETURN(std::vector<LabeledPair> train,
+                           load_split("train.csv"));
+  RLBENCH_ASSIGN_OR_RETURN(std::vector<LabeledPair> valid,
+                           load_split("valid.csv"));
+  RLBENCH_ASSIGN_OR_RETURN(std::vector<LabeledPair> test,
+                           load_split("test.csv"));
+
+  MatchingTask task(name, std::move(d1), std::move(d2));
+  task.set_train(std::move(train));
+  task.set_valid(std::move(valid));
+  task.set_test(std::move(test));
   return task;
 }
 

@@ -7,17 +7,31 @@
 #include <string>
 
 #include "common/status.h"
+#include "data/quarantine.h"
 #include "data/task.h"
 
 namespace rlbench::data {
 
+/// Tolerance knobs for ImportBenchmark; see CsvReadOptions for the row
+/// semantics. Lenient mode additionally quarantines (instead of rejecting)
+/// pairs whose indices fall outside the imported tables.
+struct ImportOptions {
+  bool lenient = false;
+  QuarantineReport* quarantine = nullptr;
+};
+
 /// Write the task's tables and splits into `directory` (created if absent).
+/// Each file is written atomically (temp file + rename), so a failed export
+/// never leaves a half-written CSV behind.
 Status ExportBenchmark(const MatchingTask& task, const std::string& directory);
 
 /// Load a benchmark previously written by ExportBenchmark (or hand-built
-/// in the same layout). Pair indices are validated against table sizes.
+/// in the same layout). A missing directory or split file is NotFound;
+/// malformed rows and out-of-range pair indices are InvalidArgument in
+/// strict mode, quarantined in lenient mode.
 Result<MatchingTask> ImportBenchmark(const std::string& directory,
-                                     const std::string& name = "imported");
+                                     const std::string& name = "imported",
+                                     const ImportOptions& options = {});
 
 }  // namespace rlbench::data
 

@@ -1,7 +1,9 @@
 #include "data/csv.h"
 
-#include <fstream>
-#include <sstream>
+#include <cstdint>
+
+#include "data/file_source.h"
+#include "fault/failpoint.h"
 
 namespace rlbench::data {
 
@@ -52,7 +54,11 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
         end_field();
         break;
       case '\r':
-        break;  // swallow; LF terminates the row
+        // CRLF counts as one terminator; a lone CR (classic Mac, or a torn
+        // CRLF) still ends the row rather than leaking into the next field.
+        if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+        end_row();
+        break;
       case '\n':
         end_row();
         break;
@@ -82,19 +88,96 @@ std::string QuoteField(const std::string& field) {
   return out;
 }
 
-Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
+// No-throw uint32 parser for pair indices. Rejects empty, non-digit, and
+// overflowing input; std::stoul would throw (or accept "12abc").
+bool ParseUint32Field(const std::string& text, uint32_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    if (value > 0xFFFFFFFFULL) return false;
+  }
+  *out = static_cast<uint32_t>(value);
+  return true;
 }
 
-Status WriteFile(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  out << content;
-  return out ? Status::OK() : Status::IOError("write failed: " + path);
+bool ParseLabelField(const std::string& text, bool* out) {
+  if (text == "1" || text == "true") {
+    *out = true;
+    return true;
+  }
+  if (text == "0" || text == "false") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+bool AsciiEqualsIgnoreCase(const std::string& a, const char* b) {
+  size_t i = 0;
+  for (; i < a.size() && b[i] != '\0'; ++i) {
+    char ca = a[i];
+    if (ca >= 'A' && ca <= 'Z') ca = static_cast<char>(ca - 'A' + 'a');
+    if (ca != b[i]) return false;
+  }
+  return i == a.size() && b[i] == '\0';
+}
+
+// Per-row fault handling shared by the two readers. A hit either aborts the
+// read (strict, or io/alloc kinds), quarantines the row (lenient), or
+// mutates the row in place (truncate/corrupt in strict mode fall through to
+// normal validation on the mangled row).
+enum class RowFaultAction { kNone, kSkipRow };
+
+Result<RowFaultAction> ApplyRowFault(const fault::FaultHit& hit,
+                                     const std::string& path, size_t row_num,
+                                     const CsvReadOptions& options,
+                                     std::vector<std::string>* row) {
+  if (!hit) return RowFaultAction::kNone;
+  if (options.lenient) {
+    if (options.quarantine != nullptr) {
+      options.quarantine->Add(path, row_num,
+                              std::string("injected ") +
+                                  fault::FaultKindName(hit.kind));
+    }
+    return RowFaultAction::kSkipRow;
+  }
+  switch (hit.kind) {
+    case fault::FaultKind::kIOError:
+      return Status::IOError("injected: row " + std::to_string(row_num) +
+                             " of " + path);
+    case fault::FaultKind::kAlloc:
+      return Status::ResourceExhausted("injected: row " +
+                                       std::to_string(row_num) + " of " +
+                                       path);
+    case fault::FaultKind::kTruncate:
+      if (!row->empty()) row->resize(hit.payload % row->size() + 1);
+      return RowFaultAction::kNone;
+    case fault::FaultKind::kCorrupt:
+      if (!row->empty()) {
+        (*row)[hit.payload % row->size()] = "\xff<injected-corrupt>";
+      }
+      return RowFaultAction::kNone;
+    case fault::FaultKind::kNone:
+      return RowFaultAction::kNone;
+  }
+  return RowFaultAction::kNone;
+}
+
+// Strict mode fails the read; lenient mode quarantines the row and tells
+// the caller to skip it.
+Result<RowFaultAction> RejectRow(const std::string& path, size_t row_num,
+                                 const std::string& reason,
+                                 const CsvReadOptions& options) {
+  if (!options.lenient) {
+    return Status::InvalidArgument(path + ": row " + std::to_string(row_num) +
+                                   ": " + reason);
+  }
+  if (options.quarantine != nullptr) {
+    options.quarantine->Add(path, row_num, reason);
+  }
+  return RowFaultAction::kSkipRow;
 }
 
 }  // namespace
@@ -111,28 +194,41 @@ std::string WriteCsv(const std::vector<std::vector<std::string>>& rows) {
   return out;
 }
 
-Result<Table> ReadTableCsv(const std::string& path, const std::string& name) {
-  auto text = ReadFile(path);
-  if (!text.ok()) return text.status();
-  auto rows = ParseCsv(*text);
-  if (!rows.ok()) return rows.status();
-  if (rows->empty()) return Status::InvalidArgument("empty CSV: " + path);
+Result<Table> ReadTableCsv(const std::string& path, const std::string& name,
+                           const CsvReadOptions& options) {
+  RLBENCH_ASSIGN_OR_RETURN(std::string text, FileSource::ReadAll(path));
+  RLBENCH_ASSIGN_OR_RETURN(auto rows, ParseCsv(text));
+  if (rows.empty()) return Status::InvalidArgument("empty CSV: " + path);
 
-  const auto& header = (*rows)[0];
+  const auto& header = rows[0];
   if (header.size() < 2) {
     return Status::InvalidArgument("table CSV needs id + 1 attribute: " + path);
   }
   Schema schema(std::vector<std::string>(header.begin() + 1, header.end()));
   Table table(name, schema);
-  table.Reserve(rows->size() - 1);
-  for (size_t r = 1; r < rows->size(); ++r) {
-    const auto& row = (*rows)[r];
-    Record record;
-    record.id = row.empty() ? "" : row[0];
-    record.values.assign(schema.num_attributes(), "");
-    for (size_t i = 1; i < row.size() && i - 1 < schema.num_attributes(); ++i) {
-      record.values[i - 1] = row[i];
+  table.Reserve(rows.size() - 1);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    auto& row = rows[r];
+    size_t row_num = r + 1;  // 1-based; header is row 1
+    {
+      auto action = ApplyRowFault(RLBENCH_FAULT_POINT("data/csv/table_row"),
+                                  path, row_num, options, &row);
+      if (!action.ok()) return action.status();
+      if (*action == RowFaultAction::kSkipRow) continue;
     }
+    if (row.size() != 1 + schema.num_attributes()) {
+      auto action = RejectRow(
+          path, row_num,
+          "expected " + std::to_string(1 + schema.num_attributes()) +
+              " fields, got " + std::to_string(row.size()),
+          options);
+      if (!action.ok()) return action.status();
+      continue;  // the only non-error action for a bad row is kSkipRow
+    }
+    Record record;
+    record.id = std::move(row[0]);
+    record.values.assign(std::make_move_iterator(row.begin() + 1),
+                         std::make_move_iterator(row.end()));
     table.Add(std::move(record));
   }
   return table;
@@ -149,24 +245,59 @@ Status WriteTableCsv(const Table& table, const std::string& path) {
     row.insert(row.end(), record.values.begin(), record.values.end());
     rows.push_back(std::move(row));
   }
-  return WriteFile(path, WriteCsv(rows));
+  return FileSource::WriteAtomic(path, WriteCsv(rows));
 }
 
-Result<std::vector<LabeledPair>> ReadPairsCsv(const std::string& path) {
-  auto text = ReadFile(path);
-  if (!text.ok()) return text.status();
-  auto rows = ParseCsv(*text);
-  if (!rows.ok()) return rows.status();
+Result<std::vector<LabeledPair>> ReadPairsCsv(const std::string& path,
+                                              const CsvReadOptions& options) {
+  RLBENCH_ASSIGN_OR_RETURN(std::string text, FileSource::ReadAll(path));
+  RLBENCH_ASSIGN_OR_RETURN(auto rows, ParseCsv(text));
+  if (rows.empty()) return Status::InvalidArgument("empty CSV: " + path);
+  const auto& header = rows[0];
+  // A wrong header means the file is not a pair CSV at all; that stays a
+  // hard error even in lenient mode.
+  if (header.size() != 3 || !AsciiEqualsIgnoreCase(header[0], "left") ||
+      !AsciiEqualsIgnoreCase(header[1], "right") ||
+      !AsciiEqualsIgnoreCase(header[2], "label")) {
+    return Status::InvalidArgument(
+        "pair CSV header must be left,right,label: " + path);
+  }
   std::vector<LabeledPair> pairs;
-  for (size_t r = 1; r < rows->size(); ++r) {
-    const auto& row = (*rows)[r];
-    if (row.size() < 3) {
-      return Status::InvalidArgument("pair CSV row needs 3 fields: " + path);
+  pairs.reserve(rows.size() - 1);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    auto& row = rows[r];
+    size_t row_num = r + 1;
+    {
+      auto action = ApplyRowFault(RLBENCH_FAULT_POINT("data/csv/pair_row"),
+                                  path, row_num, options, &row);
+      if (!action.ok()) return action.status();
+      if (*action == RowFaultAction::kSkipRow) continue;
+    }
+    auto reject = [&](const std::string& reason) {
+      return RejectRow(path, row_num, reason, options);
+    };
+    if (row.size() != 3) {
+      auto action =
+          reject("expected 3 fields, got " + std::to_string(row.size()));
+      if (!action.ok()) return action.status();
+      continue;
     }
     LabeledPair pair;
-    pair.left = static_cast<uint32_t>(std::stoul(row[0]));
-    pair.right = static_cast<uint32_t>(std::stoul(row[1]));
-    pair.is_match = row[2] == "1" || row[2] == "true";
+    if (!ParseUint32Field(row[0], &pair.left)) {
+      auto action = reject("bad left index: \"" + row[0] + "\"");
+      if (!action.ok()) return action.status();
+      continue;
+    }
+    if (!ParseUint32Field(row[1], &pair.right)) {
+      auto action = reject("bad right index: \"" + row[1] + "\"");
+      if (!action.ok()) return action.status();
+      continue;
+    }
+    if (!ParseLabelField(row[2], &pair.is_match)) {
+      auto action = reject("bad label: \"" + row[2] + "\"");
+      if (!action.ok()) return action.status();
+      continue;
+    }
     pairs.push_back(pair);
   }
   return pairs;
@@ -181,7 +312,7 @@ Status WritePairsCsv(const std::vector<LabeledPair>& pairs,
     rows.push_back({std::to_string(pair.left), std::to_string(pair.right),
                     pair.is_match ? "1" : "0"});
   }
-  return WriteFile(path, WriteCsv(rows));
+  return FileSource::WriteAtomic(path, WriteCsv(rows));
 }
 
 }  // namespace rlbench::data

@@ -1,5 +1,11 @@
 // CSV serialisation for tables and labelled pair sets, RFC-4180 style
 // quoting. Lets users export generated benchmarks and import their own.
+//
+// Reads come in two modes. Strict (the default) rejects the whole file at
+// the first malformed row with a precise Status. Lenient quarantines each
+// malformed row into a QuarantineReport and keeps going, so one torn line
+// cannot gate a whole dataset. File-level damage (unreadable file, empty
+// document, bad header) is an error in both modes.
 #ifndef RLBENCH_SRC_DATA_CSV_H_
 #define RLBENCH_SRC_DATA_CSV_H_
 
@@ -7,29 +13,49 @@
 #include <vector>
 
 #include "common/status.h"
+#include "data/quarantine.h"
 #include "data/record.h"
 #include "data/task.h"
 
 namespace rlbench::data {
 
+/// Row-level tolerance for ReadTableCsv / ReadPairsCsv.
+struct CsvReadOptions {
+  /// Quarantine malformed rows instead of failing the whole read.
+  bool lenient = false;
+  /// Collects quarantined rows in lenient mode (may be nullptr).
+  QuarantineReport* quarantine = nullptr;
+};
+
 /// Parse one CSV document into rows of fields. Handles quoted fields with
-/// embedded commas, quotes ("" escape) and newlines. CRLF is accepted.
+/// embedded commas, quotes ("" escape) and newlines. Row terminators: LF,
+/// CRLF, and lone CR all end a row; a final row without a trailing
+/// terminator is kept. A quote still open at end of input is an
+/// InvalidArgument, never silently closed.
 Result<std::vector<std::vector<std::string>>> ParseCsv(const std::string& text);
 
 /// Serialise rows of fields to CSV text, quoting where needed.
 std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
 
 /// Read a table from a CSV file: first row is the header, first column is
-/// the record id, remaining columns are the schema attributes.
-Result<Table> ReadTableCsv(const std::string& path, const std::string& name);
+/// the record id, remaining columns are the schema attributes. Every data
+/// row must have exactly the header's arity; offenders fail the read
+/// (strict) or are quarantined (lenient). Failpoint: data/csv/table_row.
+Result<Table> ReadTableCsv(const std::string& path, const std::string& name,
+                           const CsvReadOptions& options = {});
 
-/// Write a table in the same layout.
+/// Write a table in the same layout (atomically: temp file + rename).
 Status WriteTableCsv(const Table& table, const std::string& path);
 
-/// Read labelled pairs from a CSV file with header "left,right,label".
-Result<std::vector<LabeledPair>> ReadPairsCsv(const std::string& path);
+/// Read labelled pairs from a CSV file. The header must be exactly
+/// "left,right,label" (ASCII case-insensitive); rows must carry two
+/// non-negative integers that fit in uint32 and a label in {0, 1, true,
+/// false}. Offenders fail the read (strict) or are quarantined (lenient).
+/// Failpoint: data/csv/pair_row.
+Result<std::vector<LabeledPair>> ReadPairsCsv(
+    const std::string& path, const CsvReadOptions& options = {});
 
-/// Write labelled pairs in the same layout.
+/// Write labelled pairs in the same layout (atomically).
 Status WritePairsCsv(const std::vector<LabeledPair>& pairs,
                      const std::string& path);
 

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "fault/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -11,6 +12,18 @@ namespace {
 // Tokenising a record costs microseconds; keep chunks coarse enough that
 // dispatch overhead stays negligible.
 constexpr size_t kWarmGrain = 64;
+
+// Under injected allocation pressure the warm-up degrades to a serial
+// fill instead of fanning out. Results are bit-identical either way (each
+// slot is owned by one record index); only the wall-clock changes.
+bool WarmSeriallyUnderPressure() {
+  if (auto hit = RLBENCH_FAULT_POINT("data/feature_cache/warm")) {
+    (void)hit;
+    RLBENCH_COUNTER_INC("feature_cache/degraded_serial_warms");
+    return true;
+  }
+  return false;
+}
 }  // namespace
 
 RecordFeatureCache::RecordFeatureCache(const Table* table) : table_(table) {
@@ -143,6 +156,12 @@ void RecordFeatureCache::WarmTokens() const {
   RLBENCH_TRACE_SPAN("feature_cache/warm_tokens");
   RLBENCH_COUNTER_ADD("feature_cache/warmed_token_records", entries_.size());
   RLBENCH_GAUGE_OBSERVE("feature_cache/entries", entries_.size());
+  if (WarmSeriallyUnderPressure()) {
+    for (size_t record = 0; record < entries_.size(); ++record) {
+      FillTokenSlots(entry(record), record);
+    }
+    return;
+  }
   ParallelFor(0, entries_.size(), kWarmGrain,
               [this](size_t record) { FillTokenSlots(entry(record), record); });
 }
@@ -152,6 +171,12 @@ void RecordFeatureCache::WarmQGrams() const {
   RLBENCH_TRACE_SPAN("feature_cache/warm_qgrams");
   RLBENCH_COUNTER_ADD("feature_cache/warmed_qgram_records", entries_.size());
   RLBENCH_GAUGE_OBSERVE("feature_cache/entries", entries_.size());
+  if (WarmSeriallyUnderPressure()) {
+    for (size_t record = 0; record < entries_.size(); ++record) {
+      FillQGramSlots(entry(record), record);
+    }
+    return;
+  }
   ParallelFor(0, entries_.size(), kWarmGrain,
               [this](size_t record) { FillQGramSlots(entry(record), record); });
 }

@@ -1,0 +1,141 @@
+#include "data/file_source.h"
+
+#include <chrono>  // backoff sleeps; FileSource is on the lint allowlist
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.h"
+#include "fault/failpoint.h"
+#include "obs/metrics.h"
+
+namespace rlbench::data {
+
+namespace {
+
+// Apply a read-side fault to the freshly read buffer. Truncation and
+// corruption mutate the data (the caller's parser must cope — that is the
+// point); io/alloc turn into the matching Status.
+Status ApplyReadFault(const fault::FaultHit& hit, const std::string& path,
+                      std::string* content) {
+  switch (hit.kind) {
+    case fault::FaultKind::kIOError:
+      return Status::IOError("injected: read of " + path);
+    case fault::FaultKind::kAlloc:
+      return Status::ResourceExhausted("injected: allocation reading " + path);
+    case fault::FaultKind::kTruncate:
+      content->resize(hit.payload % (content->size() + 1));
+      return Status::OK();
+    case fault::FaultKind::kCorrupt: {
+      if (content->empty()) return Status::OK();
+      // Mangle 1-8 seeded positions; SplitMix64 of the payload stream keeps
+      // the positions deterministic per hit.
+      uint64_t state = hit.payload;
+      size_t flips = 1 + static_cast<size_t>(hit.payload % 8);
+      for (size_t i = 0; i < flips; ++i) {
+        state = SplitMix64(state);
+        size_t pos = static_cast<size_t>(state % content->size());
+        (*content)[pos] = static_cast<char>(state >> 32);
+      }
+      return Status::OK();
+    }
+    case fault::FaultKind::kNone:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status WriteStream(const std::string& path, const std::string& content,
+                   const char* failpoint) {
+  if (auto hit = RLBENCH_FAULT_POINT(failpoint)) {
+    if (hit.kind == fault::FaultKind::kTruncate) {
+      // Torn write: a prefix reaches the disk, the Status reports failure.
+      std::ofstream torn(path, std::ios::binary);
+      if (torn) {
+        torn.write(content.data(),
+                   static_cast<std::streamsize>(
+                       hit.payload % (content.size() + 1)));
+      }
+    }
+    return Status::IOError("injected: write of " + path);
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> FileSource::ReadAll(const std::string& path) {
+  RLBENCH_COUNTER_INC("file_source/reads");
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    return Status::NotFound("no such file: " + path);
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  std::string content = buffer.str();
+  if (auto hit = RLBENCH_FAULT_POINT("data/file/read")) {
+    RLBENCH_COUNTER_INC("file_source/read_faults");
+    RLBENCH_RETURN_NOT_OK(ApplyReadFault(hit, path, &content));
+  }
+  return content;
+}
+
+Status FileSource::WriteAll(const std::string& path,
+                            const std::string& content) {
+  RLBENCH_COUNTER_INC("file_source/writes");
+  return WriteStream(path, content, "data/file/write");
+}
+
+Status FileSource::WriteAtomic(const std::string& path,
+                               const std::string& content,
+                               const AtomicWriteOptions& options) {
+  RLBENCH_COUNTER_INC("file_source/atomic_writes");
+  const std::string tmp_path = path + ".tmp";
+  Status last = Status::Internal("atomic write never attempted: " + path);
+  int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      RLBENCH_COUNTER_INC("file_source/atomic_write_retries");
+      if (options.backoff_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.backoff_ms << (attempt - 1)));
+      }
+    }
+    last = WriteStream(tmp_path, content, "data/file/tmp_write");
+    if (!last.ok()) {
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+      continue;
+    }
+    if (auto hit = RLBENCH_FAULT_POINT("data/file/rename")) {
+      (void)hit;
+      last = Status::IOError("injected: rename to " + path);
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+      continue;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, path, ec);
+    if (ec) {
+      last = Status::IOError("rename " + tmp_path + " -> " + path + ": " +
+                             ec.message());
+      std::error_code remove_ec;
+      std::filesystem::remove(tmp_path, remove_ec);
+      continue;
+    }
+    return Status::OK();
+  }
+  RLBENCH_COUNTER_INC("file_source/atomic_write_failures");
+  return last;
+}
+
+}  // namespace rlbench::data

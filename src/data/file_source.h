@@ -1,0 +1,57 @@
+// The single choke point for file IO in rlbench. Every read and write of
+// benchmark data, score caches, and run manifests flows through
+// FileSource so that (a) failure semantics are uniform Status values,
+// (b) writes that must never be observed half-done go through an atomic
+// write-temp-then-rename with bounded retry, and (c) the fault-injection
+// layer (src/fault/) can strike every IO path from one place.
+//
+// Failpoints wired here:
+//   data/file/read       io | truncate | corrupt | alloc  (whole-file reads)
+//   data/file/write      io | truncate                    (plain writes; a
+//                        truncate hit models a torn write: prefix lands,
+//                        Status reports the failure)
+//   data/file/tmp_write  io | truncate   (atomic write, temp-file stage)
+//   data/file/rename     io              (atomic write, publish stage)
+//
+// The repo lint bans raw std::ifstream/std::ofstream everywhere else; see
+// docs/robustness.md.
+#ifndef RLBENCH_SRC_DATA_FILE_SOURCE_H_
+#define RLBENCH_SRC_DATA_FILE_SOURCE_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace rlbench::data {
+
+/// Knobs for FileSource::WriteAtomic.
+struct AtomicWriteOptions {
+  int max_attempts = 3;  ///< total tries of the write+rename sequence
+  int backoff_ms = 1;    ///< base backoff between tries, doubled each retry
+};
+
+class FileSource {
+ public:
+  /// Read the whole file. NotFound when the path does not name a regular
+  /// file, IOError when it cannot be opened or read, ResourceExhausted
+  /// under injected allocation pressure.
+  static Result<std::string> ReadAll(const std::string& path);
+
+  /// Overwrite `path` in place. Not atomic: a crash (or injected truncate
+  /// fault) can leave a prefix. Use for scratch data only; anything a later
+  /// run re-reads belongs in WriteAtomic.
+  static Status WriteAll(const std::string& path, const std::string& content);
+
+  /// Write `path` atomically: the content lands in `path + ".tmp"` first
+  /// and is renamed over the target, so readers observe either the old
+  /// file or the complete new one, never a torn write. The whole sequence
+  /// retries up to `options.max_attempts` times with doubling backoff;
+  /// the temp file is removed on every failure path.
+  static Status WriteAtomic(const std::string& path,
+                            const std::string& content,
+                            const AtomicWriteOptions& options = {});
+};
+
+}  // namespace rlbench::data
+
+#endif  // RLBENCH_SRC_DATA_FILE_SOURCE_H_

@@ -1,0 +1,29 @@
+#include "data/quarantine.h"
+
+#include "obs/metrics.h"
+
+namespace rlbench::data {
+
+void QuarantineReport::Add(std::string source, size_t row,
+                           std::string reason) {
+  RLBENCH_COUNTER_INC("data/quarantined_rows");
+  entries_.push_back(
+      QuarantineEntry{std::move(source), row, std::move(reason)});
+}
+
+std::string QuarantineReport::Summary(size_t max_lines) const {
+  std::string out;
+  size_t shown = entries_.size() < max_lines ? entries_.size() : max_lines;
+  for (size_t i = 0; i < shown; ++i) {
+    const QuarantineEntry& entry = entries_[i];
+    out += entry.source + ":" + std::to_string(entry.row) + ": " +
+           entry.reason + "\n";
+  }
+  if (entries_.size() > shown) {
+    out += "... and " + std::to_string(entries_.size() - shown) +
+           " more quarantined row(s)\n";
+  }
+  return out;
+}
+
+}  // namespace rlbench::data

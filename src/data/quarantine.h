@@ -1,0 +1,43 @@
+// Quarantine bookkeeping for lenient ingestion: malformed rows are data,
+// not crashes. A lenient import drops each bad row into a
+// QuarantineReport — with its source file, row number, and reason — and
+// keeps going, so a single torn line cannot silently gate which datasets
+// get measured (the integrity failure mode the paper warns about).
+#ifndef RLBENCH_SRC_DATA_QUARANTINE_H_
+#define RLBENCH_SRC_DATA_QUARANTINE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rlbench::data {
+
+/// One quarantined row.
+struct QuarantineEntry {
+  std::string source;  ///< file path (or logical stream name)
+  size_t row = 0;      ///< 1-based row number in the source; header is row 1
+  std::string reason;  ///< why the row was rejected
+};
+
+/// \brief Accumulates quarantined rows across one ingestion run.
+/// Not thread-safe; ingestion is serial.
+class QuarantineReport {
+ public:
+  void Add(std::string source, size_t row, std::string reason);
+
+  const std::vector<QuarantineEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  void Clear() { entries_.clear(); }
+
+  /// Human-readable digest: one line per entry, capped at `max_lines`
+  /// entries with a "... and N more" trailer.
+  std::string Summary(size_t max_lines = 10) const;
+
+ private:
+  std::vector<QuarantineEntry> entries_;
+};
+
+}  // namespace rlbench::data
+
+#endif  // RLBENCH_SRC_DATA_QUARANTINE_H_

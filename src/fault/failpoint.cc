@@ -1,0 +1,277 @@
+#include "fault/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "obs/metrics.h"
+
+namespace rlbench::fault {
+
+namespace {
+
+// One armed spec clause. Counters are atomic so failpoints may be
+// evaluated concurrently; the decision for the n-th evaluation depends
+// only on (seed, pattern, n), never on other clauses or wall time.
+struct Clause {
+  std::string pattern;         // may end in '*'
+  bool wildcard = false;       // pattern ends in '*'
+  FaultKind kind = FaultKind::kNone;  // kNone encodes 'any'
+  double probability = 0.0;
+  uint64_t max_hits = UINT64_MAX;
+  uint64_t stream_seed = 0;    // SplitMix64(seed ^ Fnv1a64(pattern))
+  std::atomic<uint64_t> evaluations{0};
+  std::atomic<uint64_t> hits{0};
+};
+
+struct Registry {
+  std::mutex mutex;            // guards re-arming, not evaluation
+  std::string spec;
+  uint64_t seed = 0;
+  std::vector<std::unique_ptr<Clause>> clauses;
+  bool env_resolved = false;   // RLBENCH_FAULTS consulted already
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+bool PatternMatches(const Clause& clause, std::string_view point) {
+  if (clause.wildcard) {
+    std::string_view prefix(clause.pattern);
+    prefix.remove_suffix(1);
+    return point.substr(0, prefix.size()) == prefix;
+  }
+  return point == clause.pattern;
+}
+
+bool ParseUint64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseProbability(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  if (!(value >= 0.0 && value <= 1.0)) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseKind(std::string_view text, FaultKind* kind) {
+  if (text == "io") *kind = FaultKind::kIOError;
+  else if (text == "truncate") *kind = FaultKind::kTruncate;
+  else if (text == "corrupt") *kind = FaultKind::kCorrupt;
+  else if (text == "alloc") *kind = FaultKind::kAlloc;
+  else if (text == "any") *kind = FaultKind::kNone;  // resolved per hit
+  else return false;
+  return true;
+}
+
+// Parse into `clauses` + `seed`; on error returns InvalidArgument naming
+// the offending clause and leaves the outputs untouched.
+Status ParseSpec(const std::string& spec,
+                 std::vector<std::unique_ptr<Clause>>* clauses,
+                 uint64_t* seed) {
+  std::vector<std::unique_ptr<Clause>> parsed;
+  uint64_t parsed_seed = 0;
+  for (const std::string& raw : SplitAny(spec, ";")) {
+    std::string piece(StripAscii(raw));
+    if (piece.empty()) continue;
+    size_t eq = piece.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("fault spec clause '" + piece +
+                                     "': expected point=kind:prob or seed=N");
+    }
+    std::string left = piece.substr(0, eq);
+    std::string right = piece.substr(eq + 1);
+    if (left == "seed") {
+      if (!ParseUint64(right, &parsed_seed)) {
+        return Status::InvalidArgument("fault spec: bad seed '" + right + "'");
+      }
+      continue;
+    }
+    auto clause = std::make_unique<Clause>();
+    clause->pattern = left;
+    clause->wildcard = !left.empty() && left.back() == '*';
+    if (clause->wildcard && left.size() == 1) {
+      // A bare "*" matches everything; allowed, reads as "every failpoint".
+    }
+    auto parts = SplitAny(right, ":");
+    if (parts.size() < 2 || parts.size() > 3) {
+      return Status::InvalidArgument("fault spec clause '" + piece +
+                                     "': expected kind:prob[:max=N]");
+    }
+    if (!ParseKind(parts[0], &clause->kind)) {
+      return Status::InvalidArgument("fault spec clause '" + piece +
+                                     "': unknown kind '" + parts[0] + "'");
+    }
+    if (!ParseProbability(parts[1], &clause->probability)) {
+      return Status::InvalidArgument("fault spec clause '" + piece +
+                                     "': probability '" + parts[1] +
+                                     "' not in [0, 1]");
+    }
+    if (parts.size() == 3) {
+      if (!StartsWith(parts[2], "max=") ||
+          !ParseUint64(std::string_view(parts[2]).substr(4),
+                       &clause->max_hits)) {
+        return Status::InvalidArgument("fault spec clause '" + piece +
+                                       "': expected max=N, got '" + parts[2] +
+                                       "'");
+      }
+    }
+    parsed.push_back(std::move(clause));
+  }
+  for (auto& clause : parsed) {
+    clause->stream_seed =
+        SplitMix64(parsed_seed ^ Fnv1a64(clause->pattern));
+  }
+  *clauses = std::move(parsed);
+  *seed = parsed_seed;
+  return Status::OK();
+}
+
+// 53-bit uniform in [0, 1) from one SplitMix64 output.
+double ToUnitInterval(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kIOError:
+      return "io";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kAlloc:
+      return "alloc";
+  }
+  return "none";
+}
+
+namespace internal {
+
+std::atomic<int> g_fault_state{0};
+
+int ResolveFaultState() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  int state = g_fault_state.load(std::memory_order_relaxed);
+  if (state != 0) return state;  // raced with another resolver / SetSpec
+  registry.env_resolved = true;
+  const char* env = std::getenv("RLBENCH_FAULTS");
+  if (env == nullptr || env[0] == '\0') {
+    g_fault_state.store(1, std::memory_order_relaxed);
+    return 1;
+  }
+  Status status = ParseSpec(env, &registry.clauses, &registry.seed);
+  if (!status.ok()) {
+    // Aborting here is deliberate: a typo'd RLBENCH_FAULTS that silently
+    // injected nothing would defeat the tests this layer backs.
+    std::fprintf(stderr, "fault: cannot parse RLBENCH_FAULTS: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+  registry.spec = env;
+  g_fault_state.store(2, std::memory_order_release);
+  return 2;
+}
+
+FaultHit Evaluate(const char* point) {
+  Registry& registry = GetRegistry();
+  RLBENCH_COUNTER_INC("fault/evaluations");
+  for (auto& clause_ptr : registry.clauses) {
+    Clause& clause = *clause_ptr;
+    if (!PatternMatches(clause, point)) continue;
+    uint64_t n = clause.evaluations.fetch_add(1, std::memory_order_relaxed);
+    uint64_t draw = SplitMix64(clause.stream_seed + n);
+    if (ToUnitInterval(draw) >= clause.probability) return FaultHit{};
+    // Cap accounting: only the first max_hits winners actually fire.
+    uint64_t prior = clause.hits.fetch_add(1, std::memory_order_relaxed);
+    if (prior >= clause.max_hits) {
+      clause.hits.fetch_sub(1, std::memory_order_relaxed);
+      return FaultHit{};
+    }
+    FaultHit hit;
+    hit.payload = SplitMix64(draw ^ 0x9E3779B97F4A7C15ULL);
+    hit.kind = clause.kind == FaultKind::kNone  // 'any': pick per hit
+                   ? static_cast<FaultKind>(1 + hit.payload % 4)
+                   : clause.kind;
+    RLBENCH_COUNTER_INC("fault/hits");
+    return hit;
+  }
+  return FaultHit{};
+}
+
+}  // namespace internal
+
+Status SetSpec(const std::string& spec) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  if (spec.empty()) {
+    registry.clauses.clear();
+    registry.spec.clear();
+    internal::g_fault_state.store(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  std::vector<std::unique_ptr<Clause>> clauses;
+  uint64_t seed = 0;
+  RLBENCH_RETURN_NOT_OK(ParseSpec(spec, &clauses, &seed));
+  registry.clauses = std::move(clauses);
+  registry.seed = seed;
+  registry.spec = spec;
+  internal::g_fault_state.store(2, std::memory_order_release);
+  return Status::OK();
+}
+
+void Clear() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.clauses.clear();
+  registry.spec.clear();
+  internal::g_fault_state.store(1, std::memory_order_relaxed);
+}
+
+std::string ActiveSpec() {
+  if (!FaultsEnabled()) return "";
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  return registry.spec;
+}
+
+std::vector<FaultPointStats> Stats() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<FaultPointStats> out;
+  out.reserve(registry.clauses.size());
+  for (const auto& clause : registry.clauses) {
+    FaultPointStats stats;
+    stats.point = clause->pattern;
+    stats.kind = clause->kind;
+    stats.evaluations = clause->evaluations.load(std::memory_order_relaxed);
+    stats.hits = clause->hits.load(std::memory_order_relaxed);
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+}  // namespace rlbench::fault

@@ -41,13 +41,17 @@ void MatchingContext::EnsureMagellan() const {
   left_.Freeze();
   right_.Freeze();
   auto build = [&](const std::vector<data::LabeledPair>& pairs) {
-    return ml::Dataset::BuildParallel(
+    // dim > 0 is an invariant here: every task reaching a matcher went
+    // through schema validation (>= 1 attribute) at build or import time.
+    auto dataset = ml::Dataset::BuildParallel(
         dim, pairs.size(), [&](size_t i, std::span<float> row) {
           auto features = MagellanFeatures(left_, right_, pairs[i]);
           RLBENCH_DCHECK_EQ(features.size(), row.size());
           std::copy(features.begin(), features.end(), row.begin());
           return pairs[i].is_match;
         });
+    RLBENCH_CHECK(dataset.ok());
+    return std::move(dataset).value();
   };
   magellan_train_ = build(task_->train());
   magellan_valid_ = build(task_->valid());

@@ -11,16 +11,29 @@ namespace {
 constexpr size_t kRowGrain = 32;
 }  // namespace
 
+Status Dataset::Append(const std::vector<float>& features, bool label) {
+  if (features.size() != num_features_) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(features.size()) + " features, dataset " +
+        std::to_string(num_features_));
+  }
+  values_.insert(values_.end(), features.begin(), features.end());
+  labels_.push_back(label ? 1 : 0);
+  return Status::OK();
+}
+
 void Dataset::Add(const std::vector<float>& features, bool label) {
   RLBENCH_CHECK_EQ(features.size(), num_features_);
   values_.insert(values_.end(), features.begin(), features.end());
   labels_.push_back(label ? 1 : 0);
 }
 
-Dataset Dataset::BuildParallel(
+Result<Dataset> Dataset::BuildParallel(
     size_t num_features, size_t rows,
     const std::function<bool(size_t, std::span<float>)>& fill) {
-  RLBENCH_CHECK_GT(num_features, 0u);
+  if (num_features == 0) {
+    return Status::InvalidArgument("dataset needs at least one feature");
+  }
   Dataset dataset(num_features);
   dataset.values_.resize(rows * num_features);
   dataset.labels_.resize(rows);

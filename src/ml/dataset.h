@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/status.h"
 
 namespace rlbench::ml {
 
@@ -23,7 +24,12 @@ class Dataset {
   size_t size() const { return labels_.size(); }
   bool empty() const { return labels_.empty(); }
 
-  /// Append one row; `features.size()` must equal num_features().
+  /// Append one row. InvalidArgument when `features.size()` differs from
+  /// num_features(); use this on rows derived from external input.
+  Status Append(const std::vector<float>& features, bool label);
+
+  /// Append one row whose arity is an internal invariant; CHECK-fails on
+  /// mismatch. Prefer Append for anything input-derived.
   void Add(const std::vector<float>& features, bool label);
 
   /// \brief Assemble a dataset by filling index-addressed rows in parallel.
@@ -32,8 +38,9 @@ class Dataset {
   /// returns its label. Because every row is owned by exactly one index,
   /// the result is bit-identical to the serial loop at any thread count
   /// (common/parallel.h contract). This is the batch path the matcher
-  /// training-set assembly uses.
-  static Dataset BuildParallel(
+  /// training-set assembly uses. InvalidArgument when num_features == 0
+  /// (reachable from an imported benchmark with a degenerate schema).
+  static Result<Dataset> BuildParallel(
       size_t num_features, size_t rows,
       const std::function<bool(size_t, std::span<float>)>& fill);
 

@@ -73,7 +73,7 @@ void RunManifest::AddConfig(const std::string& key, int64_t value) {
 }
 
 void RunManifest::BeginPhase(const std::string& phase_name) {
-  phases_.push_back(Phase{phase_name, 0.0, true});
+  phases_.push_back(Phase{phase_name, 0.0, true, false, ""});
   phase_stack_.push_back(phases_.size() - 1);
   phase_spans_.push_back(std::make_unique<PhaseSpan>(phase_name));
   phase_starts_.push_back(std::chrono::steady_clock::now());
@@ -92,6 +92,26 @@ void RunManifest::EndPhase() {
   phases_[index].open = false;
 }
 
+void RunManifest::FailPhase(const std::string& error) {
+  if (phase_stack_.empty()) return;
+  Phase& phase = phases_[phase_stack_.back()];
+  phase.failed = true;
+  phase.error = error;
+}
+
+void RunManifest::AddCompletedPhase(const std::string& phase_name,
+                                    double seconds, bool failed,
+                                    const std::string& error) {
+  phases_.push_back(Phase{phase_name, seconds, false, failed, error});
+}
+
+bool RunManifest::HasFailedPhase() const {
+  for (const Phase& phase : phases_) {
+    if (phase.failed) return true;
+  }
+  return false;
+}
+
 double RunManifest::TotalSeconds() const {
   if (frozen_total_ >= 0.0) return frozen_total_;
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -107,7 +127,7 @@ void RunManifest::Finalize() {
 
 std::string RunManifest::ToJson() const {
   std::string out = "{\n";
-  out += "  \"schema_version\": 1,\n";
+  out += "  \"schema_version\": 2,\n";
   out += "  \"bench\": " + JsonString(name_) + ",\n";
   out += "  \"git\": " + JsonString(GitDescribe()) + ",\n";
   out += "  \"threads\": " + std::to_string(threads_) + ",\n";
@@ -132,7 +152,12 @@ std::string RunManifest::ToJson() const {
   for (size_t i = 0; i < phases_.size(); ++i) {
     if (i > 0) out += ", ";
     out += "{\"name\": " + JsonString(phases_[i].name) +
-           ", \"seconds\": " + JsonNumber(phases_[i].seconds) + "}";
+           ", \"seconds\": " + JsonNumber(phases_[i].seconds) +
+           ", \"status\": " + (phases_[i].failed ? "\"failed\"" : "\"ok\"");
+    if (phases_[i].failed) {
+      out += ", \"error\": " + JsonString(phases_[i].error);
+    }
+    out += "}";
   }
   out += "],\n";
   out += "  \"total_seconds\": " + JsonNumber(TotalSeconds());
@@ -171,19 +196,6 @@ std::string RunManifest::ToJson() const {
   }
   out += "\n}\n";
   return out;
-}
-
-std::string RunManifest::WriteFile(const std::string& dir) const {
-  std::string path = dir + "/" + name_ + ".manifest.json";
-  FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "obs: cannot write manifest %s\n", path.c_str());
-    return "";
-  }
-  std::string json = ToJson();
-  std::fwrite(json.data(), 1, json.size(), out);
-  std::fclose(out);
-  return path;
 }
 
 }  // namespace rlbench::obs

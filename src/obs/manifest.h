@@ -8,16 +8,19 @@
 // (tools/validate_manifest.py, plotting scripts, CI) can consume runs
 // without scraping stdout.
 //
-// Manifest schema (schema_version 1):
+// Manifest schema (schema_version 2):
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "bench": "<name>",
 //     "git": "<git describe --always --dirty, or 'unknown'>",
 //     "threads": N, "hardware_concurrency": N,
 //     "seed": N,                     // only when set
 //     "datasets": ["Ds1", ...],
 //     "config": {"flag": "value", ...},
-//     "phases": [{"name": "...", "seconds": S}, ...],
+//     "phases": [{"name": "...", "seconds": S,
+//                 "status": "ok" | "failed",
+//                 "error": "..."},   // only when failed
+//                ...],
 //     "total_seconds": S,
 //     "trace_file": "path",          // only when tracing
 //     "counters": {"name": N, ...},          // only with RLBENCH_METRICS
@@ -25,6 +28,10 @@
 //     "histograms": {"name": {"count": N, "sum": S, "min": V, "max": V,
 //                             "p50": V, "p90": V, "p99": V}, ...}
 //   }
+//
+// schema_version 2 added the per-phase "status"/"error" fields, which let
+// a bench record a failed dataset (graceful degradation) while the rest of
+// the run continues.
 #ifndef RLBENCH_SRC_OBS_MANIFEST_H_
 #define RLBENCH_SRC_OBS_MANIFEST_H_
 
@@ -69,6 +76,17 @@ class RunManifest {
   void BeginPhase(const std::string& phase_name);
   void EndPhase();
 
+  /// Marks the innermost open phase as failed with `error`; the phase is
+  /// still closed by the matching EndPhase(). No-op when no phase is open.
+  void FailPhase(const std::string& error);
+
+  /// Appends an already-timed phase. This is the post-join path for
+  /// parallel benches: workers time their datasets with a Stopwatch, the
+  /// main thread records them here in deterministic order (the manifest
+  /// itself is not thread-safe).
+  void AddCompletedPhase(const std::string& phase_name, double seconds,
+                         bool failed = false, const std::string& error = "");
+
   /// Wall seconds since construction; after Finalize(), the frozen value.
   double TotalSeconds() const;
 
@@ -78,15 +96,16 @@ class RunManifest {
 
   std::string ToJson() const;
 
-  /// Writes `<dir>/<name>.manifest.json`; returns the path, or "" on I/O
-  /// failure (reported to stderr).
-  std::string WriteFile(const std::string& dir) const;
+  /// True when any recorded phase failed.
+  bool HasFailedPhase() const;
 
  private:
   struct Phase {
     std::string name;
     double seconds = 0.0;
     bool open = true;
+    bool failed = false;
+    std::string error;
   };
   struct PhaseSpan;  // owns the phase name copy backing its trace span
 

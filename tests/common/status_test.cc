@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <utility>
+
 namespace rlbench {
 namespace {
 
@@ -26,7 +30,17 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::FailedPrecondition("x").code(),
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_EQ(Status::ResourceExhausted("disk full").ToString(),
+            "ResourceExhausted: disk full");
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -49,6 +63,26 @@ TEST(ResultTest, MovesValueOut) {
   EXPECT_EQ(moved, "hello");
 }
 
+TEST(ResultTest, ValueOrMoveOverloadAvoidsCopy) {
+  Result<std::unique_ptr<int>> held(std::make_unique<int>(5));
+  std::unique_ptr<int> out = std::move(held).ValueOr(nullptr);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 5);
+
+  Result<std::unique_ptr<int>> error(Status::NotFound("gone"));
+  EXPECT_EQ(std::move(error).ValueOr(nullptr), nullptr);
+}
+
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
+TEST(ResultDeathTest, DereferencingErrorResultIsCaught) {
+  // Satellite regression: value()/operator* on an error Result used to
+  // read a disengaged optional (UB); now RLBENCH_DCHECK fires in debug.
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_DEATH({ (void)r.value(); }, "");
+  EXPECT_DEATH({ (void)*r; }, "");
+}
+#endif
+
 Status FailIfNegative(int x) {
   if (x < 0) return Status::InvalidArgument("negative");
   return Status::OK();
@@ -62,6 +96,27 @@ Status Chained(int x) {
 TEST(StatusTest, ReturnNotOkMacroPropagates) {
   EXPECT_TRUE(Chained(1).ok());
   EXPECT_FALSE(Chained(-1).ok());
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<std::string> Describe(int x) {
+  RLBENCH_ASSIGN_OR_RETURN(int parsed, ParsePositive(x));
+  RLBENCH_ASSIGN_OR_RETURN(auto doubled, ParsePositive(parsed * 2));
+  return std::string("value ") + std::to_string(doubled);
+}
+
+TEST(StatusTest, AssignOrReturnMacroUnwrapsAndPropagates) {
+  auto good = Describe(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, "value 42");
+
+  auto bad = Describe(-3);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

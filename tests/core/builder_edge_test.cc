@@ -17,9 +17,38 @@ TEST(BuilderEdgeTest, UnreachableRecallFallsBackToBestPc) {
   options.min_recall = 0.995;
   options.k_max = 1;
   auto benchmark = BuildNewBenchmark(spec, options);
-  EXPECT_GT(benchmark.task.AllPairs().size(), 0u);
-  EXPECT_GT(benchmark.blocking.metrics.pair_completeness, 0.0);
-  EXPECT_EQ(benchmark.blocking.config.k, 1);
+  ASSERT_TRUE(benchmark.ok()) << benchmark.status().ToString();
+  EXPECT_GT(benchmark->task.AllPairs().size(), 0u);
+  EXPECT_GT(benchmark->blocking.metrics.pair_completeness, 0.0);
+  EXPECT_EQ(benchmark->blocking.config.k, 1);
+}
+
+TEST(BuilderEdgeTest, RejectsInvalidOptions) {
+  auto spec = *datagen::FindSourceDataset("Dn1");
+  NewBenchmarkOptions options;
+  options.scale = 0.0;
+  EXPECT_EQ(BuildNewBenchmark(spec, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options = {};
+  options.scale = -1.0;
+  EXPECT_EQ(BuildNewBenchmark(spec, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options = {};
+  options.min_recall = 1.5;
+  EXPECT_EQ(BuildNewBenchmark(spec, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options = {};
+  options.min_recall = 0.0;
+  EXPECT_EQ(BuildNewBenchmark(spec, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options = {};
+  options.k_max = 0;
+  EXPECT_EQ(BuildNewBenchmark(spec, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options = {};
+  options.embedding_dim = 0;
+  EXPECT_EQ(BuildNewBenchmark(spec, options).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(BuilderEdgeTest, DeterministicAcrossCalls) {
@@ -29,12 +58,13 @@ TEST(BuilderEdgeTest, DeterministicAcrossCalls) {
   options.k_max = 8;
   auto a = BuildNewBenchmark(spec, options);
   auto b = BuildNewBenchmark(spec, options);
-  EXPECT_EQ(a.task.AllPairs().size(), b.task.AllPairs().size());
-  EXPECT_EQ(a.blocking.config.k, b.blocking.config.k);
-  EXPECT_EQ(a.blocking.metrics.true_candidates,
-            b.blocking.metrics.true_candidates);
-  ASSERT_FALSE(a.task.train().empty());
-  EXPECT_EQ(a.task.train()[0].left, b.task.train()[0].left);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->task.AllPairs().size(), b->task.AllPairs().size());
+  EXPECT_EQ(a->blocking.config.k, b->blocking.config.k);
+  EXPECT_EQ(a->blocking.metrics.true_candidates,
+            b->blocking.metrics.true_candidates);
+  ASSERT_FALSE(a->task.train().empty());
+  EXPECT_EQ(a->task.train()[0].left, b->task.train()[0].left);
 }
 
 TEST(BuilderEdgeTest, RecallTargetPropagates) {
@@ -47,10 +77,11 @@ TEST(BuilderEdgeTest, RecallTargetPropagates) {
   loose.min_recall = 0.5;
   auto strict_result = BuildNewBenchmark(spec, strict);
   auto loose_result = BuildNewBenchmark(spec, loose);
-  EXPECT_GE(strict_result.blocking.metrics.pair_completeness, 0.98);
+  ASSERT_TRUE(strict_result.ok() && loose_result.ok());
+  EXPECT_GE(strict_result->blocking.metrics.pair_completeness, 0.98);
   // The loose run needs at most as many candidates as the strict one.
-  EXPECT_LE(loose_result.blocking.candidates.size(),
-            strict_result.blocking.candidates.size());
+  EXPECT_LE(loose_result->blocking.candidates.size(),
+            strict_result->blocking.candidates.size());
 }
 
 TEST(BuilderEdgeTest, EchoesSourceSizes) {
@@ -59,9 +90,10 @@ TEST(BuilderEdgeTest, EchoesSourceSizes) {
   options.scale = 0.05;
   options.k_max = 8;
   auto benchmark = BuildNewBenchmark(spec, options);
-  EXPECT_EQ(benchmark.d1_size, benchmark.task.left().size());
-  EXPECT_EQ(benchmark.d2_size, benchmark.task.right().size());
-  EXPECT_GT(benchmark.num_matches, 0u);
+  ASSERT_TRUE(benchmark.ok());
+  EXPECT_EQ(benchmark->d1_size, benchmark->task.left().size());
+  EXPECT_EQ(benchmark->d2_size, benchmark->task.right().size());
+  EXPECT_GT(benchmark->num_matches, 0u);
 }
 
 }  // namespace

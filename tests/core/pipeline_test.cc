@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <unordered_set>
+#include <utility>
 
 #include "core/benchmark_builder.h"
 #include "core/complexity.h"
@@ -21,7 +22,9 @@ TEST(PipelineTest, NewBenchmarkEndToEnd) {
   NewBenchmarkOptions options;
   options.scale = 0.1;
   options.k_max = 16;
-  NewBenchmark benchmark = BuildNewBenchmark(spec, options);
+  auto built = BuildNewBenchmark(spec, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  NewBenchmark benchmark = std::move(built).value();
 
   // Blocking reached the recall target on this easy source.
   EXPECT_GE(benchmark.blocking.metrics.pair_completeness, 0.9);
@@ -45,7 +48,9 @@ TEST(PipelineTest, NewBenchmarkMeasurable) {
   NewBenchmarkOptions options;
   options.scale = 0.08;
   options.k_max = 16;
-  NewBenchmark benchmark = BuildNewBenchmark(spec, options);
+  auto built = BuildNewBenchmark(spec, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  NewBenchmark benchmark = std::move(built).value();
   matchers::MatchingContext context(&benchmark.task);
   auto linearity = ComputeLinearity(context);
   EXPECT_GT(linearity.f1_cosine, 0.0);

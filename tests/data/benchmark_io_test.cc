@@ -1,6 +1,8 @@
 #include "data/benchmark_io.h"
 
 #include "data/csv.h"
+#include "data/file_source.h"
+#include "data/quarantine.h"
 
 #include <gtest/gtest.h>
 
@@ -41,9 +43,20 @@ TEST_F(BenchmarkIoTest, RoundTrip) {
             task.left().schema().attributes());
 }
 
-TEST_F(BenchmarkIoTest, MissingDirectoryFails) {
+TEST_F(BenchmarkIoTest, MissingDirectoryIsNotFound) {
   auto loaded = ImportBenchmark(dir_ + "/nope");
-  EXPECT_FALSE(loaded.ok());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BenchmarkIoTest, MissingSplitFileIsNotFound) {
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds5"), 0.5);
+  ASSERT_TRUE(ExportBenchmark(task, dir_).ok());
+  std::filesystem::remove(dir_ + "/valid.csv");
+  auto loaded = ImportBenchmark(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
 }
 
 TEST_F(BenchmarkIoTest, OutOfRangePairRejected) {
@@ -55,6 +68,72 @@ TEST_F(BenchmarkIoTest, OutOfRangePairRejected) {
   auto loaded = ImportBenchmark(dir_);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().ToString().find("out of range"),
+            std::string::npos);
+}
+
+TEST_F(BenchmarkIoTest, OutOfRangePairQuarantinedWhenLenient) {
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds5"), 0.5);
+  ASSERT_TRUE(ExportBenchmark(task, dir_).ok());
+  size_t test_pairs = task.test().size();
+  std::vector<LabeledPair> pairs = task.test();
+  pairs.push_back({999999, 0, true});
+  ASSERT_TRUE(WritePairsCsv(pairs, dir_ + "/test.csv").ok());
+
+  QuarantineReport quarantine;
+  ImportOptions options;
+  options.lenient = true;
+  options.quarantine = &quarantine;
+  auto loaded = ImportBenchmark(dir_, "lenient", options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // The poisoned pair is dropped, the valid ones all survive.
+  EXPECT_EQ(loaded->test().size(), test_pairs);
+  ASSERT_EQ(quarantine.size(), 1u);
+  EXPECT_NE(quarantine.entries()[0].reason.find("out of range"),
+            std::string::npos);
+}
+
+TEST_F(BenchmarkIoTest, PairHeaderMismatchIsInvalidArgument) {
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds5"), 0.5);
+  ASSERT_TRUE(ExportBenchmark(task, dir_).ok());
+  // A wrong header is file-level damage: rejected even in lenient mode.
+  ASSERT_TRUE(
+      FileSource::WriteAll(dir_ + "/train.csv", "a,b\n0,1\n").ok());
+  for (bool lenient : {false, true}) {
+    ImportOptions options;
+    options.lenient = lenient;
+    auto loaded = ImportBenchmark(dir_, "hdr", options);
+    ASSERT_FALSE(loaded.ok()) << "lenient=" << lenient;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(BenchmarkIoTest, MalformedPairRowQuarantinedWhenLenient) {
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds5"), 0.5);
+  ASSERT_TRUE(ExportBenchmark(task, dir_).ok());
+  ASSERT_TRUE(FileSource::WriteAll(dir_ + "/test.csv",
+                                   "left,right,label\n0,0,1\nx,0,1\n0,0,2\n")
+                  .ok());
+
+  // Strict: the first malformed row kills the import.
+  auto strict = ImportBenchmark(dir_);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kInvalidArgument);
+
+  // Lenient: both bad rows are quarantined with 1-based row numbers.
+  QuarantineReport quarantine;
+  ImportOptions options;
+  options.lenient = true;
+  options.quarantine = &quarantine;
+  auto lenient = ImportBenchmark(dir_, "lenient", options);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  EXPECT_EQ(lenient->test().size(), 1u);
+  ASSERT_EQ(quarantine.size(), 2u);
+  EXPECT_EQ(quarantine.entries()[0].row, 3u);
+  EXPECT_EQ(quarantine.entries()[1].row, 4u);
 }
 
 }  // namespace

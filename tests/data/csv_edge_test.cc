@@ -1,0 +1,183 @@
+// Table-driven edge cases for the CSV parser and the strict/lenient read
+// modes: row-terminator variants (LF, CRLF, lone CR, none at EOF),
+// quoting at end of input, and quarantine behaviour for malformed table
+// and pair rows.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "data/csv.h"
+#include "data/file_source.h"
+#include "data/quarantine.h"
+
+namespace rlbench::data {
+namespace {
+
+using Rows = std::vector<std::vector<std::string>>;
+
+struct ParseCase {
+  const char* label;
+  const char* text;
+  bool ok;
+  Rows expected;  // only checked when ok
+};
+
+TEST(CsvEdgeTest, TerminatorAndQuoteTable) {
+  const ParseCase kCases[] = {
+      {"lf_rows", "a,b\n1,2\n", true, {{"a", "b"}, {"1", "2"}}},
+      {"no_trailing_newline", "a,b\n1,2", true, {{"a", "b"}, {"1", "2"}}},
+      {"crlf_rows", "a,b\r\n1,2\r\n", true, {{"a", "b"}, {"1", "2"}}},
+      {"lone_cr_rows", "a,b\r1,2\r", true, {{"a", "b"}, {"1", "2"}}},
+      {"mixed_terminators", "a\r\nb\rc\nd", true, {{"a"}, {"b"}, {"c"}, {"d"}}},
+      {"cr_not_field_text", "a,b\rc,d", true, {{"a", "b"}, {"c", "d"}}},
+      {"crlf_inside_quotes_kept", "\"a\r\nb\"\n", true, {{"a\r\nb"}}},
+      {"lone_cr_inside_quotes_kept", "\"a\rb\"\n", true, {{"a\rb"}}},
+      {"empty_document", "", true, {}},
+      {"single_unterminated_field", "lonely", true, {{"lonely"}}},
+      {"trailing_comma_makes_empty_field", "a,\n", true, {{"a", ""}}},
+      {"quote_closed_at_eof", "\"done\"", true, {{"done"}}},
+      {"escaped_quote_at_eof", "\"say \"\"hi\"\"\"", true, {{"say \"hi\""}}},
+      {"unterminated_quote_at_eof", "a\n\"oops", false, {}},
+      {"unterminated_quote_then_newline", "a\n\"oops\n", false, {}},
+      {"quote_reopened_at_eof", "\"a\"\"", false, {}},
+  };
+  for (const auto& c : kCases) {
+    auto rows = ParseCsv(c.text);
+    EXPECT_EQ(rows.ok(), c.ok) << c.label << ": " << rows.status().ToString();
+    if (c.ok && rows.ok()) {
+      EXPECT_EQ(*rows, c.expected) << c.label;
+    }
+    if (!c.ok && !rows.ok()) {
+      EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument) << c.label;
+    }
+  }
+}
+
+class CsvEdgeFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "rlbench_csv_edge_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& file) { return (dir_ / file).string(); }
+
+  std::string Write(const std::string& file, const std::string& text) {
+    std::string path = Path(file);
+    EXPECT_TRUE(FileSource::WriteAll(path, text).ok());
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvEdgeFileTest, TableArityMismatchStrictVsLenient) {
+  // Row 3 is short, row 5 is long; rows are 1-based with the header as 1.
+  std::string path = Write(
+      "table.csv", "id,name,price\nr1,widget,9\nr2,gadget\nr3,doodad,7\n"
+                   "r4,thing,1,extra\n");
+
+  auto strict = ReadTableCsv(path, "t");
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(strict.status().ToString().find("row 3"), std::string::npos)
+      << strict.status().ToString();
+
+  QuarantineReport quarantine;
+  CsvReadOptions options;
+  options.lenient = true;
+  options.quarantine = &quarantine;
+  auto lenient = ReadTableCsv(path, "t", options);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  EXPECT_EQ(lenient->size(), 2u);  // r1 and r3 survive
+  EXPECT_EQ(lenient->record(0).id, "r1");
+  EXPECT_EQ(lenient->record(1).id, "r3");
+  ASSERT_EQ(quarantine.size(), 2u);
+  EXPECT_EQ(quarantine.entries()[0].row, 3u);
+  EXPECT_EQ(quarantine.entries()[1].row, 5u);
+  EXPECT_EQ(quarantine.entries()[0].source, path);
+  EXPECT_FALSE(quarantine.Summary().empty());
+}
+
+TEST_F(CsvEdgeFileTest, TableWithoutTrailingNewlineKeepsLastRow) {
+  std::string path = Write("table.csv", "id,name\nr1,alpha\nr2,omega");
+  auto loaded = ReadTableCsv(path, "t");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->record(1).values[0], "omega");
+}
+
+TEST_F(CsvEdgeFileTest, EmptyTableFileIsInvalidArgument) {
+  std::string path = Write("table.csv", "");
+  auto loaded = ReadTableCsv(path, "t");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvEdgeFileTest, PairHeaderIsCaseInsensitiveButExact) {
+  EXPECT_TRUE(ReadPairsCsv(Write("p1.csv", "Left,RIGHT,Label\n0,1,1\n")).ok());
+  for (const char* header :
+       {"left,right", "left,right,label,extra", "l,r,label", "left,label,right"}) {
+    auto loaded =
+        ReadPairsCsv(Write("p2.csv", std::string(header) + "\n0,1,1\n"));
+    ASSERT_FALSE(loaded.ok()) << header;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument) << header;
+  }
+}
+
+TEST_F(CsvEdgeFileTest, PairRowRejectionsAndLabels) {
+  struct RowCase {
+    const char* label;
+    const char* row;
+    bool ok;
+  };
+  const RowCase kRows[] = {
+      {"plain", "3,4,1", true},
+      {"word_labels", "3,4,true", true},
+      {"zero_label", "3,4,0", true},
+      {"false_label", "3,4,false", true},
+      {"negative_index", "-1,4,1", false},
+      {"non_numeric_index", "x,4,1", false},
+      {"overflow_index", "4294967296,4,1", false},
+      {"bad_label", "3,4,maybe", false},
+      {"numeric_bad_label", "3,4,2", false},
+      {"short_row", "3,4", false},
+      {"long_row", "3,4,1,9", false},
+  };
+  for (const auto& c : kRows) {
+    std::string path =
+        Write("pairs.csv", std::string("left,right,label\n") + c.row + "\n");
+    auto strict = ReadPairsCsv(path);
+    EXPECT_EQ(strict.ok(), c.ok) << c.label << ": "
+                                 << strict.status().ToString();
+    if (!c.ok) {
+      EXPECT_EQ(strict.status().code(), StatusCode::kInvalidArgument)
+          << c.label;
+      // The same row is quarantined, not fatal, under lenient mode.
+      QuarantineReport quarantine;
+      CsvReadOptions options;
+      options.lenient = true;
+      options.quarantine = &quarantine;
+      auto lenient = ReadPairsCsv(path, options);
+      ASSERT_TRUE(lenient.ok()) << c.label;
+      EXPECT_TRUE(lenient->empty()) << c.label;
+      ASSERT_EQ(quarantine.size(), 1u) << c.label;
+      EXPECT_EQ(quarantine.entries()[0].row, 2u) << c.label;
+    }
+  }
+}
+
+TEST(QuarantineReportTest, SummaryCapsLines) {
+  QuarantineReport report;
+  for (size_t i = 0; i < 12; ++i) {
+    report.Add("file.csv", i + 2, "bad row");
+  }
+  std::string summary = report.Summary(10);
+  EXPECT_NE(summary.find("and 2 more"), std::string::npos) << summary;
+}
+
+}  // namespace
+}  // namespace rlbench::data

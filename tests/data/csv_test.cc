@@ -96,10 +96,10 @@ TEST_F(CsvFileTest, PairsRoundTrip) {
   EXPECT_FALSE((*loaded)[1].is_match);
 }
 
-TEST_F(CsvFileTest, MissingFileIsIOError) {
+TEST_F(CsvFileTest, MissingFileIsNotFound) {
   auto loaded = ReadTableCsv((dir_ / "nope.csv").string(), "x");
   ASSERT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -1,0 +1,191 @@
+// Failpoint engine tests: spec parsing and its error surface, the
+// disabled fast path, probability extremes, wildcard and first-match
+// clause selection, the max= hit cap, and schedule determinism — the
+// same spec must produce the same fault schedule on every run.
+#include "fault/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rlbench::fault {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Clear(); }
+  void TearDown() override { Clear(); }
+};
+
+TEST_F(FailpointTest, DisabledByDefaultAndAfterClear) {
+  EXPECT_FALSE(FaultsEnabled());
+  EXPECT_EQ(ActiveSpec(), "");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(RLBENCH_FAULT_POINT("test/any/point"));
+  }
+}
+
+TEST_F(FailpointTest, EmptySpecDisables) {
+  ASSERT_TRUE(SetSpec("seed=1;test/point=io:1").ok());
+  EXPECT_TRUE(FaultsEnabled());
+  ASSERT_TRUE(SetSpec("").ok());
+  EXPECT_FALSE(FaultsEnabled());
+  EXPECT_FALSE(RLBENCH_FAULT_POINT("test/point"));
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreInvalidArgument) {
+  const char* kBad[] = {
+      "nonsense",                    // no '='
+      "=io:1",                       // empty point
+      "seed=abc",                    // non-numeric seed
+      "seed=99999999999999999999",   // seed overflow
+      "test/point=io",               // missing probability
+      "test/point=weird:0.5",        // unknown kind
+      "test/point=io:2",             // probability out of range
+      "test/point=io:-0.1",          // probability out of range
+      "test/point=io:x",             // non-numeric probability
+      "test/point=io:0.5:max=x",     // bad cap
+      "test/point=io:0.5:cap=3",     // not max=
+      "test/point=io:0.5:max=1:y",   // too many parts
+  };
+  for (const char* spec : kBad) {
+    Status status = SetSpec(spec);
+    ASSERT_FALSE(status.ok()) << spec;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << spec;
+  }
+}
+
+TEST_F(FailpointTest, FailedSetSpecLeavesPreviousSpecArmed) {
+  ASSERT_TRUE(SetSpec("seed=5;test/point=io:1").ok());
+  ASSERT_FALSE(SetSpec("broken").ok());
+  EXPECT_TRUE(FaultsEnabled());
+  EXPECT_EQ(ActiveSpec(), "seed=5;test/point=io:1");
+  EXPECT_TRUE(RLBENCH_FAULT_POINT("test/point"));
+}
+
+TEST_F(FailpointTest, ProbabilityZeroNeverHits) {
+  ASSERT_TRUE(SetSpec("seed=7;test/point=io:0").ok());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(RLBENCH_FAULT_POINT("test/point"));
+  }
+  auto stats = Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].evaluations, 200u);
+  EXPECT_EQ(stats[0].hits, 0u);
+}
+
+TEST_F(FailpointTest, ProbabilityOneAlwaysHitsWithTheRequestedKind) {
+  ASSERT_TRUE(SetSpec("seed=7;test/point=truncate:1").ok());
+  for (int i = 0; i < 50; ++i) {
+    auto hit = RLBENCH_FAULT_POINT("test/point");
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(hit.kind, FaultKind::kTruncate);
+  }
+}
+
+TEST_F(FailpointTest, AnyKindDrawsEveryKind) {
+  ASSERT_TRUE(SetSpec("seed=11;test/point=any:1").ok());
+  std::set<FaultKind> seen;
+  for (int i = 0; i < 200; ++i) {
+    auto hit = RLBENCH_FAULT_POINT("test/point");
+    ASSERT_TRUE(hit);
+    ASSERT_NE(hit.kind, FaultKind::kNone);
+    seen.insert(hit.kind);
+  }
+  // 200 seeded draws over 4 kinds: all of them must appear.
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST_F(FailpointTest, WildcardMatchesPrefix) {
+  ASSERT_TRUE(SetSpec("seed=3;test/*=io:1").ok());
+  EXPECT_TRUE(RLBENCH_FAULT_POINT("test/alpha"));
+  EXPECT_TRUE(RLBENCH_FAULT_POINT("test/beta/deep"));
+  EXPECT_FALSE(RLBENCH_FAULT_POINT("other/point"));
+}
+
+TEST_F(FailpointTest, BareStarMatchesEverything) {
+  ASSERT_TRUE(SetSpec("seed=3;*=alloc:1").ok());
+  EXPECT_TRUE(RLBENCH_FAULT_POINT("anything"));
+  EXPECT_TRUE(RLBENCH_FAULT_POINT("at/all"));
+}
+
+TEST_F(FailpointTest, FirstMatchingClauseWins) {
+  ASSERT_TRUE(SetSpec("seed=3;test/alpha=io:1;test/*=alloc:1").ok());
+  auto alpha = RLBENCH_FAULT_POINT("test/alpha");
+  ASSERT_TRUE(alpha);
+  EXPECT_EQ(alpha.kind, FaultKind::kIOError);
+  auto beta = RLBENCH_FAULT_POINT("test/beta");
+  ASSERT_TRUE(beta);
+  EXPECT_EQ(beta.kind, FaultKind::kAlloc);
+}
+
+TEST_F(FailpointTest, MaxCapBoundsTotalHits) {
+  ASSERT_TRUE(SetSpec("seed=13;test/point=io:1:max=3").ok());
+  int hits = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (RLBENCH_FAULT_POINT("test/point")) ++hits;
+  }
+  EXPECT_EQ(hits, 3);
+  auto stats = Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].evaluations, 20u);
+  EXPECT_EQ(stats[0].hits, 3u);
+}
+
+std::vector<std::pair<FaultKind, uint64_t>> DrawSchedule(
+    const std::string& spec, int n) {
+  EXPECT_TRUE(SetSpec(spec).ok());
+  std::vector<std::pair<FaultKind, uint64_t>> schedule;
+  for (int i = 0; i < n; ++i) {
+    auto hit = RLBENCH_FAULT_POINT("test/point");
+    schedule.emplace_back(hit.kind, hit.payload);
+  }
+  Clear();
+  return schedule;
+}
+
+TEST_F(FailpointTest, SameSeedSameSchedule) {
+  std::string spec = "seed=42;test/point=any:0.5";
+  auto first = DrawSchedule(spec, 64);
+  auto second = DrawSchedule(spec, 64);
+  EXPECT_EQ(first, second);
+  // A different seed shifts the schedule (2^-64 collision odds aside).
+  auto other = DrawSchedule("seed=43;test/point=any:0.5", 64);
+  EXPECT_NE(first, other);
+}
+
+TEST_F(FailpointTest, ClausesOwnIndependentStreams) {
+  // Interleaving extra evaluations of one clause must not perturb the
+  // other clause's schedule: each stream depends only on (seed, pattern,
+  // per-clause evaluation index).
+  ASSERT_TRUE(SetSpec("seed=9;test/a=any:0.5;test/b=any:0.5").ok());
+  std::vector<std::pair<FaultKind, uint64_t>> plain;
+  for (int i = 0; i < 32; ++i) {
+    auto hit = RLBENCH_FAULT_POINT("test/b");
+    plain.emplace_back(hit.kind, hit.payload);
+  }
+  Clear();
+  ASSERT_TRUE(SetSpec("seed=9;test/a=any:0.5;test/b=any:0.5").ok());
+  std::vector<std::pair<FaultKind, uint64_t>> interleaved;
+  for (int i = 0; i < 32; ++i) {
+    (void)RLBENCH_FAULT_POINT("test/a");
+    (void)RLBENCH_FAULT_POINT("test/a");
+    auto hit = RLBENCH_FAULT_POINT("test/b");
+    interleaved.emplace_back(hit.kind, hit.payload);
+  }
+  EXPECT_EQ(plain, interleaved);
+}
+
+TEST_F(FailpointTest, KindNamesAreStable) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kNone), "none");
+  EXPECT_STREQ(FaultKindName(FaultKind::kIOError), "io");
+  EXPECT_STREQ(FaultKindName(FaultKind::kTruncate), "truncate");
+  EXPECT_STREQ(FaultKindName(FaultKind::kCorrupt), "corrupt");
+  EXPECT_STREQ(FaultKindName(FaultKind::kAlloc), "alloc");
+}
+
+}  // namespace
+}  // namespace rlbench::fault

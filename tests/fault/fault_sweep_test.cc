@@ -1,0 +1,229 @@
+// Randomized fault sweep: arm storm specs over many seeds and drive the
+// real ingestion / export / benchmark-building paths. The contract under
+// test is narrow and absolute — every outcome is either success, a clean
+// non-OK Status, or a quarantine entry. Never an abort, never UB (the
+// suite runs under ASan/UBSan in scripts/check.sh).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/benchmark_builder.h"
+#include "data/benchmark_io.h"
+#include "data/csv.h"
+#include "data/file_source.h"
+#include "data/quarantine.h"
+#include "datagen/catalog.h"
+#include "datagen/task_builder.h"
+#include "fault/failpoint.h"
+
+namespace rlbench {
+namespace {
+
+constexpr uint64_t kSweepSeeds[] = {1, 2, 3, 5, 8, 13, 21, 34, 55, 89};
+
+class FaultSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::Clear();
+    dir_ = std::filesystem::temp_directory_path() / "rlbench_fault_sweep";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    fault::Clear();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+// Every read fault kind, both modes, across all sweep seeds: import either
+// succeeds or reports a clean Status; lenient mode additionally never fails
+// on row-level damage alone.
+TEST_F(FaultSweepTest, ImportSurvivesIOAndRowStorms) {
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds5"), 0.5);
+  std::string exported = Path("exported");
+  ASSERT_TRUE(data::ExportBenchmark(task, exported).ok());
+
+  for (uint64_t seed : kSweepSeeds) {
+    std::string spec = "seed=" + std::to_string(seed) +
+                       ";data/file/read=any:0.4;data/csv/*=any:0.2";
+    ASSERT_TRUE(fault::SetSpec(spec).ok());
+
+    auto strict = data::ImportBenchmark(exported, "strict");
+    if (!strict.ok()) {
+      EXPECT_FALSE(strict.status().message().empty()) << "seed " << seed;
+    }
+
+    data::QuarantineReport quarantine;
+    data::ImportOptions options;
+    options.lenient = true;
+    options.quarantine = &quarantine;
+    auto lenient = data::ImportBenchmark(exported, "lenient", options);
+    if (!lenient.ok()) {
+      // Lenient only fails on file-level damage (injected IO / truncation /
+      // corruption of whole files), never bare row damage.
+      EXPECT_FALSE(lenient.status().message().empty()) << "seed " << seed;
+    } else if (!quarantine.empty()) {
+      for (const auto& entry : quarantine.entries()) {
+        EXPECT_FALSE(entry.reason.empty());
+        EXPECT_FALSE(entry.source.empty());
+      }
+    }
+    fault::Clear();
+  }
+}
+
+// Same storm, but hitting the write side: export must either succeed or
+// return a clean Status, and a failed atomic write must never leave a
+// torn target behind for the next reader.
+TEST_F(FaultSweepTest, ExportSurvivesWriteStorms) {
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds5"), 0.5);
+  for (uint64_t seed : kSweepSeeds) {
+    std::string out = Path("out_" + std::to_string(seed));
+    std::string spec = "seed=" + std::to_string(seed) +
+                       ";data/file/tmp_write=any:0.3;data/file/rename=io:0.2";
+    ASSERT_TRUE(fault::SetSpec(spec).ok());
+    Status status = data::ExportBenchmark(task, out);
+    fault::Clear();
+    if (status.ok()) {
+      // A clean export must import cleanly with no faults armed.
+      auto loaded = data::ImportBenchmark(out);
+      ASSERT_TRUE(loaded.ok()) << "seed " << seed << ": "
+                               << loaded.status().ToString();
+      EXPECT_EQ(loaded->left().size(), task.left().size());
+    } else {
+      EXPECT_FALSE(status.message().empty()) << "seed " << seed;
+      // Whatever did land is whole-or-absent, per file: any present CSV
+      // parses (atomic writes publish complete files only).
+      for (const char* file :
+           {"d1.csv", "d2.csv", "train.csv", "valid.csv", "test.csv"}) {
+        std::string path = out + "/" + file;
+        if (!std::filesystem::exists(path)) continue;
+        auto read = data::FileSource::ReadAll(path);
+        ASSERT_TRUE(read.ok());
+        EXPECT_TRUE(data::ParseCsv(*read).ok()) << path;
+      }
+    }
+  }
+}
+
+// The benchmark-construction failpoint: a hit surfaces as Internal or
+// ResourceExhausted from BuildNewBenchmark, never a crash mid-pipeline.
+TEST_F(FaultSweepTest, BuildBenchmarkFaultIsCleanStatus) {
+  const auto* spec = datagen::FindSourceDataset("Dn3");
+  ASSERT_NE(spec, nullptr);
+  core::NewBenchmarkOptions options;
+  options.scale = 0.05;
+  for (uint64_t seed : kSweepSeeds) {
+    ASSERT_TRUE(fault::SetSpec("seed=" + std::to_string(seed) +
+                               ";core/build_benchmark=any:1:max=1")
+                    .ok());
+    auto built = core::BuildNewBenchmark(*spec, options);
+    fault::Clear();
+    ASSERT_FALSE(built.ok()) << "seed " << seed;
+    EXPECT_TRUE(built.status().code() == StatusCode::kInternal ||
+                built.status().code() == StatusCode::kResourceExhausted)
+        << built.status().ToString();
+    EXPECT_FALSE(built.status().message().empty());
+  }
+}
+
+// Seeded random byte corruption of raw CSV text, no failpoints involved:
+// the parser and the table reader must always return either parsed data or
+// InvalidArgument, regardless of what the bytes mutate into.
+TEST_F(FaultSweepTest, RandomByteCorruptionNeverCrashesTheParser) {
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds5"), 0.5);
+  std::string exported = Path("exported");
+  ASSERT_TRUE(data::ExportBenchmark(task, exported).ok());
+  auto pristine = data::FileSource::ReadAll(exported + "/d1.csv");
+  ASSERT_TRUE(pristine.ok());
+
+  for (uint64_t seed : kSweepSeeds) {
+    std::string text = *pristine;
+    uint64_t state = seed;
+    size_t mutations = 1 + seed % 32;
+    for (size_t i = 0; i < mutations && !text.empty(); ++i) {
+      state = SplitMix64(state);
+      size_t pos = static_cast<size_t>(state % text.size());
+      char byte = static_cast<char>(state >> 32);
+      switch (state % 3) {
+        case 0:
+          text[pos] = byte;  // overwrite
+          break;
+        case 1:
+          text.insert(text.begin() + static_cast<ptrdiff_t>(pos), byte);
+          break;
+        default:
+          text.erase(text.begin() + static_cast<ptrdiff_t>(pos));
+      }
+    }
+
+    auto rows = data::ParseCsv(text);
+    if (!rows.ok()) {
+      EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument)
+          << "seed " << seed;
+    }
+
+    std::string mangled = Path("mangled.csv");
+    ASSERT_TRUE(data::FileSource::WriteAll(mangled, text).ok());
+    auto strict = data::ReadTableCsv(mangled, "mangled");
+    if (!strict.ok()) {
+      EXPECT_EQ(strict.status().code(), StatusCode::kInvalidArgument)
+          << "seed " << seed;
+    }
+    data::QuarantineReport quarantine;
+    data::CsvReadOptions lenient_options;
+    lenient_options.lenient = true;
+    lenient_options.quarantine = &quarantine;
+    auto lenient = data::ReadTableCsv(mangled, "mangled", lenient_options);
+    if (!lenient.ok()) {
+      // Lenient still rejects file-level damage: unterminated quote,
+      // empty document, broken header.
+      EXPECT_EQ(lenient.status().code(), StatusCode::kInvalidArgument)
+          << "seed " << seed;
+    }
+  }
+}
+
+// Determinism across a storm: the same seed must produce the identical
+// fault schedule, hence identical import outcomes and identical clause
+// accounting, run after run.
+TEST_F(FaultSweepTest, StormScheduleIsReproducible) {
+  auto task = datagen::BuildExistingBenchmark(
+      *datagen::FindExistingBenchmark("Ds5"), 0.5);
+  std::string exported = Path("exported");
+  ASSERT_TRUE(data::ExportBenchmark(task, exported).ok());
+  const std::string spec = "seed=17;data/file/read=any:0.5;data/csv/*=any:0.3";
+
+  auto run_once = [&](std::string* outcome,
+                      std::vector<uint64_t>* accounting) {
+    ASSERT_TRUE(fault::SetSpec(spec).ok());
+    auto loaded = data::ImportBenchmark(exported, "det");
+    *outcome = loaded.ok() ? "ok" : loaded.status().ToString();
+    for (const auto& stats : fault::Stats()) {
+      accounting->push_back(stats.evaluations);
+      accounting->push_back(stats.hits);
+    }
+    fault::Clear();
+  };
+
+  std::string first_outcome, second_outcome;
+  std::vector<uint64_t> first_accounting, second_accounting;
+  run_once(&first_outcome, &first_accounting);
+  run_once(&second_outcome, &second_accounting);
+  EXPECT_EQ(first_outcome, second_outcome);
+  EXPECT_EQ(first_accounting, second_accounting);
+}
+
+}  // namespace
+}  // namespace rlbench

@@ -1,11 +1,9 @@
 // Run-manifest tests: schema round-trip through the syntax validator,
-// escaping, phase accounting, the Finalize() freeze, and the
-// metrics-section gate.
+// escaping, phase accounting, failure status, the Finalize() freeze, and
+// the metrics-section gate.
 #include <gtest/gtest.h>
 
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <string>
 
 #include "obs/json.h"
@@ -14,13 +12,6 @@
 
 namespace rlbench::obs {
 namespace {
-
-std::string ReadFile(const std::string& path) {
-  std::ifstream in(path);
-  std::ostringstream out;
-  out << in.rdbuf();
-  return out.str();
-}
 
 TEST(ManifestTest, ToJsonIsSyntaxValidWithAllSections) {
   RunManifest manifest("unit_bench");
@@ -39,7 +30,7 @@ TEST(ManifestTest, ToJsonIsSyntaxValidWithAllSections) {
 
   std::string json = manifest.ToJson();
   EXPECT_TRUE(JsonSyntaxValid(json)) << json;
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"bench\": \"unit_bench\""), std::string::npos);
   EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
   EXPECT_NE(json.find("\"hardware_concurrency\": 8"), std::string::npos);
@@ -119,16 +110,61 @@ TEST(ManifestTest, MetricsSectionFollowsTheGate) {
   EXPECT_EQ(without_metrics.find("\"counters\""), std::string::npos);
 }
 
-TEST(ManifestTest, WriteFileRoundTrips) {
-  RunManifest manifest("unit_bench_file");
-  manifest.SetDatasets({"Ds1"});
-  manifest.Finalize();
-  std::string path = manifest.WriteFile(".");
-  ASSERT_EQ(path, "./unit_bench_file.manifest.json");
-  std::string json = ReadFile(path);
-  EXPECT_EQ(json, manifest.ToJson());
-  EXPECT_TRUE(JsonSyntaxValid(json));
-  std::remove(path.c_str());
+TEST(ManifestTest, PhasesCarryOkStatusByDefault) {
+  RunManifest manifest("unit_bench_status");
+  manifest.BeginPhase("clean");
+  manifest.EndPhase();
+  std::string json = manifest.ToJson();
+  EXPECT_TRUE(JsonSyntaxValid(json)) << json;
+  EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_EQ(json.find("\"status\": \"failed\""), std::string::npos);
+  EXPECT_EQ(json.find("\"error\""), std::string::npos);
+  EXPECT_FALSE(manifest.HasFailedPhase());
+}
+
+TEST(ManifestTest, FailPhaseMarksInnermostOpenPhase) {
+  RunManifest manifest("unit_bench_fail");
+  manifest.BeginPhase("outer");
+  manifest.BeginPhase("dataset/Ds1");
+  manifest.FailPhase("IOError: injected");
+  manifest.EndPhase();
+  manifest.EndPhase();
+  EXPECT_TRUE(manifest.HasFailedPhase());
+  std::string json = manifest.ToJson();
+  EXPECT_TRUE(JsonSyntaxValid(json)) << json;
+  // The inner phase failed with its error recorded; the outer stayed ok.
+  size_t failed_at = json.find("\"status\": \"failed\"");
+  ASSERT_NE(failed_at, std::string::npos);
+  EXPECT_NE(json.find("\"error\": \"IOError: injected\""), std::string::npos);
+  size_t inner = json.find("\"name\": \"dataset/Ds1\"");
+  size_t outer = json.find("\"name\": \"outer\"");
+  ASSERT_NE(inner, std::string::npos);
+  ASSERT_NE(outer, std::string::npos);
+  EXPECT_LT(outer, failed_at);
+  EXPECT_LT(inner, failed_at);
+  EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+}
+
+TEST(ManifestTest, FailPhaseWithoutOpenPhaseIsIgnored) {
+  RunManifest manifest("unit_bench_fail_noop");
+  manifest.FailPhase("nothing open");  // must not crash
+  EXPECT_FALSE(manifest.HasFailedPhase());
+  EXPECT_TRUE(JsonSyntaxValid(manifest.ToJson()));
+}
+
+TEST(ManifestTest, AddCompletedPhaseRecordsFailures) {
+  RunManifest manifest("unit_bench_completed");
+  manifest.AddCompletedPhase("dataset/Dn1", 0.25);
+  manifest.AddCompletedPhase("dataset/Dn2", 0.0, /*failed=*/true,
+                             "NotFound: unknown dataset id Dn2");
+  EXPECT_TRUE(manifest.HasFailedPhase());
+  std::string json = manifest.ToJson();
+  EXPECT_TRUE(JsonSyntaxValid(json)) << json;
+  EXPECT_NE(json.find("\"name\": \"dataset/Dn1\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"failed\""), std::string::npos);
+  EXPECT_NE(json.find("\"error\": \"NotFound: unknown dataset id Dn2\""),
+            std::string::npos);
 }
 
 }  // namespace

@@ -3,13 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/parallel.h"
+#include "data/file_source.h"
 #include "obs/json.h"
 #include "obs/trace.h"
 
@@ -17,10 +16,7 @@ namespace rlbench::obs {
 namespace {
 
 std::string ReadFile(const std::string& path) {
-  std::ifstream in(path);
-  std::ostringstream out;
-  out << in.rdbuf();
-  return out.str();
+  return data::FileSource::ReadAll(path).ValueOr("");
 }
 
 // Each test routes spans to its own temp file and disables tracing on the

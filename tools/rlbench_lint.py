@@ -13,9 +13,14 @@ Rules:
                 ParallelFor / ParallelReduce so results stay deterministic
                 (std::thread::id and hardware_concurrency are inert and
                 exempt)
-  chrono        no direct std::chrono outside common/stopwatch.h and
-                src/obs/; all timing flows through Stopwatch or the
-                observability layer so clock reads stay auditable
+  chrono        no direct std::chrono outside common/stopwatch.h,
+                src/obs/, and src/data/file_source.cc (retry backoff);
+                all timing flows through Stopwatch or the observability
+                layer so clock reads stay auditable
+  fstream       no raw std::ifstream / std::ofstream outside
+                src/data/file_source.* and src/fault/; all file IO flows
+                through data::FileSource so failure semantics stay uniform
+                and the fault-injection layer covers every IO path
   using-ns      no `using namespace` at any scope in headers
   cmake-reg     every .cc under src/ is listed in its directory's
                 CMakeLists.txt (unregistered files silently fall out of the
@@ -54,7 +59,7 @@ THREAD_PATTERNS = [
     (re.compile(r"\bstd::async\b"),
      "std::async outside common/parallel; use ParallelFor/Reduce"),
 ]
-CHRONO_ALLOWLIST = {"src/common/stopwatch.h"}
+CHRONO_ALLOWLIST = {"src/common/stopwatch.h", "src/data/file_source.cc"}
 CHRONO_ALLOWED_PREFIXES = ("src/obs/",)
 CHRONO_PATTERNS = [
     (re.compile(r"#\s*include\s*<chrono>"),
@@ -63,6 +68,13 @@ CHRONO_PATTERNS = [
     (re.compile(r"\bstd::chrono\b"),
      "direct std::chrono outside common/stopwatch.h and src/obs/; time "
      "through Stopwatch or the obs layer"),
+]
+FSTREAM_ALLOWLIST = {"src/data/file_source.h", "src/data/file_source.cc"}
+FSTREAM_ALLOWED_PREFIXES = ("src/fault/",)
+FSTREAM_PATTERNS = [
+    (re.compile(r"\bstd::(?:i|o|)fstream\b"),
+     "raw fstream outside data/file_source; read and write through "
+     "data::FileSource so faults and failure semantics stay uniform"),
 ]
 USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
 LINE_COMMENT = re.compile(r"//.*$")
@@ -134,6 +146,16 @@ def check_chrono(rel, lines, errors):
                 errors.append(f"{rel}:{i + 1}: {message}")
 
 
+def check_fstream(rel, lines, errors):
+    if rel in FSTREAM_ALLOWLIST or rel.startswith(FSTREAM_ALLOWED_PREFIXES):
+        return
+    for i, line in enumerate(lines):
+        code = LINE_COMMENT.sub("", line)
+        for pattern, message in FSTREAM_PATTERNS:
+            if pattern.search(code):
+                errors.append(f"{rel}:{i + 1}: {message}")
+
+
 def check_using_namespace(rel, lines, errors):
     for i, line in enumerate(lines):
         code = LINE_COMMENT.sub("", line)
@@ -182,6 +204,7 @@ def main() -> int:
             check_rng(source_rel, source_lines, errors)
             check_threads(source_rel, source_lines, errors)
             check_chrono(source_rel, source_lines, errors)
+            check_fstream(source_rel, source_lines, errors)
     check_cmake_registration(root, errors)
 
     for error in errors:

@@ -28,7 +28,7 @@ import subprocess
 import sys
 import tempfile
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def fail(errors, path, message):
@@ -95,9 +95,22 @@ def validate_manifest(errors, path, manifest):
                     isinstance(phase.get("seconds"), bool) or \
                     not isinstance(phase.get("seconds"), numbers.Real):
                 fail(errors, path, f"malformed phase entry {phase!r}")
-            elif phase["seconds"] < 0:
+                continue
+            if phase["seconds"] < 0:
                 fail(errors, path, f"phase '{phase['name']}' has negative "
                                    f"seconds")
+            status = phase.get("status")
+            if status not in ("ok", "failed"):
+                fail(errors, path, f"phase '{phase['name']}' has status "
+                                   f"{status!r}, expected 'ok' or 'failed'")
+            error = phase.get("error")
+            if status == "failed":
+                if not isinstance(error, str) or not error:
+                    fail(errors, path, f"failed phase '{phase['name']}' "
+                                       f"must carry a non-empty 'error'")
+            elif error is not None:
+                fail(errors, path, f"ok phase '{phase['name']}' must not "
+                                   f"carry 'error'")
 
     total = expect_type(errors, path, manifest, "total_seconds", numbers.Real)
     if total is not None and total < 0:
