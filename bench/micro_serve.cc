@@ -1,0 +1,200 @@
+// Serving-path microbenchmark: closed-loop latency and coalesced
+// throughput through MatchService, measured from the subsystem's own
+// serve/* histograms so the recorded tails are exactly what the obs layer
+// would report in production. Two phases after training:
+//
+//   closed_loop — one outstanding request at a time (submit, drain,
+//                 repeat): per-request latency p50/p95/p99.
+//   pipelined   — fill the admission queue, then drain: micro-batch
+//                 coalescing throughput, plus how often admission control
+//                 pushed back with ResourceExhausted.
+//
+// Results land in bench_results/BENCH_serve.json for regression tracking.
+//
+// Flags: --dataset (default Ds3), --scale (default 0.5),
+//        --matcher (default Magellan-RF), --requests (default 2000),
+//        --pairs (default 4, pairs per request)
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "data/file_source.h"
+#include "datagen/catalog.h"
+#include "datagen/task_builder.h"
+#include "matchers/context.h"
+#include "matchers/registry.h"
+#include "obs/metrics.h"
+#include "serve/service.h"
+
+using namespace rlbench;
+
+namespace {
+
+// The latency histogram the service records into (same bounds, so this
+// call returns the service's own instance, never a second histogram).
+obs::Histogram& LatencyHistogram() {
+  return obs::Metrics::Instance().GetHistogram(
+      "serve/latency_ms", obs::ExponentialBounds(0.01, 2.0, 20));
+}
+
+// The next `count` test pairs, round-robin over the split so every
+// request is deterministic and in-range.
+std::vector<data::LabeledPair> NextPairs(
+    const std::vector<data::LabeledPair>& test, size_t* cursor, size_t count) {
+  std::vector<data::LabeledPair> pairs;
+  pairs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pairs.push_back(test[*cursor % test.size()]);
+    ++*cursor;
+  }
+  return pairs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  std::string dataset = flags.GetString("dataset", "Ds3");
+  double scale = flags.GetDouble("scale", 0.5);
+  std::string matcher = flags.GetString("matcher", "Magellan-RF");
+  size_t requests = static_cast<size_t>(flags.GetInt("requests", 2000));
+  size_t pairs_per_request = static_cast<size_t>(flags.GetInt("pairs", 4));
+
+  const auto* spec = datagen::FindExistingBenchmark(dataset);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown benchmark %s\n", dataset.c_str());
+    return 1;
+  }
+
+  benchutil::BenchRun run("micro_serve");
+  run.manifest().AddConfig("dataset", dataset);
+  run.manifest().AddConfig("scale", scale);
+  run.manifest().AddConfig("matcher", matcher);
+  run.manifest().AddConfig("requests", static_cast<int64_t>(requests));
+  run.manifest().AddConfig("pairs_per_request",
+                           static_cast<int64_t>(pairs_per_request));
+
+  // The serve histograms are the measurement instrument here, so the
+  // metrics registry must be on regardless of RLBENCH_METRICS.
+  obs::Metrics::SetEnabled(true);
+
+  run.manifest().BeginPhase("train");
+  auto task = datagen::BuildExistingBenchmark(*spec, scale);
+  matchers::MatchingContext context(&task);
+  auto trained = matchers::TrainServableMatcher(matcher, context);
+  RLBENCH_CHECK_MSG(trained.ok(), "training failed");
+  serve::MatchService service(&context);
+  RLBENCH_CHECK(service
+                    .SwapModel(std::shared_ptr<const matchers::TrainedModel>(
+                        std::move(*trained)))
+                    .ok());
+  run.manifest().EndPhase();
+
+  const auto& test = task.test();
+  size_t cursor = 0;
+
+  // Phase 1: closed loop — one request in flight, so serve/latency_ms is
+  // pure service time (admission + pump + score), no queueing backlog.
+  LatencyHistogram().Reset();
+  run.manifest().BeginPhase("closed_loop");
+  Stopwatch closed_watch;
+  for (size_t i = 0; i < requests; ++i) {
+    auto id = service.Submit(NextPairs(test, &cursor, pairs_per_request),
+                             [](const serve::RequestOutcome& outcome) {
+                               RLBENCH_CHECK(outcome.status.ok());
+                             });
+    RLBENCH_CHECK_MSG(id.ok(), "closed-loop submit rejected");
+    service.Drain();
+  }
+  double closed_seconds = closed_watch.ElapsedSeconds();
+  run.manifest().EndPhase();
+  double p50 = LatencyHistogram().Percentile(0.50);
+  double p95 = LatencyHistogram().Percentile(0.95);
+  double p99 = LatencyHistogram().Percentile(0.99);
+  double closed_throughput =
+      static_cast<double>(requests * pairs_per_request) / closed_seconds;
+
+  // Phase 2: pipelined — keep submitting until admission control pushes
+  // back, then drain the whole queue; the service coalesces the queued
+  // requests into max_batch_pairs micro-batches.
+  size_t served = 0;
+  size_t rejected = 0;
+  size_t batches = 0;
+  uint64_t batches_before =
+      obs::Metrics::Instance().GetCounter("serve/batches").Value();
+  run.manifest().BeginPhase("pipelined");
+  Stopwatch pipelined_watch;
+  while (served < requests) {
+    auto id = service.Submit(NextPairs(test, &cursor, pairs_per_request),
+                             [&served](const serve::RequestOutcome& outcome) {
+                               RLBENCH_CHECK(outcome.status.ok());
+                               ++served;
+                             });
+    if (!id.ok()) {
+      RLBENCH_CHECK_MSG(id.status().code() == StatusCode::kResourceExhausted,
+                        "unexpected rejection");
+      ++rejected;
+      service.Drain();
+    }
+  }
+  service.Drain();
+  double pipelined_seconds = pipelined_watch.ElapsedSeconds();
+  run.manifest().EndPhase();
+  batches = static_cast<size_t>(
+      obs::Metrics::Instance().GetCounter("serve/batches").Value() -
+      batches_before);
+  double pipelined_throughput =
+      static_cast<double>(served * pairs_per_request) / pipelined_seconds;
+  double mean_batch_pairs =
+      batches > 0 ? static_cast<double>(served * pairs_per_request) /
+                        static_cast<double>(batches)
+                  : 0.0;
+
+  std::printf("%s on %s (scale %.2f)\n", matcher.c_str(), dataset.c_str(),
+              scale);
+  std::printf("closed loop: %.0f pairs/s, latency p50 %.4f ms, p95 %.4f ms, "
+              "p99 %.4f ms\n",
+              closed_throughput, p50, p95, p99);
+  std::printf("pipelined:   %.0f pairs/s over %zu batches "
+              "(%.1f pairs/batch), %zu admission rejections\n",
+              pipelined_throughput, batches, mean_batch_pairs, rejected);
+
+  char buf[256];
+  std::string json = "{\n  \"bench\": \"serve\",\n";
+  json += "  \"dataset\": \"" + dataset + "\",\n";
+  json += "  \"matcher\": \"" + matcher + "\",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"scale\": %.3f,\n  \"requests\": %zu,\n"
+                "  \"pairs_per_request\": %zu,\n",
+                scale, requests, pairs_per_request);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"closed_loop_pairs_per_sec\": %.2f,\n"
+                "  \"latency_p50_ms\": %.6f,\n"
+                "  \"latency_p95_ms\": %.6f,\n"
+                "  \"latency_p99_ms\": %.6f,\n",
+                closed_throughput, p50, p95, p99);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"pipelined_pairs_per_sec\": %.2f,\n"
+                "  \"pipelined_batches\": %zu,\n"
+                "  \"mean_batch_pairs\": %.3f,\n"
+                "  \"admission_rejections\": %zu\n}\n",
+                pipelined_throughput, batches, mean_batch_pairs, rejected);
+  json += buf;
+  std::string path = benchutil::ResultsDir() + "/BENCH_serve.json";
+  Status write = data::FileSource::WriteAtomic(path, json);
+  if (!write.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 write.ToString().c_str());
+    run.Finish();
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  run.Finish();
+  return 0;
+}

@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # One-shot pre-PR gate (and future CI entry point):
 #   1. configure + build + ctest under ASan/UBSan (warnings as errors)
-#   2. TSan build + the concurrency-bearing tests (parallel pool, frozen
+#   2. serve smoke: rlbench_serve on a loopback port, rlbench_client
+#      round-trip (ping/match/assess/reload), clean shutdown — all under
+#      the stage-1 sanitizers
+#   3. TSan build + the concurrency-bearing tests (parallel pool, frozen
 #      feature cache, thread-count invariance, metrics shards)
-#   3. observability end-to-end: one bench with RLBENCH_METRICS +
+#   4. observability end-to-end: one bench with RLBENCH_METRICS +
 #      RLBENCH_TRACE, manifest + trace validated by
 #      tools/validate_manifest.py
-#   4. fault-injection storm: a real bench under RLBENCH_FAULTS across 8
+#   5. fault-injection storm: a real bench under RLBENCH_FAULTS across 8
 #      seeds with ASan/UBSan armed — graceful degradation may fail
 #      datasets, but a crash/abort/sanitizer report fails the gate
-#   5. repo lint (tools/rlbench_lint.py)
-#   6. clang-tidy over src/ (skipped with a warning if not installed)
+#   6. repo lint (tools/rlbench_lint.py)
+#   7. clang-tidy over src/ (skipped with a warning if not installed)
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -18,8 +21,10 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_ROOT}/build-asan}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
+SCRATCH_ROOT="$(mktemp -d "${TMPDIR:-/tmp}/rlbench_check.XXXXXX")"
+trap 'rm -rf "${SCRATCH_ROOT}"' EXIT
 
-echo "== [1/6] build + test under ASan/UBSan =="
+echo "== [1/7] build + test under ASan/UBSan =="
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRLBENCH_SANITIZE="address;undefined" \
@@ -33,7 +38,55 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
     ctest --output-on-failure -j "${JOBS}"
 )
 
-echo "== [2/6] concurrency tests under TSan =="
+echo "== [2/7] serve smoke (client/server round-trip under ASan/UBSan) =="
+SERVE_DIR="${SCRATCH_ROOT}/serve"
+mkdir -p "${SERVE_DIR}"
+PORT_FILE="${SERVE_DIR}/port"
+# The server trains Magellan-DT (cheap), publishes it into a fresh
+# repository, binds an ephemeral loopback port, and writes it to
+# --port_file once it is accepting connections.
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+  "${BUILD_DIR}/src/serve/rlbench_serve" --dataset=Ds3 --scale=0.2 \
+  --matcher=Magellan-DT --repo="${SERVE_DIR}/repo" \
+  --port_file="${PORT_FILE}" > "${SERVE_DIR}/server.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 240); do
+  [[ -s "${PORT_FILE}" ]] && break
+  if ! kill -0 "${SERVE_PID}" 2>/dev/null; then
+    echo "serve smoke: server died before binding" >&2
+    cat "${SERVE_DIR}/server.log" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+if [[ ! -s "${PORT_FILE}" ]]; then
+  echo "serve smoke: server never wrote its port file" >&2
+  kill "${SERVE_PID}" 2>/dev/null || true
+  exit 1
+fi
+SERVE_PORT="$(cat "${PORT_FILE}")"
+SERVE_CLIENT="${BUILD_DIR}/src/serve/rlbench_client"
+# Each client call exits non-zero on an error response; set -e fails the
+# gate. reload exercises the repository path (the snapshot published on
+# startup hot-swaps back in).
+"${SERVE_CLIENT}" --port="${SERVE_PORT}" --op=ping
+"${SERVE_CLIENT}" --port="${SERVE_PORT}" --op=match --left=0 --right=0
+"${SERVE_CLIENT}" --port="${SERVE_PORT}" --op=assess
+"${SERVE_CLIENT}" --port="${SERVE_PORT}" --op=stats
+"${SERVE_CLIENT}" --port="${SERVE_PORT}" --op=reload --matcher=Magellan-DT
+"${SERVE_CLIENT}" --port="${SERVE_PORT}" --op=shutdown
+wait "${SERVE_PID}"   # non-zero server exit fails the gate (set -e)
+grep -q "shut down cleanly" "${SERVE_DIR}/server.log"
+if grep -qE "AddressSanitizer|LeakSanitizer|runtime error:" \
+    "${SERVE_DIR}/server.log"; then
+  echo "serve smoke: sanitizer report in server log" >&2
+  tail -20 "${SERVE_DIR}/server.log" >&2
+  exit 1
+fi
+echo "serve smoke: round-trip ok, clean shutdown"
+
+echo "== [3/7] concurrency tests under TSan =="
 TSAN_DIR="${REPO_ROOT}/build-tsan"
 cmake -B "${TSAN_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -59,20 +112,20 @@ cmake --build "${TSAN_DIR}" -j "${JOBS}" --target \
 )
 echo "TSan: clean"
 
-echo "== [3/6] observability end-to-end =="
+echo "== [4/7] observability end-to-end =="
 python3 "${REPO_ROOT}/tools/validate_manifest.py" --run \
   "${BUILD_DIR}/bench/table3_datasets" --datasets=Ds1 --scale=0.05
 echo "observability: manifest + trace validate"
 
-echo "== [4/6] fault-injection storm =="
+echo "== [5/7] fault-injection storm =="
 # Drive a real bench through seeded fault storms with the sanitizers armed.
 # The degradation contract: failed datasets are fine (the bench exits 0
 # while at least one dataset survives, 1 when all fail), but any abort,
 # signal, or sanitizer report fails the gate. abort_on_error turns
 # sanitizer findings into SIGABRT so they can't masquerade as a clean
 # "all datasets failed" exit.
-FAULT_SCRATCH="$(mktemp -d "${TMPDIR:-/tmp}/rlbench_fault_storm.XXXXXX")"
-trap 'rm -rf "${FAULT_SCRATCH}"' EXIT
+FAULT_SCRATCH="${SCRATCH_ROOT}/fault_storm"
+mkdir -p "${FAULT_SCRATCH}"
 for seed in 1 2 3 4 5 6 7 8; do
   spec="seed=${seed};data/file/*=any:0.25;data/csv/*=any:0.15"
   spec="${spec};core/build_benchmark=any:0.3"
@@ -99,11 +152,11 @@ for seed in 1 2 3 4 5 6 7 8; do
 done
 echo "fault storm: clean (8 seeds, no crashes, no sanitizer reports)"
 
-echo "== [5/6] repo lint =="
+echo "== [6/7] repo lint =="
 python3 "${REPO_ROOT}/tools/rlbench_lint.py" --root "${REPO_ROOT}"
 echo "repo lint: clean"
 
-echo "== [6/6] clang-tidy =="
+echo "== [7/7] clang-tidy =="
 TIDY_BIN="$(command -v clang-tidy || true)"
 if [[ -z "${TIDY_BIN}" ]]; then
   for v in 18 17 16 15 14; do
@@ -123,7 +176,8 @@ else
   # RLBENCH_WERROR stays off so only tidy diagnostics surface here.
   cmake --build "${TIDY_DIR}" -j "${JOBS}" --target \
     rlbench_obs rlbench_common rlbench_text rlbench_data rlbench_embed \
-    rlbench_ml rlbench_datagen rlbench_block rlbench_matchers rlbench_core
+    rlbench_ml rlbench_datagen rlbench_block rlbench_matchers rlbench_core \
+    rlbench_serve
   echo "clang-tidy: clean"
 fi
 

@@ -1,0 +1,135 @@
+#include "common/blob.h"
+
+#include <bit>
+#include <cstring>
+
+namespace rlbench {
+
+namespace {
+
+// All multi-byte values are serialized little-endian byte by byte, so the
+// format is identical on any host (and the bytes are what they say they
+// are even on a big-endian machine).
+template <typename T>
+void AppendLe(std::string* out, T value) {
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+template <typename T>
+T LoadLe(const char* bytes) {
+  T value = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    value |= static_cast<T>(static_cast<uint8_t>(bytes[i])) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+void BlobWriter::WriteU8(uint8_t value) {
+  data_.push_back(static_cast<char>(value));
+}
+
+void BlobWriter::WriteU32(uint32_t value) { AppendLe(&data_, value); }
+
+void BlobWriter::WriteU64(uint64_t value) { AppendLe(&data_, value); }
+
+void BlobWriter::WriteI32(int32_t value) {
+  AppendLe(&data_, static_cast<uint32_t>(value));
+}
+
+void BlobWriter::WriteDouble(double value) {
+  AppendLe(&data_, std::bit_cast<uint64_t>(value));
+}
+
+void BlobWriter::WriteFloat(float value) {
+  AppendLe(&data_, std::bit_cast<uint32_t>(value));
+}
+
+void BlobWriter::WriteString(const std::string& value) {
+  WriteU64(value.size());
+  data_.append(value);
+}
+
+void BlobWriter::WriteDoubleVec(const std::vector<double>& values) {
+  WriteU64(values.size());
+  for (double v : values) WriteDouble(v);
+}
+
+void BlobWriter::WriteFloatVec(const std::vector<float>& values) {
+  WriteU64(values.size());
+  for (float v : values) WriteFloat(v);
+}
+
+Status BlobReader::Need(size_t bytes) const {
+  if (Remaining() < bytes) {
+    return Status::IOError("blob: truncated (need " + std::to_string(bytes) +
+                           " bytes, have " + std::to_string(Remaining()) +
+                           ")");
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> BlobReader::ReadU8() {
+  RLBENCH_RETURN_NOT_OK(Need(1));
+  return static_cast<uint8_t>((*data_)[pos_++]);
+}
+
+Result<uint32_t> BlobReader::ReadU32() {
+  RLBENCH_RETURN_NOT_OK(Need(4));
+  uint32_t value = LoadLe<uint32_t>(data_->data() + pos_);
+  pos_ += 4;
+  return value;
+}
+
+Result<uint64_t> BlobReader::ReadU64() {
+  RLBENCH_RETURN_NOT_OK(Need(8));
+  uint64_t value = LoadLe<uint64_t>(data_->data() + pos_);
+  pos_ += 8;
+  return value;
+}
+
+Result<int32_t> BlobReader::ReadI32() {
+  RLBENCH_ASSIGN_OR_RETURN(uint32_t raw, ReadU32());
+  return static_cast<int32_t>(raw);
+}
+
+Result<double> BlobReader::ReadDouble() {
+  RLBENCH_ASSIGN_OR_RETURN(uint64_t raw, ReadU64());
+  return std::bit_cast<double>(raw);
+}
+
+Result<float> BlobReader::ReadFloat() {
+  RLBENCH_ASSIGN_OR_RETURN(uint32_t raw, ReadU32());
+  return std::bit_cast<float>(raw);
+}
+
+Result<std::string> BlobReader::ReadString() {
+  RLBENCH_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  RLBENCH_RETURN_NOT_OK(Need(size));
+  std::string value = data_->substr(pos_, size);
+  pos_ += size;
+  return value;
+}
+
+Result<std::vector<double>> BlobReader::ReadDoubleVec() {
+  RLBENCH_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  // Divide instead of multiplying so a mangled length prefix near 2^64
+  // cannot wrap the byte count past the bounds check.
+  if (size > Remaining() / 8) return Status::IOError("blob: truncated vector");
+  std::vector<double> values(size);
+  for (auto& v : values) v = std::move(ReadDouble()).value();
+  return values;
+}
+
+Result<std::vector<float>> BlobReader::ReadFloatVec() {
+  RLBENCH_ASSIGN_OR_RETURN(uint64_t size, ReadU64());
+  if (size > Remaining() / 4) return Status::IOError("blob: truncated vector");
+  std::vector<float> values(size);
+  for (auto& v : values) v = std::move(ReadFloat()).value();
+  return values;
+}
+
+}  // namespace rlbench

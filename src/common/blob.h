@@ -1,0 +1,76 @@
+// Flat binary blob serialization for model snapshots. Fixed-width
+// little-endian integers and IEEE-754 bit patterns make every round trip
+// bit-exact: a double written by BlobWriter is reproduced by BlobReader
+// with the identical bit pattern, which is what lets a served model score
+// byte-identically to the matcher that trained it (the serving acceptance
+// contract). Readers are bounds-checked and return Status instead of
+// crashing, so a corrupt or truncated snapshot degrades into a load error.
+#ifndef RLBENCH_SRC_COMMON_BLOB_H_
+#define RLBENCH_SRC_COMMON_BLOB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rlbench {
+
+/// \brief Append-only binary encoder backing model snapshots.
+class BlobWriter {
+ public:
+  void WriteU8(uint8_t value);
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  void WriteI32(int32_t value);
+  /// Doubles and floats are stored as their IEEE-754 bit patterns, never
+  /// through decimal text, so round trips are bit-exact including NaN
+  /// payloads and signed zeros.
+  void WriteDouble(double value);
+  void WriteFloat(float value);
+  /// Length-prefixed (u64) byte string.
+  void WriteString(const std::string& value);
+  void WriteDoubleVec(const std::vector<double>& values);
+  void WriteFloatVec(const std::vector<float>& values);
+
+  const std::string& data() const { return data_; }
+  std::string Release() { return std::move(data_); }
+
+ private:
+  std::string data_;
+};
+
+/// \brief Bounds-checked decoder over a byte string written by BlobWriter.
+///
+/// Every Read* returns a Status-carrying Result; a short or corrupt buffer
+/// yields IOError("blob: ...") instead of reading out of bounds. Vector
+/// and string lengths are validated against the remaining bytes before any
+/// allocation, so a mangled length prefix cannot trigger a huge alloc.
+class BlobReader {
+ public:
+  explicit BlobReader(const std::string& data) : data_(&data) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int32_t> ReadI32();
+  Result<double> ReadDouble();
+  Result<float> ReadFloat();
+  Result<std::string> ReadString();
+  Result<std::vector<double>> ReadDoubleVec();
+  Result<std::vector<float>> ReadFloatVec();
+
+  /// Bytes not yet consumed.
+  size_t Remaining() const { return data_->size() - pos_; }
+  bool AtEnd() const { return Remaining() == 0; }
+
+ private:
+  Status Need(size_t bytes) const;
+
+  const std::string* data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace rlbench
+
+#endif  // RLBENCH_SRC_COMMON_BLOB_H_

@@ -23,6 +23,7 @@ enum class StatusCode {
   kIOError,
   kResourceExhausted,
   kInternal,
+  kDeadlineExceeded,
 };
 
 /// Stable name of a status code ("OK", "InvalidArgument", ...).
@@ -60,6 +61,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

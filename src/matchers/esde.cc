@@ -33,6 +33,156 @@ void PushVecSims(const embed::Vec& a, const embed::Vec& b,
   out->push_back(embed::WassersteinSimilarity(a, b));
 }
 
+// Feature extraction shared by the live matcher (cached record vectors)
+// and its trained snapshot form (stateless re-encoding). There is exactly
+// one copy of the feature definitions, parameterised on the record-vector
+// provider, which is what makes the two paths bit-identical — the
+// sentence encoder is pure, so a cached vector and a re-encoded one carry
+// the same bits.
+template <typename VecProvider>
+std::vector<double> EsdeFeaturesWith(const MatchingContext& context,
+                                     EsdeVariant variant,
+                                     const data::LabeledPair& pair,
+                                     VecProvider&& vec) {
+  const auto& left = context.left();
+  const auto& right = context.right();
+  size_t num_attrs = context.task().left().schema().num_attributes();
+  std::vector<double> features;
+  switch (variant) {
+    case EsdeVariant::kSchemaAgnostic:
+      PushSetSims(left.TokenSetAll(pair.left), right.TokenSetAll(pair.right),
+                  &features);
+      break;
+    case EsdeVariant::kSchemaBased:
+      for (size_t a = 0; a < num_attrs; ++a) {
+        PushSetSims(left.TokenSetAttr(pair.left, a),
+                    right.TokenSetAttr(pair.right, a), &features);
+      }
+      break;
+    case EsdeVariant::kSchemaAgnosticQgram:
+      for (int q = kMinQ; q <= kMaxQ; ++q) {
+        PushSetSims(left.QGramSetAll(pair.left, q),
+                    right.QGramSetAll(pair.right, q), &features);
+      }
+      break;
+    case EsdeVariant::kSchemaBasedQgram:
+      for (size_t a = 0; a < num_attrs; ++a) {
+        for (int q = kMinQ; q <= kMaxQ; ++q) {
+          PushSetSims(left.QGramSetAttr(pair.left, a, q),
+                      right.QGramSetAttr(pair.right, a, q), &features);
+        }
+      }
+      break;
+    case EsdeVariant::kSchemaAgnosticSent:
+      PushVecSims(vec(true, pair.left, -1), vec(false, pair.right, -1),
+                  &features);
+      break;
+    case EsdeVariant::kSchemaBasedSent:
+      for (size_t a = 0; a < num_attrs; ++a) {
+        PushVecSims(vec(true, pair.left, static_cast<int>(a)),
+                    vec(false, pair.right, static_cast<int>(a)), &features);
+      }
+      break;
+  }
+  return features;
+}
+
+/// \brief Snapshot form of a trained ESDE rule: the variant, the encoder
+/// configuration, and the selected (feature, threshold) pair.
+///
+/// Unlike the live matcher it holds no per-record vector cache — the
+/// sentence variants re-encode on demand, which is deterministic and keeps
+/// the model immutable (safe for concurrent ScoreBatch).
+class TrainedEsdeModel final : public TrainedModel {
+ public:
+  TrainedEsdeModel(EsdeVariant variant, EsdeOptions options, size_t num_attrs,
+                   int best_feature, double best_threshold,
+                   double best_valid_f1)
+      : variant_(variant),
+        options_(options),
+        encoder_(options.sentence_dim, options.seed),
+        num_attrs_(num_attrs),
+        best_feature_(best_feature),
+        best_threshold_(best_threshold),
+        best_valid_f1_(best_valid_f1) {}
+
+  TrainedModelKind kind() const override { return TrainedModelKind::kEsde; }
+  std::string matcher_name() const override {
+    return EsdeVariantName(variant_);
+  }
+  size_t num_attrs() const override { return num_attrs_; }
+  double decision_threshold() const override { return best_threshold_; }
+  bool DecideFromScore(double score) const override {
+    // Same comparison orientation as the testing phase of Algorithm 2.
+    return best_threshold_ <= score;
+  }
+
+  double ScorePair(const MatchingContext& context,
+                   const data::LabeledPair& pair) const override {
+    auto features = EsdeFeaturesWith(
+        context, variant_, pair, [&](bool left_side, uint32_t record,
+                                     int attr) {
+          return EncodeRecord(context, left_side, record, attr);
+        });
+    return features[static_cast<size_t>(best_feature_)];
+  }
+
+  void PrepareContext(const MatchingContext& context) const override {
+    if (context.left().frozen() && context.right().frozen()) return;
+    switch (variant_) {
+      case EsdeVariant::kSchemaAgnostic:
+      case EsdeVariant::kSchemaBased:
+        context.left().WarmTokens();
+        context.right().WarmTokens();
+        break;
+      case EsdeVariant::kSchemaAgnosticQgram:
+      case EsdeVariant::kSchemaBasedQgram:
+        context.left().WarmQGrams();
+        context.right().WarmQGrams();
+        break;
+      case EsdeVariant::kSchemaAgnosticSent:
+      case EsdeVariant::kSchemaBasedSent:
+        // Sentence features read raw record text, not the caches.
+        break;
+    }
+    context.left().Freeze();
+    context.right().Freeze();
+  }
+
+  void SerializePayload(BlobWriter* writer) const override {
+    writer->WriteU8(static_cast<uint8_t>(variant_));
+    writer->WriteU64(options_.sentence_dim);
+    writer->WriteU64(options_.seed);
+    writer->WriteU64(options_.qgram_char_cap);
+    writer->WriteU64(num_attrs_);
+    writer->WriteI32(best_feature_);
+    writer->WriteDouble(best_threshold_);
+    writer->WriteDouble(best_valid_f1_);
+  }
+
+ private:
+  embed::Vec EncodeRecord(const MatchingContext& context, bool left_side,
+                          uint32_t record, int attr) const {
+    const data::Table& table =
+        left_side ? context.task().left() : context.task().right();
+    const std::string text =
+        attr < 0 ? table.record(record).ConcatenatedValues()
+                 : table.record(record).values[static_cast<size_t>(attr)];
+    embed::Vec vec = encoder_.Encode(text);
+    // Same empty-text fallback as EsdeMatcher::RecordVec.
+    if (vec.empty()) vec.assign(encoder_.dim(), 0.0F);
+    return vec;
+  }
+
+  EsdeVariant variant_;
+  EsdeOptions options_;
+  embed::SentenceEncoder encoder_;
+  size_t num_attrs_;
+  int best_feature_;
+  double best_threshold_;
+  double best_valid_f1_;
+};
+
 }  // namespace
 
 EsdeMatcher::EsdeMatcher(EsdeVariant variant, EsdeOptions options)
@@ -69,48 +219,11 @@ const embed::Vec& EsdeMatcher::RecordVec(const MatchingContext& context,
 
 std::vector<double> EsdeMatcher::Features(const MatchingContext& context,
                                           const data::LabeledPair& pair) {
-  const auto& left = context.left();
-  const auto& right = context.right();
-  size_t num_attrs = context.task().left().schema().num_attributes();
-  std::vector<double> features;
-  switch (variant_) {
-    case EsdeVariant::kSchemaAgnostic:
-      PushSetSims(left.TokenSetAll(pair.left), right.TokenSetAll(pair.right),
-                  &features);
-      break;
-    case EsdeVariant::kSchemaBased:
-      for (size_t a = 0; a < num_attrs; ++a) {
-        PushSetSims(left.TokenSetAttr(pair.left, a),
-                    right.TokenSetAttr(pair.right, a), &features);
-      }
-      break;
-    case EsdeVariant::kSchemaAgnosticQgram:
-      for (int q = kMinQ; q <= kMaxQ; ++q) {
-        PushSetSims(left.QGramSetAll(pair.left, q),
-                    right.QGramSetAll(pair.right, q), &features);
-      }
-      break;
-    case EsdeVariant::kSchemaBasedQgram:
-      for (size_t a = 0; a < num_attrs; ++a) {
-        for (int q = kMinQ; q <= kMaxQ; ++q) {
-          PushSetSims(left.QGramSetAttr(pair.left, a, q),
-                      right.QGramSetAttr(pair.right, a, q), &features);
-        }
-      }
-      break;
-    case EsdeVariant::kSchemaAgnosticSent:
-      PushVecSims(RecordVec(context, true, pair.left, -1),
-                  RecordVec(context, false, pair.right, -1), &features);
-      break;
-    case EsdeVariant::kSchemaBasedSent:
-      for (size_t a = 0; a < num_attrs; ++a) {
-        PushVecSims(RecordVec(context, true, pair.left, static_cast<int>(a)),
-                    RecordVec(context, false, pair.right, static_cast<int>(a)),
-                    &features);
-      }
-      break;
-  }
-  return features;
+  return EsdeFeaturesWith(
+      context, variant_, pair,
+      [&](bool left_side, uint32_t record, int attr) -> const embed::Vec& {
+        return RecordVec(context, left_side, record, attr);
+      });
 }
 
 double EsdeMatcher::SingleFeature(const MatchingContext& context,
@@ -164,12 +277,11 @@ void EsdeMatcher::WarmCaches(const MatchingContext& context) {
   }
 }
 
-std::vector<uint8_t> EsdeMatcher::Run(const MatchingContext& context) {
-  RLBENCH_TRACE_SPAN("esde/run");
-  RLBENCH_COUNTER_INC("matchers/esde/runs");
+Result<std::unique_ptr<TrainedModel>> EsdeMatcher::TrainModel(
+    const MatchingContext& context) {
   const auto& task = context.task();
-  size_t dim = EsdeFeatureCount(
-      variant_, task.left().schema().num_attributes());
+  size_t num_attrs = task.left().schema().num_attributes();
+  size_t dim = EsdeFeatureCount(variant_, num_attrs);
 
   // Two-phase cache contract: bulk-fill everything this variant reads,
   // then freeze both record caches so the batch loops below may extract
@@ -235,8 +347,26 @@ std::vector<uint8_t> EsdeMatcher::Run(const MatchingContext& context) {
   }
   best_threshold_ = thresholds[best_feature_];
 
-  // --- Testing phase: apply the selected rule.
-  const auto& test = task.test();
+  context.left().Thaw();
+  context.right().Thaw();
+  return std::unique_ptr<TrainedModel>(std::make_unique<TrainedEsdeModel>(
+      variant_, options_, num_attrs, best_feature_, best_threshold_,
+      best_valid_f1_));
+}
+
+std::vector<uint8_t> EsdeMatcher::Run(const MatchingContext& context) {
+  RLBENCH_TRACE_SPAN("esde/run");
+  RLBENCH_COUNTER_INC("matchers/esde/runs");
+  auto model = TrainModel(context);
+  RLBENCH_CHECK(model.ok());
+
+  // --- Testing phase: apply the selected rule. The live matcher keeps its
+  // record-vector cache, so it scores through SingleFeature rather than the
+  // snapshot model's re-encoding path; both produce identical bits (the
+  // serve tests assert it).
+  context.left().Freeze();
+  context.right().Freeze();
+  const auto& test = context.task().test();
   RLBENCH_COUNTER_ADD("matchers/esde/pairs_featurized", test.size());
   std::vector<uint8_t> predictions(test.size());
   ParallelFor(0, test.size(), kPairGrain, [&](size_t i) {
@@ -247,6 +377,38 @@ std::vector<uint8_t> EsdeMatcher::Run(const MatchingContext& context) {
   context.left().Thaw();
   context.right().Thaw();
   return predictions;
+}
+
+Result<std::unique_ptr<TrainedModel>> DeserializeEsdeModel(
+    BlobReader* reader) {
+  RLBENCH_ASSIGN_OR_RETURN(uint8_t variant_tag, reader->ReadU8());
+  if (variant_tag > static_cast<uint8_t>(EsdeVariant::kSchemaBasedSent)) {
+    return Status::IOError("esde model: unknown variant tag");
+  }
+  auto variant = static_cast<EsdeVariant>(variant_tag);
+  EsdeOptions options;
+  RLBENCH_ASSIGN_OR_RETURN(uint64_t sentence_dim, reader->ReadU64());
+  RLBENCH_ASSIGN_OR_RETURN(options.seed, reader->ReadU64());
+  RLBENCH_ASSIGN_OR_RETURN(uint64_t qgram_char_cap, reader->ReadU64());
+  RLBENCH_ASSIGN_OR_RETURN(uint64_t num_attrs, reader->ReadU64());
+  RLBENCH_ASSIGN_OR_RETURN(int32_t best_feature, reader->ReadI32());
+  RLBENCH_ASSIGN_OR_RETURN(double best_threshold, reader->ReadDouble());
+  RLBENCH_ASSIGN_OR_RETURN(double best_valid_f1, reader->ReadDouble());
+  if (sentence_dim == 0 || sentence_dim > (1U << 20)) {
+    return Status::IOError("esde model: implausible sentence dimension");
+  }
+  if (num_attrs == 0 || num_attrs > (1U << 16)) {
+    return Status::IOError("esde model: implausible attribute count");
+  }
+  options.sentence_dim = static_cast<size_t>(sentence_dim);
+  options.qgram_char_cap = static_cast<size_t>(qgram_char_cap);
+  size_t dim = EsdeFeatureCount(variant, static_cast<size_t>(num_attrs));
+  if (best_feature < 0 || static_cast<size_t>(best_feature) >= dim) {
+    return Status::IOError("esde model: selected feature out of range");
+  }
+  return std::unique_ptr<TrainedModel>(std::make_unique<TrainedEsdeModel>(
+      variant, options, static_cast<size_t>(num_attrs), best_feature,
+      best_threshold, best_valid_f1));
 }
 
 }  // namespace rlbench::matchers

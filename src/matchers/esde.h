@@ -31,6 +31,12 @@ class EsdeMatcher : public Matcher {
   std::string name() const override { return EsdeVariantName(variant_); }
   std::vector<uint8_t> Run(const MatchingContext& context) override;
 
+  /// Train threshold + feature selection and export the fitted rule as a
+  /// servable model. Run() == TrainModel() + applying the rule to the test
+  /// pairs; the serve tests pin the bit-exact equivalence.
+  Result<std::unique_ptr<TrainedModel>> TrainModel(
+      const MatchingContext& context) override;
+
   /// Diagnostics after Run: the selected feature index, its threshold, and
   /// the validation F1 that selected it.
   int best_feature() const { return best_feature_; }

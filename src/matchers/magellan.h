@@ -32,6 +32,11 @@ class MagellanMatcher : public Matcher {
   std::string name() const override;
   std::vector<uint8_t> Run(const MatchingContext& context) override;
 
+  /// Fit the classifier and export it as a servable model; Run() is
+  /// TrainModel() + predicting the context's test feature dataset.
+  Result<std::unique_ptr<TrainedModel>> TrainModel(
+      const MatchingContext& context) override;
+
  private:
   MagellanClassifier classifier_;
   MagellanOptions options_;

@@ -4,6 +4,13 @@
 
 namespace rlbench::matchers {
 
+Result<std::unique_ptr<TrainedModel>> Matcher::TrainModel(
+    const MatchingContext& context) {
+  (void)context;
+  return Status::FailedPrecondition(name() +
+                                    " does not support snapshot export");
+}
+
 double Matcher::TestF1(const MatchingContext& context) {
   auto predictions = Run(context);
   std::vector<uint8_t> truth;

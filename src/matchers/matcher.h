@@ -9,7 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "matchers/context.h"
+#include "matchers/trained_model.h"
 
 namespace rlbench::matchers {
 
@@ -24,6 +26,15 @@ class Matcher {
   /// Train on the context's train/validation pairs and return one 0/1
   /// prediction per test pair, in test order.
   virtual std::vector<uint8_t> Run(const MatchingContext& context) = 0;
+
+  /// Train on the context's train/validation pairs and export the fitted
+  /// state as a servable model (src/serve/ snapshots). For servable
+  /// families, Run() is equivalent to TrainModel() followed by scoring the
+  /// test pairs through the model. The default (used by the simulated DL
+  /// matchers, which have no portable fitted state) reports
+  /// FailedPrecondition.
+  virtual Result<std::unique_ptr<TrainedModel>> TrainModel(
+      const MatchingContext& context);
 
   /// Convenience: F1 of Run's predictions against the test labels.
   double TestF1(const MatchingContext& context);

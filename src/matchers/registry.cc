@@ -9,6 +9,61 @@
 
 namespace rlbench::matchers {
 
+namespace {
+
+constexpr MagellanClassifier kMagellanClassifiers[] = {
+    MagellanClassifier::kDecisionTree, MagellanClassifier::kLogisticRegression,
+    MagellanClassifier::kRandomForest, MagellanClassifier::kLinearSvm};
+
+constexpr EsdeVariant kEsdeVariants[] = {
+    EsdeVariant::kSchemaAgnostic,     EsdeVariant::kSchemaAgnosticQgram,
+    EsdeVariant::kSchemaAgnosticSent, EsdeVariant::kSchemaBased,
+    EsdeVariant::kSchemaBasedQgram,   EsdeVariant::kSchemaBasedSent};
+
+/// The named servable matcher under the lineup's per-family seed
+/// derivation, or nullptr for unknown (or non-servable) names.
+std::unique_ptr<Matcher> MakeServableMatcher(const std::string& name,
+                                             uint64_t seed) {
+  MagellanOptions mg_options;
+  mg_options.seed = seed ^ 0x3117ULL;
+  for (auto classifier : kMagellanClassifiers) {
+    auto matcher = std::make_unique<MagellanMatcher>(classifier, mg_options);
+    if (matcher->name() == name) return matcher;
+  }
+  if (name == "ZeroER") return std::make_unique<ZeroErMatcher>();
+  EsdeOptions esde_options;
+  esde_options.seed = seed ^ 0xE5DEULL;
+  for (auto variant : kEsdeVariants) {
+    if (EsdeVariantName(variant) == name) {
+      return std::make_unique<EsdeMatcher>(variant, esde_options);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<std::string> ServableMatcherNames() {
+  std::vector<std::string> names;
+  for (auto classifier : kMagellanClassifiers) {
+    names.push_back(MagellanMatcher(classifier).name());
+  }
+  names.push_back("ZeroER");
+  for (auto variant : kEsdeVariants) {
+    names.push_back(EsdeVariantName(variant));
+  }
+  return names;
+}
+
+Result<std::unique_ptr<TrainedModel>> TrainServableMatcher(
+    const std::string& name, const MatchingContext& context, uint64_t seed) {
+  auto matcher = MakeServableMatcher(name, seed);
+  if (matcher == nullptr) {
+    return Status::NotFound("no servable matcher named \"" + name + "\"");
+  }
+  return matcher->TrainModel(context);
+}
+
 std::vector<RegisteredMatcher> BuildMatcherLineup(
     const RegistryOptions& options) {
   std::vector<RegisteredMatcher> lineup;

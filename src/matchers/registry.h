@@ -4,7 +4,9 @@
 #ifndef RLBENCH_SRC_MATCHERS_REGISTRY_H_
 #define RLBENCH_SRC_MATCHERS_REGISTRY_H_
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "matchers/matcher.h"
@@ -33,6 +35,19 @@ struct RegisteredMatcher {
 /// Instantiate the full line-up.
 std::vector<RegisteredMatcher> BuildMatcherLineup(
     const RegistryOptions& options = {});
+
+/// Row names of the matchers that can be trained into servable snapshot
+/// models (src/serve/): the Magellan group, ZeroER, and the six ESDE
+/// variants. The simulated DL matchers have no portable fitted state.
+std::vector<std::string> ServableMatcherNames();
+
+/// Construct the named servable matcher with the same per-family seed
+/// derivation as BuildMatcherLineup (so a served model reproduces the
+/// table row bit-for-bit) and train it on the context. NotFound for names
+/// outside ServableMatcherNames().
+Result<std::unique_ptr<TrainedModel>> TrainServableMatcher(
+    const std::string& name, const MatchingContext& context,
+    uint64_t seed = 17);
 
 }  // namespace rlbench::matchers
 

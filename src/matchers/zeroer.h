@@ -7,11 +7,20 @@
 #define RLBENCH_SRC_MATCHERS_ZEROER_H_
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "matchers/matcher.h"
 #include "ml/gmm_em.h"
 
 namespace rlbench::matchers {
+
+/// ZeroER's feature selection over a Magellan feature row: the
+/// per-attribute Jaccard and Monge-Elkan scores (the edit-based features
+/// are highly correlated with them, which violates the diagonal mixture
+/// model's independence assumption). Shared by training and serving so
+/// both see identical float pipelines.
+std::vector<float> ZeroErSelectFeatures(std::span<const float> magellan_row);
 
 struct ZeroErOptions {
   ml::GmmOptions gmm;
@@ -24,6 +33,11 @@ class ZeroErMatcher : public Matcher {
 
   std::string name() const override { return "ZeroER"; }
   std::vector<uint8_t> Run(const MatchingContext& context) override;
+
+  /// Fit the mixture on all candidate pairs (transductive, as in the
+  /// paper) and export it as a servable model.
+  Result<std::unique_ptr<TrainedModel>> TrainModel(
+      const MatchingContext& context) override;
 
  private:
   ZeroErOptions options_;

@@ -158,6 +158,48 @@ int DecisionTree::BuildNode(const Dataset& data, std::vector<size_t>& indices,
   return node_index;
 }
 
+void DecisionTree::Save(BlobWriter* writer) const {
+  writer->WriteDouble(pos_weight_);
+  writer->WriteU64(nodes_.size());
+  for (const Node& node : nodes_) {
+    writer->WriteI32(node.feature);
+    writer->WriteFloat(node.threshold);
+    writer->WriteI32(node.left);
+    writer->WriteI32(node.right);
+    writer->WriteDouble(node.score);
+  }
+}
+
+Status DecisionTree::Load(BlobReader* reader, size_t num_features) {
+  RLBENCH_ASSIGN_OR_RETURN(pos_weight_, reader->ReadDouble());
+  RLBENCH_ASSIGN_OR_RETURN(uint64_t count, reader->ReadU64());
+  // A node needs at least 20 serialized bytes; reject wild counts before
+  // the allocation.
+  if (count > reader->Remaining() / 20) {
+    return Status::IOError("decision tree: truncated node table");
+  }
+  std::vector<Node> nodes(count);
+  for (Node& node : nodes) {
+    RLBENCH_ASSIGN_OR_RETURN(node.feature, reader->ReadI32());
+    RLBENCH_ASSIGN_OR_RETURN(node.threshold, reader->ReadFloat());
+    RLBENCH_ASSIGN_OR_RETURN(node.left, reader->ReadI32());
+    RLBENCH_ASSIGN_OR_RETURN(node.right, reader->ReadI32());
+    RLBENCH_ASSIGN_OR_RETURN(node.score, reader->ReadDouble());
+    if (!node.IsLeaf() &&
+        (node.left < 0 || node.right < 0 ||
+         static_cast<uint64_t>(node.left) >= count ||
+         static_cast<uint64_t>(node.right) >= count)) {
+      return Status::IOError("decision tree: child index out of range");
+    }
+    if (!node.IsLeaf() && num_features > 0 &&
+        static_cast<size_t>(node.feature) >= num_features) {
+      return Status::IOError("decision tree: split feature out of range");
+    }
+  }
+  nodes_ = std::move(nodes);
+  return Status::OK();
+}
+
 double DecisionTree::PredictScore(std::span<const float> row) const {
   if (nodes_.empty()) return 0.0;
   int index = 0;

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/blob.h"
 #include "ml/classifier.h"
 
 namespace rlbench {
@@ -42,6 +43,14 @@ class DecisionTree : public Classifier {
   double PredictScore(std::span<const float> row) const override;
 
   size_t num_nodes() const { return nodes_.size(); }
+
+  /// Snapshot hooks (src/serve/): serialize the fitted tree — node table
+  /// plus the class weight — bit-exactly. Load validates child indices so
+  /// a corrupt snapshot cannot make PredictScore walk out of bounds.
+  void Save(BlobWriter* writer) const;
+  /// `num_features`, when non-zero, additionally bounds split feature
+  /// indices (callers that know the serving arity should pass it).
+  Status Load(BlobReader* reader, size_t num_features = 0);
 
  private:
   struct Node {

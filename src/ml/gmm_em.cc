@@ -138,6 +138,38 @@ void GaussianMixtureMatcher::Fit(const Dataset& data) {
   }
 }
 
+void GaussianMixtureMatcher::Save(BlobWriter* writer) const {
+  writer->WriteU64(dim_);
+  writer->WriteDoubleVec(mean_match_);
+  writer->WriteDoubleVec(var_match_);
+  writer->WriteDoubleVec(mean_unmatch_);
+  writer->WriteDoubleVec(var_unmatch_);
+  writer->WriteDouble(prior_match_);
+}
+
+Status GaussianMixtureMatcher::Load(BlobReader* reader) {
+  RLBENCH_ASSIGN_OR_RETURN(uint64_t dim, reader->ReadU64());
+  RLBENCH_ASSIGN_OR_RETURN(mean_match_, reader->ReadDoubleVec());
+  RLBENCH_ASSIGN_OR_RETURN(var_match_, reader->ReadDoubleVec());
+  RLBENCH_ASSIGN_OR_RETURN(mean_unmatch_, reader->ReadDoubleVec());
+  RLBENCH_ASSIGN_OR_RETURN(var_unmatch_, reader->ReadDoubleVec());
+  RLBENCH_ASSIGN_OR_RETURN(prior_match_, reader->ReadDouble());
+  if (mean_match_.size() != dim || var_match_.size() != dim ||
+      mean_unmatch_.size() != dim || var_unmatch_.size() != dim) {
+    return Status::IOError("gmm: component arity mismatch");
+  }
+  if (dim > 0 && !(prior_match_ > 0.0 && prior_match_ < 1.0)) {
+    return Status::IOError("gmm: match prior outside (0, 1)");
+  }
+  for (const auto* vars : {&var_match_, &var_unmatch_}) {
+    for (double v : *vars) {
+      if (!(v > 0.0)) return Status::IOError("gmm: non-positive variance");
+    }
+  }
+  dim_ = static_cast<size_t>(dim);
+  return Status::OK();
+}
+
 double GaussianMixtureMatcher::PredictScore(std::span<const float> row) const {
   if (dim_ == 0) return 0.0;
   double lm = std::log(prior_match_) + LogDensity(row, mean_match_, var_match_);

@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "common/blob.h"
 #include "ml/dataset.h"
 
 namespace rlbench::ml {
@@ -43,6 +44,13 @@ class GaussianMixtureMatcher {
     return log_likelihood_trace_;
   }
   double match_prior() const { return prior_match_; }
+  size_t dim() const { return dim_; }
+
+  /// Snapshot hooks (src/serve/): the fitted mixture — component means,
+  /// variances and the match prior. Convergence diagnostics (iteration
+  /// count, likelihood trace) are training-time state and not serialized.
+  void Save(BlobWriter* writer) const;
+  Status Load(BlobReader* reader);
 
  private:
   double LogDensity(std::span<const float> row,

@@ -77,6 +77,25 @@ double LinearSvm::PredictScore(std::span<const float> row) const {
   return score;
 }
 
+void LinearSvm::Save(BlobWriter* writer) const {
+  scaler_.Save(writer);
+  writer->WriteDoubleVec(weights_);
+  writer->WriteDouble(bias_);
+}
+
+Status LinearSvm::Load(BlobReader* reader, size_t num_features) {
+  RLBENCH_RETURN_NOT_OK(scaler_.Load(reader));
+  RLBENCH_ASSIGN_OR_RETURN(weights_, reader->ReadDoubleVec());
+  RLBENCH_ASSIGN_OR_RETURN(bias_, reader->ReadDouble());
+  if (weights_.size() != scaler_.means().size()) {
+    return Status::IOError("linear svm: scaler/weight arity mismatch");
+  }
+  if (num_features != 0 && weights_.size() != num_features) {
+    return Status::IOError("linear svm: unexpected weight count");
+  }
+  return Status::OK();
+}
+
 double LinearSvm::MeanHingeLoss(const Dataset& data) const {
   if (data.empty()) return 0.0;
   double total = 0.0;

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "common/blob.h"
 #include "ml/classifier.h"
 #include "ml/scaler.h"
 
@@ -38,6 +39,11 @@ class LinearSvm : public Classifier {
   /// Mean hinge loss of the training data under the learned hyperplane,
   /// i.e. the "sum of the error distance" statistic behind measure l1.
   double MeanHingeLoss(const Dataset& data) const;
+
+  /// Snapshot hooks (src/serve/): fitted scaler + hyperplane. A non-zero
+  /// `num_features` rejects blobs fitted for a different schema.
+  void Save(BlobWriter* writer) const;
+  Status Load(BlobReader* reader, size_t num_features = 0);
 
  private:
   LinearSvmOptions options_;

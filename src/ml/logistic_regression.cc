@@ -70,6 +70,25 @@ void LogisticRegression::Fit(const Dataset& train, const Dataset& valid) {
   RLBENCH_CHECK_FINITE(bias_);
 }
 
+void LogisticRegression::Save(BlobWriter* writer) const {
+  scaler_.Save(writer);
+  writer->WriteDoubleVec(weights_);
+  writer->WriteDouble(bias_);
+}
+
+Status LogisticRegression::Load(BlobReader* reader, size_t num_features) {
+  RLBENCH_RETURN_NOT_OK(scaler_.Load(reader));
+  RLBENCH_ASSIGN_OR_RETURN(weights_, reader->ReadDoubleVec());
+  RLBENCH_ASSIGN_OR_RETURN(bias_, reader->ReadDouble());
+  if (weights_.size() != scaler_.means().size()) {
+    return Status::IOError("logistic regression: scaler/weight arity mismatch");
+  }
+  if (num_features != 0 && weights_.size() != num_features) {
+    return Status::IOError("logistic regression: unexpected weight count");
+  }
+  return Status::OK();
+}
+
 double LogisticRegression::PredictScore(std::span<const float> row) const {
   std::vector<float> scaled(row.begin(), row.end());
   scaler_.Transform(scaled);

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "common/blob.h"
 #include "ml/classifier.h"
 #include "ml/scaler.h"
 
@@ -33,6 +34,11 @@ class LogisticRegression : public Classifier {
 
   const std::vector<double>& weights() const { return weights_; }
   double bias() const { return bias_; }
+
+  /// Snapshot hooks (src/serve/): fitted scaler + weights + bias. A
+  /// non-zero `num_features` rejects blobs fitted for a different schema.
+  void Save(BlobWriter* writer) const;
+  Status Load(BlobReader* reader, size_t num_features = 0);
 
  private:
   LogisticRegressionOptions options_;

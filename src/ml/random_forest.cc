@@ -35,6 +35,28 @@ void RandomForest::Fit(const Dataset& train, const Dataset& valid) {
   }
 }
 
+void RandomForest::Save(BlobWriter* writer) const {
+  writer->WriteU64(trees_.size());
+  for (const auto& tree : trees_) tree.Save(writer);
+}
+
+Status RandomForest::Load(BlobReader* reader, size_t num_features) {
+  RLBENCH_ASSIGN_OR_RETURN(uint64_t count, reader->ReadU64());
+  // Each serialized tree is at least 16 bytes (weight + node count).
+  if (count > reader->Remaining() / 16) {
+    return Status::IOError("random forest: truncated tree table");
+  }
+  std::vector<DecisionTree> trees;
+  trees.reserve(count);
+  for (uint64_t t = 0; t < count; ++t) {
+    DecisionTree tree;
+    RLBENCH_RETURN_NOT_OK(tree.Load(reader, num_features));
+    trees.push_back(std::move(tree));
+  }
+  trees_ = std::move(trees);
+  return Status::OK();
+}
+
 double RandomForest::PredictScore(std::span<const float> row) const {
   if (trees_.empty()) return 0.0;
   double total = 0.0;

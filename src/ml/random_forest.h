@@ -32,6 +32,10 @@ class RandomForest : public Classifier {
 
   size_t num_trees() const { return trees_.size(); }
 
+  /// Snapshot hooks (src/serve/): every fitted tree in ensemble order.
+  void Save(BlobWriter* writer) const;
+  Status Load(BlobReader* reader, size_t num_features = 0);
+
  private:
   RandomForestOptions options_;
   std::vector<DecisionTree> trees_;

@@ -34,6 +34,23 @@ void StandardScaler::Transform(std::span<float> row) const {
   }
 }
 
+void StandardScaler::Save(BlobWriter* writer) const {
+  writer->WriteFloatVec(means_);
+  writer->WriteFloatVec(stddevs_);
+}
+
+Status StandardScaler::Load(BlobReader* reader) {
+  RLBENCH_ASSIGN_OR_RETURN(means_, reader->ReadFloatVec());
+  RLBENCH_ASSIGN_OR_RETURN(stddevs_, reader->ReadFloatVec());
+  if (means_.size() != stddevs_.size()) {
+    return Status::IOError("scaler: mean/stddev arity mismatch");
+  }
+  for (float s : stddevs_) {
+    if (!(s > 0.0F)) return Status::IOError("scaler: non-positive stddev");
+  }
+  return Status::OK();
+}
+
 Dataset StandardScaler::TransformAll(const Dataset& data) const {
   Dataset out(data.num_features());
   out.Reserve(data.size());

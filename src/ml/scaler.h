@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "common/blob.h"
 #include "ml/dataset.h"
 
 namespace rlbench::ml {
@@ -25,6 +26,11 @@ class StandardScaler {
 
   const std::vector<float>& means() const { return means_; }
   const std::vector<float>& stddevs() const { return stddevs_; }
+
+  /// Snapshot hooks (src/serve/): the fitted statistics round-trip
+  /// bit-exactly through the blob's IEEE-754 bit patterns.
+  void Save(BlobWriter* writer) const;
+  Status Load(BlobReader* reader);
 
  private:
   std::vector<float> means_;

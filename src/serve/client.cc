@@ -1,0 +1,125 @@
+#include "serve/client.h"
+
+#include "obs/json.h"
+
+namespace rlbench::serve {
+
+namespace {
+
+// Invert StatusCodeName for the codes the server can emit; unrecognised
+// names degrade to kInternal rather than being dropped.
+StatusCode ParseStatusCode(const std::string& name) {
+  static constexpr StatusCode kCodes[] = {
+      StatusCode::kInvalidArgument,    StatusCode::kNotFound,
+      StatusCode::kOutOfRange,         StatusCode::kFailedPrecondition,
+      StatusCode::kIOError,            StatusCode::kResourceExhausted,
+      StatusCode::kInternal,           StatusCode::kDeadlineExceeded,
+  };
+  for (StatusCode code : kCodes) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
+Result<JsonValue> CheckOk(JsonValue response) {
+  if (!response.is_object()) {
+    return Status::IOError("client: response is not a JSON object");
+  }
+  if (!response.GetBool("ok")) {
+    return Status(ParseStatusCode(response.GetString("code", "Internal")),
+                  response.GetString("error", "server error"));
+  }
+  return response;
+}
+
+}  // namespace
+
+Result<MatchClient> MatchClient::Connect(uint16_t port) {
+  RLBENCH_ASSIGN_OR_RETURN(Socket socket, ConnectLoopback(port));
+  return MatchClient(std::move(socket));
+}
+
+Status MatchClient::SendRequest(const std::string& payload) {
+  return SendFrame(socket_, payload);
+}
+
+Result<JsonValue> MatchClient::RecvResponse() {
+  // The persistent decoder carries over bytes beyond the first frame: a
+  // server answering pipelined requests sends many frames in one burst,
+  // and a per-call decoder would silently drop all but the first.
+  RLBENCH_ASSIGN_OR_RETURN(std::string frame, RecvFrame(socket_, &decoder_));
+  RLBENCH_ASSIGN_OR_RETURN(JsonValue response, ParseJson(frame));
+  return CheckOk(std::move(response));
+}
+
+Result<JsonValue> MatchClient::Call(const std::string& payload) {
+  RLBENCH_RETURN_NOT_OK(SendRequest(payload));
+  return RecvResponse();
+}
+
+Result<JsonValue> MatchClient::Ping() { return Call("{\"op\":\"ping\"}"); }
+
+Result<PairScore> MatchClient::MatchPair(uint32_t left, uint32_t right) {
+  RLBENCH_ASSIGN_OR_RETURN(
+      JsonValue response,
+      Call("{\"op\":\"match_pair\",\"left\":" + std::to_string(left) +
+           ",\"right\":" + std::to_string(right) + "}"));
+  PairScore score;
+  score.score = response.GetNumber("score");
+  score.decision = response.GetNumber("decision") != 0.0 ? 1 : 0;
+  return score;
+}
+
+std::string MatchClient::MatchBatchRequest(
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+    double deadline_ms) {
+  std::string out = "{\"op\":\"match_batch\",\"pairs\":[";
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "[" + std::to_string(pairs[i].first) + "," +
+           std::to_string(pairs[i].second) + "]";
+  }
+  out += "]";
+  if (deadline_ms > 0.0) {
+    out += ",\"deadline_ms\":" + obs::JsonNumber(deadline_ms);
+  }
+  return out + "}";
+}
+
+Result<std::vector<PairScore>> MatchClient::MatchBatch(
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+    double deadline_ms) {
+  RLBENCH_ASSIGN_OR_RETURN(JsonValue response,
+                           Call(MatchBatchRequest(pairs, deadline_ms)));
+  const JsonValue* scores = response.Find("scores");
+  const JsonValue* decisions = response.Find("decisions");
+  if (scores == nullptr || !scores->is_array() || decisions == nullptr ||
+      !decisions->is_array() ||
+      scores->AsArray().size() != decisions->AsArray().size()) {
+    return Status::IOError("client: malformed match_batch response");
+  }
+  std::vector<PairScore> results(scores->AsArray().size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    results[i].score = scores->AsArray()[i].AsNumber();
+    results[i].decision = decisions->AsArray()[i].AsNumber() != 0.0 ? 1 : 0;
+  }
+  return results;
+}
+
+Result<JsonValue> MatchClient::Assess() { return Call("{\"op\":\"assess\"}"); }
+
+Result<JsonValue> MatchClient::Stats() { return Call("{\"op\":\"stats\"}"); }
+
+Result<JsonValue> MatchClient::Reload(const std::string& matcher,
+                                      uint64_t version) {
+  std::string request =
+      "{\"op\":\"reload\",\"matcher\":" + obs::JsonString(matcher);
+  if (version > 0) request += ",\"version\":" + std::to_string(version);
+  return Call(request + "}");
+}
+
+Result<JsonValue> MatchClient::Shutdown() {
+  return Call("{\"op\":\"shutdown\"}");
+}
+
+}  // namespace rlbench::serve

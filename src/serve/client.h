@@ -1,0 +1,64 @@
+// Synchronous loopback client for the match server. One TCP connection,
+// blocking request/response by default, plus a split Send/Recv surface so
+// benchmarks and tests can pipeline many requests onto the server's
+// micro-batcher. Error responses ({"ok":false,"code","error"}) are mapped
+// back into the Status codes the service produced on the far side.
+#ifndef RLBENCH_SRC_SERVE_CLIENT_H_
+#define RLBENCH_SRC_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/net.h"
+#include "serve/service.h"
+#include "serve/wire.h"
+
+namespace rlbench::serve {
+
+/// \brief Blocking JSON client over one loopback connection.
+class MatchClient {
+ public:
+  /// Connect to a server on 127.0.0.1:`port`.
+  static Result<MatchClient> Connect(uint16_t port);
+
+  /// Send one raw request payload and block for its response. A response
+  /// with "ok":false comes back as the mapped error Status.
+  Result<JsonValue> Call(const std::string& payload);
+
+  /// Fire-and-forget half of a pipelined exchange.
+  Status SendRequest(const std::string& payload);
+  /// Receive half: blocks for the next response frame (parsed, "ok"
+  /// checked). Responses arrive in request order.
+  Result<JsonValue> RecvResponse();
+
+  // --- Typed ops -----------------------------------------------------------
+
+  Result<JsonValue> Ping();
+  Result<PairScore> MatchPair(uint32_t left, uint32_t right);
+  /// `deadline_ms` <= 0 uses the server's default.
+  Result<std::vector<PairScore>> MatchBatch(
+      const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+      double deadline_ms = 0.0);
+  Result<JsonValue> Assess();
+  Result<JsonValue> Stats();
+  Result<JsonValue> Reload(const std::string& matcher, uint64_t version = 0);
+  Result<JsonValue> Shutdown();
+
+  /// Serialized match_batch request (shared with pipelined senders).
+  static std::string MatchBatchRequest(
+      const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
+      double deadline_ms = 0.0);
+
+ private:
+  explicit MatchClient(Socket socket) : socket_(std::move(socket)) {}
+
+  Socket socket_;
+  FrameDecoder decoder_;  // carries partial/extra bytes across responses
+};
+
+}  // namespace rlbench::serve
+
+#endif  // RLBENCH_SRC_SERVE_CLIENT_H_

@@ -1,0 +1,156 @@
+#include "serve/model_repository.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "data/file_source.h"
+#include "fault/failpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rlbench::serve {
+
+namespace {
+
+// Matcher names become directory names; they are registry-controlled
+// ("Magellan-RF", "SA-ESDE", ...) but reject separators defensively so a
+// hostile name cannot escape the repository root.
+bool SafeDirectoryName(const std::string& name) {
+  if (name.empty() || name.size() > 128) return false;
+  for (char c : name) {
+    if (c == '/' || c == '\\' || c == '\0') return false;
+  }
+  return name != "." && name != "..";
+}
+
+std::string FormatVersion(uint64_t version) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "v%04llu.snap",
+                static_cast<unsigned long long>(version));
+  return buffer;
+}
+
+Result<uint64_t> ParseCurrent(const std::string& text) {
+  uint64_t value = 0;
+  size_t i = 0;
+  for (; i < text.size() && text[i] >= '0' && text[i] <= '9'; ++i) {
+    if (value > (1ULL << 60)) return Status::IOError("CURRENT: overflow");
+    value = value * 10 + static_cast<uint64_t>(text[i] - '0');
+  }
+  // Allow a single trailing newline, nothing else.
+  if (i == 0 || (i < text.size() && (text[i] != '\n' || i + 1 != text.size()))) {
+    return Status::IOError("CURRENT: malformed version file");
+  }
+  if (value == 0) return Status::IOError("CURRENT: version must be >= 1");
+  return value;
+}
+
+}  // namespace
+
+std::string ModelRepository::SnapshotPath(const std::string& matcher_name,
+                                          uint64_t version) const {
+  return root_ + "/" + matcher_name + "/" + FormatVersion(version);
+}
+
+std::string ModelRepository::CurrentPath(
+    const std::string& matcher_name) const {
+  return root_ + "/" + matcher_name + "/CURRENT";
+}
+
+Result<uint64_t> ModelRepository::Publish(SnapshotMetadata metadata,
+                                          const matchers::TrainedModel& model) {
+  RLBENCH_TRACE_SPAN("serve/publish");
+  if (!SafeDirectoryName(metadata.matcher_name)) {
+    return Status::InvalidArgument("repository: unsafe matcher name \"" +
+                                   metadata.matcher_name + "\"");
+  }
+  uint64_t next = 1;
+  {
+    auto current = CurrentVersion(metadata.matcher_name);
+    if (current.ok()) {
+      next = *current + 1;
+    } else if (current.status().code() != StatusCode::kNotFound) {
+      return current.status();
+    }
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(root_ + "/" + metadata.matcher_name, ec);
+  if (ec) {
+    return Status::IOError("repository: cannot create " + root_ + "/" +
+                           metadata.matcher_name + ": " + ec.message());
+  }
+  metadata.version = next;
+  std::string bytes = EncodeSnapshot(metadata, model);
+  RLBENCH_RETURN_NOT_OK(data::FileSource::WriteAtomic(
+      SnapshotPath(metadata.matcher_name, next), bytes));
+  // The version file is the publish point: once CURRENT renames over,
+  // LoadCurrent observes the new version; before that, the old one.
+  RLBENCH_RETURN_NOT_OK(data::FileSource::WriteAtomic(
+      CurrentPath(metadata.matcher_name), std::to_string(next) + "\n"));
+  RLBENCH_COUNTER_INC("serve/snapshots_published");
+  return next;
+}
+
+Result<Snapshot> ModelRepository::Load(const std::string& matcher_name,
+                                       uint64_t version) const {
+  RLBENCH_TRACE_SPAN("serve/snapshot_load");
+  if (!SafeDirectoryName(matcher_name)) {
+    return Status::InvalidArgument("repository: unsafe matcher name \"" +
+                                   matcher_name + "\"");
+  }
+  if (auto hit = RLBENCH_FAULT_POINT("serve/snapshot/load")) {
+    return Status::IOError("injected: snapshot load " + matcher_name);
+  }
+  RLBENCH_ASSIGN_OR_RETURN(
+      std::string bytes,
+      data::FileSource::ReadAll(SnapshotPath(matcher_name, version)));
+  RLBENCH_ASSIGN_OR_RETURN(Snapshot snapshot, DecodeSnapshot(bytes));
+  if (snapshot.metadata.matcher_name != matcher_name ||
+      snapshot.metadata.version != version) {
+    return Status::IOError("repository: snapshot identity mismatch in " +
+                           SnapshotPath(matcher_name, version));
+  }
+  RLBENCH_COUNTER_INC("serve/snapshots_loaded");
+  return snapshot;
+}
+
+Result<uint64_t> ModelRepository::CurrentVersion(
+    const std::string& matcher_name) const {
+  if (!SafeDirectoryName(matcher_name)) {
+    return Status::InvalidArgument("repository: unsafe matcher name \"" +
+                                   matcher_name + "\"");
+  }
+  auto text = data::FileSource::ReadAll(CurrentPath(matcher_name));
+  if (!text.ok()) {
+    if (text.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("repository: no published snapshot for \"" +
+                              matcher_name + "\"");
+    }
+    return text.status();
+  }
+  return ParseCurrent(*text);
+}
+
+Result<Snapshot> ModelRepository::LoadCurrent(
+    const std::string& matcher_name) const {
+  RLBENCH_ASSIGN_OR_RETURN(uint64_t version, CurrentVersion(matcher_name));
+  return Load(matcher_name, version);
+}
+
+Result<std::vector<uint64_t>> ModelRepository::ListVersions(
+    const std::string& matcher_name) const {
+  auto current = CurrentVersion(matcher_name);
+  if (!current.ok()) {
+    if (current.status().code() == StatusCode::kNotFound) {
+      return std::vector<uint64_t>{};
+    }
+    return current.status();
+  }
+  std::vector<uint64_t> versions;
+  versions.reserve(*current);
+  for (uint64_t v = 1; v <= *current; ++v) versions.push_back(v);
+  return versions;
+}
+
+}  // namespace rlbench::serve

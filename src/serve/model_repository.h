@@ -1,0 +1,64 @@
+// On-disk store of versioned model snapshots, one directory per matcher:
+//
+//   <root>/<matcher>/v0001.snap
+//   <root>/<matcher>/v0002.snap
+//   <root>/<matcher>/CURRENT        <- decimal number of the live version
+//
+// Publish() writes the new snapshot file and then atomically repoints
+// CURRENT (both through data::FileSource::WriteAtomic), so a reader racing
+// a publish sees either the old complete version or the new complete one —
+// never a torn snapshot. Versions are contiguous from 1; CURRENT is the
+// single source of truth for both "latest" and "how many".
+#ifndef RLBENCH_SRC_SERVE_MODEL_REPOSITORY_H_
+#define RLBENCH_SRC_SERVE_MODEL_REPOSITORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/snapshot.h"
+
+namespace rlbench::serve {
+
+/// \brief Filesystem-backed snapshot store with atomic version publish.
+class ModelRepository {
+ public:
+  explicit ModelRepository(std::string root) : root_(std::move(root)) {}
+
+  const std::string& root() const { return root_; }
+
+  /// Serialize and store `model` as the next version of
+  /// `metadata.matcher_name`, then repoint CURRENT. The version field of
+  /// `metadata` is ignored on input; the assigned version is returned.
+  Result<uint64_t> Publish(SnapshotMetadata metadata,
+                          const matchers::TrainedModel& model);
+
+  /// Load one specific version. Failpoint: serve/snapshot/load.
+  Result<Snapshot> Load(const std::string& matcher_name,
+                        uint64_t version) const;
+
+  /// Load the version CURRENT points at; NotFound when the matcher has
+  /// never been published.
+  Result<Snapshot> LoadCurrent(const std::string& matcher_name) const;
+
+  /// The live version number, or NotFound.
+  Result<uint64_t> CurrentVersion(const std::string& matcher_name) const;
+
+  /// All published versions (1..CURRENT); empty vector when none.
+  Result<std::vector<uint64_t>> ListVersions(
+      const std::string& matcher_name) const;
+
+  /// Path of one version's snapshot file (exists or not).
+  std::string SnapshotPath(const std::string& matcher_name,
+                           uint64_t version) const;
+
+ private:
+  std::string CurrentPath(const std::string& matcher_name) const;
+
+  std::string root_;
+};
+
+}  // namespace rlbench::serve
+
+#endif  // RLBENCH_SRC_SERVE_MODEL_REPOSITORY_H_

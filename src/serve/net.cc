@@ -1,0 +1,158 @@
+#include "serve/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "serve/wire.h"
+
+namespace rlbench::serve {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError("net: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> ListenLoopback(uint16_t port, uint16_t* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Errno("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, 16) < 0) return Errno("listen");
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+      return Errno("getsockname");
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return sock;
+}
+
+Result<Socket> ConnectLoopback(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("connect 127.0.0.1:" + std::to_string(port));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Result<Socket> Accept(const Socket& listener) {
+  int fd;
+  do {
+    fd = ::accept(listener.fd(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Errno("accept");
+  Socket sock(fd);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Result<bool> WaitReadable(const Socket& socket, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = socket.fd();
+  pfd.events = POLLIN;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("poll");
+  return rc > 0;
+}
+
+Status SendAll(const Socket& socket, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n;
+    do {
+      n = ::send(socket.fd(), bytes.data() + sent, bytes.size() - sent,
+                 MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return Errno("send");
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> RecvSome(const Socket& socket) {
+  char chunk[16384];
+  ssize_t n;
+  do {
+    n = ::recv(socket.fd(), chunk, sizeof(chunk), 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return Errno("recv");
+  return std::string(chunk, static_cast<size_t>(n));
+}
+
+Status SendFrame(const Socket& socket, std::string_view payload) {
+  std::string framed;
+  framed.reserve(kFrameHeaderBytes + payload.size());
+  RLBENCH_RETURN_NOT_OK(AppendFrame(payload, &framed));
+  return SendAll(socket, framed);
+}
+
+Result<std::string> RecvFrame(const Socket& socket, FrameDecoder* decoder) {
+  while (true) {
+    RLBENCH_ASSIGN_OR_RETURN(std::optional<std::string> frame,
+                             decoder->Next());
+    if (frame.has_value()) return std::move(*frame);
+    RLBENCH_ASSIGN_OR_RETURN(std::string chunk, RecvSome(socket));
+    if (chunk.empty()) {
+      return Status::IOError("net: eof before a complete frame");
+    }
+    decoder->Append(chunk);
+  }
+}
+
+Result<std::string> RecvFrame(const Socket& socket) {
+  FrameDecoder decoder;
+  return RecvFrame(socket, &decoder);
+}
+
+}  // namespace rlbench::serve

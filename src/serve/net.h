@@ -1,0 +1,77 @@
+// The only socket layer in the repo: loopback TCP with RAII descriptors
+// and framed blocking IO. Everything POSIX-socket-shaped (socket, bind,
+// listen, accept, connect, poll, send, recv) is confined to net.h/net.cc —
+// the repo lint's `sockets` rule enforces that confinement, so transport
+// concerns cannot leak into matcher or service code.
+//
+// All connections are 127.0.0.1 only; the server binary never listens on
+// an external interface.
+#ifndef RLBENCH_SRC_SERVE_NET_H_
+#define RLBENCH_SRC_SERVE_NET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "serve/wire.h"
+
+namespace rlbench::serve {
+
+/// \brief Owning file-descriptor wrapper; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listen on 127.0.0.1:`port` (0 = kernel-assigned ephemeral port). The
+/// actually bound port is written to `bound_port`.
+Result<Socket> ListenLoopback(uint16_t port, uint16_t* bound_port);
+
+/// Connect to 127.0.0.1:`port`.
+Result<Socket> ConnectLoopback(uint16_t port);
+
+/// Accept one pending connection on `listener` (blocks until one arrives).
+Result<Socket> Accept(const Socket& listener);
+
+/// True when `socket` has readable data (or a pending EOF/error) within
+/// `timeout_ms`; 0 polls without blocking, negative blocks indefinitely.
+Result<bool> WaitReadable(const Socket& socket, int timeout_ms);
+
+/// Write all of `bytes` (handles short writes; EINTR restarted).
+Status SendAll(const Socket& socket, std::string_view bytes);
+
+/// One recv() into an internal chunk; empty string means orderly EOF.
+Result<std::string> RecvSome(const Socket& socket);
+
+/// Send one length-prefixed frame.
+Status SendFrame(const Socket& socket, std::string_view payload);
+
+/// Block until one complete frame arrives, carrying over any extra bytes
+/// already received into `decoder` for the next call — a peer that sends
+/// several responses in one burst must not lose frames 2..n. IOError
+/// mentioning "eof" when the peer closes before (or mid-) frame.
+Result<std::string> RecvFrame(const Socket& socket, FrameDecoder* decoder);
+
+/// One-shot variant with a throwaway decoder. Only safe when the peer is
+/// strictly request/response on this socket (never pipelines), because
+/// bytes beyond the first frame are discarded.
+Result<std::string> RecvFrame(const Socket& socket);
+
+}  // namespace rlbench::serve
+
+#endif  // RLBENCH_SRC_SERVE_NET_H_

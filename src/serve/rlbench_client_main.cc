@@ -1,0 +1,91 @@
+// Loopback match client binary.
+//
+//   ./rlbench_client --port=N --op=ping
+//   ./rlbench_client --port=N --op=match --left=3 --right=7
+//   ./rlbench_client --port=N --op=assess
+//   ./rlbench_client --port=N --op=stats
+//   ./rlbench_client --port=N --op=reload --matcher=Magellan-RF [--version=2]
+//   ./rlbench_client --port=N --op=shutdown
+//
+// Exit status 0 iff the server answered ok; the response JSON is printed
+// either way (error responses go to stderr).
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "serve/client.h"
+
+using namespace rlbench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  int64_t port = flags.GetInt("port", 0);
+  std::string op = flags.GetString("op", "ping");
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "usage: rlbench_client --port=N --op=OP\n");
+    return 2;
+  }
+
+  auto client = serve::MatchClient::Connect(static_cast<uint16_t>(port));
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+
+  std::string request;
+  if (op == "ping" || op == "assess" || op == "stats" || op == "shutdown") {
+    request = "{\"op\":\"" + op + "\"}";
+  } else if (op == "match") {
+    request = "{\"op\":\"match_pair\",\"left\":" +
+              std::to_string(flags.GetInt("left", 0)) +
+              ",\"right\":" + std::to_string(flags.GetInt("right", 0)) + "}";
+  } else if (op == "reload") {
+    request = "{\"op\":\"reload\",\"matcher\":\"" +
+              flags.GetString("matcher", "Magellan-RF") + "\"";
+    if (flags.GetInt("version", 0) > 0) {
+      request += ",\"version\":" + std::to_string(flags.GetInt("version", 0));
+    }
+    request += "}";
+  } else {
+    std::fprintf(stderr, "unknown op %s\n", op.c_str());
+    return 2;
+  }
+
+  if (Status sent = client->SendRequest(request); !sent.ok()) {
+    std::fprintf(stderr, "send: %s\n", sent.ToString().c_str());
+    return 1;
+  }
+  // Print the raw response frame so the smoke script can grep it; the
+  // parsed form drives the exit status.
+  auto response = client->RecvResponse();
+  if (!response.ok()) {
+    std::fprintf(stderr, "error: %s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  if (op == "match") {
+    std::printf("score=%.17g decision=%d\n", response->GetNumber("score"),
+                response->GetNumber("decision") != 0.0 ? 1 : 0);
+  } else if (op == "assess") {
+    std::printf("matcher=%s pairs=%.0f f1=%.4f precision=%.4f recall=%.4f\n",
+                response->GetString("matcher").c_str(),
+                response->GetNumber("pairs"), response->GetNumber("f1"),
+                response->GetNumber("precision"),
+                response->GetNumber("recall"));
+  } else if (op == "stats") {
+    std::printf("matcher=%s queue_depth=%.0f requests_served=%.0f\n",
+                response->GetString("matcher", "(none)").c_str(),
+                response->GetNumber("queue_depth"),
+                response->GetNumber("requests_served"));
+  } else if (op == "reload") {
+    std::printf("reloaded %s v%.0f\n", response->GetString("matcher").c_str(),
+                response->GetNumber("version"));
+  } else if (op == "shutdown") {
+    std::printf("server drained %.0f requests and shut down\n",
+                response->GetNumber("drained"));
+  } else {
+    std::printf("ok dataset=%s matcher=%s\n",
+                response->GetString("dataset").c_str(),
+                response->GetString("matcher", "(none)").c_str());
+  }
+  return 0;
+}

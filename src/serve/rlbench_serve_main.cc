@@ -1,0 +1,124 @@
+// Loopback match server binary.
+//
+//   ./rlbench_serve --dataset=Ds3 --scale=0.2 --matcher=Magellan-RF
+//       [--port=0] [--port_file=PATH] [--repo=DIR]
+//       [--queue=512] [--batch=256] [--deadline_ms=0]
+//
+// Builds the dataset, obtains a model (the repository's CURRENT snapshot
+// when --repo holds one, otherwise trains and — with --repo — publishes),
+// prints "listening on port N" and serves until a shutdown request.
+// RLBENCH_FAULTS / RLBENCH_METRICS / RLBENCH_TRACE apply as everywhere
+// else in the repo.
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "data/file_source.h"
+#include "datagen/catalog.h"
+#include "datagen/task_builder.h"
+#include "matchers/context.h"
+#include "matchers/registry.h"
+#include "serve/model_repository.h"
+#include "serve/server.h"
+
+using namespace rlbench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  std::string dataset = flags.GetString("dataset", "Ds3");
+  double scale = flags.GetDouble("scale", 0.2);
+  std::string matcher = flags.GetString("matcher", "Magellan-RF");
+  std::string repo_root = flags.GetString("repo", "");
+  std::string port_file = flags.GetString("port_file", "");
+
+  const auto* spec = datagen::FindExistingBenchmark(dataset);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown benchmark %s\n", dataset.c_str());
+    return 1;
+  }
+  auto task = datagen::BuildExistingBenchmark(*spec, scale);
+  matchers::MatchingContext context(&task);
+
+  serve::MatchServerOptions options;
+  options.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  options.repository_root = repo_root;
+  options.service.queue_capacity_pairs =
+      static_cast<size_t>(flags.GetInt("queue", 512));
+  options.service.max_batch_pairs =
+      static_cast<size_t>(flags.GetInt("batch", 256));
+  options.service.default_deadline_ms = flags.GetDouble("deadline_ms", 0.0);
+  serve::MatchServer server(&context, options);
+
+  // Model: prefer the repository's published snapshot; fall back to
+  // training in-process (and publishing when a repository is configured).
+  serve::SnapshotMetadata metadata;
+  metadata.matcher_name = matcher;
+  metadata.dataset_id = task.name();
+  metadata.num_attrs = task.left().schema().num_attributes();
+  bool installed = false;
+  if (!repo_root.empty()) {
+    serve::ModelRepository repository(repo_root);
+    auto snapshot = repository.LoadCurrent(matcher);
+    if (snapshot.ok()) {
+      if (Status st = server.service().InstallSnapshot(*snapshot); !st.ok()) {
+        std::fprintf(stderr, "install: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      server.SetServedModel(snapshot->metadata);
+      std::printf("loaded %s v%llu from %s\n", matcher.c_str(),
+                  static_cast<unsigned long long>(snapshot->metadata.version),
+                  repo_root.c_str());
+      installed = true;
+    } else if (snapshot.status().code() != StatusCode::kNotFound) {
+      std::fprintf(stderr, "load: %s\n",
+                   snapshot.status().ToString().c_str());
+      return 1;
+    }
+  }
+  if (!installed) {
+    auto model = matchers::TrainServableMatcher(matcher, context);
+    if (!model.ok()) {
+      std::fprintf(stderr, "train: %s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    if (!repo_root.empty()) {
+      serve::ModelRepository repository(repo_root);
+      auto version = repository.Publish(metadata, **model);
+      if (!version.ok()) {
+        std::fprintf(stderr, "publish: %s\n",
+                     version.status().ToString().c_str());
+        return 1;
+      }
+      metadata.version = *version;
+    }
+    if (Status st = server.service().SwapModel(
+            std::shared_ptr<const matchers::TrainedModel>(std::move(*model)));
+        !st.ok()) {
+      std::fprintf(stderr, "install: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    server.SetServedModel(metadata);
+    std::printf("trained %s on %s\n", matcher.c_str(), task.name().c_str());
+  }
+
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on port %u\n", server.port());
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    Status written = data::FileSource::WriteAtomic(
+        port_file, std::to_string(server.port()) + "\n");
+    if (!written.ok()) {
+      std::fprintf(stderr, "port_file: %s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  if (Status st = server.Serve(); !st.ok()) {
+    std::fprintf(stderr, "serve: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("shut down cleanly\n");
+  return 0;
+}

@@ -1,0 +1,283 @@
+#include "serve/server.h"
+
+#include <cmath>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/wire.h"
+
+namespace rlbench::serve {
+
+namespace {
+
+std::string ErrorResponse(const Status& status) {
+  return std::string("{\"ok\":false,\"code\":") +
+         obs::JsonString(StatusCodeName(status.code())) +
+         ",\"error\":" + obs::JsonString(status.message()) + "}";
+}
+
+// Record indices arrive as JSON numbers; anything negative, fractional or
+// beyond uint32 is a protocol error, not a cast.
+Result<uint32_t> ToIndex(double value) {
+  if (!(value >= 0.0) || value > 4294967295.0 || value != std::floor(value)) {
+    return Status::InvalidArgument("wire: record index must be a uint32");
+  }
+  return static_cast<uint32_t>(value);
+}
+
+Result<std::vector<data::LabeledPair>> ParsePairs(const JsonValue& request) {
+  std::vector<data::LabeledPair> pairs;
+  if (request.GetString("op") == "match_pair") {
+    RLBENCH_ASSIGN_OR_RETURN(double left, request.RequireNumber("left"));
+    RLBENCH_ASSIGN_OR_RETURN(double right, request.RequireNumber("right"));
+    data::LabeledPair pair;
+    RLBENCH_ASSIGN_OR_RETURN(pair.left, ToIndex(left));
+    RLBENCH_ASSIGN_OR_RETURN(pair.right, ToIndex(right));
+    pairs.push_back(pair);
+    return pairs;
+  }
+  RLBENCH_ASSIGN_OR_RETURN(const JsonValue* array,
+                           request.RequireArray("pairs"));
+  pairs.reserve(array->AsArray().size());
+  for (const JsonValue& item : array->AsArray()) {
+    if (!item.is_array() || item.AsArray().size() != 2) {
+      return Status::InvalidArgument(
+          "wire: each pair must be a [left, right] array");
+    }
+    data::LabeledPair pair;
+    RLBENCH_ASSIGN_OR_RETURN(pair.left, ToIndex(item.AsArray()[0].AsNumber()));
+    RLBENCH_ASSIGN_OR_RETURN(pair.right,
+                             ToIndex(item.AsArray()[1].AsNumber()));
+    pairs.push_back(pair);
+  }
+  return pairs;
+}
+
+std::string MatchResponse(bool single, const RequestOutcome& outcome) {
+  if (!outcome.status.ok()) return ErrorResponse(outcome.status);
+  if (single) {
+    const PairScore& r = outcome.results[0];
+    return "{\"ok\":true,\"score\":" + obs::JsonNumber(r.score) +
+           ",\"decision\":" + (r.decision ? "1" : "0") + "}";
+  }
+  std::string scores = "[";
+  std::string decisions = "[";
+  for (size_t i = 0; i < outcome.results.size(); ++i) {
+    if (i > 0) {
+      scores += ",";
+      decisions += ",";
+    }
+    scores += obs::JsonNumber(outcome.results[i].score);
+    decisions += outcome.results[i].decision ? "1" : "0";
+  }
+  return "{\"ok\":true,\"scores\":" + scores + "],\"decisions\":" + decisions +
+         "]}";
+}
+
+}  // namespace
+
+MatchServer::MatchServer(const matchers::MatchingContext* context,
+                         MatchServerOptions options)
+    : context_(context),
+      options_(std::move(options)),
+      service_(context, options_.service) {
+  if (!options_.repository_root.empty()) {
+    repository_.emplace(options_.repository_root);
+  }
+}
+
+Status MatchServer::Start() {
+  if (listener_.valid()) return Status::OK();
+  RLBENCH_ASSIGN_OR_RETURN(listener_,
+                           ListenLoopback(options_.port, &port_));
+  return Status::OK();
+}
+
+std::string MatchServer::HandleRequest(const std::string& payload) {
+  ++requests_served_;
+  auto parsed = ParseJson(payload);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  const JsonValue& request = *parsed;
+  const std::string op = request.GetString("op");
+
+  if (op == "match_pair" || op == "match_batch") {
+    auto pairs = ParsePairs(request);
+    if (!pairs.ok()) return ErrorResponse(pairs.status());
+    const bool single = op == "match_pair";
+    double deadline = request.GetNumber(
+        "deadline_ms", service_.options().default_deadline_ms);
+    std::string response;
+    auto submitted = service_.SubmitWithDeadline(
+        std::move(*pairs), deadline,
+        [single, &response](const RequestOutcome& outcome) {
+          response = MatchResponse(single, outcome);
+        });
+    if (!submitted.ok()) return ErrorResponse(submitted.status());
+    service_.Drain();
+    return response;
+  }
+
+  if (op == "ping") {
+    std::string out = "{\"ok\":true,\"dataset\":" +
+                      obs::JsonString(context_->task().name());
+    if (served_.has_value()) {
+      out += ",\"matcher\":" + obs::JsonString(served_->matcher_name) +
+             ",\"version\":" + std::to_string(served_->version);
+    } else {
+      out += ",\"matcher\":null";
+    }
+    return out + "}";
+  }
+
+  if (op == "assess") {
+    auto result = service_.AssessDataset();
+    if (!result.ok()) return ErrorResponse(result.status());
+    return "{\"ok\":true,\"matcher\":" + obs::JsonString(result->matcher_name) +
+           ",\"pairs\":" + std::to_string(result->pairs) +
+           ",\"batches\":" + std::to_string(result->batches) +
+           ",\"f1\":" + obs::JsonNumber(result->f1) +
+           ",\"precision\":" + obs::JsonNumber(result->confusion.Precision()) +
+           ",\"recall\":" + obs::JsonNumber(result->confusion.Recall()) + "}";
+  }
+
+  if (op == "stats") {
+    std::string out =
+        "{\"ok\":true,\"queue_depth\":" + std::to_string(service_.QueueDepth()) +
+        ",\"queued_pairs\":" + std::to_string(service_.QueuedPairs()) +
+        ",\"requests_served\":" + std::to_string(requests_served_) +
+        ",\"dataset\":" + obs::JsonString(context_->task().name());
+    if (served_.has_value()) {
+      out += ",\"matcher\":" + obs::JsonString(served_->matcher_name) +
+             ",\"version\":" + std::to_string(served_->version);
+    } else {
+      out += ",\"matcher\":null";
+    }
+    return out + "}";
+  }
+
+  if (op == "reload") {
+    if (!repository_.has_value()) {
+      return ErrorResponse(Status::FailedPrecondition(
+          "serve: no model repository configured"));
+    }
+    auto matcher = request.RequireString("matcher");
+    if (!matcher.ok()) return ErrorResponse(matcher.status());
+    double version = request.GetNumber("version", 0.0);
+    auto snapshot = version > 0.0
+                        ? repository_->Load(*matcher,
+                                            static_cast<uint64_t>(version))
+                        : repository_->LoadCurrent(*matcher);
+    if (!snapshot.ok()) return ErrorResponse(snapshot.status());
+    Status installed = service_.InstallSnapshot(*snapshot);
+    if (!installed.ok()) return ErrorResponse(installed);
+    served_ = snapshot->metadata;
+    return "{\"ok\":true,\"matcher\":" +
+           obs::JsonString(snapshot->metadata.matcher_name) +
+           ",\"version\":" + std::to_string(snapshot->metadata.version) + "}";
+  }
+
+  if (op == "shutdown") {
+    // Everything already queued is answered before the acknowledgement
+    // goes out: a shutdown never drops accepted work.
+    size_t drained = service_.Drain();
+    shutdown_ = true;
+    return "{\"ok\":true,\"drained\":" + std::to_string(drained) + "}";
+  }
+
+  return ErrorResponse(
+      Status::InvalidArgument("wire: unknown op \"" + op + "\""));
+}
+
+Status MatchServer::ServeConnection(const Socket& conn) {
+  RLBENCH_TRACE_SPAN("serve/connection");
+  RLBENCH_COUNTER_INC("serve/connections");
+  FrameDecoder decoder;
+  // Responses for one burst of pipelined frames, in request order. Match
+  // ops fill their slot from the service callback during Drain; sync ops
+  // fill theirs inline.
+  std::vector<std::string> slots;
+  bool peer_closed = false;
+  while (!shutdown_ && !peer_closed) {
+    auto readable = WaitReadable(conn, -1);
+    if (!readable.ok()) break;
+    if (!*readable) continue;
+    // Pull every chunk the socket already has before pumping, so a
+    // pipelining client's requests coalesce into shared micro-batches.
+    while (true) {
+      auto chunk = RecvSome(conn);
+      if (!chunk.ok() || chunk->empty()) {
+        peer_closed = true;
+        break;
+      }
+      decoder.Append(*chunk);
+      auto more = WaitReadable(conn, 0);
+      if (!more.ok() || !*more) break;
+    }
+    while (true) {
+      auto frame = decoder.Next();
+      if (!frame.ok()) {
+        // Framing is unrecoverable on this connection; drop it, keep
+        // serving the next one.
+        service_.Drain();
+        return Status::OK();
+      }
+      if (!frame->has_value()) break;
+      const std::string& payload = **frame;
+      auto parsed = ParseJson(payload);
+      const std::string op =
+          parsed.ok() ? parsed->GetString("op") : std::string();
+      if (parsed.ok() && (op == "match_pair" || op == "match_batch")) {
+        ++requests_served_;
+        auto pairs = ParsePairs(*parsed);
+        const size_t slot = slots.size();
+        slots.emplace_back();
+        if (!pairs.ok()) {
+          slots[slot] = ErrorResponse(pairs.status());
+          continue;
+        }
+        const bool single = op == "match_pair";
+        double deadline = parsed->GetNumber(
+            "deadline_ms", service_.options().default_deadline_ms);
+        auto submitted = service_.SubmitWithDeadline(
+            std::move(*pairs), deadline,
+            [single, slot, &slots](const RequestOutcome& outcome) {
+              slots[slot] = MatchResponse(single, outcome);
+            });
+        if (!submitted.ok()) slots[slot] = ErrorResponse(submitted.status());
+        continue;
+      }
+      // Sync op (or parse error): answered in arrival order too.
+      service_.Drain();
+      slots.push_back(HandleRequest(payload));
+      if (shutdown_) break;
+    }
+    service_.Drain();
+    std::string out;
+    Status framed = Status::OK();
+    for (std::string& response : slots) {
+      framed = AppendFrame(response, &out);
+      if (!framed.ok()) break;
+    }
+    slots.clear();
+    // A send failure (peer closed without reading) drops this connection,
+    // never the server.
+    if (!framed.ok() || (!out.empty() && !SendAll(conn, out).ok())) break;
+  }
+  service_.Drain();
+  return Status::OK();
+}
+
+Status MatchServer::Serve() {
+  RLBENCH_RETURN_NOT_OK(Start());
+  while (!shutdown_) {
+    RLBENCH_ASSIGN_OR_RETURN(Socket conn, Accept(listener_));
+    RLBENCH_RETURN_NOT_OK(ServeConnection(conn));
+  }
+  return Status::OK();
+}
+
+}  // namespace rlbench::serve

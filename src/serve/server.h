@@ -1,0 +1,88 @@
+// The loopback match server: one single-threaded event loop tying together
+// net.h (framed TCP), wire.h (JSON requests), service.h (batched scoring)
+// and model_repository.h (snapshot reload).
+//
+// The loop serves one client connection at a time and pipelines within it:
+// every complete frame already buffered on the socket is parsed and
+// submitted before the service pumps, so a client that writes N match
+// requests back-to-back gets them coalesced into micro-batches while
+// responses still come back in request order. Ops:
+//
+//   ping        -> liveness + served matcher identity
+//   match_pair  -> score one (left, right) candidate pair
+//   match_batch -> score up to max_batch_pairs pairs, optional deadline_ms
+//   assess      -> score the full test split, return confusion + F1
+//   stats       -> queue depth / served counters / model identity
+//   reload      -> load a snapshot version from the repository and hot-swap
+//   shutdown    -> drain every queued request, reply, stop serving
+//
+// Per-request failures (admission rejection, deadline expiry, injected
+// worker faults) travel back as {"ok":false,"code",...} responses; the
+// server process itself stays up.
+#ifndef RLBENCH_SRC_SERVE_SERVER_H_
+#define RLBENCH_SRC_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "matchers/context.h"
+#include "serve/model_repository.h"
+#include "serve/net.h"
+#include "serve/service.h"
+
+namespace rlbench::serve {
+
+struct MatchServerOptions {
+  uint16_t port = 0;  ///< 0 = kernel-assigned; read back via port()
+  MatchServiceOptions service;
+  std::string repository_root;  ///< empty disables the reload op
+};
+
+/// \brief Single-threaded loopback JSON server over one MatchingContext.
+class MatchServer {
+ public:
+  MatchServer(const matchers::MatchingContext* context,
+              MatchServerOptions options);
+
+  MatchService& service() { return service_; }
+
+  /// Record which snapshot identity is being served (shown by ping/stats);
+  /// call after installing a model directly through service().
+  void SetServedModel(SnapshotMetadata metadata) {
+    served_ = std::move(metadata);
+  }
+
+  /// Bind + listen on 127.0.0.1; port() is valid afterwards.
+  Status Start();
+  uint16_t port() const { return port_; }
+
+  /// Accept-and-serve until a shutdown request (or Accept failure).
+  /// Returns OK after a graceful shutdown.
+  Status Serve();
+
+  /// Dispatch one request payload to a response payload (also the
+  /// in-process test seam — no sockets involved). Match ops are submitted,
+  /// drained and answered synchronously.
+  std::string HandleRequest(const std::string& payload);
+
+ private:
+  /// Serve one accepted connection until EOF, protocol error or shutdown.
+  Status ServeConnection(const Socket& conn);
+
+  const matchers::MatchingContext* context_;
+  MatchServerOptions options_;
+  MatchService service_;
+  std::optional<ModelRepository> repository_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::optional<SnapshotMetadata> served_;
+  uint64_t requests_served_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace rlbench::serve
+
+#endif  // RLBENCH_SRC_SERVE_SERVER_H_

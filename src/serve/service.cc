@@ -1,0 +1,279 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "common/check.h"
+#include "fault/failpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rlbench::serve {
+
+namespace {
+
+// Shared histogram shapes. Latency/wait cover 10us .. ~5s; batch sizes
+// cover 1 .. 2048 pairs.
+const std::vector<double>& LatencyBoundsMs() {
+  static const std::vector<double> bounds =
+      obs::ExponentialBounds(0.01, 2.0, 20);
+  return bounds;
+}
+
+const std::vector<double>& BatchPairBounds() {
+  static const std::vector<double> bounds = obs::ExponentialBounds(1.0, 2.0, 12);
+  return bounds;
+}
+
+}  // namespace
+
+MatchService::MatchService(const matchers::MatchingContext* context,
+                           MatchServiceOptions options)
+    : context_(context), options_(options) {
+  RLBENCH_CHECK(context_ != nullptr);
+  RLBENCH_CHECK(options_.max_batch_pairs > 0);
+  RLBENCH_CHECK(options_.queue_capacity_pairs >= options_.max_batch_pairs);
+}
+
+Status MatchService::InstallSnapshot(const Snapshot& snapshot) {
+  if (snapshot.model == nullptr) {
+    return Status::InvalidArgument("serve: snapshot has no model");
+  }
+  if (snapshot.metadata.dataset_id != context_->task().name()) {
+    return Status::FailedPrecondition(
+        "serve: snapshot trained on \"" + snapshot.metadata.dataset_id +
+        "\" but serving \"" + context_->task().name() + "\"");
+  }
+  return SwapModel(snapshot.model);
+}
+
+Status MatchService::SwapModel(
+    std::shared_ptr<const matchers::TrainedModel> model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("serve: cannot install a null model");
+  }
+  size_t attrs = context_->task().left().schema().num_attributes();
+  if (model->num_attrs() != attrs) {
+    return Status::FailedPrecondition(
+        "serve: model expects " + std::to_string(model->num_attrs()) +
+        " attributes, dataset has " + std::to_string(attrs));
+  }
+  RLBENCH_TRACE_SPAN("serve/swap");
+  // Different model families read different context caches (token sets,
+  // q-grams, nothing). The previous model may have frozen the caches with
+  // a different warm set, and PrepareContext early-returns on frozen
+  // caches — so thaw first. No batch is in flight here: the service is
+  // single-threaded and ScoreBatch's parallel region always completes
+  // before PumpOne returns.
+  context_->left().Thaw();
+  context_->right().Thaw();
+  model->PrepareContext(*context_);
+  model_.Swap(std::move(model));
+  RLBENCH_COUNTER_INC("serve/swaps");
+  return Status::OK();
+}
+
+Result<uint64_t> MatchService::Submit(std::vector<data::LabeledPair> pairs,
+                                      ResponseCallback done) {
+  return SubmitWithDeadline(std::move(pairs), options_.default_deadline_ms,
+                            std::move(done));
+}
+
+Result<uint64_t> MatchService::SubmitWithDeadline(
+    std::vector<data::LabeledPair> pairs, double deadline_ms,
+    ResponseCallback done) {
+  RLBENCH_COUNTER_INC("serve/requests");
+  if (model_.Empty()) {
+    RLBENCH_COUNTER_INC("serve/rejected");
+    return Status::FailedPrecondition("serve: no model installed");
+  }
+  if (pairs.empty()) {
+    RLBENCH_COUNTER_INC("serve/rejected");
+    return Status::InvalidArgument("serve: empty request");
+  }
+  if (pairs.size() > options_.max_batch_pairs) {
+    RLBENCH_COUNTER_INC("serve/rejected");
+    return Status::InvalidArgument(
+        "serve: request of " + std::to_string(pairs.size()) +
+        " pairs exceeds max batch of " +
+        std::to_string(options_.max_batch_pairs));
+  }
+  const size_t left_size = context_->task().left().size();
+  const size_t right_size = context_->task().right().size();
+  for (const data::LabeledPair& pair : pairs) {
+    if (pair.left >= left_size || pair.right >= right_size) {
+      RLBENCH_COUNTER_INC("serve/rejected");
+      return Status::InvalidArgument(
+          "serve: pair (" + std::to_string(pair.left) + ", " +
+          std::to_string(pair.right) + ") out of range");
+    }
+  }
+  if (auto hit = RLBENCH_FAULT_POINT("serve/queue/full")) {
+    RLBENCH_COUNTER_INC("serve/rejected");
+    return Status::ResourceExhausted("injected: queue full");
+  }
+  if (queued_pairs_ + pairs.size() > options_.queue_capacity_pairs) {
+    RLBENCH_COUNTER_INC("serve/rejected");
+    return Status::ResourceExhausted(
+        "serve: queue full (" + std::to_string(queued_pairs_) +
+        " pairs pending, capacity " +
+        std::to_string(options_.queue_capacity_pairs) + ")");
+  }
+  Pending request;
+  request.id = next_request_id_++;
+  request.deadline_ms = deadline_ms;
+  request.done = std::move(done);
+  queued_pairs_ += pairs.size();
+  request.pairs = std::move(pairs);
+  queue_.push_back(std::move(request));
+  RLBENCH_GAUGE_OBSERVE("serve/queue_pairs",
+                        static_cast<double>(queued_pairs_));
+  return queue_.back().id;
+}
+
+void MatchService::Respond(Pending* request, RequestOutcome outcome) {
+  RLBENCH_HISTOGRAM_RECORD("serve/latency_ms", LatencyBoundsMs(),
+                           request->age.ElapsedMillis());
+  if (request->done) {
+    outcome.request_id = request->id;
+    request->done(outcome);
+  }
+}
+
+size_t MatchService::PumpOne() {
+  if (queue_.empty()) return 0;
+  RLBENCH_TRACE_SPAN("serve/pump");
+  // Pin the current snapshot for the whole batch: a concurrent publisher
+  // swapping the slot cannot pull the model out from under us.
+  std::shared_ptr<const matchers::TrainedModel> model = model_.Acquire();
+  RLBENCH_CHECK(model != nullptr);  // Submit rejects before the first install
+
+  // Coalesce whole requests from the head until the next one would
+  // overflow the micro-batch.
+  std::vector<Pending> taken;
+  size_t batch_pairs = 0;
+  while (!queue_.empty()) {
+    Pending& head = queue_.front();
+    if (!taken.empty() &&
+        batch_pairs + head.pairs.size() > options_.max_batch_pairs) {
+      break;
+    }
+    batch_pairs += head.pairs.size();
+    queued_pairs_ -= head.pairs.size();
+    taken.push_back(std::move(head));
+    queue_.pop_front();
+    if (batch_pairs >= options_.max_batch_pairs) break;
+  }
+
+  // Per-request admission at pump time: expired deadlines and injected
+  // worker faults are answered with an error; the rest are scored in one
+  // ScoreBatch dispatch. A fault degrades that one request, never the
+  // batch or the process.
+  std::vector<size_t> live;
+  std::vector<data::LabeledPair> flat;
+  live.reserve(taken.size());
+  flat.reserve(batch_pairs);
+  for (size_t i = 0; i < taken.size(); ++i) {
+    Pending& request = taken[i];
+    RLBENCH_HISTOGRAM_RECORD("serve/queue_wait_ms", LatencyBoundsMs(),
+                             request.age.ElapsedMillis());
+    bool expired = request.deadline_ms > 0.0 &&
+                   request.age.ElapsedMillis() > request.deadline_ms;
+    if (auto hit = RLBENCH_FAULT_POINT("serve/deadline")) expired = true;
+    if (expired) {
+      RLBENCH_COUNTER_INC("serve/deadline_expired");
+      RequestOutcome outcome;
+      outcome.status = Status::DeadlineExceeded(
+          "serve: request expired after " +
+          std::to_string(request.age.ElapsedMillis()) + " ms in queue");
+      Respond(&request, std::move(outcome));
+      continue;
+    }
+    if (auto hit = RLBENCH_FAULT_POINT("serve/worker/fault")) {
+      RLBENCH_COUNTER_INC("serve/worker_faults");
+      RequestOutcome outcome;
+      outcome.status = Status::Internal("injected: worker fault");
+      Respond(&request, std::move(outcome));
+      continue;
+    }
+    live.push_back(i);
+    flat.insert(flat.end(), request.pairs.begin(), request.pairs.end());
+  }
+
+  if (!flat.empty()) {
+    std::vector<double> scores(flat.size());
+    std::vector<uint8_t> decisions(flat.size());
+    Status scored;
+    {
+      RLBENCH_TRACE_SPAN("serve/batch");
+      scored = model->ScoreBatch(*context_, flat, scores, decisions);
+    }
+    RLBENCH_COUNTER_INC("serve/batches");
+    RLBENCH_COUNTER_ADD("serve/pairs_scored", flat.size());
+    RLBENCH_HISTOGRAM_RECORD("serve/batch_pairs", BatchPairBounds(),
+                             static_cast<double>(flat.size()));
+    size_t offset = 0;
+    for (size_t i : live) {
+      Pending& request = taken[i];
+      RequestOutcome outcome;
+      outcome.status = scored;
+      if (scored.ok()) {
+        outcome.results.resize(request.pairs.size());
+        for (size_t j = 0; j < request.pairs.size(); ++j) {
+          outcome.results[j].score = scores[offset + j];
+          outcome.results[j].decision = decisions[offset + j];
+        }
+      }
+      offset += request.pairs.size();
+      Respond(&request, std::move(outcome));
+    }
+  }
+  return taken.size();
+}
+
+size_t MatchService::Drain() {
+  RLBENCH_TRACE_SPAN("serve/drain");
+  size_t answered = 0;
+  while (!queue_.empty()) answered += PumpOne();
+  return answered;
+}
+
+Result<AssessResult> MatchService::AssessDataset(
+    std::vector<double>* scores_out, std::vector<uint8_t>* decisions_out) {
+  RLBENCH_TRACE_SPAN("serve/assess");
+  std::shared_ptr<const matchers::TrainedModel> model = model_.Acquire();
+  if (model == nullptr) {
+    return Status::FailedPrecondition("serve: no model installed");
+  }
+  const std::vector<data::LabeledPair>& test = context_->task().test();
+  std::vector<double> scores(test.size());
+  std::vector<uint8_t> decisions(test.size());
+  AssessResult result;
+  result.matcher_name = model->matcher_name();
+  result.pairs = test.size();
+  for (size_t begin = 0; begin < test.size();
+       begin += options_.max_batch_pairs) {
+    size_t count = std::min(options_.max_batch_pairs, test.size() - begin);
+    RLBENCH_RETURN_NOT_OK(model->ScoreBatch(
+        *context_, std::span<const data::LabeledPair>(&test[begin], count),
+        std::span<double>(scores).subspan(begin, count),
+        std::span<uint8_t>(decisions).subspan(begin, count)));
+    ++result.batches;
+    RLBENCH_COUNTER_INC("serve/batches");
+    RLBENCH_COUNTER_ADD("serve/pairs_scored", count);
+    RLBENCH_HISTOGRAM_RECORD("serve/batch_pairs", BatchPairBounds(),
+                             static_cast<double>(count));
+  }
+  std::vector<uint8_t> truth(test.size());
+  for (size_t i = 0; i < test.size(); ++i) {
+    truth[i] = test[i].is_match ? 1 : 0;
+  }
+  result.confusion = ml::Evaluate(truth, decisions);
+  result.f1 = result.confusion.F1();
+  if (scores_out != nullptr) *scores_out = std::move(scores);
+  if (decisions_out != nullptr) *decisions_out = std::move(decisions);
+  return result;
+}
+
+}  // namespace rlbench::serve

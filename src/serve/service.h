@@ -1,0 +1,152 @@
+// The match-serving core: a bounded admission-controlled request queue in
+// front of a micro-batcher that scores candidate pairs through the current
+// hot-swappable model snapshot (swap.h) on the deterministic parallel pool.
+//
+// Execution model: the service itself is single-threaded — Submit()
+// enqueues, PumpOne() coalesces queued requests into one batch and scores
+// it with TrainedModel::ScoreBatch (whose ParallelFor is the only
+// parallelism, keeping scores bit-identical at any thread count). The
+// loopback server (server.h) pumps between socket events; tests pump
+// directly. Admission control rejects at Submit time: a full queue returns
+// ResourceExhausted, an oversized request InvalidArgument, and a request
+// whose deadline lapses while queued is answered with DeadlineExceeded
+// instead of being scored.
+//
+// Failpoints: serve/queue/full (forced admission rejection),
+// serve/deadline (forced expiry at pump time), serve/worker/fault
+// (per-request scoring failure — the request errors, the batch and the
+// process live on). Metrics: serve/requests, serve/rejected,
+// serve/deadline_expired, serve/worker_faults, serve/batches,
+// serve/pairs_scored, serve/swaps; histograms serve/latency_ms,
+// serve/queue_wait_ms, serve/batch_pairs.
+#ifndef RLBENCH_SRC_SERVE_SERVICE_H_
+#define RLBENCH_SRC_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "matchers/context.h"
+#include "matchers/trained_model.h"
+#include "ml/metrics.h"
+#include "serve/snapshot.h"
+#include "serve/swap.h"
+
+namespace rlbench::serve {
+
+struct MatchServiceOptions {
+  /// Admission bound: total candidate pairs that may wait in the queue.
+  size_t queue_capacity_pairs = 512;
+  /// Micro-batch bound: pairs coalesced into one ScoreBatch dispatch; also
+  /// the largest single request the service admits.
+  size_t max_batch_pairs = 256;
+  /// Deadline applied to Submit() (not SubmitWithDeadline); 0 = none.
+  double default_deadline_ms = 0.0;
+};
+
+/// \brief Score + decision for one requested pair.
+struct PairScore {
+  double score = 0.0;
+  uint8_t decision = 0;
+};
+
+/// \brief Terminal result of one queued request.
+struct RequestOutcome {
+  uint64_t request_id = 0;
+  Status status;                   ///< per-request error, e.g. DeadlineExceeded
+  std::vector<PairScore> results;  ///< one per requested pair when ok()
+};
+
+using ResponseCallback = std::function<void(const RequestOutcome&)>;
+
+/// \brief Served evaluation of the task's test split.
+struct AssessResult {
+  std::string matcher_name;
+  size_t pairs = 0;
+  size_t batches = 0;
+  ml::Confusion confusion;
+  double f1 = 0.0;
+};
+
+/// \brief Batched, admission-controlled scorer over one MatchingContext.
+///
+/// Not thread-safe: all members must be called from one thread (the
+/// server's event loop). Parallelism happens inside ScoreBatch only.
+class MatchService {
+ public:
+  explicit MatchService(const matchers::MatchingContext* context,
+                        MatchServiceOptions options = {});
+
+  const MatchServiceOptions& options() const { return options_; }
+
+  /// Validate `snapshot` against the served dataset and make its model
+  /// current (readers of an in-flight batch keep the old snapshot).
+  Status InstallSnapshot(const Snapshot& snapshot);
+
+  /// Install a model directly (tests, in-process serving). Warms and
+  /// freezes whatever context caches the model's feature family reads.
+  Status SwapModel(std::shared_ptr<const matchers::TrainedModel> model);
+
+  /// The currently served model; null before the first install.
+  std::shared_ptr<const matchers::TrainedModel> CurrentModel() const {
+    return model_.Acquire();
+  }
+
+  /// Enqueue one request under the default deadline. Returns the request
+  /// id, or: FailedPrecondition (no model), InvalidArgument (bad indices /
+  /// empty / oversized request), ResourceExhausted (queue full). `done`
+  /// fires exactly once, from PumpOne or Drain, never from Submit.
+  Result<uint64_t> Submit(std::vector<data::LabeledPair> pairs,
+                          ResponseCallback done);
+  Result<uint64_t> SubmitWithDeadline(std::vector<data::LabeledPair> pairs,
+                                      double deadline_ms,
+                                      ResponseCallback done);
+
+  /// Coalesce up to max_batch_pairs queued pairs into one scored batch and
+  /// answer their requests. Returns the number of requests answered (0
+  /// when idle). Coalescing never changes scores: each pair's score is a
+  /// pure function of (model, context, pair).
+  size_t PumpOne();
+
+  /// Pump until the queue is empty (graceful shutdown path); every queued
+  /// request is answered — scored or expired, never dropped.
+  size_t Drain();
+
+  size_t QueueDepth() const { return queue_.size(); }
+  size_t QueuedPairs() const { return queued_pairs_; }
+
+  /// Score the task's entire test split through the served model in
+  /// max_batch_pairs chunks and evaluate against ground truth. Optionally
+  /// copies out the raw scores / decisions (test order).
+  Result<AssessResult> AssessDataset(std::vector<double>* scores_out = nullptr,
+                                     std::vector<uint8_t>* decisions_out =
+                                         nullptr);
+
+ private:
+  struct Pending {
+    uint64_t id = 0;
+    std::vector<data::LabeledPair> pairs;
+    double deadline_ms = 0.0;
+    Stopwatch age;  ///< runs from admission; queue wait and latency source
+    ResponseCallback done;
+  };
+
+  /// Record latency and fire the callback.
+  void Respond(Pending* request, RequestOutcome outcome);
+
+  const matchers::MatchingContext* context_;
+  MatchServiceOptions options_;
+  HotSwappable<matchers::TrainedModel> model_;
+  std::deque<Pending> queue_;
+  size_t queued_pairs_ = 0;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace rlbench::serve
+
+#endif  // RLBENCH_SRC_SERVE_SERVICE_H_

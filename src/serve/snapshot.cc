@@ -1,0 +1,91 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+#include "common/blob.h"
+#include "fault/failpoint.h"
+
+namespace rlbench::serve {
+
+namespace {
+
+// 8 magic bytes, excluding the string literal's terminating NUL.
+constexpr size_t kMagicLen = sizeof(kSnapshotMagic) - 1;
+
+// FNV-1a over the payload between the magic and the checksum: not
+// cryptographic, just enough to turn bit rot and torn writes into load
+// errors. The fault tests flip payload bytes and expect a failed decode.
+uint64_t Fnv1a(const char* data, size_t size) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::string EncodeSnapshot(const SnapshotMetadata& metadata,
+                           const matchers::TrainedModel& model) {
+  BlobWriter payload;
+  payload.WriteString(metadata.matcher_name);
+  payload.WriteString(metadata.dataset_id);
+  payload.WriteU64(metadata.version);
+  payload.WriteU64(metadata.num_attrs);
+  matchers::SerializeTrainedModel(model, &payload);
+
+  std::string body = payload.Release();
+  BlobWriter out;
+  for (size_t i = 0; i < kMagicLen; ++i) {
+    out.WriteU8(static_cast<uint8_t>(kSnapshotMagic[i]));
+  }
+  out.WriteU64(Fnv1a(body.data(), body.size()));
+  std::string bytes = out.Release();
+  bytes += body;
+  return bytes;
+}
+
+Result<Snapshot> DecodeSnapshot(const std::string& bytes) {
+  if (auto hit = RLBENCH_FAULT_POINT("serve/snapshot/decode")) {
+    return Status::IOError("injected: snapshot decode");
+  }
+  if (bytes.size() < kMagicLen + 8 ||
+      bytes.compare(0, kMagicLen, kSnapshotMagic, kMagicLen) != 0) {
+    return Status::IOError("snapshot: bad magic");
+  }
+  BlobReader reader(bytes);
+  for (size_t i = 0; i < kMagicLen; ++i) {
+    RLBENCH_ASSIGN_OR_RETURN(uint8_t ignored, reader.ReadU8());
+    (void)ignored;
+  }
+  RLBENCH_ASSIGN_OR_RETURN(uint64_t checksum, reader.ReadU64());
+  const char* body = bytes.data() + kMagicLen + 8;
+  size_t body_size = bytes.size() - kMagicLen - 8;
+  if (Fnv1a(body, body_size) != checksum) {
+    return Status::IOError("snapshot: checksum mismatch");
+  }
+
+  Snapshot snapshot;
+  RLBENCH_ASSIGN_OR_RETURN(snapshot.metadata.matcher_name,
+                           reader.ReadString());
+  RLBENCH_ASSIGN_OR_RETURN(snapshot.metadata.dataset_id, reader.ReadString());
+  RLBENCH_ASSIGN_OR_RETURN(snapshot.metadata.version, reader.ReadU64());
+  RLBENCH_ASSIGN_OR_RETURN(snapshot.metadata.num_attrs, reader.ReadU64());
+  RLBENCH_ASSIGN_OR_RETURN(auto model,
+                           matchers::DeserializeTrainedModel(&reader));
+  if (!reader.AtEnd()) {
+    return Status::IOError("snapshot: trailing bytes after model payload");
+  }
+  if (model->num_attrs() != snapshot.metadata.num_attrs) {
+    return Status::IOError("snapshot: metadata/model attribute arity mismatch");
+  }
+  if (model->matcher_name() != snapshot.metadata.matcher_name) {
+    return Status::IOError("snapshot: metadata/model matcher name mismatch");
+  }
+  snapshot.model = std::shared_ptr<const matchers::TrainedModel>(
+      std::move(model));
+  return snapshot;
+}
+
+}  // namespace rlbench::serve

@@ -1,0 +1,49 @@
+// Versioned model snapshot files: the serialized form of a trained matcher
+// (matchers/trained_model.h) plus the metadata serving needs to validate it
+// against a live dataset before installing it. The byte format is the
+// bit-exact blob codec of common/blob.h framed by a magic tag and an FNV-1a
+// checksum, so a snapshot loaded on any machine scores identically to the
+// matcher that trained it, and a corrupt file degrades into a load error
+// instead of silently serving garbage.
+#ifndef RLBENCH_SRC_SERVE_SNAPSHOT_H_
+#define RLBENCH_SRC_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "matchers/trained_model.h"
+
+namespace rlbench::serve {
+
+/// First bytes of every snapshot file; the trailing digit is the format
+/// version and changes only on incompatible layout changes.
+inline constexpr char kSnapshotMagic[] = "RLSNAP01";
+
+/// \brief Identity of a snapshot: which matcher, trained on what.
+struct SnapshotMetadata {
+  std::string matcher_name;  ///< registry row name, e.g. "Magellan-RF"
+  std::string dataset_id;    ///< dataset the model was trained on
+  uint64_t version = 0;      ///< repository version (1-based, monotonic)
+  uint64_t num_attrs = 0;    ///< schema arity the model expects
+};
+
+/// \brief A decoded snapshot: metadata + the ready-to-score model.
+struct Snapshot {
+  SnapshotMetadata metadata;
+  std::shared_ptr<const matchers::TrainedModel> model;
+};
+
+/// Serialize `metadata` + `model` into a self-validating snapshot blob.
+std::string EncodeSnapshot(const SnapshotMetadata& metadata,
+                           const matchers::TrainedModel& model);
+
+/// Decode a snapshot blob. IOError on bad magic, checksum mismatch, or a
+/// truncated/corrupt model payload; the metadata's num_attrs is checked
+/// against the embedded model's. Failpoint: serve/snapshot/decode.
+Result<Snapshot> DecodeSnapshot(const std::string& bytes);
+
+}  // namespace rlbench::serve
+
+#endif  // RLBENCH_SRC_SERVE_SNAPSHOT_H_

@@ -1,0 +1,50 @@
+// Read-mostly hot-swap handle for served model snapshots. Readers Acquire()
+// a shared_ptr to the current value with one atomic load and keep scoring
+// against that immutable snapshot for as long as they hold it; a publisher
+// Swaps in a replacement without ever blocking readers — in-flight batches
+// finish on the model they started with, and the old snapshot is destroyed
+// when the last reader drops its reference.
+#ifndef RLBENCH_SRC_SERVE_SWAP_H_
+#define RLBENCH_SRC_SERVE_SWAP_H_
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace rlbench::serve {
+
+/// \brief Atomic shared_ptr slot holding the currently published value.
+///
+/// Wraps std::atomic<std::shared_ptr<const T>> (C++20): lock-free-ish
+/// reference-counted publication with acquire/release ordering, which is
+/// exactly the snapshot-isolation readers need and nothing more.
+template <typename T>
+class HotSwappable {
+ public:
+  HotSwappable() = default;
+  explicit HotSwappable(std::shared_ptr<const T> initial) {
+    slot_.store(std::move(initial), std::memory_order_release);
+  }
+
+  HotSwappable(const HotSwappable&) = delete;
+  HotSwappable& operator=(const HotSwappable&) = delete;
+
+  /// The current value (may be null before the first Swap).
+  std::shared_ptr<const T> Acquire() const {
+    return slot_.load(std::memory_order_acquire);
+  }
+
+  /// Publish `next` and return the previous value.
+  std::shared_ptr<const T> Swap(std::shared_ptr<const T> next) {
+    return slot_.exchange(std::move(next), std::memory_order_acq_rel);
+  }
+
+  bool Empty() const { return Acquire() == nullptr; }
+
+ private:
+  std::atomic<std::shared_ptr<const T>> slot_;
+};
+
+}  // namespace rlbench::serve
+
+#endif  // RLBENCH_SRC_SERVE_SWAP_H_

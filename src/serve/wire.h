@@ -1,0 +1,123 @@
+// Wire format of the loopback match server: length-prefixed JSON frames.
+//
+// Every message is one JSON object preceded by a 4-byte big-endian payload
+// length. Requests carry an "op" field (ping, match_pair, match_batch,
+// assess, stats, reload, shutdown); responses carry "ok" plus either the
+// op's result fields or {"code", "error"} mapping a Status back to the
+// client. This header owns the parsing side — a small immutable JSON DOM
+// (obs/json.h is emission-only) — and the pure framing helpers; all socket
+// IO lives in net.h.
+#ifndef RLBENCH_SRC_SERVE_WIRE_H_
+#define RLBENCH_SRC_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rlbench::serve {
+
+/// Upper bound on one frame's JSON payload; a peer announcing more is a
+/// protocol error, not an allocation.
+inline constexpr size_t kMaxFramePayload = 1 << 20;
+
+/// Bytes of the length prefix.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// Prefix `payload` with its big-endian length and append to `out`.
+/// InvalidArgument when the payload exceeds kMaxFramePayload.
+Status AppendFrame(std::string_view payload, std::string* out);
+
+/// Decode a length prefix (exactly kFrameHeaderBytes at `header`).
+/// InvalidArgument when it announces more than kMaxFramePayload.
+Result<size_t> DecodeFrameHeader(const char* header);
+
+/// \brief Incremental frame reassembly over a byte stream.
+///
+/// Feed arbitrarily chopped chunks with Append(); Next() yields each
+/// complete payload in order, empty optional when more bytes are needed,
+/// InvalidArgument when a header announces an oversized frame (the
+/// connection is then unrecoverable — framing is lost).
+class FrameDecoder {
+ public:
+  void Append(std::string_view bytes) { buffer_.append(bytes); }
+
+  Result<std::optional<std::string>> Next();
+
+  size_t BufferedBytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// \brief One parsed JSON value; immutable after parse.
+///
+/// Accessors are total: a kind mismatch yields the type's empty value
+/// (false / 0.0 / "" / no elements) rather than trapping, because wire
+/// bytes are untrusted. Callers that need strictness check kind() or use
+/// the Require* helpers below.
+class JsonValue {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return is_bool() && bool_; }
+  double AsNumber() const { return is_number() ? number_ : 0.0; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& AsObject() const {
+    return object_;
+  }
+
+  /// First value under `key` (objects preserve insertion order), or null
+  /// when absent / not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Field accessors with defaults for optional request fields.
+  std::string GetString(const std::string& key,
+                        std::string fallback = "") const;
+  double GetNumber(const std::string& key, double fallback = 0.0) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  /// Strict accessors for required fields: InvalidArgument when the key is
+  /// missing or the value has the wrong type.
+  Result<std::string> RequireString(const std::string& key) const;
+  Result<double> RequireNumber(const std::string& key) const;
+  Result<const JsonValue*> RequireArray(const std::string& key) const;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double n);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::vector<std::pair<std::string, JsonValue>> items);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parse one complete JSON value (surrounding whitespace allowed, trailing
+/// bytes rejected). Recursive descent with a nesting cap of 64.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace rlbench::serve
+
+#endif  // RLBENCH_SRC_SERVE_WIRE_H_

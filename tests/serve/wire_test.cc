@@ -1,0 +1,119 @@
+// Framing + JSON DOM parser of the serve wire protocol.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.h"
+#include "serve/wire.h"
+
+namespace rlbench::serve {
+namespace {
+
+TEST(FrameTest, RoundTripThroughDecoder) {
+  std::string stream;
+  ASSERT_TRUE(AppendFrame("hello", &stream).ok());
+  ASSERT_TRUE(AppendFrame("", &stream).ok());
+  ASSERT_TRUE(AppendFrame(std::string(1000, 'x'), &stream).ok());
+
+  FrameDecoder decoder;
+  // Feed one byte at a time: reassembly must be chunk-boundary agnostic.
+  std::vector<std::string> frames;
+  for (char c : stream) {
+    decoder.Append(std::string_view(&c, 1));
+    while (true) {
+      auto next = decoder.Next();
+      ASSERT_TRUE(next.ok());
+      if (!next->has_value()) break;
+      frames.push_back(**next);
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0], "hello");
+  EXPECT_EQ(frames[1], "");
+  EXPECT_EQ(frames[2], std::string(1000, 'x'));
+  EXPECT_EQ(decoder.BufferedBytes(), 0u);
+}
+
+TEST(FrameTest, OversizedPayloadRejectedOnBothSides) {
+  std::string big(kMaxFramePayload + 1, 'y');
+  std::string out;
+  EXPECT_EQ(AppendFrame(big, &out).code(), StatusCode::kInvalidArgument);
+
+  // A hostile header announcing 2^31 bytes must fail before allocating.
+  char header[kFrameHeaderBytes] = {'\x80', 0, 0, 0};
+  EXPECT_EQ(DecodeFrameHeader(header).status().code(),
+            StatusCode::kInvalidArgument);
+  FrameDecoder decoder;
+  decoder.Append(std::string_view(header, kFrameHeaderBytes));
+  EXPECT_FALSE(decoder.Next().ok());
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->AsBool());
+  EXPECT_FALSE(ParseJson("false")->AsBool());
+  EXPECT_DOUBLE_EQ(ParseJson("42")->AsNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-0.5e2")->AsNumber(), -50.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParseTest, ObjectOrderAndLookups) {
+  auto parsed = ParseJson(
+      R"({"op":"match_batch","pairs":[[1,2],[3,4]],"deadline_ms":1.5})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetString("op"), "match_batch");
+  EXPECT_DOUBLE_EQ(parsed->GetNumber("deadline_ms"), 1.5);
+  EXPECT_DOUBLE_EQ(parsed->GetNumber("missing", -1.0), -1.0);
+  auto array = parsed->RequireArray("pairs");
+  ASSERT_TRUE(array.ok());
+  ASSERT_EQ((*array)->AsArray().size(), 2u);
+  EXPECT_DOUBLE_EQ((*array)->AsArray()[1].AsArray()[0].AsNumber(), 3.0);
+  EXPECT_EQ(parsed->RequireString("nope").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(parsed->RequireNumber("op").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto parsed = ParseJson(R"("a\"b\\c\/d\n\tAé")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "a\"b\\c/d\n\tA\xC3\xA9");
+  // Surrogate pair -> one 4-byte UTF-8 code point.
+  EXPECT_EQ(ParseJson(R"("😀")")->AsString(), "\xF0\x9F\x98\x80");
+  // Lone surrogate degrades to U+FFFD, not invalid UTF-8.
+  EXPECT_EQ(ParseJson(R"("\ud83dx")")->AsString(), "\xEF\xBF\xBDx");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "1.2.3", "\"unterminated",
+        "\"ctrl\x01\"", "{\"a\":1}x", "[1] []", "nan", "{'a':1}"}) {
+    EXPECT_FALSE(ParseJson(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonParseTest, NestingCapHolds) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+  std::string fine(30, '[');
+  fine += std::string(30, ']');
+  EXPECT_TRUE(ParseJson(fine).ok());
+}
+
+TEST(JsonParseTest, ParsesWhatObsEmits) {
+  // The server builds responses with obs::JsonString / JsonNumber; the
+  // parser must read them back exactly.
+  std::string tricky = "quote\" slash\\ ctrl\x01 text";
+  auto parsed = ParseJson(obs::JsonString(tricky));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), tricky);
+
+  double value = 0.1234567890123456789;
+  auto number = ParseJson(obs::JsonNumber(value));
+  ASSERT_TRUE(number.ok());
+  EXPECT_EQ(number->AsNumber(), value);  // %.17g round-trips bit-exactly
+}
+
+}  // namespace
+}  // namespace rlbench::serve

@@ -21,6 +21,11 @@ Rules:
                 src/data/file_source.* and src/fault/; all file IO flows
                 through data::FileSource so failure semantics stay uniform
                 and the fault-injection layer covers every IO path
+  sockets       no raw socket code (<sys/socket.h>, <netinet/*>, <poll.h>,
+                ::socket/::bind/::connect/::accept calls) outside
+                src/serve/net.*; all transport flows through serve::Socket
+                and the framed helpers so the server stays loopback-only
+                and connection failure semantics stay in one place
   using-ns      no `using namespace` at any scope in headers
   cmake-reg     every .cc under src/ is listed in its directory's
                 CMakeLists.txt (unregistered files silently fall out of the
@@ -75,6 +80,16 @@ FSTREAM_PATTERNS = [
     (re.compile(r"\bstd::(?:i|o|)fstream\b"),
      "raw fstream outside data/file_source; read and write through "
      "data::FileSource so faults and failure semantics stay uniform"),
+]
+SOCKET_ALLOWED_PREFIXES = ("src/serve/net",)
+SOCKET_PATTERNS = [
+    (re.compile(r"#\s*include\s*<(?:sys/socket\.h|netinet/[\w.]+|"
+                r"arpa/inet\.h|poll\.h|sys/epoll\.h|sys/select\.h)>"),
+     "socket/poll headers outside src/serve/net; go through serve::Socket "
+     "and the framed IO helpers"),
+    (re.compile(r"::(?:socket|bind|listen|connect|accept|recv|send|poll)\s*\("),
+     "raw socket call outside src/serve/net; go through serve::Socket and "
+     "the framed IO helpers"),
 ]
 USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
 LINE_COMMENT = re.compile(r"//.*$")
@@ -156,6 +171,16 @@ def check_fstream(rel, lines, errors):
                 errors.append(f"{rel}:{i + 1}: {message}")
 
 
+def check_sockets(rel, lines, errors):
+    if rel.startswith(SOCKET_ALLOWED_PREFIXES):
+        return
+    for i, line in enumerate(lines):
+        code = LINE_COMMENT.sub("", line)
+        for pattern, message in SOCKET_PATTERNS:
+            if pattern.search(code):
+                errors.append(f"{rel}:{i + 1}: {message}")
+
+
 def check_using_namespace(rel, lines, errors):
     for i, line in enumerate(lines):
         code = LINE_COMMENT.sub("", line)
@@ -205,6 +230,7 @@ def main() -> int:
             check_threads(source_rel, source_lines, errors)
             check_chrono(source_rel, source_lines, errors)
             check_fstream(source_rel, source_lines, errors)
+            check_sockets(source_rel, source_lines, errors)
     check_cmake_registration(root, errors)
 
     for error in errors:
