@@ -12,8 +12,12 @@
 #   5. fault-injection storm: a real bench under RLBENCH_FAULTS across 8
 #      seeds with ASan/UBSan armed — graceful degradation may fail
 #      datasets, but a crash/abort/sanitizer report fails the gate
-#   6. repo lint (tools/rlbench_lint.py)
-#   7. clang-tidy over src/ (skipped with a warning if not installed)
+#   6. repo lint (tools/rlbench_lint.py), its rule self-tests, and the
+#      negative-compilation fixtures (tests/static/)
+#   7. Clang thread-safety analysis: full build under -Wthread-safety
+#      -Wthread-safety-beta -Werror=thread-safety-analysis (skipped with
+#      a warning if clang++ is not installed — GCC has no such analysis)
+#   8. clang-tidy over src/ (skipped with a warning if not installed)
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -24,7 +28,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 SCRATCH_ROOT="$(mktemp -d "${TMPDIR:-/tmp}/rlbench_check.XXXXXX")"
 trap 'rm -rf "${SCRATCH_ROOT}"' EXIT
 
-echo "== [1/7] build + test under ASan/UBSan =="
+echo "== [1/8] build + test under ASan/UBSan =="
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRLBENCH_SANITIZE="address;undefined" \
@@ -38,7 +42,7 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
     ctest --output-on-failure -j "${JOBS}"
 )
 
-echo "== [2/7] serve smoke (client/server round-trip under ASan/UBSan) =="
+echo "== [2/8] serve smoke (client/server round-trip under ASan/UBSan) =="
 SERVE_DIR="${SCRATCH_ROOT}/serve"
 mkdir -p "${SERVE_DIR}"
 PORT_FILE="${SERVE_DIR}/port"
@@ -86,7 +90,7 @@ if grep -qE "AddressSanitizer|LeakSanitizer|runtime error:" \
 fi
 echo "serve smoke: round-trip ok, clean shutdown"
 
-echo "== [3/7] concurrency tests under TSan =="
+echo "== [3/8] concurrency tests under TSan =="
 TSAN_DIR="${REPO_ROOT}/build-tsan"
 cmake -B "${TSAN_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -112,12 +116,12 @@ cmake --build "${TSAN_DIR}" -j "${JOBS}" --target \
 )
 echo "TSan: clean"
 
-echo "== [4/7] observability end-to-end =="
+echo "== [4/8] observability end-to-end =="
 python3 "${REPO_ROOT}/tools/validate_manifest.py" --run \
   "${BUILD_DIR}/bench/table3_datasets" --datasets=Ds1 --scale=0.05
 echo "observability: manifest + trace validate"
 
-echo "== [5/7] fault-injection storm =="
+echo "== [5/8] fault-injection storm =="
 # Drive a real bench through seeded fault storms with the sanitizers armed.
 # The degradation contract: failed datasets are fine (the bench exits 0
 # while at least one dataset survives, 1 when all fail), but any abort,
@@ -152,11 +156,47 @@ for seed in 1 2 3 4 5 6 7 8; do
 done
 echo "fault storm: clean (8 seeds, no crashes, no sanitizer reports)"
 
-echo "== [6/7] repo lint =="
+echo "== [6/8] repo lint + self-test + negative compilation =="
 python3 "${REPO_ROOT}/tools/rlbench_lint.py" --root "${REPO_ROOT}"
+python3 "${REPO_ROOT}/tools/rlbench_lint.py" --self-test
+# The negative-compilation fixtures also run as a ctest in stage 1; run
+# them here with the best compiler available so the Clang-only
+# thread-safety fixtures are exercised whenever clang++ is installed.
+CFT_CXX="$(command -v clang++ || true)"
+CFT_ID="Clang"
+if [[ -z "${CFT_CXX}" ]]; then
+  CFT_CXX="$(command -v g++ || true)"
+  CFT_ID="GNU"
+fi
+python3 "${REPO_ROOT}/tests/static/compile_fail_test.py" \
+  --compiler "${CFT_CXX}" --compiler-id "${CFT_ID}" \
+  --include "${REPO_ROOT}/src"
 echo "repo lint: clean"
 
-echo "== [7/7] clang-tidy =="
+echo "== [7/8] Clang thread-safety analysis =="
+TS_CLANG="$(command -v clang++ || true)"
+if [[ -z "${TS_CLANG}" ]]; then
+  for v in 18 17 16 15 14; do
+    if command -v "clang++-${v}" >/dev/null; then
+      TS_CLANG="clang++-${v}"
+      break
+    fi
+  done
+fi
+if [[ -z "${TS_CLANG}" ]]; then
+  echo "WARNING: clang++ not installed; skipping thread-safety analysis" \
+    "(annotations compile as no-ops under GCC)" >&2
+else
+  TS_DIR="${REPO_ROOT}/build-threadsafety"
+  cmake -B "${TS_DIR}" -S "${REPO_ROOT}" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_COMPILER="${TS_CLANG}" \
+    -DRLBENCH_THREAD_SAFETY=ON
+  cmake --build "${TS_DIR}" -j "${JOBS}"
+  echo "thread-safety analysis: clean"
+fi
+
+echo "== [8/8] clang-tidy =="
 TIDY_BIN="$(command -v clang-tidy || true)"
 if [[ -z "${TIDY_BIN}" ]]; then
   for v in 18 17 16 15 14; do

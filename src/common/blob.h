@@ -50,22 +50,22 @@ class BlobReader {
  public:
   explicit BlobReader(const std::string& data) : data_(&data) {}
 
-  Result<uint8_t> ReadU8();
+  [[nodiscard]] Result<uint8_t> ReadU8();
   Result<uint32_t> ReadU32();
-  Result<uint64_t> ReadU64();
+  [[nodiscard]] Result<uint64_t> ReadU64();
   Result<int32_t> ReadI32();
-  Result<double> ReadDouble();
+  [[nodiscard]] Result<double> ReadDouble();
   Result<float> ReadFloat();
-  Result<std::string> ReadString();
+  [[nodiscard]] Result<std::string> ReadString();
   Result<std::vector<double>> ReadDoubleVec();
-  Result<std::vector<float>> ReadFloatVec();
+  [[nodiscard]] Result<std::vector<float>> ReadFloatVec();
 
   /// Bytes not yet consumed.
   size_t Remaining() const { return data_->size() - pos_; }
   bool AtEnd() const { return Remaining() == 0; }
 
  private:
-  Status Need(size_t bytes) const;
+  [[nodiscard]] Status Need(size_t bytes) const;
 
   const std::string* data_;
   size_t pos_ = 0;

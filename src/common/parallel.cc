@@ -1,14 +1,13 @@
 #include "common/parallel.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -18,9 +17,11 @@ namespace {
 
 // Set while the current thread is executing a chunk body; nested Parallel*
 // calls observe it and run inline instead of re-entering the pool.
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
 thread_local bool tls_in_parallel_region = false;
 
 size_t EnvThreadCount() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at gate resolution
   const char* env = std::getenv("RLBENCH_THREADS");
   if (env != nullptr && *env != '\0') {
     char* end = nullptr;
@@ -46,21 +47,22 @@ class ThreadPool {
     return *pool;
   }
 
-  size_t thread_count() {
-    std::lock_guard<std::mutex> lock(config_mutex_);
+  size_t thread_count() RLBENCH_EXCLUDES(config_mutex_) {
+    MutexLock lock(&config_mutex_);
     return configured_threads_;
   }
 
-  void SetThreadCount(size_t threads) {
+  void SetThreadCount(size_t threads)
+      RLBENCH_EXCLUDES(jobs_mutex_, config_mutex_) {
     RLBENCH_CHECK_MSG(!tls_in_parallel_region,
                       "SetParallelThreads inside a parallel region");
-    std::lock_guard<std::mutex> jobs_lock(jobs_mutex_);
-    std::unique_lock<std::mutex> lock(config_mutex_);
+    MutexLock jobs_lock(&jobs_mutex_);
+    MutexLock lock(&config_mutex_);
     size_t target = threads > 0 ? threads : EnvThreadCount();
     if (target == configured_threads_) return;
-    StopWorkersLocked(lock);
+    StopWorkersLocked();
     configured_threads_ = target;
-    StartWorkersLocked(lock);
+    StartWorkersLocked();
   }
 
   void Run(size_t num_chunks, const std::function<void(size_t)>& body) {
@@ -78,15 +80,17 @@ class ThreadPool {
       return;
     }
     // One job at a time; concurrent top-level callers queue up here.
-    std::lock_guard<std::mutex> jobs_lock(jobs_mutex_);
+    MutexLock jobs_lock(&jobs_mutex_);
+    bool have_workers;
     {
-      std::unique_lock<std::mutex> lock(config_mutex_);
+      MutexLock lock(&config_mutex_);
       if (workers_.empty() && configured_threads_ == 0) {
         configured_threads_ = EnvThreadCount();
-        StartWorkersLocked(lock);
+        StartWorkersLocked();
       }
+      have_workers = !workers_.empty();
     }
-    if (workers_.empty() || num_chunks == 1) {
+    if (!have_workers || num_chunks == 1) {
       RunInline(num_chunks, body);
       return;
     }
@@ -102,11 +106,11 @@ class ThreadPool {
       job.trace_label = label != nullptr ? label : "parallel";
     }
     {
-      std::lock_guard<std::mutex> lock(job_mutex_);
+      MutexLock lock(&job_mutex_);
       job_ = &job;
       ++job_generation_;
     }
-    job_cv_.notify_all();
+    job_cv_.NotifyAll();
 
     // The calling thread works alongside the pool.
     tls_in_parallel_region = true;
@@ -115,8 +119,8 @@ class ThreadPool {
 
     // Wait for workers still inside their last chunk.
     {
-      std::unique_lock<std::mutex> lock(job_mutex_);
-      done_cv_.wait(lock, [&] { return job.active_workers == 0; });
+      MutexLock lock(&job_mutex_);
+      while (job.active_workers != 0) done_cv_.Wait(&job_mutex_);
       job_ = nullptr;
     }
     if (job.error) std::rethrow_exception(job.error);
@@ -132,15 +136,21 @@ class ThreadPool {
     const char* trace_label = nullptr;
     std::atomic<size_t> next_chunk{0};
     // Workers currently executing chunks of this job (job_mutex_).
+    // Guarded by the pool's job_mutex_ (annotation cannot name an
+    // enclosing object's member from a nested struct).
     size_t active_workers = 0;
     std::exception_ptr error;  // first failure only (job_mutex_)
   };
 
   ThreadPool() = default;
 
-  void StartWorkersLocked(std::unique_lock<std::mutex>& /*config_lock*/) {
+  void StartWorkersLocked() RLBENCH_REQUIRES(config_mutex_)
+      RLBENCH_EXCLUDES(job_mutex_) {
     size_t workers = configured_threads_ > 0 ? configured_threads_ - 1 : 0;
-    stop_ = false;
+    {
+      MutexLock lock(&job_mutex_);
+      stop_ = false;
+    }
     workers_.reserve(workers);
     for (size_t i = 0; i < workers; ++i) {
       workers_.emplace_back([this, i] {
@@ -150,26 +160,30 @@ class ThreadPool {
     }
   }
 
-  void StopWorkersLocked(std::unique_lock<std::mutex>& /*config_lock*/) {
+  void StopWorkersLocked() RLBENCH_REQUIRES(config_mutex_)
+      RLBENCH_EXCLUDES(job_mutex_) {
     if (workers_.empty()) return;
     {
-      std::lock_guard<std::mutex> lock(job_mutex_);
+      MutexLock lock(&job_mutex_);
       stop_ = true;
     }
-    job_cv_.notify_all();
+    job_cv_.NotifyAll();
     for (auto& worker : workers_) worker.join();
     workers_.clear();
   }
 
-  void WorkerLoop() {
+  void WorkerLoop() RLBENCH_EXCLUDES(job_mutex_) {
     uint64_t seen_generation = 0;
     while (true) {
       Job* job = nullptr;
       {
-        std::unique_lock<std::mutex> lock(job_mutex_);
-        job_cv_.wait(lock, [&] {
-          return stop_ || (job_ != nullptr && job_generation_ != seen_generation);
-        });
+        // Explicit wait loop (not a predicate lambda) so every guarded
+        // read stays inside this annotated function.
+        MutexLock lock(&job_mutex_);
+        while (!stop_ &&
+               (job_ == nullptr || job_generation_ == seen_generation)) {
+          job_cv_.Wait(&job_mutex_);
+        }
         if (stop_) return;
         seen_generation = job_generation_;
         job = job_;
@@ -179,10 +193,10 @@ class ThreadPool {
       DrainChunks(job);
       tls_in_parallel_region = false;
       {
-        std::lock_guard<std::mutex> lock(job_mutex_);
+        MutexLock lock(&job_mutex_);
         --job->active_workers;
       }
-      done_cv_.notify_all();
+      done_cv_.NotifyAll();
     }
   }
 
@@ -199,7 +213,7 @@ class ThreadPool {
             chunk);
         (*job->body)(chunk);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(job_mutex_);
+        MutexLock lock(&job_mutex_);
         if (!job->error) job->error = std::current_exception();
       }
     }
@@ -219,19 +233,19 @@ class ThreadPool {
   }
 
   // Serialises whole jobs: one Run() owns the pool at a time.
-  std::mutex jobs_mutex_;
+  Mutex jobs_mutex_ RLBENCH_ACQUIRED_BEFORE(config_mutex_);
   // Guards pool (re)configuration.
-  std::mutex config_mutex_;
-  size_t configured_threads_ = 0;  // 0 = not yet initialised
-  std::vector<std::thread> workers_;
+  Mutex config_mutex_ RLBENCH_ACQUIRED_BEFORE(job_mutex_);
+  size_t configured_threads_ RLBENCH_GUARDED_BY(config_mutex_) = 0;
+  std::vector<std::thread> workers_ RLBENCH_GUARDED_BY(config_mutex_);
 
   // Guards the current job pointer and worker bookkeeping.
-  std::mutex job_mutex_;
-  std::condition_variable job_cv_;
-  std::condition_variable done_cv_;
-  Job* job_ = nullptr;
-  uint64_t job_generation_ = 0;
-  bool stop_ = false;
+  Mutex job_mutex_;
+  CondVar job_cv_;
+  CondVar done_cv_;
+  Job* job_ RLBENCH_GUARDED_BY(job_mutex_) = nullptr;
+  uint64_t job_generation_ RLBENCH_GUARDED_BY(job_mutex_) = 0;
+  bool stop_ RLBENCH_GUARDED_BY(job_mutex_) = false;
 };
 
 }  // namespace

@@ -32,37 +32,41 @@ const char* StatusCodeName(StatusCode code);
 /// \brief Value-semantic error carrier.
 ///
 /// A Status is either OK (the default) or carries a code plus a
-/// human-readable message. It is cheap to copy when OK.
-class Status {
+/// human-readable message. It is cheap to copy when OK. The class itself
+/// is [[nodiscard]]: any call that produces a Status and drops it on the
+/// floor is a compile warning (an error under RLBENCH_WERROR and in
+/// tests/static/). Explicit `(void)` discards are banned by repo lint —
+/// handle the status or propagate it with RLBENCH_RETURN_NOT_OK.
+class [[nodiscard]] Status {
  public:
   Status() = default;
 
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status OK() { return Status(); }
+  [[nodiscard]] static Status OK() { return Status(); }
   static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status IOError(std::string msg) {
+  [[nodiscard]] static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
-  static Status ResourceExhausted(std::string msg) {
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status DeadlineExceeded(std::string msg) {
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
@@ -86,8 +90,9 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 /// Dereferencing an error Result is a contract violation; it is caught by
 /// RLBENCH_DCHECK in debug builds (release builds would otherwise read a
 /// disengaged optional — undefined behaviour with no diagnostic).
+/// [[nodiscard]] like Status: a discarded Result is a discarded error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}          // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {}  // NOLINT(runtime/explicit)

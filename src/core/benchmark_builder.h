@@ -40,7 +40,7 @@ struct NewBenchmark {
 /// Invalid options (non-positive or non-finite scale, min_recall outside
 /// (0, 1], k_max < 1, embedding_dim < 1) are InvalidArgument.
 /// Failpoint: core/build_benchmark.
-Result<NewBenchmark> BuildNewBenchmark(const datagen::SourceDatasetSpec& spec,
+[[nodiscard]] Result<NewBenchmark> BuildNewBenchmark(const datagen::SourceDatasetSpec& spec,
                                        const NewBenchmarkOptions& options = {});
 
 }  // namespace rlbench::core

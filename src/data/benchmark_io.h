@@ -23,13 +23,13 @@ struct ImportOptions {
 /// Write the task's tables and splits into `directory` (created if absent).
 /// Each file is written atomically (temp file + rename), so a failed export
 /// never leaves a half-written CSV behind.
-Status ExportBenchmark(const MatchingTask& task, const std::string& directory);
+[[nodiscard]] Status ExportBenchmark(const MatchingTask& task, const std::string& directory);
 
 /// Load a benchmark previously written by ExportBenchmark (or hand-built
 /// in the same layout). A missing directory or split file is NotFound;
 /// malformed rows and out-of-range pair indices are InvalidArgument in
 /// strict mode, quarantined in lenient mode.
-Result<MatchingTask> ImportBenchmark(const std::string& directory,
+[[nodiscard]] Result<MatchingTask> ImportBenchmark(const std::string& directory,
                                      const std::string& name = "imported",
                                      const ImportOptions& options = {});
 

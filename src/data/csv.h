@@ -32,7 +32,7 @@ struct CsvReadOptions {
 /// CRLF, and lone CR all end a row; a final row without a trailing
 /// terminator is kept. A quote still open at end of input is an
 /// InvalidArgument, never silently closed.
-Result<std::vector<std::vector<std::string>>> ParseCsv(const std::string& text);
+[[nodiscard]] Result<std::vector<std::vector<std::string>>> ParseCsv(const std::string& text);
 
 /// Serialise rows of fields to CSV text, quoting where needed.
 std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
@@ -41,22 +41,22 @@ std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
 /// the record id, remaining columns are the schema attributes. Every data
 /// row must have exactly the header's arity; offenders fail the read
 /// (strict) or are quarantined (lenient). Failpoint: data/csv/table_row.
-Result<Table> ReadTableCsv(const std::string& path, const std::string& name,
+[[nodiscard]] Result<Table> ReadTableCsv(const std::string& path, const std::string& name,
                            const CsvReadOptions& options = {});
 
 /// Write a table in the same layout (atomically: temp file + rename).
-Status WriteTableCsv(const Table& table, const std::string& path);
+[[nodiscard]] Status WriteTableCsv(const Table& table, const std::string& path);
 
 /// Read labelled pairs from a CSV file. The header must be exactly
 /// "left,right,label" (ASCII case-insensitive); rows must carry two
 /// non-negative integers that fit in uint32 and a label in {0, 1, true,
 /// false}. Offenders fail the read (strict) or are quarantined (lenient).
 /// Failpoint: data/csv/pair_row.
-Result<std::vector<LabeledPair>> ReadPairsCsv(
+[[nodiscard]] Result<std::vector<LabeledPair>> ReadPairsCsv(
     const std::string& path, const CsvReadOptions& options = {});
 
 /// Write labelled pairs in the same layout (atomically).
-Status WritePairsCsv(const std::vector<LabeledPair>& pairs,
+[[nodiscard]] Status WritePairsCsv(const std::vector<LabeledPair>& pairs,
                      const std::string& path);
 
 }  // namespace rlbench::data

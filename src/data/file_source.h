@@ -35,19 +35,19 @@ class FileSource {
   /// Read the whole file. NotFound when the path does not name a regular
   /// file, IOError when it cannot be opened or read, ResourceExhausted
   /// under injected allocation pressure.
-  static Result<std::string> ReadAll(const std::string& path);
+  [[nodiscard]] static Result<std::string> ReadAll(const std::string& path);
 
   /// Overwrite `path` in place. Not atomic: a crash (or injected truncate
   /// fault) can leave a prefix. Use for scratch data only; anything a later
   /// run re-reads belongs in WriteAtomic.
-  static Status WriteAll(const std::string& path, const std::string& content);
+  [[nodiscard]] static Status WriteAll(const std::string& path, const std::string& content);
 
   /// Write `path` atomically: the content lands in `path + ".tmp"` first
   /// and is renamed over the target, so readers observe either the old
   /// file or the complete new one, never a torn write. The whole sequence
   /// retries up to `options.max_attempts` times with doubling backoff;
   /// the temp file is removed on every failure path.
-  static Status WriteAtomic(const std::string& path,
+  [[nodiscard]] static Status WriteAtomic(const std::string& path,
                             const std::string& content,
                             const AtomicWriteOptions& options = {});
 };

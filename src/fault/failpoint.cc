@@ -3,9 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
 
@@ -28,11 +28,11 @@ struct Clause {
 };
 
 struct Registry {
-  std::mutex mutex;            // guards re-arming, not evaluation
-  std::string spec;
-  uint64_t seed = 0;
-  std::vector<std::unique_ptr<Clause>> clauses;
-  bool env_resolved = false;   // RLBENCH_FAULTS consulted already
+  Mutex mutex;  // guards re-arming, not evaluation
+  std::string spec RLBENCH_GUARDED_BY(mutex);
+  uint64_t seed RLBENCH_GUARDED_BY(mutex) = 0;
+  std::vector<std::unique_ptr<Clause>> clauses RLBENCH_GUARDED_BY(mutex);
+  bool env_resolved RLBENCH_GUARDED_BY(mutex) = false;  // env consulted
 };
 
 Registry& GetRegistry() {
@@ -170,14 +170,16 @@ const char* FaultKindName(FaultKind kind) {
 
 namespace internal {
 
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
 std::atomic<int> g_fault_state{0};
 
 int ResolveFaultState() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(&registry.mutex);
   int state = g_fault_state.load(std::memory_order_relaxed);
   if (state != 0) return state;  // raced with another resolver / SetSpec
   registry.env_resolved = true;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at gate resolution
   const char* env = std::getenv("RLBENCH_FAULTS");
   if (env == nullptr || env[0] == '\0') {
     g_fault_state.store(1, std::memory_order_relaxed);
@@ -226,7 +228,7 @@ FaultHit Evaluate(const char* point) {
 
 Status SetSpec(const std::string& spec) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(&registry.mutex);
   if (spec.empty()) {
     registry.clauses.clear();
     registry.spec.clear();
@@ -245,7 +247,7 @@ Status SetSpec(const std::string& spec) {
 
 void Clear() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(&registry.mutex);
   registry.clauses.clear();
   registry.spec.clear();
   internal::g_fault_state.store(1, std::memory_order_relaxed);
@@ -254,13 +256,13 @@ void Clear() {
 std::string ActiveSpec() {
   if (!FaultsEnabled()) return "";
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(&registry.mutex);
   return registry.spec;
 }
 
 std::vector<FaultPointStats> Stats() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(&registry.mutex);
   std::vector<FaultPointStats> out;
   out.reserve(registry.clauses.size());
   for (const auto& clause : registry.clauses) {

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace rlbench::fault {
 
@@ -71,11 +72,15 @@ struct FaultHit {
 namespace internal {
 
 // 0 = unresolved (consult RLBENCH_FAULTS), 1 = off, 2 = on.
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
 extern std::atomic<int> g_fault_state;
 int ResolveFaultState();
 
 /// Slow path behind RLBENCH_FAULT_POINT; only called while enabled.
-FaultHit Evaluate(const char* point);
+/// Reads the armed clause list without its mutex — lock-free by contract
+/// (SetSpec/Clear must not race with evaluation, see above), which the
+/// thread-safety analysis cannot see.
+FaultHit Evaluate(const char* point) RLBENCH_NO_THREAD_SAFETY_ANALYSIS;
 
 }  // namespace internal
 
@@ -90,7 +95,7 @@ inline bool FaultsEnabled() {
 /// Parses and arms `spec`; an empty spec disables injection. Returns
 /// InvalidArgument (leaving the previous spec armed) when `spec` does not
 /// parse. Must not be called while other threads evaluate failpoints.
-Status SetSpec(const std::string& spec);
+[[nodiscard]] Status SetSpec(const std::string& spec);
 
 /// \brief Disarm injection and forget any spec (env or programmatic);
 /// counters reset. RLBENCH_FAULTS is not re-read afterwards.

@@ -34,7 +34,7 @@ class EsdeMatcher : public Matcher {
   /// Train threshold + feature selection and export the fitted rule as a
   /// servable model. Run() == TrainModel() + applying the rule to the test
   /// pairs; the serve tests pin the bit-exact equivalence.
-  Result<std::unique_ptr<TrainedModel>> TrainModel(
+  [[nodiscard]] Result<std::unique_ptr<TrainedModel>> TrainModel(
       const MatchingContext& context) override;
 
   /// Diagnostics after Run: the selected feature index, its threshold, and

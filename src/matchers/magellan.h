@@ -34,7 +34,7 @@ class MagellanMatcher : public Matcher {
 
   /// Fit the classifier and export it as a servable model; Run() is
   /// TrainModel() + predicting the context's test feature dataset.
-  Result<std::unique_ptr<TrainedModel>> TrainModel(
+  [[nodiscard]] Result<std::unique_ptr<TrainedModel>> TrainModel(
       const MatchingContext& context) override;
 
  private:

@@ -33,7 +33,7 @@ class Matcher {
   /// test pairs through the model. The default (used by the simulated DL
   /// matchers, which have no portable fitted state) reports
   /// FailedPrecondition.
-  virtual Result<std::unique_ptr<TrainedModel>> TrainModel(
+  [[nodiscard]] virtual Result<std::unique_ptr<TrainedModel>> TrainModel(
       const MatchingContext& context);
 
   /// Convenience: F1 of Run's predictions against the test labels.

@@ -45,7 +45,7 @@ std::vector<std::string> ServableMatcherNames();
 /// derivation as BuildMatcherLineup (so a served model reproduces the
 /// table row bit-for-bit) and train it on the context. NotFound for names
 /// outside ServableMatcherNames().
-Result<std::unique_ptr<TrainedModel>> TrainServableMatcher(
+[[nodiscard]] Result<std::unique_ptr<TrainedModel>> TrainServableMatcher(
     const std::string& name, const MatchingContext& context,
     uint64_t seed = 17);
 

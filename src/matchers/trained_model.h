@@ -74,7 +74,7 @@ class TrainedModel {
   /// runs ScorePair per pair under ParallelFor; Magellan overrides it to
   /// assemble the feature matrix via ml::Dataset::BuildParallel first.
   /// Requires PrepareContext() to have been called on `context`.
-  virtual Status ScoreBatch(const MatchingContext& context,
+  [[nodiscard]] virtual Status ScoreBatch(const MatchingContext& context,
                             std::span<const data::LabeledPair> pairs,
                             std::span<double> scores,
                             std::span<uint8_t> decisions) const;
@@ -92,16 +92,16 @@ void SerializeTrainedModel(const TrainedModel& model, BlobWriter* writer);
 
 /// Decode a model written by SerializeTrainedModel. IOError on a
 /// truncated or corrupt payload, InvalidArgument on an unknown kind tag.
-Result<std::unique_ptr<TrainedModel>> DeserializeTrainedModel(
+[[nodiscard]] Result<std::unique_ptr<TrainedModel>> DeserializeTrainedModel(
     BlobReader* reader);
 
 /// Per-family payload decoders, implemented next to their matchers
 /// (esde.cc / magellan.cc / zeroer.cc) so each shares feature code with
 /// the matcher that trains it. DeserializeTrainedModel dispatches here.
-Result<std::unique_ptr<TrainedModel>> DeserializeEsdeModel(BlobReader* reader);
+[[nodiscard]] Result<std::unique_ptr<TrainedModel>> DeserializeEsdeModel(BlobReader* reader);
 Result<std::unique_ptr<TrainedModel>> DeserializeMagellanModel(
     BlobReader* reader);
-Result<std::unique_ptr<TrainedModel>> DeserializeZeroErModel(
+[[nodiscard]] Result<std::unique_ptr<TrainedModel>> DeserializeZeroErModel(
     BlobReader* reader);
 
 }  // namespace rlbench::matchers

@@ -36,7 +36,7 @@ class ZeroErMatcher : public Matcher {
 
   /// Fit the mixture on all candidate pairs (transductive, as in the
   /// paper) and export it as a servable model.
-  Result<std::unique_ptr<TrainedModel>> TrainModel(
+  [[nodiscard]] Result<std::unique_ptr<TrainedModel>> TrainModel(
       const MatchingContext& context) override;
 
  private:

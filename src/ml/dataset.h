@@ -26,7 +26,7 @@ class Dataset {
 
   /// Append one row. InvalidArgument when `features.size()` differs from
   /// num_features(); use this on rows derived from external input.
-  Status Append(const std::vector<float>& features, bool label);
+  [[nodiscard]] Status Append(const std::vector<float>& features, bool label);
 
   /// Append one row whose arity is an internal invariant; CHECK-fails on
   /// mismatch. Prefer Append for anything input-derived.
@@ -40,7 +40,7 @@ class Dataset {
   /// (common/parallel.h contract). This is the batch path the matcher
   /// training-set assembly uses. InvalidArgument when num_features == 0
   /// (reachable from an imported benchmark with a degenerate schema).
-  static Result<Dataset> BuildParallel(
+  [[nodiscard]] static Result<Dataset> BuildParallel(
       size_t num_features, size_t rows,
       const std::function<bool(size_t, std::span<float>)>& fill);
 

@@ -50,7 +50,7 @@ class DecisionTree : public Classifier {
   void Save(BlobWriter* writer) const;
   /// `num_features`, when non-zero, additionally bounds split feature
   /// indices (callers that know the serving arity should pass it).
-  Status Load(BlobReader* reader, size_t num_features = 0);
+  [[nodiscard]] Status Load(BlobReader* reader, size_t num_features = 0);
 
  private:
   struct Node {

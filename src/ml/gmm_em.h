@@ -50,7 +50,7 @@ class GaussianMixtureMatcher {
   /// variances and the match prior. Convergence diagnostics (iteration
   /// count, likelihood trace) are training-time state and not serialized.
   void Save(BlobWriter* writer) const;
-  Status Load(BlobReader* reader);
+  [[nodiscard]] Status Load(BlobReader* reader);
 
  private:
   double LogDensity(std::span<const float> row,

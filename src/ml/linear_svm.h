@@ -43,7 +43,7 @@ class LinearSvm : public Classifier {
   /// Snapshot hooks (src/serve/): fitted scaler + hyperplane. A non-zero
   /// `num_features` rejects blobs fitted for a different schema.
   void Save(BlobWriter* writer) const;
-  Status Load(BlobReader* reader, size_t num_features = 0);
+  [[nodiscard]] Status Load(BlobReader* reader, size_t num_features = 0);
 
  private:
   LinearSvmOptions options_;

@@ -38,7 +38,7 @@ class LogisticRegression : public Classifier {
   /// Snapshot hooks (src/serve/): fitted scaler + weights + bias. A
   /// non-zero `num_features` rejects blobs fitted for a different schema.
   void Save(BlobWriter* writer) const;
-  Status Load(BlobReader* reader, size_t num_features = 0);
+  [[nodiscard]] Status Load(BlobReader* reader, size_t num_features = 0);
 
  private:
   LogisticRegressionOptions options_;

@@ -34,7 +34,7 @@ class RandomForest : public Classifier {
 
   /// Snapshot hooks (src/serve/): every fitted tree in ensemble order.
   void Save(BlobWriter* writer) const;
-  Status Load(BlobReader* reader, size_t num_features = 0);
+  [[nodiscard]] Status Load(BlobReader* reader, size_t num_features = 0);
 
  private:
   RandomForestOptions options_;

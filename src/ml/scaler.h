@@ -30,7 +30,7 @@ class StandardScaler {
   /// Snapshot hooks (src/serve/): the fitted statistics round-trip
   /// bit-exactly through the blob's IEEE-754 bit patterns.
   void Save(BlobWriter* writer) const;
-  Status Load(BlobReader* reader);
+  [[nodiscard]] Status Load(BlobReader* reader);
 
  private:
   std::vector<float> means_;

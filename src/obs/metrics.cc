@@ -4,17 +4,20 @@
 #include <cstdlib>
 #include <limits>
 #include <map>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace rlbench::obs {
 
 namespace internal {
 
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
 std::atomic<int> g_metrics_state{0};
 
 int ResolveMetricsState() {
   // Racing first callers all compute the same answer from the same
   // environment; last store wins harmlessly.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at gate resolution
   const char* env = std::getenv("RLBENCH_METRICS");
   int state = (env != nullptr && env[0] != '\0' && env[0] != '0') ? 2 : 1;
   g_metrics_state.store(state, std::memory_order_relaxed);
@@ -258,13 +261,16 @@ std::vector<double> LinearBounds(double lo, double hi, size_t n) {
 // --- Registry -------------------------------------------------------------
 
 struct Metrics::Impl {
-  std::mutex mutex;
+  Mutex mutex;
   // std::map keeps iteration sorted by name, which makes every export
   // deterministic without a sort at snapshot time. Metric objects are
   // owned here and never erased, so references handed out stay valid.
-  std::map<std::string, std::unique_ptr<Counter>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  std::map<std::string, std::unique_ptr<Counter>> counters
+      RLBENCH_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges
+      RLBENCH_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms
+      RLBENCH_GUARDED_BY(mutex);
 };
 
 Metrics& Metrics::Instance() {
@@ -279,7 +285,7 @@ Metrics::Impl& Metrics::impl() const {
 
 Counter& Metrics::GetCounter(const std::string& name) {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(&state.mutex);
   auto& slot = state.counters[name];
   if (!slot) slot.reset(new Counter());
   return *slot;
@@ -287,7 +293,7 @@ Counter& Metrics::GetCounter(const std::string& name) {
 
 Gauge& Metrics::GetGauge(const std::string& name) {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(&state.mutex);
   auto& slot = state.gauges[name];
   if (!slot) slot.reset(new Gauge());
   return *slot;
@@ -296,7 +302,7 @@ Gauge& Metrics::GetGauge(const std::string& name) {
 Histogram& Metrics::GetHistogram(const std::string& name,
                                  std::vector<double> bounds) {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(&state.mutex);
   auto& slot = state.histograms[name];
   if (!slot) slot.reset(new Histogram(std::move(bounds)));
   return *slot;
@@ -308,7 +314,7 @@ void Metrics::SetEnabled(bool enabled) {
 
 void Metrics::ResetAll() {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(&state.mutex);
   for (auto& entry : state.counters) entry.second->Reset();
   for (auto& entry : state.gauges) entry.second->Reset();
   for (auto& entry : state.histograms) entry.second->Reset();
@@ -316,7 +322,7 @@ void Metrics::ResetAll() {
 
 std::vector<std::pair<std::string, const Counter*>> Metrics::Counters() const {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(&state.mutex);
   std::vector<std::pair<std::string, const Counter*>> out;
   out.reserve(state.counters.size());
   for (const auto& entry : state.counters) {
@@ -327,7 +333,7 @@ std::vector<std::pair<std::string, const Counter*>> Metrics::Counters() const {
 
 std::vector<std::pair<std::string, const Gauge*>> Metrics::Gauges() const {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(&state.mutex);
   std::vector<std::pair<std::string, const Gauge*>> out;
   out.reserve(state.gauges.size());
   for (const auto& entry : state.gauges) {
@@ -339,7 +345,7 @@ std::vector<std::pair<std::string, const Gauge*>> Metrics::Gauges() const {
 std::vector<std::pair<std::string, const Histogram*>> Metrics::Histograms()
     const {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(&state.mutex);
   std::vector<std::pair<std::string, const Histogram*>> out;
   out.reserve(state.histograms.size());
   for (const auto& entry : state.histograms) {

@@ -49,6 +49,7 @@ struct alignas(64) GaugeShard {
 
 // Tri-state so MetricsEnabled() is one relaxed load after first resolution:
 // 0 = unresolved (consult RLBENCH_METRICS), 1 = off, 2 = on.
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
 extern std::atomic<int> g_metrics_state;
 int ResolveMetricsState();
 

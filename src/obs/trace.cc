@@ -1,16 +1,18 @@
 #include "obs/trace.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/json.h"
 
 namespace rlbench::obs {
 
 namespace internal {
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
 std::atomic<int> g_trace_state{0};
 }  // namespace internal
 
@@ -45,11 +47,18 @@ struct ThreadBuffer {
 };
 
 struct TraceState {
-  std::mutex mutex;
-  std::string path;
-  std::vector<ThreadBuffer*> buffers;  // leaked with their threads
-  std::chrono::steady_clock::time_point epoch =
-      std::chrono::steady_clock::now();
+  Mutex mutex;
+  std::string path RLBENCH_GUARDED_BY(mutex);
+  // Registration is guarded; each ThreadBuffer's contents stay private to
+  // its owning thread until WriteTraceIfEnabled(), whose contract is "no
+  // parallel work in flight" (see trace.h).
+  std::vector<ThreadBuffer*> buffers RLBENCH_GUARDED_BY(mutex);
+  // Trace epoch in steady_clock nanoseconds. Atomic, not guarded:
+  // NowMicros() reads it on the span hot path where taking the state
+  // mutex would serialise every worker; SetTraceFile() publishes a new
+  // epoch with a release store.
+  std::atomic<int64_t> epoch_ns{
+      std::chrono::steady_clock::now().time_since_epoch().count()};
 };
 
 TraceState& State() {
@@ -59,14 +68,16 @@ TraceState& State() {
 
 // The name a thread asks for before it ever records a span; applied when
 // its buffer is created so naming stays allocation-free while disabled.
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
 thread_local std::string tls_pending_name;
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
 thread_local ThreadBuffer* tls_buffer = nullptr;
 
 ThreadBuffer* CurrentBuffer() {
   if (tls_buffer == nullptr) {
     auto* buffer = new ThreadBuffer();  // leaked: events outlive the thread
     TraceState& state = State();
-    std::lock_guard<std::mutex> lock(state.mutex);
+    MutexLock lock(&state.mutex);
     buffer->tid = static_cast<uint32_t>(state.buffers.size());
     buffer->name = tls_pending_name.empty()
                        ? "thread-" + std::to_string(buffer->tid)
@@ -78,8 +89,11 @@ ThreadBuffer* CurrentBuffer() {
 }
 
 double NowMicros() {
+  int64_t now_ns =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  int64_t epoch_ns = State().epoch_ns.load(std::memory_order_acquire);
   return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - State().epoch)
+             std::chrono::steady_clock::duration(now_ns - epoch_ns))
       .count();
 }
 
@@ -89,9 +103,10 @@ namespace internal {
 
 int ResolveTraceState() {
   TraceState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(&state.mutex);
   int current = g_trace_state.load(std::memory_order_relaxed);
   if (current != 0) return current;  // lost the race; someone resolved it
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at gate resolution
   const char* env = std::getenv("RLBENCH_TRACE");
   int resolved = 1;
   if (env != nullptr && env[0] != '\0') {
@@ -134,21 +149,23 @@ void SetCurrentThreadName(const std::string& name) {
   tls_pending_name = name;
   if (tls_buffer != nullptr) {
     TraceState& state = State();
-    std::lock_guard<std::mutex> lock(state.mutex);
+    MutexLock lock(&state.mutex);
     tls_buffer->name = name;
   }
 }
 
 void SetTraceFile(const std::string& path) {
   TraceState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(&state.mutex);
   state.path = path;
   for (ThreadBuffer* buffer : state.buffers) {
     buffer->events.clear();
     buffer->stack.clear();
     buffer->dropped = 0;
   }
-  state.epoch = std::chrono::steady_clock::now();
+  state.epoch_ns.store(
+      std::chrono::steady_clock::now().time_since_epoch().count(),
+      std::memory_order_release);
   internal::g_trace_state.store(path.empty() ? 1 : 2,
                                 std::memory_order_relaxed);
 }
@@ -156,13 +173,13 @@ void SetTraceFile(const std::string& path) {
 std::string TraceFilePath() {
   if (!TraceEnabled()) return "";
   TraceState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(&state.mutex);
   return state.path;
 }
 
 uint64_t DroppedTraceEvents() {
   TraceState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(&state.mutex);
   uint64_t dropped = 0;
   for (const ThreadBuffer* buffer : state.buffers) dropped += buffer->dropped;
   return dropped;
@@ -171,7 +188,7 @@ uint64_t DroppedTraceEvents() {
 std::string WriteTraceIfEnabled() {
   if (!TraceEnabled()) return "";
   TraceState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(&state.mutex);
   if (state.path.empty()) return "";
   FILE* out = std::fopen(state.path.c_str(), "w");
   if (out == nullptr) {

@@ -29,6 +29,7 @@ namespace rlbench::obs {
 namespace internal {
 
 // 0 = unresolved (consult RLBENCH_TRACE), 1 = off, 2 = on.
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
 extern std::atomic<int> g_trace_state;
 int ResolveTraceState();
 

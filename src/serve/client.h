@@ -22,29 +22,29 @@ namespace rlbench::serve {
 class MatchClient {
  public:
   /// Connect to a server on 127.0.0.1:`port`.
-  static Result<MatchClient> Connect(uint16_t port);
+  [[nodiscard]] static Result<MatchClient> Connect(uint16_t port);
 
   /// Send one raw request payload and block for its response. A response
   /// with "ok":false comes back as the mapped error Status.
-  Result<JsonValue> Call(const std::string& payload);
+  [[nodiscard]] Result<JsonValue> Call(const std::string& payload);
 
   /// Fire-and-forget half of a pipelined exchange.
-  Status SendRequest(const std::string& payload);
+  [[nodiscard]] Status SendRequest(const std::string& payload);
   /// Receive half: blocks for the next response frame (parsed, "ok"
   /// checked). Responses arrive in request order.
-  Result<JsonValue> RecvResponse();
+  [[nodiscard]] Result<JsonValue> RecvResponse();
 
   // --- Typed ops -----------------------------------------------------------
 
-  Result<JsonValue> Ping();
+  [[nodiscard]] Result<JsonValue> Ping();
   Result<PairScore> MatchPair(uint32_t left, uint32_t right);
   /// `deadline_ms` <= 0 uses the server's default.
-  Result<std::vector<PairScore>> MatchBatch(
+  [[nodiscard]] Result<std::vector<PairScore>> MatchBatch(
       const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
       double deadline_ms = 0.0);
-  Result<JsonValue> Assess();
+  [[nodiscard]] Result<JsonValue> Assess();
   Result<JsonValue> Stats();
-  Result<JsonValue> Reload(const std::string& matcher, uint64_t version = 0);
+  [[nodiscard]] Result<JsonValue> Reload(const std::string& matcher, uint64_t version = 0);
   Result<JsonValue> Shutdown();
 
   /// Serialized match_batch request (shared with pipelined senders).

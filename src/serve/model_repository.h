@@ -31,22 +31,22 @@ class ModelRepository {
   /// Serialize and store `model` as the next version of
   /// `metadata.matcher_name`, then repoint CURRENT. The version field of
   /// `metadata` is ignored on input; the assigned version is returned.
-  Result<uint64_t> Publish(SnapshotMetadata metadata,
+  [[nodiscard]] Result<uint64_t> Publish(SnapshotMetadata metadata,
                           const matchers::TrainedModel& model);
 
   /// Load one specific version. Failpoint: serve/snapshot/load.
-  Result<Snapshot> Load(const std::string& matcher_name,
+  [[nodiscard]] Result<Snapshot> Load(const std::string& matcher_name,
                         uint64_t version) const;
 
   /// Load the version CURRENT points at; NotFound when the matcher has
   /// never been published.
-  Result<Snapshot> LoadCurrent(const std::string& matcher_name) const;
+  [[nodiscard]] Result<Snapshot> LoadCurrent(const std::string& matcher_name) const;
 
   /// The live version number, or NotFound.
-  Result<uint64_t> CurrentVersion(const std::string& matcher_name) const;
+  [[nodiscard]] Result<uint64_t> CurrentVersion(const std::string& matcher_name) const;
 
   /// All published versions (1..CURRENT); empty vector when none.
-  Result<std::vector<uint64_t>> ListVersions(
+  [[nodiscard]] Result<std::vector<uint64_t>> ListVersions(
       const std::string& matcher_name) const;
 
   /// Path of one version's snapshot file (exists or not).

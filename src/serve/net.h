@@ -40,37 +40,37 @@ class Socket {
 
 /// Listen on 127.0.0.1:`port` (0 = kernel-assigned ephemeral port). The
 /// actually bound port is written to `bound_port`.
-Result<Socket> ListenLoopback(uint16_t port, uint16_t* bound_port);
+[[nodiscard]] Result<Socket> ListenLoopback(uint16_t port, uint16_t* bound_port);
 
 /// Connect to 127.0.0.1:`port`.
-Result<Socket> ConnectLoopback(uint16_t port);
+[[nodiscard]] Result<Socket> ConnectLoopback(uint16_t port);
 
 /// Accept one pending connection on `listener` (blocks until one arrives).
-Result<Socket> Accept(const Socket& listener);
+[[nodiscard]] Result<Socket> Accept(const Socket& listener);
 
 /// True when `socket` has readable data (or a pending EOF/error) within
 /// `timeout_ms`; 0 polls without blocking, negative blocks indefinitely.
-Result<bool> WaitReadable(const Socket& socket, int timeout_ms);
+[[nodiscard]] Result<bool> WaitReadable(const Socket& socket, int timeout_ms);
 
 /// Write all of `bytes` (handles short writes; EINTR restarted).
-Status SendAll(const Socket& socket, std::string_view bytes);
+[[nodiscard]] Status SendAll(const Socket& socket, std::string_view bytes);
 
 /// One recv() into an internal chunk; empty string means orderly EOF.
-Result<std::string> RecvSome(const Socket& socket);
+[[nodiscard]] Result<std::string> RecvSome(const Socket& socket);
 
 /// Send one length-prefixed frame.
-Status SendFrame(const Socket& socket, std::string_view payload);
+[[nodiscard]] Status SendFrame(const Socket& socket, std::string_view payload);
 
 /// Block until one complete frame arrives, carrying over any extra bytes
 /// already received into `decoder` for the next call — a peer that sends
 /// several responses in one burst must not lose frames 2..n. IOError
 /// mentioning "eof" when the peer closes before (or mid-) frame.
-Result<std::string> RecvFrame(const Socket& socket, FrameDecoder* decoder);
+[[nodiscard]] Result<std::string> RecvFrame(const Socket& socket, FrameDecoder* decoder);
 
 /// One-shot variant with a throwaway decoder. Only safe when the peer is
 /// strictly request/response on this socket (never pipelines), because
 /// bytes beyond the first frame are discarded.
-Result<std::string> RecvFrame(const Socket& socket);
+[[nodiscard]] Result<std::string> RecvFrame(const Socket& socket);
 
 }  // namespace rlbench::serve
 

@@ -56,12 +56,12 @@ class MatchServer {
   }
 
   /// Bind + listen on 127.0.0.1; port() is valid afterwards.
-  Status Start();
+  [[nodiscard]] Status Start();
   uint16_t port() const { return port_; }
 
   /// Accept-and-serve until a shutdown request (or Accept failure).
   /// Returns OK after a graceful shutdown.
-  Status Serve();
+  [[nodiscard]] Status Serve();
 
   /// Dispatch one request payload to a response payload (also the
   /// in-process test seam — no sockets involved). Match ops are submitted,
@@ -70,7 +70,7 @@ class MatchServer {
 
  private:
   /// Serve one accepted connection until EOF, protocol error or shutdown.
-  Status ServeConnection(const Socket& conn);
+  [[nodiscard]] Status ServeConnection(const Socket& conn);
 
   const matchers::MatchingContext* context_;
   MatchServerOptions options_;

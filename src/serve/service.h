@@ -86,11 +86,11 @@ class MatchService {
 
   /// Validate `snapshot` against the served dataset and make its model
   /// current (readers of an in-flight batch keep the old snapshot).
-  Status InstallSnapshot(const Snapshot& snapshot);
+  [[nodiscard]] Status InstallSnapshot(const Snapshot& snapshot);
 
   /// Install a model directly (tests, in-process serving). Warms and
   /// freezes whatever context caches the model's feature family reads.
-  Status SwapModel(std::shared_ptr<const matchers::TrainedModel> model);
+  [[nodiscard]] Status SwapModel(std::shared_ptr<const matchers::TrainedModel> model);
 
   /// The currently served model; null before the first install.
   std::shared_ptr<const matchers::TrainedModel> CurrentModel() const {
@@ -101,9 +101,9 @@ class MatchService {
   /// id, or: FailedPrecondition (no model), InvalidArgument (bad indices /
   /// empty / oversized request), ResourceExhausted (queue full). `done`
   /// fires exactly once, from PumpOne or Drain, never from Submit.
-  Result<uint64_t> Submit(std::vector<data::LabeledPair> pairs,
+  [[nodiscard]] Result<uint64_t> Submit(std::vector<data::LabeledPair> pairs,
                           ResponseCallback done);
-  Result<uint64_t> SubmitWithDeadline(std::vector<data::LabeledPair> pairs,
+  [[nodiscard]] Result<uint64_t> SubmitWithDeadline(std::vector<data::LabeledPair> pairs,
                                       double deadline_ms,
                                       ResponseCallback done);
 
@@ -123,7 +123,7 @@ class MatchService {
   /// Score the task's entire test split through the served model in
   /// max_batch_pairs chunks and evaluate against ground truth. Optionally
   /// copies out the raw scores / decisions (test order).
-  Result<AssessResult> AssessDataset(std::vector<double>* scores_out = nullptr,
+  [[nodiscard]] Result<AssessResult> AssessDataset(std::vector<double>* scores_out = nullptr,
                                      std::vector<uint8_t>* decisions_out =
                                          nullptr);
 

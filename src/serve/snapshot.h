@@ -42,7 +42,7 @@ std::string EncodeSnapshot(const SnapshotMetadata& metadata,
 /// Decode a snapshot blob. IOError on bad magic, checksum mismatch, or a
 /// truncated/corrupt model payload; the metadata's num_attrs is checked
 /// against the embedded model's. Failpoint: serve/snapshot/decode.
-Result<Snapshot> DecodeSnapshot(const std::string& bytes);
+[[nodiscard]] Result<Snapshot> DecodeSnapshot(const std::string& bytes);
 
 }  // namespace rlbench::serve
 

@@ -30,11 +30,11 @@ inline constexpr size_t kFrameHeaderBytes = 4;
 
 /// Prefix `payload` with its big-endian length and append to `out`.
 /// InvalidArgument when the payload exceeds kMaxFramePayload.
-Status AppendFrame(std::string_view payload, std::string* out);
+[[nodiscard]] Status AppendFrame(std::string_view payload, std::string* out);
 
 /// Decode a length prefix (exactly kFrameHeaderBytes at `header`).
 /// InvalidArgument when it announces more than kMaxFramePayload.
-Result<size_t> DecodeFrameHeader(const char* header);
+[[nodiscard]] Result<size_t> DecodeFrameHeader(const char* header);
 
 /// \brief Incremental frame reassembly over a byte stream.
 ///
@@ -46,7 +46,7 @@ class FrameDecoder {
  public:
   void Append(std::string_view bytes) { buffer_.append(bytes); }
 
-  Result<std::optional<std::string>> Next();
+  [[nodiscard]] Result<std::optional<std::string>> Next();
 
   size_t BufferedBytes() const { return buffer_.size(); }
 
@@ -94,9 +94,9 @@ class JsonValue {
 
   /// Strict accessors for required fields: InvalidArgument when the key is
   /// missing or the value has the wrong type.
-  Result<std::string> RequireString(const std::string& key) const;
+  [[nodiscard]] Result<std::string> RequireString(const std::string& key) const;
   Result<double> RequireNumber(const std::string& key) const;
-  Result<const JsonValue*> RequireArray(const std::string& key) const;
+  [[nodiscard]] Result<const JsonValue*> RequireArray(const std::string& key) const;
 
   static JsonValue Null() { return JsonValue(); }
   static JsonValue Bool(bool b);
@@ -116,7 +116,7 @@ class JsonValue {
 
 /// Parse one complete JSON value (surrounding whitespace allowed, trailing
 /// bytes rejected). Recursive descent with a nesting cap of 64.
-Result<JsonValue> ParseJson(std::string_view text);
+[[nodiscard]] Result<JsonValue> ParseJson(std::string_view text);
 
 }  // namespace rlbench::serve
 

@@ -2,7 +2,9 @@
 // Chrome trace JSON (syntax-valid, carries thread names and chunk args).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -117,6 +119,32 @@ TEST_F(TraceTest, NamedThreadsGetTheirOwnTracks) {
   EXPECT_TRUE(JsonSyntaxValid(json)) << json;
   EXPECT_NE(json.find("\"unit-worker\""), std::string::npos);
   EXPECT_NE(json.find("\"unit/off-main\""), std::string::npos);
+}
+
+// Regression test for the epoch publish: SetTraceFile() must re-stamp the
+// trace epoch (a lock-free atomic, because NowMicros() reads it on the
+// span hot path — it used to be an unsynchronised time_point read racing
+// SetTraceFile). If re-arming failed to publish the new epoch, spans
+// recorded after the re-arm would carry timestamps offset by the full age
+// of the old epoch instead of starting near zero.
+TEST_F(TraceTest, RearmPublishesFreshEpochSoTimestampsRestartNearZero) {
+  SetTraceFile(kPath);
+  { RLBENCH_TRACE_SPAN("unit/before"); }
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  SetTraceFile(kPath);  // re-arm: clears events, publishes a new epoch
+  { RLBENCH_TRACE_SPAN("unit/after"); }
+  ASSERT_EQ(WriteTraceIfEnabled(), kPath);
+
+  std::string json = ReadFile(kPath);
+  size_t at = json.find("\"unit/after\"");
+  ASSERT_NE(at, std::string::npos);
+  size_t ts = json.find("\"ts\": ", at);
+  ASSERT_NE(ts, std::string::npos);
+  double start_us = std::strtod(json.c_str() + ts + 6, nullptr);
+  EXPECT_GE(start_us, 0.0);
+  // Stamped against the fresh epoch: far less than the 80ms that elapsed
+  // on the old one.
+  EXPECT_LT(start_us, 40000.0);
 }
 
 TEST_F(TraceTest, SetTraceFileClearsBufferedEvents) {

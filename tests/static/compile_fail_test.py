@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Negative-compilation harness: proves the static-analysis gates actually
+reject the misuse they claim to reject.
+
+Every fixture under fixtures/ declares its own contract in header comments:
+
+    // compile-fail                 must NOT compile under the gate flags
+    // compile-ok                   must compile (control for the harness)
+    // requires-clang               only meaningful under Clang's
+                                    thread-safety analysis; skipped on GCC
+    // expect-error: <regex>        stderr of a failing compile must match
+                                    (may repeat; every regex must match)
+
+Each fixture is compiled with -fsyntax-only under the same discipline flags
+the real build uses: -Werror=unused-result (the [[nodiscard]] gate) plus,
+under Clang, -Wthread-safety -Wthread-safety-beta
+-Werror=thread-safety-analysis.
+
+A fixture that "fails" for the wrong reason (missing header, bad flag) is
+caught two ways: expect-error regexes must match the diagnostic, and the
+compile-ok controls prove the include paths and flags are sound.
+
+Exit status: 0 iff every fixture behaves; the summary line reports how many
+must-fail fixtures were proven to fail.
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+BASE_FLAGS = ["-std=c++20", "-fsyntax-only", "-Wall", "-Wextra",
+              "-Werror=unused-result"]
+CLANG_FLAGS = ["-Wthread-safety", "-Wthread-safety-beta",
+               "-Werror=thread-safety-analysis"]
+DIRECTIVE = re.compile(r"^//\s*(compile-fail|compile-ok|requires-clang"
+                       r"|expect-error:\s*(.+))\s*$")
+
+
+def parse_fixture(path):
+    mode = None
+    requires_clang = False
+    expects = []
+    for line in path.read_text().splitlines():
+        if not line.startswith("//"):
+            break
+        m = DIRECTIVE.match(line)
+        if not m:
+            continue
+        if m.group(1).startswith("expect-error:"):
+            expects.append(m.group(2).strip())
+        elif m.group(1) == "compile-fail":
+            mode = "fail"
+        elif m.group(1) == "compile-ok":
+            mode = "ok"
+        elif m.group(1) == "requires-clang":
+            requires_clang = True
+    if mode is None:
+        raise ValueError(f"{path.name}: no compile-fail / compile-ok "
+                         f"directive")
+    return mode, requires_clang, expects
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compiler", required=True,
+                        help="C++ compiler driver (CMAKE_CXX_COMPILER)")
+    parser.add_argument("--compiler-id", required=True,
+                        help="CMAKE_CXX_COMPILER_ID (Clang gates the "
+                             "thread-safety fixtures)")
+    parser.add_argument("--include", required=True,
+                        help="repository src/ include root")
+    parser.add_argument("--fixtures", default=None,
+                        help="fixtures directory (default: ./fixtures "
+                             "next to this script)")
+    args = parser.parse_args()
+
+    is_clang = "clang" in args.compiler_id.lower()
+    fixtures_dir = pathlib.Path(args.fixtures) if args.fixtures else \
+        pathlib.Path(__file__).resolve().parent / "fixtures"
+    fixtures = sorted(fixtures_dir.glob("*.cc"))
+    if not fixtures:
+        print(f"compile_fail_test: no fixtures in {fixtures_dir}",
+              file=sys.stderr)
+        return 1
+
+    flags = BASE_FLAGS + (CLANG_FLAGS if is_clang else [])
+    failures = []
+    proven_fail = 0
+    skipped = 0
+    for fixture in fixtures:
+        mode, requires_clang, expects = parse_fixture(fixture)
+        if requires_clang and not is_clang:
+            skipped += 1
+            print(f"  SKIP {fixture.name} (needs Clang thread-safety "
+                  f"analysis; compiler is {args.compiler_id})")
+            continue
+        cmd = [args.compiler, *flags, f"-I{args.include}", str(fixture)]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        diagnostics = proc.stderr + proc.stdout
+        if mode == "fail":
+            if proc.returncode == 0:
+                failures.append(f"{fixture.name}: compiled cleanly but is a "
+                                f"must-not-compile fixture")
+                continue
+            unmatched = [e for e in expects
+                         if not re.search(e, diagnostics)]
+            if unmatched:
+                failures.append(
+                    f"{fixture.name}: failed to compile (good) but the "
+                    f"diagnostic did not match {unmatched}; got:\n"
+                    f"{diagnostics.strip()[:800]}")
+                continue
+            proven_fail += 1
+            print(f"  FAIL-AS-EXPECTED {fixture.name}")
+        else:
+            if proc.returncode != 0:
+                failures.append(
+                    f"{fixture.name}: control fixture must compile but "
+                    f"failed:\n{diagnostics.strip()[:800]}")
+                continue
+            print(f"  OK {fixture.name}")
+
+    for failure in failures:
+        print(f"compile_fail_test: {failure}", file=sys.stderr)
+    print(f"compile_fail_test: {proven_fail} misuse fixture(s) proven to "
+          f"fail, {skipped} skipped ({args.compiler_id}), "
+          f"{len(failures)} harness failure(s)")
+    if proven_fail < 4:
+        print(f"compile_fail_test: need at least 4 proven must-fail "
+              f"fixtures, got {proven_fail}", file=sys.stderr)
+        return 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+// compile-fail
+// expect-error: nodiscard
+//
+// Discarding a Result<T> is discarding both the value and any error.
+#include "common/status.h"
+
+namespace {
+
+rlbench::Result<int> ParseCount() { return 42; }
+
+}  // namespace
+
+int main() {
+  ParseCount();  // BAD: Result (and its Status) dropped
+  return 0;
+}

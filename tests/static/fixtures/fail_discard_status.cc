@@ -1,0 +1,20 @@
+// compile-fail
+// expect-error: nodiscard
+//
+// Discarding a Status returned by a function call must not compile: the
+// error it carried is gone, which is exactly the silently-dropped-IO-error
+// class of bug the [[nodiscard]] rollout exists to prevent.
+#include "common/status.h"
+
+namespace {
+
+rlbench::Status MightFail() {
+  return rlbench::Status::IOError("disk on fire");
+}
+
+}  // namespace
+
+int main() {
+  MightFail();  // BAD: Status dropped on the floor
+  return 0;
+}

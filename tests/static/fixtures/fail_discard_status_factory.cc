@@ -1,0 +1,12 @@
+// compile-fail
+// expect-error: nodiscard
+//
+// Even a bare factory temporary must not be discardable — this form shows
+// up when an error path is stubbed out ("construct the status, forget to
+// return it").
+#include "common/status.h"
+
+int main() {
+  rlbench::Status::IOError("constructed and forgotten");  // BAD
+  return 0;
+}

@@ -1,0 +1,28 @@
+// compile-fail
+// requires-clang
+// expect-error: guarded_by|requires holding
+//
+// Writing a guarded field without its mutex is the core race the
+// annotation layer exists to catch at compile time.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {  // BAD: no lock taken
+    ++value_;
+  }
+
+ private:
+  rlbench::Mutex mu_;
+  int value_ RLBENCH_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -1,0 +1,24 @@
+// compile-fail
+// requires-clang
+// expect-error: still held|expecting mutex
+//
+// A manual Lock() with an early return leaks the mutex; RAII MutexLock is
+// the required idiom, and the analysis proves the point.
+#include "common/thread_annotations.h"
+
+namespace {
+
+rlbench::Mutex mu;
+int value RLBENCH_GUARDED_BY(mu) = 0;
+
+int Leak(bool fast) {
+  mu.Lock();
+  if (fast) return value;  // BAD: returns with mu held
+  int v = value;
+  mu.Unlock();
+  return v;
+}
+
+}  // namespace
+
+int main() { return Leak(false); }

@@ -1,0 +1,30 @@
+// compile-fail
+// requires-clang
+// expect-error: requires holding
+//
+// Calling a RLBENCH_REQUIRES function without holding the mutex violates
+// its locking precondition.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Store {
+ public:
+  void PutLocked(int v) RLBENCH_REQUIRES(mu_) { value_ = v; }
+
+  void Caller() {
+    PutLocked(7);  // BAD: mu_ not held
+  }
+
+ private:
+  rlbench::Mutex mu_;
+  int value_ RLBENCH_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Store store;
+  store.Caller();
+  return 0;
+}

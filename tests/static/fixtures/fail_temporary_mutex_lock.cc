@@ -1,0 +1,20 @@
+// compile-fail
+// expect-error: nodiscard
+//
+// The classic scoped-lock bug: an unnamed temporary unlocks at the
+// semicolon, so the "critical section" below it runs unlocked. The
+// [[nodiscard]] constructor turns it into a diagnostic on GCC and Clang
+// alike; under Clang the thread-safety analysis catches the unlocked
+// access too.
+#include "common/thread_annotations.h"
+
+namespace {
+rlbench::Mutex mu;
+int counter = 0;
+}  // namespace
+
+int main() {
+  rlbench::MutexLock{&mu};  // BAD: lock dies immediately
+  ++counter;                // runs without the lock held
+  return counter;
+}

@@ -1,0 +1,43 @@
+// compile-ok
+//
+// Control fixture: correctly locked guarded state compiles cleanly under
+// the thread-safety flags — the analysis accepts the annotated idioms
+// (MutexLock scope, REQUIRES callee under a held lock, CondVar wait loop).
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Box {
+ public:
+  void Put(int v) {
+    rlbench::MutexLock lock(&mu_);
+    value_ = v;
+    filled_ = true;
+    cv_.NotifyAll();
+  }
+
+  int Take() {
+    rlbench::MutexLock lock(&mu_);
+    while (!filled_) cv_.Wait(&mu_);
+    return TakeLocked();
+  }
+
+ private:
+  int TakeLocked() RLBENCH_REQUIRES(mu_) {
+    filled_ = false;
+    return value_;
+  }
+
+  rlbench::Mutex mu_;
+  rlbench::CondVar cv_;
+  int value_ RLBENCH_GUARDED_BY(mu_) = 0;
+  bool filled_ RLBENCH_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Box box;
+  box.Put(7);
+  return box.Take() == 7 ? 0 : 1;
+}

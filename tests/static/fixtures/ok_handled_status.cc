@@ -1,0 +1,29 @@
+// compile-ok
+//
+// Control fixture: proves the harness compiles well-formed code under the
+// exact flags the fail_* fixtures run with (so a must-fail result means
+// the misuse failed, not a broken include path or flag).
+#include "common/status.h"
+
+namespace {
+
+rlbench::Status MightFail(bool fail) {
+  if (fail) return rlbench::Status::IOError("nope");
+  return rlbench::Status::OK();
+}
+
+rlbench::Result<int> ParseCount() { return 42; }
+
+rlbench::Status Caller() {
+  RLBENCH_RETURN_NOT_OK(MightFail(false));
+  RLBENCH_ASSIGN_OR_RETURN(int count, ParseCount());
+  if (count != 42) return rlbench::Status::Internal("bad count");
+  return rlbench::Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  rlbench::Status status = Caller();
+  return status.ok() ? 0 : 1;
+}

@@ -1,6 +1,11 @@
 #!/usr/bin/env python3
 """Repo lint for rlbench: project invariants clang-tidy cannot express.
 
+Engine v2: every rule is a Rule object carrying its checker plus positive
+and negative fixtures; `--self-test` runs each rule against its fixtures,
+so a rule that silently stops firing (regex rot, refactored allowlist)
+fails in ctest instead of letting violations through.
+
 Rules:
   guard         every header under src/ and bench/ opens with an include
                 guard derived from its repo-relative path
@@ -13,6 +18,23 @@ Rules:
                 ParallelFor / ParallelReduce so results stay deterministic
                 (std::thread::id and hardware_concurrency are inert and
                 exempt)
+  detach        no thread .detach() anywhere: a detached thread outlives
+                every shutdown contract in the codebase (pool teardown,
+                serve drain, trace/metric flush) and turns clean exits
+                into races
+  locks         no raw std::mutex / condition_variable / lock_guard /
+                unique_lock / scoped_lock outside
+                common/thread_annotations.h; all locking flows through
+                rlbench::Mutex / MutexLock / CondVar so the Clang
+                thread-safety analysis sees the whole lock graph. Files
+                declaring a Mutex member must carry at least one
+                RLBENCH_GUARDED_BY annotation (a mutex that guards
+                nothing the analysis can check is a smell)
+  nodiscard     status-returning declarations in headers must be
+                [[nodiscard]], and `(void)` casts of call expressions are
+                banned in src/ and bench/ — a dropped Status is a dropped
+                error; handle it or propagate with RLBENCH_RETURN_NOT_OK /
+                RLBENCH_ASSIGN_OR_RETURN
   chrono        no direct std::chrono outside common/stopwatch.h,
                 src/obs/, and src/data/file_source.cc (retry backoff);
                 all timing flows through Stopwatch or the observability
@@ -32,70 +54,58 @@ Rules:
                 build and rot)
 
 Exit status: 0 when clean, 1 with one "path:line: message" per violation.
+With --self-test: 0 when every rule's fixtures behave, 1 otherwise.
 """
 
 import argparse
 import pathlib
 import re
 import sys
+import tempfile
 
 HEADER_DIRS = ("src", "bench")
 SOURCE_DIRS = ("src", "bench", "tests", "examples", "tools")
-RNG_ALLOWLIST = {"src/common/rng.h", "src/common/rng.cc"}
-RNG_PATTERNS = [
-    (re.compile(r"\bstd::rand\b"), "std::rand is banned; use rlbench::Rng"),
-    (re.compile(r"(?<![\w:])srand\s*\("), "srand is banned; use rlbench::Rng"),
-    (re.compile(r"\bstd::random_device\b"),
-     "std::random_device is non-deterministic; seed rlbench::Rng explicitly"),
-    (re.compile(r"\bstd::mt19937(_64)?\b"),
-     "raw std::mt19937 outside common/rng; draw through rlbench::Rng"),
-]
-# tests/obs/trace_test.cc spawns one raw thread on purpose: it asserts
-# that per-thread trace tracks are named, which ParallelFor cannot pin to
-# a specific OS thread.
-THREAD_ALLOWLIST = {"src/common/parallel.cc", "tests/obs/trace_test.cc"}
-THREAD_PATTERNS = [
-    # std::thread::id / ::hardware_concurrency are inert (no thread is
-    # spawned); everything else must go through common/parallel.h.
-    (re.compile(r"\bstd::thread\b(?!::(?:id|hardware_concurrency)\b)"),
-     "raw std::thread outside common/parallel; use ParallelFor/Reduce"),
-    (re.compile(r"\bstd::jthread\b"),
-     "raw std::jthread outside common/parallel; use ParallelFor/Reduce"),
-    (re.compile(r"\bstd::async\b"),
-     "std::async outside common/parallel; use ParallelFor/Reduce"),
-]
-CHRONO_ALLOWLIST = {"src/common/stopwatch.h", "src/data/file_source.cc"}
-CHRONO_ALLOWED_PREFIXES = ("src/obs/",)
-CHRONO_PATTERNS = [
-    (re.compile(r"#\s*include\s*<chrono>"),
-     "direct <chrono> outside common/stopwatch.h and src/obs/; time through "
-     "Stopwatch or the obs layer"),
-    (re.compile(r"\bstd::chrono\b"),
-     "direct std::chrono outside common/stopwatch.h and src/obs/; time "
-     "through Stopwatch or the obs layer"),
-]
-FSTREAM_ALLOWLIST = {"src/data/file_source.h", "src/data/file_source.cc"}
-FSTREAM_ALLOWED_PREFIXES = ("src/fault/",)
-FSTREAM_PATTERNS = [
-    (re.compile(r"\bstd::(?:i|o|)fstream\b"),
-     "raw fstream outside data/file_source; read and write through "
-     "data::FileSource so faults and failure semantics stay uniform"),
-]
-SOCKET_ALLOWED_PREFIXES = ("src/serve/net",)
-SOCKET_PATTERNS = [
-    (re.compile(r"#\s*include\s*<(?:sys/socket\.h|netinet/[\w.]+|"
-                r"arpa/inet\.h|poll\.h|sys/epoll\.h|sys/select\.h)>"),
-     "socket/poll headers outside src/serve/net; go through serve::Socket "
-     "and the framed IO helpers"),
-    (re.compile(r"::(?:socket|bind|listen|connect|accept|recv|send|poll)\s*\("),
-     "raw socket call outside src/serve/net; go through serve::Socket and "
-     "the framed IO helpers"),
-]
-USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
 LINE_COMMENT = re.compile(r"//.*$")
 
 
-def guard_name(rel_path: pathlib.PurePosixPath) -> str:
+class Fixture:
+    """One synthetic file a rule is tested against.
+
+    `bad` fixtures must produce at least one violation; good ones none.
+    """
+
+    def __init__(self, rel, text, bad):
+        self.rel = rel
+        self.text = text
+        self.bad = bad
+
+
+class Rule:
+    def __init__(self, name, check, fixtures, headers_only=False):
+        self.name = name
+        self.check = check  # check(rel: str, lines: [str], errors: [str])
+        self.fixtures = fixtures
+        self.headers_only = headers_only
+
+
+def _pattern_check(allowlist, allowed_prefixes, patterns):
+    """Line-scanning checker: flag `patterns` outside the allowlist."""
+
+    def check(rel, lines, errors):
+        if rel in allowlist or rel.startswith(allowed_prefixes):
+            return
+        for i, line in enumerate(lines):
+            code = LINE_COMMENT.sub("", line)
+            for pattern, message in patterns:
+                if pattern.search(code):
+                    errors.append(f"{rel}:{i + 1}: {message}")
+
+    return check
+
+
+# --- guard ------------------------------------------------------------------
+
+def guard_name(rel_path):
     mangled = re.sub(r"[^A-Za-z0-9]", "_", str(rel_path)).upper()
     return f"RLBENCH_{mangled}_"
 
@@ -131,54 +141,248 @@ def check_guard(rel, lines, errors):
                       f"include guard {guard}")
 
 
-def check_rng(rel, lines, errors):
-    if str(rel) in RNG_ALLOWLIST:
-        return
+GUARD_FIXTURES = [
+    Fixture("src/x/y.h", "#ifndef RLBENCH_SRC_X_Y_H_\n"
+            "#define RLBENCH_SRC_X_Y_H_\n#endif  // RLBENCH_SRC_X_Y_H_\n",
+            bad=False),
+    Fixture("src/x/y.h", "#ifndef WRONG_GUARD_H_\n#define WRONG_GUARD_H_\n"
+            "#endif\n", bad=True),
+    Fixture("src/x/y.h", "#pragma once\nint x;\n", bad=True),
+]
+
+# --- rng --------------------------------------------------------------------
+
+RNG_ALLOWLIST = {"src/common/rng.h", "src/common/rng.cc"}
+RNG_PATTERNS = [
+    (re.compile(r"\bstd::rand\b"), "std::rand is banned; use rlbench::Rng"),
+    (re.compile(r"(?<![\w:])srand\s*\("), "srand is banned; use rlbench::Rng"),
+    (re.compile(r"\bstd::random_device\b"),
+     "std::random_device is non-deterministic; seed rlbench::Rng explicitly"),
+    (re.compile(r"\bstd::mt19937(_64)?\b"),
+     "raw std::mt19937 outside common/rng; draw through rlbench::Rng"),
+]
+
+RNG_FIXTURES = [
+    Fixture("src/a/b.cc", "int x = std::rand();\n", bad=True),
+    Fixture("src/a/b.cc", "std::mt19937 gen(7);\n", bad=True),
+    Fixture("src/common/rng.cc", "std::mt19937_64 gen_;\n", bad=False),
+    Fixture("src/a/b.cc", "// std::rand in a comment is fine\n", bad=False),
+]
+
+# --- threads ----------------------------------------------------------------
+
+# tests/obs/trace_test.cc spawns one raw thread on purpose: it asserts
+# that per-thread trace tracks are named, which ParallelFor cannot pin to
+# a specific OS thread. The thread_annotations test needs raw threads to
+# drive real cross-thread contention through Mutex/CondVar.
+THREAD_ALLOWLIST = {"src/common/parallel.cc", "tests/obs/trace_test.cc",
+                    "tests/common/thread_annotations_test.cc"}
+THREAD_PATTERNS = [
+    # std::thread::id / ::hardware_concurrency are inert (no thread is
+    # spawned); everything else must go through common/parallel.h.
+    (re.compile(r"\bstd::thread\b(?!::(?:id|hardware_concurrency)\b)"),
+     "raw std::thread outside common/parallel; use ParallelFor/Reduce"),
+    (re.compile(r"\bstd::jthread\b"),
+     "raw std::jthread outside common/parallel; use ParallelFor/Reduce"),
+    (re.compile(r"\bstd::async\b"),
+     "std::async outside common/parallel; use ParallelFor/Reduce"),
+]
+
+THREAD_FIXTURES = [
+    Fixture("src/a/b.cc", "std::thread t([] {});\n", bad=True),
+    Fixture("src/a/b.cc", "auto n = std::thread::hardware_concurrency();\n",
+            bad=False),
+    Fixture("src/common/parallel.cc", "std::thread t([] {});\n", bad=False),
+]
+
+# --- detach -----------------------------------------------------------------
+
+DETACH_PATTERNS = [
+    (re.compile(r"(?:\.|->)\s*detach\s*\(\s*\)"),
+     "thread detach() is banned: a detached thread outlives every shutdown "
+     "contract (pool teardown, serve drain, obs flush); join it instead"),
+]
+
+
+def check_detach(rel, lines, errors):
     for i, line in enumerate(lines):
         code = LINE_COMMENT.sub("", line)
-        for pattern, message in RNG_PATTERNS:
+        for pattern, message in DETACH_PATTERNS:
             if pattern.search(code):
                 errors.append(f"{rel}:{i + 1}: {message}")
 
 
-def check_threads(rel, lines, errors):
-    if str(rel) in THREAD_ALLOWLIST:
+DETACH_FIXTURES = [
+    Fixture("src/common/parallel.cc", "worker.detach();\n", bad=True),
+    Fixture("src/a/b.cc", "thread_ptr->detach();\n", bad=True),
+    Fixture("src/a/b.cc", "worker.join();\n", bad=False),
+]
+
+# --- locks ------------------------------------------------------------------
+
+LOCKS_ALLOWLIST = {"src/common/thread_annotations.h"}
+LOCKS_PATTERNS = [
+    (re.compile(r"\bstd::(?:recursive_|shared_|timed_)?mutex\b"),
+     "raw std::mutex outside common/thread_annotations.h; use "
+     "rlbench::Mutex so the thread-safety analysis sees the lock"),
+    (re.compile(r"\bstd::condition_variable(?:_any)?\b"),
+     "raw std::condition_variable outside common/thread_annotations.h; "
+     "use rlbench::CondVar"),
+    (re.compile(r"\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"),
+     "raw std lock wrapper outside common/thread_annotations.h; use "
+     "rlbench::MutexLock"),
+]
+MUTEX_MEMBER = re.compile(r"^\s*(?:rlbench::)?Mutex\s+\w+\s*(?:RLBENCH_\w+\s*\([^)]*\)\s*)?;")
+
+
+def check_locks(rel, lines, errors):
+    if rel in LOCKS_ALLOWLIST:
         return
+    # The negative-compilation fixtures are deliberate misuse: policing
+    # their lock hygiene would force them to be correct.
+    if rel.startswith("tests/static/fixtures/"):
+        return
+    declares_mutex = False
+    has_guarded_by = False
     for i, line in enumerate(lines):
         code = LINE_COMMENT.sub("", line)
-        for pattern, message in THREAD_PATTERNS:
+        for pattern, message in LOCKS_PATTERNS:
             if pattern.search(code):
                 errors.append(f"{rel}:{i + 1}: {message}")
+        if MUTEX_MEMBER.match(code):
+            declares_mutex = True
+        if "RLBENCH_GUARDED_BY" in code:
+            has_guarded_by = True
+    if declares_mutex and not has_guarded_by:
+        errors.append(f"{rel}:1: declares a Mutex but no field carries "
+                      f"RLBENCH_GUARDED_BY; annotate what the mutex guards "
+                      f"(see src/common/thread_annotations.h)")
 
 
-def check_chrono(rel, lines, errors):
-    if rel in CHRONO_ALLOWLIST or rel.startswith(CHRONO_ALLOWED_PREFIXES):
-        return
+LOCKS_FIXTURES = [
+    Fixture("src/a/b.cc", "std::mutex mu_;\n", bad=True),
+    Fixture("src/a/b.cc", "std::lock_guard<std::mutex> lock(mu_);\n",
+            bad=True),
+    Fixture("src/a/b.cc", "std::condition_variable cv_;\n", bad=True),
+    Fixture("src/common/thread_annotations.h", "std::mutex mu_;\n",
+            bad=False),
+    Fixture("src/a/b.cc",
+            "Mutex mu_;\nint x_ RLBENCH_GUARDED_BY(mu_) = 0;\n", bad=False),
+    Fixture("src/a/b.cc", "Mutex mu_;\nint x_ = 0;\n", bad=True),
+]
+
+# --- nodiscard --------------------------------------------------------------
+
+STATUS_DECL = re.compile(
+    r"^(\s*)(?:virtual\s+|static\s+|inline\s+|explicit\s+)*"
+    r"(?:rlbench::|common::)?(?:Status|Result<[^;{=]*>)\s+&?[A-Za-z_]\w*\s*\(")
+VOID_CAST_CALL = re.compile(r"\(void\)\s*[A-Za-z_][\w:]*\s*(?:\(|\.|->)")
+# `(void)` discards of calls are checked where real handling is expected;
+# tests legitimately discard in EXPECT_DEATH bodies and failpoint drills.
+VOID_CAST_DIRS = ("src/", "bench/", "examples/")
+
+
+def check_nodiscard(rel, lines, errors):
+    is_header = rel.endswith(".h")
     for i, line in enumerate(lines):
         code = LINE_COMMENT.sub("", line)
-        for pattern, message in CHRONO_PATTERNS:
-            if pattern.search(code):
-                errors.append(f"{rel}:{i + 1}: {message}")
+        if is_header and STATUS_DECL.match(code) and \
+                "[[nodiscard]]" not in code:
+            prev = lines[i - 1] if i > 0 else ""
+            if "[[nodiscard]]" not in prev:
+                errors.append(
+                    f"{rel}:{i + 1}: status-returning declaration must be "
+                    f"[[nodiscard]] (a dropped Status is a dropped error)")
+        if rel.startswith(VOID_CAST_DIRS) and VOID_CAST_CALL.search(code):
+            errors.append(
+                f"{rel}:{i + 1}: explicit `(void)` discard of a call is "
+                f"banned; handle the result or propagate with "
+                f"RLBENCH_RETURN_NOT_OK / RLBENCH_ASSIGN_OR_RETURN")
 
 
-def check_fstream(rel, lines, errors):
-    if rel in FSTREAM_ALLOWLIST or rel.startswith(FSTREAM_ALLOWED_PREFIXES):
-        return
-    for i, line in enumerate(lines):
-        code = LINE_COMMENT.sub("", line)
-        for pattern, message in FSTREAM_PATTERNS:
-            if pattern.search(code):
-                errors.append(f"{rel}:{i + 1}: {message}")
+NODISCARD_FIXTURES = [
+    Fixture("src/a/b.h", "Status Load(const std::string& path);\n", bad=True),
+    Fixture("src/a/b.h", "[[nodiscard]] Status Load(const std::string& p);\n",
+            bad=False),
+    Fixture("src/a/b.h",
+            "[[nodiscard]]\nResult<int> Parse(const std::string& text);\n",
+            bad=False),
+    Fixture("src/a/b.h", "Result<int> Parse(const std::string& text);\n",
+            bad=True),
+    Fixture("src/a/b.h", "virtual Status Train(const Task& task) = 0;\n",
+            bad=True),
+    Fixture("src/a/b.h", "  StatusCode code() const { return code_; }\n",
+            bad=False),
+    Fixture("src/a/b.h", "  Status status;\n", bad=False),
+    Fixture("src/a/b.cc", "(void)WriteAtomic(path, blob);\n", bad=True),
+    Fixture("src/a/b.cc", "(void)source.Write(path, blob);\n", bad=True),
+    Fixture("src/a/b.cc", "(void)unused_arg;\n", bad=False),
+    Fixture("tests/a/b.cc", "(void)RLBENCH_FAULT_POINT(\"t\");\n", bad=False),
+]
 
+# --- chrono -----------------------------------------------------------------
 
-def check_sockets(rel, lines, errors):
-    if rel.startswith(SOCKET_ALLOWED_PREFIXES):
-        return
-    for i, line in enumerate(lines):
-        code = LINE_COMMENT.sub("", line)
-        for pattern, message in SOCKET_PATTERNS:
-            if pattern.search(code):
-                errors.append(f"{rel}:{i + 1}: {message}")
+# trace_test sleeps to age the trace epoch before a re-arm; Stopwatch has
+# no sleep and polling it would burn a core for nothing.
+CHRONO_ALLOWLIST = {"src/common/stopwatch.h", "src/data/file_source.cc",
+                    "src/common/thread_annotations.h",
+                    "tests/obs/trace_test.cc"}
+CHRONO_ALLOWED_PREFIXES = ("src/obs/",)
+CHRONO_PATTERNS = [
+    (re.compile(r"#\s*include\s*<chrono>"),
+     "direct <chrono> outside common/stopwatch.h and src/obs/; time through "
+     "Stopwatch or the obs layer"),
+    (re.compile(r"\bstd::chrono\b"),
+     "direct std::chrono outside common/stopwatch.h and src/obs/; time "
+     "through Stopwatch or the obs layer"),
+]
+
+CHRONO_FIXTURES = [
+    Fixture("src/a/b.cc", "#include <chrono>\n", bad=True),
+    Fixture("src/obs/trace.cc", "std::chrono::steady_clock::now();\n",
+            bad=False),
+    Fixture("src/common/stopwatch.h", "std::chrono::steady_clock::now();\n",
+            bad=False),
+]
+
+# --- fstream ----------------------------------------------------------------
+
+FSTREAM_ALLOWLIST = {"src/data/file_source.h", "src/data/file_source.cc"}
+FSTREAM_ALLOWED_PREFIXES = ("src/fault/",)
+FSTREAM_PATTERNS = [
+    (re.compile(r"\bstd::(?:i|o|)fstream\b"),
+     "raw fstream outside data/file_source; read and write through "
+     "data::FileSource so faults and failure semantics stay uniform"),
+]
+
+FSTREAM_FIXTURES = [
+    Fixture("src/a/b.cc", "std::ofstream out(path);\n", bad=True),
+    Fixture("src/data/file_source.cc", "std::ifstream in(path);\n",
+            bad=False),
+]
+
+# --- sockets ----------------------------------------------------------------
+
+SOCKET_ALLOWED_PREFIXES = ("src/serve/net",)
+SOCKET_PATTERNS = [
+    (re.compile(r"#\s*include\s*<(?:sys/socket\.h|netinet/[\w.]+|"
+                r"arpa/inet\.h|poll\.h|sys/epoll\.h|sys/select\.h)>"),
+     "socket/poll headers outside src/serve/net; go through serve::Socket "
+     "and the framed IO helpers"),
+    (re.compile(r"::(?:socket|bind|listen|connect|accept|recv|send|poll)\s*\("),
+     "raw socket call outside src/serve/net; go through serve::Socket and "
+     "the framed IO helpers"),
+]
+
+SOCKET_FIXTURES = [
+    Fixture("src/a/b.cc", "#include <sys/socket.h>\n", bad=True),
+    Fixture("src/serve/net.cc", "int fd = ::socket(AF_INET, 0, 0);\n",
+            bad=False),
+]
+
+# --- using-ns ---------------------------------------------------------------
+
+USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
 
 
 def check_using_namespace(rel, lines, errors):
@@ -187,6 +391,37 @@ def check_using_namespace(rel, lines, errors):
         if USING_NAMESPACE.search(code):
             errors.append(f"{rel}:{i + 1}: 'using namespace' is banned in "
                           f"headers")
+
+
+USING_NS_FIXTURES = [
+    Fixture("src/a/b.h", "using namespace std;\n", bad=True),
+    Fixture("src/a/b.h", "using rlbench::Status;\n", bad=False),
+]
+
+# --- rule registry ----------------------------------------------------------
+
+RULES = [
+    Rule("guard", check_guard, GUARD_FIXTURES, headers_only=True),
+    Rule("using-ns", check_using_namespace, USING_NS_FIXTURES,
+         headers_only=True),
+    Rule("rng", _pattern_check(RNG_ALLOWLIST, (), RNG_PATTERNS),
+         RNG_FIXTURES),
+    Rule("threads", _pattern_check(THREAD_ALLOWLIST, (), THREAD_PATTERNS),
+         THREAD_FIXTURES),
+    Rule("detach", check_detach, DETACH_FIXTURES),
+    Rule("locks", check_locks, LOCKS_FIXTURES),
+    Rule("nodiscard", check_nodiscard, NODISCARD_FIXTURES),
+    Rule("chrono",
+         _pattern_check(CHRONO_ALLOWLIST, CHRONO_ALLOWED_PREFIXES,
+                        CHRONO_PATTERNS), CHRONO_FIXTURES),
+    Rule("fstream",
+         _pattern_check(FSTREAM_ALLOWLIST, FSTREAM_ALLOWED_PREFIXES,
+                        FSTREAM_PATTERNS), FSTREAM_FIXTURES),
+    Rule("sockets", _pattern_check(set(), SOCKET_ALLOWED_PREFIXES,
+                                   SOCKET_PATTERNS), SOCKET_FIXTURES),
+]
+
+# --- cmake-reg (tree-level, not per-file) -----------------------------------
 
 
 def check_cmake_registration(root, errors):
@@ -203,20 +438,64 @@ def check_cmake_registration(root, errors):
             errors.append(f"{rel}:1: not registered in {cmake_rel}")
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--root", default=".",
-                        help="repository root (default: cwd)")
-    args = parser.parse_args()
-    root = pathlib.Path(args.root).resolve()
+def self_test_cmake_reg():
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        (root / "src" / "a").mkdir(parents=True)
+        (root / "src" / "a" / "used.cc").write_text("int x;\n")
+        (root / "src" / "a" / "orphan.cc").write_text("int y;\n")
+        (root / "src" / "a" / "CMakeLists.txt").write_text(
+            "add_library(a used.cc)\n")
+        errors = []
+        check_cmake_registration(root, errors)
+        if len(errors) != 1 or "orphan.cc" not in errors[0]:
+            failures.append(f"cmake-reg: expected exactly the orphan to be "
+                            f"flagged, got {errors}")
+    return failures
 
+
+def self_test():
+    failures = []
+    for rule in RULES:
+        for j, fixture in enumerate(rule.fixtures):
+            errors = []
+            rule.check(fixture.rel, fixture.text.splitlines(), errors)
+            if fixture.bad and not errors:
+                failures.append(
+                    f"{rule.name}: fixture #{j} ({fixture.rel}) should be "
+                    f"flagged but passed: {fixture.text!r}")
+            elif not fixture.bad and errors:
+                failures.append(
+                    f"{rule.name}: fixture #{j} ({fixture.rel}) should pass "
+                    f"but was flagged: {errors}")
+    failures.extend(self_test_cmake_reg())
+    for failure in failures:
+        print(f"SELF-TEST FAIL: {failure}")
+    total = sum(len(rule.fixtures) for rule in RULES)
+    if failures:
+        print(f"rlbench_lint --self-test: {len(failures)} failure(s) over "
+              f"{total} fixtures + cmake-reg", file=sys.stderr)
+        return 1
+    print(f"rlbench_lint --self-test: {len(RULES) + 1} rules, "
+          f"{total} fixtures + cmake-reg tree fixture: all behave")
+    return 0
+
+
+def lint(root):
     errors = []
+    seen = set()
     for top in HEADER_DIRS:
         for header in sorted((root / top).rglob("*.h")):
-            rel = header.relative_to(root)
+            rel = header.relative_to(root).as_posix()
             lines = header.read_text().splitlines()
-            check_guard(pathlib.PurePosixPath(rel.as_posix()), lines, errors)
-            check_using_namespace(rel.as_posix(), lines, errors)
+            for rule in RULES:
+                if rule.headers_only:
+                    if rule.name == "guard":
+                        rule.check(pathlib.PurePosixPath(rel), lines, errors)
+                    else:
+                        rule.check(rel, lines, errors)
+            seen.add(rel)
     for top in SOURCE_DIRS:
         directory = root / top
         if not directory.is_dir():
@@ -224,15 +503,26 @@ def main() -> int:
         for source in sorted(directory.rglob("*")):
             if source.suffix not in {".h", ".cc", ".cpp"}:
                 continue
-            source_rel = source.relative_to(root).as_posix()
-            source_lines = source.read_text().splitlines()
-            check_rng(source_rel, source_lines, errors)
-            check_threads(source_rel, source_lines, errors)
-            check_chrono(source_rel, source_lines, errors)
-            check_fstream(source_rel, source_lines, errors)
-            check_sockets(source_rel, source_lines, errors)
+            rel = source.relative_to(root).as_posix()
+            lines = source.read_text().splitlines()
+            for rule in RULES:
+                if not rule.headers_only:
+                    rule.check(rel, lines, errors)
     check_cmake_registration(root, errors)
+    return errors
 
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run every rule against its fixtures and exit")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    root = pathlib.Path(args.root).resolve()
+    errors = lint(root)
     for error in errors:
         print(error)
     if errors:
