@@ -1,0 +1,254 @@
+#include "data/columnar.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "text/kernels.h"
+
+namespace rlbench::data {
+
+namespace {
+// Records per chunk in the parallel fill passes; columnar fill per record
+// is a few microseconds, matching the feature-cache warm grain.
+constexpr size_t kBuildGrain = 64;
+}  // namespace
+
+void PackedMatrix::Reset(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0F);
+  sorted_.clear();
+  sorted_built_ = false;
+}
+
+std::span<const float> PackedMatrix::row(size_t r) const {
+  RLBENCH_DCHECK_INDEX(r, rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<float> PackedMatrix::mutable_row(size_t r) {
+  RLBENCH_DCHECK_INDEX(r, rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+void PackedMatrix::BuildSortedRows() {
+  sorted_ = data_;
+  ParallelFor(0, rows_, kBuildGrain, [this](size_t r) {
+    float* begin = sorted_.data() + r * cols_;
+    std::sort(begin, begin + cols_);
+  });
+  sorted_built_ = true;
+}
+
+std::span<const float> PackedMatrix::sorted_row(size_t r) const {
+  RLBENCH_DCHECK(sorted_built_);
+  RLBENCH_DCHECK_INDEX(r, rows_);
+  return {sorted_.data() + r * cols_, cols_};
+}
+
+ColumnarStore::ColumnarStore(const RecordFeatureCache& left,
+                             const RecordFeatureCache& right)
+    : caches_{&left, &right},
+      num_attrs_(left.table().schema().num_attributes()) {
+  RLBENCH_TRACE_SPAN("data/columnar/build");
+  RLBENCH_CHECK_EQ(num_attrs_,
+                   right.table().schema().num_attributes());
+  // Token slots must be complete before the parallel fill reads them; the
+  // re-warm is a no-op when the context already warmed the caches.
+  if (!left.frozen()) left.WarmTokens();
+  if (!right.frozen()) right.WarmTokens();
+  BuildVocab();
+  BuildTokenColumns(kLeft);
+  BuildTokenColumns(kRight);
+  RLBENCH_GAUGE_OBSERVE("columnar/vocab_size", vocab_.size());
+  RLBENCH_COUNTER_ADD("columnar/token_ids", sides_[kLeft].ids_all.size() +
+                                                sides_[kRight].ids_all.size());
+}
+
+void ColumnarStore::BuildVocab() {
+  RLBENCH_TRACE_SPAN("data/columnar/vocab");
+  size_t total = 0;
+  for (const RecordFeatureCache* cache : caches_) {
+    for (size_t r = 0; r < cache->table().size(); ++r) {
+      total += cache->TokenSetAll(r).size();
+    }
+  }
+  vocab_.reserve(total);
+  for (const RecordFeatureCache* cache : caches_) {
+    for (size_t r = 0; r < cache->table().size(); ++r) {
+      const auto& hashes = cache->TokenSetAll(r).hashes();
+      vocab_.insert(vocab_.end(), hashes.begin(), hashes.end());
+    }
+  }
+  std::sort(vocab_.begin(), vocab_.end());
+  vocab_.erase(std::unique(vocab_.begin(), vocab_.end()), vocab_.end());
+  // Rank interning requires ids to fit uint32; a vocabulary past 4B unique
+  // tokens is far outside any benchmark in this repo.
+  RLBENCH_CHECK_LT(vocab_.size(), size_t{UINT32_MAX});
+}
+
+uint32_t ColumnarStore::IdOfHash(uint64_t hash) const {
+  auto it = std::lower_bound(vocab_.begin(), vocab_.end(), hash);
+  if (it == vocab_.end() || *it != hash) {
+    return static_cast<uint32_t>(vocab_.size());
+  }
+  return static_cast<uint32_t>(it - vocab_.begin());
+}
+
+namespace {
+
+/// Map a sorted unique hash array onto its vocabulary ranks. Monotone, so
+/// the output is sorted unique too.
+void MapHashesToIds(const std::vector<uint64_t>& hashes,
+                    const std::vector<uint64_t>& vocab, uint32_t* out) {
+  auto pos = vocab.begin();
+  for (size_t i = 0; i < hashes.size(); ++i) {
+    pos = std::lower_bound(pos, vocab.end(), hashes[i]);
+    RLBENCH_DCHECK(pos != vocab.end() && *pos == hashes[i]);
+    out[i] = static_cast<uint32_t>(pos - vocab.begin());
+  }
+}
+
+}  // namespace
+
+void ColumnarStore::BuildTokenColumns(size_t side) {
+  RLBENCH_TRACE_SPAN("data/columnar/token_columns");
+  const RecordFeatureCache& cache = *caches_[side];
+  const Table& table = cache.table();
+  SideColumns& c = sides_[side];
+  size_t n = table.size();
+  size_t attrs = num_attrs_;
+  c.records = n;
+
+  // Sizing pass: every offset is fixed here, so the parallel fill below
+  // writes disjoint, pre-addressed slices (bit-identical at any thread
+  // count).
+  c.ids_all_off.assign(n + 1, 0);
+  c.ids_attr_off.assign(n * attrs + 1, 0);
+  c.token_seq_off.assign(n * attrs + 1, 0);
+  std::vector<size_t> token_byte_off(n * attrs + 1, 0);
+  std::vector<size_t> lowered_off(n * attrs + 1, 0);
+  for (size_t r = 0; r < n; ++r) {
+    c.ids_all_off[r + 1] = c.ids_all_off[r] + cache.TokenSetAll(r).size();
+    for (size_t a = 0; a < attrs; ++a) {
+      size_t slot = r * attrs + a;
+      c.ids_attr_off[slot + 1] =
+          c.ids_attr_off[slot] + cache.TokenSetAttr(r, a).size();
+      const auto& tokens = cache.TokensAttr(r, a);
+      size_t bytes = 0;
+      for (const auto& t : tokens) bytes += t.size();
+      c.token_seq_off[slot + 1] = c.token_seq_off[slot] + tokens.size();
+      token_byte_off[slot + 1] = token_byte_off[slot] + bytes;
+      lowered_off[slot + 1] =
+          lowered_off[slot] + table.record(r).values[a].size();
+    }
+  }
+
+  c.ids_all.resize(c.ids_all_off[n]);
+  c.ids_attr.resize(c.ids_attr_off[n * attrs]);
+  c.token_views.resize(c.token_seq_off[n * attrs]);
+  c.token_chars.resize(token_byte_off[n * attrs]);
+  c.lowered_chars.resize(lowered_off[n * attrs]);
+  c.lowered_views.resize(n * attrs);
+  c.values.resize(n * attrs);
+  c.numeric_ok.assign(n * attrs, 0);
+  c.numeric_val.assign(n * attrs, 0.0);
+
+  ParallelFor(0, n, kBuildGrain, [&](size_t r) {
+    MapHashesToIds(cache.TokenSetAll(r).hashes(), vocab_,
+                   c.ids_all.data() + c.ids_all_off[r]);
+    for (size_t a = 0; a < attrs; ++a) {
+      size_t slot = r * attrs + a;
+      MapHashesToIds(cache.TokenSetAttr(r, a).hashes(), vocab_,
+                     c.ids_attr.data() + c.ids_attr_off[slot]);
+      const auto& tokens = cache.TokensAttr(r, a);
+      size_t byte_pos = token_byte_off[slot];
+      for (size_t t = 0; t < tokens.size(); ++t) {
+        std::copy(tokens[t].begin(), tokens[t].end(),
+                  c.token_chars.begin() + byte_pos);
+        c.token_views[c.token_seq_off[slot] + t] =
+            std::string_view(c.token_chars.data() + byte_pos,
+                             tokens[t].size());
+        byte_pos += tokens[t].size();
+      }
+      const std::string& value = table.record(r).values[a];
+      c.values[slot] = value;
+      std::string lowered = ToLowerAscii(value);
+      std::copy(lowered.begin(), lowered.end(),
+                c.lowered_chars.begin() + lowered_off[slot]);
+      c.lowered_views[slot] = std::string_view(
+          c.lowered_chars.data() + lowered_off[slot], lowered.size());
+      double parsed = 0.0;
+      if (text::kernels::ParseNumeric(value, &parsed)) {
+        c.numeric_ok[slot] = 1;
+        c.numeric_val[slot] = parsed;
+      }
+    }
+  });
+}
+
+void ColumnarStore::EnsureQGrams() const {
+  if (qgrams_built_) return;
+  RLBENCH_TRACE_SPAN("data/columnar/qgrams");
+  for (const RecordFeatureCache* cache : caches_) {
+    if (!cache->frozen()) cache->WarmQGrams();
+  }
+  BuildQGramColumns(kLeft);
+  BuildQGramColumns(kRight);
+  qgrams_built_ = true;
+  RLBENCH_COUNTER_ADD("columnar/qgram_hashes",
+                      sides_[kLeft].qgram_all.size() +
+                          sides_[kRight].qgram_all.size());
+}
+
+void ColumnarStore::BuildQGramColumns(size_t side) const {
+  const RecordFeatureCache& cache = *caches_[side];
+  SideColumns& c = sides_[side];
+  size_t n = c.records;
+  size_t attrs = num_attrs_;
+
+  c.qgram_all_off.assign(n * kNumQ + 1, 0);
+  c.qgram_attr_off.assign(n * attrs * kNumQ + 1, 0);
+  for (size_t r = 0; r < n; ++r) {
+    for (int q = kMinQ; q <= kMaxQ; ++q) {
+      size_t qi = static_cast<size_t>(q - kMinQ);
+      size_t slot = r * kNumQ + qi;
+      c.qgram_all_off[slot + 1] =
+          c.qgram_all_off[slot] + cache.QGramSetAll(r, q).size();
+      for (size_t a = 0; a < attrs; ++a) {
+        size_t attr_slot = (r * attrs + a) * kNumQ + qi;
+        c.qgram_attr_off[attr_slot + 1] = cache.QGramSetAttr(r, a, q).size();
+      }
+    }
+  }
+  // The attr sizing above stored per-slot sizes; prefix-sum them serially
+  // (the nested loop order over (r, q, a) differs from slot order, so the
+  // running sum cannot be kept inline there).
+  for (size_t s = 0; s < n * attrs * kNumQ; ++s) {
+    c.qgram_attr_off[s + 1] += c.qgram_attr_off[s];
+  }
+
+  c.qgram_all.resize(c.qgram_all_off[n * kNumQ]);
+  c.qgram_attr.resize(c.qgram_attr_off[n * attrs * kNumQ]);
+
+  ParallelFor(0, n, kBuildGrain, [&](size_t r) {
+    for (int q = kMinQ; q <= kMaxQ; ++q) {
+      size_t qi = static_cast<size_t>(q - kMinQ);
+      const auto& all = cache.QGramSetAll(r, q).hashes();
+      std::copy(all.begin(), all.end(),
+                c.qgram_all.begin() + c.qgram_all_off[r * kNumQ + qi]);
+      for (size_t a = 0; a < attrs; ++a) {
+        size_t attr_slot = (r * attrs + a) * kNumQ + qi;
+        const auto& hashes = cache.QGramSetAttr(r, a, q).hashes();
+        std::copy(hashes.begin(), hashes.end(),
+                  c.qgram_attr.begin() + c.qgram_attr_off[attr_slot]);
+      }
+    }
+  });
+}
+
+}  // namespace rlbench::data

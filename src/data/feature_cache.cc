@@ -153,6 +153,8 @@ void RecordFeatureCache::FillQGramSlots(Entry& e, size_t record) const {
 
 void RecordFeatureCache::WarmTokens() const {
   RLBENCH_CHECK_MSG(!frozen_, "WarmTokens on a frozen RecordFeatureCache");
+  if (tokens_warmed_) return;
+  tokens_warmed_ = true;
   RLBENCH_TRACE_SPAN("feature_cache/warm_tokens");
   RLBENCH_COUNTER_ADD("feature_cache/warmed_token_records", entries_.size());
   RLBENCH_GAUGE_OBSERVE("feature_cache/entries", entries_.size());
@@ -168,6 +170,8 @@ void RecordFeatureCache::WarmTokens() const {
 
 void RecordFeatureCache::WarmQGrams() const {
   RLBENCH_CHECK_MSG(!frozen_, "WarmQGrams on a frozen RecordFeatureCache");
+  if (qgrams_warmed_) return;
+  qgrams_warmed_ = true;
   RLBENCH_TRACE_SPAN("feature_cache/warm_qgrams");
   RLBENCH_COUNTER_ADD("feature_cache/warmed_qgram_records", entries_.size());
   RLBENCH_GAUGE_OBSERVE("feature_cache/entries", entries_.size());

@@ -110,6 +110,13 @@ class RecordFeatureCache {
   const Table* table_;
   mutable std::vector<Entry> entries_;
   mutable bool frozen_ = false;
+  // Warm*() is idempotent and gets re-invoked from both the row path
+  // (MatchingContext construction) and the batch paths (ESDE warm-up,
+  // ColumnarStore build). These flags make the re-warms O(1) no-ops and
+  // keep the feature_cache/warmed_*_records counters exact — each record
+  // population is counted once, not once per caller.
+  mutable bool tokens_warmed_ = false;
+  mutable bool qgrams_warmed_ = false;
 };
 
 }  // namespace rlbench::data

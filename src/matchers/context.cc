@@ -20,6 +20,9 @@ MatchingContext::MatchingContext(const data::MatchingTask* task)
     left_.WarmTokens();
     right_.WarmTokens();
   }
+  // Token columns are shared by every batch extractor below; q-gram pools
+  // are built on demand (EnsureQGrams) by the variants that need them.
+  columnar_.emplace(left_, right_);
   RLBENCH_TRACE_SPAN("context/tfidf");
   for (size_t i = 0; i < task->left().size(); ++i) {
     tfidf_.AddDocument(left_.Tokens(i));
@@ -43,11 +46,12 @@ void MatchingContext::EnsureMagellan() const {
   auto build = [&](const std::vector<data::LabeledPair>& pairs) {
     // dim > 0 is an invariant here: every task reaching a matcher went
     // through schema validation (>= 1 attribute) at build or import time.
+    // Rows are extracted through the columnar kernels (bit-identical to
+    // the row-oriented MagellanFeatures — the differential tests pin it)
+    // straight into the dataset row, with no per-pair allocation.
     auto dataset = ml::Dataset::BuildParallel(
         dim, pairs.size(), [&](size_t i, std::span<float> row) {
-          auto features = MagellanFeatures(left_, right_, pairs[i]);
-          RLBENCH_DCHECK_EQ(features.size(), row.size());
-          std::copy(features.begin(), features.end(), row.begin());
+          MagellanFeaturesColumnar(*columnar_, pairs[i], row);
           return pairs[i].is_match;
         });
     RLBENCH_CHECK(dataset.ok());

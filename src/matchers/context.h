@@ -8,6 +8,7 @@
 #include <memory>
 #include <optional>
 
+#include "data/columnar.h"
 #include "data/feature_cache.h"
 #include "data/task.h"
 #include "ml/dataset.h"
@@ -25,6 +26,11 @@ class MatchingContext {
   const data::RecordFeatureCache& right() const { return right_; }
   const text::TfIdfModel& tfidf() const { return tfidf_; }
 
+  /// Columnar view over both tables (token columns built with the context;
+  /// q-gram pools on demand via columnar().EnsureQGrams()). Batch feature
+  /// extraction reads this; the row caches above stay the cold-path API.
+  const data::ColumnarStore& columnar() const { return *columnar_; }
+
   /// Magellan feature datasets for train / valid / test, built on first use
   /// and cached (shared by the four Magellan variants and ZeroER).
   const ml::Dataset& MagellanTrain() const;
@@ -37,6 +43,7 @@ class MatchingContext {
   const data::MatchingTask* task_;
   data::RecordFeatureCache left_;
   data::RecordFeatureCache right_;
+  std::optional<data::ColumnarStore> columnar_;
   text::TfIdfModel tfidf_;
   mutable std::optional<ml::Dataset> magellan_train_;
   mutable std::optional<ml::Dataset> magellan_valid_;

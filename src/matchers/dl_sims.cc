@@ -446,10 +446,10 @@ std::vector<uint8_t> DlMatcher::Run(const MatchingContext& context) {
   ml::Mlp mlp(mlp_options);
   mlp.Fit(train, valid);
 
+  // Batched panel scoring through the affine kernels — bit-identical to a
+  // per-row PredictScore loop (the differential tests pin it).
   std::vector<double> scores(test.size());
-  for (size_t i = 0; i < test.size(); ++i) {
-    scores[i] = mlp.PredictScore(test.row(i));
-  }
+  mlp.PredictScoresBatch(test, scores);
 
   if (method_ == DlMethod::kGnem) {
     // Global step: reason jointly over all candidate pairs that share a

@@ -6,6 +6,7 @@
 #include "ml/metrics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "text/kernels.h"
 #include "text/similarity.h"
 
 namespace rlbench::matchers {
@@ -19,6 +20,10 @@ constexpr int kNumQ = kMaxQ - kMinQ + 1;
 // Chunk of candidate pairs per dispatch in the batch-extraction loops.
 constexpr size_t kPairGrain = 256;
 
+// Scalar-reference fallback: used only when the columnar q-gram pools are
+// not built (single-pair serve scoring on a cold context). The batch paths
+// go through the SetSims overload below, which computes the same triple
+// bit-exactly from ONE merge scan instead of three.
 void PushSetSims(const text::TokenSet& a, const text::TokenSet& b,
                  std::vector<double>* out) {
   out->push_back(text::CosineSimilarity(a, b));
@@ -26,11 +31,20 @@ void PushSetSims(const text::TokenSet& a, const text::TokenSet& b,
   out->push_back(text::JaccardSimilarity(a, b));
 }
 
-void PushVecSims(const embed::Vec& a, const embed::Vec& b,
-                 std::vector<double>* out) {
-  out->push_back(embed::CosineSimilarity01(a, b));
-  out->push_back(embed::EuclideanSimilarity(a, b));
-  out->push_back(embed::WassersteinSimilarity(a, b));
+void PushSetSims(text::kernels::SetSims sims, std::vector<double>* out) {
+  out->push_back(sims.cosine);
+  out->push_back(sims.dice);
+  out->push_back(sims.jaccard);
+}
+
+// (vec, sorted-vec) pairs feed the span kernels; the Wasserstein sort is
+// hoisted out of the pair loop into the record-level caches.
+void PushVecSims(std::span<const float> a, std::span<const float> b,
+                 std::span<const float> sorted_a,
+                 std::span<const float> sorted_b, std::vector<double>* out) {
+  out->push_back(text::kernels::CosineSimilarity01Span(a, b));
+  out->push_back(text::kernels::EuclideanSimilaritySpan(a, b));
+  out->push_back(text::kernels::WassersteinFromSorted(sorted_a, sorted_b));
 }
 
 // Feature extraction shared by the live matcher (cached record vectors)
@@ -44,43 +58,66 @@ std::vector<double> EsdeFeaturesWith(const MatchingContext& context,
                                      EsdeVariant variant,
                                      const data::LabeledPair& pair,
                                      VecProvider&& vec) {
+  namespace k = text::kernels;
+  constexpr size_t kL = data::ColumnarStore::kLeft;
+  constexpr size_t kR = data::ColumnarStore::kRight;
   const auto& left = context.left();
   const auto& right = context.right();
+  const data::ColumnarStore& store = context.columnar();
   size_t num_attrs = context.task().left().schema().num_attributes();
   std::vector<double> features;
   switch (variant) {
     case EsdeVariant::kSchemaAgnostic:
-      PushSetSims(left.TokenSetAll(pair.left), right.TokenSetAll(pair.right),
+      PushSetSims(k::SetFamilySortedU32(store.TokenIdsAll(kL, pair.left),
+                                        store.TokenIdsAll(kR, pair.right)),
                   &features);
       break;
     case EsdeVariant::kSchemaBased:
       for (size_t a = 0; a < num_attrs; ++a) {
-        PushSetSims(left.TokenSetAttr(pair.left, a),
-                    right.TokenSetAttr(pair.right, a), &features);
+        PushSetSims(
+            k::SetFamilySortedU32(store.TokenIdsAttr(kL, pair.left, a),
+                                  store.TokenIdsAttr(kR, pair.right, a)),
+            &features);
       }
       break;
     case EsdeVariant::kSchemaAgnosticQgram:
       for (int q = kMinQ; q <= kMaxQ; ++q) {
-        PushSetSims(left.QGramSetAll(pair.left, q),
-                    right.QGramSetAll(pair.right, q), &features);
+        if (store.qgrams_built()) {
+          PushSetSims(k::SetFamilySortedU64(store.QGramAll(kL, pair.left, q),
+                                            store.QGramAll(kR, pair.right, q)),
+                      &features);
+        } else {
+          PushSetSims(left.QGramSetAll(pair.left, q),
+                      right.QGramSetAll(pair.right, q), &features);
+        }
       }
       break;
     case EsdeVariant::kSchemaBasedQgram:
       for (size_t a = 0; a < num_attrs; ++a) {
         for (int q = kMinQ; q <= kMaxQ; ++q) {
-          PushSetSims(left.QGramSetAttr(pair.left, a, q),
-                      right.QGramSetAttr(pair.right, a, q), &features);
+          if (store.qgrams_built()) {
+            PushSetSims(
+                k::SetFamilySortedU64(store.QGramAttr(kL, pair.left, a, q),
+                                      store.QGramAttr(kR, pair.right, a, q)),
+                &features);
+          } else {
+            PushSetSims(left.QGramSetAttr(pair.left, a, q),
+                        right.QGramSetAttr(pair.right, a, q), &features);
+          }
         }
       }
       break;
-    case EsdeVariant::kSchemaAgnosticSent:
-      PushVecSims(vec(true, pair.left, -1), vec(false, pair.right, -1),
-                  &features);
+    case EsdeVariant::kSchemaAgnosticSent: {
+      auto l = vec(true, pair.left, -1);
+      auto r = vec(false, pair.right, -1);
+      PushVecSims(l.first, r.first, l.second, r.second, &features);
       break;
+    }
     case EsdeVariant::kSchemaBasedSent:
       for (size_t a = 0; a < num_attrs; ++a) {
-        PushVecSims(vec(true, pair.left, static_cast<int>(a)),
-                    vec(false, pair.right, static_cast<int>(a)), &features);
+        auto l = vec(true, pair.left, static_cast<int>(a));
+        auto r = vec(false, pair.right, static_cast<int>(a));
+        PushVecSims(l.first, r.first, l.second, r.second, &features);
       }
       break;
   }
@@ -119,6 +156,8 @@ class TrainedEsdeModel final : public TrainedModel {
 
   double ScorePair(const MatchingContext& context,
                    const data::LabeledPair& pair) const override {
+    // The lambda returns an owned (vec, sorted-vec) pair; EsdeFeaturesWith
+    // keeps it alive across the span kernels.
     auto features = EsdeFeaturesWith(
         context, variant_, pair, [&](bool left_side, uint32_t record,
                                      int attr) {
@@ -139,6 +178,9 @@ class TrainedEsdeModel final : public TrainedModel {
       case EsdeVariant::kSchemaBasedQgram:
         context.left().WarmQGrams();
         context.right().WarmQGrams();
+        // Batch scoring reads the contiguous pools; single-pair scoring on
+        // a store without pools falls back to the row caches warmed above.
+        context.columnar().EnsureQGrams();
         break;
       case EsdeVariant::kSchemaAgnosticSent:
       case EsdeVariant::kSchemaBasedSent:
@@ -161,17 +203,23 @@ class TrainedEsdeModel final : public TrainedModel {
   }
 
  private:
-  embed::Vec EncodeRecord(const MatchingContext& context, bool left_side,
-                          uint32_t record, int attr) const {
+  std::pair<embed::Vec, embed::Vec> EncodeRecord(const MatchingContext& context,
+                                                 bool left_side,
+                                                 uint32_t record,
+                                                 int attr) const {
     const data::Table& table =
         left_side ? context.task().left() : context.task().right();
     const std::string text =
         attr < 0 ? table.record(record).ConcatenatedValues()
                  : table.record(record).values[static_cast<size_t>(attr)];
     embed::Vec vec = encoder_.Encode(text);
-    // Same empty-text fallback as EsdeMatcher::RecordVec.
+    // Same empty-text fallback as the live matcher's packed cache.
     if (vec.empty()) vec.assign(encoder_.dim(), 0.0F);
-    return vec;
+    // Sorted copy for the Wasserstein kernel: same bits as the packed
+    // cache's sorted shadow, so live and snapshot scoring stay identical.
+    embed::Vec sorted = vec;
+    std::sort(sorted.begin(), sorted.end());
+    return {std::move(vec), std::move(sorted)};
   }
 
   EsdeVariant variant_;
@@ -190,40 +238,58 @@ EsdeMatcher::EsdeMatcher(EsdeVariant variant, EsdeOptions options)
       options_(options),
       encoder_(options.sentence_dim, options.seed) {}
 
-const embed::Vec& EsdeMatcher::RecordVec(const MatchingContext& context,
-                                         bool left_side, uint32_t record,
-                                         int attr) {
-  if (vec_cache_.empty()) {
-    size_t num_attrs = context.task().left().schema().num_attributes();
-    vec_cache_.assign(
-        2, std::vector<std::vector<embed::Vec>>(num_attrs + 1));
-    vec_cache_[0].assign(num_attrs + 1,
-                         std::vector<embed::Vec>(context.task().left().size()));
-    vec_cache_[1].assign(
-        num_attrs + 1, std::vector<embed::Vec>(context.task().right().size()));
+void EsdeMatcher::WarmSentenceVectors(const MatchingContext& context) {
+  size_t num_attrs = context.task().left().schema().num_attributes();
+  vec_slots_per_side_ = num_attrs + 1;
+  vec_pack_.resize(2 * vec_slots_per_side_);
+  std::vector<int> attrs;
+  if (variant_ == EsdeVariant::kSchemaAgnosticSent) {
+    attrs.push_back(-1);
+  } else {
+    for (size_t a = 0; a < num_attrs; ++a) attrs.push_back(static_cast<int>(a));
   }
-  size_t side = left_side ? 0 : 1;
-  size_t slot = static_cast<size_t>(attr + 1);
-  embed::Vec& vec = vec_cache_[side][slot][record];
-  if (vec.empty()) {
+  for (bool left_side : {true, false}) {
     const data::Table& table =
         left_side ? context.task().left() : context.task().right();
-    const std::string text =
-        attr < 0 ? table.record(record).ConcatenatedValues()
-                 : table.record(record).values[static_cast<size_t>(attr)];
-    vec = encoder_.Encode(text);
-    if (vec.empty()) vec.assign(encoder_.dim(), 0.0F);
+    size_t side = left_side ? 0 : 1;
+    for (int attr : attrs) {
+      data::PackedMatrix& pack =
+          vec_pack_[side * vec_slots_per_side_ + static_cast<size_t>(attr + 1)];
+      pack.Reset(table.size(), encoder_.dim());
+      ParallelFor(0, table.size(), 64, [&](size_t r) {
+        const std::string text =
+            attr < 0 ? table.record(r).ConcatenatedValues()
+                     : table.record(r).values[static_cast<size_t>(attr)];
+        embed::Vec vec = encoder_.Encode(text);
+        // Empty text encodes to the zero vector, which is what Reset
+        // zero-filled the row with already.
+        if (!vec.empty()) {
+          auto row = pack.mutable_row(r);
+          std::copy(vec.begin(), vec.end(), row.begin());
+        }
+      });
+      pack.BuildSortedRows();
+    }
   }
-  return vec;
+}
+
+std::pair<std::span<const float>, std::span<const float>>
+EsdeMatcher::RecordSpans(bool left_side, uint32_t record, int attr) const {
+  size_t side = left_side ? 0 : 1;
+  const data::PackedMatrix& pack =
+      vec_pack_[side * vec_slots_per_side_ + static_cast<size_t>(attr + 1)];
+  // WarmCaches fills the pack for every record this variant reads; an
+  // empty matrix here means the two-phase contract was violated.
+  RLBENCH_DCHECK(!pack.empty());
+  return {pack.row(record), pack.sorted_row(record)};
 }
 
 std::vector<double> EsdeMatcher::Features(const MatchingContext& context,
                                           const data::LabeledPair& pair) {
-  return EsdeFeaturesWith(
-      context, variant_, pair,
-      [&](bool left_side, uint32_t record, int attr) -> const embed::Vec& {
-        return RecordVec(context, left_side, record, attr);
-      });
+  return EsdeFeaturesWith(context, variant_, pair,
+                          [&](bool left_side, uint32_t record, int attr) {
+                            return RecordSpans(left_side, record, attr);
+                          });
 }
 
 double EsdeMatcher::SingleFeature(const MatchingContext& context,
@@ -247,33 +313,15 @@ void EsdeMatcher::WarmCaches(const MatchingContext& context) {
     case EsdeVariant::kSchemaBasedQgram:
       context.left().WarmQGrams();
       context.right().WarmQGrams();
+      // Contiguous sorted q-gram pools for the merge-scan kernels.
+      context.columnar().EnsureQGrams();
       break;
     case EsdeVariant::kSchemaAgnosticSent:
-    case EsdeVariant::kSchemaBasedSent: {
-      // Pre-encode every record vector the variant reads; afterwards the
-      // batch loops only hit immutable cache slots.
-      size_t num_attrs = context.task().left().schema().num_attributes();
-      std::vector<int> attrs;
-      if (variant_ == EsdeVariant::kSchemaAgnosticSent) {
-        attrs.push_back(-1);
-      } else {
-        for (size_t a = 0; a < num_attrs; ++a) {
-          attrs.push_back(static_cast<int>(a));
-        }
-      }
-      if (context.task().left().size() == 0) break;
-      RecordVec(context, true, 0, attrs[0]);  // allocate the cache shape
-      for (bool left_side : {true, false}) {
-        size_t records = left_side ? context.task().left().size()
-                                   : context.task().right().size();
-        for (int attr : attrs) {
-          ParallelFor(0, records, 64, [&](size_t r) {
-            RecordVec(context, left_side, static_cast<uint32_t>(r), attr);
-          });
-        }
-      }
+    case EsdeVariant::kSchemaBasedSent:
+      // Pre-encode every record vector the variant reads into the packed
+      // matrices; afterwards the batch loops only read immutable rows.
+      WarmSentenceVectors(context);
       break;
-    }
   }
 }
 

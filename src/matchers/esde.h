@@ -7,7 +7,10 @@
 #define RLBENCH_SRC_MATCHERS_ESDE_H_
 
 #include <cstdint>
+#include <span>
+#include <utility>
 
+#include "data/columnar.h"
 #include "embed/sentence_encoder.h"
 #include "matchers/features.h"
 #include "matchers/matcher.h"
@@ -51,20 +54,28 @@ class EsdeMatcher : public Matcher {
   double SingleFeature(const MatchingContext& context,
                        const data::LabeledPair& pair, int feature);
 
-  /// Sentence-embedding caches (built lazily for the SAS/SBS variants).
-  const embed::Vec& RecordVec(const MatchingContext& context, bool left_side,
-                              uint32_t record, int attr);
+  /// Embedding of one record under the packed cache: (row, sorted row)
+  /// views for the vectorized similarity kernels. WarmCaches must have
+  /// filled the pack for this variant first.
+  std::pair<std::span<const float>, std::span<const float>> RecordSpans(
+      bool left_side, uint32_t record, int attr) const;
 
   /// Warm-up half of the two-phase cache contract: bulk-fill every slot
   /// this variant reads (token sets, q-gram sets, or record vectors) so
   /// the batch loops in Run() can read the frozen caches concurrently.
   void WarmCaches(const MatchingContext& context);
 
+  /// Encode every record vector of the SAS/SBS variants into vec_pack_.
+  void WarmSentenceVectors(const MatchingContext& context);
+
   EsdeVariant variant_;
   EsdeOptions options_;
   embed::SentenceEncoder encoder_;
-  // [side][attr+1][record] -> embedding; attr slot 0 is schema-agnostic.
-  std::vector<std::vector<std::vector<embed::Vec>>> vec_cache_;
+  // Packed row-major embeddings, slot [side * (num_attrs + 1) + attr + 1];
+  // slot offset 0 is the schema-agnostic whole-record embedding. Each
+  // matrix carries a coordinate-sorted shadow for the Wasserstein kernel.
+  std::vector<data::PackedMatrix> vec_pack_;
+  size_t vec_slots_per_side_ = 0;
   int best_feature_ = -1;
   double best_threshold_ = 0.0;
   double best_valid_f1_ = 0.0;

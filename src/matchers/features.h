@@ -3,9 +3,11 @@
 #ifndef RLBENCH_SRC_MATCHERS_FEATURES_H_
 #define RLBENCH_SRC_MATCHERS_FEATURES_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
+#include "data/columnar.h"
 #include "data/feature_cache.h"
 #include "data/task.h"
 
@@ -25,6 +27,15 @@ inline constexpr size_t kMaxTokensForMongeElkan = 12;
 std::vector<float> MagellanFeatures(const data::RecordFeatureCache& left,
                                     const data::RecordFeatureCache& right,
                                     const data::LabeledPair& pair);
+
+/// Columnar hot path of MagellanFeatures: same features, bit-identical
+/// values, written straight into `out` (size num_attrs *
+/// kMagellanFeaturesPerAttr) with no per-pair allocation. The row-oriented
+/// overload above stays as the cold-path adapter and the scalar reference
+/// for the differential tests.
+void MagellanFeaturesColumnar(const data::ColumnarStore& store,
+                              const data::LabeledPair& pair,
+                              std::span<float> out);
 
 /// The six ESDE feature families of Section IV-C.
 enum class EsdeVariant {

@@ -106,9 +106,7 @@ class TrainedMagellanModel final : public TrainedModel {
         ml::Dataset rows,
         ml::Dataset::BuildParallel(
             dim, pairs.size(), [&](size_t i, std::span<float> row) {
-              auto features =
-                  MagellanFeatures(context.left(), context.right(), pairs[i]);
-              std::copy(features.begin(), features.end(), row.begin());
+              MagellanFeaturesColumnar(context.columnar(), pairs[i], row);
               return pairs[i].is_match;
             }));
     ParallelFor(0, pairs.size(), kPairGrain, [&](size_t i) {

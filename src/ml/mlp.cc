@@ -1,10 +1,14 @@
 #include "ml/mlp.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "text/kernels.h"
 
 namespace rlbench::ml {
 
@@ -252,6 +256,72 @@ void Mlp::Fit(const Dataset& train, const Dataset& valid) {
   // emit NaN scores downstream.
   for (double w : params_.w1) RLBENCH_CHECK_FINITE(w);
   for (double w : params_.w2) RLBENCH_CHECK_FINITE(w);
+}
+
+void Mlp::PredictScoresBatch(const Dataset& rows, std::span<double> out) const {
+  RLBENCH_CHECK_EQ(out.size(), rows.size());
+  if (rows.empty()) return;
+  RLBENCH_CHECK_EQ(rows.num_features(), input_dim_);
+  namespace k = text::kernels;
+  size_t h = options_.hidden;
+  size_t d = input_dim_;
+  // Rows per panel: large enough that each weight matrix read is amortised
+  // over the whole panel, small enough that the double scratch stays in
+  // cache for typical hidden sizes.
+  constexpr size_t kBlock = 128;
+  size_t blocks = (rows.size() + kBlock - 1) / kBlock;
+  ParallelFor(0, blocks, 1, [&](size_t blk) {
+    size_t begin = blk * kBlock;
+    size_t batch = std::min(rows.size() - begin, kBlock);
+    // One arena per worker thread, sized for a full block so the size never
+    // oscillates: a fresh ~200KB allocation per block costs an mmap plus
+    // page faults every time, while a thread-local arena pays that once and
+    // stays hot across blocks and calls. Every slice is fully overwritten
+    // before it is read.
+    static thread_local std::vector<float> fscratch;
+    static thread_local std::vector<double> dscratch;
+    fscratch.resize(d + d * kBlock);
+    dscratch.resize(4 * h * kBlock + kBlock);
+    float* scaled = fscratch.data();
+    float* xt = scaled + d;
+    double* z1 = dscratch.data();
+    double* pre_t = z1 + h * batch;
+    double* pre_h = pre_t + h * batch;
+    double* z2 = pre_h + h * batch;
+    double* logits = z2 + h * batch;
+    // Scale each row exactly as PredictScore does, then transpose the
+    // panel to column-major so the affine kernels walk contiguous floats.
+    for (size_t r = 0; r < batch; ++r) {
+      auto row = rows.row(begin + r);
+      std::copy(row.begin(), row.end(), scaled);
+      scaler_.Transform(std::span<float>(scaled, d));
+      for (size_t j = 0; j < d; ++j) xt[j * batch + r] = scaled[j];
+    }
+    // The [unit * batch + r] output layout of one affine is exactly the
+    // column-major input layout the next one consumes, so the panel flows
+    // through the network with no further transposes. Every accumulator
+    // walks its inputs in the same ascending order as Forward, so each
+    // score carries the identical bits (the differential tests pin it).
+    k::BatchedAffineF32(params_.w1.data(), params_.b1.data(), h, d, xt,
+                        batch, z1);
+    for (size_t i = 0; i < h * batch; ++i) z1[i] = std::max(0.0, z1[i]);
+    k::DualBatchedAffineF64(params_.wt.data(), params_.bt.data(),
+                            params_.wh.data(), params_.bh.data(), h, h, z1,
+                            batch, pre_t, pre_h);
+    for (size_t i = 0; i < h * batch; ++i) {
+      double t = Sigmoid(pre_t[i]);
+      double g = std::max(0.0, pre_h[i]);
+      z2[i] = t * g + (1.0 - t) * z1[i];
+    }
+    k::BatchedAffineF64(params_.w2.data(), &params_.b2, 1, h, z2, batch,
+                        logits);
+    for (size_t r = 0; r < batch; ++r) {
+      RLBENCH_DCHECK_FINITE(logits[r]);
+      double score = Sigmoid(logits[r]);
+      RLBENCH_DCHECK_PROB(score);
+      out[begin + r] = score;
+    }
+  });
 }
 
 double Mlp::PredictScore(std::span<const float> row) const {

@@ -7,6 +7,7 @@
 #define RLBENCH_SRC_ML_MLP_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ml/classifier.h"
@@ -35,6 +36,13 @@ class Mlp : public Classifier {
   std::string name() const override { return "MLP"; }
   void Fit(const Dataset& train, const Dataset& valid) override;
   double PredictScore(std::span<const float> row) const override;
+
+  /// Score every row of `rows` into `out` (same length). Bit-identical to
+  /// calling PredictScore per row; internally transposes blocks of rows
+  /// into column-major panels and runs the batched affine kernels
+  /// (text/kernels.h), so each weight matrix streams once per block
+  /// instead of once per row.
+  void PredictScoresBatch(const Dataset& rows, std::span<double> out) const;
 
   /// Validation F1 of the selected snapshot (for diagnostics).
   double best_valid_f1() const { return best_valid_f1_; }

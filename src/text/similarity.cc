@@ -41,6 +41,14 @@ double OverlapSimilarity(const TokenSet& a, const TokenSet& b) {
   return inter / static_cast<double>(std::min(a.size(), b.size()));
 }
 
+double ContainmentSimilarity(const TokenSet& a, const TokenSet& b) {
+  if (a.empty()) return 0.0;
+  double inter = static_cast<double>(a.IntersectionSize(b));
+  double sim = inter / static_cast<double>(a.size());
+  RLBENCH_DCHECK_PROB(sim);
+  return sim;
+}
+
 size_t LevenshteinDistance(std::string_view a, std::string_view b) {
   if (a.size() > b.size()) std::swap(a, b);
   std::vector<size_t> prev(a.size() + 1);

@@ -26,6 +26,10 @@ double DiceSimilarity(const TokenSet& a, const TokenSet& b);
 /// Overlap coefficient |A∩B| / min(|A|,|B|); 0 when either set is empty.
 double OverlapSimilarity(const TokenSet& a, const TokenSet& b);
 
+/// Directed containment |A∩B| / |A|; 0 when A is empty. Asymmetric: how
+/// much of A is covered by B (scalar reference for the containment kernel).
+double ContainmentSimilarity(const TokenSet& a, const TokenSet& b);
+
 // --- Edit-based string similarities (Magellan feature family) ------------
 
 /// Levenshtein distance between two byte strings.

@@ -1,0 +1,248 @@
+// ColumnarStore invariants (ISSUE 7): the columnar view must be a lossless
+// re-layout of the row-oriented caches (same token multisets, same q-gram
+// hash sets, same per-value derivations), its interning must not depend on
+// record insertion order, and its build must be byte-identical at 1/2/7
+// threads — the same contract tests/core/thread_invariance_test.cc pins for
+// the measure pipeline.
+#include "data/columnar.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/strings.h"
+#include "data/feature_cache.h"
+#include "data/record.h"
+#include "obs/metrics.h"
+#include "text/qgrams.h"
+#include "text/tokenizer.h"
+
+namespace rlbench::data {
+namespace {
+
+Table MakeLeft() {
+  Table table("left", Schema({"title", "brand", "price"}));
+  table.Add(Record{"l0", {"iPhone 14 Pro 128", "Apple", "999"}});
+  table.Add(Record{"l1", {"Galaxy S22 Ultra", "Samsung", "1199.99"}});
+  table.Add(Record{"l2", {"", "", ""}});  // fully empty record
+  table.Add(Record{"l3", {"usb type c cable", "generic", "9 dollars"}});
+  table.Add(Record{"l4", {"Café München 漢字", "ÜBER", "-3e2"}});
+  return table;
+}
+
+Table MakeRight() {
+  Table table("right", Schema({"title", "brand", "price"}));
+  table.Add(Record{"r0", {"iphone 14 pro", "apple", " 999 "}});
+  table.Add(Record{"r1", {"pixel 7", "google", "599"}});
+  table.Add(Record{"r2", {"galaxy s22", "samsung", "not a number"}});
+  return table;
+}
+
+TEST(ColumnarStoreTest, TokenColumnsRoundTripTheRowCaches) {
+  Table left = MakeLeft();
+  Table right = MakeRight();
+  RecordFeatureCache lcache(&left);
+  RecordFeatureCache rcache(&right);
+  ColumnarStore store(lcache, rcache);
+
+  ASSERT_EQ(store.num_attrs(), 3u);
+  ASSERT_EQ(store.num_records(ColumnarStore::kLeft), left.size());
+  ASSERT_EQ(store.num_records(ColumnarStore::kRight), right.size());
+
+  const RecordFeatureCache* caches[] = {&lcache, &rcache};
+  for (size_t side : {ColumnarStore::kLeft, ColumnarStore::kRight}) {
+    const RecordFeatureCache& cache = *caches[side];
+    for (size_t r = 0; r < store.num_records(side); ++r) {
+      // Sorted unique ids map 1:1 onto the sorted unique hash set: same
+      // cardinality, and every id resolves back to a vocab hash that the
+      // row-oriented set contains (rank interning is a monotone bijection).
+      auto ids = store.TokenIdsAll(side, r);
+      const auto& hashes = cache.TokenSetAll(r).hashes();
+      ASSERT_EQ(ids.size(), hashes.size());
+      EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+      for (size_t k = 0; k < hashes.size(); ++k) {
+        EXPECT_EQ(store.IdOfHash(hashes[k]), ids[k]);
+      }
+      for (size_t a = 0; a < store.num_attrs(); ++a) {
+        auto attr_ids = store.TokenIdsAttr(side, r, a);
+        ASSERT_EQ(attr_ids.size(), cache.TokenSetAttr(r, a).size());
+        // Ordered token sequence round-trips exactly.
+        auto seq = store.TokenSeqAttr(side, r, a);
+        const auto& tokens = cache.TokensAttr(r, a);
+        ASSERT_EQ(seq.size(), tokens.size());
+        for (size_t t = 0; t < tokens.size(); ++t) {
+          EXPECT_EQ(seq[t], tokens[t]);
+        }
+        // Per-value hoisted derivations match recomputation from the row.
+        const std::string& raw = cache.table().record(r).values[a];
+        EXPECT_EQ(store.Value(side, r, a), raw);
+        EXPECT_EQ(store.LoweredValue(side, r, a), ToLowerAscii(raw));
+      }
+    }
+  }
+}
+
+TEST(ColumnarStoreTest, QGramColumnsRoundTripTheRowCaches) {
+  Table left = MakeLeft();
+  Table right = MakeRight();
+  RecordFeatureCache lcache(&left);
+  RecordFeatureCache rcache(&right);
+  ColumnarStore store(lcache, rcache);
+  EXPECT_FALSE(store.qgrams_built());
+  store.EnsureQGrams();
+  EXPECT_TRUE(store.qgrams_built());
+  store.EnsureQGrams();  // idempotent
+
+  const RecordFeatureCache* caches[] = {&lcache, &rcache};
+  for (size_t side : {ColumnarStore::kLeft, ColumnarStore::kRight}) {
+    const RecordFeatureCache& cache = *caches[side];
+    for (size_t r = 0; r < store.num_records(side); ++r) {
+      for (int q = ColumnarStore::kMinQ; q <= ColumnarStore::kMaxQ; ++q) {
+        auto all = store.QGramAll(side, r, q);
+        const auto& expected = cache.QGramSetAll(r, q).hashes();
+        ASSERT_EQ(std::vector<uint64_t>(all.begin(), all.end()), expected);
+        for (size_t a = 0; a < store.num_attrs(); ++a) {
+          auto got = store.QGramAttr(side, r, a, q);
+          const auto& want = cache.QGramSetAttr(r, a, q).hashes();
+          ASSERT_EQ(std::vector<uint64_t>(got.begin(), got.end()), want);
+        }
+      }
+    }
+  }
+}
+
+TEST(ColumnarStoreTest, NumericColumnsMatchHoistedParse) {
+  Table left = MakeLeft();
+  Table right = MakeRight();
+  RecordFeatureCache lcache(&left);
+  RecordFeatureCache rcache(&right);
+  ColumnarStore store(lcache, rcache);
+  // "999" parses; " 999 " parses after the whitespace strip; "9 dollars",
+  // "not a number" and "" do not.
+  EXPECT_TRUE(store.NumericOk(ColumnarStore::kLeft, 0, 2));
+  EXPECT_EQ(store.NumericValue(ColumnarStore::kLeft, 0, 2), 999.0);
+  EXPECT_TRUE(store.NumericOk(ColumnarStore::kRight, 0, 2));
+  EXPECT_EQ(store.NumericValue(ColumnarStore::kRight, 0, 2), 999.0);
+  EXPECT_TRUE(store.NumericOk(ColumnarStore::kLeft, 4, 2));
+  EXPECT_EQ(store.NumericValue(ColumnarStore::kLeft, 4, 2), -300.0);
+  EXPECT_FALSE(store.NumericOk(ColumnarStore::kLeft, 3, 2));
+  EXPECT_FALSE(store.NumericOk(ColumnarStore::kLeft, 2, 2));
+  EXPECT_FALSE(store.NumericOk(ColumnarStore::kRight, 2, 2));
+}
+
+TEST(ColumnarStoreTest, InterningIsStableUnderInsertionOrder) {
+  Table left = MakeLeft();
+  Table right = MakeRight();
+  RecordFeatureCache lcache(&left);
+  RecordFeatureCache rcache(&right);
+  ColumnarStore forward(lcache, rcache);
+
+  // Same records, reversed insertion order on both sides.
+  Table left_rev("left", Schema({"title", "brand", "price"}));
+  for (size_t i = left.size(); i-- > 0;) left_rev.Add(left.record(i));
+  Table right_rev("right", Schema({"title", "brand", "price"}));
+  for (size_t i = right.size(); i-- > 0;) right_rev.Add(right.record(i));
+  RecordFeatureCache lrev(&left_rev);
+  RecordFeatureCache rrev(&right_rev);
+  ColumnarStore reversed(lrev, rrev);
+
+  ASSERT_EQ(forward.vocab_size(), reversed.vocab_size());
+  // Every record's id array is identical wherever the record landed: ids
+  // are ranks in the globally sorted vocabulary, not discovery order.
+  for (size_t r = 0; r < left.size(); ++r) {
+    auto a = forward.TokenIdsAll(ColumnarStore::kLeft, r);
+    auto b = reversed.TokenIdsAll(ColumnarStore::kLeft, left.size() - 1 - r);
+    ASSERT_EQ(std::vector<uint32_t>(a.begin(), a.end()),
+              std::vector<uint32_t>(b.begin(), b.end()));
+  }
+}
+
+TEST(ColumnarStoreTest, BuildIsByteIdenticalAcrossThreadCounts) {
+  Table left("left", Schema({"name", "desc"}));
+  Table right("right", Schema({"name", "desc"}));
+  for (size_t i = 0; i < 300; ++i) {
+    std::string tag = std::to_string(i);
+    left.Add(Record{"l" + tag,
+                    {"product " + tag + " model x" + std::to_string(i % 13),
+                     "series " + std::to_string(i % 7) + " rev " + tag}});
+    right.Add(Record{"r" + tag,
+                     {"product " + std::to_string(i % 17) + " model y" + tag,
+                      "batch " + tag}});
+  }
+
+  auto fingerprint = [&](int threads) {
+    SetParallelThreads(threads);
+    RecordFeatureCache lcache(&left);
+    RecordFeatureCache rcache(&right);
+    ColumnarStore store(lcache, rcache);
+    store.EnsureQGrams();
+    // Serialize every column the kernels read into one byte-stable vector.
+    std::vector<uint64_t> sink;
+    for (size_t side : {ColumnarStore::kLeft, ColumnarStore::kRight}) {
+      for (size_t r = 0; r < store.num_records(side); ++r) {
+        for (uint32_t id : store.TokenIdsAll(side, r)) sink.push_back(id);
+        for (size_t a = 0; a < store.num_attrs(); ++a) {
+          for (uint32_t id : store.TokenIdsAttr(side, r, a)) {
+            sink.push_back(id);
+          }
+          for (std::string_view token : store.TokenSeqAttr(side, r, a)) {
+            sink.push_back(Fnv1a64(token));
+          }
+          sink.push_back(Fnv1a64(store.LoweredValue(side, r, a)));
+          sink.push_back(store.NumericOk(side, r, a) ? 1 : 0);
+          for (int q = ColumnarStore::kMinQ; q <= ColumnarStore::kMaxQ; ++q) {
+            for (uint64_t h : store.QGramAttr(side, r, a, q)) sink.push_back(h);
+          }
+        }
+        for (int q = ColumnarStore::kMinQ; q <= ColumnarStore::kMaxQ; ++q) {
+          for (uint64_t h : store.QGramAll(side, r, q)) sink.push_back(h);
+        }
+      }
+    }
+    SetParallelThreads(0);
+    return sink;
+  };
+
+  std::vector<uint64_t> at1 = fingerprint(1);
+  EXPECT_EQ(fingerprint(2), at1);
+  EXPECT_EQ(fingerprint(7), at1);
+}
+
+TEST(FeatureCacheCounterTest, RepeatedWarmCountsRecordsOnce) {
+  // Regression: WarmTokens/WarmQGrams used to re-add the full record count
+  // to the warmed_* counters on every call — the ColumnarStore constructor
+  // re-warms defensively, which double-counted the warm phase.
+  obs::Metrics::SetEnabled(true);
+  obs::Metrics::Instance().ResetAll();
+  Table left = MakeLeft();
+  Table right = MakeRight();
+  RecordFeatureCache lcache(&left);
+  RecordFeatureCache rcache(&right);
+  lcache.WarmTokens();
+  rcache.WarmTokens();
+  // The store's constructor re-warms both caches; EnsureQGrams re-warms the
+  // q-gram slots. None of these may bump the counters again.
+  ColumnarStore store(lcache, rcache);
+  lcache.WarmTokens();
+  uint64_t tokens = obs::Metrics::Instance()
+                        .GetCounter("feature_cache/warmed_token_records")
+                        .Value();
+  EXPECT_EQ(tokens, left.size() + right.size());
+  lcache.WarmQGrams();
+  rcache.WarmQGrams();
+  store.EnsureQGrams();
+  lcache.WarmQGrams();
+  uint64_t qgrams = obs::Metrics::Instance()
+                        .GetCounter("feature_cache/warmed_qgram_records")
+                        .Value();
+  EXPECT_EQ(qgrams, left.size() + right.size());
+  obs::Metrics::Instance().ResetAll();
+  obs::Metrics::SetEnabled(false);
+}
+
+}  // namespace
+}  // namespace rlbench::data

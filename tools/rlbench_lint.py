@@ -49,6 +49,11 @@ Rules:
                 and the framed helpers so the server stays loopback-only
                 and connection failure semantics stay in one place
   using-ns      no `using namespace` at any scope in headers
+  kernels       no associative-container lookups or heap allocation inside
+                loop bodies of src/text/kernels.cc — the vectorized kernels
+                are the per-pair hot path and must work over presorted
+                contiguous spans with stack scratch only (top-level, non-
+                loop allocations like ParseNumeric's strtod buffer are fine)
   cmake-reg     every .cc under src/ is listed in its directory's
                 CMakeLists.txt (unregistered files silently fall out of the
                 build and rot)
@@ -398,6 +403,100 @@ USING_NS_FIXTURES = [
     Fixture("src/a/b.h", "using rlbench::Status;\n", bad=False),
 ]
 
+# --- kernels ----------------------------------------------------------------
+
+KERNELS_FILE = "src/text/kernels.cc"
+KERNELS_LOOP_HEAD = re.compile(r"\b(?:for|while)\s*\(")
+KERNELS_BANNED = [
+    (re.compile(r"\bstd::(?:unordered_)?(?:map|set)\b"),
+     "associative-container lookup in a kernels.cc loop body; kernels "
+     "operate on presorted contiguous spans (intersect by merge scan)"),
+    (re.compile(r"\bstd::vector\b|\bstd::string\b|\bnew\b|\bmalloc\s*\(|"
+                r"\bmake_(?:unique|shared)\b|"
+                r"\.(?:push_back|emplace_back|resize|reserve)\s*\("),
+     "heap allocation in a kernels.cc loop body; hoist scratch out of the "
+     "hot loop (stack buffers or caller-provided spans)"),
+]
+
+
+def check_kernels(rel, lines, errors):
+    """Brace-tracking scan: flag banned tokens only inside loop bodies.
+
+    A small state machine rather than a full parser: `pending_loop` is set
+    when a for/while head is seen and converted to a loop body at its
+    opening brace (paren depth distinguishes the semicolons inside a
+    `for (;;)` head from a braceless single-statement body).
+    """
+    if rel != KERNELS_FILE:
+        return
+    depth = 0
+    paren = 0
+    loop_stack = []  # brace depth at which each open loop body started
+    pending_loop = False
+    for i, line in enumerate(lines):
+        code = LINE_COMMENT.sub("", line)
+        in_loop = bool(loop_stack) or pending_loop or \
+            KERNELS_LOOP_HEAD.search(code)
+        if in_loop:
+            for pattern, message in KERNELS_BANNED:
+                if pattern.search(code):
+                    errors.append(f"{rel}:{i + 1}: {message}")
+        if KERNELS_LOOP_HEAD.search(code):
+            pending_loop = True
+        for ch in code:
+            if ch == "(":
+                paren += 1
+            elif ch == ")":
+                paren -= 1
+            elif ch == "{":
+                depth += 1
+                if pending_loop:
+                    loop_stack.append(depth)
+                    pending_loop = False
+            elif ch == "}":
+                if loop_stack and loop_stack[-1] == depth:
+                    loop_stack.pop()
+                depth -= 1
+            elif ch == ";" and pending_loop and paren == 0:
+                # Braceless single-statement loop body ends here.
+                pending_loop = False
+
+
+KERNELS_FIXTURES = [
+    Fixture("src/text/kernels.cc",
+            "size_t F(std::span<const uint32_t> a) {\n"
+            "  size_t n = 0;\n"
+            "  for (size_t i = 0; i < a.size(); ++i) {\n"
+            "    std::unordered_map<uint32_t, int> m;\n"
+            "    n += m.count(a[i]);\n"
+            "  }\n"
+            "  return n;\n"
+            "}\n", bad=True),
+    Fixture("src/text/kernels.cc",
+            "void G(std::span<int> out) {\n"
+            "  while (true) {\n"
+            "    scratch.push_back(1);\n"
+            "  }\n"
+            "}\n", bad=True),
+    Fixture("src/text/kernels.cc",
+            "size_t H(size_t n) {\n"
+            "  size_t acc = 0;\n"
+            "  for (size_t i = 0; i < n; ++i)\n"
+            "    acc += new_count(i);\n"
+            "  return acc;\n"
+            "}\n", bad=False),
+    Fixture("src/text/kernels.cc",
+            "bool ParseNumeric(std::string_view v, double* out) {\n"
+            "  std::string buf(StripAscii(v));\n"
+            "  for (char c : buf) {\n"
+            "    if (c == '.') *out = 1.0;\n"
+            "  }\n"
+            "  return true;\n"
+            "}\n", bad=False),
+    Fixture("src/other/file.cc",
+            "for (;;) { scratch.push_back(1); }\n", bad=False),
+]
+
 # --- rule registry ----------------------------------------------------------
 
 RULES = [
@@ -411,6 +510,7 @@ RULES = [
     Rule("detach", check_detach, DETACH_FIXTURES),
     Rule("locks", check_locks, LOCKS_FIXTURES),
     Rule("nodiscard", check_nodiscard, NODISCARD_FIXTURES),
+    Rule("kernels", check_kernels, KERNELS_FIXTURES),
     Rule("chrono",
          _pattern_check(CHRONO_ALLOWLIST, CHRONO_ALLOWED_PREFIXES,
                         CHRONO_PATTERNS), CHRONO_FIXTURES),
