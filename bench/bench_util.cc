@@ -11,6 +11,7 @@
 #include "data/csv.h"
 #include "data/file_source.h"
 #include "fault/failpoint.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace rlbench::benchutil {
@@ -115,6 +116,7 @@ void BenchRun::Finish() {
   finished_ = true;
   manifest_.set_threads(ParallelThreadCount());
   manifest_.set_hardware_concurrency(std::thread::hardware_concurrency());
+  manifest_.set_peak_rss_bytes(obs::PeakRssBytes());
   std::string trace_path = obs::WriteTraceIfEnabled();
   if (!trace_path.empty()) manifest_.set_trace_file(trace_path);
   // An armed fault spec changes what the run measures; record it so the

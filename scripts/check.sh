@@ -13,15 +13,18 @@
 #      columnar store tests re-run explicitly under ASan/UBSan, plus a
 #      micro_kernels smoke (scalar-vs-vectorized checksums asserted inside
 #      the bench; no perf thresholds under sanitizers)
-#   6. fault-injection storm: a real bench under RLBENCH_FAULTS across 8
+#   6. out-of-core bulk smoke: macro_bulk --smoke (20k records through
+#      both blocking modes, spill-to-disk, per-shard manifests) under the
+#      sanitizers, validated by tools/validate_manifest.py
+#   7. fault-injection storm: a real bench under RLBENCH_FAULTS across 8
 #      seeds with ASan/UBSan armed — graceful degradation may fail
 #      datasets, but a crash/abort/sanitizer report fails the gate
-#   7. repo lint (tools/rlbench_lint.py), its rule self-tests, and the
+#   8. repo lint (tools/rlbench_lint.py), its rule self-tests, and the
 #      negative-compilation fixtures (tests/static/)
-#   8. Clang thread-safety analysis: full build under -Wthread-safety
+#   9. Clang thread-safety analysis: full build under -Wthread-safety
 #      -Wthread-safety-beta -Werror=thread-safety-analysis (skipped with
 #      a warning if clang++ is not installed — GCC has no such analysis)
-#   9. clang-tidy over src/ (skipped with a warning if not installed)
+#  10. clang-tidy over src/ (skipped with a warning if not installed)
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -32,7 +35,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 SCRATCH_ROOT="$(mktemp -d "${TMPDIR:-/tmp}/rlbench_check.XXXXXX")"
 trap 'rm -rf "${SCRATCH_ROOT}"' EXIT
 
-echo "== [1/9] build + test under ASan/UBSan =="
+echo "== [1/10] build + test under ASan/UBSan =="
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRLBENCH_SANITIZE="address;undefined" \
@@ -46,7 +49,7 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
     ctest --output-on-failure -j "${JOBS}"
 )
 
-echo "== [2/9] serve smoke (client/server round-trip under ASan/UBSan) =="
+echo "== [2/10] serve smoke (client/server round-trip under ASan/UBSan) =="
 SERVE_DIR="${SCRATCH_ROOT}/serve"
 mkdir -p "${SERVE_DIR}"
 PORT_FILE="${SERVE_DIR}/port"
@@ -94,7 +97,7 @@ if grep -qE "AddressSanitizer|LeakSanitizer|runtime error:" \
 fi
 echo "serve smoke: round-trip ok, clean shutdown"
 
-echo "== [3/9] concurrency tests under TSan =="
+echo "== [3/10] concurrency tests under TSan =="
 TSAN_DIR="${REPO_ROOT}/build-tsan"
 cmake -B "${TSAN_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -120,12 +123,12 @@ cmake --build "${TSAN_DIR}" -j "${JOBS}" --target \
 )
 echo "TSan: clean"
 
-echo "== [4/9] observability end-to-end =="
+echo "== [4/10] observability end-to-end =="
 python3 "${REPO_ROOT}/tools/validate_manifest.py" --run \
   "${BUILD_DIR}/bench/table3_datasets" --datasets=Ds1 --scale=0.05
 echo "observability: manifest + trace validate"
 
-echo "== [5/9] vectorized kernels: differential suite + bench smoke =="
+echo "== [5/10] vectorized kernels: differential suite + bench smoke =="
 # The kernel suites are part of stage 1's full ctest; run them again by
 # explicit filter so a test-registration change can never silently drop
 # the scalar-vs-vectorized gate from this script.
@@ -148,7 +151,18 @@ echo "== [5/9] vectorized kernels: differential suite + bench smoke =="
 )
 echo "kernels: differential suites + smoke clean"
 
-echo "== [6/9] fault-injection storm =="
+echo "== [6/10] out-of-core bulk resolution smoke =="
+# macro_bulk --smoke streams 20k records through both blocking modes
+# (sorted-neighborhood external sort, MinHash hash partitioning) with the
+# sanitizers armed; validate_manifest.py --run checks the run manifest,
+# every per-shard manifest (peak_rss_bytes included), and the trace.
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+  python3 "${REPO_ROOT}/tools/validate_manifest.py" --run \
+  "${BUILD_DIR}/bench/macro_bulk" --smoke
+echo "bulk smoke: both modes resolved out of core, manifests validate"
+
+echo "== [7/10] fault-injection storm =="
 # Drive a real bench through seeded fault storms with the sanitizers armed.
 # The degradation contract: failed datasets are fine (the bench exits 0
 # while at least one dataset survives, 1 when all fail), but any abort,
@@ -183,7 +197,7 @@ for seed in 1 2 3 4 5 6 7 8; do
 done
 echo "fault storm: clean (8 seeds, no crashes, no sanitizer reports)"
 
-echo "== [7/9] repo lint + self-test + negative compilation =="
+echo "== [8/10] repo lint + self-test + negative compilation =="
 python3 "${REPO_ROOT}/tools/rlbench_lint.py" --root "${REPO_ROOT}"
 python3 "${REPO_ROOT}/tools/rlbench_lint.py" --self-test
 # The negative-compilation fixtures also run as a ctest in stage 1; run
@@ -200,7 +214,7 @@ python3 "${REPO_ROOT}/tests/static/compile_fail_test.py" \
   --include "${REPO_ROOT}/src"
 echo "repo lint: clean"
 
-echo "== [8/9] Clang thread-safety analysis =="
+echo "== [9/10] Clang thread-safety analysis =="
 TS_CLANG="$(command -v clang++ || true)"
 if [[ -z "${TS_CLANG}" ]]; then
   for v in 18 17 16 15 14; do
@@ -223,7 +237,7 @@ else
   echo "thread-safety analysis: clean"
 fi
 
-echo "== [9/9] clang-tidy =="
+echo "== [10/10] clang-tidy =="
 TIDY_BIN="$(command -v clang-tidy || true)"
 if [[ -z "${TIDY_BIN}" ]]; then
   for v in 18 17 16 15 14; do

@@ -1,0 +1,57 @@
+// Knobs for the out-of-core bulk resolution pipeline (ISSUE 8 tentpole).
+#ifndef RLBENCH_SRC_BULK_OPTIONS_H_
+#define RLBENCH_SRC_BULK_OPTIONS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "block/minhash_blocking.h"
+#include "block/sorted_neighborhood.h"
+
+namespace rlbench::bulk {
+
+/// Which blocking strategy partitions the streamed records into shards.
+enum class BulkMode {
+  kSortedNeighborhood,  // external sort by key, windows over key ranges
+  kMinHash,             // band buckets hash-partitioned across shards
+};
+
+const char* BulkModeName(BulkMode mode);
+
+struct BulkOptions {
+  BulkMode mode = BulkMode::kSortedNeighborhood;
+
+  /// Number of spill partitions. The matched output is byte-identical for
+  /// any shard count; shards trade peak memory against per-shard overhead.
+  size_t shards = 4;
+
+  /// Soft cap on buffered spill data before runs flush to disk. The
+  /// streaming phases never hold more than roughly this many bytes of
+  /// un-flushed entries.
+  size_t memory_budget_bytes = 64u << 20;
+
+  /// Jaccard threshold (over schema-agnostic token sets) at or above which
+  /// a candidate pair counts as matched.
+  double threshold = 0.5;
+
+  block::SortedNeighborhoodOptions sn;
+  block::MinHashOptions minhash;
+
+  /// Directory for spill partitions (created if missing). Required.
+  std::string spill_dir;
+
+  /// Directory for per-shard run manifests; empty disables them.
+  std::string manifest_dir;
+
+  /// Stem of the per-shard manifest names:
+  /// "<stem>.shard_<NN>.manifest.json".
+  std::string manifest_stem = "macro_bulk";
+
+  /// Path for the matched-pair CSV (written atomically); empty skips the
+  /// file and leaves the result only in BulkResult::matches.
+  std::string output_path;
+};
+
+}  // namespace rlbench::bulk
+
+#endif  // RLBENCH_SRC_BULK_OPTIONS_H_

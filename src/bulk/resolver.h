@@ -1,0 +1,100 @@
+// Out-of-core bulk resolution: stream a generated source pair of any size
+// through sharded spill-to-disk blocking, score each shard's candidates
+// with the columnar batch kernels, and merge the per-shard matches into
+// one deterministic output.
+//
+// Determinism contract (tested in tests/bulk/resolver_invariance_test.cc):
+// the matched pair set AND every score are byte-identical for any thread
+// count, any shard count, and with the obs/fault gates armed or not.
+// The pillars:
+//
+//   * Records come from BulkSourceGenerator, a pure function of
+//     (spec, side, position) — streaming order cannot change a byte.
+//   * Sorted-neighborhood entries are merged under the strict total order
+//     SpillEntryLess (key, side, position); shard boundaries slice that
+//     one global order into contiguous chunks with a (window-1)-entry
+//     context prefix, and a window pair belongs to the chunk owning its
+//     later entry — so the pair set is shard-count-invariant.
+//   * MinHash buckets live wholly inside one shard (partitioned by bucket
+//     key), and a pair is emitted only by the bucket of its lowest
+//     colliding band (the min-band rule), so no pair can be emitted by
+//     two shards. The stop-bucket cap applies to that canonical bucket.
+//   * Scores are Jaccard over rank-interned token-id spans; interning is
+//     a monotone bijection per shard, so the value is bit-identical to
+//     the global TokenSet computation no matter which records share a
+//     shard. Batched scoring writes disjoint slots under ParallelFor.
+//
+// Failure model: a shard whose spill files cannot be written, read, or
+// decoded is recorded as failed (its manifest phase carries the error)
+// and the remaining shards complete; only infrastructure failures (spill
+// dir, the sorted merge inputs, the final output write) fail the run.
+#ifndef RLBENCH_SRC_BULK_RESOLVER_H_
+#define RLBENCH_SRC_BULK_RESOLVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bulk/options.h"
+#include "bulk/shard_io.h"
+#include "common/status.h"
+#include "data/record.h"
+#include "datagen/bulk_source.h"
+
+namespace rlbench::bulk {
+
+/// One matched pair: output positions into d1/d2 plus the Jaccard score.
+struct MatchedPair {
+  uint64_t left = 0;
+  uint64_t right = 0;
+  double score = 0.0;
+};
+
+/// Per-shard accounting, in shard order.
+struct ShardOutcome {
+  size_t shard = 0;
+  Status status;
+  uint64_t entries = 0;
+  uint64_t candidates = 0;
+  uint64_t matched = 0;
+  std::string manifest_path;  // empty when manifests are disabled
+};
+
+struct BulkResult {
+  uint64_t records_streamed = 0;
+  /// Raw attribute-value bytes streamed: the floor of what a materialized
+  /// run would hold resident (actual Tables cost several times more).
+  uint64_t bytes_streamed = 0;
+  uint64_t spilled_bytes = 0;
+  uint64_t candidate_pairs = 0;
+  size_t shards_failed = 0;
+  std::vector<ShardOutcome> shards;
+  /// Matched pairs sorted by (left, right); also serialised to
+  /// options.output_path when set.
+  std::vector<MatchedPair> matches;
+  std::string output_path;
+};
+
+/// Run the full pipeline. Errors only on infrastructure failures; shard
+/// failures degrade into BulkResult::shards_failed.
+[[nodiscard]] Result<BulkResult> BulkResolve(
+    const datagen::BulkSourceGenerator& source, const BulkOptions& options);
+
+/// The sorted-neighborhood blocking key of one record: its `key_tokens`
+/// lexicographically smallest tokens joined by spaces — exactly the
+/// in-memory implementation's key, exposed for the edge-case tests.
+std::string SortedNeighborhoodKey(const data::Record& record,
+                                  size_t key_tokens);
+
+/// The record's MinHash band bucket keys (band-salted fold of its
+/// signature), matching the in-memory implementation bit for bit.
+std::vector<uint64_t> BandKeysOf(const data::Record& record,
+                                 const block::MinHashOptions& options);
+
+/// Serialise matches as the output CSV ("left,right,score\n" rows after a
+/// header; scores at full precision). Exposed for byte-identity tests.
+std::string SerializeMatches(const std::vector<MatchedPair>& matches);
+
+}  // namespace rlbench::bulk
+
+#endif  // RLBENCH_SRC_BULK_RESOLVER_H_

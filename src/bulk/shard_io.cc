@@ -1,0 +1,297 @@
+#include "bulk/shard_io.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace rlbench::bulk {
+
+namespace {
+
+// Fixed per-entry overhead charged against the memory budget on top of the
+// payload bytes (struct, vector headers, flush bookkeeping).
+constexpr size_t kEntryOverheadBytes = 64;
+
+void AppendEscaped(std::string* out, std::string_view field) {
+  for (char c : field) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+Status Unescape(std::string_view field, std::string* out) {
+  out->clear();
+  out->reserve(field.size());
+  for (size_t i = 0; i < field.size(); ++i) {
+    char c = field[i];
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (++i >= field.size()) {
+      return Status::InvalidArgument("spill entry: dangling escape");
+    }
+    switch (field[i]) {
+      case '\\':
+        out->push_back('\\');
+        break;
+      case 't':
+        out->push_back('\t');
+        break;
+      case 'n':
+        out->push_back('\n');
+        break;
+      case 'r':
+        out->push_back('\r');
+        break;
+      default:
+        return Status::InvalidArgument("spill entry: unknown escape");
+    }
+  }
+  return Status::OK();
+}
+
+Status ParseU64(std::string_view field, uint64_t* out) {
+  if (field.empty() || field.size() > 20) {
+    return Status::InvalidArgument("spill entry: bad integer field");
+  }
+  uint64_t value = 0;
+  for (char c : field) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("spill entry: bad integer field");
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument("spill entry: integer overflow");
+    }
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return Status::OK();
+}
+
+size_t EntryBudgetBytes(const SpillEntry& entry) {
+  size_t bytes = kEntryOverheadBytes + entry.key.size() +
+                 entry.band_keys.size() * sizeof(uint64_t);
+  for (const std::string& value : entry.values) bytes += value.size() + 16;
+  return bytes;
+}
+
+}  // namespace
+
+std::string EncodeSpillEntry(const SpillEntry& entry) {
+  std::string out;
+  AppendEscaped(&out, entry.key);
+  out += '\t';
+  out += entry.side == 0 ? '0' : '1';
+  out += '\t';
+  out += entry.context ? '1' : '0';
+  out += '\t';
+  out += std::to_string(entry.position);
+  out += '\t';
+  out += std::to_string(entry.band_keys.size());
+  for (uint64_t band : entry.band_keys) {
+    out += '\t';
+    out += std::to_string(band);
+  }
+  out += '\t';
+  out += std::to_string(entry.values.size());
+  for (const std::string& value : entry.values) {
+    out += '\t';
+    AppendEscaped(&out, value);
+  }
+  return out;
+}
+
+Status DecodeSpillEntry(std::string_view line, SpillEntry* entry) {
+  // Escapes never emit a raw tab, so a plain split is safe.
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  while (true) {
+    size_t tab = line.find('\t', start);
+    if (tab == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+  if (fields.size() < 5) {
+    return Status::InvalidArgument("spill entry: too few fields");
+  }
+  RLBENCH_RETURN_NOT_OK(Unescape(fields[0], &entry->key));
+  if (fields[1] != "0" && fields[1] != "1") {
+    return Status::InvalidArgument("spill entry: bad side");
+  }
+  entry->side = fields[1] == "0" ? 0 : 1;
+  if (fields[2] != "0" && fields[2] != "1") {
+    return Status::InvalidArgument("spill entry: bad context flag");
+  }
+  entry->context = fields[2] == "1";
+  RLBENCH_RETURN_NOT_OK(ParseU64(fields[3], &entry->position));
+  uint64_t band_count = 0;
+  RLBENCH_RETURN_NOT_OK(ParseU64(fields[4], &band_count));
+  size_t next = 5;
+  if (band_count > 1024 || fields.size() < next + band_count + 1) {
+    return Status::InvalidArgument("spill entry: bad band count");
+  }
+  entry->band_keys.clear();
+  entry->band_keys.reserve(static_cast<size_t>(band_count));
+  for (uint64_t b = 0; b < band_count; ++b) {
+    uint64_t band = 0;
+    RLBENCH_RETURN_NOT_OK(ParseU64(fields[next++], &band));
+    entry->band_keys.push_back(band);
+  }
+  uint64_t value_count = 0;
+  RLBENCH_RETURN_NOT_OK(ParseU64(fields[next++], &value_count));
+  if (value_count > 4096 || fields.size() != next + value_count) {
+    return Status::InvalidArgument("spill entry: bad value count");
+  }
+  entry->values.clear();
+  entry->values.reserve(static_cast<size_t>(value_count));
+  for (uint64_t v = 0; v < value_count; ++v) {
+    std::string value;
+    RLBENCH_RETURN_NOT_OK(Unescape(fields[next++], &value));
+    entry->values.push_back(std::move(value));
+  }
+  return Status::OK();
+}
+
+bool SpillEntryLess(const SpillEntry& a, const SpillEntry& b) {
+  if (a.key != b.key) return a.key < b.key;
+  if (a.side != b.side) return a.side < b.side;
+  return a.position < b.position;
+}
+
+ShardWriter::ShardWriter(std::string dir, std::string stem,
+                         size_t num_shards, size_t budget_bytes,
+                         bool sorted_runs)
+    : dir_(std::move(dir)),
+      stem_(std::move(stem)),
+      budget_bytes_(std::max<size_t>(budget_bytes, 1u << 16)),
+      sorted_runs_(sorted_runs),
+      shards_(num_shards) {
+  RLBENCH_CHECK_GT(num_shards, 0u);
+}
+
+void ShardWriter::Append(size_t shard, SpillEntry entry) {
+  RLBENCH_DCHECK_INDEX(shard, shards_.size());
+  Shard& s = shards_[shard];
+  if (!s.status.ok()) return;  // poisoned: drop, the shard is already lost
+  size_t bytes = EntryBudgetBytes(entry);
+  s.buffered.push_back(std::move(entry));
+  s.buffered_bytes += bytes;
+  buffered_bytes_ += bytes;
+  ++s.entries;
+  // Flush the fattest buffers until the budget holds again. Decisions
+  // depend only on the append sequence, so any run shape is reproducible.
+  while (buffered_bytes_ > budget_bytes_) {
+    size_t fattest = 0;
+    for (size_t i = 1; i < shards_.size(); ++i) {
+      if (shards_[i].buffered_bytes > shards_[fattest].buffered_bytes) {
+        fattest = i;
+      }
+    }
+    if (shards_[fattest].buffered.empty()) break;
+    FlushShard(fattest);
+  }
+}
+
+void ShardWriter::FlushShard(size_t shard) {
+  Shard& s = shards_[shard];
+  if (s.buffered.empty()) return;
+  if (sorted_runs_) {
+    std::sort(s.buffered.begin(), s.buffered.end(), SpillEntryLess);
+  }
+  std::string payload;
+  for (const SpillEntry& entry : s.buffered) {
+    payload += EncodeSpillEntry(entry);
+    payload += '\n';
+  }
+  std::string path = dir_ + "/" + stem_ + "_shard" + std::to_string(shard) +
+                     "_run" + std::to_string(s.runs) + ".spill";
+  ++s.runs;
+  buffered_bytes_ -= s.buffered_bytes;
+  s.buffered_bytes = 0;
+  s.buffered.clear();
+  Status write = data::FileSource::WriteAtomic(path, payload);
+  if (!write.ok()) {
+    s.status = write;
+    RLBENCH_COUNTER_INC("bulk/shard_flush_failures");
+    return;
+  }
+  spilled_bytes_ += payload.size();
+  s.files.push_back(std::move(path));
+  RLBENCH_COUNTER_INC("bulk/shard_flushes");
+}
+
+void ShardWriter::Finish() {
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    FlushShard(shard);
+  }
+}
+
+const std::vector<std::string>& ShardWriter::shard_files(size_t shard) const {
+  RLBENCH_DCHECK_INDEX(shard, shards_.size());
+  return shards_[shard].files;
+}
+
+const Status& ShardWriter::shard_status(size_t shard) const {
+  RLBENCH_DCHECK_INDEX(shard, shards_.size());
+  return shards_[shard].status;
+}
+
+uint64_t ShardWriter::shard_entries(size_t shard) const {
+  RLBENCH_DCHECK_INDEX(shard, shards_.size());
+  return shards_[shard].entries;
+}
+
+uint64_t ShardWriter::total_entries() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.entries;
+  return total;
+}
+
+ShardReader::ShardReader(std::vector<std::string> files, size_t buffer_bytes)
+    : files_(std::move(files)), buffer_bytes_(buffer_bytes) {}
+
+Status ShardReader::Next(SpillEntry* entry, bool* done) {
+  *done = false;
+  while (true) {
+    if (!reader_.has_value()) {
+      if (file_index_ >= files_.size()) {
+        *done = true;
+        return Status::OK();
+      }
+      auto opened = data::LineReader::Open(files_[file_index_], buffer_bytes_);
+      RLBENCH_RETURN_NOT_OK(opened.status());
+      reader_.emplace(std::move(opened).value());
+    }
+    bool file_done = false;
+    RLBENCH_RETURN_NOT_OK(reader_->Next(&line_, &file_done));
+    if (file_done) {
+      reader_.reset();
+      ++file_index_;
+      continue;
+    }
+    if (line_.empty()) continue;  // tolerate stray blank lines
+    return DecodeSpillEntry(line_, entry);
+  }
+}
+
+}  // namespace rlbench::bulk

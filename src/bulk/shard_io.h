@@ -1,0 +1,129 @@
+// Spill-to-disk shard IO for the bulk pipeline: a line-oriented entry
+// codec, a budget-bounded ShardWriter that flushes sorted (or raw) runs
+// per partition, and a ShardReader that streams a partition's runs back
+// entry by entry.
+//
+// All writes go through data::FileSource::WriteAtomic and all reads
+// through data::LineReader, so atomicity, bounded retry and the
+// fault-injection failpoints apply without any code here knowing about
+// them. A flush or read failure poisons only its own shard: the writer
+// records a per-shard Status and keeps accepting entries for healthy
+// shards, which is what lets the resolver degrade per shard instead of
+// dying.
+#ifndef RLBENCH_SRC_BULK_SHARD_IO_H_
+#define RLBENCH_SRC_BULK_SHARD_IO_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "data/file_source.h"
+
+namespace rlbench::bulk {
+
+/// One spilled record occurrence: the blocking key it was partitioned
+/// under, which source it came from, its output position there, and the
+/// attribute values needed to score it later. MinHash entries also carry
+/// the record's full band-key array (for the cross-shard min-band
+/// deduplication rule); sorted-neighborhood chunk entries use `context`
+/// to mark window-overlap prefixes that provide neighbours but must not
+/// initiate pairs.
+struct SpillEntry {
+  std::string key;
+  uint8_t side = 0;  // 0 = d1, 1 = d2
+  bool context = false;
+  uint64_t position = 0;
+  std::vector<uint64_t> band_keys;
+  std::vector<std::string> values;
+};
+
+/// Serialise one entry as a single line (no trailing newline). Tabs,
+/// newlines, carriage returns and backslashes inside key/values are
+/// backslash-escaped, so the line never contains a raw terminator.
+std::string EncodeSpillEntry(const SpillEntry& entry);
+
+/// Parse one encoded line. Damaged input (injected corruption included)
+/// surfaces as InvalidArgument, never as undefined behaviour.
+[[nodiscard]] Status DecodeSpillEntry(std::string_view line,
+                                      SpillEntry* entry);
+
+/// Total order used for sorted runs and the merge: (key, side, position).
+/// Strict and total — unlike the in-memory sorted-neighborhood sort, ties
+/// cannot be broken arbitrarily, which is what makes the sharded pair set
+/// independent of shard count and thread count.
+bool SpillEntryLess(const SpillEntry& a, const SpillEntry& b);
+
+/// \brief Buffers entries per shard and spills runs once the global
+/// budget is exceeded.
+///
+/// Run files are named "<dir>/<stem>_shard<S>_run<K>.spill". When
+/// `sorted_runs` is set every run is sorted by SpillEntryLess before it
+/// lands (the raw material for the external merge); otherwise entries
+/// keep arrival order. Flush failures poison the owning shard only.
+class ShardWriter {
+ public:
+  ShardWriter(std::string dir, std::string stem, size_t num_shards,
+              size_t budget_bytes, bool sorted_runs);
+
+  /// Buffer one entry; flushes the largest shard buffers when the global
+  /// budget is exceeded. Entries for poisoned shards are dropped.
+  void Append(size_t shard, SpillEntry entry);
+
+  /// Flush every remaining buffer. Idempotent.
+  void Finish();
+
+  size_t num_shards() const { return shards_.size(); }
+  const std::vector<std::string>& shard_files(size_t shard) const;
+  /// OK, or the first flush failure that poisoned the shard.
+  const Status& shard_status(size_t shard) const;
+  uint64_t shard_entries(size_t shard) const;
+  uint64_t total_entries() const;
+  uint64_t spilled_bytes() const { return spilled_bytes_; }
+
+ private:
+  struct Shard {
+    std::vector<SpillEntry> buffered;
+    size_t buffered_bytes = 0;
+    uint64_t entries = 0;
+    int runs = 0;
+    std::vector<std::string> files;
+    Status status;
+  };
+
+  void FlushShard(size_t shard);
+
+  std::string dir_;
+  std::string stem_;
+  size_t budget_bytes_;
+  bool sorted_runs_;
+  size_t buffered_bytes_ = 0;
+  uint64_t spilled_bytes_ = 0;
+  std::vector<Shard> shards_;
+};
+
+/// \brief Streams the entries of one shard back from its run files, in
+/// file order, through data::LineReader.
+class ShardReader {
+ public:
+  explicit ShardReader(
+      std::vector<std::string> files,
+      size_t buffer_bytes = data::LineReader::kDefaultBufferBytes);
+
+  /// Next entry, or *done = true after the last file. IO and decode
+  /// failures surface as Status errors.
+  [[nodiscard]] Status Next(SpillEntry* entry, bool* done);
+
+ private:
+  std::vector<std::string> files_;
+  size_t buffer_bytes_;
+  size_t file_index_ = 0;
+  std::optional<data::LineReader> reader_;
+  std::string line_;
+};
+
+}  // namespace rlbench::bulk
+
+#endif  // RLBENCH_SRC_BULK_SHARD_IO_H_

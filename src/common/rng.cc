@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/check.h"
+
 namespace rlbench {
 
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
@@ -54,6 +56,57 @@ uint64_t SplitSeed(uint64_t base_seed, uint64_t index) {
   // decorrelated even for adjacent (base, index) pairs.
   return SplitMix64(SplitMix64(base_seed) ^
                     SplitMix64(index * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL));
+}
+
+FeistelPermutation::FeistelPermutation(uint64_t n, uint64_t seed) : n_(n) {
+  // Smallest even bit width whose power of two covers n; the Feistel halves
+  // must be equal, so the walked domain is 2^(2 * half_bits_).
+  int bits = 2;
+  while (n > (uint64_t{1} << bits) && bits < 62) bits += 2;
+  half_bits_ = bits / 2;
+  half_mask_ = (uint64_t{1} << half_bits_) - 1;
+  for (int r = 0; r < kRounds; ++r) {
+    round_keys_[r] = SplitSeed(seed, static_cast<uint64_t>(r) + 1);
+  }
+}
+
+uint64_t FeistelPermutation::Encrypt(uint64_t value) const {
+  uint64_t left = value >> half_bits_;
+  uint64_t right = value & half_mask_;
+  for (int r = 0; r < kRounds; ++r) {
+    uint64_t next = left ^ (SplitMix64(right ^ round_keys_[r]) & half_mask_);
+    left = right;
+    right = next;
+  }
+  return (left << half_bits_) | right;
+}
+
+uint64_t FeistelPermutation::Decrypt(uint64_t value) const {
+  uint64_t left = value >> half_bits_;
+  uint64_t right = value & half_mask_;
+  for (int r = kRounds - 1; r >= 0; --r) {
+    uint64_t prev = right ^ (SplitMix64(left ^ round_keys_[r]) & half_mask_);
+    right = left;
+    left = prev;
+  }
+  return (left << half_bits_) | right;
+}
+
+uint64_t FeistelPermutation::Forward(uint64_t i) const {
+  RLBENCH_CHECK_LT(i, n_);
+  // Cycle-walk: the Feistel domain is a power of two >= n, so re-encrypt
+  // until the image lands back inside [0, n). Terminates because Encrypt
+  // permutes the whole power-of-two domain.
+  uint64_t value = Encrypt(i);
+  while (value >= n_) value = Encrypt(value);
+  return value;
+}
+
+uint64_t FeistelPermutation::Inverse(uint64_t i) const {
+  RLBENCH_CHECK_LT(i, n_);
+  uint64_t value = Decrypt(i);
+  while (value >= n_) value = Decrypt(value);
+  return value;
 }
 
 uint64_t SplitMix64(uint64_t x) {

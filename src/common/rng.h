@@ -61,6 +61,40 @@ class Rng {
 /// SplitMix64 mixing function; used for stable hashing and seed derivation.
 uint64_t SplitMix64(uint64_t x);
 
+/// \brief Seeded random bijection over [0, n) with O(1) evaluation both ways.
+///
+/// A balanced Feistel network over the next power-of-two domain, cycle-walked
+/// back into [0, n): Forward(i) visits every index exactly once, Inverse is
+/// its exact inverse, and both are pure functions of (n, seed, i). This is
+/// what lets the streaming dataset generator "shuffle" millions of records
+/// without materializing a permutation vector — record `position` maps to
+/// generation slot Forward(position) on demand, and ground truth recovers
+/// positions with Inverse, all in O(1) memory.
+class FeistelPermutation {
+ public:
+  /// Permutation over [0, n). n == 0 yields the empty permutation.
+  FeistelPermutation(uint64_t n, uint64_t seed);
+
+  uint64_t size() const { return n_; }
+
+  /// Image of i under the permutation. Requires i < size().
+  uint64_t Forward(uint64_t i) const;
+
+  /// Preimage of i: Forward(Inverse(i)) == i. Requires i < size().
+  uint64_t Inverse(uint64_t i) const;
+
+ private:
+  static constexpr int kRounds = 4;
+
+  uint64_t Encrypt(uint64_t value) const;
+  uint64_t Decrypt(uint64_t value) const;
+
+  uint64_t n_ = 0;
+  int half_bits_ = 1;       // bits per Feistel half; domain is 2^(2*half)
+  uint64_t half_mask_ = 1;  // (1 << half_bits_) - 1
+  uint64_t round_keys_[kRounds] = {};
+};
+
 /// \brief Split a base seed into independent per-stream seeds.
 ///
 /// Stream `index` depends only on (base_seed, index) — never on how much

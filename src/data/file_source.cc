@@ -138,4 +138,95 @@ Status FileSource::WriteAtomic(const std::string& path,
   return last;
 }
 
+struct LineReader::Impl {
+  std::string path;
+  std::ifstream in;
+  size_t cap = LineReader::kDefaultBufferBytes;
+  std::string buffer;
+  size_t pos = 0;
+  bool exhausted = false;     // underlying stream has no more bytes
+  bool pending_skip_lf = false;  // last chunk ended mid-CRLF
+
+  // Pull the next chunk through the read_stream failpoint. An empty chunk
+  // (or an injected truncation to zero) flips `exhausted`.
+  Status Refill() {
+    buffer.resize(cap);
+    in.read(buffer.data(), static_cast<std::streamsize>(cap));
+    if (in.bad()) return Status::IOError("read failed: " + path);
+    buffer.resize(static_cast<size_t>(in.gcount()));
+    pos = 0;
+    if (auto hit = RLBENCH_FAULT_POINT("data/file/read_stream")) {
+      RLBENCH_COUNTER_INC("file_source/stream_faults");
+      RLBENCH_RETURN_NOT_OK(ApplyReadFault(hit, path, &buffer));
+    }
+    if (buffer.empty()) exhausted = true;
+    return Status::OK();
+  }
+};
+
+LineReader::LineReader(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+LineReader::~LineReader() = default;
+LineReader::LineReader(LineReader&& other) noexcept = default;
+LineReader& LineReader::operator=(LineReader&& other) noexcept = default;
+
+Result<LineReader> LineReader::Open(const std::string& path,
+                                    size_t buffer_bytes) {
+  RLBENCH_COUNTER_INC("file_source/stream_opens");
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec) || ec) {
+    return Status::NotFound("no such file: " + path);
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->path = path;
+  impl->cap = buffer_bytes < 1 ? 1 : buffer_bytes;
+  impl->in.open(path, std::ios::binary);
+  if (!impl->in) return Status::IOError("cannot open " + path);
+  return LineReader(std::move(impl));
+}
+
+Status LineReader::Next(std::string* line, bool* done) {
+  Impl& s = *impl_;
+  line->clear();
+  *done = false;
+  if (s.pending_skip_lf) {
+    // The previous line ended with '\r' as the final byte of a chunk; a
+    // leading '\n' in the next chunk belongs to that terminator.
+    s.pending_skip_lf = false;
+    if (s.pos >= s.buffer.size() && !s.exhausted) {
+      RLBENCH_RETURN_NOT_OK(s.Refill());
+    }
+    if (s.pos < s.buffer.size() && s.buffer[s.pos] == '\n') ++s.pos;
+  }
+  while (true) {
+    if (s.pos >= s.buffer.size()) {
+      if (s.exhausted) break;
+      RLBENCH_RETURN_NOT_OK(s.Refill());
+      continue;
+    }
+    size_t terminator = s.buffer.find_first_of("\r\n", s.pos);
+    if (terminator == std::string::npos) {
+      line->append(s.buffer, s.pos, std::string::npos);
+      s.pos = s.buffer.size();
+      continue;
+    }
+    line->append(s.buffer, s.pos, terminator - s.pos);
+    char kind = s.buffer[terminator];
+    s.pos = terminator + 1;
+    if (kind == '\r') {
+      if (s.pos < s.buffer.size()) {
+        if (s.buffer[s.pos] == '\n') ++s.pos;
+      } else if (!s.exhausted) {
+        s.pending_skip_lf = true;
+      }
+    }
+    return Status::OK();
+  }
+  if (line->empty()) {
+    *done = true;
+    return Status::OK();
+  }
+  // Unterminated final line: hand it out now; the next call reports done.
+  return Status::OK();
+}
+
 }  // namespace rlbench::data

@@ -6,18 +6,22 @@
 // layer (src/fault/) can strike every IO path from one place.
 //
 // Failpoints wired here:
-//   data/file/read       io | truncate | corrupt | alloc  (whole-file reads)
-//   data/file/write      io | truncate                    (plain writes; a
-//                        truncate hit models a torn write: prefix lands,
-//                        Status reports the failure)
-//   data/file/tmp_write  io | truncate   (atomic write, temp-file stage)
-//   data/file/rename     io              (atomic write, publish stage)
+//   data/file/read        io | truncate | corrupt | alloc (whole-file reads)
+//   data/file/read_stream io | truncate | corrupt | alloc (LineReader
+//                         refills; truncate/corrupt mutate the in-flight
+//                         chunk, the caller's parser must cope)
+//   data/file/write       io | truncate                   (plain writes; a
+//                         truncate hit models a torn write: prefix lands,
+//                         Status reports the failure)
+//   data/file/tmp_write   io | truncate  (atomic write, temp-file stage)
+//   data/file/rename      io             (atomic write, publish stage)
 //
 // The repo lint bans raw std::ifstream/std::ofstream everywhere else; see
 // docs/robustness.md.
 #ifndef RLBENCH_SRC_DATA_FILE_SOURCE_H_
 #define RLBENCH_SRC_DATA_FILE_SOURCE_H_
 
+#include <memory>
 #include <string>
 
 #include "common/status.h"
@@ -50,6 +54,48 @@ class FileSource {
   [[nodiscard]] static Status WriteAtomic(const std::string& path,
                             const std::string& content,
                             const AtomicWriteOptions& options = {});
+};
+
+/// \brief Streaming line reader over one file with a bounded refill buffer.
+///
+/// The out-of-core companion to FileSource::ReadAll: memory use is capped
+/// at `buffer_bytes` regardless of file size, so spill-shard consumers can
+/// walk multi-gigabyte partitions without materializing them. Line
+/// terminator handling matches the CSV parser's row terminators: LF, CRLF
+/// and lone CR all end a line (terminators are stripped), a CRLF split
+/// across two refills is still one terminator, and an unterminated final
+/// line is returned before end-of-stream is reported.
+///
+/// Not thread-safe; one reader per consumer. Reads flow through the
+/// `data/file/read_stream` failpoint chunk by chunk.
+class LineReader {
+ public:
+  static constexpr size_t kDefaultBufferBytes = 64 * 1024;
+
+  /// Open `path` for streaming. NotFound when the path does not name a
+  /// regular file, IOError when it cannot be opened. `buffer_bytes` caps
+  /// the refill chunk (floored at 1).
+  [[nodiscard]] static Result<LineReader> Open(
+      const std::string& path, size_t buffer_bytes = kDefaultBufferBytes);
+
+  ~LineReader();
+  LineReader(LineReader&& other) noexcept;
+  LineReader& operator=(LineReader&& other) noexcept;
+  LineReader(const LineReader&) = delete;
+  LineReader& operator=(const LineReader&) = delete;
+
+  /// Read the next line into *line (terminator stripped). Sets *done to
+  /// true — leaving *line empty — once the stream is exhausted; every
+  /// earlier call yields a line (possibly empty) with *done false. IO and
+  /// injected failures surface as Status errors; the reader is dead after
+  /// the first error.
+  [[nodiscard]] Status Next(std::string* line, bool* done);
+
+ private:
+  struct Impl;
+  explicit LineReader(std::unique_ptr<Impl> impl);
+
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace rlbench::data

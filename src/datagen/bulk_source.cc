@@ -1,0 +1,138 @@
+#include "datagen/bulk_source.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+#include "datagen/attr_select.h"
+#include "datagen/domain.h"
+
+namespace rlbench::datagen {
+
+namespace {
+
+// Stream tags keeping every per-slot seed family disjoint. Streams are
+// derived as SplitSeed(SplitSeed(spec.seed, tag), slot), so no tag may
+// repeat.
+constexpr uint64_t kPermD1Tag = 0xA1;
+constexpr uint64_t kPermD2Tag = 0xA2;
+constexpr uint64_t kCanonicalTag = 0xC1;
+constexpr uint64_t kDupTag[2] = {0xD1, 0xD2};
+constexpr uint64_t kFillerTag[2] = {0xF1, 0xF2};
+
+// Sibling chains regenerate their base canonical recursively; the chain
+// length is geometric in sibling_density (expected < 2 links at the default
+// 0.3), but a hard cap keeps the worst case O(1) per record.
+constexpr int kMaxSiblingDepth = 16;
+
+}  // namespace
+
+BulkSourceGenerator::BulkSourceGenerator(const SourceDatasetSpec& spec,
+                                         double scale)
+    : spec_(spec),
+      perm1_(1, 0),  // re-seated below once the sizes are known
+      perm2_(1, 0) {
+  // Same floors as BuildSourceDataset: at least 10 matches, and each side
+  // at least as large as the match count.
+  matches_ = std::max<uint64_t>(
+      10, static_cast<uint64_t>(static_cast<double>(spec.matches) * scale));
+  d1_size_ = std::max<uint64_t>(
+      matches_,
+      static_cast<uint64_t>(static_cast<double>(spec.d1_size) * scale));
+  d2_size_ = std::max<uint64_t>(
+      matches_,
+      static_cast<uint64_t>(static_cast<double>(spec.d2_size) * scale));
+  DomainGenerator probe(spec.domain, spec.seed);
+  attrs_ = ResolveAttrIndices(probe.schema(), spec.attr_indices,
+                              spec.num_attrs);
+  schema_ = SelectSchema(probe.schema(), attrs_);
+  left_noise_ = 0.35 * spec.match_noise;
+  perm1_ = FeistelPermutation(d1_size_, SplitSeed(spec.seed, kPermD1Tag));
+  perm2_ = FeistelPermutation(d2_size_, SplitSeed(spec.seed, kPermD2Tag));
+}
+
+data::Record BulkSourceGenerator::CanonicalOf(uint64_t entity,
+                                              int depth) const {
+  Rng rng(SplitSeed(SplitSeed(spec_.seed, kCanonicalTag), entity));
+  // Draw order is part of the format: sibling decision, then base pick,
+  // then the generator seed fork. Reordering would change every dataset.
+  bool sibling = entity > 0 && depth < kMaxSiblingDepth &&
+                 rng.Bernoulli(spec_.sibling_density);
+  uint64_t base = sibling ? rng.Index(static_cast<size_t>(entity)) : 0;
+  DomainGenerator generator(spec_.domain, rng.Fork());
+  if (sibling) {
+    return generator.MakeSibling(CanonicalOf(base, depth + 1));
+  }
+  return generator.MakeFamily(1)[0];
+}
+
+data::Record BulkSourceGenerator::SlotRecord(size_t side,
+                                             uint64_t slot) const {
+  RLBENCH_DCHECK_INDEX(side, 2);
+  data::Record record;
+  if (slot < matches_) {
+    data::Record canonical = CanonicalOf(slot, 0);
+    DomainGenerator generator(
+        spec_.domain, SplitSeed(SplitSeed(spec_.seed, kDupTag[side]), slot));
+    record = generator.MakeDuplicate(
+        canonical, side == kD1 ? left_noise_ : spec_.match_noise);
+  } else {
+    Rng rng(SplitSeed(SplitSeed(spec_.seed, kFillerTag[side]), slot));
+    bool sibling = matches_ > 0 && rng.Bernoulli(spec_.sibling_density);
+    uint64_t base = sibling ? rng.Index(static_cast<size_t>(matches_)) : 0;
+    DomainGenerator generator(spec_.domain, rng.Fork());
+    record = sibling ? generator.MakeSibling(CanonicalOf(base, 0))
+                     : generator.MakeFamily(1)[0];
+  }
+  SelectRecordColumns(&record, attrs_);
+  return record;
+}
+
+data::Record BulkSourceGenerator::RecordAt(size_t side,
+                                           uint64_t position) const {
+  const FeistelPermutation& perm = side == kD1 ? perm1_ : perm2_;
+  RLBENCH_CHECK_LT(position, perm.size());
+  data::Record record = SlotRecord(side, perm.Forward(position));
+  record.id = (side == kD1 ? spec_.d1_name : spec_.d2_name) +
+              std::to_string(position);
+  return record;
+}
+
+void BulkSourceGenerator::StreamRecords(
+    size_t side, uint64_t begin, uint64_t end,
+    const std::function<void(uint64_t, data::Record)>& emit) const {
+  RLBENCH_CHECK_LE(begin, end);
+  RLBENCH_CHECK_LE(end, size(side));
+  for (uint64_t position = begin; position < end; ++position) {
+    emit(position, RecordAt(side, position));
+  }
+}
+
+std::pair<uint64_t, uint64_t> BulkSourceGenerator::MatchPositions(
+    uint64_t entity) const {
+  RLBENCH_CHECK_LT(entity, matches_);
+  return {perm1_.Inverse(entity), perm2_.Inverse(entity)};
+}
+
+SourcePair BulkSourceGenerator::Materialize() const {
+  SourcePair out;
+  out.d1 = data::Table(spec_.d1_name, schema_);
+  out.d2 = data::Table(spec_.d2_name, schema_);
+  out.d1.Reserve(static_cast<size_t>(d1_size_));
+  out.d2.Reserve(static_cast<size_t>(d2_size_));
+  StreamRecords(kD1, 0, d1_size_, [&](uint64_t, data::Record record) {
+    out.d1.Add(std::move(record));
+  });
+  StreamRecords(kD2, 0, d2_size_, [&](uint64_t, data::Record record) {
+    out.d2.Add(std::move(record));
+  });
+  out.matches.reserve(static_cast<size_t>(matches_));
+  for (uint64_t e = 0; e < matches_; ++e) {
+    auto [p1, p2] = MatchPositions(e);
+    out.matches.emplace_back(static_cast<uint32_t>(p1),
+                             static_cast<uint32_t>(p2));
+  }
+  return out;
+}
+
+}  // namespace rlbench::datagen

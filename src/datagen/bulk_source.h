@@ -1,0 +1,94 @@
+// Streaming, random-access dataset generation for the out-of-core bulk
+// pipeline (ISSUE 8 tentpole).
+//
+// The legacy BuildSourceDataset materializes both tables before a global
+// shuffle, so a 10M-record source costs 10M Records of RAM before the first
+// consumer sees a byte. BulkSourceGenerator removes that wall: every record
+// is a pure function of (spec, side, position), so callers can stream a
+// source of any size in O(1) memory, jump to any record directly, and
+// recover the ground truth without an index:
+//
+//   * The output-order "shuffle" is a seeded FeistelPermutation (common/rng)
+//     per side: position p holds generation slot perm.Forward(p), and entity
+//     e sits at position perm.Inverse(e) — no permutation vector exists.
+//   * Slots below `matches` are duplicates of canonical entity `slot` (left
+//     side at 0.35x noise, right side at full noise, mirroring the legacy
+//     builder's asymmetry); higher slots are filler records, a
+//     sibling_density share of them siblings of matched entities.
+//   * Every stochastic decision draws from SplitSeed streams keyed by
+//     (spec.seed, stream, slot), never from a shared sequential Rng, so
+//     records are identical whether generated first, last, in parallel
+//     chunks, or twice.
+//
+// Materialize() collects the stream into the familiar SourcePair; the
+// bit-identity contract (streamed records == materialized records at every
+// position, for any chunking) is tested in tests/bulk/bulk_source_test.cc.
+#ifndef RLBENCH_SRC_DATAGEN_BULK_SOURCE_H_
+#define RLBENCH_SRC_DATAGEN_BULK_SOURCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/record.h"
+#include "datagen/source_builder.h"
+#include "datagen/spec.h"
+
+namespace rlbench::datagen {
+
+class BulkSourceGenerator {
+ public:
+  static constexpr size_t kD1 = 0;
+  static constexpr size_t kD2 = 1;
+
+  explicit BulkSourceGenerator(const SourceDatasetSpec& spec,
+                               double scale = 1.0);
+
+  const data::Schema& schema() const { return schema_; }
+  uint64_t num_matches() const { return matches_; }
+  uint64_t size(size_t side) const { return side == kD1 ? d1_size_ : d2_size_; }
+  const SourceDatasetSpec& spec() const { return spec_; }
+
+  /// The record at output position `position` of the given side, with its
+  /// final id ("<table name><position>"). Pure: any two calls with equal
+  /// arguments return equal records.
+  data::Record RecordAt(size_t side, uint64_t position) const;
+
+  /// Emit positions [begin, end) of one side in order. Equivalent to
+  /// calling RecordAt per position; the loop form exists so per-record
+  /// generator state never escapes and callers cannot accidentally
+  /// materialize.
+  void StreamRecords(size_t side, uint64_t begin, uint64_t end,
+                     const std::function<void(uint64_t position,
+                                              data::Record record)>& emit)
+      const;
+
+  /// Output positions (d1, d2) of ground-truth match `entity`,
+  /// entity < num_matches().
+  std::pair<uint64_t, uint64_t> MatchPositions(uint64_t entity) const;
+
+  /// Collect the full stream into the legacy SourcePair shape (tables plus
+  /// ground truth). The materialized counterpart of the streaming path —
+  /// intended for small N (tests, reference comparisons).
+  SourcePair Materialize() const;
+
+ private:
+  data::Record CanonicalOf(uint64_t entity, int depth) const;
+  data::Record SlotRecord(size_t side, uint64_t slot) const;
+
+  SourceDatasetSpec spec_;
+  uint64_t matches_ = 0;
+  uint64_t d1_size_ = 0;
+  uint64_t d2_size_ = 0;
+  std::vector<int> attrs_;
+  data::Schema schema_;
+  double left_noise_ = 0.0;
+  FeistelPermutation perm1_;
+  FeistelPermutation perm2_;
+};
+
+}  // namespace rlbench::datagen
+
+#endif  // RLBENCH_SRC_DATAGEN_BULK_SOURCE_H_

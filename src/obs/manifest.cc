@@ -133,6 +133,7 @@ std::string RunManifest::ToJson() const {
   out += "  \"threads\": " + std::to_string(threads_) + ",\n";
   out += "  \"hardware_concurrency\": " +
          std::to_string(hardware_concurrency_) + ",\n";
+  out += "  \"peak_rss_bytes\": " + std::to_string(peak_rss_bytes_) + ",\n";
   if (has_seed_) {
     out += "  \"seed\": " + std::to_string(seed_) + ",\n";
   }

@@ -14,6 +14,7 @@
 //     "bench": "<name>",
 //     "git": "<git describe --always --dirty, or 'unknown'>",
 //     "threads": N, "hardware_concurrency": N,
+//     "peak_rss_bytes": N,           // process high-water RSS; 0 = unknown
 //     "seed": N,                     // only when set
 //     "datasets": ["Ds1", ...],
 //     "config": {"flag": "value", ...},
@@ -57,6 +58,9 @@ class RunManifest {
 
   void set_threads(size_t threads) { threads_ = threads; }
   void set_hardware_concurrency(size_t n) { hardware_concurrency_ = n; }
+  /// Peak resident set size (obs::PeakRssBytes()); 0 means unknown. The
+  /// key is always serialised so downstream tooling can rely on it.
+  void set_peak_rss_bytes(int64_t bytes) { peak_rss_bytes_ = bytes; }
   void set_seed(uint64_t seed) {
     seed_ = seed;
     has_seed_ = true;
@@ -114,6 +118,7 @@ class RunManifest {
   double frozen_total_ = -1.0;  // < 0 = not frozen
   size_t threads_ = 0;
   size_t hardware_concurrency_ = 0;
+  int64_t peak_rss_bytes_ = 0;
   uint64_t seed_ = 0;
   bool has_seed_ = false;
   std::string trace_file_;

@@ -1,0 +1,49 @@
+#include "obs/resource.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace rlbench::obs {
+
+namespace {
+
+// Linux fallback: VmHWM from /proc/self/status, in kB. Uses cstdio — obs
+// sits below data::FileSource, and the repo lint reserves fstream for it.
+int64_t ProcStatusHighWaterBytes() {
+  std::FILE* file = std::fopen("/proc/self/status", "re");
+  if (file == nullptr) return 0;
+  char line[256];
+  int64_t bytes = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    long long kb = 0;
+    if (std::sscanf(line, "VmHWM: %lld kB", &kb) == 1) {
+      bytes = static_cast<int64_t>(kb) * 1024;
+      break;
+    }
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+}  // namespace
+
+int64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  std::memset(&usage, 0, sizeof(usage));
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<int64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // kB on Linux
+#endif
+  }
+#endif
+  return ProcStatusHighWaterBytes();
+}
+
+}  // namespace rlbench::obs

@@ -1,0 +1,19 @@
+// Process resource introspection for run manifests. Kept inside obs (not
+// data/) so the manifest layer stays dependency-free; the only consumer-
+// facing value today is the peak resident set size that every bench
+// harness records.
+#ifndef RLBENCH_SRC_OBS_RESOURCE_H_
+#define RLBENCH_SRC_OBS_RESOURCE_H_
+
+#include <cstdint>
+
+namespace rlbench::obs {
+
+/// Peak resident set size of this process in bytes (the high-water mark,
+/// not the current RSS), or 0 when the platform cannot report it. Reads
+/// getrusage(RUSAGE_SELF) first and falls back to /proc/self/status VmHWM.
+int64_t PeakRssBytes();
+
+}  // namespace rlbench::obs
+
+#endif  // RLBENCH_SRC_OBS_RESOURCE_H_

@@ -1,0 +1,189 @@
+// Blocking edge cases surfaced by the out-of-core pipeline: duplicate
+// sorted-neighborhood keys, degenerate windows, MinHash signatures of
+// empty and singleton token sets, stop buckets at the extremes — and the
+// bulk helpers (SortedNeighborhoodKey, BandKeysOf) pinned bit-for-bit to
+// the in-memory implementations, including sorted-neighborhood windows
+// that straddle shard boundaries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "block/minhash_blocking.h"
+#include "block/sorted_neighborhood.h"
+#include "bulk/options.h"
+#include "bulk/resolver.h"
+#include "common/rng.h"
+#include "data/record.h"
+#include "datagen/bulk_source.h"
+#include "datagen/spec.h"
+#include "text/tokenizer.h"
+
+namespace rlbench::block {
+namespace {
+
+data::Table MakeTable(const std::string& name,
+                      const std::vector<std::string>& rows) {
+  data::Table table(name, data::Schema({"text"}));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    data::Record record;
+    record.id = name + std::to_string(i);
+    record.values = {rows[i]};
+    table.Add(std::move(record));
+  }
+  return table;
+}
+
+TEST(SortedNeighborhoodEdgeTest, BulkKeyMatchesTheInMemoryKey) {
+  data::Record record;
+  record.values = {"zeta alpha", "Beta, gamma!"};
+  // Tokenized + lower-cased + sorted: alpha beta gamma zeta.
+  EXPECT_EQ(bulk::SortedNeighborhoodKey(record, 3), "alpha beta gamma");
+  EXPECT_EQ(bulk::SortedNeighborhoodKey(record, 1), "alpha");
+  // More key tokens than tokens: the whole signature, no padding.
+  EXPECT_EQ(bulk::SortedNeighborhoodKey(record, 99),
+            "alpha beta gamma zeta");
+  data::Record empty;
+  empty.values = {""};
+  EXPECT_EQ(bulk::SortedNeighborhoodKey(empty, 3), "");
+}
+
+TEST(SortedNeighborhoodEdgeTest, DuplicateKeysPairOnceEach) {
+  // Six records, one shared blocking key. With the window covering the
+  // whole tie group every cross-source pair forms exactly once.
+  data::Table d1 = MakeTable("L", {"same key", "same key", "same key"});
+  data::Table d2 = MakeTable("R", {"same key", "same key", "same key"});
+  SortedNeighborhoodOptions options;
+  options.window = 6;
+  auto candidates = SortedNeighborhoodBlocking(d1, d2, options);
+  EXPECT_EQ(candidates.size(), 9u);
+  std::set<std::pair<uint32_t, uint32_t>> unique(candidates.begin(),
+                                                 candidates.end());
+  EXPECT_EQ(unique.size(), candidates.size()) << "duplicate pair emitted";
+}
+
+TEST(SortedNeighborhoodEdgeTest, DegenerateWindowsYieldNothing) {
+  data::Table d1 = MakeTable("L", {"aa", "bb"});
+  data::Table d2 = MakeTable("R", {"aa", "bb"});
+  for (size_t window : {size_t{0}, size_t{1}}) {
+    SortedNeighborhoodOptions options;
+    options.window = window;
+    EXPECT_TRUE(SortedNeighborhoodBlocking(d1, d2, options).empty())
+        << "window=" << window;
+  }
+}
+
+// A window that straddles a shard boundary must produce the same pairs as
+// the unsharded run: chunk prefixes exist exactly for this. Tiny datasets
+// against many shards also leave some chunks empty — that must be a
+// no-op, not an error.
+TEST(SortedNeighborhoodEdgeTest, WindowsAcrossShardBoundariesAreSeamless) {
+  datagen::SourceDatasetSpec spec;
+  spec.id = "bulk_edge_sn";
+  spec.d1_name = "EA";
+  spec.d2_name = "EB";
+  spec.domain = datagen::Domain::kProduct;
+  spec.d1_size = 20;
+  spec.d2_size = 20;
+  spec.matches = 10;
+  spec.seed = 53;
+  datagen::BulkSourceGenerator source(spec);
+
+  auto resolve = [&](size_t shards) {
+    bulk::BulkOptions options;
+    options.mode = bulk::BulkMode::kSortedNeighborhood;
+    options.shards = shards;
+    options.sn.window = 7;
+    options.threshold = 0.0;
+    options.spill_dir = "blocking_edge_spill";
+    auto result = bulk::BulkResolve(source, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    std::filesystem::remove_all(options.spill_dir);
+    if (!result.ok()) return std::string();
+    EXPECT_EQ(result->shards_failed, 0u);
+    return bulk::SerializeMatches(result->matches);
+  };
+
+  std::string base = resolve(1);
+  ASSERT_FALSE(base.empty());
+  EXPECT_EQ(resolve(3), base);
+  // 16 shards over ~40 records: chunk boundaries everywhere, several
+  // chunks shorter than the window, some empty.
+  EXPECT_EQ(resolve(16), base);
+}
+
+TEST(MinHashEdgeTest, EmptyTokenSetsShareTheSentinelSignature) {
+  // An empty token set minimises over nothing: every slot stays at the
+  // sentinel, so two empty records collide in every band.
+  auto signature = MinHashSignature(text::TokenSet(), 8, 17);
+  ASSERT_EQ(signature.size(), 8u);
+  for (uint64_t slot : signature) {
+    EXPECT_EQ(slot, std::numeric_limits<uint64_t>::max());
+  }
+  data::Table d1 = MakeTable("L", {"", "real tokens here"});
+  data::Table d2 = MakeTable("R", {"", "other words entirely"});
+  MinHashOptions options;
+  auto candidates = MinHashBlocking(d1, d2, options);
+  bool empty_pair = false;
+  for (const auto& [l, r] : candidates) {
+    if (l == 0 && r == 0) empty_pair = true;
+  }
+  EXPECT_TRUE(empty_pair) << "empty records must land in one bucket";
+}
+
+TEST(MinHashEdgeTest, SingletonTokenSetsCollideOnlyWhenEqual) {
+  data::Table d1 = MakeTable("L", {"apple", "banana"});
+  data::Table d2 = MakeTable("R", {"apple", "cherry"});
+  MinHashOptions options;
+  auto candidates = MinHashBlocking(d1, d2, options);
+  bool identical_pair = false;
+  for (const auto& [l, r] : candidates) {
+    // Identical singletons have identical signatures in every band.
+    if (l == 0 && r == 0) identical_pair = true;
+    // Disjoint singletons share no minimum anywhere: a collision would
+    // need two distinct tokens to hash equal under some mix.
+    EXPECT_FALSE(l == 1 && r == 1) << "banana/cherry collided";
+  }
+  EXPECT_TRUE(identical_pair);
+}
+
+TEST(MinHashEdgeTest, ZeroStopBucketCapDropsEveryCandidate) {
+  data::Table d1 = MakeTable("L", {"same text", "same text"});
+  data::Table d2 = MakeTable("R", {"same text", "same text"});
+  MinHashOptions options;
+  options.max_bucket_size = 0;  // every non-empty bucket is a stop bucket
+  EXPECT_TRUE(MinHashBlocking(d1, d2, options).empty());
+}
+
+TEST(MinHashEdgeTest, BulkBandKeysMatchTheInMemoryFold) {
+  data::Record record;
+  record.values = {"several tokens to hash", "and a second attribute"};
+  MinHashOptions options;
+  options.num_hashes = 12;
+  options.bands = 5;  // deliberately not a divisor: rows = 2
+  options.seed = 99;
+
+  size_t bands = options.bands;
+  size_t rows = std::max<size_t>(1, options.num_hashes / bands);
+  auto signature = MinHashSignature(
+      text::TokenSet::FromText(record.ConcatenatedValues()), bands * rows,
+      options.seed);
+  std::vector<uint64_t> expected(bands);
+  for (size_t b = 0; b < bands; ++b) {
+    uint64_t key = 0xCBF29CE484222325ULL ^ (b + 1);
+    for (size_t r = 0; r < rows; ++r) {
+      key = SplitMix64(key ^ signature[b * rows + r]);
+    }
+    expected[b] = key;
+  }
+  EXPECT_EQ(bulk::BandKeysOf(record, options), expected);
+}
+
+}  // namespace
+}  // namespace rlbench::block

@@ -1,0 +1,158 @@
+// Bit-identity contract of the streaming dataset generator: RecordAt is a
+// pure function of (spec, side, position), so streaming, chunked
+// streaming, random access, and the collected SourcePair all agree byte
+// for byte — and the ground-truth positions invert the permutation
+// correctly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "datagen/bulk_source.h"
+#include "datagen/spec.h"
+
+namespace rlbench::datagen {
+namespace {
+
+SourceDatasetSpec SmallSpec() {
+  SourceDatasetSpec spec;
+  spec.id = "bulk_test";
+  spec.d1_name = "TA";
+  spec.d2_name = "TB";
+  spec.domain = Domain::kProduct;
+  spec.d1_size = 60;
+  spec.d2_size = 80;
+  spec.matches = 25;
+  spec.match_noise = 0.3;
+  spec.sibling_density = 0.4;
+  spec.seed = 11;
+  return spec;
+}
+
+TEST(BulkSourceTest, SizesMirrorLegacyFloors) {
+  BulkSourceGenerator source(SmallSpec());
+  EXPECT_EQ(source.num_matches(), 25u);
+  EXPECT_EQ(source.size(BulkSourceGenerator::kD1), 60u);
+  EXPECT_EQ(source.size(BulkSourceGenerator::kD2), 80u);
+  EXPECT_GT(source.schema().num_attributes(), 0u);
+}
+
+TEST(BulkSourceTest, StreamEqualsRandomAccess) {
+  BulkSourceGenerator source(SmallSpec());
+  for (size_t side : {BulkSourceGenerator::kD1, BulkSourceGenerator::kD2}) {
+    std::vector<data::Record> streamed;
+    source.StreamRecords(side, 0, source.size(side),
+                         [&](uint64_t position, data::Record record) {
+                           EXPECT_EQ(position, streamed.size());
+                           streamed.push_back(std::move(record));
+                         });
+    ASSERT_EQ(streamed.size(), source.size(side));
+    for (uint64_t p = 0; p < source.size(side); ++p) {
+      data::Record direct = source.RecordAt(side, p);
+      EXPECT_EQ(direct.id, streamed[p].id) << "side=" << side << " p=" << p;
+      EXPECT_EQ(direct.values, streamed[p].values)
+          << "side=" << side << " p=" << p;
+    }
+  }
+}
+
+TEST(BulkSourceTest, ChunkedStreamingIsInvariant) {
+  BulkSourceGenerator source(SmallSpec());
+  size_t side = BulkSourceGenerator::kD2;
+  std::vector<data::Record> whole;
+  source.StreamRecords(side, 0, source.size(side),
+                       [&](uint64_t, data::Record record) {
+                         whole.push_back(std::move(record));
+                       });
+  for (uint64_t chunk : {1ull, 7ull, 33ull}) {
+    std::vector<data::Record> chunked;
+    for (uint64_t begin = 0; begin < source.size(side); begin += chunk) {
+      uint64_t end = std::min<uint64_t>(begin + chunk, source.size(side));
+      source.StreamRecords(side, begin, end,
+                           [&](uint64_t, data::Record record) {
+                             chunked.push_back(std::move(record));
+                           });
+    }
+    ASSERT_EQ(chunked.size(), whole.size());
+    for (size_t i = 0; i < whole.size(); ++i) {
+      EXPECT_EQ(chunked[i].id, whole[i].id) << "chunk=" << chunk;
+      EXPECT_EQ(chunked[i].values, whole[i].values) << "chunk=" << chunk;
+    }
+  }
+}
+
+TEST(BulkSourceTest, CollectedPairMatchesStream) {
+  BulkSourceGenerator source(SmallSpec());
+  SourcePair pair = source.Materialize();
+  ASSERT_EQ(pair.d1.size(), source.size(0));
+  ASSERT_EQ(pair.d2.size(), source.size(1));
+  for (uint64_t p = 0; p < source.size(0); ++p) {
+    EXPECT_EQ(pair.d1.record(p).values, source.RecordAt(0, p).values);
+  }
+  for (uint64_t p = 0; p < source.size(1); ++p) {
+    EXPECT_EQ(pair.d2.record(p).values, source.RecordAt(1, p).values);
+  }
+}
+
+TEST(BulkSourceTest, MatchPositionsInvertThePermutation) {
+  BulkSourceGenerator source(SmallSpec());
+  std::set<uint64_t> d1_seen, d2_seen;
+  for (uint64_t entity = 0; entity < source.num_matches(); ++entity) {
+    auto [p1, p2] = source.MatchPositions(entity);
+    ASSERT_LT(p1, source.size(0));
+    ASSERT_LT(p2, source.size(1));
+    d1_seen.insert(p1);
+    d2_seen.insert(p2);
+  }
+  // Distinct entities land at distinct positions.
+  EXPECT_EQ(d1_seen.size(), source.num_matches());
+  EXPECT_EQ(d2_seen.size(), source.num_matches());
+  // And the ground truth of Materialize() agrees.
+  SourcePair pair = source.Materialize();
+  ASSERT_EQ(pair.matches.size(), source.num_matches());
+  std::set<std::pair<uint64_t, uint64_t>> from_positions;
+  for (uint64_t entity = 0; entity < source.num_matches(); ++entity) {
+    from_positions.insert(source.MatchPositions(entity));
+  }
+  for (const auto& [l, r] : pair.matches) {
+    EXPECT_TRUE(from_positions.count({l, r})) << l << "," << r;
+  }
+}
+
+TEST(BulkSourceTest, MatchedPairsShareContent) {
+  // A matched pair is two corruptions of one canonical record; with the
+  // test's moderate noise they must share vocabulary far more often than
+  // random cross-entity pairs do.
+  BulkSourceGenerator source(SmallSpec());
+  size_t nonempty_overlap = 0;
+  for (uint64_t entity = 0; entity < source.num_matches(); ++entity) {
+    auto [p1, p2] = source.MatchPositions(entity);
+    std::string a = source.RecordAt(0, p1).ConcatenatedValues();
+    std::string b = source.RecordAt(1, p2).ConcatenatedValues();
+    if (a.substr(0, 3) == b.substr(0, 3)) ++nonempty_overlap;
+  }
+  EXPECT_GT(nonempty_overlap, 0u);
+}
+
+TEST(BulkSourceTest, ScaleShrinksSizes) {
+  BulkSourceGenerator full(SmallSpec());
+  BulkSourceGenerator half(SmallSpec(), 0.5);
+  EXPECT_LT(half.size(0), full.size(0));
+  EXPECT_GE(half.num_matches(), 10u);  // legacy floor
+}
+
+TEST(BulkSourceTest, DifferentSeedsDiffer) {
+  SourceDatasetSpec spec = SmallSpec();
+  BulkSourceGenerator a(spec);
+  spec.seed = 12;
+  BulkSourceGenerator b(spec);
+  size_t differs = 0;
+  for (uint64_t p = 0; p < a.size(0) && p < b.size(0); ++p) {
+    if (a.RecordAt(0, p).values != b.RecordAt(0, p).values) ++differs;
+  }
+  EXPECT_GT(differs, 0u);
+}
+
+}  // namespace
+}  // namespace rlbench::datagen

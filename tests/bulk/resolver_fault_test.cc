@@ -1,0 +1,155 @@
+// The degradation contract under a shard IO fault storm: failing shards
+// record the failed phase in their manifests and drop out, surviving
+// shards finish with their exact no-fault results, and the run only
+// errors when every shard is lost.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bulk/options.h"
+#include "bulk/resolver.h"
+#include "data/file_source.h"
+#include "datagen/bulk_source.h"
+#include "datagen/spec.h"
+#include "fault/failpoint.h"
+
+namespace rlbench::bulk {
+namespace {
+
+datagen::SourceDatasetSpec FaultSpec() {
+  datagen::SourceDatasetSpec spec;
+  spec.id = "bulk_fault";
+  spec.d1_name = "FA";
+  spec.d2_name = "FB";
+  spec.domain = datagen::Domain::kProduct;
+  spec.d1_size = 100;
+  spec.d2_size = 140;
+  spec.matches = 30;
+  spec.seed = 41;
+  return spec;
+}
+
+class ResolverFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "rlbench_bulk_fault";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    fault::Clear();
+    std::filesystem::remove_all(dir_);
+  }
+
+  BulkOptions Options(const std::string& run_name) {
+    BulkOptions options;
+    options.mode = BulkMode::kMinHash;
+    options.shards = 4;
+    options.spill_dir = (dir_ / run_name / "spill").string();
+    options.manifest_dir = (dir_ / run_name / "manifests").string();
+    options.manifest_stem = run_name;
+    return options;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ResolverFaultTest, ReadFaultStormDegradesPerShard) {
+  datagen::BulkSourceGenerator source(FaultSpec());
+
+  // Baseline without faults: every shard's outcome, for comparison.
+  auto clean = BulkResolve(source, Options("clean"));
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_EQ(clean->shards_failed, 0u);
+  ASSERT_GT(clean->matches.size(), 0u);
+
+  // Shard reads run serially in shard order, so an always-on clause
+  // capped at two hits kills exactly the first two shards' read phases.
+  ASSERT_TRUE(
+      fault::SetSpec("seed=11;data/file/read_stream=io:1:max=2").ok());
+  auto stormy = BulkResolve(source, Options("storm"));
+  fault::Clear();
+
+  // Degraded, not dead: the resolve itself succeeds.
+  ASSERT_TRUE(stormy.ok()) << stormy.status().ToString();
+  EXPECT_EQ(stormy->shards_failed, 2u);
+  ASSERT_EQ(stormy->shards.size(), 4u);
+  EXPECT_FALSE(stormy->shards[0].status.ok());
+  EXPECT_FALSE(stormy->shards[1].status.ok());
+  EXPECT_TRUE(stormy->shards[2].status.ok());
+  EXPECT_TRUE(stormy->shards[3].status.ok());
+
+  // Survivors produce their exact no-fault results; the sharding is
+  // deterministic, so their per-shard accounting matches the baseline.
+  for (size_t shard : {size_t{2}, size_t{3}}) {
+    EXPECT_EQ(stormy->shards[shard].entries, clean->shards[shard].entries);
+    EXPECT_EQ(stormy->shards[shard].candidates,
+              clean->shards[shard].candidates);
+    EXPECT_EQ(stormy->shards[shard].matched, clean->shards[shard].matched);
+  }
+
+  // And the degraded match set is a subset of the clean one.
+  std::set<std::pair<uint64_t, uint64_t>> clean_pairs;
+  for (const MatchedPair& match : clean->matches) {
+    clean_pairs.insert({match.left, match.right});
+  }
+  for (const MatchedPair& match : stormy->matches) {
+    EXPECT_TRUE(clean_pairs.count({match.left, match.right}))
+        << match.left << "," << match.right;
+  }
+
+  // Every shard wrote a manifest; failed shards carry a failed "read"
+  // phase, survivors are clean and report their peak RSS.
+  for (size_t shard = 0; shard < 4; ++shard) {
+    const ShardOutcome& outcome = stormy->shards[shard];
+    ASSERT_FALSE(outcome.manifest_path.empty());
+    auto manifest = data::FileSource::ReadAll(outcome.manifest_path);
+    ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+    EXPECT_NE(manifest->find("\"peak_rss_bytes\""), std::string::npos);
+    EXPECT_NE(manifest->find("\"name\": \"read\""), std::string::npos);
+    if (shard < 2) {
+      EXPECT_NE(manifest->find("\"status\": \"failed\""), std::string::npos)
+          << *manifest;
+      // A shard that died reading never reached the later phases.
+      EXPECT_EQ(manifest->find("\"name\": \"score\""), std::string::npos);
+    } else {
+      EXPECT_EQ(manifest->find("\"status\": \"failed\""), std::string::npos)
+          << *manifest;
+      EXPECT_NE(manifest->find("\"name\": \"score\""), std::string::npos);
+    }
+  }
+}
+
+TEST_F(ResolverFaultTest, SpillWriteFaultPoisonsShardsNotTheRun) {
+  datagen::BulkSourceGenerator source(FaultSpec());
+  // Fail one flush through its entire WriteAtomic retry budget (three
+  // attempts): the shard whose flush it strikes is poisoned at spill time
+  // and surfaces as a failed shard downstream.
+  ASSERT_TRUE(
+      fault::SetSpec("seed=5;data/file/tmp_write=io:1:max=3").ok());
+  auto result = BulkResolve(source, Options("poison"));
+  fault::Clear();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->shards_failed, 1u);
+  size_t failed = 0;
+  for (const ShardOutcome& outcome : result->shards) {
+    if (!outcome.status.ok()) ++failed;
+  }
+  EXPECT_EQ(failed, 1u);
+}
+
+TEST_F(ResolverFaultTest, AllShardsLostIsARunError) {
+  datagen::BulkSourceGenerator source(FaultSpec());
+  ASSERT_TRUE(fault::SetSpec("seed=2;data/file/read_stream=io:1").ok());
+  auto result = BulkResolve(source, Options("total_loss"));
+  fault::Clear();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace rlbench::bulk

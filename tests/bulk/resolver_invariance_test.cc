@@ -1,0 +1,208 @@
+// The determinism contract of BulkResolve, enforced at the byte level:
+// the serialized match output is identical for every thread count, every
+// shard count, and with the obs/fault gates armed or idle — and the
+// min-band MinHash pipeline reproduces the in-memory blocker's candidate
+// set exactly once stop buckets are out of the picture.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "block/minhash_blocking.h"
+#include "bulk/options.h"
+#include "bulk/resolver.h"
+#include "common/parallel.h"
+#include "datagen/bulk_source.h"
+#include "datagen/spec.h"
+#include "fault/failpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rlbench::bulk {
+namespace {
+
+datagen::SourceDatasetSpec InvarianceSpec() {
+  datagen::SourceDatasetSpec spec;
+  spec.id = "bulk_inv";
+  spec.d1_name = "IA";
+  spec.d2_name = "IB";
+  spec.domain = datagen::Domain::kProduct;
+  spec.d1_size = 120;
+  spec.d2_size = 160;
+  spec.matches = 40;
+  spec.seed = 29;
+  return spec;
+}
+
+class ResolverInvarianceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "rlbench_bulk_inv";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    SetParallelThreads(0);
+    obs::Metrics::SetEnabled(false);
+    obs::SetTraceFile("");
+    fault::Clear();
+    std::filesystem::remove_all(dir_);
+  }
+
+  // One full resolve under the given knob settings; returns the exact
+  // serialized output. `gates` arms metrics, tracing, and an inert
+  // (probability-zero) fault clause, all of which must be invisible in
+  // the bytes.
+  std::string Resolve(const datagen::BulkSourceGenerator& source,
+                      BulkMode mode, size_t threads, size_t shards,
+                      bool gates, BulkResult* out = nullptr) {
+    if (gates) {
+      obs::Metrics::SetEnabled(true);
+      obs::SetTraceFile((dir_ / "trace.json").string());
+      EXPECT_TRUE(
+          fault::SetSpec("seed=3;data/file/read_stream=io:0").ok());
+    }
+    SetParallelThreads(threads);
+
+    BulkOptions options;
+    options.mode = mode;
+    options.shards = shards;
+    options.spill_dir = (dir_ / "spill").string();
+    auto resolved = BulkResolve(source, options);
+
+    SetParallelThreads(0);
+    obs::Metrics::SetEnabled(false);
+    obs::SetTraceFile("");
+    fault::Clear();
+    std::filesystem::remove_all(dir_ / "spill");
+
+    EXPECT_TRUE(resolved.ok()) << resolved.status().ToString();
+    if (!resolved.ok()) return {};
+    EXPECT_EQ(resolved->shards_failed, 0u);
+    if (out != nullptr) *out = *resolved;
+    return SerializeMatches(resolved->matches);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ResolverInvarianceTest, BytesAreInvariantAcrossThreadsShardsGates) {
+  datagen::BulkSourceGenerator source(InvarianceSpec());
+  for (BulkMode mode :
+       {BulkMode::kSortedNeighborhood, BulkMode::kMinHash}) {
+    BulkResult base_result;
+    std::string base = Resolve(source, mode, 1, 1, /*gates=*/false,
+                               &base_result);
+    ASSERT_FALSE(base.empty());
+    // A degenerate run would make the identity below vacuous.
+    ASSERT_GT(base_result.matches.size(), 0u)
+        << BulkModeName(mode) << ": no matches to compare";
+    EXPECT_EQ(base_result.records_streamed, 280u);
+
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{7}}) {
+      for (size_t shards : {size_t{1}, size_t{4}, size_t{16}}) {
+        for (bool gates : {false, true}) {
+          if (threads == 1 && shards == 1 && !gates) continue;
+          SCOPED_TRACE(std::string(BulkModeName(mode)) +
+                       " threads=" + std::to_string(threads) +
+                       " shards=" + std::to_string(shards) +
+                       " gates=" + (gates ? "on" : "off"));
+          BulkResult result;
+          EXPECT_EQ(Resolve(source, mode, threads, shards, gates, &result),
+                    base);
+          EXPECT_EQ(result.records_streamed, base_result.records_streamed);
+          EXPECT_EQ(result.candidate_pairs, base_result.candidate_pairs);
+        }
+      }
+    }
+  }
+}
+
+// The sharded sorted-neighborhood pair set against an independent
+// in-test model: sort every record by (key, side, position) under the
+// same strict order and slide the window — with threshold 0 the matched
+// set IS the candidate set, so the two must agree exactly.
+TEST_F(ResolverInvarianceTest, SnMatchesTheWindowReferenceModel) {
+  datagen::BulkSourceGenerator source(InvarianceSpec());
+  BulkOptions options;
+  options.mode = BulkMode::kSortedNeighborhood;
+  options.shards = 5;
+  options.threshold = 0.0;
+  options.spill_dir = (dir_ / "spill").string();
+  auto resolved = BulkResolve(source, options);
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+
+  struct RefEntry {
+    std::string key;
+    uint8_t side;
+    uint64_t position;
+  };
+  std::vector<RefEntry> entries;
+  for (uint8_t side : {uint8_t{0}, uint8_t{1}}) {
+    for (uint64_t p = 0; p < source.size(side); ++p) {
+      entries.push_back({SortedNeighborhoodKey(source.RecordAt(side, p),
+                                               options.sn.key_tokens),
+                         side, p});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const RefEntry& a, const RefEntry& b) {
+              if (a.key != b.key) return a.key < b.key;
+              if (a.side != b.side) return a.side < b.side;
+              return a.position < b.position;
+            });
+  std::set<std::pair<uint64_t, uint64_t>> expected;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    size_t limit = std::min(entries.size(), i + options.sn.window);
+    for (size_t j = i + 1; j < limit; ++j) {
+      if (entries[i].side == entries[j].side) continue;
+      const RefEntry& left = entries[i].side == 0 ? entries[i] : entries[j];
+      const RefEntry& right = entries[i].side == 0 ? entries[j] : entries[i];
+      expected.insert({left.position, right.position});
+    }
+  }
+
+  std::set<std::pair<uint64_t, uint64_t>> actual;
+  for (const MatchedPair& match : resolved->matches) {
+    actual.insert({match.left, match.right});
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+// With stop buckets disabled (a huge cap) and threshold 0, the sharded
+// min-band pipeline must produce exactly the in-memory MinHashBlocking
+// candidate set over the collected tables.
+TEST_F(ResolverInvarianceTest, MinHashMatchesTheInMemoryBlocker) {
+  datagen::BulkSourceGenerator source(InvarianceSpec());
+  BulkOptions options;
+  options.mode = BulkMode::kMinHash;
+  options.shards = 7;
+  options.threshold = 0.0;
+  options.minhash.max_bucket_size = 1u << 30;
+  options.spill_dir = (dir_ / "spill").string();
+  auto resolved = BulkResolve(source, options);
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+
+  datagen::SourcePair pair = source.Materialize();
+  block::MinHashOptions legacy = options.minhash;
+  std::set<std::pair<uint64_t, uint64_t>> expected;
+  for (const auto& [l, r] :
+       block::MinHashBlocking(pair.d1, pair.d2, legacy)) {
+    expected.insert({l, r});
+  }
+  ASSERT_GT(expected.size(), 0u);
+
+  std::set<std::pair<uint64_t, uint64_t>> actual;
+  for (const MatchedPair& match : resolved->matches) {
+    actual.insert({match.left, match.right});
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+}  // namespace
+}  // namespace rlbench::bulk

@@ -1,0 +1,198 @@
+// Spill codec round-trips, budget-driven run flushing, reading runs back
+// through the bounded line reader, and write-failpoint poisoning of a
+// single shard.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bulk/shard_io.h"
+#include "fault/failpoint.h"
+
+namespace rlbench::bulk {
+namespace {
+
+class ShardIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "rlbench_shard_io";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    fault::Clear();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::filesystem::path dir_;
+};
+
+SpillEntry Entry(std::string key, uint8_t side, uint64_t position,
+                 std::vector<std::string> values) {
+  SpillEntry entry;
+  entry.key = std::move(key);
+  entry.side = side;
+  entry.position = position;
+  entry.values = std::move(values);
+  return entry;
+}
+
+TEST(SpillCodecTest, RoundTripsHostileContent) {
+  SpillEntry entry;
+  entry.key = "tab\there\nnewline\rcr\\backslash";
+  entry.side = 1;
+  entry.context = true;
+  entry.position = 123456789012345ull;
+  entry.band_keys = {0, 1, 0xFFFFFFFFFFFFFFFFull, 42};
+  entry.values = {"", "plain", "with\ttab", "with\nnewline", "with\\slash",
+                  "trailing\r"};
+  std::string line = EncodeSpillEntry(entry);
+  // The whole point of the escaping: one entry is exactly one line.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(line.find('\r'), std::string::npos);
+  SpillEntry decoded;
+  ASSERT_TRUE(DecodeSpillEntry(line, &decoded).ok());
+  EXPECT_EQ(decoded.key, entry.key);
+  EXPECT_EQ(decoded.side, entry.side);
+  EXPECT_EQ(decoded.context, entry.context);
+  EXPECT_EQ(decoded.position, entry.position);
+  EXPECT_EQ(decoded.band_keys, entry.band_keys);
+  EXPECT_EQ(decoded.values, entry.values);
+}
+
+TEST(SpillCodecTest, DamagedLinesAreInvalidNotUndefined) {
+  SpillEntry good = Entry("k", 0, 7, {"v1", "v2"});
+  std::string line = EncodeSpillEntry(good);
+  const std::string kBad[] = {
+      "",                        // empty
+      "too\tfew",                // missing fields
+      "k\t9\t0\t1\t0\t0",        // bad side
+      "k\t0\t0\tnotanumber\t0\t0",
+      "k\t0\t0\t1\t99999\t0",    // band count beyond fields
+      "k\t0\t0\t1\t0\t5\tv",     // value count beyond fields
+      line + "\textra",          // trailing junk
+      "k\\x\t0\t0\t1\t0\t0",     // unknown escape
+  };
+  for (const std::string& bad : kBad) {
+    SpillEntry decoded;
+    Status status = DecodeSpillEntry(bad, &decoded);
+    EXPECT_FALSE(status.ok()) << "input: " << bad;
+  }
+  // Sanity: the undamaged line still decodes.
+  SpillEntry decoded;
+  EXPECT_TRUE(DecodeSpillEntry(line, &decoded).ok());
+}
+
+TEST(SpillCodecTest, OrderIsStrictAndTotal) {
+  SpillEntry a = Entry("alpha", 0, 1, {});
+  SpillEntry b = Entry("alpha", 1, 1, {});
+  SpillEntry c = Entry("beta", 0, 0, {});
+  SpillEntry d = Entry("alpha", 0, 2, {});
+  EXPECT_TRUE(SpillEntryLess(a, b));   // side breaks key ties
+  EXPECT_TRUE(SpillEntryLess(a, c));   // key first
+  EXPECT_TRUE(SpillEntryLess(a, d));   // position breaks (key, side) ties
+  EXPECT_FALSE(SpillEntryLess(a, a));  // irreflexive
+}
+
+TEST_F(ShardIoTest, WriterPartitionsAndReaderRestores) {
+  ShardWriter writer(dir_.string(), "t", 3, 1u << 20, /*sorted_runs=*/false);
+  for (uint64_t i = 0; i < 30; ++i) {
+    writer.Append(i % 3, Entry("k" + std::to_string(i), i % 2, i,
+                               {"value" + std::to_string(i)}));
+  }
+  writer.Finish();
+  EXPECT_EQ(writer.total_entries(), 30u);
+  for (size_t shard = 0; shard < 3; ++shard) {
+    ASSERT_TRUE(writer.shard_status(shard).ok());
+    EXPECT_EQ(writer.shard_entries(shard), 10u);
+    ShardReader reader(writer.shard_files(shard));
+    size_t count = 0;
+    while (true) {
+      SpillEntry entry;
+      bool done = false;
+      ASSERT_TRUE(reader.Next(&entry, &done).ok());
+      if (done) break;
+      EXPECT_EQ(entry.position % 3, shard);
+      ++count;
+    }
+    EXPECT_EQ(count, 10u);
+  }
+}
+
+TEST_F(ShardIoTest, BudgetForcesMultipleSortedRuns) {
+  // A budget holding only a handful of ~1 KiB entries forces several
+  // multi-entry flushes.
+  ShardWriter writer(dir_.string(), "runs", 1, 8000, /*sorted_runs=*/true);
+  std::string big(900, 'x');
+  for (int i = 199; i >= 0; --i) {
+    writer.Append(0, Entry("key" + std::to_string(i / 10), 0,
+                           static_cast<uint64_t>(i), {big}));
+  }
+  writer.Finish();
+  ASSERT_TRUE(writer.shard_status(0).ok());
+  EXPECT_GT(writer.shard_files(0).size(), 1u) << "expected multiple runs";
+  EXPECT_GT(writer.spilled_bytes(), 100u * 900u);
+  // Each run is internally sorted even though input arrived reversed.
+  for (const std::string& file : writer.shard_files(0)) {
+    ShardReader reader({file});
+    SpillEntry prev, cur;
+    bool first = true;
+    while (true) {
+      bool done = false;
+      ASSERT_TRUE(reader.Next(&cur, &done).ok());
+      if (done) break;
+      if (!first) EXPECT_FALSE(SpillEntryLess(cur, prev));
+      prev = cur;
+      first = false;
+    }
+  }
+  // All 200 entries survive across the runs.
+  ShardReader all(writer.shard_files(0));
+  size_t total = 0;
+  while (true) {
+    SpillEntry entry;
+    bool done = false;
+    ASSERT_TRUE(all.Next(&entry, &done).ok());
+    if (done) break;
+    ++total;
+  }
+  EXPECT_EQ(total, 200u);
+}
+
+TEST_F(ShardIoTest, WriteFailpointPoisonsOnlyThatShard) {
+  // Strike one flush through its entire WriteAtomic retry budget (three
+  // attempts); the unlucky shard records the failure, the other shard is
+  // untouched.
+  ASSERT_TRUE(
+      fault::SetSpec("seed=5;data/file/tmp_write=io:1:max=3").ok());
+  ShardWriter writer(dir_.string(), "p", 2, 1, /*sorted_runs=*/false);
+  std::string big(900, 'y');
+  for (uint64_t i = 0; i < 400; ++i) {
+    writer.Append(i % 2, Entry("k", 0, i, {big}));
+  }
+  writer.Finish();
+  fault::Clear();
+  size_t failed = 0;
+  for (size_t shard = 0; shard < 2; ++shard) {
+    if (!writer.shard_status(shard).ok()) ++failed;
+  }
+  ASSERT_EQ(failed, 1u);
+  for (size_t shard = 0; shard < 2; ++shard) {
+    if (!writer.shard_status(shard).ok()) continue;
+    // The healthy shard's files all read back.
+    ShardReader reader(writer.shard_files(shard));
+    size_t count = 0;
+    while (true) {
+      SpillEntry entry;
+      bool done = false;
+      ASSERT_TRUE(reader.Next(&entry, &done).ok());
+      if (done) break;
+      ++count;
+    }
+    EXPECT_GT(count, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace rlbench::bulk

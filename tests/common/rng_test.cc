@@ -116,5 +116,50 @@ TEST(SplitMix64Test, KnownFixedPointFree) {
   EXPECT_NE(SplitMix64(1), SplitMix64(2));
 }
 
+TEST(FeistelPermutationTest, IsABijectionOnAwkwardSizes) {
+  // Non-power-of-two and tiny domains exercise the cycle-walking path.
+  for (uint64_t n : {1ull, 2ull, 3ull, 7ull, 64ull, 100ull, 1000ull}) {
+    FeistelPermutation perm(n, 42);
+    std::set<uint64_t> seen;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t mapped = perm.Forward(i);
+      ASSERT_LT(mapped, n);
+      seen.insert(mapped);
+    }
+    EXPECT_EQ(seen.size(), n) << "n=" << n;
+  }
+}
+
+TEST(FeistelPermutationTest, InverseRoundTrips) {
+  FeistelPermutation perm(977, 7);
+  for (uint64_t i = 0; i < 977; ++i) {
+    EXPECT_EQ(perm.Inverse(perm.Forward(i)), i);
+    EXPECT_EQ(perm.Forward(perm.Inverse(i)), i);
+  }
+}
+
+TEST(FeistelPermutationTest, SeedChangesOrderDeterministically) {
+  FeistelPermutation a(512, 1);
+  FeistelPermutation b(512, 1);
+  FeistelPermutation c(512, 2);
+  size_t differs = 0;
+  for (uint64_t i = 0; i < 512; ++i) {
+    EXPECT_EQ(a.Forward(i), b.Forward(i));
+    if (a.Forward(i) != c.Forward(i)) ++differs;
+  }
+  // Different seeds must give a genuinely different permutation.
+  EXPECT_GT(differs, 256u);
+}
+
+TEST(FeistelPermutationTest, ActuallyPermutes) {
+  // The identity permutation would silently disable the output shuffle.
+  FeistelPermutation perm(1024, 3);
+  size_t moved = 0;
+  for (uint64_t i = 0; i < 1024; ++i) {
+    if (perm.Forward(i) != i) ++moved;
+  }
+  EXPECT_GT(moved, 512u);
+}
+
 }  // namespace
 }  // namespace rlbench

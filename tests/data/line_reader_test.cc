@@ -1,0 +1,161 @@
+// Edge cases for the bounded-buffer streaming line reader, mirroring the
+// terminator matrix of csv_edge_test.cc: LF / CRLF / lone-CR rows, missing
+// terminator at EOF, empty documents — plus the streaming-only hazards
+// (CRLF split across two buffer refills) and the data/file/read_stream
+// failpoint.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "data/file_source.h"
+#include "fault/failpoint.h"
+
+namespace rlbench::data {
+namespace {
+
+class LineReaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "rlbench_line_reader";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    fault::Clear();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string Write(const std::string& file, const std::string& text) {
+    std::string path = (dir_ / file).string();
+    EXPECT_TRUE(FileSource::WriteAll(path, text).ok());
+    return path;
+  }
+
+  // All lines of the file through a reader with the given buffer size.
+  std::vector<std::string> ReadLines(const std::string& path,
+                                     size_t buffer_bytes) {
+    auto opened = LineReader::Open(path, buffer_bytes);
+    EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+    LineReader reader = std::move(opened).value();
+    std::vector<std::string> lines;
+    while (true) {
+      std::string line;
+      bool done = false;
+      Status status = reader.Next(&line, &done);
+      EXPECT_TRUE(status.ok()) << status.ToString();
+      if (!status.ok() || done) break;
+      lines.push_back(std::move(line));
+    }
+    return lines;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(LineReaderTest, TerminatorMatrix) {
+  struct Case {
+    const char* label;
+    const char* text;
+    std::vector<std::string> expected;
+  };
+  const Case kCases[] = {
+      {"lf_rows", "a\nb\n", {"a", "b"}},
+      {"no_trailing_newline", "a\nb", {"a", "b"}},
+      {"crlf_rows", "a\r\nb\r\n", {"a", "b"}},
+      {"lone_cr_rows", "a\rb\r", {"a", "b"}},
+      {"mixed_terminators", "a\r\nb\rc\nd", {"a", "b", "c", "d"}},
+      {"empty_document", "", {}},
+      {"single_newline", "\n", {""}},
+      {"blank_lines_kept", "a\n\nb\n", {"a", "", "b"}},
+      {"crlf_blank_line", "a\r\n\r\nb", {"a", "", "b"}},
+      {"cr_at_eof", "a\r", {"a"}},
+      {"unterminated_final", "lonely", {"lonely"}},
+  };
+  for (const Case& c : kCases) {
+    std::string path = Write("case.txt", c.text);
+    EXPECT_EQ(ReadLines(path, LineReader::kDefaultBufferBytes), c.expected)
+        << c.label;
+  }
+}
+
+// The streaming-only hazard: every terminator variant must parse the same
+// at any buffer size, including sizes that split a CRLF across refills.
+TEST_F(LineReaderTest, BufferSizeSweepIsEquivalent) {
+  std::string text = "first\r\nsecond\rthird\n\r\nfifth";
+  std::vector<std::string> expected = {"first", "second", "third", "",
+                                       "fifth"};
+  std::string path = Write("sweep.txt", text);
+  for (size_t buffer = 1; buffer <= 16; ++buffer) {
+    EXPECT_EQ(ReadLines(path, buffer), expected) << "buffer=" << buffer;
+  }
+}
+
+TEST_F(LineReaderTest, DoneIsSticky) {
+  std::string path = Write("sticky.txt", "only\n");
+  auto opened = LineReader::Open(path);
+  ASSERT_TRUE(opened.ok());
+  LineReader reader = std::move(opened).value();
+  std::string line;
+  bool done = false;
+  ASSERT_TRUE(reader.Next(&line, &done).ok());
+  EXPECT_FALSE(done);
+  EXPECT_EQ(line, "only");
+  for (int i = 0; i < 3; ++i) {
+    done = false;
+    ASSERT_TRUE(reader.Next(&line, &done).ok());
+    EXPECT_TRUE(done);
+  }
+}
+
+TEST_F(LineReaderTest, MissingFileIsNotFound) {
+  auto opened = LineReader::Open((dir_ / "absent.txt").string());
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(LineReaderTest, ReadStreamFailpointSurfacesIOError) {
+  std::string path = Write("faulty.txt", "a\nb\nc\n");
+  ASSERT_TRUE(fault::SetSpec("seed=1;data/file/read_stream=io:1").ok());
+  auto opened = LineReader::Open(path, 2);
+  ASSERT_TRUE(opened.ok());
+  LineReader reader = std::move(opened).value();
+  std::string line;
+  bool done = false;
+  Status status = reader.Next(&line, &done);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  fault::Clear();
+}
+
+// Truncation faults shrink refills but must never corrupt the line
+// structure into undefined behaviour — the reader just sees a shorter
+// stream.
+TEST_F(LineReaderTest, TruncateFaultYieldsShorterStream) {
+  std::string path = Write("trunc.txt", "aaaa\nbbbb\ncccc\n");
+  ASSERT_TRUE(
+      fault::SetSpec("seed=7;data/file/read_stream=truncate:1:max=1").ok());
+  auto opened = LineReader::Open(path, 8);
+  ASSERT_TRUE(opened.ok());
+  LineReader reader = std::move(opened).value();
+  std::vector<std::string> lines;
+  while (true) {
+    std::string line;
+    bool done = false;
+    Status status = reader.Next(&line, &done);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    if (done) break;
+    lines.push_back(std::move(line));
+  }
+  fault::Clear();
+  std::string joined;
+  for (const std::string& line : lines) joined += line + "\n";
+  std::string full = "aaaa\nbbbb\ncccc\n";
+  // Whatever the fault dropped, the result is a subsequence-by-truncation
+  // of the original byte stream, parsed into at most the original lines.
+  EXPECT_LE(joined.size(), full.size());
+  EXPECT_LE(lines.size(), 3u);
+}
+
+}  // namespace
+}  // namespace rlbench::data

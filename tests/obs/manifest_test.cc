@@ -110,6 +110,19 @@ TEST(ManifestTest, MetricsSectionFollowsTheGate) {
   EXPECT_EQ(without_metrics.find("\"counters\""), std::string::npos);
 }
 
+TEST(ManifestTest, PeakRssBytesIsAlwaysSerialised) {
+  // Downstream tooling (tools/validate_manifest.py) treats the key as
+  // required, so it must appear even when never set.
+  RunManifest manifest("unit_bench_rss");
+  std::string json = manifest.ToJson();
+  EXPECT_TRUE(JsonSyntaxValid(json)) << json;
+  EXPECT_NE(json.find("\"peak_rss_bytes\": 0"), std::string::npos);
+  manifest.set_peak_rss_bytes(123456789);
+  json = manifest.ToJson();
+  EXPECT_TRUE(JsonSyntaxValid(json)) << json;
+  EXPECT_NE(json.find("\"peak_rss_bytes\": 123456789"), std::string::npos);
+}
+
 TEST(ManifestTest, PhasesCarryOkStatusByDefault) {
   RunManifest manifest("unit_bench_status");
   manifest.BeginPhase("clean");

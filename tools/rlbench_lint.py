@@ -54,6 +54,11 @@ Rules:
                 are the per-pair hot path and must work over presorted
                 contiguous spans with stack scratch only (top-level, non-
                 loop allocations like ParseNumeric's strtod buffer are fine)
+  bulk          no whole-dataset entry points (FileSource::ReadAll,
+                BulkSourceGenerator::Materialize, BuildSourceDataset, the
+                in-memory MinHashBlocking / SortedNeighborhoodBlocking)
+                inside src/bulk/ — the out-of-core pipeline must stream;
+                collected forms belong in tests and benchmarks
   cmake-reg     every .cc under src/ is listed in its directory's
                 CMakeLists.txt (unregistered files silently fall out of the
                 build and rot)
@@ -497,6 +502,53 @@ KERNELS_FIXTURES = [
             "for (;;) { scratch.push_back(1); }\n", bad=False),
 ]
 
+# --- bulk -------------------------------------------------------------------
+
+# src/bulk/ exists to resolve datasets that do not fit in memory, so its
+# code must stream through BulkSourceGenerator / ShardReader. These tokens
+# are the exact whole-dataset entry points that would silently make the
+# pipeline in-core again; tests and benchmarks may still use them to cross-
+# check the streamed results against collected ones.
+BULK_PREFIX = "src/bulk/"
+BULK_PATTERNS = [
+    (re.compile(r"\b(?:ReadAll|Materialize|BuildSourceDataset|"
+                r"MinHashBlocking|SortedNeighborhoodBlocking)\b"),
+     "whole-dataset materialization inside src/bulk/; the out-of-core "
+     "pipeline must stream (BulkSourceGenerator, ShardReader/ShardWriter) "
+     "— collected forms belong in tests"),
+]
+
+
+def check_bulk(rel, lines, errors):
+    if not rel.startswith(BULK_PREFIX):
+        return
+    for i, line in enumerate(lines):
+        code = LINE_COMMENT.sub("", line)
+        for pattern, message in BULK_PATTERNS:
+            if pattern.search(code):
+                errors.append(f"{rel}:{i + 1}: {message}")
+
+
+BULK_FIXTURES = [
+    Fixture("src/bulk/x.cc", "auto blob = FileSource::ReadAll(path);\n",
+            bad=True),
+    Fixture("src/bulk/x.cc", "auto pair = source.Materialize();\n",
+            bad=True),
+    Fixture("src/bulk/x.cc",
+            "auto c = block::MinHashBlocking(d1, d2, options);\n", bad=True),
+    Fixture("src/bulk/x.cc",
+            "auto c = block::SortedNeighborhoodBlocking(d1, d2, o);\n",
+            bad=True),
+    Fixture("src/bulk/x.cc", "// Materialize() lives in tests only.\n",
+            bad=False),
+    Fixture("src/bulk/x.cc", "writer.Append(shard, std::move(entry));\n",
+            bad=False),
+    Fixture("tests/bulk/x.cc", "auto pair = source.Materialize();\n",
+            bad=False),
+    Fixture("src/datagen/bulk_source.cc", "SourcePair Materialize();\n",
+            bad=False),
+]
+
 # --- rule registry ----------------------------------------------------------
 
 RULES = [
@@ -511,6 +563,7 @@ RULES = [
     Rule("locks", check_locks, LOCKS_FIXTURES),
     Rule("nodiscard", check_nodiscard, NODISCARD_FIXTURES),
     Rule("kernels", check_kernels, KERNELS_FIXTURES),
+    Rule("bulk", check_bulk, BULK_FIXTURES),
     Rule("chrono",
          _pattern_check(CHRONO_ALLOWLIST, CHRONO_ALLOWED_PREFIXES,
                         CHRONO_PATTERNS), CHRONO_FIXTURES),

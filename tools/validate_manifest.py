@@ -73,7 +73,7 @@ def validate_manifest(errors, path, manifest):
     if bench == "":
         fail(errors, path, "bench name is empty")
     expect_type(errors, path, manifest, "git", str)
-    for key in ("threads", "hardware_concurrency"):
+    for key in ("threads", "hardware_concurrency", "peak_rss_bytes"):
         value = expect_type(errors, path, manifest, key, int)
         if value is not None and value < 0:
             fail(errors, path, f"key '{key}' is negative")
