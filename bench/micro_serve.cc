@@ -8,13 +8,26 @@
 //   pipelined   — fill the admission queue, then drain: micro-batch
 //                 coalescing throughput, plus how often admission control
 //                 pushed back with ResourceExhausted.
+//   storm       — (--storm) open loop: multi-tenant bursts arrive faster
+//                 than one pump can serve, through a shed-enabled service
+//                 with a linear fallback tier and a shadow window scoring
+//                 sampled traffic. Reports p50/p95/p99 under overload,
+//                 per-tier counts, shed transitions and the shadow
+//                 agreement rate; always verifies that degraded responses
+//                 are bit-identical to the fallback scorer run directly.
+//                 --smoke additionally asserts that at least one shed
+//                 transition fired and that requests were degraded (the
+//                 CI overload gate).
 //
 // Results land in bench_results/BENCH_serve.json for regression tracking.
 //
 // Flags: --dataset (default Ds3), --scale (default 0.5),
 //        --matcher (default Magellan-RF), --requests (default 2000),
-//        --pairs (default 4, pairs per request)
+//        --pairs (default 4, pairs per request),
+//        --storm, --smoke, --storm_steps, --storm_burst,
+//        --fallback (default SA-ESDE), --shadow_matcher (default SB-ESDE)
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -87,11 +100,9 @@ int main(int argc, char** argv) {
   matchers::MatchingContext context(&task);
   auto trained = matchers::TrainServableMatcher(matcher, context);
   RLBENCH_CHECK_MSG(trained.ok(), "training failed");
+  std::shared_ptr<const matchers::TrainedModel> primary(std::move(*trained));
   serve::MatchService service(&context);
-  RLBENCH_CHECK(service
-                    .SwapModel(std::shared_ptr<const matchers::TrainedModel>(
-                        std::move(*trained)))
-                    .ok());
+  RLBENCH_CHECK(service.SwapModel(primary).ok());
   run.manifest().EndPhase();
 
   const auto& test = task.test();
@@ -154,6 +165,178 @@ int main(int argc, char** argv) {
                         static_cast<double>(batches)
                   : 0.0;
 
+  // Phase 3 (--storm): open-loop overload. Each step injects a multi-tenant
+  // burst larger than the one micro-batch a step pumps, so the queue fills
+  // deterministically and walks the shed ladder: full -> degraded (linear
+  // fallback) -> reject. A shadow window scores sampled full-tier traffic
+  // against a candidate the whole time.
+  const bool storm = flags.GetBool("storm", false);
+  const bool smoke = flags.GetBool("smoke", false);
+  double storm_p50 = 0.0, storm_p95 = 0.0, storm_p99 = 0.0;
+  double storm_throughput = 0.0, shadow_agreement = 1.0;
+  uint64_t storm_full = 0, storm_degraded = 0, storm_rejected = 0;
+  uint64_t storm_transitions = 0;
+  size_t identity_checked = 0;
+  if (storm) {
+    std::string fallback_name = flags.GetString("fallback", "SA-ESDE");
+    std::string shadow_name = flags.GetString("shadow_matcher", "SB-ESDE");
+    size_t storm_steps = static_cast<size_t>(
+        flags.GetInt("storm_steps", smoke ? 24 : 60));
+    size_t storm_burst =
+        static_cast<size_t>(flags.GetInt("storm_burst", 80));
+    run.manifest().AddConfig("storm_steps",
+                             static_cast<int64_t>(storm_steps));
+    run.manifest().AddConfig("storm_burst",
+                             static_cast<int64_t>(storm_burst));
+    run.manifest().AddConfig("fallback", fallback_name);
+    run.manifest().AddConfig("shadow_matcher", shadow_name);
+
+    run.manifest().BeginPhase("storm_setup");
+    serve::MatchServiceOptions storm_options;
+    storm_options.shed_enabled = true;
+    storm_options.shed.dwell = 1;
+    serve::MatchService storm_service(&context, storm_options);
+    // The phase-1 service froze the context caches; training new model
+    // families needs the warm phase back. Install paths re-freeze.
+    context.left().Thaw();
+    context.right().Thaw();
+    auto fallback = matchers::TrainServableMatcher(fallback_name, context);
+    RLBENCH_CHECK_MSG(fallback.ok(), "fallback training failed");
+    context.left().Thaw();
+    context.right().Thaw();
+    auto candidate = matchers::TrainServableMatcher(shadow_name, context);
+    RLBENCH_CHECK_MSG(candidate.ok(), "shadow candidate training failed");
+    RLBENCH_CHECK(storm_service.SwapModel(primary).ok());
+    RLBENCH_CHECK(storm_service
+                      .SetFallbackModel(
+                          std::shared_ptr<const matchers::TrainedModel>(
+                              std::move(*fallback)))
+                      .ok());
+    serve::SnapshotMetadata shadow_meta;
+    shadow_meta.matcher_name = shadow_name;
+    shadow_meta.dataset_id = task.name();
+    shadow_meta.num_attrs = task.left().schema().num_attributes();
+    serve::ShadowOptions shadow_options;
+    shadow_options.sample_fraction = 0.3;
+    shadow_options.min_samples = 32;
+    // Measurement window, not a promotion attempt: an unreachable target
+    // and a zero agreement floor keep the window open for the whole storm
+    // so the reported agreement covers every sampled batch.
+    shadow_options.target_samples = 1u << 30;
+    shadow_options.min_agreement = 0.0;
+    shadow_options.max_latency_ratio = 0.0;
+    RLBENCH_CHECK(storm_service
+                      .StartShadow(
+                          std::shared_ptr<const matchers::TrainedModel>(
+                              std::move(*candidate)),
+                          shadow_meta, shadow_options)
+                      .ok());
+    run.manifest().EndPhase();
+
+    const char* tenants[3] = {"alpha", "beta", "gamma"};
+    std::vector<std::pair<std::vector<data::LabeledPair>,
+                          std::vector<double>>>
+        degraded_samples;
+    size_t storm_answered = 0;
+    LatencyHistogram().Reset();
+    run.manifest().BeginPhase("storm");
+    Stopwatch storm_watch;
+    for (size_t step = 0; step < storm_steps; ++step) {
+      for (size_t b = 0; b < storm_burst; ++b) {
+        std::vector<data::LabeledPair> request_pairs =
+            NextPairs(test, &cursor, pairs_per_request);
+        serve::SubmitOptions submit;
+        submit.tenant = tenants[(step + b) % 3];
+        std::vector<data::LabeledPair> pairs_copy = request_pairs;
+        auto id = storm_service.SubmitRequest(
+            std::move(request_pairs), submit,
+            [&storm_answered, &storm_full, &storm_degraded,
+             &degraded_samples,
+             pairs_copy](const serve::RequestOutcome& outcome) {
+              ++storm_answered;
+              if (!outcome.status.ok()) return;
+              if (outcome.tier == serve::ShedTier::kDegraded) {
+                ++storm_degraded;
+                if (degraded_samples.size() < 64) {
+                  std::vector<double> scores;
+                  scores.reserve(outcome.results.size());
+                  for (const serve::PairScore& r : outcome.results) {
+                    scores.push_back(r.score);
+                  }
+                  degraded_samples.emplace_back(pairs_copy,
+                                                std::move(scores));
+                }
+              } else {
+                ++storm_full;
+              }
+            });
+        if (!id.ok()) {
+          RLBENCH_CHECK_MSG(
+              id.status().code() == StatusCode::kResourceExhausted,
+              "unexpected storm rejection");
+          ++storm_rejected;
+        }
+      }
+      // One pump per step: the open loop outruns the service on purpose.
+      storm_service.PumpOne();
+    }
+    storm_service.Drain();
+    double storm_seconds = storm_watch.ElapsedSeconds();
+    run.manifest().EndPhase();
+
+    storm_p50 = LatencyHistogram().Percentile(0.50);
+    storm_p95 = LatencyHistogram().Percentile(0.95);
+    storm_p99 = LatencyHistogram().Percentile(0.99);
+    storm_throughput =
+        static_cast<double>(storm_answered * pairs_per_request) /
+        storm_seconds;
+    storm_transitions = storm_service.ShedTransitions();
+    if (const serve::ShadowEvaluator* shadow = storm_service.Shadow();
+        shadow != nullptr) {
+      shadow_agreement = shadow->stats().Agreement();
+    }
+
+    // Degraded responses must be bit-identical to the fallback scorer run
+    // directly on the same pairs — shedding picks the model, never changes
+    // what a model computes.
+    std::shared_ptr<const matchers::TrainedModel> fallback_model =
+        storm_service.FallbackModel();
+    for (const auto& [sample_pairs, served_scores] : degraded_samples) {
+      std::vector<double> direct_scores(sample_pairs.size());
+      std::vector<uint8_t> direct_decisions(sample_pairs.size());
+      RLBENCH_CHECK(fallback_model
+                        ->ScoreBatch(context, sample_pairs, direct_scores,
+                                     direct_decisions)
+                        .ok());
+      for (size_t i = 0; i < sample_pairs.size(); ++i) {
+        RLBENCH_CHECK_MSG(served_scores[i] == direct_scores[i],
+                          "degraded tier diverged from the linear scorer");
+        ++identity_checked;
+      }
+    }
+
+    run.manifest().AddConfig("storm_tier_full",
+                             static_cast<int64_t>(storm_full));
+    run.manifest().AddConfig("storm_tier_degraded",
+                             static_cast<int64_t>(storm_degraded));
+    run.manifest().AddConfig("storm_tier_rejected",
+                             static_cast<int64_t>(storm_rejected));
+    run.manifest().AddConfig("storm_shed_transitions",
+                             static_cast<int64_t>(storm_transitions));
+    run.manifest().AddConfig("storm_shadow_agreement", shadow_agreement);
+    run.manifest().AddConfig("storm_identity_checked",
+                             static_cast<int64_t>(identity_checked));
+
+    if (smoke) {
+      RLBENCH_CHECK_MSG(storm_transitions >= 1,
+                        "storm smoke: no shed transition fired");
+      RLBENCH_CHECK_MSG(storm_degraded > 0,
+                        "storm smoke: nothing was served degraded");
+      RLBENCH_CHECK_MSG(identity_checked > 0,
+                        "storm smoke: no degraded response verified");
+    }
+  }
+
   std::printf("%s on %s (scale %.2f)\n", matcher.c_str(), dataset.c_str(),
               scale);
   std::printf("closed loop: %.0f pairs/s, latency p50 %.4f ms, p95 %.4f ms, "
@@ -162,6 +345,19 @@ int main(int argc, char** argv) {
   std::printf("pipelined:   %.0f pairs/s over %zu batches "
               "(%.1f pairs/batch), %zu admission rejections\n",
               pipelined_throughput, batches, mean_batch_pairs, rejected);
+  if (storm) {
+    std::printf("storm:       %.0f pairs/s, latency p50 %.4f ms, p95 %.4f "
+                "ms, p99 %.4f ms\n",
+                storm_throughput, storm_p50, storm_p95, storm_p99);
+    std::printf("             tiers full=%llu degraded=%llu rejected=%llu, "
+                "%llu shed transitions, shadow agreement %.4f, "
+                "%zu degraded scores bit-verified\n",
+                static_cast<unsigned long long>(storm_full),
+                static_cast<unsigned long long>(storm_degraded),
+                static_cast<unsigned long long>(storm_rejected),
+                static_cast<unsigned long long>(storm_transitions),
+                shadow_agreement, identity_checked);
+  }
 
   char buf[256];
   std::string json = "{\n  \"bench\": \"serve\",\n";
@@ -183,9 +379,34 @@ int main(int argc, char** argv) {
                 "  \"pipelined_pairs_per_sec\": %.2f,\n"
                 "  \"pipelined_batches\": %zu,\n"
                 "  \"mean_batch_pairs\": %.3f,\n"
-                "  \"admission_rejections\": %zu\n}\n",
+                "  \"admission_rejections\": %zu",
                 pipelined_throughput, batches, mean_batch_pairs, rejected);
   json += buf;
+  if (storm) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\n  \"storm_pairs_per_sec\": %.2f,\n"
+                  "  \"storm_latency_p50_ms\": %.6f,\n"
+                  "  \"storm_latency_p95_ms\": %.6f,\n"
+                  "  \"storm_latency_p99_ms\": %.6f,\n",
+                  storm_throughput, storm_p50, storm_p95, storm_p99);
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"shed_tier_full\": %llu,\n"
+                  "  \"shed_tier_degraded\": %llu,\n"
+                  "  \"shed_tier_rejected\": %llu,\n"
+                  "  \"shed_transitions\": %llu,\n",
+                  static_cast<unsigned long long>(storm_full),
+                  static_cast<unsigned long long>(storm_degraded),
+                  static_cast<unsigned long long>(storm_rejected),
+                  static_cast<unsigned long long>(storm_transitions));
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"shadow_agreement_rate\": %.6f,\n"
+                  "  \"degraded_bit_identical\": %zu",
+                  shadow_agreement, identity_checked);
+    json += buf;
+  }
+  json += "\n}\n";
   std::string path = benchutil::ResultsDir() + "/BENCH_serve.json";
   Status write = data::FileSource::WriteAtomic(path, json);
   if (!write.ok()) {

@@ -1,30 +1,35 @@
 #!/usr/bin/env bash
 # One-shot pre-PR gate (and future CI entry point):
 #   1. configure + build + ctest under ASan/UBSan (warnings as errors)
-#   2. serve smoke: rlbench_serve on a loopback port, rlbench_client
-#      round-trip (ping/match/assess/reload), clean shutdown — all under
-#      the stage-1 sanitizers
-#   3. TSan build + the concurrency-bearing tests (parallel pool, frozen
+#   2. serve smoke: rlbench_serve on a loopback port (shed tier + linear
+#      fallback armed), rlbench_client round-trip (ping/match/assess/
+#      reload/shadow lifecycle), clean shutdown — all under the stage-1
+#      sanitizers
+#   3. serve overload storm smoke: micro_serve --storm --smoke under
+#      ASan/UBSan — an open-loop multi-tenant burst that must walk the
+#      shed ladder (>= 1 transition, degraded traffic bit-identical to the
+#      linear fallback) with per-tier counts recorded in the manifest
+#   4. TSan build + the concurrency-bearing tests (parallel pool, frozen
 #      feature cache, thread-count invariance, metrics shards)
-#   4. observability end-to-end: one bench with RLBENCH_METRICS +
+#   5. observability end-to-end: one bench with RLBENCH_METRICS +
 #      RLBENCH_TRACE, manifest + trace validated by
 #      tools/validate_manifest.py
-#   5. vectorized kernels: the differential + golden suites and the
+#   6. vectorized kernels: the differential + golden suites and the
 #      columnar store tests re-run explicitly under ASan/UBSan, plus a
 #      micro_kernels smoke (scalar-vs-vectorized checksums asserted inside
 #      the bench; no perf thresholds under sanitizers)
-#   6. out-of-core bulk smoke: macro_bulk --smoke (20k records through
+#   7. out-of-core bulk smoke: macro_bulk --smoke (20k records through
 #      both blocking modes, spill-to-disk, per-shard manifests) under the
 #      sanitizers, validated by tools/validate_manifest.py
-#   7. fault-injection storm: a real bench under RLBENCH_FAULTS across 8
+#   8. fault-injection storm: a real bench under RLBENCH_FAULTS across 8
 #      seeds with ASan/UBSan armed — graceful degradation may fail
 #      datasets, but a crash/abort/sanitizer report fails the gate
-#   8. repo lint (tools/rlbench_lint.py), its rule self-tests, and the
+#   9. repo lint (tools/rlbench_lint.py), its rule self-tests, and the
 #      negative-compilation fixtures (tests/static/)
-#   9. Clang thread-safety analysis: full build under -Wthread-safety
+#  10. Clang thread-safety analysis: full build under -Wthread-safety
 #      -Wthread-safety-beta -Werror=thread-safety-analysis (skipped with
 #      a warning if clang++ is not installed — GCC has no such analysis)
-#  10. clang-tidy over src/ (skipped with a warning if not installed)
+#  11. clang-tidy over src/ (skipped with a warning if not installed)
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -35,7 +40,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 SCRATCH_ROOT="$(mktemp -d "${TMPDIR:-/tmp}/rlbench_check.XXXXXX")"
 trap 'rm -rf "${SCRATCH_ROOT}"' EXIT
 
-echo "== [1/10] build + test under ASan/UBSan =="
+echo "== [1/11] build + test under ASan/UBSan =="
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRLBENCH_SANITIZE="address;undefined" \
@@ -49,17 +54,20 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
     ctest --output-on-failure -j "${JOBS}"
 )
 
-echo "== [2/10] serve smoke (client/server round-trip under ASan/UBSan) =="
+echo "== [2/11] serve smoke (client/server round-trip under ASan/UBSan) =="
 SERVE_DIR="${SCRATCH_ROOT}/serve"
 mkdir -p "${SERVE_DIR}"
 PORT_FILE="${SERVE_DIR}/port"
 # The server trains Magellan-DT (cheap), publishes it into a fresh
 # repository, binds an ephemeral loopback port, and writes it to
-# --port_file once it is accepting connections.
+# --port_file once it is accepting connections. Shedding and the linear
+# fallback tier are armed so the event loop runs its full configuration
+# (even though this gentle smoke never trips a tier).
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 ASAN_OPTIONS="detect_leaks=1" \
   "${BUILD_DIR}/src/serve/rlbench_serve" --dataset=Ds3 --scale=0.2 \
   --matcher=Magellan-DT --repo="${SERVE_DIR}/repo" \
+  --shed --fallback=SA-ESDE --quotas="smoke=200:50" \
   --port_file="${PORT_FILE}" > "${SERVE_DIR}/server.log" 2>&1 &
 SERVE_PID=$!
 for _ in $(seq 1 240); do
@@ -86,6 +94,10 @@ SERVE_CLIENT="${BUILD_DIR}/src/serve/rlbench_client"
 "${SERVE_CLIENT}" --port="${SERVE_PORT}" --op=assess
 "${SERVE_CLIENT}" --port="${SERVE_PORT}" --op=stats
 "${SERVE_CLIENT}" --port="${SERVE_PORT}" --op=reload --matcher=Magellan-DT
+# Shadow lifecycle over the wire: start a candidate, poll it, cancel it.
+"${SERVE_CLIENT}" --port="${SERVE_PORT}" --op=shadow_start --matcher=SA-ESDE
+"${SERVE_CLIENT}" --port="${SERVE_PORT}" --op=shadow_status
+"${SERVE_CLIENT}" --port="${SERVE_PORT}" --op=shadow_cancel
 "${SERVE_CLIENT}" --port="${SERVE_PORT}" --op=shutdown
 wait "${SERVE_PID}"   # non-zero server exit fails the gate (set -e)
 grep -q "shut down cleanly" "${SERVE_DIR}/server.log"
@@ -97,7 +109,40 @@ if grep -qE "AddressSanitizer|LeakSanitizer|runtime error:" \
 fi
 echo "serve smoke: round-trip ok, clean shutdown"
 
-echo "== [3/10] concurrency tests under TSan =="
+echo "== [3/11] serve overload storm smoke (micro_serve --storm) =="
+# Open-loop multi-tenant overload against the shed-enabled service. The
+# bench itself RLBENCH_CHECKs the robustness contract in --smoke mode:
+# at least one shed transition fired, degraded traffic exists, and every
+# sampled degraded response is bit-identical to the linear fallback run
+# directly. The manifest assertions below keep the per-tier counts
+# flowing into the artifact (so a reporting regression can't pass).
+STORM_DIR="${SCRATCH_ROOT}/serve_storm"
+mkdir -p "${STORM_DIR}"
+(
+  cd "${STORM_DIR}"
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ASAN_OPTIONS="detect_leaks=1" \
+    "${BUILD_DIR}/bench/micro_serve" --storm --smoke --scale=0.2 \
+    --requests=200
+)
+python3 - "${STORM_DIR}/bench_results/micro_serve.manifest.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    config = json.load(f)["config"]
+for key in ("storm_tier_full", "storm_tier_degraded", "storm_tier_rejected",
+            "storm_shed_transitions", "storm_shadow_agreement",
+            "storm_identity_checked"):
+    if key not in config:
+        sys.exit(f"storm smoke: manifest config missing {key}")
+if int(config["storm_shed_transitions"]) < 1:
+    sys.exit("storm smoke: manifest records no shed transitions")
+if int(config["storm_tier_degraded"]) < 1:
+    sys.exit("storm smoke: manifest records no degraded requests")
+print("storm manifest: per-tier counts present, ladder exercised")
+PYEOF
+echo "storm smoke: shed ladder walked, degraded tier bit-identical"
+
+echo "== [4/11] concurrency tests under TSan =="
 TSAN_DIR="${REPO_ROOT}/build-tsan"
 cmake -B "${TSAN_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -123,12 +168,12 @@ cmake --build "${TSAN_DIR}" -j "${JOBS}" --target \
 )
 echo "TSan: clean"
 
-echo "== [4/10] observability end-to-end =="
+echo "== [5/11] observability end-to-end =="
 python3 "${REPO_ROOT}/tools/validate_manifest.py" --run \
   "${BUILD_DIR}/bench/table3_datasets" --datasets=Ds1 --scale=0.05
 echo "observability: manifest + trace validate"
 
-echo "== [5/10] vectorized kernels: differential suite + bench smoke =="
+echo "== [6/11] vectorized kernels: differential suite + bench smoke =="
 # The kernel suites are part of stage 1's full ctest; run them again by
 # explicit filter so a test-registration change can never silently drop
 # the scalar-vs-vectorized gate from this script.
@@ -151,7 +196,7 @@ echo "== [5/10] vectorized kernels: differential suite + bench smoke =="
 )
 echo "kernels: differential suites + smoke clean"
 
-echo "== [6/10] out-of-core bulk resolution smoke =="
+echo "== [7/11] out-of-core bulk resolution smoke =="
 # macro_bulk --smoke streams 20k records through both blocking modes
 # (sorted-neighborhood external sort, MinHash hash partitioning) with the
 # sanitizers armed; validate_manifest.py --run checks the run manifest,
@@ -162,7 +207,7 @@ ASAN_OPTIONS="detect_leaks=1" \
   "${BUILD_DIR}/bench/macro_bulk" --smoke
 echo "bulk smoke: both modes resolved out of core, manifests validate"
 
-echo "== [7/10] fault-injection storm =="
+echo "== [8/11] fault-injection storm =="
 # Drive a real bench through seeded fault storms with the sanitizers armed.
 # The degradation contract: failed datasets are fine (the bench exits 0
 # while at least one dataset survives, 1 when all fail), but any abort,
@@ -197,7 +242,7 @@ for seed in 1 2 3 4 5 6 7 8; do
 done
 echo "fault storm: clean (8 seeds, no crashes, no sanitizer reports)"
 
-echo "== [8/10] repo lint + self-test + negative compilation =="
+echo "== [9/11] repo lint + self-test + negative compilation =="
 python3 "${REPO_ROOT}/tools/rlbench_lint.py" --root "${REPO_ROOT}"
 python3 "${REPO_ROOT}/tools/rlbench_lint.py" --self-test
 # The negative-compilation fixtures also run as a ctest in stage 1; run
@@ -214,7 +259,7 @@ python3 "${REPO_ROOT}/tests/static/compile_fail_test.py" \
   --include "${REPO_ROOT}/src"
 echo "repo lint: clean"
 
-echo "== [9/10] Clang thread-safety analysis =="
+echo "== [10/11] Clang thread-safety analysis =="
 TS_CLANG="$(command -v clang++ || true)"
 if [[ -z "${TS_CLANG}" ]]; then
   for v in 18 17 16 15 14; do
@@ -237,7 +282,7 @@ else
   echo "thread-safety analysis: clean"
 fi
 
-echo "== [10/10] clang-tidy =="
+echo "== [11/11] clang-tidy =="
 TIDY_BIN="$(command -v clang-tidy || true)"
 if [[ -z "${TIDY_BIN}" ]]; then
   for v in 18 17 16 15 14; do

@@ -1,0 +1,122 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rlbench::serve {
+
+namespace {
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    size_t end = text.find(sep, begin);
+    if (end == std::string::npos) end = text.size();
+    parts.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+Result<double> ParsePositiveNumber(const std::string& text,
+                                   const std::string& what) {
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || !(value > 0.0)) {
+    return Status::InvalidArgument("admission: " + what + " \"" + text +
+                                   "\" must be a positive number");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<AdmissionController> AdmissionController::Parse(
+    const std::string& spec) {
+  AdmissionController controller;
+  if (spec.empty()) return controller;
+  for (const std::string& entry : SplitOn(spec, ';')) {
+    if (entry.empty()) continue;  // tolerate trailing ';'
+    size_t eq = entry.find('=');
+    size_t colon = entry.find(':', eq == std::string::npos ? 0 : eq + 1);
+    if (eq == std::string::npos || colon == std::string::npos || eq == 0) {
+      return Status::InvalidArgument(
+          "admission: entry \"" + entry +
+          "\" does not match tenant=rate:burst");
+    }
+    std::string tenant = entry.substr(0, eq);
+    TenantQuota quota;
+    RLBENCH_ASSIGN_OR_RETURN(
+        quota.rate_per_s,
+        ParsePositiveNumber(entry.substr(eq + 1, colon - eq - 1), "rate"));
+    RLBENCH_ASSIGN_OR_RETURN(
+        quota.burst, ParsePositiveNumber(entry.substr(colon + 1), "burst"));
+    if (quota.burst < 1.0) {
+      return Status::InvalidArgument(
+          "admission: burst for \"" + tenant + "\" must be >= 1 token");
+    }
+    if (!controller.quotas_.emplace(tenant, quota).second) {
+      return Status::InvalidArgument("admission: duplicate tenant \"" +
+                                     tenant + "\"");
+    }
+  }
+  return controller;
+}
+
+const TenantQuota* AdmissionController::QuotaFor(
+    const std::string& tenant) const {
+  auto it = quotas_.find(tenant);
+  if (it != quotas_.end()) return &it->second;
+  it = quotas_.find("*");
+  if (it != quotas_.end()) return &it->second;
+  return nullptr;
+}
+
+AdmissionController::Bucket* AdmissionController::Refill(
+    const std::string& tenant, double now_ms) {
+  const TenantQuota* quota = QuotaFor(tenant);
+  if (quota == nullptr) return nullptr;
+  Bucket& bucket = buckets_[tenant];
+  if (!bucket.initialized) {
+    bucket.tokens = quota->burst;  // fresh tenants start with a full burst
+    bucket.last_refill_ms = now_ms;
+    bucket.initialized = true;
+    return &bucket;
+  }
+  double elapsed_ms = std::max(0.0, now_ms - bucket.last_refill_ms);
+  bucket.tokens = std::min(
+      quota->burst, bucket.tokens + elapsed_ms * quota->rate_per_s / 1000.0);
+  bucket.last_refill_ms = now_ms;
+  return &bucket;
+}
+
+bool AdmissionController::Admit(const std::string& tenant, double now_ms) {
+  Bucket* bucket = Refill(tenant, now_ms);
+  if (bucket == nullptr) return true;
+  if (bucket->tokens >= 1.0) {
+    bucket->tokens -= 1.0;
+    return true;
+  }
+  RLBENCH_COUNTER_INC("serve/quota/rejected");
+  return false;
+}
+
+double AdmissionController::RetryAfterMs(const std::string& tenant,
+                                         double now_ms) const {
+  const TenantQuota* quota = QuotaFor(tenant);
+  if (quota == nullptr) return 0.0;
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end() || !it->second.initialized) return 0.0;
+  double elapsed_ms = std::max(0.0, now_ms - it->second.last_refill_ms);
+  double tokens = std::min(
+      quota->burst,
+      it->second.tokens + elapsed_ms * quota->rate_per_s / 1000.0);
+  if (tokens >= 1.0) return 0.0;
+  return (1.0 - tokens) * 1000.0 / quota->rate_per_s;
+}
+
+}  // namespace rlbench::serve

@@ -1,0 +1,81 @@
+// Per-tenant admission control for the match server: token-bucket quotas
+// keyed by the "tenant" field a request carries on the wire.
+//
+// Quota spec grammar (one string, e.g. a --quotas flag):
+//
+//   spec    := entry (';' entry)*
+//   entry   := tenant '=' rate ':' burst
+//   tenant  := non-empty name, or '*' for the default bucket
+//   rate    := tokens refilled per second (double, > 0)
+//   burst   := bucket capacity in tokens (double, >= 1)
+//
+// Example: "alpha=200:50;beta=20:5;*=50:10" — tenant alpha may sustain
+// 200 requests/s with bursts of 50, beta is throttled to 20/s, and every
+// other tenant (including the anonymous "" tenant) shares the '*' shape:
+// each unlisted tenant gets its own bucket of that shape, so one noisy
+// unlisted tenant cannot starve another. No '*' entry means unlisted
+// tenants are unmetered. An empty spec admits everything.
+//
+// Time is injected (now_ms from any monotonic origin), never read from a
+// clock here — tests drive the bucket deterministically.
+#ifndef RLBENCH_SRC_SERVE_ADMISSION_H_
+#define RLBENCH_SRC_SERVE_ADMISSION_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace rlbench::serve {
+
+/// \brief Token-bucket shape of one tenant's quota.
+struct TenantQuota {
+  double rate_per_s = 0.0;  ///< refill rate
+  double burst = 0.0;       ///< bucket capacity
+};
+
+/// \brief Per-tenant token buckets behind the serve admission gate.
+///
+/// Not thread-safe; owned by the single-threaded MatchService.
+class AdmissionController {
+ public:
+  /// Empty controller: every tenant is unmetered.
+  AdmissionController() = default;
+
+  /// Parse the spec grammar above. InvalidArgument on malformed entries,
+  /// non-positive rates, bursts below one token, or duplicate tenants.
+  [[nodiscard]] static Result<AdmissionController> Parse(
+      const std::string& spec);
+
+  /// True when no quota is configured at all (fast path: skip metering).
+  bool Unmetered() const { return quotas_.empty(); }
+
+  /// Take one token from `tenant`'s bucket at time `now_ms`. False when
+  /// the bucket is empty — the request must be rejected.
+  [[nodiscard]] bool Admit(const std::string& tenant, double now_ms);
+
+  /// Milliseconds until `tenant`'s bucket refills one token at `now_ms` —
+  /// the Retry-After hint for a quota rejection. 0 for unmetered tenants.
+  double RetryAfterMs(const std::string& tenant, double now_ms) const;
+
+  /// The quota shape applied to `tenant` (nullptr when unmetered).
+  const TenantQuota* QuotaFor(const std::string& tenant) const;
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    double last_refill_ms = 0.0;
+    bool initialized = false;
+  };
+
+  /// The live bucket for `tenant`, refilled to `now_ms`; nullptr when the
+  /// tenant is unmetered.
+  Bucket* Refill(const std::string& tenant, double now_ms);
+
+  std::map<std::string, TenantQuota> quotas_;  ///< "*" = default shape
+  std::map<std::string, Bucket> buckets_;      ///< per concrete tenant
+};
+
+}  // namespace rlbench::serve
+
+#endif  // RLBENCH_SRC_SERVE_ADMISSION_H_

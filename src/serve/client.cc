@@ -1,5 +1,8 @@
 #include "serve/client.h"
 
+#include <algorithm>
+
+#include "common/rng.h"
 #include "obs/json.h"
 
 namespace rlbench::serve {
@@ -37,6 +40,28 @@ Result<JsonValue> CheckOk(JsonValue response) {
 Result<MatchClient> MatchClient::Connect(uint16_t port) {
   RLBENCH_ASSIGN_OR_RETURN(Socket socket, ConnectLoopback(port));
   return MatchClient(std::move(socket));
+}
+
+Result<MatchClient> MatchClient::ConnectWithRetry(
+    uint16_t port, const ReconnectOptions& options) {
+  Rng jitter(options.jitter_seed ^ port);
+  double backoff_ms = options.initial_backoff_ms;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < std::max(1, options.max_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      SleepMillis(static_cast<int>(jitter.Uniform(backoff_ms / 2.0,
+                                                  backoff_ms)));
+      backoff_ms = std::min(options.max_backoff_ms,
+                            backoff_ms * options.multiplier);
+    }
+    auto socket = ConnectLoopback(port);
+    if (socket.ok()) return MatchClient(std::move(*socket));
+    last = socket.status();
+  }
+  return Status::IOError("client: gave up after " +
+                         std::to_string(std::max(1, options.max_attempts)) +
+                         " connect attempts: " + last.message());
 }
 
 Status MatchClient::SendRequest(const std::string& payload) {

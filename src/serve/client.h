@@ -18,11 +18,30 @@
 
 namespace rlbench::serve {
 
+/// \brief Reconnect policy for ConnectWithRetry: bounded attempts with
+/// jittered exponential backoff, so a client racing server startup (or a
+/// briefly absent listener) retries instead of failing on the first
+/// ECONNREFUSED — without thundering-herd lockstep.
+struct ReconnectOptions {
+  int max_attempts = 8;
+  double initial_backoff_ms = 10.0;
+  double max_backoff_ms = 500.0;
+  double multiplier = 2.0;
+  /// Each sleep is drawn uniformly from [backoff/2, backoff] — full decorrelation
+  /// is overkill on loopback, but herd offsets matter for storm benches.
+  uint64_t jitter_seed = 0x7e77;
+};
+
 /// \brief Blocking JSON client over one loopback connection.
 class MatchClient {
  public:
   /// Connect to a server on 127.0.0.1:`port`.
   [[nodiscard]] static Result<MatchClient> Connect(uint16_t port);
+
+  /// Connect with bounded, jitter-backed retries. Returns the last
+  /// connect error after max_attempts failures.
+  [[nodiscard]] static Result<MatchClient> ConnectWithRetry(
+      uint16_t port, const ReconnectOptions& options = {});
 
   /// Send one raw request payload and block for its response. A response
   /// with "ok":false comes back as the mapped error Status.

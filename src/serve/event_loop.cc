@@ -1,0 +1,202 @@
+#include "serve/event_loop.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rlbench::serve {
+
+EventLoop::EventLoop(EventLoopOptions options) : options_(options) {}
+
+Status EventLoop::Listen(uint16_t port, uint16_t* bound_port) {
+  RLBENCH_ASSIGN_OR_RETURN(listener_, ListenLoopback(port, bound_port));
+  return SetNonBlocking(listener_, true);
+}
+
+Result<size_t> EventLoop::Tick(int timeout_ms, const FrameSink& sink) {
+  RLBENCH_COUNTER_INC("serve/loop/ticks");
+  poll_set_.Clear();
+  if (!draining_ && listener_.valid()) {
+    poll_set_.Add(listener_.fd(), /*want_read=*/true, /*want_write=*/false);
+  }
+  for (const auto& [id, conn] : connections_) {
+    const bool want_write = conn.out_offset < conn.out.size();
+    poll_set_.Add(conn.socket.fd(), /*want_read=*/true, want_write);
+  }
+  RLBENCH_ASSIGN_OR_RETURN(int ready, poll_set_.Wait(timeout_ms));
+  size_t frames = 0;
+  if (ready > 0) {
+    if (!draining_ && listener_.valid() &&
+        poll_set_.Readable(listener_.fd())) {
+      AcceptReady();
+    }
+    // Collect ids first: sink callbacks may Respond(), and eviction paths
+    // mutate connections_ — never iterate the live map while dispatching.
+    // Sorted so same-tick frames dispatch in accept order, not hash order.
+    std::vector<uint64_t> ids;
+    ids.reserve(connections_.size());
+    for (const auto& [id, conn] : connections_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (uint64_t id : ids) {
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;
+      if (poll_set_.HasError(it->second.socket.fd())) {
+        doomed_.push_back(id);
+        continue;
+      }
+      if (poll_set_.Readable(it->second.socket.fd())) {
+        frames += ReadAndDispatch(id, sink);
+      }
+      it = connections_.find(id);
+      if (it != connections_.end() &&
+          poll_set_.Writable(it->second.socket.fd())) {
+        FlushConnection(id);
+      }
+    }
+  }
+  EvictExpired();
+  while (!doomed_.empty()) {
+    connections_.erase(doomed_.front());
+    doomed_.pop_front();
+  }
+  if (frames > 0) RLBENCH_COUNTER_ADD("serve/loop/frames", frames);
+  return frames;
+}
+
+void EventLoop::AcceptReady() {
+  while (true) {
+    auto accepted = AcceptWithDeadline(listener_, /*timeout_ms=*/0);
+    if (!accepted.ok() || !accepted.value().has_value()) return;
+    Socket sock = std::move(*accepted.value());
+    if (connections_.size() >= options_.max_connections) {
+      RLBENCH_COUNTER_INC("serve/loop/overflow_closed");
+      continue;  // Socket destructor closes it; backlog stays in the kernel.
+    }
+    if (!SetNonBlocking(sock, true).ok()) continue;
+    Connection conn;
+    conn.socket = std::move(sock);
+    conn.last_activity.Restart();
+    connections_.emplace(next_conn_id_++, std::move(conn));
+    RLBENCH_COUNTER_INC("serve/loop/accepted");
+  }
+}
+
+size_t EventLoop::ReadAndDispatch(uint64_t conn_id, const FrameSink& sink) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return 0;
+  Connection& conn = it->second;
+  auto read = ReadNonBlocking(conn.socket);
+  if (!read.ok()) {
+    doomed_.push_back(conn_id);
+    return 0;
+  }
+  if (!read.value().data.empty()) {
+    conn.last_activity.Restart();
+    conn.decoder.Append(read.value().data);
+    if (conn.decoder.BufferedBytes() > options_.read_buffer_limit) {
+      RLBENCH_COUNTER_INC("serve/loop/evicted_slow");
+      doomed_.push_back(conn_id);
+      return 0;
+    }
+  }
+  size_t frames = 0;
+  while (true) {
+    auto frame = conn.decoder.Next();
+    if (!frame.ok()) {  // malformed length prefix — protocol violation
+      doomed_.push_back(conn_id);
+      return frames;
+    }
+    if (!frame.value().has_value()) break;
+    conn.saw_frame = true;
+    ++frames;
+    sink(conn_id, std::move(*frame.value()));
+    // The sink may have closed or evicted this connection.
+    it = connections_.find(conn_id);
+    if (it == connections_.end()) return frames;
+  }
+  if (read.value().eof) {
+    // Orderly close: the peer sent everything it will ever send. Keep the
+    // connection until its queued responses flush, then drop it.
+    if (it->second.out_offset >= it->second.out.size()) {
+      doomed_.push_back(conn_id);
+    } else {
+      FlushConnection(conn_id);
+    }
+  }
+  return frames;
+}
+
+void EventLoop::Respond(uint64_t conn_id, std::string_view payload) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  if (!AppendFrame(payload, &conn.out).ok()) {
+    doomed_.push_back(conn_id);
+    return;
+  }
+  if (conn.out.size() - conn.out_offset > options_.write_buffer_limit) {
+    RLBENCH_COUNTER_INC("serve/loop/evicted_slow");
+    doomed_.push_back(conn_id);
+    return;
+  }
+  FlushConnection(conn_id);
+}
+
+void EventLoop::FlushConnection(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  if (conn.out_offset >= conn.out.size()) return;
+  auto wrote = WriteNonBlocking(
+      conn.socket, std::string_view(conn.out).substr(conn.out_offset));
+  if (!wrote.ok()) {
+    doomed_.push_back(conn_id);
+    return;
+  }
+  conn.out_offset += wrote.value();
+  if (conn.out_offset >= conn.out.size()) {
+    conn.out.clear();
+    conn.out_offset = 0;
+  } else if (conn.out_offset > (1u << 20)) {
+    // Compact occasionally so a long-lived slow-ish peer does not pin a
+    // monotonically growing buffer.
+    conn.out.erase(0, conn.out_offset);
+    conn.out_offset = 0;
+  }
+}
+
+void EventLoop::EvictExpired() {
+  for (const auto& [id, conn] : connections_) {
+    const double age_ms = conn.last_activity.ElapsedMillis();
+    if (!conn.saw_frame && options_.handshake_timeout_ms > 0 &&
+        age_ms > options_.handshake_timeout_ms) {
+      RLBENCH_COUNTER_INC("serve/loop/evicted_handshake");
+      doomed_.push_back(id);
+    } else if (conn.saw_frame && options_.idle_timeout_ms > 0 &&
+               age_ms > options_.idle_timeout_ms) {
+      RLBENCH_COUNTER_INC("serve/loop/evicted_idle");
+      doomed_.push_back(id);
+    }
+  }
+}
+
+void EventLoop::BeginDrain() {
+  draining_ = true;
+  listener_.Close();
+}
+
+void EventLoop::CloseConnection(uint64_t conn_id) {
+  FlushConnection(conn_id);
+  connections_.erase(conn_id);
+}
+
+bool EventLoop::AllFlushed() const {
+  for (const auto& [id, conn] : connections_) {
+    if (conn.out_offset < conn.out.size()) return false;
+  }
+  return true;
+}
+
+}  // namespace rlbench::serve

@@ -1,0 +1,133 @@
+// Non-blocking connection multiplexer for the match server: one poll-based
+// loop owns the listener and every accepted connection, so thousands of
+// clients can pipeline frames into the micro-batcher without a thread per
+// connection and without any socket call ever parking the process.
+//
+// Per-connection discipline (the overload-hardening contract):
+//   * bounded read buffer  — a peer that streams bytes faster than frames
+//     are consumed is evicted, not buffered without limit;
+//   * bounded write buffer — a peer that stops reading its responses
+//     (slow client) is evicted once the pending bytes exceed the cap;
+//   * handshake timeout    — a connection that never completes a first
+//     frame is closed;
+//   * idle timeout         — a connection with no traffic is closed;
+//   * connection cap       — accepts beyond max_connections are closed
+//     immediately (the kernel backlog, not this process, is the queue).
+//
+// The loop is single-threaded and callback-driven: Tick() performs one
+// poll round (accept, read, dispatch complete frames, flush writes, evict)
+// and hands every complete frame to the frame sink in per-connection
+// arrival order. Responses are queued with Respond() — in any order across
+// connections, but per connection the caller must respond in frame order
+// (MatchServer's slot mechanism guarantees it). BeginDrain() stops
+// accepting; the loop then lives only to flush what is already queued.
+//
+// Metrics: serve/loop/{accepted,evicted_slow,evicted_idle,evicted_handshake,
+// overflow_closed,frames,ticks}. Failpoints (in net.cc, where the syscalls
+// live): serve/loop/accept, serve/loop/read, serve/loop/write.
+#ifndef RLBENCH_SRC_SERVE_EVENT_LOOP_H_
+#define RLBENCH_SRC_SERVE_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "serve/net.h"
+#include "serve/wire.h"
+
+namespace rlbench::serve {
+
+struct EventLoopOptions {
+  size_t max_connections = 1024;
+  /// Unparsed bytes one connection may buffer before it is evicted (a
+  /// frame can never exceed kMaxFramePayload, so anything larger than a
+  /// few frames' worth means the peer outruns the service).
+  size_t read_buffer_limit = 4u << 20;
+  /// Pending response bytes before a non-reading peer is evicted.
+  size_t write_buffer_limit = 8u << 20;
+  /// Close a connection whose peer sent no complete frame yet (ms).
+  double handshake_timeout_ms = 10'000.0;
+  /// Close a connection with no inbound traffic for this long (ms);
+  /// 0 disables (tests keep idle control connections open).
+  double idle_timeout_ms = 0.0;
+};
+
+/// \brief Poll-driven multiplexer over one listener + N framed connections.
+class EventLoop {
+ public:
+  /// `sink(conn_id, payload)` is invoked for every complete frame, in
+  /// arrival order within each connection.
+  using FrameSink = std::function<void(uint64_t, std::string)>;
+
+  explicit EventLoop(EventLoopOptions options = {});
+
+  /// Bind + listen on 127.0.0.1:`port` (0 = ephemeral; bound port is
+  /// written to `bound_port`). The listener is non-blocking.
+  [[nodiscard]] Status Listen(uint16_t port, uint16_t* bound_port);
+
+  /// One loop iteration: wait up to `timeout_ms` for readiness, accept,
+  /// read, deliver complete frames to `sink`, flush pending writes, and
+  /// evict misbehaving or expired connections. Returns the number of
+  /// frames delivered this tick.
+  [[nodiscard]] Result<size_t> Tick(int timeout_ms, const FrameSink& sink);
+
+  /// Queue one framed response payload on `conn_id`; bytes are flushed by
+  /// subsequent Ticks (and opportunistically right away). Unknown ids are
+  /// ignored (the connection was already evicted).
+  void Respond(uint64_t conn_id, std::string_view payload);
+
+  /// Stop accepting new connections; existing ones keep draining.
+  void BeginDrain();
+  bool draining() const { return draining_; }
+
+  /// Forcibly drop one connection (pending writes are flushed best-effort).
+  void CloseConnection(uint64_t conn_id);
+
+  size_t ActiveConnections() const { return connections_.size(); }
+  bool HasConnection(uint64_t conn_id) const {
+    return connections_.find(conn_id) != connections_.end();
+  }
+
+  /// True when every queued response byte has been handed to the kernel —
+  /// the drain-complete condition for a graceful shutdown.
+  bool AllFlushed() const;
+
+ private:
+  struct Connection {
+    Socket socket;
+    FrameDecoder decoder;
+    std::string out;        ///< framed, unflushed response bytes
+    size_t out_offset = 0;  ///< bytes of `out` already written
+    Stopwatch last_activity;
+    bool saw_frame = false;  ///< first complete frame arrived (handshake)
+  };
+
+  /// Accept every connection the kernel has pending (respecting the cap).
+  void AcceptReady();
+
+  /// Drain one readable connection and deliver its complete frames.
+  /// Returns frames delivered; the connection may be closed on error.
+  size_t ReadAndDispatch(uint64_t conn_id, const FrameSink& sink);
+
+  /// Push pending bytes of one connection; evict on error/overflow.
+  void FlushConnection(uint64_t conn_id);
+
+  /// Close every connection that exceeded its handshake/idle budget.
+  void EvictExpired();
+
+  EventLoopOptions options_;
+  Socket listener_;
+  PollSet poll_set_;
+  std::unordered_map<uint64_t, Connection> connections_;
+  std::deque<uint64_t> doomed_;  ///< ids to erase after the current sweep
+  uint64_t next_conn_id_ = 1;
+  bool draining_ = false;
+};
+
+}  // namespace rlbench::serve
+
+#endif  // RLBENCH_SRC_SERVE_EVENT_LOOP_H_

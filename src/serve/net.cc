@@ -1,6 +1,7 @@
 #include "serve/net.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -11,6 +12,7 @@
 #include <cstring>
 #include <utility>
 
+#include "fault/failpoint.h"
 #include "serve/wire.h"
 
 namespace rlbench::serve {
@@ -92,6 +94,173 @@ Result<Socket> Accept(const Socket& listener) {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return sock;
+}
+
+Result<std::optional<Socket>> AcceptWithDeadline(const Socket& listener,
+                                                 int timeout_ms) {
+  if (auto hit = RLBENCH_FAULT_POINT("serve/loop/accept")) {
+    return Status::IOError("injected: accept");
+  }
+  pollfd pfd{};
+  pfd.fd = listener.fd();
+  pfd.events = POLLIN;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("poll(listener)");
+  if (rc == 0) return std::optional<Socket>();  // deadline, not an error
+  int fd;
+  do {
+    fd = ::accept(listener.fd(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    // The connection vanished between poll and accept; treat like a
+    // timeout so the serve loop just keeps ticking.
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+      return std::optional<Socket>();
+    }
+    return Errno("accept");
+  }
+  Socket sock(fd);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::optional<Socket>(std::move(sock));
+}
+
+Status SetNonBlocking(const Socket& socket, bool enable) {
+  int flags = ::fcntl(socket.fd(), F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (enable) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  if (::fcntl(socket.fd(), F_SETFL, flags) < 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+Result<ReadResult> ReadNonBlocking(const Socket& socket) {
+  if (auto hit = RLBENCH_FAULT_POINT("serve/loop/read")) {
+    return Status::IOError("injected: read");
+  }
+  ReadResult result;
+  char chunk[16384];
+  while (true) {
+    ssize_t n;
+    do {
+      n = ::recv(socket.fd(), chunk, sizeof(chunk), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return result;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      result.eof = true;
+      return result;
+    }
+    result.data.append(chunk, static_cast<size_t>(n));
+    if (static_cast<size_t>(n) < sizeof(chunk)) return result;
+  }
+}
+
+Result<size_t> WriteNonBlocking(const Socket& socket, std::string_view bytes) {
+  if (auto hit = RLBENCH_FAULT_POINT("serve/loop/write")) {
+    return Status::IOError("injected: write");
+  }
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n;
+    do {
+      n = ::send(socket.fd(), bytes.data() + sent, bytes.size() - sent,
+                 MSG_NOSIGNAL | MSG_DONTWAIT);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return sent;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return sent;
+}
+
+void SleepMillis(int ms) {
+  if (ms <= 0) return;
+  // poll with no fds is a plain millisecond sleep; EINTR restarts with the
+  // remaining budget unmeasured, which is fine for backoff purposes.
+  int rc;
+  do {
+    rc = ::poll(nullptr, 0, ms);
+  } while (rc < 0 && errno == EINTR);
+}
+
+namespace {
+
+// PollSet packs (fd, events, revents) into one uint64 per slot so the
+// header needs no <poll.h> types: fd in the low 32 bits, events in the
+// next 16, revents in the top 16.
+uint64_t PackSlot(int fd, short events, short revents) {
+  return (static_cast<uint64_t>(static_cast<uint16_t>(revents)) << 48) |
+         (static_cast<uint64_t>(static_cast<uint16_t>(events)) << 32) |
+         static_cast<uint32_t>(fd);
+}
+
+int SlotFd(uint64_t slot) { return static_cast<int>(slot & 0xffffffffu); }
+short SlotEvents(uint64_t slot) {
+  return static_cast<short>((slot >> 32) & 0xffffu);
+}
+short SlotRevents(uint64_t slot) {
+  return static_cast<short>((slot >> 48) & 0xffffu);
+}
+
+}  // namespace
+
+void PollSet::Clear() { slots_.clear(); }
+
+void PollSet::Add(int fd, bool want_read, bool want_write) {
+  short events = 0;
+  if (want_read) events |= POLLIN;
+  if (want_write) events |= POLLOUT;
+  slots_.push_back(PackSlot(fd, events, 0));
+}
+
+Result<int> PollSet::Wait(int timeout_ms) {
+  std::vector<pollfd> pfds(slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    pfds[i].fd = SlotFd(slots_[i]);
+    pfds[i].events = SlotEvents(slots_[i]);
+    pfds[i].revents = 0;
+  }
+  int rc;
+  do {
+    rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("poll");
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i] = PackSlot(pfds[i].fd, pfds[i].events, pfds[i].revents);
+  }
+  return rc;
+}
+
+short PollSet::ReventsFor(int fd) const {
+  for (uint64_t slot : slots_) {
+    if (SlotFd(slot) == fd) return SlotRevents(slot);
+  }
+  return 0;
+}
+
+bool PollSet::Readable(int fd) const {
+  return (ReventsFor(fd) & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
+bool PollSet::Writable(int fd) const {
+  return (ReventsFor(fd) & POLLOUT) != 0;
+}
+
+bool PollSet::HasError(int fd) const {
+  return (ReventsFor(fd) & (POLLERR | POLLNVAL)) != 0;
 }
 
 Result<bool> WaitReadable(const Socket& socket, int timeout_ms) {

@@ -10,8 +10,10 @@
 #define RLBENCH_SRC_SERVE_NET_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "serve/wire.h"
@@ -46,7 +48,67 @@ class Socket {
 [[nodiscard]] Result<Socket> ConnectLoopback(uint16_t port);
 
 /// Accept one pending connection on `listener` (blocks until one arrives).
+/// Prefer AcceptWithDeadline in server code: an Accept with no timeout can
+/// park a shutdown forever on an idle listener.
 [[nodiscard]] Result<Socket> Accept(const Socket& listener);
+
+/// Poll `listener` for up to `timeout_ms` (0 = non-blocking probe), then
+/// accept. nullopt when no connection arrived within the deadline — the
+/// caller regains control instead of hanging, so a serve loop can check
+/// its shutdown flag between accepts. Failpoint: serve/loop/accept.
+[[nodiscard]] Result<std::optional<Socket>> AcceptWithDeadline(
+    const Socket& listener, int timeout_ms);
+
+/// Switch `socket` between blocking and non-blocking mode.
+[[nodiscard]] Status SetNonBlocking(const Socket& socket, bool enable);
+
+/// \brief One non-blocking read attempt.
+struct ReadResult {
+  std::string data;  ///< bytes drained now (empty when none were ready)
+  bool eof = false;  ///< peer closed its write side (orderly shutdown)
+};
+
+/// Drain whatever `socket` has ready without blocking: empty data + !eof
+/// means "try again later" (EAGAIN), empty data + eof means the peer
+/// closed. The socket must be non-blocking. Failpoint: serve/loop/read.
+[[nodiscard]] Result<ReadResult> ReadNonBlocking(const Socket& socket);
+
+/// Write as much of `bytes` as the kernel will take without blocking and
+/// return the count (0 when the send buffer is full). The socket must be
+/// non-blocking. Failpoint: serve/loop/write.
+[[nodiscard]] Result<size_t> WriteNonBlocking(const Socket& socket,
+                                              std::string_view bytes);
+
+/// Sleep the calling thread for `ms` milliseconds (poll-based, EINTR
+/// restarted). The one sanctioned blocking wait outside socket readiness —
+/// reconnect backoff uses it so client code needs no raw clock access.
+void SleepMillis(int ms);
+
+/// \brief Readiness multiplexer over many sockets (one ::poll per Wait).
+///
+/// Usage per event-loop tick: Clear(), Add() every fd with its interest
+/// set, Wait(timeout), then query Readable/Writable/HasError per fd.
+/// Rebuilt each tick — simple, allocation-stable (the vectors are reused),
+/// and plenty for the loopback workloads this repo serves.
+class PollSet {
+ public:
+  void Clear();
+  void Add(int fd, bool want_read, bool want_write);
+
+  /// Number of ready fds (0 on timeout). EINTR restarted.
+  [[nodiscard]] Result<int> Wait(int timeout_ms);
+
+  bool Readable(int fd) const;  ///< POLLIN | POLLHUP | POLLERR
+  bool Writable(int fd) const;  ///< POLLOUT
+  bool HasError(int fd) const;  ///< POLLERR | POLLNVAL
+
+ private:
+  short ReventsFor(int fd) const;
+
+  // Opaque pollfd storage; the pollfd type itself stays inside net.cc so
+  // <poll.h> does not leak to includers.
+  std::vector<uint64_t> slots_;  ///< packed (fd, events, revents)
+};
 
 /// True when `socket` has readable data (or a pending EOF/error) within
 /// `timeout_ms`; 0 polls without blocking, negative blocks indefinitely.

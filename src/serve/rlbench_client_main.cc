@@ -5,10 +5,15 @@
 //   ./rlbench_client --port=N --op=assess
 //   ./rlbench_client --port=N --op=stats
 //   ./rlbench_client --port=N --op=reload --matcher=Magellan-RF [--version=2]
+//   ./rlbench_client --port=N --op=shadow_start --matcher=SA-ESDE [--version=2]
+//   ./rlbench_client --port=N --op=shadow_status
+//   ./rlbench_client --port=N --op=shadow_cancel
 //   ./rlbench_client --port=N --op=shutdown
 //
-// Exit status 0 iff the server answered ok; the response JSON is printed
-// either way (error responses go to stderr).
+// Connecting retries with jittered exponential backoff
+// (--connect_attempts=8 bounds it). Exit status 0 iff the server answered
+// ok; the response JSON is printed either way (error responses go to
+// stderr).
 #include <cstdio>
 #include <string>
 
@@ -26,15 +31,30 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto client = serve::MatchClient::Connect(static_cast<uint16_t>(port));
+  // Bounded reconnect with jittered exponential backoff: a client launched
+  // a beat before the server finishes binding rides out the race instead
+  // of dying on the first ECONNREFUSED.
+  serve::ReconnectOptions reconnect;
+  reconnect.max_attempts =
+      static_cast<int>(flags.GetInt("connect_attempts", 8));
+  auto client = serve::MatchClient::ConnectWithRetry(
+      static_cast<uint16_t>(port), reconnect);
   if (!client.ok()) {
     std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
     return 1;
   }
 
   std::string request;
-  if (op == "ping" || op == "assess" || op == "stats" || op == "shutdown") {
+  if (op == "ping" || op == "assess" || op == "stats" || op == "shutdown" ||
+      op == "shadow_status" || op == "shadow_cancel") {
     request = "{\"op\":\"" + op + "\"}";
+  } else if (op == "shadow_start") {
+    request = "{\"op\":\"shadow_start\",\"matcher\":\"" +
+              flags.GetString("matcher", "Magellan-RF") + "\"";
+    if (flags.GetInt("version", 0) > 0) {
+      request += ",\"version\":" + std::to_string(flags.GetInt("version", 0));
+    }
+    request += "}";
   } else if (op == "match") {
     request = "{\"op\":\"match_pair\",\"left\":" +
               std::to_string(flags.GetInt("left", 0)) +
@@ -82,6 +102,17 @@ int main(int argc, char** argv) {
   } else if (op == "shutdown") {
     std::printf("server drained %.0f requests and shut down\n",
                 response->GetNumber("drained"));
+  } else if (op == "shadow_start") {
+    std::printf("shadowing %s v%.0f\n", response->GetString("matcher").c_str(),
+                response->GetNumber("version"));
+  } else if (op == "shadow_status") {
+    std::printf("active=%d sampled=%.0f agreement=%.4f verdict=%s\n",
+                response->GetBool("active") ? 1 : 0,
+                response->GetNumber("sampled"),
+                response->GetNumber("agreement", 1.0),
+                response->GetString("verdict", "none").c_str());
+  } else if (op == "shadow_cancel") {
+    std::printf("cancelled=%d\n", response->GetBool("cancelled") ? 1 : 0);
   } else {
     std::printf("ok dataset=%s matcher=%s\n",
                 response->GetString("dataset").c_str(),

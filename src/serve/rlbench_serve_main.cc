@@ -3,10 +3,15 @@
 //   ./rlbench_serve --dataset=Ds3 --scale=0.2 --matcher=Magellan-RF
 //       [--port=0] [--port_file=PATH] [--repo=DIR]
 //       [--queue=512] [--batch=256] [--deadline_ms=0]
+//       [--quotas="alpha=200:50;*=50:10"] [--shed] [--fallback=SA-ESDE]
+//       [--max_connections=1024] [--idle_timeout_ms=0]
 //
 // Builds the dataset, obtains a model (the repository's CURRENT snapshot
 // when --repo holds one, otherwise trains and — with --repo — publishes),
 // prints "listening on port N" and serves until a shutdown request.
+// --quotas meters tenants through token buckets (admission.h grammar);
+// --shed enables the tiered load-shedding controller, degrading to the
+// --fallback linear matcher under pressure before rejecting.
 // RLBENCH_FAULTS / RLBENCH_METRICS / RLBENCH_TRACE apply as everywhere
 // else in the repo.
 #include <cstdio>
@@ -47,7 +52,49 @@ int main(int argc, char** argv) {
   options.service.max_batch_pairs =
       static_cast<size_t>(flags.GetInt("batch", 256));
   options.service.default_deadline_ms = flags.GetDouble("deadline_ms", 0.0);
+  options.service.shed_enabled = flags.GetBool("shed", false);
+  options.loop.max_connections =
+      static_cast<size_t>(flags.GetInt("max_connections", 1024));
+  options.loop.idle_timeout_ms = flags.GetDouble("idle_timeout_ms", 0.0);
   serve::MatchServer server(&context, options);
+
+  if (std::string quotas = flags.GetString("quotas", ""); !quotas.empty()) {
+    if (Status st = server.service().SetQuotas(quotas); !st.ok()) {
+      std::fprintf(stderr, "quotas: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (std::string fallback = flags.GetString("fallback", "");
+      !fallback.empty()) {
+    auto model = matchers::TrainServableMatcher(fallback, context);
+    if (!model.ok()) {
+      std::fprintf(stderr, "fallback: %s\n",
+                   model.status().ToString().c_str());
+      return 1;
+    }
+    // Publish the fallback alongside the primary: it is a servable
+    // snapshot in its own right (shadow candidate, operator rollback).
+    if (!repo_root.empty()) {
+      serve::SnapshotMetadata fb_meta;
+      fb_meta.matcher_name = fallback;
+      fb_meta.dataset_id = task.name();
+      fb_meta.num_attrs = task.left().schema().num_attributes();
+      serve::ModelRepository repository(repo_root);
+      auto version = repository.Publish(fb_meta, **model);
+      if (!version.ok()) {
+        std::fprintf(stderr, "fallback publish: %s\n",
+                     version.status().ToString().c_str());
+        return 1;
+      }
+    }
+    if (Status st = server.service().SetFallbackModel(
+            std::shared_ptr<const matchers::TrainedModel>(std::move(*model)));
+        !st.ok()) {
+      std::fprintf(stderr, "fallback: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("fallback tier: %s\n", fallback.c_str());
+  }
 
   // Model: prefer the repository's published snapshot; fall back to
   // training in-process (and publishing when a repository is configured).

@@ -14,10 +14,17 @@ namespace rlbench::serve {
 
 namespace {
 
-std::string ErrorResponse(const Status& status) {
-  return std::string("{\"ok\":false,\"code\":") +
-         obs::JsonString(StatusCodeName(status.code())) +
-         ",\"error\":" + obs::JsonString(status.message()) + "}";
+// `retry_after_ms` > 0 attaches the Retry-After hint a quota or shed
+// rejection carries, so clients can back off instead of hammering.
+std::string ErrorResponse(const Status& status, double retry_after_ms = 0.0) {
+  std::string out = std::string("{\"ok\":false,\"code\":") +
+                    obs::JsonString(StatusCodeName(status.code())) +
+                    ",\"error\":" + obs::JsonString(status.message());
+  if (status.code() == StatusCode::kResourceExhausted &&
+      retry_after_ms > 0.0) {
+    out += ",\"retry_after_ms\":" + obs::JsonNumber(retry_after_ms);
+  }
+  return out + "}";
 }
 
 // Record indices arrive as JSON numbers; anything negative, fractional or
@@ -59,10 +66,12 @@ Result<std::vector<data::LabeledPair>> ParsePairs(const JsonValue& request) {
 
 std::string MatchResponse(bool single, const RequestOutcome& outcome) {
   if (!outcome.status.ok()) return ErrorResponse(outcome.status);
+  std::string tier =
+      std::string(",\"tier\":") + obs::JsonString(ShedTierName(outcome.tier));
   if (single) {
     const PairScore& r = outcome.results[0];
     return "{\"ok\":true,\"score\":" + obs::JsonNumber(r.score) +
-           ",\"decision\":" + (r.decision ? "1" : "0") + "}";
+           ",\"decision\":" + (r.decision ? "1" : "0") + tier + "}";
   }
   std::string scores = "[";
   std::string decisions = "[";
@@ -75,7 +84,19 @@ std::string MatchResponse(bool single, const RequestOutcome& outcome) {
     decisions += outcome.results[i].decision ? "1" : "0";
   }
   return "{\"ok\":true,\"scores\":" + scores + "],\"decisions\":" + decisions +
-         "]}";
+         "]" + tier + "}";
+}
+
+const char* ShadowVerdictName(ShadowEvaluator::Verdict verdict) {
+  switch (verdict) {
+    case ShadowEvaluator::Verdict::kPending:
+      return "pending";
+    case ShadowEvaluator::Verdict::kPromote:
+      return "promote";
+    case ShadowEvaluator::Verdict::kRollback:
+      return "rollback";
+  }
+  return "unknown";
 }
 
 }  // namespace
@@ -84,17 +105,25 @@ MatchServer::MatchServer(const matchers::MatchingContext* context,
                          MatchServerOptions options)
     : context_(context),
       options_(std::move(options)),
-      service_(context, options_.service) {
+      service_(context, options_.service),
+      loop_(options_.loop) {
   if (!options_.repository_root.empty()) {
     repository_.emplace(options_.repository_root);
   }
 }
 
 Status MatchServer::Start() {
-  if (listener_.valid()) return Status::OK();
-  RLBENCH_ASSIGN_OR_RETURN(listener_,
-                           ListenLoopback(options_.port, &port_));
+  if (listening_) return Status::OK();
+  RLBENCH_RETURN_NOT_OK(loop_.Listen(options_.port, &port_));
+  listening_ = true;
   return Status::OK();
+}
+
+void MatchServer::AbsorbShadowEvent() {
+  ShadowEvent event = service_.ConsumeShadowEvent();
+  if (event.kind == ShadowEvent::Kind::kPromoted) {
+    served_ = event.metadata;
+  }
 }
 
 std::string MatchServer::HandleRequest(const std::string& payload) {
@@ -108,16 +137,21 @@ std::string MatchServer::HandleRequest(const std::string& payload) {
     auto pairs = ParsePairs(request);
     if (!pairs.ok()) return ErrorResponse(pairs.status());
     const bool single = op == "match_pair";
-    double deadline = request.GetNumber(
+    SubmitOptions submit;
+    submit.tenant = request.GetString("tenant");
+    submit.deadline_ms = request.GetNumber(
         "deadline_ms", service_.options().default_deadline_ms);
     std::string response;
-    auto submitted = service_.SubmitWithDeadline(
-        std::move(*pairs), deadline,
+    auto submitted = service_.SubmitRequest(
+        std::move(*pairs), submit,
         [single, &response](const RequestOutcome& outcome) {
           response = MatchResponse(single, outcome);
         });
-    if (!submitted.ok()) return ErrorResponse(submitted.status());
+    if (!submitted.ok()) {
+      return ErrorResponse(submitted.status(), service_.LastRetryAfterMs());
+    }
     service_.Drain();
+    AbsorbShadowEvent();
     return response;
   }
 
@@ -149,6 +183,18 @@ std::string MatchServer::HandleRequest(const std::string& payload) {
         "{\"ok\":true,\"queue_depth\":" + std::to_string(service_.QueueDepth()) +
         ",\"queued_pairs\":" + std::to_string(service_.QueuedPairs()) +
         ",\"requests_served\":" + std::to_string(requests_served_) +
+        ",\"connections\":" + std::to_string(loop_.ActiveConnections()) +
+        ",\"tier\":" + obs::JsonString(ShedTierName(service_.CurrentTier())) +
+        ",\"shed_transitions\":" + std::to_string(service_.ShedTransitions()) +
+        ",\"tier_full\":" +
+        std::to_string(service_.TierCount(ShedTier::kFull)) +
+        ",\"tier_degraded\":" +
+        std::to_string(service_.TierCount(ShedTier::kDegraded)) +
+        ",\"tier_rejected\":" +
+        std::to_string(service_.TierCount(ShedTier::kReject)) +
+        ",\"p99_ms\":" + obs::JsonNumber(service_.RollingP99Ms()) +
+        ",\"shadow_active\":" +
+        (service_.Shadow() != nullptr ? "true" : "false") +
         ",\"dataset\":" + obs::JsonString(context_->task().name());
     if (served_.has_value()) {
       out += ",\"matcher\":" + obs::JsonString(served_->matcher_name) +
@@ -180,10 +226,72 @@ std::string MatchServer::HandleRequest(const std::string& payload) {
            ",\"version\":" + std::to_string(snapshot->metadata.version) + "}";
   }
 
+  if (op == "shadow_start") {
+    if (!repository_.has_value()) {
+      return ErrorResponse(Status::FailedPrecondition(
+          "serve: no model repository configured"));
+    }
+    auto matcher = request.RequireString("matcher");
+    if (!matcher.ok()) return ErrorResponse(matcher.status());
+    double version = request.GetNumber("version", 0.0);
+    auto snapshot = version > 0.0
+                        ? repository_->Load(*matcher,
+                                            static_cast<uint64_t>(version))
+                        : repository_->LoadCurrent(*matcher);
+    if (!snapshot.ok()) return ErrorResponse(snapshot.status());
+    ShadowOptions shadow;
+    shadow.sample_fraction =
+        request.GetNumber("sample_fraction", shadow.sample_fraction);
+    shadow.min_samples = static_cast<size_t>(
+        request.GetNumber("min_samples",
+                          static_cast<double>(shadow.min_samples)));
+    shadow.target_samples = static_cast<size_t>(
+        request.GetNumber("target_samples",
+                          static_cast<double>(shadow.target_samples)));
+    shadow.min_agreement =
+        request.GetNumber("min_agreement", shadow.min_agreement);
+    shadow.max_latency_ratio =
+        request.GetNumber("max_latency_ratio", shadow.max_latency_ratio);
+    shadow.seed = static_cast<uint64_t>(
+        request.GetNumber("seed", static_cast<double>(shadow.seed)));
+    Status started = service_.StartShadow(snapshot->model,
+                                          snapshot->metadata, shadow);
+    if (!started.ok()) return ErrorResponse(started);
+    return "{\"ok\":true,\"matcher\":" +
+           obs::JsonString(snapshot->metadata.matcher_name) +
+           ",\"version\":" + std::to_string(snapshot->metadata.version) + "}";
+  }
+
+  if (op == "shadow_status") {
+    const ShadowEvaluator* shadow = service_.Shadow();
+    std::string out = std::string("{\"ok\":true,\"active\":") +
+                      (shadow != nullptr ? "true" : "false");
+    if (shadow != nullptr) {
+      const ShadowStats& stats = shadow->stats();
+      out += ",\"matcher\":" +
+             obs::JsonString(shadow->metadata().matcher_name) +
+             ",\"version\":" + std::to_string(shadow->metadata().version) +
+             ",\"sampled\":" + std::to_string(stats.sampled_pairs) +
+             ",\"agreed\":" + std::to_string(stats.agreed_pairs) +
+             ",\"agreement\":" + obs::JsonNumber(stats.Agreement()) +
+             ",\"latency_ratio\":" + obs::JsonNumber(stats.LatencyRatio()) +
+             ",\"faults\":" + std::to_string(stats.faults) + ",\"verdict\":" +
+             obs::JsonString(ShadowVerdictName(shadow->CurrentVerdict()));
+    }
+    return out + "}";
+  }
+
+  if (op == "shadow_cancel") {
+    bool cancelled = service_.CancelShadow();
+    return std::string("{\"ok\":true,\"cancelled\":") +
+           (cancelled ? "true" : "false") + "}";
+  }
+
   if (op == "shutdown") {
     // Everything already queued is answered before the acknowledgement
     // goes out: a shutdown never drops accepted work.
     size_t drained = service_.Drain();
+    AbsorbShadowEvent();
     shutdown_ = true;
     return "{\"ok\":true,\"drained\":" + std::to_string(drained) + "}";
   }
@@ -192,91 +300,105 @@ std::string MatchServer::HandleRequest(const std::string& payload) {
       Status::InvalidArgument("wire: unknown op \"" + op + "\""));
 }
 
-Status MatchServer::ServeConnection(const Socket& conn) {
-  RLBENCH_TRACE_SPAN("serve/connection");
-  RLBENCH_COUNTER_INC("serve/connections");
-  FrameDecoder decoder;
-  // Responses for one burst of pipelined frames, in request order. Match
-  // ops fill their slot from the service callback during Drain; sync ops
-  // fill theirs inline.
-  std::vector<std::string> slots;
-  bool peer_closed = false;
-  while (!shutdown_ && !peer_closed) {
-    auto readable = WaitReadable(conn, -1);
-    if (!readable.ok()) break;
-    if (!*readable) continue;
-    // Pull every chunk the socket already has before pumping, so a
-    // pipelining client's requests coalesce into shared micro-batches.
-    while (true) {
-      auto chunk = RecvSome(conn);
-      if (!chunk.ok() || chunk->empty()) {
-        peer_closed = true;
-        break;
-      }
-      decoder.Append(*chunk);
-      auto more = WaitReadable(conn, 0);
-      if (!more.ok() || !*more) break;
-    }
-    while (true) {
-      auto frame = decoder.Next();
-      if (!frame.ok()) {
-        // Framing is unrecoverable on this connection; drop it, keep
-        // serving the next one.
-        service_.Drain();
-        return Status::OK();
-      }
-      if (!frame->has_value()) break;
-      const std::string& payload = **frame;
-      auto parsed = ParseJson(payload);
-      const std::string op =
-          parsed.ok() ? parsed->GetString("op") : std::string();
-      if (parsed.ok() && (op == "match_pair" || op == "match_batch")) {
-        ++requests_served_;
-        auto pairs = ParsePairs(*parsed);
-        const size_t slot = slots.size();
-        slots.emplace_back();
-        if (!pairs.ok()) {
-          slots[slot] = ErrorResponse(pairs.status());
-          continue;
-        }
-        const bool single = op == "match_pair";
-        double deadline = parsed->GetNumber(
-            "deadline_ms", service_.options().default_deadline_ms);
-        auto submitted = service_.SubmitWithDeadline(
-            std::move(*pairs), deadline,
-            [single, slot, &slots](const RequestOutcome& outcome) {
-              slots[slot] = MatchResponse(single, outcome);
-            });
-        if (!submitted.ok()) slots[slot] = ErrorResponse(submitted.status());
-        continue;
-      }
-      // Sync op (or parse error): answered in arrival order too.
-      service_.Drain();
-      slots.push_back(HandleRequest(payload));
-      if (shutdown_) break;
-    }
-    service_.Drain();
-    std::string out;
-    Status framed = Status::OK();
-    for (std::string& response : slots) {
-      framed = AppendFrame(response, &out);
-      if (!framed.ok()) break;
-    }
-    slots.clear();
-    // A send failure (peer closed without reading) drops this connection,
-    // never the server.
-    if (!framed.ok() || (!out.empty() && !SendAll(conn, out).ok())) break;
+void MatchServer::OnFrame(uint64_t conn_id, std::string payload) {
+  auto slot = std::make_shared<Slot>();
+  slots_[conn_id].push_back(slot);
+  if (shutdown_) {
+    // Late frame during drain: a clean error beats silence or a hang.
+    slot->response = ErrorResponse(
+        Status::FailedPrecondition("serve: shutting down"));
+    slot->ready = true;
+    return;
   }
+  auto parsed = ParseJson(payload);
+  const std::string op = parsed.ok() ? parsed->GetString("op") : std::string();
+  if (parsed.ok() && (op == "match_pair" || op == "match_batch")) {
+    ++requests_served_;
+    auto pairs = ParsePairs(*parsed);
+    if (!pairs.ok()) {
+      slot->response = ErrorResponse(pairs.status());
+      slot->ready = true;
+      return;
+    }
+    const bool single = op == "match_pair";
+    SubmitOptions submit;
+    submit.tenant = parsed->GetString("tenant");
+    submit.deadline_ms = parsed->GetNumber(
+        "deadline_ms", service_.options().default_deadline_ms);
+    // The callback owns a reference to the slot: even if the connection is
+    // evicted before the service answers, the write lands in a live slot
+    // (and FlushReadySlots simply drops slots of dead connections).
+    auto submitted = service_.SubmitRequest(
+        std::move(*pairs), submit,
+        [single, slot](const RequestOutcome& outcome) {
+          slot->response = MatchResponse(single, outcome);
+          slot->ready = true;
+        });
+    if (!submitted.ok()) {
+      slot->response =
+          ErrorResponse(submitted.status(), service_.LastRetryAfterMs());
+      slot->ready = true;
+    }
+    return;
+  }
+  // Sync op (or parse error): drain first so its answer reflects every
+  // match op that arrived before it, then answer inline.
   service_.Drain();
-  return Status::OK();
+  AbsorbShadowEvent();
+  slot->response = HandleRequest(payload);
+  slot->ready = true;
+}
+
+void MatchServer::FlushReadySlots() {
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    std::deque<std::shared_ptr<Slot>>& queue = it->second;
+    while (!queue.empty() && queue.front()->ready) {
+      loop_.Respond(it->first, queue.front()->response);
+      queue.pop_front();
+    }
+    if (queue.empty() || !loop_.HasConnection(it->first)) {
+      it = slots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t MatchServer::PendingSlots() const {
+  size_t pending = 0;
+  for (const auto& [conn_id, queue] : slots_) pending += queue.size();
+  return pending;
 }
 
 Status MatchServer::Serve() {
   RLBENCH_RETURN_NOT_OK(Start());
-  while (!shutdown_) {
-    RLBENCH_ASSIGN_OR_RETURN(Socket conn, Accept(listener_));
-    RLBENCH_RETURN_NOT_OK(ServeConnection(conn));
+  RLBENCH_TRACE_SPAN("serve/loop");
+  int quiet_ticks = 0;
+  while (true) {
+    // Short ticks once draining: shutdown latency is bounded by a few of
+    // these, not by the idle poll timeout.
+    const int timeout_ms = shutdown_ ? 5 : options_.tick_timeout_ms;
+    auto frames = loop_.Tick(
+        timeout_ms, [this](uint64_t conn_id, std::string payload) {
+          OnFrame(conn_id, std::move(payload));
+        });
+    if (!frames.ok()) return frames.status();
+    // Answer everything the tick submitted, then emit responses in
+    // per-connection request order.
+    service_.Drain();
+    AbsorbShadowEvent();
+    FlushReadySlots();
+    if (shutdown_) {
+      if (!loop_.draining()) loop_.BeginDrain();
+      const bool idle =
+          *frames == 0 && PendingSlots() == 0 && loop_.AllFlushed();
+      quiet_ticks = idle ? quiet_ticks + 1 : 0;
+      // A couple of quiet ticks give frames already in kernel buffers a
+      // chance to arrive and be answered with the shutdown error.
+      if (quiet_ticks >= 2) break;
+    }
   }
+  service_.Drain();
   return Status::OK();
 }
 

@@ -26,14 +26,20 @@ const std::vector<double>& BatchPairBounds() {
   return bounds;
 }
 
+// Size of the rolling latency window behind RollingP99Ms; big enough for a
+// stable tail estimate, small enough that the shed controller reacts to
+// the last few hundred requests, not ancient history.
+constexpr size_t kLatencyRingSize = 512;
+
 }  // namespace
 
 MatchService::MatchService(const matchers::MatchingContext* context,
                            MatchServiceOptions options)
-    : context_(context), options_(options) {
+    : context_(context), options_(options), shed_(options.shed) {
   RLBENCH_CHECK(context_ != nullptr);
   RLBENCH_CHECK(options_.max_batch_pairs > 0);
   RLBENCH_CHECK(options_.queue_capacity_pairs >= options_.max_batch_pairs);
+  latency_ring_.resize(kLatencyRingSize, 0.0);
 }
 
 Status MatchService::InstallSnapshot(const Snapshot& snapshot) {
@@ -48,6 +54,32 @@ Status MatchService::InstallSnapshot(const Snapshot& snapshot) {
   return SwapModel(snapshot.model);
 }
 
+void MatchService::RewarmAll(const matchers::TrainedModel* extra) {
+  // Different model families read different context caches (token sets,
+  // q-grams, nothing). Thaw re-enters the warm phase without discarding
+  // already-cached values, and Warm*() is idempotent — so re-preparing
+  // every installed model warms the *union* of their families while every
+  // previously cached value keeps its bits. No batch is in flight here:
+  // the service is single-threaded and ScoreBatch's parallel region always
+  // completes before PumpOne returns.
+  context_->left().Thaw();
+  context_->right().Thaw();
+  auto prepare = [this](const matchers::TrainedModel* model) {
+    if (model == nullptr) return;
+    // PrepareContext freezes; thaw again so the next family can warm.
+    model->PrepareContext(*context_);
+    context_->left().Thaw();
+    context_->right().Thaw();
+  };
+  std::shared_ptr<const matchers::TrainedModel> primary = model_.Acquire();
+  prepare(primary.get());
+  prepare(fallback_.get());
+  if (shadow_ != nullptr) prepare(shadow_->candidate().get());
+  prepare(extra);
+  context_->left().Freeze();
+  context_->right().Freeze();
+}
+
 Status MatchService::SwapModel(
     std::shared_ptr<const matchers::TrainedModel> model) {
   if (model == nullptr) {
@@ -60,17 +92,30 @@ Status MatchService::SwapModel(
         " attributes, dataset has " + std::to_string(attrs));
   }
   RLBENCH_TRACE_SPAN("serve/swap");
-  // Different model families read different context caches (token sets,
-  // q-grams, nothing). The previous model may have frozen the caches with
-  // a different warm set, and PrepareContext early-returns on frozen
-  // caches — so thaw first. No batch is in flight here: the service is
-  // single-threaded and ScoreBatch's parallel region always completes
-  // before PumpOne returns.
-  context_->left().Thaw();
-  context_->right().Thaw();
-  model->PrepareContext(*context_);
+  RewarmAll(model.get());
   model_.Swap(std::move(model));
   RLBENCH_COUNTER_INC("serve/swaps");
+  return Status::OK();
+}
+
+Status MatchService::SetFallbackModel(
+    std::shared_ptr<const matchers::TrainedModel> model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("serve: cannot install a null fallback");
+  }
+  size_t attrs = context_->task().left().schema().num_attributes();
+  if (model->num_attrs() != attrs) {
+    return Status::FailedPrecondition(
+        "serve: fallback expects " + std::to_string(model->num_attrs()) +
+        " attributes, dataset has " + std::to_string(attrs));
+  }
+  fallback_ = std::move(model);
+  RewarmAll(nullptr);
+  return Status::OK();
+}
+
+Status MatchService::SetQuotas(const std::string& spec) {
+  RLBENCH_ASSIGN_OR_RETURN(admission_, AdmissionController::Parse(spec));
   return Status::OK();
 }
 
@@ -83,7 +128,25 @@ Result<uint64_t> MatchService::Submit(std::vector<data::LabeledPair> pairs,
 Result<uint64_t> MatchService::SubmitWithDeadline(
     std::vector<data::LabeledPair> pairs, double deadline_ms,
     ResponseCallback done) {
+  SubmitOptions submit;
+  submit.deadline_ms = deadline_ms;
+  return SubmitRequest(std::move(pairs), submit, std::move(done));
+}
+
+void MatchService::ObservePressure() {
+  if (!options_.shed_enabled) return;
+  double fill = options_.queue_capacity_pairs == 0
+                    ? 0.0
+                    : static_cast<double>(queued_pairs_) /
+                          static_cast<double>(options_.queue_capacity_pairs);
+  shed_.Observe(fill, RollingP99Ms());
+}
+
+Result<uint64_t> MatchService::SubmitRequest(
+    std::vector<data::LabeledPair> pairs, const SubmitOptions& submit,
+    ResponseCallback done) {
   RLBENCH_COUNTER_INC("serve/requests");
+  last_retry_after_ms_ = 0.0;
   if (model_.Empty()) {
     RLBENCH_COUNTER_INC("serve/rejected");
     return Status::FailedPrecondition("serve: no model installed");
@@ -109,6 +172,15 @@ Result<uint64_t> MatchService::SubmitWithDeadline(
           std::to_string(pair.right) + ") out of range");
     }
   }
+  if (!admission_.Unmetered()) {
+    double now_ms = uptime_.ElapsedMillis();
+    if (!admission_.Admit(submit.tenant, now_ms)) {
+      RLBENCH_COUNTER_INC("serve/rejected");
+      last_retry_after_ms_ = admission_.RetryAfterMs(submit.tenant, now_ms);
+      return Status::ResourceExhausted("serve: tenant \"" + submit.tenant +
+                                       "\" over quota");
+    }
+  }
   if (auto hit = RLBENCH_FAULT_POINT("serve/queue/full")) {
     RLBENCH_COUNTER_INC("serve/rejected");
     return Status::ResourceExhausted("injected: queue full");
@@ -120,51 +192,123 @@ Result<uint64_t> MatchService::SubmitWithDeadline(
         " pairs pending, capacity " +
         std::to_string(options_.queue_capacity_pairs) + ")");
   }
+  ObservePressure();
+  ShedTier tier = options_.shed_enabled ? shed_.tier() : ShedTier::kFull;
+  if (tier == ShedTier::kReject) {
+    ++tier_counts_[static_cast<size_t>(ShedTier::kReject)];
+    RLBENCH_COUNTER_INC("serve/shed/rejected");
+    RLBENCH_COUNTER_INC("serve/rejected");
+    last_retry_after_ms_ = options_.shed_retry_after_ms;
+    return Status::ResourceExhausted(
+        "serve: shedding load, retry after " +
+        std::to_string(options_.shed_retry_after_ms) + " ms");
+  }
+  if (tier == ShedTier::kDegraded && fallback_ == nullptr) {
+    // Degradation needs a fallback scorer; without one the request is
+    // served at full tier — the ladder simply has no middle rung.
+    tier = ShedTier::kFull;
+  }
+  ++tier_counts_[static_cast<size_t>(tier)];
+  if (options_.shed_enabled) {
+    RLBENCH_COUNTER_INC(tier == ShedTier::kDegraded ? "serve/shed/degraded"
+                                                    : "serve/shed/full");
+  }
   Pending request;
   request.id = next_request_id_++;
-  request.deadline_ms = deadline_ms;
+  request.deadline_ms = submit.deadline_ms;
+  request.tier = tier;
   request.done = std::move(done);
   queued_pairs_ += pairs.size();
+  ++queue_depth_;
   request.pairs = std::move(pairs);
-  queue_.push_back(std::move(request));
+  uint64_t id = request.id;
+  queues_[submit.tenant].push_back(std::move(request));
   RLBENCH_GAUGE_OBSERVE("serve/queue_pairs",
                         static_cast<double>(queued_pairs_));
-  return queue_.back().id;
+  return id;
 }
 
 void MatchService::Respond(Pending* request, RequestOutcome outcome) {
-  RLBENCH_HISTOGRAM_RECORD("serve/latency_ms", LatencyBoundsMs(),
-                           request->age.ElapsedMillis());
+  double latency_ms = request->age.ElapsedMillis();
+  RLBENCH_HISTOGRAM_RECORD("serve/latency_ms", LatencyBoundsMs(), latency_ms);
+  latency_ring_[latency_next_] = latency_ms;
+  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+  latency_count_ = std::min(latency_count_ + 1, latency_ring_.size());
   if (request->done) {
     outcome.request_id = request->id;
+    outcome.tier = request->tier;
     request->done(outcome);
   }
 }
 
-size_t MatchService::PumpOne() {
-  if (queue_.empty()) return 0;
-  RLBENCH_TRACE_SPAN("serve/pump");
-  // Pin the current snapshot for the whole batch: a concurrent publisher
-  // swapping the slot cannot pull the model out from under us.
-  std::shared_ptr<const matchers::TrainedModel> model = model_.Acquire();
-  RLBENCH_CHECK(model != nullptr);  // Submit rejects before the first install
+double MatchService::RollingP99Ms() const {
+  if (latency_count_ == 0) return 0.0;
+  std::vector<double> window(latency_ring_.begin(),
+                             latency_ring_.begin() + latency_count_);
+  size_t rank = (window.size() * 99) / 100;
+  if (rank >= window.size()) rank = window.size() - 1;
+  std::nth_element(window.begin(), window.begin() + rank, window.end());
+  return window[rank];
+}
 
-  // Coalesce whole requests from the head until the next one would
-  // overflow the micro-batch.
-  std::vector<Pending> taken;
-  size_t batch_pairs = 0;
-  while (!queue_.empty()) {
-    Pending& head = queue_.front();
-    if (!taken.empty() &&
-        batch_pairs + head.pairs.size() > options_.max_batch_pairs) {
-      break;
-    }
-    batch_pairs += head.pairs.size();
-    queued_pairs_ -= head.pairs.size();
-    taken.push_back(std::move(head));
-    queue_.pop_front();
-    if (batch_pairs >= options_.max_batch_pairs) break;
+std::vector<MatchService::Pending> MatchService::TakeBatch(
+    size_t* batch_pairs, ShedTier* batch_tier) {
+  // Rotation order: tenants after the cursor first, then wrap. The cursor
+  // advances to the last tenant served, so a steady flood from one tenant
+  // cannot shut out the others — each pump visits every tenant before
+  // revisiting. One batch carries one tier only (one model scores it); a
+  // tenant whose head is the other tier just waits for the next pump.
+  std::vector<std::string> rotation;
+  rotation.reserve(queues_.size());
+  for (auto it = queues_.upper_bound(cursor_); it != queues_.end(); ++it) {
+    rotation.push_back(it->first);
   }
+  for (auto it = queues_.begin();
+       it != queues_.end() && it->first <= cursor_; ++it) {
+    rotation.push_back(it->first);
+  }
+  std::vector<Pending> taken;
+  bool progress = true;
+  while (progress && *batch_pairs < options_.max_batch_pairs) {
+    progress = false;
+    for (const std::string& tenant : rotation) {
+      auto it = queues_.find(tenant);
+      if (it == queues_.end() || it->second.empty()) continue;
+      Pending& head = it->second.front();
+      if (taken.empty()) {
+        *batch_tier = head.tier;
+      } else if (head.tier != *batch_tier ||
+                 *batch_pairs + head.pairs.size() >
+                     options_.max_batch_pairs) {
+        continue;
+      }
+      *batch_pairs += head.pairs.size();
+      queued_pairs_ -= head.pairs.size();
+      --queue_depth_;
+      taken.push_back(std::move(head));
+      it->second.pop_front();
+      if (it->second.empty()) queues_.erase(it);
+      cursor_ = tenant;
+      progress = true;
+      if (*batch_pairs >= options_.max_batch_pairs) break;
+    }
+  }
+  return taken;
+}
+
+size_t MatchService::PumpOne() {
+  if (queue_depth_ == 0) return 0;
+  RLBENCH_TRACE_SPAN("serve/pump");
+  size_t batch_pairs = 0;
+  ShedTier batch_tier = ShedTier::kFull;
+  std::vector<Pending> taken = TakeBatch(&batch_pairs, &batch_tier);
+
+  // Pin the scoring model for the whole batch: the primary snapshot for
+  // full tier (a concurrent publisher swapping the slot cannot pull it out
+  // from under us), the linear fallback for degraded tier.
+  std::shared_ptr<const matchers::TrainedModel> model =
+      batch_tier == ShedTier::kDegraded ? fallback_ : model_.Acquire();
+  RLBENCH_CHECK(model != nullptr);  // Submit rejects before the first install
 
   // Per-request admission at pump time: expired deadlines and injected
   // worker faults are answered with an error; the rest are scored in one
@@ -205,10 +349,12 @@ size_t MatchService::PumpOne() {
     std::vector<double> scores(flat.size());
     std::vector<uint8_t> decisions(flat.size());
     Status scored;
+    Stopwatch batch_clock;
     {
       RLBENCH_TRACE_SPAN("serve/batch");
       scored = model->ScoreBatch(*context_, flat, scores, decisions);
     }
+    double primary_ms = batch_clock.ElapsedMillis();
     RLBENCH_COUNTER_INC("serve/batches");
     RLBENCH_COUNTER_ADD("serve/pairs_scored", flat.size());
     RLBENCH_HISTOGRAM_RECORD("serve/batch_pairs", BatchPairBounds(),
@@ -228,6 +374,32 @@ size_t MatchService::PumpOne() {
       offset += request.pairs.size();
       Respond(&request, std::move(outcome));
     }
+    // Shadow-score after the batch is answered, on full-tier live traffic
+    // only: the candidate sees what CURRENT served, and the response path
+    // never waits on it.
+    if (shadow_ != nullptr && batch_tier == ShedTier::kFull && scored.ok()) {
+      ShadowEvaluator::Verdict verdict =
+          shadow_->RecordBatch(*context_, flat, decisions, primary_ms);
+      if (verdict == ShadowEvaluator::Verdict::kPromote) {
+        shadow_event_.kind = ShadowEvent::Kind::kPromoted;
+        shadow_event_.metadata = shadow_->metadata();
+        shadow_event_.stats = shadow_->stats();
+        std::shared_ptr<const matchers::TrainedModel> candidate =
+            shadow_->candidate();
+        shadow_.reset();
+        // The swap cannot fail: StartShadow already validated the
+        // candidate against this dataset.
+        Status promoted = SwapModel(std::move(candidate));
+        RLBENCH_CHECK(promoted.ok());
+        RLBENCH_COUNTER_INC("serve/shadow/promoted");
+      } else if (verdict == ShadowEvaluator::Verdict::kRollback) {
+        shadow_event_.kind = ShadowEvent::Kind::kRolledBack;
+        shadow_event_.metadata = shadow_->metadata();
+        shadow_event_.stats = shadow_->stats();
+        shadow_.reset();
+        RLBENCH_COUNTER_INC("serve/shadow/rolled_back");
+      }
+    }
   }
   return taken.size();
 }
@@ -235,8 +407,50 @@ size_t MatchService::PumpOne() {
 size_t MatchService::Drain() {
   RLBENCH_TRACE_SPAN("serve/drain");
   size_t answered = 0;
-  while (!queue_.empty()) answered += PumpOne();
+  while (queue_depth_ > 0) answered += PumpOne();
   return answered;
+}
+
+Status MatchService::StartShadow(
+    std::shared_ptr<const matchers::TrainedModel> candidate,
+    SnapshotMetadata metadata, ShadowOptions options) {
+  if (candidate == nullptr) {
+    return Status::InvalidArgument("serve: cannot shadow a null model");
+  }
+  if (model_.Empty()) {
+    return Status::FailedPrecondition(
+        "serve: no primary model to shadow against");
+  }
+  if (shadow_ != nullptr) {
+    return Status::FailedPrecondition(
+        "serve: a shadow window is already active (" +
+        shadow_->metadata().matcher_name + ")");
+  }
+  size_t attrs = context_->task().left().schema().num_attributes();
+  if (candidate->num_attrs() != attrs) {
+    return Status::FailedPrecondition(
+        "serve: shadow candidate expects " +
+        std::to_string(candidate->num_attrs()) + " attributes, dataset has " +
+        std::to_string(attrs));
+  }
+  shadow_ = std::make_unique<ShadowEvaluator>(std::move(candidate),
+                                              std::move(metadata), options);
+  RewarmAll(nullptr);
+  RLBENCH_COUNTER_INC("serve/shadow/started");
+  return Status::OK();
+}
+
+bool MatchService::CancelShadow() {
+  if (shadow_ == nullptr) return false;
+  shadow_.reset();
+  RLBENCH_COUNTER_INC("serve/shadow/cancelled");
+  return true;
+}
+
+ShadowEvent MatchService::ConsumeShadowEvent() {
+  ShadowEvent event = std::move(shadow_event_);
+  shadow_event_ = ShadowEvent();
+  return event;
 }
 
 Result<AssessResult> MatchService::AssessDataset(

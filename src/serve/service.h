@@ -12,20 +12,39 @@
 // whose deadline lapses while queued is answered with DeadlineExceeded
 // instead of being scored.
 //
+// Layered on the base queue (all opt-in, defaults preserve the plain
+// single-queue service):
+//
+//   * Per-tenant admission (admission.h): requests carry a tenant id;
+//     token-bucket quotas reject over-quota tenants with ResourceExhausted
+//     and a Retry-After hint, and each tenant gets its own FIFO so the
+//     micro-batcher round-robins fairly across tenants instead of letting
+//     one flood starve the rest.
+//   * Tiered load-shedding (shed.h): a hysteresis controller over queue
+//     fill and rolling p99 degrades requests to the linear fallback model
+//     (bit-identical to running that scorer directly), then to rejection.
+//   * Shadow promotion (shadow.h): a candidate snapshot shadow-scores a
+//     deterministic sample of full-tier traffic; the service promotes it
+//     via hot-swap when the agreement/latency gates pass and rolls it back
+//     on divergence or any shadow fault.
+//
 // Failpoints: serve/queue/full (forced admission rejection),
 // serve/deadline (forced expiry at pump time), serve/worker/fault
 // (per-request scoring failure — the request errors, the batch and the
-// process live on). Metrics: serve/requests, serve/rejected,
-// serve/deadline_expired, serve/worker_faults, serve/batches,
-// serve/pairs_scored, serve/swaps; histograms serve/latency_ms,
-// serve/queue_wait_ms, serve/batch_pairs.
+// process live on), serve/shadow/score (shadow divergence). Metrics:
+// serve/requests, serve/rejected, serve/deadline_expired,
+// serve/worker_faults, serve/batches, serve/pairs_scored, serve/swaps,
+// serve/quota/rejected, serve/shed/*, serve/shadow/*; histograms
+// serve/latency_ms, serve/queue_wait_ms, serve/batch_pairs.
 #ifndef RLBENCH_SRC_SERVE_SERVICE_H_
 #define RLBENCH_SRC_SERVE_SERVICE_H_
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,6 +53,9 @@
 #include "matchers/context.h"
 #include "matchers/trained_model.h"
 #include "ml/metrics.h"
+#include "serve/admission.h"
+#include "serve/shadow.h"
+#include "serve/shed.h"
 #include "serve/snapshot.h"
 #include "serve/swap.h"
 
@@ -47,6 +69,12 @@ struct MatchServiceOptions {
   size_t max_batch_pairs = 256;
   /// Deadline applied to Submit() (not SubmitWithDeadline); 0 = none.
   double default_deadline_ms = 0.0;
+  /// Enable the tiered shed controller (off = every request is full tier,
+  /// the pre-shedding behaviour).
+  bool shed_enabled = false;
+  ShedOptions shed;
+  /// Retry-After hint attached to shed rejections (ms).
+  double shed_retry_after_ms = 50.0;
 };
 
 /// \brief Score + decision for one requested pair.
@@ -59,10 +87,17 @@ struct PairScore {
 struct RequestOutcome {
   uint64_t request_id = 0;
   Status status;                   ///< per-request error, e.g. DeadlineExceeded
+  ShedTier tier = ShedTier::kFull; ///< which model tier scored it
   std::vector<PairScore> results;  ///< one per requested pair when ok()
 };
 
 using ResponseCallback = std::function<void(const RequestOutcome&)>;
+
+/// \brief Per-request admission parameters beyond the pairs themselves.
+struct SubmitOptions {
+  std::string tenant;       ///< "" = the anonymous tenant
+  double deadline_ms = 0.0; ///< 0 = no deadline
+};
 
 /// \brief Served evaluation of the task's test split.
 struct AssessResult {
@@ -71,6 +106,15 @@ struct AssessResult {
   size_t batches = 0;
   ml::Confusion confusion;
   double f1 = 0.0;
+};
+
+/// \brief What happened to the active shadow window, for the server to
+/// surface (served-model identity, logs) after it pumps.
+struct ShadowEvent {
+  enum class Kind : uint8_t { kNone = 0, kPromoted = 1, kRolledBack = 2 };
+  Kind kind = Kind::kNone;
+  SnapshotMetadata metadata;
+  ShadowStats stats;
 };
 
 /// \brief Batched, admission-controlled scorer over one MatchingContext.
@@ -97,28 +141,79 @@ class MatchService {
     return model_.Acquire();
   }
 
+  /// Install the cheap linear scorer the degraded tier falls back to.
+  /// Warms the union of the primary's and fallback's cache families, so
+  /// installing a fallback never changes primary scores.
+  [[nodiscard]] Status SetFallbackModel(
+      std::shared_ptr<const matchers::TrainedModel> model);
+  std::shared_ptr<const matchers::TrainedModel> FallbackModel() const {
+    return fallback_;
+  }
+
+  /// Configure per-tenant quotas from the admission.h spec grammar.
+  /// InvalidArgument on a malformed spec.
+  [[nodiscard]] Status SetQuotas(const std::string& spec);
+
   /// Enqueue one request under the default deadline. Returns the request
   /// id, or: FailedPrecondition (no model), InvalidArgument (bad indices /
-  /// empty / oversized request), ResourceExhausted (queue full). `done`
-  /// fires exactly once, from PumpOne or Drain, never from Submit.
+  /// empty / oversized request), ResourceExhausted (queue full, tenant
+  /// over quota, or shed rejection). `done` fires exactly once, from
+  /// PumpOne or Drain, never from Submit.
   [[nodiscard]] Result<uint64_t> Submit(std::vector<data::LabeledPair> pairs,
                           ResponseCallback done);
   [[nodiscard]] Result<uint64_t> SubmitWithDeadline(std::vector<data::LabeledPair> pairs,
                                       double deadline_ms,
                                       ResponseCallback done);
+  /// Full-control variant: tenant-attributed, quota-metered, tier-stamped.
+  [[nodiscard]] Result<uint64_t> SubmitRequest(
+      std::vector<data::LabeledPair> pairs, const SubmitOptions& submit,
+      ResponseCallback done);
+
+  /// Retry-After hint (ms) of the most recent ResourceExhausted rejection
+  /// (quota refill time, or the configured shed hint). 0 when the last
+  /// rejection carried no hint.
+  double LastRetryAfterMs() const { return last_retry_after_ms_; }
 
   /// Coalesce up to max_batch_pairs queued pairs into one scored batch and
-  /// answer their requests. Returns the number of requests answered (0
-  /// when idle). Coalescing never changes scores: each pair's score is a
-  /// pure function of (model, context, pair).
+  /// answer their requests. Requests are taken round-robin across tenant
+  /// queues (FIFO within a tenant); one batch holds one tier only, since a
+  /// batch is scored by exactly one model. Returns the number of requests
+  /// answered (0 when idle). Coalescing never changes scores: each pair's
+  /// score is a pure function of (model, context, pair).
   size_t PumpOne();
 
   /// Pump until the queue is empty (graceful shutdown path); every queued
   /// request is answered — scored or expired, never dropped.
   size_t Drain();
 
-  size_t QueueDepth() const { return queue_.size(); }
+  size_t QueueDepth() const { return queue_depth_; }
   size_t QueuedPairs() const { return queued_pairs_; }
+
+  /// Current shed tier (kFull when shedding is disabled).
+  ShedTier CurrentTier() const { return shed_.tier(); }
+  uint64_t ShedTransitions() const { return shed_.transitions(); }
+  /// Requests admitted per tier + shed rejections, since construction.
+  uint64_t TierCount(ShedTier tier) const {
+    return tier_counts_[static_cast<size_t>(tier)];
+  }
+
+  /// p99 over the most recent served-request latencies (0 until the first
+  /// response). Also the latency signal the shed controller sees.
+  double RollingP99Ms() const;
+
+  /// Begin a shadow window for `candidate` against CURRENT. Fails when no
+  /// primary model is installed, a shadow is already active, or the
+  /// candidate does not fit the dataset. Warms the union of both models'
+  /// cache families (primary scores are unchanged).
+  [[nodiscard]] Status StartShadow(
+      std::shared_ptr<const matchers::TrainedModel> candidate,
+      SnapshotMetadata metadata, ShadowOptions options = {});
+  /// The active shadow window, if any.
+  const ShadowEvaluator* Shadow() const { return shadow_.get(); }
+  /// Abort the active window without promoting. False when none is active.
+  bool CancelShadow();
+  /// The latest promotion/rollback outcome, cleared by this call.
+  ShadowEvent ConsumeShadowEvent();
 
   /// Score the task's entire test split through the served model in
   /// max_batch_pairs chunks and evaluate against ground truth. Optionally
@@ -132,6 +227,7 @@ class MatchService {
     uint64_t id = 0;
     std::vector<data::LabeledPair> pairs;
     double deadline_ms = 0.0;
+    ShedTier tier = ShedTier::kFull;
     Stopwatch age;  ///< runs from admission; queue wait and latency source
     ResponseCallback done;
   };
@@ -139,12 +235,40 @@ class MatchService {
   /// Record latency and fire the callback.
   void Respond(Pending* request, RequestOutcome outcome);
 
+  /// Thaw both record caches, re-warm every installed model's feature
+  /// family (primary, fallback, shadow candidate — warming is idempotent
+  /// and additive, so already-cached values are untouched and scores stay
+  /// bit-identical), and freeze again.
+  void RewarmAll(const matchers::TrainedModel* extra);
+
+  /// Take one batch of same-tier requests, round-robin across tenants.
+  std::vector<Pending> TakeBatch(size_t* batch_pairs, ShedTier* batch_tier);
+
+  /// Feed the shed controller one observation (no-op when disabled).
+  void ObservePressure();
+
   const matchers::MatchingContext* context_;
   MatchServiceOptions options_;
   HotSwappable<matchers::TrainedModel> model_;
-  std::deque<Pending> queue_;
+  std::shared_ptr<const matchers::TrainedModel> fallback_;
+  AdmissionController admission_;
+  ShedController shed_;
+  std::unique_ptr<ShadowEvaluator> shadow_;
+  ShadowEvent shadow_event_;
+  /// Per-tenant FIFOs (ordered map: deterministic rotation order) and the
+  /// round-robin cursor (last tenant served).
+  std::map<std::string, std::deque<Pending>> queues_;
+  std::string cursor_;
+  size_t queue_depth_ = 0;
   size_t queued_pairs_ = 0;
   uint64_t next_request_id_ = 1;
+  uint64_t tier_counts_[3] = {0, 0, 0};
+  double last_retry_after_ms_ = 0.0;
+  /// Ring of recent request latencies feeding RollingP99Ms.
+  std::vector<double> latency_ring_;
+  size_t latency_next_ = 0;
+  size_t latency_count_ = 0;
+  Stopwatch uptime_;  ///< monotonic now_ms source for the token buckets
 };
 
 }  // namespace rlbench::serve

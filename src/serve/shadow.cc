@@ -1,0 +1,112 @@
+#include "serve/shadow.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "fault/failpoint.h"
+#include "obs/metrics.h"
+
+namespace rlbench::serve {
+
+namespace {
+
+// FNV-1a over (seed, left, right): a stable, thread-count-independent
+// sampling hash. Not rlbench::Rng on purpose — sampling must be a pure
+// function of the pair, not of how many pairs were hashed before it.
+uint64_t PairHash(uint64_t seed, uint32_t left, uint32_t right) {
+  uint64_t hash = 14695981039346656037ull ^ seed;
+  auto mix = [&hash](uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (byte * 8)) & 0xff;
+      hash *= 1099511628211ull;
+    }
+  };
+  mix(left);
+  mix(right);
+  return hash;
+}
+
+}  // namespace
+
+ShadowEvaluator::ShadowEvaluator(
+    std::shared_ptr<const matchers::TrainedModel> candidate,
+    SnapshotMetadata metadata, ShadowOptions options)
+    : candidate_(std::move(candidate)),
+      metadata_(std::move(metadata)),
+      options_(options) {
+  RLBENCH_CHECK(candidate_ != nullptr);
+  RLBENCH_CHECK(options_.sample_fraction > 0.0 &&
+                options_.sample_fraction <= 1.0);
+  RLBENCH_CHECK(options_.target_samples >= options_.min_samples);
+}
+
+bool ShadowEvaluator::ShouldSample(const data::LabeledPair& pair) const {
+  // Map the hash to [0, 1) and compare against the fraction; each pair's
+  // fate is fixed by (seed, left, right) alone.
+  uint64_t hash = PairHash(options_.seed, pair.left, pair.right);
+  double unit = static_cast<double>(hash >> 11) * 0x1.0p-53;
+  return unit < options_.sample_fraction;
+}
+
+ShadowEvaluator::Verdict ShadowEvaluator::RecordBatch(
+    const matchers::MatchingContext& context,
+    std::span<const data::LabeledPair> pairs,
+    std::span<const uint8_t> decisions, double primary_ms) {
+  std::vector<data::LabeledPair> sampled;
+  std::vector<uint8_t> primary_decisions;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (ShouldSample(pairs[i])) {
+      sampled.push_back(pairs[i]);
+      primary_decisions.push_back(decisions[i]);
+    }
+  }
+  if (sampled.empty()) return CurrentVerdict();
+
+  Status scored;
+  std::vector<double> shadow_scores(sampled.size());
+  std::vector<uint8_t> shadow_decisions(sampled.size());
+  Stopwatch shadow_clock;
+  if (auto hit = RLBENCH_FAULT_POINT("serve/shadow/score")) {
+    scored = Status::Internal("injected: shadow scoring fault");
+  } else {
+    scored = candidate_->ScoreBatch(context, sampled, shadow_scores,
+                                    shadow_decisions);
+  }
+  if (!scored.ok()) {
+    ++stats_.faults;
+    RLBENCH_COUNTER_INC("serve/shadow/faults");
+    return CurrentVerdict();
+  }
+  stats_.shadow_ms += shadow_clock.ElapsedMillis();
+  stats_.primary_ms += primary_ms;
+  stats_.sampled_pairs += sampled.size();
+  RLBENCH_COUNTER_ADD("serve/shadow/sampled", sampled.size());
+  for (size_t i = 0; i < sampled.size(); ++i) {
+    if (shadow_decisions[i] == primary_decisions[i]) {
+      ++stats_.agreed_pairs;
+      RLBENCH_COUNTER_INC("serve/shadow/agreed");
+    } else {
+      RLBENCH_COUNTER_INC("serve/shadow/disagreed");
+    }
+  }
+  return CurrentVerdict();
+}
+
+ShadowEvaluator::Verdict ShadowEvaluator::CurrentVerdict() const {
+  // Any shadow fault is divergence by definition: the candidate failed to
+  // reproduce traffic CURRENT served fine.
+  if (stats_.faults > 0) return Verdict::kRollback;
+  if (stats_.sampled_pairs < options_.min_samples) return Verdict::kPending;
+  if (stats_.Agreement() < options_.min_agreement) return Verdict::kRollback;
+  if (options_.max_latency_ratio > 0.0 && stats_.primary_ms > 0.0 &&
+      stats_.LatencyRatio() > options_.max_latency_ratio) {
+    return Verdict::kRollback;
+  }
+  if (stats_.sampled_pairs >= options_.target_samples) {
+    return Verdict::kPromote;
+  }
+  return Verdict::kPending;
+}
+
+}  // namespace rlbench::serve

@@ -1,0 +1,119 @@
+// Shadow/canary evaluation for snapshot promotion: a candidate model
+// shadow-scores a deterministic sample of live traffic against CURRENT,
+// and the promotion decision is gated on decision agreement and a latency
+// budget — with automatic rollback on divergence or any shadow fault.
+//
+// The evaluator never touches the response path: shadow scoring happens
+// after the primary batch is answered, on a copy of the sampled pairs, and
+// a shadow failure degrades into a rollback verdict, never into a request
+// error. CURRENT keeps serving bit-identical scores for the entire shadow
+// window, promotion or not — the only observable change is the hot-swap
+// at promotion time.
+//
+// Sampling is a pure function of (seed, left, right): the same pair is
+// sampled — or not — regardless of thread count, tick boundaries, or how
+// requests were batched, so shadow runs are reproducible.
+//
+// Verdict ladder (checked after every recorded batch):
+//   * any shadow fault            -> kRollback (divergence by definition)
+//   * agreement < min_agreement
+//     once min_samples were seen  -> kRollback
+//   * latency ratio over budget
+//     once min_samples were seen  -> kRollback
+//   * >= target_samples, gates ok -> kPromote
+//   * otherwise                   -> kPending
+//
+// Metrics: serve/shadow/{sampled,agreed,disagreed,faults}. Promotion and
+// rollback counters are recorded by the service, which owns the swap.
+// Failpoint: serve/shadow/score (injected shadow-scoring failure).
+#ifndef RLBENCH_SRC_SERVE_SHADOW_H_
+#define RLBENCH_SRC_SERVE_SHADOW_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "data/task.h"
+#include "matchers/context.h"
+#include "matchers/trained_model.h"
+#include "serve/snapshot.h"
+
+namespace rlbench::serve {
+
+struct ShadowOptions {
+  /// Fraction of full-tier pairs shadow-scored, in (0, 1].
+  double sample_fraction = 0.25;
+  /// Seed of the deterministic pair-sampling hash.
+  uint64_t seed = 0x5eed;
+  /// Samples required before the agreement/latency gates are trusted.
+  size_t min_samples = 64;
+  /// Samples at which a passing candidate is promoted.
+  size_t target_samples = 256;
+  /// Decision-agreement floor over sampled pairs.
+  double min_agreement = 0.98;
+  /// Budget: mean shadow ScoreBatch ms may not exceed this multiple of the
+  /// mean primary ScoreBatch ms over the same sampled batches; 0 disables.
+  double max_latency_ratio = 3.0;
+};
+
+/// \brief Rolling agreement/latency stats of one shadow window.
+struct ShadowStats {
+  size_t sampled_pairs = 0;
+  size_t agreed_pairs = 0;
+  size_t faults = 0;
+  double primary_ms = 0.0;  ///< summed primary scoring time, sampled batches
+  double shadow_ms = 0.0;   ///< summed candidate scoring time
+  double Agreement() const {
+    return sampled_pairs == 0
+               ? 1.0
+               : static_cast<double>(agreed_pairs) / sampled_pairs;
+  }
+  double LatencyRatio() const {
+    return primary_ms <= 0.0 ? 0.0 : shadow_ms / primary_ms;
+  }
+};
+
+/// \brief One candidate's shadow window against the CURRENT model.
+///
+/// Not thread-safe; owned by the single-threaded MatchService. The
+/// evaluator holds the candidate model but never publishes it — the
+/// service swaps only on a kPromote verdict.
+class ShadowEvaluator {
+ public:
+  enum class Verdict : uint8_t { kPending = 0, kPromote = 1, kRollback = 2 };
+
+  ShadowEvaluator(std::shared_ptr<const matchers::TrainedModel> candidate,
+                  SnapshotMetadata metadata, ShadowOptions options);
+
+  /// Deterministic sampling decision for one pair.
+  bool ShouldSample(const data::LabeledPair& pair) const;
+
+  /// Shadow-score the sampled subset of one already-answered primary
+  /// batch. `pairs`/`decisions` are the full batch with the primary
+  /// model's outputs; `primary_ms` is what the primary ScoreBatch took.
+  /// Scores the sampled pairs with the candidate, records agreement and
+  /// latency, and returns the updated verdict.
+  Verdict RecordBatch(const matchers::MatchingContext& context,
+                      std::span<const data::LabeledPair> pairs,
+                      std::span<const uint8_t> decisions, double primary_ms);
+
+  Verdict CurrentVerdict() const;
+
+  const ShadowStats& stats() const { return stats_; }
+  const SnapshotMetadata& metadata() const { return metadata_; }
+  const ShadowOptions& options() const { return options_; }
+  std::shared_ptr<const matchers::TrainedModel> candidate() const {
+    return candidate_;
+  }
+
+ private:
+  std::shared_ptr<const matchers::TrainedModel> candidate_;
+  SnapshotMetadata metadata_;
+  ShadowOptions options_;
+  ShadowStats stats_;
+};
+
+}  // namespace rlbench::serve
+
+#endif  // RLBENCH_SRC_SERVE_SHADOW_H_

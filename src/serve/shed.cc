@@ -1,0 +1,82 @@
+#include "serve/shed.h"
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace rlbench::serve {
+
+const char* ShedTierName(ShedTier tier) {
+  switch (tier) {
+    case ShedTier::kFull:
+      return "full";
+    case ShedTier::kDegraded:
+      return "degraded";
+    case ShedTier::kReject:
+      return "reject";
+  }
+  return "unknown";
+}
+
+ShedController::ShedController(ShedOptions options) : options_(options) {
+  RLBENCH_CHECK(options_.degrade_enter_fill > options_.degrade_exit_fill);
+  RLBENCH_CHECK(options_.reject_enter_fill > options_.reject_exit_fill);
+  RLBENCH_CHECK(options_.reject_enter_fill >= options_.degrade_enter_fill);
+  RLBENCH_CHECK(options_.dwell >= 1);
+}
+
+ShedTier ShedController::TargetTier(double queue_fill, double p99_ms) const {
+  // Escalation uses enter thresholds; de-escalation requires the signal to
+  // fall below the *exit* threshold of the current tier. Between exit and
+  // enter the target is the current tier — the hysteresis band.
+  const bool latency_signal = options_.p99_enter_ms > 0.0 && p99_ms > 0.0;
+  switch (tier_) {
+    case ShedTier::kFull:
+      if (queue_fill >= options_.reject_enter_fill) return ShedTier::kReject;
+      if (queue_fill >= options_.degrade_enter_fill ||
+          (latency_signal && p99_ms >= options_.p99_enter_ms)) {
+        return ShedTier::kDegraded;
+      }
+      return ShedTier::kFull;
+    case ShedTier::kDegraded:
+      if (queue_fill >= options_.reject_enter_fill) return ShedTier::kReject;
+      if (queue_fill <= options_.degrade_exit_fill &&
+          (!latency_signal || p99_ms <= options_.p99_exit_ms)) {
+        return ShedTier::kFull;
+      }
+      return ShedTier::kDegraded;
+    case ShedTier::kReject:
+      if (queue_fill <= options_.reject_exit_fill) {
+        // Rejection releases into the degraded tier, never straight to
+        // full: the backlog that caused rejection still needs working off.
+        return ShedTier::kDegraded;
+      }
+      return ShedTier::kReject;
+  }
+  return tier_;
+}
+
+ShedTier ShedController::Observe(double queue_fill, double p99_ms) {
+  ShedTier target = TargetTier(queue_fill, p99_ms);
+  if (target == tier_) {
+    pending_ = tier_;
+    pending_count_ = 0;
+    return tier_;
+  }
+  if (target == pending_) {
+    ++pending_count_;
+  } else {
+    pending_ = target;
+    pending_count_ = 1;
+  }
+  if (pending_count_ >= options_.dwell) {
+    tier_ = pending_;
+    pending_count_ = 0;
+    ++transitions_;
+    RLBENCH_COUNTER_INC("serve/shed/transitions");
+    RLBENCH_GAUGE_OBSERVE("serve/shed/tier",
+                          static_cast<double>(static_cast<uint8_t>(tier_)));
+  }
+  return tier_;
+}
+
+}  // namespace rlbench::serve

@@ -1,0 +1,83 @@
+// Tiered load-shedding for the match service, built on the paper's central
+// finding: linear matchers (ESDE) score nearly as well as deep ones on most
+// benchmark splits, so under pressure the service can *degrade* to the
+// cheap linear scorer long before it must *reject*. Three tiers:
+//
+//   kFull     — score with the primary (CURRENT) model
+//   kDegraded — score with the configured linear fallback model
+//   kReject   — refuse admission with ResourceExhausted + Retry-After
+//
+// Transitions are driven by a hysteresis controller over two pressure
+// signals: queue fill (queued pairs / capacity) and the service's rolling
+// p99 latency. Each tier boundary has an *enter* threshold and a lower
+// *exit* threshold, plus a dwell count — the signal must sit past the
+// threshold for `dwell` consecutive observations before the tier moves.
+// Hysteresis + dwell prevent tier flapping when load hovers at a boundary.
+//
+// The controller only picks *which model scores a request*; it never
+// changes how a model scores. Degraded-tier outputs are therefore
+// bit-identical to running the fallback scorer directly.
+//
+// Metrics: serve/shed/transitions (counter), serve/shed/tier (gauge:
+// 0/1/2). The per-request tier counters (serve/shed/full, .../degraded,
+// .../rejected) are recorded by the service at submit time.
+#ifndef RLBENCH_SRC_SERVE_SHED_H_
+#define RLBENCH_SRC_SERVE_SHED_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rlbench::serve {
+
+/// \brief Service tier a request is admitted at. Order matters: higher
+/// values shed more.
+enum class ShedTier : uint8_t { kFull = 0, kDegraded = 1, kReject = 2 };
+
+/// Stable wire/manifest name ("full", "degraded", "reject").
+const char* ShedTierName(ShedTier tier);
+
+struct ShedOptions {
+  /// Queue-fill fraction (queued pairs / capacity) that enters / exits the
+  /// degraded tier. Enter must exceed exit (hysteresis band).
+  double degrade_enter_fill = 0.60;
+  double degrade_exit_fill = 0.30;
+  /// Queue-fill fraction that enters / exits the reject tier.
+  double reject_enter_fill = 0.90;
+  double reject_exit_fill = 0.60;
+  /// Rolling p99 latency (ms) that enters / exits the degraded tier;
+  /// 0 disables the latency signal (queue fill still sheds).
+  double p99_enter_ms = 0.0;
+  double p99_exit_ms = 0.0;
+  /// Consecutive observations past a threshold before the tier moves.
+  int dwell = 2;
+};
+
+/// \brief Hysteresis controller mapping pressure observations to a tier.
+///
+/// Not thread-safe; owned by the single-threaded MatchService.
+class ShedController {
+ public:
+  explicit ShedController(ShedOptions options = {});
+
+  /// Feed one observation and return the (possibly unchanged) tier.
+  /// `queue_fill` in [0, 1]; `p99_ms` <= 0 means "no latency sample yet".
+  ShedTier Observe(double queue_fill, double p99_ms);
+
+  ShedTier tier() const { return tier_; }
+  uint64_t transitions() const { return transitions_; }
+  const ShedOptions& options() const { return options_; }
+
+ private:
+  /// The tier the raw signals point at, ignoring dwell/hysteresis state.
+  ShedTier TargetTier(double queue_fill, double p99_ms) const;
+
+  ShedOptions options_;
+  ShedTier tier_ = ShedTier::kFull;
+  ShedTier pending_ = ShedTier::kFull;  ///< candidate awaiting dwell
+  int pending_count_ = 0;
+  uint64_t transitions_ = 0;
+};
+
+}  // namespace rlbench::serve
+
+#endif  // RLBENCH_SRC_SERVE_SHED_H_

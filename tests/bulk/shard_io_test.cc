@@ -142,7 +142,9 @@ TEST_F(ShardIoTest, BudgetForcesMultipleSortedRuns) {
       bool done = false;
       ASSERT_TRUE(reader.Next(&cur, &done).ok());
       if (done) break;
-      if (!first) EXPECT_FALSE(SpillEntryLess(cur, prev));
+      if (!first) {
+        EXPECT_FALSE(SpillEntryLess(cur, prev));
+      }
       prev = cur;
       first = false;
     }

@@ -48,6 +48,11 @@ Rules:
                 src/serve/net.*; all transport flows through serve::Socket
                 and the framed helpers so the server stays loopback-only
                 and connection failure semantics stay in one place
+  blocknet      no blocking socket helpers (Accept, WaitReadable, SendAll,
+                RecvSome, SendFrame, RecvFrame) in src/serve/ outside
+                net.* and the synchronous client.* — the server side is a
+                nonblocking event loop, and one blocking call on its thread
+                parks every multiplexed connection behind one slow peer
   using-ns      no `using namespace` at any scope in headers
   kernels       no associative-container lookups or heap allocation inside
                 loop bodies of src/text/kernels.cc — the vectorized kernels
@@ -390,6 +395,62 @@ SOCKET_FIXTURES = [
             bad=False),
 ]
 
+# --- blocknet ---------------------------------------------------------------
+
+# The serve-side event loop multiplexes every connection on one thread: a
+# single blocking wait (accept, framed recv, full-buffer send) parks all of
+# them behind one slow peer. net.* implements both flavors, and client.*
+# is the synchronous caller-side API, so both stay exempt.
+BLOCKNET_PREFIX = "src/serve/"
+BLOCKNET_ALLOWED_PREFIXES = ("src/serve/net", "src/serve/client")
+BLOCKNET_PATTERNS = [
+    (re.compile(r"\b(?:Accept|WaitReadable|SendAll|RecvSome|SendFrame|"
+                r"RecvFrame)\s*\("),
+     "blocking socket helper in serve code outside net.*/client.*; the "
+     "event loop must stay nonblocking (AcceptWithDeadline, "
+     "ReadNonBlocking/WriteNonBlocking via EventLoop)"),
+]
+
+
+def check_blocknet(rel, lines, errors):
+    if not rel.startswith(BLOCKNET_PREFIX):
+        return
+    if rel.startswith(BLOCKNET_ALLOWED_PREFIXES):
+        return
+    for i, line in enumerate(lines):
+        code = LINE_COMMENT.sub("", line)
+        for pattern, message in BLOCKNET_PATTERNS:
+            if pattern.search(code):
+                errors.append(f"{rel}:{i + 1}: {message}")
+
+
+BLOCKNET_FIXTURES = [
+    Fixture("src/serve/server.cc",
+            "auto socket = Accept(listener_);\n", bad=True),
+    Fixture("src/serve/server.cc",
+            "auto frame = RecvFrame(socket, &decoder);\n", bad=True),
+    Fixture("src/serve/event_loop.cc",
+            "RLBENCH_RETURN_NOT_OK(SendAll(conn.socket, bytes));\n",
+            bad=True),
+    Fixture("src/serve/service.cc",
+            "auto ready = WaitReadable(socket, 50);\n", bad=True),
+    # The nonblocking variants are the sanctioned loop primitives.
+    Fixture("src/serve/event_loop.cc",
+            "auto accepted = AcceptWithDeadline(listener_, 0);\n"
+            "auto read = ReadNonBlocking(conn.socket);\n"
+            "auto wrote = WriteNonBlocking(conn.socket, view);\n",
+            bad=False),
+    # net.* and the synchronous client API implement/consume the blocking
+    # flavor on purpose.
+    Fixture("src/serve/net.cc",
+            "Result<Socket> Accept(const Socket& listener) {\n", bad=False),
+    Fixture("src/serve/client.cc",
+            "return RecvFrame(socket_, &decoder_);\n", bad=False),
+    # Blocking helpers outside src/serve/ are the sockets rule's business.
+    Fixture("tests/serve/loop_test.cc",
+            "auto one = Accept(*listener);\n", bad=False),
+]
+
 # --- using-ns ---------------------------------------------------------------
 
 USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
@@ -572,6 +633,7 @@ RULES = [
                         FSTREAM_PATTERNS), FSTREAM_FIXTURES),
     Rule("sockets", _pattern_check(set(), SOCKET_ALLOWED_PREFIXES,
                                    SOCKET_PATTERNS), SOCKET_FIXTURES),
+    Rule("blocknet", check_blocknet, BLOCKNET_FIXTURES),
 ]
 
 # --- cmake-reg (tree-level, not per-file) -----------------------------------
