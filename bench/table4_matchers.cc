@@ -93,6 +93,8 @@ int main(int argc, char** argv) {
           "(b) Non-neural, non-linear ML-based matching algorithms");
   section(matchers::MatcherGroup::kLinear,
           "(c) Non-neural, linear supervised matching algorithms");
+  section(matchers::MatcherGroup::kZeroShot,
+          "(d) Training-free zero-shot matching algorithms");
   table.Print(std::cout);
 
   benchutil::SaveScores("table4_scores", cache);

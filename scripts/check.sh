@@ -9,27 +9,31 @@
 #      ASan/UBSan — an open-loop multi-tenant burst that must walk the
 #      shed ladder (>= 1 transition, degraded traffic bit-identical to the
 #      linear fallback) with per-tier counts recorded in the manifest
-#   4. TSan build + the concurrency-bearing tests (parallel pool, frozen
+#   4. drift loop smoke: micro_drift --smoke under ASan/UBSan — a
+#      difficulty shift must be detected, the EnsembleLink candidate
+#      retrained, snapshot round-tripped, shadow-promoted, and a faulted
+#      shadow window rolled back; the drift_* manifest keys validated
+#   5. TSan build + the concurrency-bearing tests (parallel pool, frozen
 #      feature cache, thread-count invariance, metrics shards)
-#   5. observability end-to-end: one bench with RLBENCH_METRICS +
+#   6. observability end-to-end: one bench with RLBENCH_METRICS +
 #      RLBENCH_TRACE, manifest + trace validated by
 #      tools/validate_manifest.py
-#   6. vectorized kernels: the differential + golden suites and the
+#   7. vectorized kernels: the differential + golden suites and the
 #      columnar store tests re-run explicitly under ASan/UBSan, plus a
 #      micro_kernels smoke (scalar-vs-vectorized checksums asserted inside
 #      the bench; no perf thresholds under sanitizers)
-#   7. out-of-core bulk smoke: macro_bulk --smoke (20k records through
+#   8. out-of-core bulk smoke: macro_bulk --smoke (20k records through
 #      both blocking modes, spill-to-disk, per-shard manifests) under the
 #      sanitizers, validated by tools/validate_manifest.py
-#   8. fault-injection storm: a real bench under RLBENCH_FAULTS across 8
+#   9. fault-injection storm: a real bench under RLBENCH_FAULTS across 8
 #      seeds with ASan/UBSan armed — graceful degradation may fail
 #      datasets, but a crash/abort/sanitizer report fails the gate
-#   9. repo lint (tools/rlbench_lint.py), its rule self-tests, and the
+#  10. repo lint (tools/rlbench_lint.py), its rule self-tests, and the
 #      negative-compilation fixtures (tests/static/)
-#  10. Clang thread-safety analysis: full build under -Wthread-safety
+#  11. Clang thread-safety analysis: full build under -Wthread-safety
 #      -Wthread-safety-beta -Werror=thread-safety-analysis (skipped with
 #      a warning if clang++ is not installed — GCC has no such analysis)
-#  11. clang-tidy over src/ (skipped with a warning if not installed)
+#  12. clang-tidy over src/ (skipped with a warning if not installed)
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -40,7 +44,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 SCRATCH_ROOT="$(mktemp -d "${TMPDIR:-/tmp}/rlbench_check.XXXXXX")"
 trap 'rm -rf "${SCRATCH_ROOT}"' EXIT
 
-echo "== [1/11] build + test under ASan/UBSan =="
+echo "== [1/12] build + test under ASan/UBSan =="
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRLBENCH_SANITIZE="address;undefined" \
@@ -54,7 +58,7 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
     ctest --output-on-failure -j "${JOBS}"
 )
 
-echo "== [2/11] serve smoke (client/server round-trip under ASan/UBSan) =="
+echo "== [2/12] serve smoke (client/server round-trip under ASan/UBSan) =="
 SERVE_DIR="${SCRATCH_ROOT}/serve"
 mkdir -p "${SERVE_DIR}"
 PORT_FILE="${SERVE_DIR}/port"
@@ -109,7 +113,7 @@ if grep -qE "AddressSanitizer|LeakSanitizer|runtime error:" \
 fi
 echo "serve smoke: round-trip ok, clean shutdown"
 
-echo "== [3/11] serve overload storm smoke (micro_serve --storm) =="
+echo "== [3/12] serve overload storm smoke (micro_serve --storm) =="
 # Open-loop multi-tenant overload against the shed-enabled service. The
 # bench itself RLBENCH_CHECKs the robustness contract in --smoke mode:
 # at least one shed transition fired, degraded traffic exists, and every
@@ -142,7 +146,39 @@ print("storm manifest: per-tier counts present, ladder exercised")
 PYEOF
 echo "storm smoke: shed ladder walked, degraded tier bit-identical"
 
-echo "== [4/11] concurrency tests under TSan =="
+echo "== [4/12] drift loop smoke (micro_drift --smoke) =="
+# The full reaction under sanitizers: a difficulty shift is detected by
+# the drift controller, the EnsembleLink candidate is retrained mid-serve,
+# its snapshot round-trips bit-exactly, the shadow gate promotes it, and
+# the follow-up episode with candidate-scoring faults armed must roll
+# back. All assertions live inside the bench (RLBENCH_CHECK); the
+# validator + key checks below keep the drift_* numbers in the artifact.
+DRIFT_DIR="${SCRATCH_ROOT}/drift"
+mkdir -p "${DRIFT_DIR}"
+(
+  cd "${DRIFT_DIR}"
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ASAN_OPTIONS="detect_leaks=1" \
+    "${BUILD_DIR}/bench/micro_drift" --smoke
+)
+python3 "${REPO_ROOT}/tools/validate_manifest.py" \
+  "${DRIFT_DIR}/bench_results/micro_drift.manifest.json"
+python3 - "${DRIFT_DIR}/bench_results/micro_drift.manifest.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    config = json.load(f)["config"]
+for key in ("drift_window_pairs", "drift_state", "drift_transitions",
+            "drift_windows_to_trigger", "drift_sampling_overhead_ratio",
+            "drift_swap_recovery_requests"):
+    if key not in config:
+        sys.exit(f"drift smoke: manifest config missing {key}")
+if int(config["drift_triggers"]) < 2:
+    sys.exit("drift smoke: both drift episodes should have triggered")
+print("drift manifest: detection, recovery and rollback recorded")
+PYEOF
+echo "drift smoke: detect -> retrain -> shadow promote, faulted episode rolled back"
+
+echo "== [5/12] concurrency tests under TSan =="
 TSAN_DIR="${REPO_ROOT}/build-tsan"
 cmake -B "${TSAN_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -168,12 +204,12 @@ cmake --build "${TSAN_DIR}" -j "${JOBS}" --target \
 )
 echo "TSan: clean"
 
-echo "== [5/11] observability end-to-end =="
+echo "== [6/12] observability end-to-end =="
 python3 "${REPO_ROOT}/tools/validate_manifest.py" --run \
   "${BUILD_DIR}/bench/table3_datasets" --datasets=Ds1 --scale=0.05
 echo "observability: manifest + trace validate"
 
-echo "== [6/11] vectorized kernels: differential suite + bench smoke =="
+echo "== [7/12] vectorized kernels: differential suite + bench smoke =="
 # The kernel suites are part of stage 1's full ctest; run them again by
 # explicit filter so a test-registration change can never silently drop
 # the scalar-vs-vectorized gate from this script.
@@ -196,7 +232,7 @@ echo "== [6/11] vectorized kernels: differential suite + bench smoke =="
 )
 echo "kernels: differential suites + smoke clean"
 
-echo "== [7/11] out-of-core bulk resolution smoke =="
+echo "== [8/12] out-of-core bulk resolution smoke =="
 # macro_bulk --smoke streams 20k records through both blocking modes
 # (sorted-neighborhood external sort, MinHash hash partitioning) with the
 # sanitizers armed; validate_manifest.py --run checks the run manifest,
@@ -207,7 +243,7 @@ ASAN_OPTIONS="detect_leaks=1" \
   "${BUILD_DIR}/bench/macro_bulk" --smoke
 echo "bulk smoke: both modes resolved out of core, manifests validate"
 
-echo "== [8/11] fault-injection storm =="
+echo "== [9/12] fault-injection storm =="
 # Drive a real bench through seeded fault storms with the sanitizers armed.
 # The degradation contract: failed datasets are fine (the bench exits 0
 # while at least one dataset survives, 1 when all fail), but any abort,
@@ -242,7 +278,7 @@ for seed in 1 2 3 4 5 6 7 8; do
 done
 echo "fault storm: clean (8 seeds, no crashes, no sanitizer reports)"
 
-echo "== [9/11] repo lint + self-test + negative compilation =="
+echo "== [10/12] repo lint + self-test + negative compilation =="
 python3 "${REPO_ROOT}/tools/rlbench_lint.py" --root "${REPO_ROOT}"
 python3 "${REPO_ROOT}/tools/rlbench_lint.py" --self-test
 # The negative-compilation fixtures also run as a ctest in stage 1; run
@@ -259,7 +295,7 @@ python3 "${REPO_ROOT}/tests/static/compile_fail_test.py" \
   --include "${REPO_ROOT}/src"
 echo "repo lint: clean"
 
-echo "== [10/11] Clang thread-safety analysis =="
+echo "== [11/12] Clang thread-safety analysis =="
 TS_CLANG="$(command -v clang++ || true)"
 if [[ -z "${TS_CLANG}" ]]; then
   for v in 18 17 16 15 14; do
@@ -282,7 +318,7 @@ else
   echo "thread-safety analysis: clean"
 fi
 
-echo "== [11/11] clang-tidy =="
+echo "== [12/12] clang-tidy =="
 TIDY_BIN="$(command -v clang-tidy || true)"
 if [[ -z "${TIDY_BIN}" ]]; then
   for v in 18 17 16 15 14; do

@@ -15,6 +15,10 @@ PracticalMeasures ComputePractical(const std::vector<MatcherScore>& scores) {
     // Matcher F1s feed directly into NLB/LBM; an out-of-range score means
     // the matcher (not this aggregation) is broken.
     RLBENCH_CHECK_PROB(score.f1);
+    // Zero-shot rows (EnsembleLink) train on no labels: they are neither
+    // the linear anchor nor a learning-based ceiling, so they feed into
+    // neither NLB bucket nor LBM. Reported alongside, never aggregated.
+    if (score.group == matchers::MatcherGroup::kZeroShot) continue;
     best_any = std::max(best_any, score.f1);
     if (score.group == matchers::MatcherGroup::kLinear) {
       out.best_linear_f1 = std::max(out.best_linear_f1, score.f1);

@@ -20,7 +20,9 @@ struct MatcherScore {
 
 struct PracticalMeasures {
   /// NLB = max F1 of non-linear (DL + classic ML) matchers minus max F1 of
-  /// the linear (ESDE) matchers.
+  /// the linear (ESDE) matchers. MatcherGroup::kZeroShot rows are excluded
+  /// from every field here: a training-free matcher is neither the linear
+  /// anchor nor learning-based, so counting it would corrupt NLB and LBM.
   double non_linear_boost = 0.0;
   /// LBM = 1 - max F1 over every learning-based matcher.
   double learning_based_margin = 0.0;

@@ -1,0 +1,68 @@
+#include "drift/controller.h"
+
+#include "common/check.h"
+
+namespace rlbench::drift {
+
+const char* DriftStateName(DriftState state) {
+  switch (state) {
+    case DriftState::kStable:
+      return "stable";
+    case DriftState::kWatch:
+      return "watch";
+    case DriftState::kTriggered:
+      return "triggered";
+  }
+  return "unknown";
+}
+
+DriftController::DriftController(DriftControllerOptions options)
+    : options_(options) {
+  RLBENCH_CHECK(options_.dwell >= 1);
+  // Exit thresholds must sit on the recovered side of their enter
+  // thresholds or the hysteresis band inverts.
+  RLBENCH_CHECK(options_.linearity_exit >= options_.linearity_enter);
+  RLBENCH_CHECK(options_.complexity_exit <= options_.complexity_enter);
+}
+
+bool DriftController::Drifted(const WindowMeasures& measures) const {
+  return measures.best_linear_f1 < options_.linearity_enter ||
+         measures.complexity_avg > options_.complexity_enter;
+}
+
+bool DriftController::Recovered(const WindowMeasures& measures) const {
+  return measures.best_linear_f1 > options_.linearity_exit &&
+         measures.complexity_avg < options_.complexity_exit;
+}
+
+void DriftController::SetState(DriftState next) {
+  if (next == state_) return;
+  state_ = next;
+  ++transitions_;
+}
+
+DriftState DriftController::Observe(const WindowMeasures& measures) {
+  // Sticky: the reaction owns the exit via Rearm().
+  if (state_ == DriftState::kTriggered) return state_;
+  if (Drifted(measures)) {
+    ++drifted_streak_;
+    if (state_ == DriftState::kStable) SetState(DriftState::kWatch);
+    if (drifted_streak_ >= options_.dwell) {
+      SetState(DriftState::kTriggered);
+      ++triggers_;
+    }
+  } else {
+    drifted_streak_ = 0;
+    if (state_ == DriftState::kWatch && Recovered(measures)) {
+      SetState(DriftState::kStable);
+    }
+  }
+  return state_;
+}
+
+void DriftController::Rearm() {
+  drifted_streak_ = 0;
+  if (state_ == DriftState::kTriggered) SetState(DriftState::kStable);
+}
+
+}  // namespace rlbench::drift

@@ -1,0 +1,75 @@
+// Hysteresis-driven reaction policy of the drift loop — the same
+// controller shape as serve/shed: enter/exit thresholds with a dwell so a
+// single noisy window cannot flap the system, plus a sticky triggered
+// state so the expensive reaction (retrain → publish → shadow-gated
+// hot-swap) runs exactly once per drift episode.
+//
+// State ladder:
+//   kStable    — windows look like the regime the served model was
+//                promoted under.
+//   kWatch     — a drifted window arrived; accumulating the dwell streak.
+//                Falls back to kStable once a window clears the exit
+//                thresholds (hysteresis band between enter and exit).
+//   kTriggered — `dwell` consecutive drifted windows. Sticky until
+//                Rearm() is called after the reaction completed (the
+//                shadow ladder decides whether the new model lands).
+#ifndef RLBENCH_SRC_DRIFT_CONTROLLER_H_
+#define RLBENCH_SRC_DRIFT_CONTROLLER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "drift/monitor.h"
+
+namespace rlbench::drift {
+
+enum class DriftState : uint8_t { kStable = 0, kWatch = 1, kTriggered = 2 };
+
+/// Stable wire/manifest name of a state ("stable", "watch", "triggered").
+const char* DriftStateName(DriftState state);
+
+struct DriftControllerOptions {
+  /// A window counts as drifted when its best linear F1 falls below
+  /// `linearity_enter` OR its complexity average rises above
+  /// `complexity_enter`; it clears the episode when the F1 is back above
+  /// `linearity_exit` AND the complexity back below `complexity_exit`.
+  double linearity_enter = 0.80;
+  double linearity_exit = 0.90;
+  double complexity_enter = 0.45;
+  double complexity_exit = 0.35;
+  /// Consecutive drifted windows required to trigger.
+  size_t dwell = 2;
+};
+
+class DriftController {
+ public:
+  explicit DriftController(DriftControllerOptions options = {});
+
+  /// Feed one completed window's measures; returns the state afterwards.
+  DriftState Observe(const WindowMeasures& measures);
+
+  /// Leave kTriggered once the reaction has run (whether or not the
+  /// shadow ladder promoted the candidate); resets the dwell streak.
+  void Rearm();
+
+  DriftState state() const { return state_; }
+  /// Total state changes (for manifests and the storm assertions).
+  uint64_t transitions() const { return transitions_; }
+  /// Completed kStable/kWatch -> kTriggered edges.
+  uint64_t triggers() const { return triggers_; }
+
+ private:
+  bool Drifted(const WindowMeasures& measures) const;
+  bool Recovered(const WindowMeasures& measures) const;
+  void SetState(DriftState next);
+
+  DriftControllerOptions options_;
+  DriftState state_ = DriftState::kStable;
+  size_t drifted_streak_ = 0;
+  uint64_t transitions_ = 0;
+  uint64_t triggers_ = 0;
+};
+
+}  // namespace rlbench::drift
+
+#endif  // RLBENCH_SRC_DRIFT_CONTROLLER_H_

@@ -1,0 +1,98 @@
+#include "drift/monitor.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "core/practical.h"
+#include "data/columnar.h"
+#include "ml/metrics.h"
+#include "obs/trace.h"
+#include "text/kernels.h"
+
+namespace rlbench::drift {
+
+namespace {
+// Same extraction grain as the matcher batch paths.
+constexpr size_t kPairGrain = 256;
+}  // namespace
+
+WindowMeasures ComputeWindowMeasures(
+    const matchers::MatchingContext& context,
+    std::span<const ScoredSample> window, const MonitorOptions& options,
+    const matchers::TrainedModel* zero_shot_arm) {
+  WindowMeasures out;
+  out.pairs = window.size();
+  if (window.empty()) return out;
+  RLBENCH_TRACE_SPAN("drift/window_measures");
+
+  // [CS, JS] per sampled pair over the columnar all-token spans — the
+  // paper's 2-D instance representation, extracted on the parallel pool
+  // into index-addressed slots (bit-identical at any thread count).
+  const data::ColumnarStore& store = context.columnar();
+  std::vector<core::FeaturePoint> points(window.size());
+  std::vector<uint8_t> labels(window.size());
+  std::vector<uint8_t> decisions(window.size());
+  ParallelFor(0, window.size(), kPairGrain, [&](size_t i) {
+    const ScoredSample& sample = window[i];
+    text::kernels::SetSims sims = text::kernels::SetFamilySortedU32(
+        store.TokenIdsAll(data::ColumnarStore::kLeft, sample.pair.left),
+        store.TokenIdsAll(data::ColumnarStore::kRight, sample.pair.right));
+    uint8_t label = options.use_truth_labels ? (sample.pair.is_match ? 1 : 0)
+                                             : sample.decision;
+    points[i] = core::FeaturePoint{sims.cosine, sims.jaccard, label != 0};
+    labels[i] = label;
+    decisions[i] = sample.decision;
+  });
+  for (uint8_t label : labels) out.positives += label;
+
+  // Degree of linearity (Algorithm 1) on each similarity column.
+  {
+    std::vector<double> column(window.size());
+    for (size_t i = 0; i < window.size(); ++i) column[i] = points[i].cs;
+    ml::ThresholdSweepResult cs = ml::SweepThresholds(column, labels);
+    out.f1_cs = cs.best_f1;
+    out.threshold_cs = cs.best_threshold;
+    for (size_t i = 0; i < window.size(); ++i) column[i] = points[i].js;
+    ml::ThresholdSweepResult js = ml::SweepThresholds(column, labels);
+    out.f1_js = js.best_f1;
+    out.threshold_js = js.best_threshold;
+  }
+  out.best_linear_f1 = std::max(out.f1_cs, out.f1_js);
+
+  // Table I complexity measures (seeded subsample inside keeps the O(n^2)
+  // families deterministic).
+  out.complexity_avg = core::ComputeComplexity(points, options.complexity)
+                           .Average();
+
+  out.served_f1 = ml::Evaluate(labels, decisions).F1();
+
+  // Feed the window rows through the paper's own practical aggregation:
+  // the served model plays the non-linear lineup, the window's best
+  // threshold rule plays the linear anchor, and the zero-shot arm rides
+  // along as a reported-but-excluded row (core/practical.h).
+  std::vector<core::MatcherScore> scores;
+  scores.push_back(
+      {"served", matchers::MatcherGroup::kClassicMl, out.served_f1});
+  scores.push_back(
+      {"window-linear", matchers::MatcherGroup::kLinear, out.best_linear_f1});
+  if (zero_shot_arm != nullptr) {
+    std::vector<data::LabeledPair> pairs(window.size());
+    for (size_t i = 0; i < window.size(); ++i) pairs[i] = window[i].pair;
+    std::vector<double> arm_scores(window.size());
+    std::vector<uint8_t> arm_decisions(window.size());
+    Status scored = zero_shot_arm->ScoreBatch(context, pairs, arm_scores,
+                                              arm_decisions);
+    RLBENCH_CHECK_MSG(scored.ok(), "drift: zero-shot arm failed to score");
+    out.zero_shot_f1 = ml::Evaluate(labels, arm_decisions).F1();
+    scores.push_back({zero_shot_arm->matcher_name(),
+                      matchers::MatcherGroup::kZeroShot, out.zero_shot_f1});
+  }
+  core::PracticalMeasures practical = core::ComputePractical(scores);
+  out.nlb = practical.non_linear_boost;
+  out.lbm = practical.learning_based_margin;
+  return out;
+}
+
+}  // namespace rlbench::drift

@@ -1,0 +1,36 @@
+#include "drift/reservoir.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace rlbench::drift {
+
+WindowReservoir::WindowReservoir(ReservoirOptions options)
+    : options_(options) {
+  RLBENCH_CHECK(options_.window_pairs > 0);
+  RLBENCH_CHECK(options_.sample_fraction > 0.0 &&
+                options_.sample_fraction <= 1.0);
+  samples_.reserve(options_.window_pairs);
+}
+
+bool WindowReservoir::ShouldSample(const data::LabeledPair& pair) const {
+  if (options_.sample_fraction >= 1.0) return true;
+  // Two SplitSeed rounds mix (seed, left, right) into a decorrelated
+  // 64-bit draw; mapping the top 53 bits to [0, 1) mirrors serve/shadow.
+  uint64_t hash = SplitSeed(SplitSeed(options_.seed, pair.left), pair.right);
+  double unit = static_cast<double>(hash >> 11) * 0x1.0p-53;
+  return unit < options_.sample_fraction;
+}
+
+bool WindowReservoir::Offer(const data::LabeledPair& pair, double score,
+                            uint8_t decision) {
+  ++offered_;
+  if (!ShouldSample(pair)) return false;
+  ++sampled_;
+  samples_.push_back(ScoredSample{pair, score, decision});
+  if (samples_.size() < options_.window_pairs) return false;
+  ++windows_completed_;
+  return true;
+}
+
+}  // namespace rlbench::drift

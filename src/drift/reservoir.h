@@ -1,0 +1,71 @@
+// Bounded windowed reservoir of live scored pairs — the sampling half of
+// the difficulty-drift loop (docs/drift.md). The serve path offers every
+// full-tier scored pair; admission is a pure function of (seed, pair
+// identity) via SplitSeed, so the window's contents depend only on the
+// order requests were served in — never on batch splits, thread counts,
+// or wall-clock time. A window "completes" when it holds `window_pairs`
+// admitted samples; the monitor (monitor.h) then recomputes the paper's
+// difficulty measures over it.
+#ifndef RLBENCH_SRC_DRIFT_RESERVOIR_H_
+#define RLBENCH_SRC_DRIFT_RESERVOIR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/task.h"
+
+namespace rlbench::drift {
+
+/// One sampled serve decision: the pair plus the served score and
+/// decision. The decision doubles as the window's self-label when no
+/// ground truth is available (MonitorOptions::use_truth_labels == false).
+struct ScoredSample {
+  data::LabeledPair pair;
+  double score = 0.0;
+  uint8_t decision = 0;
+};
+
+struct ReservoirOptions {
+  /// Admitted samples per completed window.
+  size_t window_pairs = 512;
+  /// Fraction of offered pairs admitted; 1.0 samples everything.
+  double sample_fraction = 1.0;
+  uint64_t seed = 0xD21F7;
+};
+
+class WindowReservoir {
+ public:
+  explicit WindowReservoir(ReservoirOptions options = {});
+
+  /// Whether a pair would be admitted — a pure function of
+  /// (seed, left, right), like serve/shadow sampling: each pair's fate is
+  /// fixed before any traffic flows.
+  [[nodiscard]] bool ShouldSample(const data::LabeledPair& pair) const;
+
+  /// Offer one scored pair. Returns true when this offer completed the
+  /// window: read it via window(), then call ResetWindow() to start the
+  /// next one. Single-writer (the serve thread); not thread-safe.
+  [[nodiscard]] bool Offer(const data::LabeledPair& pair, double score,
+                           uint8_t decision);
+
+  /// The current (possibly partial) window, in admission order.
+  std::span<const ScoredSample> window() const { return samples_; }
+  void ResetWindow() { samples_.clear(); }
+
+  size_t window_pairs() const { return options_.window_pairs; }
+  uint64_t offered() const { return offered_; }
+  uint64_t sampled() const { return sampled_; }
+  uint64_t windows_completed() const { return windows_completed_; }
+
+ private:
+  ReservoirOptions options_;
+  std::vector<ScoredSample> samples_;
+  uint64_t offered_ = 0;
+  uint64_t sampled_ = 0;
+  uint64_t windows_completed_ = 0;
+};
+
+}  // namespace rlbench::drift
+
+#endif  // RLBENCH_SRC_DRIFT_RESERVOIR_H_

@@ -1,0 +1,83 @@
+#include "drift/tracker.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rlbench::drift {
+
+bool DriftEnvEnabled() {
+  static const bool enabled = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at gate resolution
+    const char* env = std::getenv("RLBENCH_DRIFT");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }();
+  return enabled;
+}
+
+DriftTracker::DriftTracker(const matchers::MatchingContext* context,
+                           DriftTrackerOptions options)
+    : context_(context),
+      options_(std::move(options)),
+      reservoir_(options_.reservoir),
+      controller_(options_.controller) {
+  RLBENCH_CHECK(context_ != nullptr);
+}
+
+void DriftTracker::SetZeroShotArm(
+    std::shared_ptr<const matchers::TrainedModel> arm) {
+  arm_ = std::move(arm);
+}
+
+bool DriftTracker::RecordBatch(std::span<const data::LabeledPair> pairs,
+                               std::span<const double> scores,
+                               std::span<const uint8_t> decisions) {
+  RLBENCH_CHECK(scores.size() == pairs.size() &&
+                decisions.size() == pairs.size());
+  bool completed = false;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (reservoir_.Offer(pairs[i], scores[i], decisions[i])) {
+      EvaluateWindow();
+      reservoir_.ResetWindow();
+      completed = true;
+    }
+  }
+  return completed;
+}
+
+void DriftTracker::EvaluateWindow() {
+  RLBENCH_TRACE_SPAN("drift/window");
+  latest_ = ComputeWindowMeasures(*context_, reservoir_.window(),
+                                  options_.monitor, arm_.get());
+  has_measures_ = true;
+
+  // Gauges are max-merge, so publish drift in "bigger = worse" polarity:
+  // the gap to linear reproducibility and the complexity level read as
+  // high-water marks of how hard the live window ever got.
+  RLBENCH_COUNTER_INC("drift/windows");
+  RLBENCH_COUNTER_ADD("drift/sampled_pairs", latest_.pairs);
+  RLBENCH_GAUGE_OBSERVE("drift/linearity_gap", 1.0 - latest_.best_linear_f1);
+  RLBENCH_GAUGE_OBSERVE("drift/complexity_avg", latest_.complexity_avg);
+  RLBENCH_GAUGE_OBSERVE("drift/nlb_live", latest_.nlb);
+  RLBENCH_GAUGE_OBSERVE("drift/lbm_live", latest_.lbm);
+
+  DriftState before = controller_.state();
+  DriftState after = controller_.Observe(latest_);
+  if (after == DriftState::kTriggered && before != DriftState::kTriggered) {
+    RLBENCH_COUNTER_INC("drift/triggers");
+    event_.kind = DriftEvent::Kind::kTriggered;
+    event_.measures = latest_;
+    event_.window_index = reservoir_.windows_completed();
+  }
+}
+
+DriftEvent DriftTracker::ConsumeEvent() {
+  DriftEvent event = event_;
+  event_ = DriftEvent{};
+  return event;
+}
+
+}  // namespace rlbench::drift

@@ -1,0 +1,96 @@
+// DriftTracker composes the subsystem: reservoir sampling of scored
+// serve batches, per-window measure recomputation (on the existing
+// parallel pool), `drift/*` metric publication, and the hysteresis
+// controller. The serve path touches exactly one call — RecordBatch from
+// the single choke point in serve/service.cc (lint rule `drift`) — and
+// the service owner (server / bench) consumes trigger events mirroring
+// the ShadowEvent pattern: trigger → retrain → publish → StartShadow,
+// with EnsembleLink as the always-trainable zero-shot fallback arm.
+//
+// Determinism contract (docs/drift.md): RecordBatch runs on the service
+// thread in request order; admission is a pure per-pair hash; the window
+// measures use ParallelFor + seeded subsampling. For a fixed request
+// order and seed, the reservoir contents, every published measure, and
+// the trigger point are bit-identical at any thread count. When drift is
+// disabled the service holds no tracker and the cost is one null check.
+#ifndef RLBENCH_SRC_DRIFT_TRACKER_H_
+#define RLBENCH_SRC_DRIFT_TRACKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "drift/controller.h"
+#include "drift/monitor.h"
+#include "drift/reservoir.h"
+#include "matchers/context.h"
+#include "matchers/trained_model.h"
+
+namespace rlbench::drift {
+
+struct DriftTrackerOptions {
+  ReservoirOptions reservoir;
+  MonitorOptions monitor;
+  DriftControllerOptions controller;
+};
+
+/// Consumable trigger notification (same shape as serve::ShadowEvent).
+struct DriftEvent {
+  enum class Kind : uint8_t { kNone = 0, kTriggered = 1 };
+  Kind kind = Kind::kNone;
+  /// Measures of the window that completed the dwell streak.
+  WindowMeasures measures;
+  /// 1-based ordinal of that window.
+  uint64_t window_index = 0;
+};
+
+/// True when the RLBENCH_DRIFT environment variable is set to anything
+/// but "" or "0" (resolved once per process).
+bool DriftEnvEnabled();
+
+class DriftTracker {
+ public:
+  /// The context must outlive the tracker and be the one the scored pairs
+  /// index into (the service's own context).
+  explicit DriftTracker(const matchers::MatchingContext* context,
+                        DriftTrackerOptions options = {});
+
+  /// Offer one scored batch in serve order. Returns true when a window
+  /// completed (its measures were recomputed, published, and fed to the
+  /// controller). Single-writer: the service thread only.
+  bool RecordBatch(std::span<const data::LabeledPair> pairs,
+                   std::span<const double> scores,
+                   std::span<const uint8_t> decisions);
+
+  /// Install / replace the zero-shot arm scored alongside each window
+  /// (normally an EnsembleLink model; may be null to disable).
+  void SetZeroShotArm(std::shared_ptr<const matchers::TrainedModel> arm);
+
+  bool has_measures() const { return has_measures_; }
+  const WindowMeasures& latest() const { return latest_; }
+  DriftState state() const { return controller_.state(); }
+  const WindowReservoir& reservoir() const { return reservoir_; }
+  const DriftController& controller() const { return controller_; }
+
+  /// The pending trigger, if any; resets to kNone (consume-once).
+  DriftEvent ConsumeEvent();
+
+  /// Forwarded to the controller once the reaction has completed.
+  void Rearm() { controller_.Rearm(); }
+
+ private:
+  void EvaluateWindow();
+
+  const matchers::MatchingContext* context_;
+  DriftTrackerOptions options_;
+  WindowReservoir reservoir_;
+  DriftController controller_;
+  std::shared_ptr<const matchers::TrainedModel> arm_;
+  WindowMeasures latest_;
+  bool has_measures_ = false;
+  DriftEvent event_;
+};
+
+}  // namespace rlbench::drift
+
+#endif  // RLBENCH_SRC_DRIFT_TRACKER_H_

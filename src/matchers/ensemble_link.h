@@ -1,0 +1,69 @@
+// EnsembleLink: a training-free matcher that ensembles the repo's
+// similarity signal families with rank-aggregated voting (EnsembleLink,
+// arXiv 2601.21138). Nine signals are computed per pair — cosine / dice /
+// Jaccard over all tokens (the SA-ESDE family, via the columnar merge-scan
+// kernels) plus the six Magellan per-attribute families (attr-Jaccard,
+// Levenshtein, Jaro-Winkler, Monge-Elkan, numeric, exact) averaged across
+// attributes. Each signal casts a vote (sim >= its threshold) weighted by
+// Borda points from a fixed reliability ranking of the families, and the
+// score is the weighted vote share. No labels are read anywhere: the
+// fitted "model" is just this configuration, which makes the snapshot
+// round-trip exact by construction and the matcher an always-available
+// zero-shot retrain/fallback arm for the drift loop (src/drift/).
+//
+// Classical rank aggregation ranks candidates within a batch; serving
+// requires each pair's score to be a pure function of (model, context,
+// pair), so the batch-level ranking is replaced by the per-pair Borda
+// vote share — deterministic at any thread count and batch split.
+#ifndef RLBENCH_SRC_MATCHERS_ENSEMBLE_LINK_H_
+#define RLBENCH_SRC_MATCHERS_ENSEMBLE_LINK_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "matchers/matcher.h"
+
+namespace rlbench::matchers {
+
+/// Number of signal families in the ensemble, in serialization order:
+/// [cosine-all, dice-all, jaccard-all, attr-jaccard, levenshtein,
+/// jaro-winkler, monge-elkan, numeric, exact].
+inline constexpr size_t kEnsembleSignals = 9;
+
+struct EnsembleLinkOptions {
+  /// Weighted vote share at or above which a pair is declared a match.
+  double vote_fraction = 0.5;
+  /// Per-signal vote thresholds: signal s votes when sim_s >= thresholds[s].
+  std::array<double, kEnsembleSignals> thresholds = {0.5, 0.5, 0.5, 0.5, 0.5,
+                                                     0.5, 0.5, 0.5, 0.5};
+  /// Borda weights from the fixed reliability ranking of the families
+  /// (whole-record token-set sims first, edit sims next, numeric last).
+  std::array<double, kEnsembleSignals> weights = {8.0, 7.0, 9.0, 6.0, 3.0,
+                                                  5.0, 4.0, 1.0, 2.0};
+  /// Carried in the snapshot for config completeness; the ensemble itself
+  /// draws no random numbers.
+  uint64_t seed = 0x2E17;
+};
+
+/// \brief The training-free zero-shot row of the matcher lineup.
+class EnsembleLinkMatcher final : public Matcher {
+ public:
+  explicit EnsembleLinkMatcher(EnsembleLinkOptions options = {});
+
+  std::string name() const override { return "EnsembleLink"; }
+  std::vector<uint8_t> Run(const MatchingContext& context) override;
+
+  /// Export the ensemble configuration as a servable model. Training-free:
+  /// no train/valid pair is ever read, so the exported model is identical
+  /// for any labeling of the context.
+  [[nodiscard]] Result<std::unique_ptr<TrainedModel>> TrainModel(
+      const MatchingContext& context) override;
+
+ private:
+  EnsembleLinkOptions options_;
+};
+
+}  // namespace rlbench::matchers
+
+#endif  // RLBENCH_SRC_MATCHERS_ENSEMBLE_LINK_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "matchers/dl_sims.h"
+#include "matchers/ensemble_link.h"
 #include "matchers/esde.h"
 #include "matchers/magellan.h"
 #include "matchers/zeroer.h"
@@ -31,6 +32,11 @@ std::unique_ptr<Matcher> MakeServableMatcher(const std::string& name,
     if (matcher->name() == name) return matcher;
   }
   if (name == "ZeroER") return std::make_unique<ZeroErMatcher>();
+  if (name == "EnsembleLink") {
+    EnsembleLinkOptions el_options;
+    el_options.seed = seed ^ 0x2E17ULL;
+    return std::make_unique<EnsembleLinkMatcher>(el_options);
+  }
   EsdeOptions esde_options;
   esde_options.seed = seed ^ 0xE5DEULL;
   for (auto variant : kEsdeVariants) {
@@ -52,6 +58,7 @@ std::vector<std::string> ServableMatcherNames() {
   for (auto variant : kEsdeVariants) {
     names.push_back(EsdeVariantName(variant));
   }
+  names.push_back("EnsembleLink");
   return names;
 }
 
@@ -120,6 +127,13 @@ std::vector<RegisteredMatcher> BuildMatcherLineup(
       lineup.push_back({std::make_unique<EsdeMatcher>(variant, esde_options),
                         MatcherGroup::kLinear});
     }
+  }
+
+  if (options.zero_shot) {
+    EnsembleLinkOptions el_options;
+    el_options.seed = options.seed ^ 0x2E17ULL;
+    lineup.push_back({std::make_unique<EnsembleLinkMatcher>(el_options),
+                      MatcherGroup::kZeroShot});
   }
   return lineup;
 }

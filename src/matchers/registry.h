@@ -1,6 +1,7 @@
 // Builds the matcher line-ups used by the evaluation tables: the DL group
-// with its two epoch settings, the Magellan group, ZeroER, and the six
-// linear ESDE matchers — the exact row set of Tables IV and VI.
+// with its two epoch settings, the Magellan group, ZeroER, the six linear
+// ESDE matchers — the exact row set of Tables IV and VI — plus the
+// training-free EnsembleLink as an extra zero-shot section.
 #ifndef RLBENCH_SRC_MATCHERS_REGISTRY_H_
 #define RLBENCH_SRC_MATCHERS_REGISTRY_H_
 
@@ -15,17 +16,20 @@ namespace rlbench::matchers {
 
 /// Which matcher families (table sections) to instantiate.
 struct RegistryOptions {
-  bool dl = true;       // section (a): DL-based matchers, 2 epoch settings
-  bool classic = true;  // section (b): Magellan x4 + ZeroER
-  bool linear = true;   // section (c): the 6 ESDE variants
+  bool dl = true;        // section (a): DL-based matchers, 2 epoch settings
+  bool classic = true;   // section (b): Magellan x4 + ZeroER
+  bool linear = true;    // section (c): the 6 ESDE variants
+  bool zero_shot = true; // section (d): training-free EnsembleLink
   /// Epoch budget scale for quick runs (1.0 = the paper's settings).
   double epoch_scale = 1.0;
   uint64_t seed = 17;
 };
 
 /// The section a matcher belongs to, for table grouping and the practical
-/// measures: NLB contrasts kNonLinear (a+b) with kLinear (c).
-enum class MatcherGroup { kDeepLearning, kClassicMl, kLinear };
+/// measures: NLB contrasts kNonLinear (a+b) with kLinear (c). kZeroShot
+/// rows (trained on no labels at all) are reported alongside but excluded
+/// from the learning-based practical measures — see core/practical.h.
+enum class MatcherGroup { kDeepLearning, kClassicMl, kLinear, kZeroShot };
 
 struct RegisteredMatcher {
   std::unique_ptr<Matcher> matcher;
@@ -37,8 +41,9 @@ std::vector<RegisteredMatcher> BuildMatcherLineup(
     const RegistryOptions& options = {});
 
 /// Row names of the matchers that can be trained into servable snapshot
-/// models (src/serve/): the Magellan group, ZeroER, and the six ESDE
-/// variants. The simulated DL matchers have no portable fitted state.
+/// models (src/serve/): the Magellan group, ZeroER, the six ESDE
+/// variants, and the training-free EnsembleLink. The simulated DL
+/// matchers have no portable fitted state.
 std::vector<std::string> ServableMatcherNames();
 
 /// Construct the named servable matcher with the same per-family seed

@@ -53,6 +53,8 @@ Result<std::unique_ptr<TrainedModel>> DeserializeTrainedModel(
       return DeserializeMagellanModel(reader);
     case TrainedModelKind::kZeroEr:
       return DeserializeZeroErModel(reader);
+    case TrainedModelKind::kEnsembleLink:
+      return DeserializeEnsembleLinkModel(reader);
   }
   return Status::InvalidArgument("trained model: unknown kind tag " +
                                  std::to_string(static_cast<int>(tag)));

@@ -32,6 +32,7 @@ enum class TrainedModelKind : uint8_t {
   kEsde = 1,
   kMagellan = 2,
   kZeroEr = 3,
+  kEnsembleLink = 4,
 };
 
 /// \brief An immutable fitted matcher that scores record pairs.
@@ -102,6 +103,8 @@ void SerializeTrainedModel(const TrainedModel& model, BlobWriter* writer);
 Result<std::unique_ptr<TrainedModel>> DeserializeMagellanModel(
     BlobReader* reader);
 [[nodiscard]] Result<std::unique_ptr<TrainedModel>> DeserializeZeroErModel(
+    BlobReader* reader);
+[[nodiscard]] Result<std::unique_ptr<TrainedModel>> DeserializeEnsembleLinkModel(
     BlobReader* reader);
 
 }  // namespace rlbench::matchers

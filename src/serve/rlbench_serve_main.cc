@@ -5,6 +5,7 @@
 //       [--queue=512] [--batch=256] [--deadline_ms=0]
 //       [--quotas="alpha=200:50;*=50:10"] [--shed] [--fallback=SA-ESDE]
 //       [--max_connections=1024] [--idle_timeout_ms=0]
+//       [--drift] [--drift_retrain=NAME]
 //
 // Builds the dataset, obtains a model (the repository's CURRENT snapshot
 // when --repo holds one, otherwise trains and — with --repo — publishes),
@@ -12,6 +13,10 @@
 // --quotas meters tenants through token buckets (admission.h grammar);
 // --shed enables the tiered load-shedding controller, degrading to the
 // --fallback linear matcher under pressure before rejecting.
+// --drift enables the online difficulty-drift monitor (RLBENCH_DRIFT=1
+// force-enables it too); on a trigger the server retrains
+// --drift_retrain (default: the served matcher, then the zero-shot
+// EnsembleLink) and shadow-gates the candidate before hot-swapping.
 // RLBENCH_FAULTS / RLBENCH_METRICS / RLBENCH_TRACE apply as everywhere
 // else in the repo.
 #include <cstdio>
@@ -53,6 +58,8 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("batch", 256));
   options.service.default_deadline_ms = flags.GetDouble("deadline_ms", 0.0);
   options.service.shed_enabled = flags.GetBool("shed", false);
+  options.service.drift_enabled = flags.GetBool("drift", false);
+  options.drift_retrain_matcher = flags.GetString("drift_retrain", "");
   options.loop.max_connections =
       static_cast<size_t>(flags.GetInt("max_connections", 1024));
   options.loop.idle_timeout_ms = flags.GetDouble("idle_timeout_ms", 0.0);

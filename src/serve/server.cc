@@ -124,6 +124,52 @@ void MatchServer::AbsorbShadowEvent() {
   if (event.kind == ShadowEvent::Kind::kPromoted) {
     served_ = event.metadata;
   }
+  if (event.kind != ShadowEvent::Kind::kNone && drift_candidate_active_) {
+    // The drift-triggered candidate resolved (landed or rolled back);
+    // either way the episode is over — re-arm the controller so the next
+    // drifted window can open a fresh one.
+    drift_candidate_active_ = false;
+    service_.RearmDrift();
+  }
+}
+
+void MatchServer::AbsorbDriftTrigger() {
+  // While the promotion ladder is busy the trigger stays pending in the
+  // tracker; we react on the first pump after the ladder frees up.
+  if (service_.Shadow() != nullptr) return;
+  DriftStatus trigger;
+  if (!service_.TakeDriftTrigger(&trigger)) return;
+  std::string name = options_.drift_retrain_matcher;
+  if (name.empty() && served_.has_value()) name = served_->matcher_name;
+  if (name.empty()) name = "EnsembleLink";
+  auto candidate = service_.RetrainMatcher(name);
+  if (!candidate.ok() && name != "EnsembleLink") {
+    // The zero-shot fallback arm needs no labels and always trains.
+    name = "EnsembleLink";
+    candidate = service_.RetrainMatcher(name);
+  }
+  if (!candidate.ok()) {
+    RLBENCH_COUNTER_INC("drift/reaction_failures");
+    service_.RearmDrift();
+    return;
+  }
+  SnapshotMetadata metadata;
+  metadata.matcher_name = name;
+  metadata.dataset_id = context_->task().name();
+  metadata.num_attrs = context_->task().left().schema().num_attributes();
+  if (repository_.has_value()) {
+    auto version = repository_->Publish(metadata, **candidate);
+    if (version.ok()) metadata.version = *version;
+  }
+  Status started =
+      service_.StartShadow(*candidate, metadata, options_.drift_shadow);
+  if (!started.ok()) {
+    RLBENCH_COUNTER_INC("drift/reaction_failures");
+    service_.RearmDrift();
+    return;
+  }
+  RLBENCH_COUNTER_INC("drift/reactions");
+  drift_candidate_active_ = true;
 }
 
 std::string MatchServer::HandleRequest(const std::string& payload) {
@@ -152,6 +198,7 @@ std::string MatchServer::HandleRequest(const std::string& payload) {
     }
     service_.Drain();
     AbsorbShadowEvent();
+    AbsorbDriftTrigger();
     return response;
   }
 
@@ -196,6 +243,21 @@ std::string MatchServer::HandleRequest(const std::string& payload) {
         ",\"shadow_active\":" +
         (service_.Shadow() != nullptr ? "true" : "false") +
         ",\"dataset\":" + obs::JsonString(context_->task().name());
+    DriftStatus drift = service_.DriftSnapshot();
+    out += std::string(",\"drift_enabled\":") +
+           (drift.enabled ? "true" : "false");
+    if (drift.enabled) {
+      out += ",\"drift\":{\"state\":" + obs::JsonString(drift.state) +
+             ",\"window_pairs\":" + std::to_string(drift.window_pairs) +
+             ",\"windows\":" + std::to_string(drift.windows) +
+             ",\"transitions\":" + std::to_string(drift.transitions) +
+             ",\"triggers\":" + std::to_string(drift.triggers) +
+             ",\"sampled_pairs\":" + std::to_string(drift.sampled_pairs) +
+             ",\"best_linear_f1\":" + obs::JsonNumber(drift.best_linear_f1) +
+             ",\"complexity_avg\":" + obs::JsonNumber(drift.complexity_avg) +
+             ",\"nlb\":" + obs::JsonNumber(drift.nlb) +
+             ",\"lbm\":" + obs::JsonNumber(drift.lbm) + "}";
+    }
     if (served_.has_value()) {
       out += ",\"matcher\":" + obs::JsonString(served_->matcher_name) +
              ",\"version\":" + std::to_string(served_->version);
@@ -292,6 +354,7 @@ std::string MatchServer::HandleRequest(const std::string& payload) {
     // goes out: a shutdown never drops accepted work.
     size_t drained = service_.Drain();
     AbsorbShadowEvent();
+    AbsorbDriftTrigger();
     shutdown_ = true;
     return "{\"ok\":true,\"drained\":" + std::to_string(drained) + "}";
   }
@@ -345,6 +408,7 @@ void MatchServer::OnFrame(uint64_t conn_id, std::string payload) {
   // match op that arrived before it, then answer inline.
   service_.Drain();
   AbsorbShadowEvent();
+  AbsorbDriftTrigger();
   slot->response = HandleRequest(payload);
   slot->ready = true;
 }
@@ -387,6 +451,7 @@ Status MatchServer::Serve() {
     // per-connection request order.
     service_.Drain();
     AbsorbShadowEvent();
+    AbsorbDriftTrigger();
     FlushReadySlots();
     if (shutdown_) {
       if (!loop_.draining()) loop_.BeginDrain();

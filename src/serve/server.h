@@ -55,6 +55,19 @@ struct MatchServerOptions {
   std::string repository_root;  ///< empty disables the reload op
   /// Poll timeout of one event-loop tick (ms); bounds shutdown latency.
   int tick_timeout_ms = 50;
+  /// Matcher retrained when the drift controller triggers; "" retrains
+  /// the served matcher. If that training fails, the server falls back to
+  /// the always-trainable zero-shot EnsembleLink.
+  std::string drift_retrain_matcher;
+  /// Shadow gate for drift-triggered candidates. Agreement with the
+  /// incumbent is not required by default — the incumbent is the model
+  /// the drift monitor just flagged as stale — but the fault and latency
+  /// gates still protect the swap.
+  ShadowOptions drift_shadow = [] {
+    ShadowOptions shadow;
+    shadow.min_agreement = 0.0;
+    return shadow;
+  }();
 };
 
 /// \brief Single-threaded loopback JSON server over one MatchingContext.
@@ -105,6 +118,11 @@ class MatchServer {
   /// Pick up a promotion/rollback the service performed while pumping.
   void AbsorbShadowEvent();
 
+  /// React to a drift trigger: retrain (EnsembleLink fallback), publish
+  /// to the repository when configured, and start a shadow window. The
+  /// drift controller re-arms when that window resolves.
+  void AbsorbDriftTrigger();
+
   const matchers::MatchingContext* context_;
   MatchServerOptions options_;
   MatchService service_;
@@ -116,6 +134,9 @@ class MatchServer {
   std::unordered_map<uint64_t, std::deque<std::shared_ptr<Slot>>> slots_;
   uint64_t requests_served_ = 0;
   bool shutdown_ = false;
+  /// A drift-triggered shadow window is in flight; its resolution re-arms
+  /// the drift controller.
+  bool drift_candidate_active_ = false;
 };
 
 }  // namespace rlbench::serve

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "fault/failpoint.h"
+#include "matchers/registry.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -40,6 +41,12 @@ MatchService::MatchService(const matchers::MatchingContext* context,
   RLBENCH_CHECK(options_.max_batch_pairs > 0);
   RLBENCH_CHECK(options_.queue_capacity_pairs >= options_.max_batch_pairs);
   latency_ring_.resize(kLatencyRingSize, 0.0);
+  // Drift monitoring: opt-in per service, or force-enabled process-wide
+  // via RLBENCH_DRIFT. Off means no tracker — the PumpOne hook is a null
+  // check and serving is byte-identical to the pre-drift behaviour.
+  if (options_.drift_enabled || drift::DriftEnvEnabled()) {
+    drift_ = std::make_unique<drift::DriftTracker>(context_, options_.drift);
+  }
 }
 
 Status MatchService::InstallSnapshot(const Snapshot& snapshot) {
@@ -400,8 +407,66 @@ size_t MatchService::PumpOne() {
         RLBENCH_COUNTER_INC("serve/shadow/rolled_back");
       }
     }
+    // Difficulty-drift sampling rides the same full-tier choke point: the
+    // tracker sees exactly what CURRENT answered, in serve order, after
+    // the responses went out. This is the only serve-path drift hook
+    // (lint rule `drift`); with monitoring off it costs one null check.
+    if (drift_ != nullptr && batch_tier == ShedTier::kFull && scored.ok()) {
+      drift_->RecordBatch(flat, scores, decisions);
+    }
   }
   return taken.size();
+}
+
+DriftStatus MatchService::DriftSnapshot() const {
+  DriftStatus status;
+  if (drift_ == nullptr) return status;
+  status.enabled = true;
+  status.state = drift::DriftStateName(drift_->state());
+  status.windows = drift_->reservoir().windows_completed();
+  status.transitions = drift_->controller().transitions();
+  status.triggers = drift_->controller().triggers();
+  status.sampled_pairs = drift_->reservoir().sampled();
+  status.window_pairs = drift_->reservoir().window_pairs();
+  status.has_measures = drift_->has_measures();
+  if (drift_->has_measures()) {
+    const drift::WindowMeasures& latest = drift_->latest();
+    status.best_linear_f1 = latest.best_linear_f1;
+    status.complexity_avg = latest.complexity_avg;
+    status.nlb = latest.nlb;
+    status.lbm = latest.lbm;
+  }
+  return status;
+}
+
+bool MatchService::TakeDriftTrigger(DriftStatus* status) {
+  if (drift_ == nullptr) return false;
+  drift::DriftEvent event = drift_->ConsumeEvent();
+  if (event.kind != drift::DriftEvent::Kind::kTriggered) return false;
+  if (status != nullptr) *status = DriftSnapshot();
+  return true;
+}
+
+void MatchService::RearmDrift() {
+  if (drift_ != nullptr) drift_->Rearm();
+}
+
+Result<std::shared_ptr<const matchers::TrainedModel>>
+MatchService::RetrainMatcher(const std::string& name, uint64_t seed) {
+  RLBENCH_TRACE_SPAN("serve/retrain");
+  RLBENCH_COUNTER_INC("serve/retrains");
+  // Training needs the warm phase; serving keeps the caches frozen. Thaw
+  // (cached values survive), train, then restore the frozen serving state
+  // with every installed family re-warmed — scores stay bit-identical.
+  context_->left().Thaw();
+  context_->right().Thaw();
+  auto model = matchers::TrainServableMatcher(name, *context_, seed);
+  RewarmAll(model.ok() ? model->get() : nullptr);
+  if (!model.ok()) {
+    RLBENCH_COUNTER_INC("serve/retrain_failures");
+    return model.status();
+  }
+  return std::shared_ptr<const matchers::TrainedModel>(std::move(*model));
 }
 
 size_t MatchService::Drain() {

@@ -50,6 +50,7 @@
 
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "drift/tracker.h"
 #include "matchers/context.h"
 #include "matchers/trained_model.h"
 #include "ml/metrics.h"
@@ -75,6 +76,12 @@ struct MatchServiceOptions {
   ShedOptions shed;
   /// Retry-After hint attached to shed rejections (ms).
   double shed_retry_after_ms = 50.0;
+  /// Enable difficulty-drift monitoring (src/drift/). The RLBENCH_DRIFT
+  /// environment variable force-enables it process-wide; when neither is
+  /// set the service holds no tracker and serving is byte-identical to
+  /// the pre-drift behaviour (the hook is one null check).
+  bool drift_enabled = false;
+  drift::DriftTrackerOptions drift;
 };
 
 /// \brief Score + decision for one requested pair.
@@ -115,6 +122,23 @@ struct ShadowEvent {
   Kind kind = Kind::kNone;
   SnapshotMetadata metadata;
   ShadowStats stats;
+};
+
+/// \brief Plain-number view of the drift loop for the server's stats op
+/// and manifests; keeps drift types out of server.cc (lint rule `drift`).
+struct DriftStatus {
+  bool enabled = false;
+  std::string state;  ///< "stable" / "watch" / "triggered"
+  uint64_t windows = 0;
+  uint64_t transitions = 0;
+  uint64_t triggers = 0;
+  uint64_t sampled_pairs = 0;
+  size_t window_pairs = 0;
+  bool has_measures = false;
+  double best_linear_f1 = 0.0;
+  double complexity_avg = 0.0;
+  double nlb = 0.0;
+  double lbm = 0.0;
 };
 
 /// \brief Batched, admission-controlled scorer over one MatchingContext.
@@ -215,6 +239,32 @@ class MatchService {
   /// The latest promotion/rollback outcome, cleared by this call.
   ShadowEvent ConsumeShadowEvent();
 
+  /// The drift tracker, if monitoring is enabled (null otherwise). The
+  /// serve hook itself lives in PumpOne; everything else (arming the
+  /// zero-shot arm, consuming events) goes through the tracker directly.
+  drift::DriftTracker* Drift() { return drift_.get(); }
+  const drift::DriftTracker* Drift() const { return drift_.get(); }
+
+  /// Plain-number drift summary for stats surfaces (empty-state defaults
+  /// when monitoring is disabled).
+  DriftStatus DriftSnapshot() const;
+
+  /// Train a servable matcher against the served context mid-serve (the
+  /// drift reaction path): thaws the record caches for the training
+  /// phase, then re-freezes with every installed model's feature family
+  /// re-warmed, so already-served scores are unchanged. The returned
+  /// model is ready for StartShadow. Must not be called while a batch is
+  /// in flight (single-threaded service: call between pumps).
+  [[nodiscard]] Result<std::shared_ptr<const matchers::TrainedModel>>
+  RetrainMatcher(const std::string& name, uint64_t seed = 17);
+
+  /// True exactly once per drift episode: the controller entered
+  /// kTriggered. Fills `status` with the triggering window's summary.
+  /// The caller reacts (retrain → publish → StartShadow) and then calls
+  /// RearmDrift() once the episode is resolved.
+  bool TakeDriftTrigger(DriftStatus* status);
+  void RearmDrift();
+
   /// Score the task's entire test split through the served model in
   /// max_batch_pairs chunks and evaluate against ground truth. Optionally
   /// copies out the raw scores / decisions (test order).
@@ -255,6 +305,7 @@ class MatchService {
   ShedController shed_;
   std::unique_ptr<ShadowEvaluator> shadow_;
   ShadowEvent shadow_event_;
+  std::unique_ptr<drift::DriftTracker> drift_;
   /// Per-tenant FIFOs (ordered map: deterministic rotation order) and the
   /// round-robin cursor (last tenant served).
   std::map<std::string, std::deque<Pending>> queues_;

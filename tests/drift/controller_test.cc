@@ -1,0 +1,81 @@
+// DriftController: hysteresis band, dwell debouncing, sticky trigger,
+// explicit rearm — the reaction must fire exactly once per episode.
+#include <gtest/gtest.h>
+
+#include "drift/controller.h"
+
+namespace rlbench::drift {
+namespace {
+
+WindowMeasures Window(double best_linear_f1, double complexity_avg) {
+  WindowMeasures measures;
+  measures.best_linear_f1 = best_linear_f1;
+  measures.complexity_avg = complexity_avg;
+  return measures;
+}
+
+// Defaults: enter below 0.80 linear F1 (or above 0.45 complexity), exit
+// above 0.90 and below 0.35, dwell 2.
+constexpr double kEasy = 0.95;
+constexpr double kBand = 0.85;  // inside the hysteresis band
+constexpr double kHard = 0.50;
+constexpr double kCalm = 0.10;
+constexpr double kBusy = 0.60;
+
+TEST(DriftControllerTest, DwellDebouncesASingleNoisyWindow) {
+  DriftController controller;
+  EXPECT_EQ(controller.state(), DriftState::kStable);
+  EXPECT_EQ(controller.Observe(Window(kHard, kCalm)), DriftState::kWatch);
+  // One drifted window then recovery: no trigger, back to stable.
+  EXPECT_EQ(controller.Observe(Window(kEasy, kCalm)), DriftState::kStable);
+  EXPECT_EQ(controller.triggers(), 0u);
+  EXPECT_EQ(controller.transitions(), 2u);
+}
+
+TEST(DriftControllerTest, HysteresisBandHoldsWatchWithoutRetriggering) {
+  DriftController controller;
+  EXPECT_EQ(controller.Observe(Window(kHard, kCalm)), DriftState::kWatch);
+  // Inside the band: not drifted (streak resets) but not recovered either,
+  // so the state holds at kWatch indefinitely.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(controller.Observe(Window(kBand, kCalm)), DriftState::kWatch);
+  }
+  // A fresh drifted window must still need the full dwell streak.
+  EXPECT_EQ(controller.Observe(Window(kHard, kCalm)), DriftState::kWatch);
+  EXPECT_EQ(controller.Observe(Window(kHard, kCalm)),
+            DriftState::kTriggered);
+  EXPECT_EQ(controller.triggers(), 1u);
+}
+
+TEST(DriftControllerTest, ComplexitySignalAloneCanTrigger) {
+  DriftController controller;
+  EXPECT_EQ(controller.Observe(Window(kEasy, kBusy)), DriftState::kWatch);
+  EXPECT_EQ(controller.Observe(Window(kEasy, kBusy)), DriftState::kTriggered);
+  EXPECT_EQ(controller.triggers(), 1u);
+}
+
+TEST(DriftControllerTest, TriggeredIsStickyUntilRearm) {
+  DriftController controller;
+  controller.Observe(Window(kHard, kCalm));
+  ASSERT_EQ(controller.Observe(Window(kHard, kCalm)), DriftState::kTriggered);
+  // Even fully recovered windows cannot clear the trigger: the reaction
+  // owns the episode until it calls Rearm().
+  EXPECT_EQ(controller.Observe(Window(kEasy, kCalm)), DriftState::kTriggered);
+  EXPECT_EQ(controller.Observe(Window(kHard, kBusy)), DriftState::kTriggered);
+  EXPECT_EQ(controller.triggers(), 1u);
+  controller.Rearm();
+  EXPECT_EQ(controller.state(), DriftState::kStable);
+  // A second episode triggers again from scratch.
+  controller.Observe(Window(kHard, kCalm));
+  EXPECT_EQ(controller.Observe(Window(kHard, kCalm)), DriftState::kTriggered);
+  EXPECT_EQ(controller.triggers(), 2u);
+}
+
+TEST(DriftControllerTest, StateNamesAreStable) {
+  EXPECT_STREQ(DriftStateName(DriftState::kStable), "stable");
+  EXPECT_STREQ(DriftStateName(DriftState::kWatch), "watch");
+  EXPECT_STREQ(DriftStateName(DriftState::kTriggered), "triggered");
+}
+
+}  // namespace
+}  // namespace rlbench::drift

@@ -1,0 +1,91 @@
+// WindowReservoir: admission must be a pure per-pair function of the
+// seed, windows must complete exactly at window_pairs, and the counters
+// must reconcile with what was offered.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "data/task.h"
+#include "drift/reservoir.h"
+
+namespace rlbench::drift {
+namespace {
+
+data::LabeledPair Pair(uint32_t left, uint32_t right) {
+  return data::LabeledPair{left, right, false};
+}
+
+TEST(WindowReservoirTest, FullFractionAdmitsEverythingInOrder) {
+  ReservoirOptions options;
+  options.window_pairs = 4;
+  WindowReservoir reservoir(options);
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(reservoir.ShouldSample(Pair(i, i + 100)));
+    EXPECT_FALSE(reservoir.Offer(Pair(i, i + 100), 0.25 * i, i % 2));
+  }
+  EXPECT_TRUE(reservoir.Offer(Pair(3, 103), 0.75, 1));  // completes
+  EXPECT_EQ(reservoir.windows_completed(), 1u);
+  EXPECT_EQ(reservoir.offered(), 4u);
+  EXPECT_EQ(reservoir.sampled(), 4u);
+  ASSERT_EQ(reservoir.window().size(), 4u);
+  // Admission order is request order; payloads travel untouched.
+  EXPECT_EQ(reservoir.window()[2].pair.left, 2u);
+  EXPECT_EQ(reservoir.window()[2].score, 0.5);
+  EXPECT_EQ(reservoir.window()[3].decision, 1);
+  reservoir.ResetWindow();
+  EXPECT_TRUE(reservoir.window().empty());
+  // Counters survive the reset; only the live window clears.
+  EXPECT_EQ(reservoir.windows_completed(), 1u);
+}
+
+TEST(WindowReservoirTest, AdmissionIsAPureFunctionOfSeedAndPair) {
+  ReservoirOptions options;
+  options.sample_fraction = 0.5;
+  WindowReservoir one(options);
+  WindowReservoir two(options);
+  size_t admitted = 0;
+  for (uint32_t i = 0; i < 512; ++i) {
+    data::LabeledPair pair = Pair(i, 7 * i + 1);
+    bool verdict = one.ShouldSample(pair);
+    // Same seed, same pair -> same fate, in any instance, any number of
+    // times (no hidden stream state).
+    EXPECT_EQ(verdict, two.ShouldSample(pair));
+    EXPECT_EQ(verdict, one.ShouldSample(pair));
+    admitted += verdict ? 1 : 0;
+  }
+  // The hash spreads: roughly half admitted at fraction 0.5.
+  EXPECT_GT(admitted, 512 / 4);
+  EXPECT_LT(admitted, 512 * 3 / 4);
+
+  ReservoirOptions reseeded = options;
+  reseeded.seed ^= 0x9E3779B97F4A7C15ULL;
+  WindowReservoir other(reseeded);
+  size_t disagreements = 0;
+  for (uint32_t i = 0; i < 512; ++i) {
+    data::LabeledPair pair = Pair(i, 7 * i + 1);
+    disagreements += one.ShouldSample(pair) != other.ShouldSample(pair);
+  }
+  EXPECT_GT(disagreements, 0u);  // the seed actually matters
+}
+
+TEST(WindowReservoirTest, SubsampledOffersOnlyCountAdmittedPairs) {
+  ReservoirOptions options;
+  options.window_pairs = 16;
+  options.sample_fraction = 0.25;
+  WindowReservoir reservoir(options);
+  uint64_t completed = 0;
+  for (uint32_t i = 0; i < 4096; ++i) {
+    completed += reservoir.Offer(Pair(i, i + 1), 0.0, 0) ? 1 : 0;
+    if (reservoir.window().size() == options.window_pairs) {
+      reservoir.ResetWindow();
+    }
+  }
+  EXPECT_EQ(reservoir.offered(), 4096u);
+  EXPECT_LT(reservoir.sampled(), reservoir.offered());
+  EXPECT_EQ(reservoir.windows_completed(), completed);
+  EXPECT_EQ(completed, reservoir.sampled() / options.window_pairs);
+}
+
+}  // namespace
+}  // namespace rlbench::drift

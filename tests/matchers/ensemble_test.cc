@@ -1,0 +1,175 @@
+// EnsembleLink: training-free by construction (the fitted model is
+// independent of the labels), snapshot round trips are bit-exact, Run()
+// equals TrainModel()+ScoreBatch, and the zero-shot group stays out of
+// the practical measures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/blob.h"
+#include "core/practical.h"
+#include "datagen/catalog.h"
+#include "datagen/task_builder.h"
+#include "matchers/context.h"
+#include "matchers/ensemble_link.h"
+#include "matchers/registry.h"
+#include "matchers/trained_model.h"
+
+namespace rlbench::matchers {
+namespace {
+
+class EnsembleLinkTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    task_ = new data::MatchingTask(datagen::BuildExistingBenchmark(
+        *datagen::FindExistingBenchmark("Ds7"), 0.5));
+  }
+  static void TearDownTestSuite() {
+    delete task_;
+    task_ = nullptr;
+  }
+
+  static std::string Snapshot(const TrainedModel& model) {
+    BlobWriter writer;
+    SerializeTrainedModel(model, &writer);
+    return writer.Release();
+  }
+
+  static data::MatchingTask* task_;
+};
+
+data::MatchingTask* EnsembleLinkTest::task_ = nullptr;
+
+TEST_F(EnsembleLinkTest, RunEqualsTrainedModelScoring) {
+  EnsembleLinkMatcher matcher;
+  matchers::MatchingContext context(task_);
+  std::vector<uint8_t> direct = matcher.Run(context);
+  ASSERT_EQ(direct.size(), task_->test().size());
+
+  matchers::MatchingContext fresh(task_);
+  auto model = matcher.TrainModel(fresh);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ((*model)->kind(), TrainedModelKind::kEnsembleLink);
+  EXPECT_EQ((*model)->matcher_name(), "EnsembleLink");
+  EXPECT_EQ((*model)->num_attrs(),
+            task_->left().schema().num_attributes());
+  (*model)->PrepareContext(fresh);
+  std::vector<double> scores(task_->test().size());
+  std::vector<uint8_t> decisions(task_->test().size());
+  ASSERT_TRUE(
+      (*model)->ScoreBatch(fresh, task_->test(), scores, decisions).ok());
+  EXPECT_EQ(decisions, direct);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_GE(scores[i], 0.0);
+    EXPECT_LE(scores[i], 1.0);
+    EXPECT_EQ(decisions[i] != 0, (*model)->DecideFromScore(scores[i]));
+  }
+}
+
+// The defining property: no labels are read, so relabeling every training
+// pair changes nothing about the exported model.
+TEST_F(EnsembleLinkTest, ModelBytesAreInvariantUnderLabelPermutation) {
+  matchers::MatchingContext context(task_);
+  EnsembleLinkMatcher matcher;
+  auto model = matcher.TrainModel(context);
+  ASSERT_TRUE(model.ok()) << model.status();
+
+  data::MatchingTask flipped = *task_;
+  std::vector<data::LabeledPair> train = flipped.train();
+  for (data::LabeledPair& pair : train) pair.is_match = !pair.is_match;
+  flipped.set_train(std::move(train));
+  matchers::MatchingContext hostile(&flipped);
+  auto relabeled = matcher.TrainModel(hostile);
+  ASSERT_TRUE(relabeled.ok()) << relabeled.status();
+
+  EXPECT_EQ(Snapshot(**model), Snapshot(**relabeled));
+}
+
+TEST_F(EnsembleLinkTest, SnapshotRoundTripIsBitExact) {
+  matchers::MatchingContext context(task_);
+  EnsembleLinkOptions options;
+  options.vote_fraction = 0.375;
+  options.thresholds[4] = 0.25;
+  options.weights[0] = 11.0;
+  EnsembleLinkMatcher matcher(options);
+  auto model = matcher.TrainModel(context);
+  ASSERT_TRUE(model.ok()) << model.status();
+
+  std::string bytes = Snapshot(**model);
+  BlobReader reader(bytes);
+  auto restored = DeserializeTrainedModel(&reader);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ((*restored)->kind(), TrainedModelKind::kEnsembleLink);
+  EXPECT_EQ((*restored)->num_attrs(), (*model)->num_attrs());
+  EXPECT_EQ((*restored)->decision_threshold(), options.vote_fraction);
+  // Re-serializing the restored model reproduces the exact bytes, and the
+  // restored model scores the exact bits of the original.
+  EXPECT_EQ(Snapshot(**restored), bytes);
+  (*model)->PrepareContext(context);
+  std::vector<double> original(task_->test().size());
+  std::vector<double> roundtrip(task_->test().size());
+  std::vector<uint8_t> decisions(task_->test().size());
+  ASSERT_TRUE(
+      (*model)->ScoreBatch(context, task_->test(), original, decisions).ok());
+  ASSERT_TRUE((*restored)
+                  ->ScoreBatch(context, task_->test(), roundtrip, decisions)
+                  .ok());
+  EXPECT_EQ(original, roundtrip);
+}
+
+TEST_F(EnsembleLinkTest, CorruptPayloadsAreRejected) {
+  matchers::MatchingContext context(task_);
+  EnsembleLinkMatcher matcher;
+  auto model = matcher.TrainModel(context);
+  ASSERT_TRUE(model.ok()) << model.status();
+  std::string bytes = Snapshot(**model);
+
+  std::string truncated = bytes.substr(0, bytes.size() / 2);
+  BlobReader short_reader(truncated);
+  EXPECT_FALSE(DeserializeTrainedModel(&short_reader).ok());
+
+  // A vote fraction outside [0, 1] fails the plausibility checks.
+  BlobWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(TrainedModelKind::kEnsembleLink));
+  writer.WriteU64((*model)->num_attrs());
+  writer.WriteDouble(7.5);
+  writer.WriteU64(0x2E17);
+  writer.WriteDoubleVec(std::vector<double>(kEnsembleSignals, 0.5));
+  writer.WriteDoubleVec(std::vector<double>(kEnsembleSignals, 1.0));
+  std::string bogus = writer.Release();
+  BlobReader bogus_reader(bogus);
+  EXPECT_FALSE(DeserializeTrainedModel(&bogus_reader).ok());
+}
+
+TEST_F(EnsembleLinkTest, RegisteredAsServableAndInTheLineup) {
+  auto names = ServableMatcherNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "EnsembleLink"),
+            names.end());
+  matchers::MatchingContext context(task_);
+  auto model = TrainServableMatcher("EnsembleLink", context);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ((*model)->kind(), TrainedModelKind::kEnsembleLink);
+}
+
+TEST_F(EnsembleLinkTest, ZeroShotGroupIsExcludedFromPracticalMeasures) {
+  std::vector<core::MatcherScore> scores = {
+      {"HighEps-DL", MatcherGroup::kDeepLearning, 0.90},
+      {"Magellan-RF", MatcherGroup::kClassicMl, 0.85},
+      {"SA-ESDE", MatcherGroup::kLinear, 0.70},
+  };
+  core::PracticalMeasures without = core::ComputePractical(scores);
+  // A zero-shot row that would dominate every field if it were counted.
+  scores.push_back({"EnsembleLink", MatcherGroup::kZeroShot, 0.99});
+  core::PracticalMeasures with = core::ComputePractical(scores);
+  EXPECT_EQ(with.non_linear_boost, without.non_linear_boost);
+  EXPECT_EQ(with.learning_based_margin, without.learning_based_margin);
+  EXPECT_EQ(with.best_nonlinear_f1, without.best_nonlinear_f1);
+  EXPECT_EQ(with.best_linear_f1, without.best_linear_f1);
+}
+
+}  // namespace
+}  // namespace rlbench::matchers

@@ -106,6 +106,7 @@ TEST(RegistryTest, FullLineupComposition) {
   size_t dl = 0;
   size_t classic = 0;
   size_t linear = 0;
+  size_t zero_shot = 0;
   for (const auto& entry : lineup) {
     switch (entry.group) {
       case MatcherGroup::kDeepLearning:
@@ -117,17 +118,22 @@ TEST(RegistryTest, FullLineupComposition) {
       case MatcherGroup::kLinear:
         ++linear;
         break;
+      case MatcherGroup::kZeroShot:
+        ++zero_shot;
+        break;
     }
   }
-  EXPECT_EQ(dl, 12u);      // 6 methods x 2 epoch settings
-  EXPECT_EQ(classic, 5u);  // Magellan x4 + ZeroER
-  EXPECT_EQ(linear, 6u);   // the ESDE family
+  EXPECT_EQ(dl, 12u);        // 6 methods x 2 epoch settings
+  EXPECT_EQ(classic, 5u);    // Magellan x4 + ZeroER
+  EXPECT_EQ(linear, 6u);     // the ESDE family
+  EXPECT_EQ(zero_shot, 1u);  // EnsembleLink
 }
 
 TEST(RegistryTest, GroupsCanBeDisabled) {
   RegistryOptions options;
   options.dl = false;
   options.classic = false;
+  options.zero_shot = false;
   auto lineup = BuildMatcherLineup(options);
   EXPECT_EQ(lineup.size(), 6u);
 }

@@ -53,6 +53,13 @@ Rules:
                 net.* and the synchronous client.* — the server side is a
                 nonblocking event loop, and one blocking call on its thread
                 parks every multiplexed connection behind one slow peer
+  drift         no drift/ includes or drift types (DriftTracker,
+                WindowReservoir, DriftController, ComputeWindowMeasures)
+                in src/serve/ outside service.* — the serve-path sampling
+                hook is one guarded call in MatchService::PumpOne, and the
+                rest of the serve layer sees only the plain-number
+                DriftStatus view, so "drift off = one null check" stays
+                auditable
   using-ns      no `using namespace` at any scope in headers
   kernels       no associative-container lookups or heap allocation inside
                 loop bodies of src/text/kernels.cc — the vectorized kernels
@@ -610,6 +617,66 @@ BULK_FIXTURES = [
             bad=False),
 ]
 
+# --- drift ------------------------------------------------------------------
+
+# The difficulty-drift monitor samples scored pairs off the serve path.
+# That sampling hook lives in exactly one place — MatchService::PumpOne in
+# service.cc, behind the batch-tier/status guard — so the "drift off means
+# one null check" contract stays auditable. Everything else in src/serve/
+# talks to drift through MatchService's plain-number DriftStatus view
+# (DriftSnapshot / TakeDriftTrigger / RearmDrift), never the drift types.
+DRIFT_PREFIX = "src/serve/"
+DRIFT_ALLOWED_PREFIXES = ("src/serve/service",)
+DRIFT_PATTERNS = [
+    (re.compile(r"#\s*include\s+\"drift/"),
+     "drift header included in serve code outside service.*; the serve "
+     "layer reaches the drift monitor only through MatchService "
+     "(DriftSnapshot/TakeDriftTrigger/RearmDrift)"),
+    (re.compile(r"\bdrift::|\b(?:DriftTracker|WindowReservoir|"
+                r"DriftController|ComputeWindowMeasures)\b"),
+     "drift type named in serve code outside service.*; use "
+     "MatchService's plain-number DriftStatus view instead"),
+]
+
+
+def check_drift(rel, lines, errors):
+    if not rel.startswith(DRIFT_PREFIX):
+        return
+    if rel.startswith(DRIFT_ALLOWED_PREFIXES):
+        return
+    for i, line in enumerate(lines):
+        code = LINE_COMMENT.sub("", line)
+        for pattern, message in DRIFT_PATTERNS:
+            if pattern.search(code):
+                errors.append(f"{rel}:{i + 1}: {message}")
+
+
+DRIFT_FIXTURES = [
+    Fixture("src/serve/server.cc",
+            "#include \"drift/tracker.h\"\n", bad=True),
+    Fixture("src/serve/event_loop.cc",
+            "std::unique_ptr<drift::DriftTracker> tracker_;\n", bad=True),
+    Fixture("src/serve/server.h",
+            "drift::WindowReservoir reservoir_;\n", bad=True),
+    Fixture("src/serve/wire.cc",
+            "auto m = ComputeWindowMeasures(ctx, window);\n", bad=True),
+    # The choke point itself owns the tracker and its types.
+    Fixture("src/serve/service.h",
+            "#include \"drift/tracker.h\"\n"
+            "std::unique_ptr<drift::DriftTracker> drift_;\n", bad=False),
+    Fixture("src/serve/service.cc",
+            "drift_->RecordBatch(flat, scores, decisions);\n", bad=False),
+    # The plain-number view is the sanctioned interface.
+    Fixture("src/serve/server.cc",
+            "DriftStatus drift = service_.DriftSnapshot();\n"
+            "service_.RearmDrift();\n", bad=False),
+    # The drift subsystem and its tests are out of scope.
+    Fixture("src/drift/tracker.cc",
+            "WindowReservoir reservoir_(options.reservoir);\n", bad=False),
+    Fixture("tests/serve/drift_service_test.cc",
+            "#include \"drift/tracker.h\"\n", bad=False),
+]
+
 # --- rule registry ----------------------------------------------------------
 
 RULES = [
@@ -634,6 +701,7 @@ RULES = [
     Rule("sockets", _pattern_check(set(), SOCKET_ALLOWED_PREFIXES,
                                    SOCKET_PATTERNS), SOCKET_FIXTURES),
     Rule("blocknet", check_blocknet, BLOCKNET_FIXTURES),
+    Rule("drift", check_drift, DRIFT_FIXTURES),
 ]
 
 # --- cmake-reg (tree-level, not per-file) -----------------------------------

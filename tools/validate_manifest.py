@@ -7,7 +7,9 @@ Two modes:
       Validate already-written manifests against the schema documented in
       src/obs/manifest.h. When a manifest names a trace_file, the trace is
       validated too (path resolved relative to the manifest's directory,
-      then as given).
+      then as given). Manifests carrying drift_* config keys (drift-enabled
+      runs, bench/micro_drift) additionally get their window size,
+      controller state, and measure ranges checked.
 
   validate_manifest.py --run <bench_binary> [bench args...]
       Run a bench binary in a scratch directory with RLBENCH_METRICS=1 and
@@ -60,6 +62,65 @@ def validate_histogram_summary(errors, path, name, summary):
                                f"number (got {value!r})")
 
 
+# Drift-monitor manifests (bench/micro_drift, drift-enabled serve runs)
+# publish their window state through config keys. Config values arrive as
+# JSON numbers (obs::Manifest::AddConfig(key, double)), so integral keys
+# are checked as whole-valued reals rather than ints.
+DRIFT_COUNT_KEYS = ("drift_windows", "drift_windows_to_trigger",
+                    "drift_triggers", "drift_transitions",
+                    "drift_swap_recovery_requests")
+DRIFT_UNIT_KEYS = ("drift_best_linear_f1", "drift_complexity_avg",
+                   "drift_lbm")
+DRIFT_STATES = ("stable", "watch", "triggered")
+
+
+def validate_drift_config(errors, path, config):
+    drift_keys = [key for key in config if key.startswith("drift_")]
+    if not drift_keys:
+        return
+    # A manifest that reports anything about drift must pin down the
+    # window size, the controller's final state, and how often it moved.
+    for key in ("drift_window_pairs", "drift_state", "drift_transitions"):
+        if key not in config:
+            fail(errors, path, f"drift config present ({sorted(drift_keys)}) "
+                               f"but required key '{key}' is missing")
+    state = config.get("drift_state")
+    if state is not None and state not in DRIFT_STATES:
+        fail(errors, path, f"drift_state {state!r} not in {DRIFT_STATES}")
+    window = config.get("drift_window_pairs")
+    if window is not None:
+        if isinstance(window, bool) or not isinstance(window, numbers.Real) \
+                or window != int(window) or window <= 0:
+            fail(errors, path, f"drift_window_pairs must be a positive "
+                               f"integer (got {window!r})")
+    for key in DRIFT_COUNT_KEYS:
+        value = config.get(key)
+        if value is None:
+            continue
+        if isinstance(value, bool) or not isinstance(value, numbers.Real) \
+                or value != int(value) or value < 0:
+            fail(errors, path, f"'{key}' must be a non-negative integer "
+                               f"(got {value!r})")
+    for key in DRIFT_UNIT_KEYS:
+        value = config.get(key)
+        if value is None:
+            continue
+        if isinstance(value, bool) or not isinstance(value, numbers.Real) \
+                or not 0.0 <= value <= 1.0:
+            fail(errors, path, f"'{key}' must be in [0, 1] (got {value!r})")
+    # NLB is a difference of F1 scores and may legitimately be negative;
+    # the overhead ratio only has to be a non-negative number.
+    for key, low in (("drift_nlb", -1.0), ("drift_sampling_overhead_ratio",
+                                           0.0)):
+        value = config.get(key)
+        if value is None:
+            continue
+        if isinstance(value, bool) or not isinstance(value, numbers.Real) \
+                or value < low:
+            fail(errors, path, f"'{key}' must be a number >= {low} "
+                               f"(got {value!r})")
+
+
 def validate_manifest(errors, path, manifest):
     if not isinstance(manifest, dict):
         fail(errors, path, "top level is not a JSON object")
@@ -85,7 +146,9 @@ def validate_manifest(errors, path, manifest):
             if not isinstance(entry, str):
                 fail(errors, path, f"dataset id {entry!r} is not a string")
 
-    expect_type(errors, path, manifest, "config", dict)
+    config = expect_type(errors, path, manifest, "config", dict)
+    if config is not None:
+        validate_drift_config(errors, path, config)
 
     phases = expect_type(errors, path, manifest, "phases", list)
     if phases is not None:
